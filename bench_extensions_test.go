@@ -1,0 +1,133 @@
+package padpd
+
+// Benches for the extension studies and the mechanism substrates, beyond
+// the per-figure benches in bench_test.go.
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkStabilityStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := StabilityStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUsefulFreqStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := UsefulFreqStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGamingStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GamingStudy(KindPerfShares); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationClustering(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConsolidationStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ConsolidationStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationInterval(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRAPLControl measures the raw limiter decision path.
+func BenchmarkRAPLControl(b *testing.B) {
+	m, err := NewMachine(Skylake())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lim := m.Limiter()
+	lim.SetLimit(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lim.Observe(Watts(45+i%10), time.Millisecond)
+	}
+}
+
+// BenchmarkClusterPStates measures the Ryzen 3-P-state DP on a full
+// 8-core target vector.
+func BenchmarkClusterPStates(b *testing.B) {
+	chip := Ryzen()
+	targets := []Hertz{
+		3400 * MHz, 3200 * MHz, 2800 * MHz, 2400 * MHz,
+		1800 * MHz, 1200 * MHz, 800 * MHz, 400 * MHz,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClusterPStates(targets, 3, chip.Freq)
+	}
+}
+
+// BenchmarkWebsearchTick measures the queueing model's per-tick cost at
+// the paper's 300-user load.
+func BenchmarkWebsearchTick(b *testing.B) {
+	m, err := NewMachine(Skylake())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws, err := NewWebsearch(WebsearchConfig{
+		Users: 300, Cores: []int{0, 1, 2, 3, 4, 5, 6, 7, 8}, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ws.Attach(m); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkTelemetrySample measures one turbostat-style sampling pass over
+// a 10-core machine.
+func BenchmarkTelemetrySample(b *testing.B) {
+	m, err := NewMachine(Skylake())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Pin(NewInstance(MustProfile("gcc")), 0); err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSampler(m.Device(), 10, m.Chip().Freq.Nom, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Prime(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+		if _, err := s.Sample(time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

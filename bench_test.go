@@ -1,0 +1,200 @@
+package padpd
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each iteration regenerates the complete
+// experiment (workload construction, warm-up, steady-state measurement),
+// so -bench reports the cost of reproducing each result; the experiment
+// outputs themselves are validated by the shape tests under
+// internal/experiments and recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := Table1(); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := Table2(); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := Table3(); len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkMachineTick measures the raw cost of advancing the simulated
+// machine by one tick with a full 10-core workload — the unit of work
+// every experiment is built from.
+func BenchmarkMachineTick(b *testing.B) {
+	chip := Skylake()
+	m, err := NewMachine(chip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < chip.NumCores; i++ {
+		if err := m.Pin(NewInstance(MustProfile("gcc")), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m.SetPowerLimit(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkDaemonIteration measures one control-loop iteration (sample,
+// policy update, actuate) of the frequency-share daemon — the paper's
+// per-second overhead and the code path where GC jitter would bite in a
+// real deployment.
+func BenchmarkDaemonIteration(b *testing.B) {
+	chip := Skylake()
+	m, err := NewMachine(chip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]AppSpec, chip.NumCores)
+	for i := 0; i < chip.NumCores; i++ {
+		if err := m.Pin(NewInstance(MustProfile("gcc")), i); err != nil {
+			b.Fatal(err)
+		}
+		specs[i] = AppSpec{Name: "gcc", Core: i, Shares: Shares(10 + i)}
+	}
+	pol, err := NewFrequencyShares(chip, specs, ShareConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewDaemon(DaemonConfig{Chip: chip, Policy: pol, Apps: specs, Limit: 50},
+		m.Device(), MachineActuator{M: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+		if _, err := d.RunIteration(time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

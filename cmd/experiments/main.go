@@ -1,0 +1,110 @@
+// Command experiments regenerates the paper's tables and figures as text
+// tables (or CSV) on stdout.
+//
+// Usage:
+//
+//	experiments [-figure all|1|2|...|13|tables] [-csv]
+//
+// Each figure is produced by the corresponding harness in
+// internal/experiments; DESIGN.md maps figures to modules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure to regenerate: all, tables, 1-13, or one of stability, useful, gaming-perf, gaming-freq, clustering, interval")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	if err := run(*figure, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// tabler is any experiment result that renders to tables.
+type tabler interface {
+	Tables() []trace.Table
+}
+
+func run(figure string, csv bool) error {
+	type gen struct {
+		name string
+		fn   func() (tabler, error)
+	}
+	wrap := func(fn func() (tabler, error)) func() (tabler, error) { return fn }
+	gens := []gen{
+		{"1", wrap(func() (tabler, error) { r, err := experiments.Figure1(); return r, err })},
+		{"2", wrap(func() (tabler, error) { r, err := experiments.Figure2(); return r, err })},
+		{"3", wrap(func() (tabler, error) { r, err := experiments.Figure3(); return r, err })},
+		{"4", wrap(func() (tabler, error) { r, err := experiments.Figure4(); return r, err })},
+		{"5", wrap(func() (tabler, error) { r, err := experiments.Figure5(); return r, err })},
+		{"6", wrap(func() (tabler, error) { r, err := experiments.Figure6(); return r, err })},
+		{"7", wrap(func() (tabler, error) { r, err := experiments.Figure7(); return r, err })},
+		{"8", wrap(func() (tabler, error) { r, err := experiments.Figure8(); return r, err })},
+		{"9", wrap(func() (tabler, error) { r, err := experiments.Figure9(); return r, err })},
+		{"10", wrap(func() (tabler, error) { r, err := experiments.Figure10(); return r, err })},
+		{"11", wrap(func() (tabler, error) { r, err := experiments.Figure11(); return r, err })},
+		{"12", wrap(func() (tabler, error) { r, err := experiments.Figure12(); return r, err })},
+		{"13", wrap(func() (tabler, error) { r, err := experiments.Figure13(); return r, err })},
+		{"stability", wrap(func() (tabler, error) { r, err := experiments.StabilityStudy(); return r, err })},
+		{"useful", wrap(func() (tabler, error) { r, err := experiments.UsefulFreqStudy(); return r, err })},
+		{"gaming-perf", wrap(func() (tabler, error) { r, err := experiments.GamingStudy(experiments.PerfShares); return r, err })},
+		{"gaming-freq", wrap(func() (tabler, error) { r, err := experiments.GamingStudy(experiments.FreqShares); return r, err })},
+		{"clustering", wrap(func() (tabler, error) { r, err := experiments.AblationClustering(); return r, err })},
+		{"interval", wrap(func() (tabler, error) { r, err := experiments.AblationInterval(); return r, err })},
+		{"consolidation", wrap(func() (tabler, error) { r, err := experiments.ConsolidationStudy(); return r, err })},
+	}
+
+	emit := func(tables []trace.Table) error {
+		for _, tb := range tables {
+			var err error
+			if csv {
+				fmt.Printf("# %s\n", tb.Title)
+				err = tb.RenderCSV(os.Stdout)
+				fmt.Println()
+			} else {
+				err = tb.Render(os.Stdout)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if figure == "tables" || figure == "all" {
+		if err := emit([]trace.Table{experiments.Table1(), experiments.Table2(), experiments.Table3()}); err != nil {
+			return err
+		}
+		if figure == "tables" {
+			return nil
+		}
+	}
+	matched := figure == "all"
+	for _, g := range gens {
+		if figure != "all" && figure != g.name {
+			continue
+		}
+		matched = true
+		fmt.Fprintf(os.Stderr, "regenerating figure %s...\n", g.name)
+		res, err := g.fn()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", g.name, err)
+		}
+		if err := emit(res.Tables()); err != nil {
+			return err
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q (want all, tables, 1-13, or a study name)", figure)
+	}
+	return nil
+}

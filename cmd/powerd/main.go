@@ -1,0 +1,241 @@
+// Command powerd runs the per-application power delivery daemon on a
+// simulated platform and reports per-application telemetry, mirroring how
+// the paper's userspace daemon was driven.
+//
+// Usage:
+//
+//	powerd -platform skylake -policy frequency -limit 50 \
+//	       -apps gcc:0:90,cam4:1:10 -duration 60s
+//
+// Each app is name:core:shares (share policies) or name:core:hp|lp
+// (priority policy). The daemon runs in virtual time and prints one
+// telemetry row per application at the end, plus periodic progress.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/opconfig"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		plat     = flag.String("platform", "skylake", "skylake or ryzen")
+		policy   = flag.String("policy", "frequency", "frequency, performance, power, or priority")
+		limit    = flag.Float64("limit", 50, "package power limit in watts")
+		apps     = flag.String("apps", "gcc:0:90,cam4:1:10", "comma-separated name:core:shares or name:core:hp|lp")
+		duration = flag.Duration("duration", 60*time.Second, "virtual run time")
+		interval = flag.Duration("interval", time.Second, "control interval")
+		tracePth = flag.String("trace", "", "write a per-iteration CSV time series to this file")
+		confPath = flag.String("config", "", "JSON config file (overrides -platform/-policy/-limit/-apps/-interval)")
+	)
+	flag.Parse()
+
+	var err error
+	if *confPath != "" {
+		err = runConfig(*confPath, *duration, *tracePth)
+	} else {
+		err = run(*plat, *policy, units.Watts(*limit), *apps, *duration, *interval, *tracePth)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerd:", err)
+		os.Exit(1)
+	}
+}
+
+// runConfig drives the daemon from an operator config file.
+func runConfig(path string, duration time.Duration, tracePath string) error {
+	cfg, err := opconfig.Load(path)
+	if err != nil {
+		return err
+	}
+	chip, specs, pol, err := cfg.Build()
+	if err != nil {
+		return err
+	}
+	return drive(chip, specs, pol, cfg.Policy, cfg.Limit(), cfg.Interval(), duration, tracePath)
+}
+
+// traceWriter streams one CSV row per control iteration.
+type traceWriter struct {
+	w    io.Writer
+	apps []core.AppSpec
+}
+
+func newTraceWriter(w io.Writer, apps []core.AppSpec) *traceWriter {
+	tw := &traceWriter{w: w, apps: apps}
+	fmt.Fprint(w, "time_s,pkg_w,limit_w")
+	for _, a := range apps {
+		fmt.Fprintf(w, ",%s_c%d_mhz,%s_c%d_ips,%s_c%d_w,%s_c%d_parked",
+			a.Name, a.Core, a.Name, a.Core, a.Name, a.Core, a.Name, a.Core)
+	}
+	fmt.Fprintln(w)
+	return tw
+}
+
+func (tw *traceWriter) observe(s core.Snapshot) {
+	fmt.Fprintf(tw.w, "%.3f,%.3f,%.3f", s.Time.Seconds(), float64(s.PackagePower), float64(s.Limit))
+	for _, a := range s.Apps {
+		parked := 0
+		if a.Parked {
+			parked = 1
+		}
+		fmt.Fprintf(tw.w, ",%.0f,%.4g,%.3f,%d", a.Freq.MHzF(), a.IPS, float64(a.Power), parked)
+	}
+	fmt.Fprintln(tw.w)
+}
+
+func parseApps(arg string, priority bool) ([]core.AppSpec, error) {
+	var specs []core.AppSpec
+	for _, item := range strings.Split(arg, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("app %q: want name:core:shares or name:core:hp|lp", item)
+		}
+		p, err := workload.ByName(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		coreID, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("app %q: bad core: %w", item, err)
+		}
+		spec := core.AppSpec{Name: p.Name, Core: coreID, AVX: p.AVX}
+		if priority {
+			switch strings.ToLower(parts[2]) {
+			case "hp":
+				spec.HighPriority = true
+			case "lp":
+			default:
+				return nil, fmt.Errorf("app %q: want hp or lp", item)
+			}
+		} else {
+			shares, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("app %q: bad shares: %w", item, err)
+			}
+			spec.Shares = units.Shares(shares)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func run(plat, policy string, limit units.Watts, apps string, duration, interval time.Duration, tracePath string) error {
+	chip, err := platform.ByName(plat)
+	if err != nil {
+		return err
+	}
+	specs, err := parseApps(apps, policy == "priority")
+	if err != nil {
+		return err
+	}
+	for i := range specs {
+		if policy == "performance" {
+			// Offline standalone baseline at maximum frequency.
+			p := workload.MustByName(specs[i].Name)
+			specs[i].BaselineIPS = p.IPS(chip.Freq.Ceiling(1, p.AVX))
+		}
+	}
+	var pol core.Policy
+	switch policy {
+	case "frequency":
+		pol, err = core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	case "performance":
+		pol, err = core.NewPerformanceShares(chip, specs, core.ShareConfig{})
+	case "power":
+		pol, err = core.NewPowerShares(chip, specs, core.ShareConfig{})
+	case "priority":
+		pol, err = core.NewPriority(chip, specs, core.PriorityConfig{Limit: limit})
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+	if err != nil {
+		return err
+	}
+	return drive(chip, specs, pol, policy, limit, interval, duration, tracePath)
+}
+
+// drive builds the machine, pins the configured applications, and runs the
+// daemon for the requested virtual duration with periodic progress output.
+func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy string,
+	limit units.Watts, interval, duration time.Duration, tracePath string) error {
+
+	m, err := sim.New(chip)
+	if err != nil {
+		return err
+	}
+	for i := range specs {
+		p := workload.MustByName(specs[i].Name)
+		if err := m.Pin(workload.NewInstance(p), specs[i].Core); err != nil {
+			return err
+		}
+	}
+
+	dcfg := daemon.Config{
+		Chip: chip, Policy: pol, Apps: specs, Limit: limit, Interval: interval,
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("opening trace file: %w", err)
+		}
+		defer f.Close()
+		tw := newTraceWriter(f, specs)
+		dcfg.OnSnapshot = tw.observe
+	}
+	d, err := daemon.New(dcfg, m.Device(), daemon.MachineActuator{M: m})
+	if err != nil {
+		return err
+	}
+	if err := d.AttachVirtual(m); err != nil {
+		return err
+	}
+
+	fmt.Printf("powerd: %s, %s policy, %v limit, %d apps, %v virtual run\n",
+		chip.Name, pol.Name(), limit, len(specs), duration)
+	step := duration / 10
+	if step < interval {
+		step = interval
+	}
+	for elapsed := time.Duration(0); elapsed < duration; elapsed += step {
+		m.Run(step)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		snap := d.LastSnapshot()
+		fmt.Printf("t=%-6s pkg=%-8s limit=%s\n", m.Now(), snap.PackagePower, snap.Limit)
+	}
+
+	snap := d.LastSnapshot()
+	tb := trace.Table{
+		Title:  "final state",
+		Header: []string{"app", "core", "shares", "prio", "MHz", "IPS", "W/core", "parked"},
+	}
+	for _, a := range snap.Apps {
+		prio := "lp"
+		if a.Spec.HighPriority {
+			prio = "hp"
+		}
+		if policy != "priority" {
+			prio = "-"
+		}
+		tb.AddRow(a.Spec.Name, strconv.Itoa(a.Spec.Core), strconv.Itoa(int(a.Spec.Shares)), prio,
+			trace.Hz(a.Freq), fmt.Sprintf("%.3g", a.IPS), trace.W(a.Power),
+			fmt.Sprintf("%v", a.Parked))
+	}
+	return tb.Render(os.Stdout)
+}

@@ -1,0 +1,129 @@
+// Command psweep characterises the power-management mechanisms of a
+// simulated platform: DVFS frequency sweeps (the paper's Section 3 study)
+// and RAPL limit sweeps, with configurable benchmarks and ranges.
+//
+// Usage:
+//
+//	psweep -platform skylake -mode dvfs -benchmarks gcc,lbm -step 200
+//	psweep -platform skylake -mode rapl -benchmarks gcc -limits 85,60,40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		plat    = flag.String("platform", "skylake", "skylake or ryzen")
+		mode    = flag.String("mode", "dvfs", "dvfs or rapl")
+		bench   = flag.String("benchmarks", strings.Join(workload.Names(), ","), "comma-separated benchmark names")
+		stepMHz = flag.Int("step", 200, "dvfs sweep step in MHz")
+		limits  = flag.String("limits", "85,70,60,50,40", "rapl sweep limits in watts")
+	)
+	flag.Parse()
+
+	chip, err := platform.ByName(*plat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psweep:", err)
+		os.Exit(1)
+	}
+	names := strings.Split(*bench, ",")
+	switch *mode {
+	case "dvfs":
+		err = dvfs(chip, names, units.Hertz(*stepMHz)*units.MHz)
+	case "rapl":
+		err = raplSweep(chip, names, *limits)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psweep:", err)
+		os.Exit(1)
+	}
+}
+
+// measure runs one benchmark alone at a fixed request and returns its IPS
+// and the package power.
+func measure(chip platform.Chip, name string, req units.Hertz, limit units.Watts) (float64, units.Watts, units.Hertz, error) {
+	m, err := sim.New(chip, sim.WithTick(2*time.Millisecond))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	p, err := workload.ByName(name)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := m.Pin(workload.NewInstance(p), 0); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := m.SetRequest(0, req); err != nil {
+		return 0, 0, 0, err
+	}
+	if limit > 0 {
+		m.SetPowerLimit(limit)
+	}
+	m.Run(2 * time.Second)
+	i0 := m.Counters(0).Instr
+	e0 := m.PackageEnergy()
+	window := 8 * time.Second
+	m.Run(window)
+	ips := (m.Counters(0).Instr - i0) / window.Seconds()
+	pwr := (m.PackageEnergy() - e0).Power(window)
+	return ips, pwr, m.EffectiveFreq(0), nil
+}
+
+func dvfs(chip platform.Chip, names []string, step units.Hertz) error {
+	tb := trace.Table{
+		Title:  "DVFS sweep on " + chip.Name,
+		Header: []string{"benchmark", "request MHz", "effective MHz", "IPS", "pkg W", "nJ/instr"},
+	}
+	for _, name := range names {
+		for f := chip.Freq.Min; f <= chip.Freq.Max(); f += step {
+			ips, pwr, eff, err := measure(chip, name, f, 0)
+			if err != nil {
+				return err
+			}
+			epi := "-"
+			if ips > 0 {
+				epi = fmt.Sprintf("%.2f", float64(pwr)/ips*1e9)
+			}
+			tb.AddRow(name, trace.Hz(f), trace.Hz(eff), fmt.Sprintf("%.3g", ips), trace.W(pwr), epi)
+		}
+	}
+	return tb.Render(os.Stdout)
+}
+
+func raplSweep(chip platform.Chip, names []string, limitArg string) error {
+	if !chip.HardwareRAPLLimit {
+		return fmt.Errorf("%s has no documented hardware RAPL limiter", chip.Name)
+	}
+	tb := trace.Table{
+		Title:  "RAPL sweep on " + chip.Name,
+		Header: []string{"benchmark", "limit W", "effective MHz", "IPS", "pkg W"},
+	}
+	for _, name := range names {
+		for _, ls := range strings.Split(limitArg, ",") {
+			lw, err := strconv.ParseFloat(strings.TrimSpace(ls), 64)
+			if err != nil {
+				return fmt.Errorf("bad limit %q: %w", ls, err)
+			}
+			ips, pwr, eff, err := measure(chip, name, chip.Freq.Max(), units.Watts(lw))
+			if err != nil {
+				return err
+			}
+			tb.AddRow(name, ls, trace.Hz(eff), fmt.Sprintf("%.3g", ips), trace.W(pwr))
+		}
+	}
+	return tb.Render(os.Stdout)
+}

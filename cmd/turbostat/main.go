@@ -1,0 +1,120 @@
+// Command turbostat is the simulator's rendition of the tool the paper used
+// (modified) to collect its measurements: it runs a workload mix on a
+// simulated platform and prints one telemetry block per sampling interval —
+// per-core active frequency (ΔAPERF/ΔMPERF), IPS, per-core power where the
+// platform provides it, package power, and C-state residency percentages.
+//
+// Usage:
+//
+//	turbostat -platform skylake -apps gcc:0,cam4:1 -limit 50 -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		plat     = flag.String("platform", "skylake", "skylake or ryzen")
+		apps     = flag.String("apps", "gcc:0,cam4:1", "comma-separated name:core")
+		limit    = flag.Float64("limit", 0, "RAPL package limit in watts (0 = uncapped)")
+		duration = flag.Duration("duration", 10*time.Second, "virtual run time")
+		interval = flag.Duration("interval", time.Second, "sampling interval")
+	)
+	flag.Parse()
+	if err := run(*plat, *apps, units.Watts(*limit), *duration, *interval); err != nil {
+		fmt.Fprintln(os.Stderr, "turbostat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(plat, apps string, limit units.Watts, duration, interval time.Duration) error {
+	chip, err := platform.ByName(plat)
+	if err != nil {
+		return err
+	}
+	m, err := sim.New(chip)
+	if err != nil {
+		return err
+	}
+	for _, item := range strings.Split(apps, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) != 2 {
+			return fmt.Errorf("app %q: want name:core", item)
+		}
+		p, err := workload.ByName(parts[0])
+		if err != nil {
+			return err
+		}
+		core, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return fmt.Errorf("app %q: bad core: %w", item, err)
+		}
+		if err := m.Pin(workload.NewInstance(p), core); err != nil {
+			return err
+		}
+		if err := m.SetRequest(core, chip.Freq.Max()); err != nil {
+			return err
+		}
+	}
+	if limit > 0 {
+		if !chip.HardwareRAPLLimit {
+			return fmt.Errorf("%s has no documented RAPL limiter", chip.Name)
+		}
+		m.SetPowerLimit(limit)
+	}
+
+	s, err := telemetry.NewSampler(m.Device(), chip.NumCores, chip.Freq.Nom, chip.PerCorePower)
+	if err != nil {
+		return err
+	}
+	if err := s.Prime(); err != nil {
+		return err
+	}
+	prevRes := make([][]time.Duration, chip.NumCores)
+	for i := range prevRes {
+		prevRes[i] = m.CStateResidency(i)
+	}
+
+	header := "time     cpu   MHz        IPS"
+	if chip.PerCorePower {
+		header += "     W/core"
+	}
+	for _, cs := range chip.CStates {
+		header += fmt.Sprintf("  %%%s", cs.Name)
+	}
+	for elapsed := time.Duration(0); elapsed < duration; elapsed += interval {
+		m.Run(interval)
+		sample, err := s.Sample(interval)
+		if err != nil {
+			return err
+		}
+		fmt.Println(header)
+		for i, cs := range sample.Cores {
+			line := fmt.Sprintf("%-8s %-4d  %-8.0f  %-8.3g", sample.At, i, cs.ActiveFreq.MHzF(), cs.IPS)
+			if chip.PerCorePower {
+				line += fmt.Sprintf("  %-6.2f", float64(cs.Power))
+			}
+			res := m.CStateResidency(i)
+			for j := range chip.CStates {
+				pct := float64(res[j]-prevRes[i][j]) / float64(interval) * 100
+				line += fmt.Sprintf("  %5.1f", pct)
+			}
+			prevRes[i] = res
+			fmt.Println(line)
+		}
+		fmt.Printf("package: %s\n\n", sample.PackagePower)
+	}
+	return nil
+}

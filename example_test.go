@@ -1,0 +1,114 @@
+package padpd_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	padpd "repro"
+)
+
+// Example runs the paper's headline scenario: a low-demand application
+// protected from a power virus by 90/10 frequency shares at 40 W.
+func Example() {
+	chip := padpd.Skylake()
+	m, err := padpd.NewMachine(chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := []padpd.AppSpec{
+		{Name: "gcc", Core: 0, Shares: 90},
+		{Name: "cpuburn", Core: 1, Shares: 10, AVX: true},
+	}
+	for _, s := range specs {
+		if err := m.Pin(padpd.NewInstance(padpd.MustProfile(s.Name)), s.Core); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pol, err := padpd.NewFrequencyShares(chip, specs, padpd.ShareConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := padpd.NewDaemon(padpd.DaemonConfig{
+		Chip: chip, Policy: pol, Apps: specs, Limit: 25,
+	}, m.Device(), padpd.MachineActuator{M: m})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.AttachVirtual(m); err != nil {
+		log.Fatal(err)
+	}
+	m.Run(60 * time.Second)
+	snap := d.LastSnapshot()
+	fmt.Printf("gcc: %v, cpuburn: %v\n", snap.Apps[0].Freq, snap.Apps[1].Freq)
+	// Output:
+	// gcc: 3.00 GHz, cpuburn: 900 MHz
+}
+
+// ExampleUsefulFrequency derives a memory-bound application's highest
+// useful frequency from two telemetry samples (the paper's Section 4.4
+// refinement).
+func ExampleUsefulFrequency() {
+	chip := padpd.Skylake()
+	lbm := padpd.MustProfile("lbm")
+	fLo, fHi := 1000*padpd.MHz, 2000*padpd.MHz
+	cap, err := padpd.UsefulFrequency(fLo, lbm.IPS(fLo), fHi, lbm.IPS(fHi), chip.Freq, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cap)
+	// Output:
+	// 1.60 GHz
+}
+
+// ExampleClusterPStates maps per-core targets onto the Ryzen 1700X's three
+// simultaneous P-states.
+func ExampleClusterPStates() {
+	chip := padpd.Ryzen()
+	targets := []padpd.Hertz{
+		3400 * padpd.MHz, 3300 * padpd.MHz, // a fast group
+		2000 * padpd.MHz, 2100 * padpd.MHz, // a middle group
+		800 * padpd.MHz, // a slow group
+	}
+	for _, f := range padpd.ClusterPStates(targets, 3, chip.Freq) {
+		fmt.Println(f)
+	}
+	// Output:
+	// 3.30 GHz
+	// 3.30 GHz
+	// 2.00 GHz
+	// 2.00 GHz
+	// 800 MHz
+}
+
+// ExampleProfile_IPS shows the two-term latency model: the memory-bound
+// benchmark gains far less from a frequency doubling than the core-bound
+// one.
+func ExampleProfile_IPS() {
+	lbm := padpd.MustProfile("lbm")        // memory-bound
+	exch := padpd.MustProfile("exchange2") // core-bound
+	speedup := func(p padpd.Profile) float64 {
+		return p.IPS(3000*padpd.MHz) / p.IPS(1500*padpd.MHz)
+	}
+	fmt.Printf("lbm: %.2fx, exchange2: %.2fx\n", speedup(lbm), speedup(exch))
+	// Output:
+	// lbm: 1.35x, exchange2: 1.93x
+}
+
+// ExampleNewTimeSharedCore reproduces the paper's Section 4.3 observation:
+// time-shared core power is the time-weighted sum of the apps' solo draws.
+func ExampleNewTimeSharedCore() {
+	c, err := padpd.NewTimeSharedCore(padpd.Ryzen(), 3400*padpd.MHz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hd := padpd.MustProfile("cactusBSSN")
+	hd.Phases = nil
+	if err := c.Add(padpd.NewInstance(hd), 0.5); err != nil {
+		log.Fatal(err)
+	}
+	c.Run(10 * time.Second)
+	fmt.Printf("50%% cactusBSSN: %v\n", c.AveragePower())
+	// Output:
+	// 50% cactusBSSN: 5.76 W
+}

@@ -1,0 +1,84 @@
+// Governors: the OS-level mechanisms the paper's background section
+// contrasts with its policies (Section 2.2).
+//
+// Part 1 compares cpufreq-style governors on an interactive (30% duty)
+// workload: the performance governor burns power holding max frequency,
+// ondemand tracks the load, powersave crawls.
+//
+// Part 2 runs a thermald scenario: a power virus heats the package past a
+// trip temperature and the thermal daemon regulates it back using the RAPL
+// limit — the same mechanism stack the paper's policies sit on top of.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	padpd "repro"
+)
+
+func main() {
+	fmt.Println("== cpufreq governors on an interactive workload (duty cycle 0.3) ==")
+	fmt.Printf("%-13s  %-10s  %-12s  %-10s\n", "governor", "request", "energy (J)", "GIPS done")
+	for _, kind := range []padpd.GovernorKind{
+		padpd.GovPerformance, padpd.GovOndemand, padpd.GovConservative, padpd.GovPowersave,
+	} {
+		governorRun(kind)
+	}
+	fmt.Println()
+	fmt.Println("== thermald: trip, mitigate via RAPL, regulate ==")
+	thermalRun()
+}
+
+func governorRun(kind padpd.GovernorKind) {
+	chip := padpd.Skylake()
+	m, err := padpd.NewMachine(chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := padpd.MustProfile("gcc")
+	p.Phases = nil
+	p.DutyCycle = 0.3
+	p.DutyPeriod = 50 * time.Millisecond
+	if err := m.Pin(padpd.NewInstance(p), 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := padpd.AttachGovernor(m, []int{0}, padpd.GovernorConfig{Kind: kind}); err != nil {
+		log.Fatal(err)
+	}
+	m.Run(10 * time.Second)
+	fmt.Printf("%-13s  %-10s  %-12.1f  %-10.2f\n",
+		kind, m.Request(0), float64(m.PackageEnergy()), m.Counters(0).Instr/1e9)
+}
+
+func thermalRun() {
+	chip := padpd.Skylake()
+	m, err := padpd.NewMachine(chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < chip.NumCores; i++ {
+		if err := m.Pin(padpd.NewInstance(padpd.CPUBurn), i); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.SetRequest(i, chip.Freq.Max()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	model, err := padpd.NewThermalModel(25, 0.5, 60) // tau = 30 s
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := padpd.AttachThermalDaemon(m, model, padpd.ThermalConfig{
+		TripTemp: 55, TargetTemp: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for step := 0; step < 6; step++ {
+		m.Run(30 * time.Second)
+		fmt.Printf("t=%-5s temp=%5.1f C  pkg=%-8s engaged=%-5v limit=%s\n",
+			m.Now(), d.Temperature(), m.PackagePower(), d.Engaged(), d.Limit())
+	}
+}

@@ -1,0 +1,89 @@
+// Prioritymix: the paper's priority policy across workload mixes
+// (Figure 7's story in miniature).
+//
+// We vary how many of ten Skylake cores run high-priority applications
+// under a 40 W limit. With few HP applications, the policy deliberately
+// starves the LP class to hand the HP class turbo headroom — so three HP
+// applications at 40 W run *faster* than ten applications at 85 W.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	padpd "repro"
+)
+
+func main() {
+	fmt.Println("priority policy on Skylake @ 40 W, cactusBSSN (HD) + leela (LD) mixes")
+	fmt.Println()
+	fmt.Printf("%-8s  %-8s  %-8s  %-10s  %-8s\n", "mix", "HP MHz", "LP MHz", "LP starved", "pkg W")
+	for _, nHP := range []int{10, 7, 5, 3, 1} {
+		hpF, lpF, starved, pkg := run(nHP)
+		lp := fmt.Sprintf("%.0f", lpF.MHzF())
+		if starved {
+			lp = "-"
+		}
+		fmt.Printf("%dH %dL  %8.0f  %8s  %-10v  %8.2f\n",
+			nHP, 10-nHP, hpF.MHzF(), lp, starved, float64(pkg))
+	}
+}
+
+func run(nHP int) (hpF, lpF padpd.Hertz, starved bool, pkg padpd.Watts) {
+	chip := padpd.Skylake()
+	m, err := padpd.NewMachine(chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := make([]padpd.AppSpec, 10)
+	for i := 0; i < 10; i++ {
+		name := "cactusBSSN"
+		if i%2 == 1 {
+			name = "leela"
+		}
+		p := padpd.MustProfile(name)
+		if err := m.Pin(padpd.NewInstance(p), i); err != nil {
+			log.Fatal(err)
+		}
+		specs[i] = padpd.AppSpec{Name: name, Core: i, HighPriority: i < nHP, AVX: p.AVX}
+	}
+	pol, err := padpd.NewPriority(chip, specs, padpd.PriorityConfig{Limit: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := padpd.NewDaemon(padpd.DaemonConfig{
+		Chip: chip, Policy: pol, Apps: specs, Limit: 40,
+	}, m.Device(), padpd.MachineActuator{M: m})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.AttachVirtual(m); err != nil {
+		log.Fatal(err)
+	}
+	m.Run(60 * time.Second)
+	if err := d.Err(); err != nil {
+		log.Fatal(err)
+	}
+	snap := d.LastSnapshot()
+	var nLP int
+	starved = true
+	for i, a := range snap.Apps {
+		if i < nHP {
+			hpF += a.Freq
+		} else {
+			nLP++
+			lpF += a.Freq
+			if !a.Parked {
+				starved = false
+			}
+		}
+	}
+	hpF /= padpd.Hertz(nHP)
+	if nLP > 0 {
+		lpF /= padpd.Hertz(nLP)
+	} else {
+		starved = false
+	}
+	return hpF, lpF, starved, snap.PackagePower
+}

@@ -1,0 +1,95 @@
+// Sharesweep: how share ratio translates into delivered resources.
+//
+// Five copies of leela (low demand) face five copies of cactusBSSN (high
+// demand) on a Skylake socket at 50 W. We sweep the share ratio from 90/10
+// to 10/90 under the frequency-share and performance-share policies and
+// print the frequency and performance each class receives — including the
+// paper's "low dynamic range" effect: below ~20% the 800 MHz floor stops
+// further differentiation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	padpd "repro"
+)
+
+func main() {
+	fmt.Println("leela (LD) vs cactusBSSN (HD), 5 cores each, Skylake @ 50 W")
+	fmt.Println()
+	fmt.Printf("%-8s  %-20s  %-8s  %-8s  %-9s\n", "shares", "policy", "LD MHz", "HD MHz", "LD share")
+	for _, ratio := range []struct{ ld, hd padpd.Shares }{
+		{90, 10}, {70, 30}, {50, 50}, {30, 70}, {10, 90},
+	} {
+		for _, mk := range []func(padpd.Chip, []padpd.AppSpec, padpd.ShareConfig) (padpd.Policy, error){
+			func(c padpd.Chip, s []padpd.AppSpec, cfg padpd.ShareConfig) (padpd.Policy, error) {
+				return padpd.NewFrequencyShares(c, s, cfg)
+			},
+			func(c padpd.Chip, s []padpd.AppSpec, cfg padpd.ShareConfig) (padpd.Policy, error) {
+				return padpd.NewPerformanceShares(c, s, cfg)
+			},
+		} {
+			ldF, hdF, name := run(ratio.ld, ratio.hd, mk)
+			frac := float64(ldF) / float64(ldF+hdF)
+			fmt.Printf("%2d/%-5d  %-20s  %-8.0f  %-8.0f  %5.1f%%\n",
+				ratio.ld, ratio.hd, name, ldF.MHzF(), hdF.MHzF(), frac*100)
+		}
+	}
+}
+
+func run(ld, hd padpd.Shares,
+	mk func(padpd.Chip, []padpd.AppSpec, padpd.ShareConfig) (padpd.Policy, error)) (padpd.Hertz, padpd.Hertz, string) {
+
+	chip := padpd.Skylake()
+	m, err := padpd.NewMachine(chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := make([]padpd.AppSpec, 10)
+	for i := 0; i < 10; i++ {
+		name, shares := "leela", ld
+		if i >= 5 {
+			name, shares = "cactusBSSN", hd
+		}
+		p := padpd.MustProfile(name)
+		if err := m.Pin(padpd.NewInstance(p), i); err != nil {
+			log.Fatal(err)
+		}
+		specs[i] = padpd.AppSpec{
+			Name: name, Core: i, Shares: shares, AVX: p.AVX,
+			// Standalone baseline for the performance-share policy,
+			// measured offline in the paper; the analytic profile value
+			// at the single-core ceiling is the equivalent here.
+			BaselineIPS: p.IPS(chip.Freq.Ceiling(1, p.AVX)),
+		}
+	}
+	pol, err := mk(chip, specs, padpd.ShareConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := padpd.NewDaemon(padpd.DaemonConfig{
+		Chip: chip, Policy: pol, Apps: specs, Limit: 50,
+	}, m.Device(), padpd.MachineActuator{M: m})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.AttachVirtual(m); err != nil {
+		log.Fatal(err)
+	}
+	m.Run(60 * time.Second)
+	if err := d.Err(); err != nil {
+		log.Fatal(err)
+	}
+	snap := d.LastSnapshot()
+	var ldF, hdF padpd.Hertz
+	for i, a := range snap.Apps {
+		if i < 5 {
+			ldF += a.Freq
+		} else {
+			hdF += a.Freq
+		}
+	}
+	return ldF / 5, hdF / 5, pol.Name()
+}

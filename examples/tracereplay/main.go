@@ -1,0 +1,95 @@
+// Tracereplay: the substitution path for workloads that cannot ship.
+//
+// A "production host" runs some proprietary service (here stood in by
+// cam4, phases and all). We record one minute of per-second telemetry —
+// IPS and core power, exactly what turbostat emits — then rebuild a
+// replayable profile from the trace with ProfileFromTrace and run it on a
+// fresh machine. The replay reproduces the recording's throughput, power,
+// and phase structure, so policy studies can use it in place of the real
+// binary.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	padpd "repro"
+)
+
+const recordFreq = 2000 * padpd.MHz
+
+func main() {
+	// --- Record on the "production host". ---
+	prod, err := padpd.NewMachine(padpd.Skylake())
+	if err != nil {
+		log.Fatal(err)
+	}
+	secret := padpd.MustProfile("cam4") // stand-in for an unshippable binary
+	if err := prod.Pin(padpd.NewInstance(secret), 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := prod.SetRequest(0, recordFreq); err != nil {
+		log.Fatal(err)
+	}
+	sampler, err := padpd.NewSampler(prod.Device(), 1, prod.Chip().Freq.Nom, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sampler.Prime(); err != nil {
+		log.Fatal(err)
+	}
+	var pts []padpd.TracePoint
+	var recIPS, recPower float64
+	for i := 0; i < 60; i++ {
+		prod.Run(time.Second)
+		s, err := sampler.Sample(time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Skylake has no per-core power counters; on the recording host
+		// the whole-core share is package minus the known uncore/idle
+		// floor (one busy core).
+		corePower := s.PackagePower - prod.Chip().Power.UncorePower -
+			9*prod.Chip().Power.IdleCorePower
+		pts = append(pts, padpd.TracePoint{
+			Duration: time.Second,
+			IPS:      s.Cores[0].IPS,
+			Power:    corePower,
+		})
+		recIPS += s.Cores[0].IPS
+		recPower += float64(corePower)
+	}
+	fmt.Printf("recorded 60 s at %v: mean %.2f GIPS, %.2f W core power\n",
+		recordFreq, recIPS/60/1e9, recPower/60)
+
+	// --- Rebuild and replay elsewhere. ---
+	replayProfile, err := padpd.ProfileFromTrace("replayed-service", pts, recordFreq, prod.Chip().Power)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rebuilt profile: %d phases, %.3g instructions per run\n",
+		len(replayProfile.Phases), replayProfile.TotalInstructions)
+
+	lab, err := padpd.NewMachine(padpd.Skylake())
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := padpd.NewInstance(replayProfile)
+	if err := lab.Pin(in, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := lab.SetRequest(0, recordFreq); err != nil {
+		log.Fatal(err)
+	}
+	lab.Run(60 * time.Second)
+	repIPS := lab.Counters(0).Instr / 60
+	repPower := float64(lab.CoreEnergy(0)) / 60
+	fmt.Printf("replayed 60 s:             mean %.2f GIPS, %.2f W core power\n",
+		repIPS/1e9, repPower)
+	fmt.Printf("fidelity: IPS %.1f%%, power %.1f%% of the recording\n",
+		repIPS/(recIPS/60)*100, repPower/(recPower/60)*100)
+	if in.RunsCompleted() != 1 {
+		fmt.Printf("(note: %d full trace replays completed)\n", in.RunsCompleted())
+	}
+}

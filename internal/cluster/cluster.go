@@ -1,0 +1,214 @@
+// Package cluster implements a machine-room power coordinator over the
+// per-node power-delivery daemons — the two-level hierarchy the paper's
+// related work describes (Dynamo, SmoothOperator, No-"Power"-Struggles):
+// a room-level budget is split across nodes, each node's share is enforced
+// by its own differential-power-delivery daemon, and the coordinator
+// periodically shifts budget from nodes with headroom to nodes whose limit
+// binds. The paper's daemon is exactly the "node-level primitive" such
+// systems need; this package closes the loop above it.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Node couples one simulated machine with its power-delivery daemon.
+type Node struct {
+	Name   string
+	M      *sim.Machine
+	Daemon *daemon.Daemon
+}
+
+// Config parameterises the coordinator.
+type Config struct {
+	// Budget is the total power available to the node set.
+	Budget units.Watts
+
+	// Interval is the reallocation period (default 5 s — coordinators run
+	// slower than node daemons, as in Dynamo's hierarchy).
+	Interval time.Duration
+
+	// FloorFraction is each node's guaranteed share of an equal split
+	// (default 0.5): a node never drops below
+	// FloorFraction * Budget / numNodes, so no node starves while another
+	// hoards.
+	FloorFraction float64
+
+	// BindMargin is how close (fractionally) measured power must sit to a
+	// node's limit for the node to count as constrained and bid for more
+	// (default 0.05).
+	BindMargin float64
+
+	// Weights optionally biases the distribution across nodes (a node
+	// with weight 2 outbids a weight-1 node at equal demand) — the
+	// room-level analogue of the paper's application shares. Nil means
+	// equal weights; otherwise one positive entry per node.
+	Weights []float64
+}
+
+func (c *Config) fill(n int) error {
+	if c.Budget <= 0 {
+		return fmt.Errorf("cluster: budget must be positive")
+	}
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.FloorFraction <= 0 || c.FloorFraction > 1 {
+		c.FloorFraction = 0.5
+	}
+	if c.BindMargin <= 0 {
+		c.BindMargin = 0.05
+	}
+	if n == 0 {
+		return fmt.Errorf("cluster: no nodes")
+	}
+	if c.Weights != nil {
+		if len(c.Weights) != n {
+			return fmt.Errorf("cluster: %d weights for %d nodes", len(c.Weights), n)
+		}
+		for i, w := range c.Weights {
+			if w <= 0 {
+				return fmt.Errorf("cluster: node %d weight %g not positive", i, w)
+			}
+		}
+	}
+	return nil
+}
+
+// weight returns node i's bid multiplier.
+func (c Config) weight(i int) float64 {
+	if c.Weights == nil {
+		return 1
+	}
+	return c.Weights[i]
+}
+
+// Coordinator redistributes a power budget across nodes.
+type Coordinator struct {
+	cfg    Config
+	nodes  []*Node
+	limits []units.Watts
+	moves  int
+}
+
+// New builds a coordinator and programs the initial equal split.
+func New(nodes []*Node, cfg Config) (*Coordinator, error) {
+	if err := cfg.fill(len(nodes)); err != nil {
+		return nil, err
+	}
+	for i, n := range nodes {
+		if n == nil || n.M == nil || n.Daemon == nil {
+			return nil, fmt.Errorf("cluster: node %d incomplete", i)
+		}
+	}
+	var floorSum units.Watts
+	for range nodes {
+		floorSum += cfg.Budget * units.Watts(cfg.FloorFraction) / units.Watts(len(nodes))
+	}
+	if floorSum > cfg.Budget {
+		return nil, fmt.Errorf("cluster: floors %v exceed budget %v", floorSum, cfg.Budget)
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		nodes:  append([]*Node(nil), nodes...),
+		limits: make([]units.Watts, len(nodes)),
+	}
+	equal := cfg.Budget / units.Watts(len(nodes))
+	for i, n := range c.nodes {
+		c.limits[i] = equal
+		if err := n.Daemon.SetLimit(equal); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Limits reports the current per-node limits.
+func (c *Coordinator) Limits() []units.Watts {
+	return append([]units.Watts(nil), c.limits...)
+}
+
+// Reallocations reports how many intervals actually moved budget.
+func (c *Coordinator) Reallocations() int { return c.moves }
+
+// Run advances all nodes in lockstep for a duration of virtual time,
+// reallocating the budget every interval: each node bids its measured
+// power, constrained nodes (power at their limit) bid extra, and the
+// budget is water-filled over the bids above per-node floors — so budget
+// flows from idle nodes to power-hungry ones while every node keeps its
+// floor (min-funding revocation again, one level up).
+func (c *Coordinator) Run(d time.Duration) error {
+	for elapsed := time.Duration(0); elapsed < d; elapsed += c.cfg.Interval {
+		step := c.cfg.Interval
+		if rem := d - elapsed; rem < step {
+			step = rem
+		}
+		for _, n := range c.nodes {
+			n.M.Run(step)
+			if err := n.Daemon.Err(); err != nil {
+				return fmt.Errorf("cluster: node %s: %w", n.Name, err)
+			}
+		}
+		if err := c.reallocate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) reallocate() error {
+	n := len(c.nodes)
+	floor := float64(c.cfg.Budget) * c.cfg.FloorFraction / float64(n)
+	bids := make([]float64, n)
+	caps := make([]float64, n)
+	for i, node := range c.nodes {
+		power := float64(node.M.PackagePower())
+		limit := float64(c.limits[i])
+		bid := power
+		if power >= limit*(1-c.cfg.BindMargin) {
+			// The node is pressed against its limit: bid for growth.
+			bid = limit * 1.25
+		}
+		if bid < floor {
+			bid = floor
+		}
+		bids[i] = bid * c.cfg.weight(i)
+		chipMax := float64(node.M.Chip().RAPLMax)
+		caps[i] = chipMax - floor
+		if caps[i] < 0 {
+			caps[i] = 0
+		}
+	}
+	distributable := float64(c.cfg.Budget) - floor*float64(n)
+	alloc := core.WaterFill(distributable, bids, caps)
+	moved := false
+	for i, node := range c.nodes {
+		newLimit := units.Watts(floor + alloc[i])
+		if diff := newLimit - c.limits[i]; diff > 0.5 || diff < -0.5 {
+			moved = true
+		}
+		c.limits[i] = newLimit
+		if err := node.Daemon.SetLimit(newLimit); err != nil {
+			return fmt.Errorf("cluster: node %s: %w", node.Name, err)
+		}
+	}
+	if moved {
+		c.moves++
+	}
+	return nil
+}
+
+// TotalPower reports the instantaneous power across all nodes.
+func (c *Coordinator) TotalPower() units.Watts {
+	var t units.Watts
+	for _, n := range c.nodes {
+		t += n.M.PackagePower()
+	}
+	return t
+}

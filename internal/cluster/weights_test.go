@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWeightValidation(t *testing.T) {
+	nodes := []*Node{hungry(t, "a"), hungry(t, "b")}
+	if _, err := New(nodes, Config{Budget: 80, Weights: []float64{1}}); err == nil {
+		t.Error("wrong-length weights accepted")
+	}
+	if _, err := New(nodes, Config{Budget: 80, Weights: []float64{1, 0}}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := New(nodes, Config{Budget: 80, Weights: []float64{2, 1}}); err != nil {
+		t.Errorf("valid weights rejected: %v", err)
+	}
+}
+
+// Two identically hungry nodes with 2:1 weights: the heavier node ends with
+// the larger share of the budget.
+func TestWeightsBiasDistribution(t *testing.T) {
+	nodes := []*Node{hungry(t, "heavy"), hungry(t, "light")}
+	c, err := New(nodes, Config{Budget: 80, Weights: []float64{2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(90 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	limits := c.Limits()
+	if limits[0] <= limits[1] {
+		t.Errorf("weighted node limit %v not above unweighted %v", limits[0], limits[1])
+	}
+	// Floors and budget still hold.
+	if limits[1] < 20-0.5 {
+		t.Errorf("light node below floor: %v", limits[1])
+	}
+	if sum := limits[0] + limits[1]; sum > 80+0.5 {
+		t.Errorf("limits sum %v over budget", sum)
+	}
+}
+
+// Three nodes with mixed demand: budget concentrates on the two hungry
+// nodes while the idle one keeps only its floor-ish share.
+func TestThreeNodeMixedDemand(t *testing.T) {
+	nodes := []*Node{hungry(t, "a"), hungry(t, "b"), light(t, "c")}
+	c, err := New(nodes, Config{Budget: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(90 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	limits := c.Limits()
+	if limits[0] <= 40 || limits[1] <= 40 {
+		t.Errorf("hungry nodes did not grow past the equal split: %v", limits)
+	}
+	if limits[2] >= 40 {
+		t.Errorf("light node kept %v, expected to shrink below the equal split", limits[2])
+	}
+	var sum float64
+	for _, l := range limits {
+		sum += float64(l)
+	}
+	if sum > 120.5 {
+		t.Errorf("limits sum %.1f over budget", sum)
+	}
+	if c.TotalPower() > 120*1.05 {
+		t.Errorf("total power %v over budget", c.TotalPower())
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+// WaterFill distributes a non-negative amount across recipients in
+// proportion to their weights, capping each recipient at caps[i] and
+// redistributing the capped recipients' residual share among the rest.
+// This is the min-funding revocation step of the paper's redistribution
+// function [Waldspurger 2002]: once an application saturates (cannot
+// usefully absorb more of the resource), its portion is revoked and
+// re-funded to the remaining applications in share proportion.
+//
+// The returned allocations satisfy 0 <= alloc[i] <= caps[i] and
+// sum(alloc) == min(amount, sum(caps)) up to floating-point error.
+// Recipients with non-positive weight receive nothing. WaterFill panics if
+// the slice lengths differ (programmer error).
+func WaterFill(amount float64, weights, caps []float64) []float64 {
+	if len(weights) != len(caps) {
+		panic("core: WaterFill slice lengths differ")
+	}
+	alloc := make([]float64, len(weights))
+	if amount <= 0 {
+		return alloc
+	}
+	active := make([]bool, len(weights))
+	nActive := 0
+	for i, w := range weights {
+		if w > 0 && caps[i] > 0 {
+			active[i] = true
+			nActive++
+		}
+	}
+	remaining := amount
+	// Each pass either exhausts the amount or saturates at least one
+	// recipient, so the loop runs at most len(weights)+1 times.
+	for remaining > 1e-12 && nActive > 0 {
+		var wsum float64
+		for i, w := range weights {
+			if active[i] {
+				wsum += w
+			}
+		}
+		if wsum <= 0 {
+			break
+		}
+		saturatedThisPass := false
+		// Distribute against a fixed snapshot of remaining so shares are
+		// computed consistently within the pass.
+		pass := remaining
+		for i := range weights {
+			if !active[i] {
+				continue
+			}
+			give := pass * weights[i] / wsum
+			room := caps[i] - alloc[i]
+			if give >= room {
+				give = room
+				active[i] = false
+				nActive--
+				saturatedThisPass = true
+			}
+			alloc[i] += give
+			remaining -= give
+		}
+		if !saturatedThisPass {
+			// Everyone took their full proportional slice: done.
+			break
+		}
+	}
+	return alloc
+}
+
+// shareWeights extracts float weights from app specs.
+func shareWeights(specs []AppSpec) []float64 {
+	w := make([]float64, len(specs))
+	for i, s := range specs {
+		w[i] = float64(s.Shares)
+	}
+	return w
+}

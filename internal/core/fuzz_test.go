@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+// allPolicies builds one instance of every policy over the same app set on
+// the chip.
+func allPolicies(t *testing.T, chip platform.Chip) []Policy {
+	t.Helper()
+	n := chip.NumCores
+	specs := make([]AppSpec, n)
+	for i := 0; i < n; i++ {
+		specs[i] = AppSpec{
+			Name:         "app",
+			Core:         i,
+			Shares:       units.Shares(10 + 10*i),
+			HighPriority: i < n/2,
+			AVX:          i%3 == 0,
+			BaselineIPS:  2e9,
+		}
+	}
+	var out []Policy
+	if p, err := NewFrequencyShares(chip, specs, ShareConfig{}); err == nil {
+		out = append(out, p)
+	} else {
+		t.Fatal(err)
+	}
+	if p, err := NewPerformanceShares(chip, specs, ShareConfig{}); err == nil {
+		out = append(out, p)
+	} else {
+		t.Fatal(err)
+	}
+	if chip.PerCorePower {
+		if p, err := NewPowerShares(chip, specs, ShareConfig{}); err == nil {
+			out = append(out, p)
+		} else {
+			t.Fatal(err)
+		}
+	}
+	if p, err := NewPriority(chip, specs, PriorityConfig{Limit: 40}); err == nil {
+		out = append(out, p)
+	} else {
+		t.Fatal(err)
+	}
+	if p, err := NewPriority(chip, specs, PriorityConfig{Limit: 40, PartialLP: true}); err == nil {
+		out = append(out, p)
+	} else {
+		t.Fatal(err)
+	}
+	if p, err := NewPriorityShares(chip, specs, PriorityConfig{Limit: 40}); err == nil {
+		out = append(out, p)
+	} else {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// randomSnapshot fabricates adversarial telemetry: wild powers, noisy
+// frequencies, occasionally zeroed measurements.
+func randomSnapshot(rng *rand.Rand, chip platform.Chip, n int) Snapshot {
+	s := Snapshot{
+		Limit:        units.Watts(10 + rng.Float64()*90),
+		PackagePower: units.Watts(rng.Float64() * 150),
+		Apps:         make([]AppState, n),
+	}
+	for i := 0; i < n; i++ {
+		st := AppState{
+			Spec: AppSpec{Name: "app", Core: i, Shares: units.Shares(10 + 10*i), BaselineIPS: 2e9},
+		}
+		if rng.Intn(5) != 0 { // 1 in 5 samples are blank (parked core)
+			st.Freq = chip.Freq.Min + units.Hertz(rng.Float64()*float64(chip.Freq.Max()-chip.Freq.Min))
+			st.IPS = rng.Float64() * 4e9
+			st.Power = units.Watts(rng.Float64() * 15)
+		}
+		s.Apps[i] = st
+	}
+	return s
+}
+
+// Every policy, fed arbitrary telemetry, must only ever emit actions for
+// known cores with valid quantised frequencies (or parks) — garbage in,
+// well-formed actuation out.
+func TestAllPoliciesEmitValidActionsUnderFuzz(t *testing.T) {
+	for _, chip := range []platform.Chip{platform.Skylake(), platform.Ryzen()} {
+		rng := rand.New(rand.NewSource(12345))
+		for _, pol := range allPolicies(t, chip) {
+			check := func(actions []Action) {
+				distinct := make(map[units.Hertz]bool)
+				for _, a := range actions {
+					if a.Core < 0 || a.Core >= chip.NumCores {
+						t.Fatalf("%s/%s: action for unknown core %d", chip.Vendor, pol.Name(), a.Core)
+					}
+					if a.Park {
+						continue
+					}
+					if a.Freq < chip.Freq.Min || a.Freq > chip.Freq.Max() {
+						t.Fatalf("%s/%s: frequency %v out of range", chip.Vendor, pol.Name(), a.Freq)
+					}
+					mult := float64(a.Freq) / float64(chip.Freq.Step)
+					if math.Abs(mult-math.Round(mult)) > 1e-6 {
+						t.Fatalf("%s/%s: frequency %v not quantised", chip.Vendor, pol.Name(), a.Freq)
+					}
+					distinct[a.Freq] = true
+				}
+				if k := chip.MaxSimultaneousPStates; k > 0 && len(distinct) > k {
+					t.Fatalf("%s/%s: %d distinct P-states exceed platform limit %d",
+						chip.Vendor, pol.Name(), len(distinct), k)
+				}
+			}
+			check(pol.Initial())
+			for i := 0; i < 300; i++ {
+				check(pol.Update(randomSnapshot(rng, chip, chip.NumCores)))
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/units"
+)
+
+// ClusterPStates reduces a vector of per-core target frequencies to at most
+// k distinct values, implementing the paper's Ryzen "selection utility":
+// the 1700X can hold only three simultaneous P-states, so the daemon must
+// map its per-core targets onto three representative frequencies.
+//
+// The mapping is the optimal contiguous partition of the sorted targets
+// into k groups minimising the total absolute deviation from each group's
+// median (computed by dynamic programming — the input is at most a few
+// dozen cores, so the O(n²k) DP is trivially cheap). Each target is
+// replaced by its group's median, quantised to the chip's step.
+//
+// k <= 0 or k >= the number of distinct targets returns the targets
+// quantised but otherwise unchanged.
+func ClusterPStates(targets []units.Hertz, k int, spec cpu.FreqSpec) []units.Hertz {
+	out := make([]units.Hertz, len(targets))
+	for i, f := range targets {
+		out[i] = spec.Quantize(f)
+	}
+	if k <= 0 || len(out) == 0 {
+		return out
+	}
+	distinct := make(map[units.Hertz]bool)
+	for _, f := range out {
+		distinct[f] = true
+	}
+	if len(distinct) <= k {
+		return out
+	}
+
+	// Sort with original index tracking.
+	type item struct {
+		f   units.Hertz
+		idx int
+	}
+	items := make([]item, len(out))
+	for i, f := range out {
+		items[i] = item{f, i}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].f < items[b].f })
+	n := len(items)
+
+	// cost[i][j]: total absolute deviation of items[i..j] from their median.
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := i; j < n; j++ {
+			med := float64(items[(i+j)/2].f)
+			var c float64
+			for t := i; t <= j; t++ {
+				c += math.Abs(float64(items[t].f) - med)
+			}
+			cost[i][j] = c
+		}
+	}
+
+	// dp[g][j]: min cost partitioning items[0..j] into g+1 groups;
+	// cut[g][j]: start index of the last group.
+	dp := make([][]float64, k)
+	cut := make([][]int, k)
+	for g := range dp {
+		dp[g] = make([]float64, n)
+		cut[g] = make([]int, n)
+		for j := 0; j < n; j++ {
+			if g == 0 {
+				dp[g][j] = cost[0][j]
+				cut[g][j] = 0
+				continue
+			}
+			dp[g][j] = math.Inf(1)
+			for s := g; s <= j; s++ {
+				if c := dp[g-1][s-1] + cost[s][j]; c < dp[g][j] {
+					dp[g][j] = c
+					cut[g][j] = s
+				}
+			}
+		}
+	}
+
+	// Walk the cuts back and assign each group its quantised median.
+	groups := min(k, n)
+	j := n - 1
+	for g := groups - 1; g >= 0; g-- {
+		s := cut[g][j]
+		med := spec.Quantize(items[(s+j)/2].f)
+		for t := s; t <= j; t++ {
+			out[items[t].idx] = med
+		}
+		j = s - 1
+		if j < 0 {
+			break
+		}
+	}
+	return out
+}

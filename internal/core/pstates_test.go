@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+func distinctCount(fs []units.Hertz) int {
+	set := make(map[units.Hertz]bool)
+	for _, f := range fs {
+		set[f] = true
+	}
+	return len(set)
+}
+
+func TestClusterReducesToK(t *testing.T) {
+	spec := platform.Ryzen().Freq
+	targets := []units.Hertz{
+		3400 * units.MHz, 3375 * units.MHz, 2200 * units.MHz, 2150 * units.MHz,
+		900 * units.MHz, 850 * units.MHz, 800 * units.MHz, 3300 * units.MHz,
+	}
+	out := ClusterPStates(targets, 3, spec)
+	if len(out) != len(targets) {
+		t.Fatalf("length changed: %d", len(out))
+	}
+	if got := distinctCount(out); got > 3 {
+		t.Errorf("distinct frequencies = %d, want <= 3", got)
+	}
+	// Natural grouping: the three 3.3-3.4 GHz cores share one value, the two
+	// 2.1-2.2 share another, the three <1 GHz share the third.
+	if out[0] != out[1] || out[0] != out[7] {
+		t.Errorf("high group split: %v %v %v", out[0], out[1], out[7])
+	}
+	if out[2] != out[3] {
+		t.Errorf("mid group split: %v %v", out[2], out[3])
+	}
+	if out[4] != out[5] || out[4] != out[6] {
+		t.Errorf("low group split: %v %v %v", out[4], out[5], out[6])
+	}
+}
+
+func TestClusterIdentityWhenFewDistinct(t *testing.T) {
+	spec := platform.Ryzen().Freq
+	targets := []units.Hertz{3400 * units.MHz, 800 * units.MHz, 3400 * units.MHz}
+	out := ClusterPStates(targets, 3, spec)
+	for i := range targets {
+		if out[i] != targets[i] {
+			t.Errorf("identity violated at %d: %v -> %v", i, targets[i], out[i])
+		}
+	}
+}
+
+func TestClusterPassthroughWhenUnlimited(t *testing.T) {
+	spec := platform.Skylake().Freq
+	targets := []units.Hertz{2250 * units.MHz, 1333 * units.MHz}
+	out := ClusterPStates(targets, 0, spec)
+	// Quantised but not clustered.
+	if out[0] != 2200*units.MHz || out[1] != 1300*units.MHz {
+		t.Errorf("passthrough = %v", out)
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	if out := ClusterPStates(nil, 3, platform.Ryzen().Freq); len(out) != 0 {
+		t.Errorf("empty input gave %v", out)
+	}
+}
+
+// Properties over random inputs: at most k distinct outputs, all valid
+// quantised levels, and order preservation (clustering must not invert the
+// relative order of two cores' frequencies).
+func TestClusterProperties(t *testing.T) {
+	spec := platform.Ryzen().Freq
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		targets := make([]units.Hertz, n)
+		for i := range targets {
+			targets[i] = spec.Min + units.Hertz(rng.Float64()*float64(spec.Max()-spec.Min))
+		}
+		out := ClusterPStates(targets, 3, spec)
+		if distinctCount(out) > 3 {
+			return false
+		}
+		for i := range out {
+			if out[i] < spec.Min || out[i] > spec.Max() {
+				return false
+			}
+			if out[i] != spec.Quantize(out[i]) {
+				return false
+			}
+			for j := range out {
+				if targets[i] < targets[j] && out[i] > out[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The representative must sit within its group's range: no core should move
+// by more than the span of the whole input.
+func TestClusterRepresentativeWithinRange(t *testing.T) {
+	spec := platform.Ryzen().Freq
+	targets := []units.Hertz{3 * units.GHz, 1 * units.GHz, 2 * units.GHz, 2100 * units.MHz}
+	out := ClusterPStates(targets, 2, spec)
+	for i, f := range out {
+		if f < 1*units.GHz-spec.Step || f > 3*units.GHz+spec.Step {
+			t.Errorf("core %d moved outside input range: %v", i, f)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+// ShareConfig tunes the proportional-share control loops.
+type ShareConfig struct {
+	// Deadband is the fraction of the power limit within which the loop
+	// holds still rather than redistributing (default 2%). Without it the
+	// α-model's residual error causes ceaseless one-step churn.
+	Deadband float64
+
+	// Gain scales the α-model's step (default 1.0, the paper's naïve
+	// model).
+	Gain float64
+}
+
+func (c *ShareConfig) fill() {
+	if c.Deadband <= 0 {
+		c.Deadband = 0.02
+	}
+	if c.Gain <= 0 {
+		c.Gain = 1.0
+	}
+}
+
+// shareBase carries the state common to the three share policies.
+type shareBase struct {
+	chip  platform.Chip
+	specs []AppSpec
+	cfg   ShareConfig
+}
+
+func newShareBase(chip platform.Chip, specs []AppSpec, cfg ShareConfig) (shareBase, error) {
+	if err := chip.Validate(); err != nil {
+		return shareBase{}, fmt.Errorf("core: %w", err)
+	}
+	if err := validateSpecs(specs, true); err != nil {
+		return shareBase{}, err
+	}
+	for _, s := range specs {
+		if s.Core >= chip.NumCores {
+			return shareBase{}, fmt.Errorf("core: app %s pinned to core %d beyond chip's %d cores",
+				s.Name, s.Core, chip.NumCores)
+		}
+	}
+	cfg.fill()
+	return shareBase{chip: chip, specs: append([]AppSpec(nil), specs...), cfg: cfg}, nil
+}
+
+// ceiling returns the highest frequency app i can reach given that all
+// managed applications keep their cores busy, honouring a per-app useful-
+// frequency cap (Section 4.4) when the spec carries one.
+func (b *shareBase) ceiling(i int) units.Hertz {
+	c := b.chip.Freq.Ceiling(len(b.specs), b.specs[i].AVX)
+	if mf := b.specs[i].MaxFreq; mf > 0 && mf < c {
+		if mf < b.chip.Freq.Min {
+			return b.chip.Freq.Min
+		}
+		return b.chip.Freq.Quantize(mf)
+	}
+	return c
+}
+
+// maxShare returns the largest share weight among the managed apps.
+func (b *shareBase) maxShare() units.Shares {
+	var m units.Shares
+	for _, s := range b.specs {
+		if s.Shares > m {
+			m = s.Shares
+		}
+	}
+	return m
+}
+
+// withinDeadband reports whether the measured power is close enough to the
+// limit that no redistribution should happen.
+func (b *shareBase) withinDeadband(s Snapshot) bool {
+	gap := float64(s.Limit - s.PackagePower)
+	if gap < 0 {
+		gap = -gap
+	}
+	return gap <= b.cfg.Deadband*float64(s.Limit)
+}
+
+// alpha computes the paper's conversion factor α = PowerDelta/MaxPower.
+func (b *shareBase) alpha(s Snapshot) float64 {
+	return b.cfg.Gain * float64(s.Limit-s.PackagePower) / float64(b.chip.RAPLMax)
+}
+
+// translate converts per-app frequency targets into actions, quantising and
+// applying the platform's simultaneous-P-state constraint (Ryzen's 3).
+func (b *shareBase) translate(freqs []units.Hertz) []Action {
+	fs := ClusterPStates(freqs, b.chip.MaxSimultaneousPStates, b.chip.Freq)
+	actions := make([]Action, len(b.specs))
+	for i, s := range b.specs {
+		actions[i] = Action{Core: s.Core, Freq: fs[i]}
+	}
+	return actions
+}
+
+// stateFor finds the snapshot entry for the app pinned to core, or nil.
+func stateFor(s Snapshot, core int) *AppState {
+	for i := range s.Apps {
+		if s.Apps[i].Spec.Core == core {
+			return &s.Apps[i]
+		}
+	}
+	return nil
+}
+
+// FrequencyShares distributes *frequency* proportionally to shares
+// (Section 5.2, "Frequency Shares"): the policy the paper finds simplest
+// and most stable. It needs only package power measurements and per-core
+// DVFS.
+//
+// Per-application frequency limits derive from a single water level:
+// target_i = clamp(level · MaxFreq · sᵢ/s_max, MinFreq, ceilingᵢ). The
+// redistribution function converts the power gap into a frequency budget
+// with the paper's α model and moves the level so the total target
+// frequency absorbs the budget — min-funding revocation falls out of the
+// clamping (see solveLevel).
+type FrequencyShares struct {
+	shareBase
+	level   float64
+	targets []units.Hertz
+}
+
+// NewFrequencyShares builds the policy for the chip and application set.
+func NewFrequencyShares(chip platform.Chip, specs []AppSpec, cfg ShareConfig) (*FrequencyShares, error) {
+	b, err := newShareBase(chip, specs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FrequencyShares{shareBase: b}, nil
+}
+
+// Name implements Policy.
+func (p *FrequencyShares) Name() string { return "frequency-shares" }
+
+// Targets exposes the current per-app frequency limits (for tests and
+// reports).
+func (p *FrequencyShares) Targets() []units.Hertz {
+	return append([]units.Hertz(nil), p.targets...)
+}
+
+func (p *FrequencyShares) bounds() (bases, lo, hi []float64) {
+	maxShare := p.maxShare()
+	n := len(p.specs)
+	bases = make([]float64, n)
+	lo = make([]float64, n)
+	hi = make([]float64, n)
+	for i, s := range p.specs {
+		bases[i] = float64(p.chip.Freq.Max()) * s.Shares.Fraction(maxShare)
+		lo[i] = float64(p.chip.Freq.Min)
+		hi[i] = float64(p.ceiling(i))
+	}
+	return bases, lo, hi
+}
+
+func (p *FrequencyShares) materialize(bases, lo, hi []float64) {
+	ts := applyLevel(p.level, bases, lo, hi)
+	p.targets = make([]units.Hertz, len(ts))
+	for i, t := range ts {
+		p.targets[i] = units.Hertz(t)
+	}
+}
+
+// Initial implements Policy: the highest-share application starts at the
+// maximum frequency and the others at their share proportions of it
+// (level 1).
+func (p *FrequencyShares) Initial() []Action {
+	p.level = 1
+	bases, lo, hi := p.bounds()
+	p.materialize(bases, lo, hi)
+	return p.translate(p.targets)
+}
+
+// Update implements Policy: it converts the power gap into a frequency
+// budget with the α model and moves the water level to absorb it.
+func (p *FrequencyShares) Update(s Snapshot) []Action {
+	if p.targets == nil {
+		p.Initial()
+	}
+	if p.withinDeadband(s) {
+		return nil
+	}
+	bases, lo, hi := p.bounds()
+	freqDelta := p.alpha(s) * float64(p.chip.Freq.Max()) * float64(len(p.specs))
+	var cur float64
+	for _, t := range p.targets {
+		cur += float64(t)
+	}
+	p.level = solveLevel(bases, lo, hi, cur+freqDelta)
+	p.materialize(bases, lo, hi)
+	return p.translate(p.targets)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/units"
+)
+
+// UsefulFrequency implements the measurement side of the paper's
+// Section 4.4 refinement: some applications "perform no faster when run at
+// higher frequencies" (memory-bound code — the saturating curves of
+// Figure 2), so policies should grant them the highest *useful* frequency
+// rather than the highest possible one, freeing power for everyone else.
+// Hardware support such as Intel's HWP "can help identify this point"; this
+// is the software equivalent over two telemetry samples.
+//
+// Given two IPS measurements of the same application at two distinct
+// frequencies, it fits the two-parameter latency model
+//
+//	seconds/instruction = cpi/f + stall
+//
+// and returns the highest frequency at which the application's *frequency
+// elasticity* — the fraction of its time that actually scales with the
+// clock, (cpi/f) / (cpi/f + stall) — is still at least threshold. Above
+// that point, most added cycles are spent waiting on memory. A threshold
+// of 0.5 (the default for threshold <= 0) caps at f = cpi/stall, where
+// exactly half the time responds to frequency. Core-bound applications
+// (stall ≈ 0) get the chip maximum back; strongly memory-bound ones get a
+// low cap. An error is returned when the measurements cannot identify the
+// model (equal frequencies, non-positive IPS, or non-monotone samples).
+func UsefulFrequency(fLo units.Hertz, ipsLo float64, fHi units.Hertz, ipsHi float64,
+	spec cpu.FreqSpec, threshold float64) (units.Hertz, error) {
+
+	if fLo <= 0 || fHi <= 0 || fLo == fHi {
+		return 0, fmt.Errorf("core: useful frequency needs two distinct positive frequencies")
+	}
+	if ipsLo <= 0 || ipsHi <= 0 {
+		return 0, fmt.Errorf("core: useful frequency needs positive IPS samples")
+	}
+	if fLo > fHi {
+		fLo, fHi = fHi, fLo
+		ipsLo, ipsHi = ipsHi, ipsLo
+	}
+	if ipsHi < ipsLo {
+		return 0, fmt.Errorf("core: IPS decreased with frequency; samples unusable")
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	if threshold >= 1 {
+		return spec.Max(), nil
+	}
+	// Fit 1/ips = cpi/f + stall through the two samples.
+	tLo, tHi := 1/ipsLo, 1/ipsHi
+	cpi := (tLo - tHi) / (1/float64(fLo) - 1/float64(fHi))
+	stall := tHi - cpi/float64(fHi)
+	if cpi < 0 {
+		return 0, fmt.Errorf("core: fitted negative CPI; samples unusable")
+	}
+	if stall <= 0 {
+		return spec.Max(), nil
+	}
+	// Elasticity e(f) = (cpi/f)/(cpi/f + stall) falls with f; solve
+	// e(f*) = threshold.
+	fUseful := units.Hertz(cpi * (1 - threshold) / (threshold * stall))
+	if fUseful >= spec.Max() {
+		return spec.Max(), nil
+	}
+	if fUseful < spec.Min {
+		return spec.Min, nil
+	}
+	return spec.Quantize(fUseful), nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestUsefulFrequencyMemoryBound(t *testing.T) {
+	spec := platform.Skylake().Freq
+	lbm := workload.MustByName("lbm")
+	fLo, fHi := 1*units.GHz, 2*units.GHz
+	got, err := UsefulFrequency(fLo, lbm.IPS(fLo), fHi, lbm.IPS(fHi), spec, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lbm saturates hard: at the default elasticity threshold its useful
+	// frequency is cpi/stall = 0.9/0.55e-9 ≈ 1.64 GHz, far below max.
+	if got >= 2*units.GHz {
+		t.Errorf("lbm useful frequency = %v, want well below max", got)
+	}
+	if got < spec.Min {
+		t.Errorf("useful frequency %v below chip minimum", got)
+	}
+	// The cap marks the half-elastic point: above it, less than half of
+	// additional cycles buy performance.
+	elasticity := (lbm.BaseCPI / float64(got)) / (lbm.BaseCPI/float64(got) + lbm.MemStall)
+	if elasticity < 0.48 || elasticity > 0.56 {
+		t.Errorf("elasticity at cap = %.3f, want ~0.5", elasticity)
+	}
+}
+
+func TestUsefulFrequencyCoreBound(t *testing.T) {
+	spec := platform.Skylake().Freq
+	exch := workload.MustByName("exchange2")
+	fLo, fHi := 1*units.GHz, 2*units.GHz
+	got, err := UsefulFrequency(fLo, exch.IPS(fLo), fHi, exch.IPS(fHi), spec, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core-bound code keeps benefiting all the way up.
+	if got != spec.Max() {
+		t.Errorf("exchange2 useful frequency = %v, want max", got)
+	}
+	// A threshold of 1 short-circuits to max.
+	if f, err := UsefulFrequency(fLo, exch.IPS(fLo), fHi, exch.IPS(fHi), spec, 1.5); err != nil || f != spec.Max() {
+		t.Errorf("threshold>=1 gave %v, %v", f, err)
+	}
+}
+
+func TestUsefulFrequencyErrors(t *testing.T) {
+	spec := platform.Skylake().Freq
+	if _, err := UsefulFrequency(1*units.GHz, 1e9, 1*units.GHz, 2e9, spec, 0.5); err == nil {
+		t.Error("equal frequencies accepted")
+	}
+	if _, err := UsefulFrequency(1*units.GHz, 0, 2*units.GHz, 1e9, spec, 0.5); err == nil {
+		t.Error("zero IPS accepted")
+	}
+	if _, err := UsefulFrequency(1*units.GHz, 2e9, 2*units.GHz, 1e9, spec, 0.5); err == nil {
+		t.Error("decreasing IPS accepted")
+	}
+}
+
+func TestUsefulFrequencySwappedArgsAgree(t *testing.T) {
+	spec := platform.Skylake().Freq
+	lbm := workload.MustByName("lbm")
+	a, err := UsefulFrequency(1*units.GHz, lbm.IPS(1*units.GHz), 2*units.GHz, lbm.IPS(2*units.GHz), spec, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UsefulFrequency(2*units.GHz, lbm.IPS(2*units.GHz), 1*units.GHz, lbm.IPS(1*units.GHz), spec, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("order dependence: %v vs %v", a, b)
+	}
+}
+
+// A MaxFreq cap on a spec must bind the share policy's ceiling.
+func TestSpecMaxFreqCapsCeiling(t *testing.T) {
+	chip := platform.Skylake()
+	specs := []AppSpec{
+		{Name: "lbm", Core: 0, Shares: 50, AVX: true, MaxFreq: 1200 * units.MHz},
+		{Name: "exchange2", Core: 1, Shares: 50},
+	}
+	p, err := NewFrequencyShares(chip, specs, ShareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions := p.Initial()
+	if f := freqOf(actions, 0); f > 1200*units.MHz {
+		t.Errorf("capped app initialised at %v", f)
+	}
+	// Hammer with surplus power: the capped app must never exceed its cap.
+	for i := 0; i < 50; i++ {
+		actions = p.Update(Snapshot{Limit: 85, PackagePower: 30})
+		if f := freqOf(actions, 0); f > 1200*units.MHz {
+			t.Fatalf("cap violated: %v", f)
+		}
+	}
+	if f := freqOf(actions, 1); f <= 1200*units.MHz {
+		t.Errorf("uncapped app stuck at %v", f)
+	}
+}
+
+// A cap below the chip minimum clamps to the minimum rather than panicking
+// or underflowing.
+func TestSpecMaxFreqBelowMin(t *testing.T) {
+	chip := platform.Skylake()
+	specs := []AppSpec{
+		{Name: "a", Core: 0, Shares: 50, MaxFreq: 100 * units.MHz},
+		{Name: "b", Core: 1, Shares: 50},
+	}
+	p, err := NewFrequencyShares(chip, specs, ShareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions := p.Initial()
+	if f := freqOf(actions, 0); f != chip.Freq.Min {
+		t.Errorf("sub-minimum cap gave %v, want chip minimum", f)
+	}
+}

@@ -1,0 +1,208 @@
+// Package cpu models the per-core frequency machinery of a modern x86
+// processor: discrete P-states, per-core DVFS with vendor-specific
+// quantisation, opportunistic scaling (TurboBoost / Precision Boost + XFR)
+// granted by active-core count, AVX frequency licences, C-state idling, and
+// the architectural counters (APERF, MPERF, instructions retired, energy)
+// that supervisory software samples.
+//
+// A Core holds only *requests* and *counters*; the effective frequency each
+// instant is resolved by FreqSpec.Effective from the request, the power
+// limiter's clamp, the AVX licence, and the turbo grant — mirroring how real
+// hardware arbitrates between the OS's P-state request and its own limits.
+package cpu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// TurboBin is one row of a turbo table: with at most MaxActive cores in C0,
+// cores may run up to Normal (non-AVX) or AVX (AVX licence) frequency.
+type TurboBin struct {
+	MaxActive int
+	Normal    units.Hertz
+	AVX       units.Hertz
+}
+
+// FreqSpec describes a chip's frequency domain.
+type FreqSpec struct {
+	Min  units.Hertz // lowest P-state frequency
+	Nom  units.Hertz // nominal (guaranteed all-core, non-AVX) frequency
+	Step units.Hertz // P-state quantisation (100 MHz Intel, 25 MHz Ryzen)
+
+	// Turbo is the opportunistic-scaling table, sorted by ascending
+	// MaxActive. The last bin must cover the full core count; its Normal
+	// value is the all-core ceiling. An empty table disables turbo: the
+	// ceiling is Nom at any occupancy.
+	Turbo []TurboBin
+}
+
+// Validate reports whether the spec is well-formed.
+func (s FreqSpec) Validate() error {
+	if !(s.Min > 0 && s.Min < s.Nom) {
+		return fmt.Errorf("cpu: Min %v must be positive and below Nom %v", s.Min, s.Nom)
+	}
+	if s.Step <= 0 {
+		return fmt.Errorf("cpu: Step must be positive, got %v", s.Step)
+	}
+	prev := 0
+	for i, b := range s.Turbo {
+		if b.MaxActive <= prev {
+			return fmt.Errorf("cpu: turbo bin %d not ascending by MaxActive", i)
+		}
+		prev = b.MaxActive
+		if b.Normal < s.Nom {
+			return fmt.Errorf("cpu: turbo bin %d normal ceiling %v below nominal %v", i, b.Normal, s.Nom)
+		}
+		if b.AVX <= 0 || b.AVX > b.Normal {
+			return fmt.Errorf("cpu: turbo bin %d AVX ceiling %v invalid", i, b.AVX)
+		}
+	}
+	return nil
+}
+
+// Max returns the chip's absolute maximum frequency (the single-core turbo
+// ceiling), or Nom without a turbo table.
+func (s FreqSpec) Max() units.Hertz {
+	if len(s.Turbo) == 0 {
+		return s.Nom
+	}
+	return s.Turbo[0].Normal
+}
+
+// Ceiling returns the highest frequency grantable with activeCores cores in
+// C0, for AVX or non-AVX code. Occupancy beyond the last bin uses the last
+// bin (hardware treats the table as saturating).
+func (s FreqSpec) Ceiling(activeCores int, avx bool) units.Hertz {
+	if len(s.Turbo) == 0 {
+		return s.Nom
+	}
+	bin := s.Turbo[len(s.Turbo)-1]
+	for _, b := range s.Turbo {
+		if activeCores <= b.MaxActive {
+			bin = b
+			break
+		}
+	}
+	if avx {
+		return bin.AVX
+	}
+	return bin.Normal
+}
+
+// Quantize snaps f to a valid P-state frequency within [Min, Max].
+func (s FreqSpec) Quantize(f units.Hertz) units.Hertz {
+	return f.Clamp(s.Min, s.Max()).Quantize(s.Step)
+}
+
+// Levels enumerates every valid frequency from Min to Max inclusive.
+func (s FreqSpec) Levels() []units.Hertz {
+	var out []units.Hertz
+	for f := s.Min; f <= s.Max()+s.Step/2; f += s.Step {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Effective resolves the frequency a core actually runs at: the minimum of
+// its P-state request, the power limiter's clamp, the AVX licence, and the
+// turbo grant for the current occupancy — floored at Min and quantised.
+// This is the paper's observation stack: RAPL clamps, AVX licences cap
+// (cam4's 1667 MHz vs gcc's 2360 MHz in Figure 1), and turbo headroom
+// appears only at low occupancy.
+func (s FreqSpec) Effective(request, clamp units.Hertz, activeCores int, avx bool) units.Hertz {
+	f := request
+	if clamp > 0 && clamp < f {
+		f = clamp
+	}
+	if c := s.Ceiling(activeCores, avx); c < f {
+		f = c
+	}
+	return s.Quantize(f)
+}
+
+// Core is one hardware thread's control state and counters. The zero value
+// is not ready to use; call NewCore.
+type Core struct {
+	ID int
+
+	// Request is the OS-requested P-state frequency (IA32_PERF_CTL).
+	Request units.Hertz
+
+	// Clamp is the power limiter's per-core frequency ceiling; zero means
+	// unclamped.
+	Clamp units.Hertz
+
+	// Idle parks the core in a deep C-state: it executes nothing and
+	// draws only residual power.
+	Idle bool
+
+	// Architectural counters, monotonically increasing.
+	aperf  float64      // cycles accumulated at effective frequency while in C0
+	mperf  float64      // cycles at nominal frequency while in C0
+	instr  float64      // instructions retired
+	energy units.Joules // core energy (per-core RAPL domain)
+	c0Time time.Duration
+}
+
+// NewCore returns a core with the given ID requesting frequency f.
+func NewCore(id int, f units.Hertz) *Core {
+	return &Core{ID: id, Request: f}
+}
+
+// Account charges one simulation step to the core's counters: the core ran
+// at eff (0 if idle) for dt at nominal frequency nom, retiring instr
+// instructions and consuming energy.
+func (c *Core) Account(eff, nom units.Hertz, dt time.Duration, instr float64, energy units.Joules) {
+	if dt <= 0 {
+		return
+	}
+	if !c.Idle && eff > 0 {
+		c.aperf += eff.Cycles(dt)
+		c.mperf += nom.Cycles(dt)
+		c.c0Time += dt
+	}
+	c.instr += instr
+	c.energy += energy
+}
+
+// Counters is a snapshot of a core's architectural counters.
+type Counters struct {
+	APERF  float64
+	MPERF  float64
+	Instr  float64
+	Energy units.Joules
+	C0Time time.Duration
+}
+
+// Counters returns the core's current counter snapshot.
+func (c *Core) Counters() Counters {
+	return Counters{APERF: c.aperf, MPERF: c.mperf, Instr: c.instr, Energy: c.energy, C0Time: c.c0Time}
+}
+
+// ActiveFreq derives the average active (C0) frequency between two counter
+// snapshots, the way turbostat does: nom * ΔAPERF/ΔMPERF. It reports zero
+// if the core never entered C0 in the interval.
+func ActiveFreq(prev, cur Counters, nom units.Hertz) units.Hertz {
+	dm := cur.MPERF - prev.MPERF
+	if dm <= 0 {
+		return 0
+	}
+	return nom * units.Hertz((cur.APERF-prev.APERF)/dm)
+}
+
+// IPSBetween derives instructions per second between two snapshots over dt.
+func IPSBetween(prev, cur Counters, dt time.Duration) float64 {
+	s := dt.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return (cur.Instr - prev.Instr) / s
+}
+
+// PowerBetween derives average power between two snapshots over dt.
+func PowerBetween(prev, cur Counters, dt time.Duration) units.Watts {
+	return (cur.Energy - prev.Energy).Power(dt)
+}

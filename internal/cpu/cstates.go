@@ -1,0 +1,68 @@
+package cpu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// CState describes one core idle state (the paper's Section 2.1 "Core
+// Idling"): deeper states draw less residual power but "take longer to
+// enter and exit (1-200 µs)", so entering one only pays off when the core
+// will stay idle past its target residency.
+type CState struct {
+	Name string
+
+	// Power is the core's residual draw while resident in the state.
+	Power units.Watts
+
+	// ExitLatency is the wake cost: time after an interrupt during which
+	// the core burns active power but retires nothing.
+	ExitLatency time.Duration
+
+	// TargetResidency is the minimum idle length for which entering the
+	// state is worthwhile (Linux cpuidle's target_residency).
+	TargetResidency time.Duration
+}
+
+// ValidateCStates checks a table ordered shallow to deep: power strictly
+// decreasing, latencies and residencies non-decreasing.
+func ValidateCStates(table []CState) error {
+	for i, s := range table {
+		if s.Name == "" {
+			return fmt.Errorf("cpu: C-state %d has no name", i)
+		}
+		if s.Power < 0 || s.ExitLatency < 0 || s.TargetResidency < 0 {
+			return fmt.Errorf("cpu: C-state %s has negative parameter", s.Name)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := table[i-1]
+		if s.Power >= prev.Power {
+			return fmt.Errorf("cpu: C-state %s power %v not below %s's %v",
+				s.Name, s.Power, prev.Name, prev.Power)
+		}
+		if s.ExitLatency < prev.ExitLatency || s.TargetResidency < prev.TargetResidency {
+			return fmt.Errorf("cpu: C-state %s latencies regress below %s", s.Name, prev.Name)
+		}
+	}
+	return nil
+}
+
+// SelectCState picks the deepest state whose target residency fits the
+// predicted idle length — the menu-governor decision. It returns the index
+// into the table, or -1 for an empty table.
+func SelectCState(table []CState, predictedIdle time.Duration) int {
+	best := -1
+	for i, s := range table {
+		if s.TargetResidency <= predictedIdle {
+			best = i
+		}
+	}
+	if best < 0 && len(table) > 0 {
+		best = 0 // too short for anything: shallowest state
+	}
+	return best
+}

@@ -1,0 +1,63 @@
+package cpu
+
+import (
+	"testing"
+	"time"
+)
+
+func testTable() []CState {
+	return []CState{
+		{Name: "C1", Power: 0.8, ExitLatency: 2 * time.Microsecond, TargetResidency: 5 * time.Microsecond},
+		{Name: "C1E", Power: 0.4, ExitLatency: 10 * time.Microsecond, TargetResidency: 25 * time.Microsecond},
+		{Name: "C6", Power: 0.1, ExitLatency: 133 * time.Microsecond, TargetResidency: 400 * time.Microsecond},
+	}
+}
+
+func TestValidateCStates(t *testing.T) {
+	if err := ValidateCStates(testTable()); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	if err := ValidateCStates(nil); err != nil {
+		t.Errorf("empty table rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]CState)
+	}{
+		{"unnamed", func(tb []CState) { tb[1].Name = "" }},
+		{"negative power", func(tb []CState) { tb[0].Power = -1 }},
+		{"power not decreasing", func(tb []CState) { tb[2].Power = 0.9 }},
+		{"latency regress", func(tb []CState) { tb[2].ExitLatency = time.Microsecond }},
+		{"residency regress", func(tb []CState) { tb[2].TargetResidency = time.Microsecond }},
+	}
+	for _, c := range cases {
+		tb := testTable()
+		c.mut(tb)
+		if err := ValidateCStates(tb); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestSelectCState(t *testing.T) {
+	tb := testTable()
+	cases := []struct {
+		idle time.Duration
+		want int
+	}{
+		{0, 0},                     // too short for anything: shallowest
+		{3 * time.Microsecond, 0},  // below C1's target still picks C1
+		{10 * time.Microsecond, 0}, // C1 fits, C1E does not
+		{30 * time.Microsecond, 1}, // C1E fits
+		{time.Millisecond, 2},      // C6 fits
+		{time.Hour, 2},             // saturates at the deepest
+	}
+	for _, c := range cases {
+		if got := SelectCState(tb, c.idle); got != c.want {
+			t.Errorf("SelectCState(%v) = %d, want %d", c.idle, got, c.want)
+		}
+	}
+	if got := SelectCState(nil, time.Second); got != -1 {
+		t.Errorf("empty table select = %d, want -1", got)
+	}
+}

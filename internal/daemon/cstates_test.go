@@ -1,0 +1,54 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// The paper's Section 2.1 synergy: "core idling, even when there are jobs
+// waiting to execute, can be useful to provide more power... to high
+// priority tasks running on the remaining active cores." When the priority
+// policy starves the LP class, the parked cores must descend into the
+// deepest C-state so the freed power is real.
+func TestStarvedCoresReachDeepIdle(t *testing.T) {
+	chip := platform.Skylake()
+	names := []string{"cactusBSSN", "cactusBSSN", "cactusBSSN",
+		"leela", "leela", "leela", "leela", "leela", "leela", "leela"}
+	hp := []bool{true, true, true, false, false, false, false, false, false, false}
+	m := buildMachine(t, chip, names)
+	specs := specsFor(names, nil, hp)
+	pol, err := core.NewPriority(chip, specs, core.PriorityConfig{Limit: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 40},
+		m.Device(), MachineActuator{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachVirtual(m); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(30 * time.Second)
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	deepest := len(chip.CStates) - 1
+	for i := 3; i < 10; i++ {
+		if !d.Parked(i) {
+			t.Fatalf("LP core %d not starved", i)
+		}
+		if got := m.CurrentCState(i); got != deepest {
+			t.Errorf("starved core %d in C-state %d, want deepest %d", i, got, deepest)
+		}
+	}
+	// HP cores are active: no C-state.
+	for i := 0; i < 3; i++ {
+		if got := m.CurrentCState(i); got != -1 {
+			t.Errorf("HP core %d reports C-state %d", i, got)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package daemon implements the paper's userspace control daemon
+// (Section 5): every control interval (1 second in the paper) it samples
+// processor statistics — package (and, on Ryzen, per-core) power, retired
+// instructions, and actual frequency — through the MSR device, hands the
+// snapshot to the configured policy, and actuates the returned per-core
+// P-state requests and park decisions.
+//
+// The daemon runs in two modes. Virtual mode attaches to a sim.Machine's
+// tick hook and fires on virtual time — deterministic, used by all
+// experiments. Real-time mode runs on a wall-clock ticker against any
+// msr.Device (including the file-backed one) and records per-iteration
+// scheduling jitter, making control-loop disturbances (GC pauses, scheduler
+// noise — the known risk for a Go control loop) observable.
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msr"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// Actuator applies policy actions to the machine.
+type Actuator interface {
+	// SetFreq programs a core's P-state request.
+	SetFreq(core int, f units.Hertz) error
+	// Park forces a core into (or out of) a deep C-state.
+	Park(core int, parked bool) error
+}
+
+// MachineActuator actuates a simulated machine: P-state requests go through
+// the PERF_CTL MSR (the same path the real daemon uses) and park decisions
+// through the machine's C-state control.
+type MachineActuator struct {
+	M *sim.Machine
+}
+
+// SetFreq implements Actuator via an MSR write.
+func (a MachineActuator) SetFreq(core int, f units.Hertz) error {
+	return a.M.Device().Write(core, msr.IA32PerfCtl, msr.EncodePerfCtl(f, a.M.Chip().Freq.Step))
+}
+
+// Park implements Actuator via C-state control.
+func (a MachineActuator) Park(core int, parked bool) error {
+	if !parked && a.M.Idle(core) && a.M.App(core) == nil {
+		return nil // nothing to wake
+	}
+	if parked == a.M.Idle(core) {
+		return nil
+	}
+	return a.M.SetIdle(core, parked)
+}
+
+// MSRActuator actuates through a bare MSR device (e.g. the file-backed
+// tree). Parking has no MSR, so Park fails; policies that starve require a
+// richer actuator.
+type MSRActuator struct {
+	Dev  msr.Device
+	Step units.Hertz
+}
+
+// SetFreq implements Actuator.
+func (a MSRActuator) SetFreq(core int, f units.Hertz) error {
+	return a.Dev.Write(core, msr.IA32PerfCtl, msr.EncodePerfCtl(f, a.Step))
+}
+
+// Park implements Actuator by failing: C-states are not reachable through
+// the P-state MSRs.
+func (a MSRActuator) Park(core int, parked bool) error {
+	if !parked {
+		return nil
+	}
+	return fmt.Errorf("daemon: MSR actuator cannot park core %d", core)
+}
+
+// Config assembles a daemon.
+type Config struct {
+	Chip     platform.Chip
+	Policy   core.Policy
+	Apps     []core.AppSpec
+	Limit    units.Watts   // package power limit the policy enforces
+	Interval time.Duration // control interval; default 1 s (the paper's)
+
+	// OnSnapshot, when set, observes every control interval's snapshot
+	// after the policy has been applied — the hook time-series recorders
+	// (e.g. the stability study) attach to.
+	OnSnapshot func(core.Snapshot)
+}
+
+// Daemon is the control loop.
+type Daemon struct {
+	cfg     Config
+	dev     msr.Device
+	act     Actuator
+	sampler *telemetry.Sampler
+
+	parked     map[int]bool
+	iterations int
+	last       core.Snapshot
+	started    bool
+	acc        time.Duration
+	hookErr    error
+	jitter     []float64 // seconds of lateness per real-time iteration
+}
+
+// New builds a daemon over an MSR device and actuator.
+func New(cfg Config, dev msr.Device, act Actuator) (*Daemon, error) {
+	if err := cfg.Chip.Validate(); err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("daemon: no policy")
+	}
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("daemon: no applications")
+	}
+	if cfg.Limit <= 0 {
+		return nil, fmt.Errorf("daemon: power limit must be positive")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	sampler, err := telemetry.NewSampler(dev, cfg.Chip.NumCores, cfg.Chip.Freq.Nom, cfg.Chip.PerCorePower)
+	if err != nil {
+		return nil, err
+	}
+	return &Daemon{
+		cfg:     cfg,
+		dev:     dev,
+		act:     act,
+		sampler: sampler,
+		parked:  make(map[int]bool),
+	}, nil
+}
+
+// Start applies the policy's initial distribution and primes the sampler.
+func (d *Daemon) Start() error {
+	if d.started {
+		return fmt.Errorf("daemon: already started")
+	}
+	if err := d.apply(d.cfg.Policy.Initial()); err != nil {
+		return err
+	}
+	if err := d.sampler.Prime(); err != nil {
+		return err
+	}
+	d.started = true
+	return nil
+}
+
+// apply actuates a batch of policy actions.
+func (d *Daemon) apply(actions []core.Action) error {
+	for _, a := range actions {
+		if a.Park {
+			if err := d.act.Park(a.Core, true); err != nil {
+				return fmt.Errorf("daemon: parking core %d: %w", a.Core, err)
+			}
+			d.parked[a.Core] = true
+			continue
+		}
+		if d.parked[a.Core] {
+			if err := d.act.Park(a.Core, false); err != nil {
+				return fmt.Errorf("daemon: waking core %d: %w", a.Core, err)
+			}
+			d.parked[a.Core] = false
+		}
+		if err := d.act.SetFreq(a.Core, a.Freq); err != nil {
+			return fmt.Errorf("daemon: setting core %d to %v: %w", a.Core, a.Freq, err)
+		}
+	}
+	return nil
+}
+
+// RunIteration performs one control interval of length dt: sample,
+// policy update, actuate.
+func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
+	if !d.started {
+		return core.Snapshot{}, fmt.Errorf("daemon: RunIteration before Start")
+	}
+	sample, err := d.sampler.Sample(dt)
+	if err != nil {
+		return core.Snapshot{}, err
+	}
+	snap := core.Snapshot{
+		Time:         sample.At,
+		Limit:        d.cfg.Limit,
+		PackagePower: sample.PackagePower,
+		Apps:         make([]core.AppState, len(d.cfg.Apps)),
+	}
+	for i, spec := range d.cfg.Apps {
+		cs := sample.Cores[spec.Core]
+		snap.Apps[i] = core.AppState{
+			Spec:   spec,
+			Freq:   cs.ActiveFreq,
+			IPS:    cs.IPS,
+			Power:  cs.Power,
+			Parked: d.parked[spec.Core],
+		}
+	}
+	if err := d.apply(d.cfg.Policy.Update(snap)); err != nil {
+		return snap, err
+	}
+	d.iterations++
+	d.last = snap
+	if d.cfg.OnSnapshot != nil {
+		d.cfg.OnSnapshot(snap)
+	}
+	return snap, nil
+}
+
+// SetLimit changes the power limit the daemon enforces from the next
+// control interval on. Cluster-level coordinators (which redistribute a
+// machine-room budget across node daemons) call this at their own cadence.
+func (d *Daemon) SetLimit(w units.Watts) error {
+	if w <= 0 {
+		return fmt.Errorf("daemon: power limit must be positive, got %v", w)
+	}
+	d.cfg.Limit = w
+	return nil
+}
+
+// Limit reports the currently enforced power limit.
+func (d *Daemon) Limit() units.Watts { return d.cfg.Limit }
+
+// Iterations reports completed control intervals.
+func (d *Daemon) Iterations() int { return d.iterations }
+
+// LastSnapshot returns the most recent snapshot.
+func (d *Daemon) LastSnapshot() core.Snapshot { return d.last }
+
+// Parked reports whether the daemon last left the core parked.
+func (d *Daemon) Parked(core int) bool { return d.parked[core] }
+
+// Err returns the first error raised inside the virtual-time hook, if any.
+func (d *Daemon) Err() error { return d.hookErr }
+
+// AttachVirtual starts the daemon and registers it on the machine's tick
+// hook so one control iteration fires per configured interval of virtual
+// time. Errors inside the hook stop further iterations and surface via
+// Err.
+func (d *Daemon) AttachVirtual(m *sim.Machine) error {
+	if err := d.Start(); err != nil {
+		return err
+	}
+	m.OnTick(func(dt time.Duration) {
+		if d.hookErr != nil {
+			return
+		}
+		d.acc += dt
+		if d.acc < d.cfg.Interval {
+			return
+		}
+		if _, err := d.RunIteration(d.acc); err != nil {
+			d.hookErr = err
+		}
+		d.acc = 0
+	})
+	return nil
+}
+
+// RunRealtime runs the control loop on a wall-clock ticker for the given
+// number of iterations or until the context is cancelled, recording
+// per-iteration lateness. The daemon must not already be attached to a
+// virtual machine.
+func (d *Daemon) RunRealtime(ctx context.Context, iterations int) error {
+	if err := d.Start(); err != nil {
+		return err
+	}
+	ticker := time.NewTicker(d.cfg.Interval)
+	defer ticker.Stop()
+	prev := time.Now()
+	for i := 0; i < iterations; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case now := <-ticker.C:
+			actual := now.Sub(prev)
+			prev = now
+			late := (actual - d.cfg.Interval).Seconds()
+			if late < 0 {
+				late = 0
+			}
+			d.jitter = append(d.jitter, late)
+			if _, err := d.RunIteration(actual); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JitterStats summarises real-time loop lateness in seconds.
+type JitterStats struct {
+	Samples int
+	Mean    float64
+	Max     float64
+	P99     float64
+}
+
+// Jitter reports the lateness distribution observed by RunRealtime.
+func (d *Daemon) Jitter() JitterStats {
+	return JitterStats{
+		Samples: len(d.jitter),
+		Mean:    stats.Mean(d.jitter),
+		Max:     stats.Max(d.jitter),
+		P99:     stats.Percentile(d.jitter, 99),
+	}
+}

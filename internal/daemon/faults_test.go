@@ -1,0 +1,124 @@
+package daemon
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msr"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+// flakyDevice wraps an MSR device and fails reads after a countdown,
+// injecting the kind of fault a hot-unplugged or permission-lost
+// /dev/cpu/N/msr produces mid-run.
+type flakyDevice struct {
+	inner     msr.Device
+	failAfter int // reads remaining before failure
+}
+
+func (f *flakyDevice) Read(cpu int, reg uint32) (uint64, error) {
+	if f.failAfter <= 0 {
+		return 0, fmt.Errorf("injected: msr read failure")
+	}
+	f.failAfter--
+	return f.inner.Read(cpu, reg)
+}
+
+func (f *flakyDevice) Write(cpu int, reg uint32, val uint64) error {
+	return f.inner.Write(cpu, reg, val)
+}
+
+// failingActuator rejects every actuation.
+type failingActuator struct{}
+
+func (failingActuator) SetFreq(int, units.Hertz) error {
+	return fmt.Errorf("injected: actuator failure")
+}
+func (failingActuator) Park(int, bool) error {
+	return fmt.Errorf("injected: park failure")
+}
+
+func flakySetup(t *testing.T, dev msr.Device, act Actuator) *Daemon {
+	t.Helper()
+	chip := platform.Skylake()
+	specs := specsFor([]string{"gcc", "leela"}, []units.Shares{60, 40}, nil)
+	pol, err := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 50}, dev, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSamplerFaultSurfacesFromRunIteration(t *testing.T) {
+	chip := platform.Skylake()
+	m := buildMachine(t, chip, []string{"gcc", "leela"})
+	flaky := &flakyDevice{inner: m.Device(), failAfter: 1000}
+	d := flakySetup(t, flaky, MachineActuator{m})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn down the budget: eventually an iteration must surface the
+	// injected error rather than panic or fabricate data.
+	var sawErr bool
+	for i := 0; i < 100; i++ {
+		m.Run(time.Second)
+		if _, err := d.RunIteration(time.Second); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("injected MSR fault never surfaced")
+	}
+}
+
+func TestSamplerFaultStopsVirtualHook(t *testing.T) {
+	chip := platform.Skylake()
+	m := buildMachine(t, chip, []string{"gcc", "leela"})
+	flaky := &flakyDevice{inner: m.Device(), failAfter: 200}
+	d := flakySetup(t, flaky, MachineActuator{m})
+	if err := d.AttachVirtual(m); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(60 * time.Second)
+	if d.Err() == nil {
+		t.Fatal("hook error not recorded")
+	}
+	after := d.Iterations()
+	m.Run(10 * time.Second)
+	if d.Iterations() != after {
+		t.Error("iterations continued after a fatal hook error")
+	}
+}
+
+func TestActuatorFaultSurfacesFromStart(t *testing.T) {
+	chip := platform.Skylake()
+	m := buildMachine(t, chip, []string{"gcc", "leela"})
+	d := flakySetup(t, m.Device(), failingActuator{})
+	if err := d.Start(); err == nil {
+		t.Fatal("failing actuator accepted at Start")
+	}
+}
+
+func TestConstructionFailsWhenPowerUnitUnreadable(t *testing.T) {
+	chip := platform.Skylake()
+	m := buildMachine(t, chip, []string{"gcc", "leela"})
+	// Fail immediately: even the sampler's constructor read is rejected.
+	flaky := &flakyDevice{inner: m.Device(), failAfter: 0}
+	specs := specsFor([]string{"gcc", "leela"}, []units.Shares{60, 40}, nil)
+	pol, err := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 50},
+		flaky, MachineActuator{m}); err == nil {
+		t.Fatal("unreadable power unit accepted")
+	}
+}

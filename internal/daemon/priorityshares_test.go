@@ -1,0 +1,55 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+// Closed loop for the Section 5.1 composition: priority classes with
+// within-class shares. At 30 W even the two HP apps contend, so their
+// 90/30 share ordering must show in delivered frequency while the LP class
+// starves; power stays at the limit.
+func TestPrioritySharesClosedLoop(t *testing.T) {
+	chip := platform.Skylake()
+	names := []string{"cactusBSSN", "leela", "cactusBSSN", "cactusBSSN",
+		"leela", "leela", "cactusBSSN", "leela", "cactusBSSN", "leela"}
+	m := buildMachine(t, chip, names)
+	specs := specsFor(names,
+		[]units.Shares{90, 30, 50, 50, 50, 50, 50, 50, 50, 50},
+		[]bool{true, true, false, false, false, false, false, false, false, false})
+	pol, err := core.NewPriorityShares(chip, specs, core.PriorityConfig{Limit: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 30},
+		m.Device(), MachineActuator{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachVirtual(m); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(90 * time.Second)
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.LastSnapshot()
+	if snap.PackagePower > 30*1.05 {
+		t.Errorf("package %v over the 30 W limit", snap.PackagePower)
+	}
+	// Within-HP share differentiation survives the closed loop.
+	if snap.Apps[0].Freq <= snap.Apps[1].Freq {
+		t.Errorf("HP share ordering lost: %v vs %v", snap.Apps[0].Freq, snap.Apps[1].Freq)
+	}
+	// Whatever LP state results, parked cores must be consistent between
+	// the daemon and the machine.
+	for i := 2; i < 10; i++ {
+		if d.Parked(i) != m.Idle(i) {
+			t.Errorf("core %d park state diverged", i)
+		}
+	}
+}

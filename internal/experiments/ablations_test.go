@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+func TestAblationClusteringShape(t *testing.T) {
+	res, err := AblationClustering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The real chip holds at most 3 distinct frequencies.
+	if res.DistinctConstrained > 3 {
+		t.Errorf("constrained run used %d distinct P-states", res.DistinctConstrained)
+	}
+	// The unconstrained chip differentiates more finely.
+	if res.DistinctFree <= res.DistinctConstrained {
+		t.Errorf("free run used %d distinct P-states, constrained %d",
+			res.DistinctFree, res.DistinctConstrained)
+	}
+	// Clustering costs some share-tracking fidelity but not a lot.
+	if res.ShareErrConstrained < res.ShareErrFree-1e-9 {
+		t.Errorf("clustering somehow tracked better: %.4f vs %.4f",
+			res.ShareErrConstrained, res.ShareErrFree)
+	}
+	if res.ShareErrConstrained > 0.10 {
+		t.Errorf("clustering share error %.3f implausibly large", res.ShareErrConstrained)
+	}
+	if res.MeanAbsDiff < 0 {
+		t.Errorf("negative mean abs diff")
+	}
+}
+
+func TestAblationIntervalShape(t *testing.T) {
+	res, err := AblationInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.SettleTime == 0 {
+			t.Errorf("interval %v never settled (final %v)", row.Interval, row.FinalPower)
+		}
+		if row.FinalPower > 40*1.06 {
+			t.Errorf("interval %v final power %v above limit", row.Interval, row.FinalPower)
+		}
+	}
+	// Faster control intervals settle at least as fast (virtual time).
+	slowest := res.Rows[0] // 1 s
+	fastest := res.Rows[2] // 100 ms
+	if fastest.SettleTime > slowest.SettleTime {
+		t.Errorf("100 ms interval settled in %v, slower than 1 s interval's %v",
+			fastest.SettleTime, slowest.SettleTime)
+	}
+	// And run proportionally more iterations.
+	if fastest.Iterations <= slowest.Iterations {
+		t.Errorf("iteration counts inconsistent: %d vs %d", fastest.Iterations, slowest.Iterations)
+	}
+}

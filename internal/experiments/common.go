@@ -1,0 +1,395 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sections 1, 3 and 6). Each FigureN function builds the
+// workload mix the paper describes, runs it on the simulated platform under
+// the corresponding mechanism or policy, and returns the measured series;
+// the result types render to text tables matching the figure's axes. The
+// index in DESIGN.md maps each experiment to its modules and bench target.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// CoreMeasure is one core's averages over a measurement window.
+type CoreMeasure struct {
+	MeanFreq units.Hertz
+	IPS      float64
+	Power    units.Watts
+}
+
+// Measure is a machine-wide measurement window.
+type Measure struct {
+	Duration     time.Duration
+	PackagePower units.Watts
+	Cores        []CoreMeasure
+}
+
+// Meter accumulates per-core activity between Begin and Measure calls. It
+// must be created before the machine runs (it hooks the tick stream).
+type Meter struct {
+	m       *sim.Machine
+	active  bool
+	begun   bool
+	ticks   int
+	freqSum []float64
+	at0     time.Duration
+	instr0  []float64
+	energy0 []units.Joules
+	pkg0    units.Joules
+}
+
+// NewMeter attaches a meter to the machine.
+func NewMeter(m *sim.Machine) *Meter {
+	n := m.Chip().NumCores
+	mt := &Meter{
+		m:       m,
+		freqSum: make([]float64, n),
+		instr0:  make([]float64, n),
+		energy0: make([]units.Joules, n),
+	}
+	m.OnTick(func(dt time.Duration) {
+		if !mt.active {
+			return
+		}
+		mt.ticks++
+		for i := 0; i < n; i++ {
+			mt.freqSum[i] += float64(m.EffectiveFreq(i))
+		}
+	})
+	return mt
+}
+
+// Begin starts a measurement window at the machine's current time.
+func (mt *Meter) Begin() {
+	mt.begun = true
+	mt.active = true
+	mt.ticks = 0
+	mt.at0 = mt.m.Now()
+	mt.pkg0 = mt.m.PackageEnergy()
+	for i := range mt.freqSum {
+		mt.freqSum[i] = 0
+		mt.instr0[i] = mt.m.Counters(i).Instr
+		mt.energy0[i] = mt.m.CoreEnergy(i)
+	}
+}
+
+// Measure closes the window and returns the averages. A meter that never
+// began returns a zero Measure.
+func (mt *Meter) Measure() Measure {
+	mt.active = false
+	if !mt.begun {
+		return Measure{Cores: make([]CoreMeasure, len(mt.freqSum))}
+	}
+	d := mt.m.Now() - mt.at0
+	sec := d.Seconds()
+	out := Measure{
+		Duration: d,
+		Cores:    make([]CoreMeasure, len(mt.freqSum)),
+	}
+	if sec <= 0 {
+		return out
+	}
+	out.PackagePower = (mt.m.PackageEnergy() - mt.pkg0).Power(d)
+	for i := range mt.freqSum {
+		cm := CoreMeasure{
+			IPS:   (mt.m.Counters(i).Instr - mt.instr0[i]) / sec,
+			Power: (mt.m.CoreEnergy(i) - mt.energy0[i]).Power(d),
+		}
+		if mt.ticks > 0 {
+			cm.MeanFreq = units.Hertz(mt.freqSum[i] / float64(mt.ticks))
+		}
+		out.Cores[i] = cm
+	}
+	return out
+}
+
+// PolicyKind selects the mechanism or policy of a run.
+type PolicyKind string
+
+// The mechanisms and policies the experiments compare.
+const (
+	RAPL        PolicyKind = "rapl"
+	FreqShares  PolicyKind = "frequency-shares"
+	PerfShares  PolicyKind = "performance-shares"
+	PowerShares PolicyKind = "power-shares"
+	PriorityPol PolicyKind = "priority"
+)
+
+// RunConfig describes one co-location run.
+type RunConfig struct {
+	Chip      platform.Chip
+	Names     []string           // one profile name per occupied core, in core order
+	Profiles  []workload.Profile // optional: explicit profiles overriding name lookup
+	Shares    []units.Shares     // share policies; nil otherwise
+	HP        []bool             // priority policy; nil otherwise
+	MaxFreqs  []units.Hertz      // optional per-app useful-frequency caps (Section 4.4)
+	Baselines []float64          // optional explicit standalone baselines (per app)
+	Policy    PolicyKind
+	Limit     units.Watts
+	Warmup    time.Duration // default 40 s
+	Window    time.Duration // default 20 s
+	Tick      time.Duration // default 1 ms
+}
+
+// profiles resolves the run's workload profiles, preferring the explicit
+// list over name lookup.
+func (c RunConfig) profiles() ([]workload.Profile, error) {
+	if c.Profiles != nil {
+		if len(c.Profiles) != len(c.Names) {
+			return nil, fmt.Errorf("experiments: %d profiles for %d names", len(c.Profiles), len(c.Names))
+		}
+		return c.Profiles, nil
+	}
+	out := make([]workload.Profile, len(c.Names))
+	for i, n := range c.Names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+func (c *RunConfig) fill() {
+	if c.Warmup <= 0 {
+		c.Warmup = 40 * time.Second
+	}
+	if c.Window <= 0 {
+		c.Window = 20 * time.Second
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+}
+
+// RunResult is one run's measurements.
+type RunResult struct {
+	Measure
+	Parked []bool               // per occupied core: starved at the end of the run
+	Apps   []*workload.Instance // the pinned instances, in core order
+}
+
+// Run executes one co-location run and measures the steady-state window.
+func Run(cfg RunConfig) (RunResult, error) {
+	cfg.fill()
+	if cfg.Policy == RAPL {
+		m, apps, err := buildPinned(cfg)
+		if err != nil {
+			return RunResult{}, err
+		}
+		for i := range cfg.Names {
+			if err := m.SetRequest(i, cfg.Chip.Freq.Max()); err != nil {
+				return RunResult{}, err
+			}
+		}
+		m.SetPowerLimit(cfg.Limit)
+		return measureSteady(cfg, m, apps, nil)
+	}
+	specs, err := buildSpecs(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	pol, err := buildPolicy(cfg, specs)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return runWithPolicy(cfg, specs, pol)
+}
+
+// runWithPolicy executes a run under an explicitly constructed policy —
+// used by Run and by studies that need policy options the generic builder
+// does not expose (e.g. partial LP starvation).
+func runWithPolicy(cfg RunConfig, specs []core.AppSpec, pol core.Policy) (RunResult, error) {
+	cfg.fill()
+	m, apps, err := buildPinned(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	dmn, err := daemon.New(daemon.Config{
+		Chip: cfg.Chip, Policy: pol, Apps: specs, Limit: cfg.Limit,
+	}, m.Device(), daemon.MachineActuator{M: m})
+	if err != nil {
+		return RunResult{}, err
+	}
+	if err := dmn.AttachVirtual(m); err != nil {
+		return RunResult{}, err
+	}
+	return measureSteady(cfg, m, apps, dmn)
+}
+
+// buildPinned constructs the machine and pins the configured workloads.
+func buildPinned(cfg RunConfig) (*sim.Machine, []*workload.Instance, error) {
+	if len(cfg.Names) == 0 || len(cfg.Names) > cfg.Chip.NumCores {
+		return nil, nil, fmt.Errorf("experiments: %d apps on a %d-core chip", len(cfg.Names), cfg.Chip.NumCores)
+	}
+	m, err := sim.New(cfg.Chip, sim.WithTick(cfg.Tick))
+	if err != nil {
+		return nil, nil, err
+	}
+	profiles, err := cfg.profiles()
+	if err != nil {
+		return nil, nil, err
+	}
+	apps := make([]*workload.Instance, len(cfg.Names))
+	for i := range cfg.Names {
+		apps[i] = workload.NewInstance(profiles[i])
+		if err := m.Pin(apps[i], i); err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, apps, nil
+}
+
+// measureSteady runs the warmup and measurement window and packages the
+// result.
+func measureSteady(cfg RunConfig, m *sim.Machine, apps []*workload.Instance, dmn *daemon.Daemon) (RunResult, error) {
+	meter := NewMeter(m)
+	m.Run(cfg.Warmup)
+	meter.Begin()
+	m.Run(cfg.Window)
+	if dmn != nil {
+		if err := dmn.Err(); err != nil {
+			return RunResult{}, err
+		}
+	}
+	res := RunResult{
+		Measure: meter.Measure(),
+		Parked:  make([]bool, len(cfg.Names)),
+		Apps:    apps,
+	}
+	for i := range cfg.Names {
+		res.Parked[i] = m.Idle(i)
+	}
+	return res, nil
+}
+
+// buildSpecs assembles policy app specs from a run config.
+func buildSpecs(cfg RunConfig) ([]core.AppSpec, error) {
+	profiles, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]core.AppSpec, len(cfg.Names))
+	for i := range cfg.Names {
+		p := profiles[i]
+		specs[i] = core.AppSpec{
+			Name: cfg.Names[i],
+			Core: i,
+			AVX:  p.AVX,
+		}
+		if cfg.Shares != nil {
+			specs[i].Shares = cfg.Shares[i]
+		}
+		if cfg.HP != nil {
+			specs[i].HighPriority = cfg.HP[i]
+		}
+		if cfg.MaxFreqs != nil {
+			specs[i].MaxFreq = cfg.MaxFreqs[i]
+		}
+		if cfg.Policy == PerfShares {
+			if cfg.Baselines != nil {
+				specs[i].BaselineIPS = cfg.Baselines[i]
+			} else {
+				specs[i].BaselineIPS = StandaloneIPS(cfg.Chip, p.Name)
+			}
+		}
+	}
+	return specs, nil
+}
+
+// buildPolicy constructs the requested policy.
+func buildPolicy(cfg RunConfig, specs []core.AppSpec) (core.Policy, error) {
+	switch cfg.Policy {
+	case FreqShares:
+		return core.NewFrequencyShares(cfg.Chip, specs, core.ShareConfig{})
+	case PerfShares:
+		return core.NewPerformanceShares(cfg.Chip, specs, core.ShareConfig{})
+	case PowerShares:
+		return core.NewPowerShares(cfg.Chip, specs, core.ShareConfig{})
+	case PriorityPol:
+		return core.NewPriority(cfg.Chip, specs, core.PriorityConfig{Limit: cfg.Limit})
+	}
+	return nil, fmt.Errorf("experiments: unknown policy %q", cfg.Policy)
+}
+
+// baselineKey caches standalone measurements per chip and profile.
+type baselineKey struct {
+	chip string
+	app  string
+}
+
+var (
+	baselineMu    sync.Mutex
+	baselineCache = make(map[baselineKey]float64)
+)
+
+// StandaloneIPS measures (once, then caches) an application's standalone
+// performance: one copy alone on the chip with no power limit, the paper's
+// offline baseline for performance shares and for "standalone at 85 W"
+// normalisation. Single-core occupancy grants full turbo, as on the real
+// machines.
+func StandaloneIPS(chip platform.Chip, name string) float64 {
+	key := baselineKey{chip.Name, name}
+	baselineMu.Lock()
+	if v, ok := baselineCache[key]; ok {
+		baselineMu.Unlock()
+		return v
+	}
+	baselineMu.Unlock()
+
+	m, err := sim.New(chip, sim.WithTick(time.Millisecond))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: standalone baseline: %v", err))
+	}
+	p, err := workload.ByName(name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: standalone baseline: %v", err))
+	}
+	in := workload.NewInstance(p)
+	if err := m.Pin(in, 0); err != nil {
+		panic(fmt.Sprintf("experiments: standalone baseline: %v", err))
+	}
+	if err := m.SetRequest(0, chip.Freq.Max()); err != nil {
+		panic(fmt.Sprintf("experiments: standalone baseline: %v", err))
+	}
+	meter := NewMeter(m)
+	m.Run(2 * time.Second)
+	meter.Begin()
+	m.Run(8 * time.Second)
+	ips := meter.Measure().Cores[0].IPS
+
+	baselineMu.Lock()
+	baselineCache[key] = ips
+	baselineMu.Unlock()
+	return ips
+}
+
+// classMeans averages a measurement over the cores for which sel is true.
+func classMeans(res RunResult, sel func(i int) bool) (freq units.Hertz, ips float64, power units.Watts, n int) {
+	for i := range res.Apps {
+		if !sel(i) {
+			continue
+		}
+		cm := res.Cores[i]
+		freq += cm.MeanFreq
+		ips += cm.IPS
+		power += cm.Power
+		n++
+	}
+	if n > 0 {
+		freq /= units.Hertz(n)
+		ips /= float64(n)
+		power /= units.Watts(n)
+	}
+	return freq, ips, power, n
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// The Section 4.4 trade: starve-all hands HP the turbo headroom (HP runs
+// faster, LP gets nothing); partial starvation runs some LP applications at
+// the cost of HP turbo. Both hold the limit.
+func TestConsolidationStudyShape(t *testing.T) {
+	res, err := ConsolidationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	starve, partial := res.Cells[0], res.Cells[1]
+	if starve.Variant != "starve-all" || partial.Variant != "partial" {
+		t.Fatalf("variant order: %+v", res.Cells)
+	}
+	// The paper's implementation starves every LP app at 40 W with 3 HP.
+	if starve.LPActive != 0 || starve.LPNorm > 0.01 {
+		t.Errorf("starve-all left LP running: %+v", starve)
+	}
+	// Partial mode runs a good chunk of the LP class with real progress.
+	if partial.LPActive < 3 {
+		t.Errorf("partial mode ran only %d LP apps", partial.LPActive)
+	}
+	if partial.LPNorm <= 0.01 {
+		t.Errorf("partial LP norm = %.3f, want progress", partial.LPNorm)
+	}
+	// The turbo trade: running LP raises occupancy past the 2-core turbo
+	// bin, so partial HP runs slower than starve-all HP.
+	if partial.HPFreq >= starve.HPFreq {
+		t.Errorf("partial HP %v not below starve-all HP %v", partial.HPFreq, starve.HPFreq)
+	}
+	// Aggregate useful work still favours partial: 2·HPnorm + 8·LPnorm.
+	starveTotal := 2*starve.HPNorm + 8*starve.LPNorm
+	partialTotal := 2*partial.HPNorm + 8*partial.LPNorm
+	if partialTotal <= starveTotal {
+		t.Errorf("partial aggregate %.3f not above starve-all %.3f", partialTotal, starveTotal)
+	}
+	// Both respect the limit.
+	for _, c := range res.Cells {
+		if c.Package > 40*1.05 {
+			t.Errorf("%s: package %v over 40 W", c.Variant, c.Package)
+		}
+	}
+}

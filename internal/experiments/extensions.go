@@ -1,0 +1,202 @@
+package experiments
+
+// Extension studies: the paper's Section 4.4 and Section 8 discussion
+// points, quantified on the simulated platforms.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// UsefulFreqResult quantifies the Section 4.4 refinement: capping
+// memory-bound applications at their highest *useful* frequency saves
+// package power at a small throughput cost, because cycles above the cap
+// were mostly spent waiting on memory.
+type UsefulFreqResult struct {
+	Cap           units.Hertz // the useful-frequency cap applied to the memory-bound class
+	UncappedPower units.Watts
+	CappedPower   units.Watts
+	UncappedIPS   float64 // total instruction throughput
+	CappedIPS     float64
+	MemBoundNorm  float64 // memory-bound class normalised perf with the cap
+	CoreBoundFreq units.Hertz
+}
+
+// PowerSaving reports the fractional package power reduction.
+func (r UsefulFreqResult) PowerSaving() float64 {
+	if r.UncappedPower <= 0 {
+		return 0
+	}
+	return 1 - float64(r.CappedPower/r.UncappedPower)
+}
+
+// ThroughputLoss reports the fractional total-IPS reduction.
+func (r UsefulFreqResult) ThroughputLoss() float64 {
+	if r.UncappedIPS <= 0 {
+		return 0
+	}
+	return 1 - r.CappedIPS/r.UncappedIPS
+}
+
+// UsefulFreqStudy runs five copies of omnetpp (memory-bound) beside five of
+// povray (core-bound) under frequency shares with ample power (85 W), with
+// and without a useful-frequency cap on omnetpp derived from two IPS
+// samples via core.UsefulFrequency. With surplus power the uncapped policy
+// is work-conserving and burns cycles on memory stalls; the cap converts
+// them into package power savings.
+func UsefulFreqStudy() (UsefulFreqResult, error) {
+	chip := platform.Skylake()
+	names := []string{"omnetpp", "omnetpp", "omnetpp", "omnetpp", "omnetpp",
+		"povray", "povray", "povray", "povray", "povray"}
+	shares := []units.Shares{50, 50, 50, 50, 50, 50, 50, 50, 50, 50}
+
+	// Derive the cap from two telemetry-style samples of omnetpp.
+	omnetpp := workload.MustByName("omnetpp")
+	fLo, fHi := 1200*units.MHz, 2200*units.MHz
+	cap, err := core.UsefulFrequency(fLo, omnetpp.IPS(fLo), fHi, omnetpp.IPS(fHi), chip.Freq, 0.6)
+	if err != nil {
+		return UsefulFreqResult{}, err
+	}
+
+	run := func(caps []units.Hertz) (RunResult, error) {
+		return Run(RunConfig{
+			Chip: chip, Names: names, Shares: shares, MaxFreqs: caps,
+			Policy: FreqShares, Limit: 85,
+			Warmup: 30 * time.Second, Window: 15 * time.Second,
+		})
+	}
+	uncapped, err := run(nil)
+	if err != nil {
+		return UsefulFreqResult{}, err
+	}
+	caps := make([]units.Hertz, len(names))
+	for i := 0; i < 5; i++ {
+		caps[i] = cap
+	}
+	capped, err := run(caps)
+	if err != nil {
+		return UsefulFreqResult{}, err
+	}
+
+	total := func(r RunResult) float64 {
+		var t float64
+		for _, c := range r.Cores[:len(names)] {
+			t += c.IPS
+		}
+		return t
+	}
+	res := UsefulFreqResult{
+		Cap:           cap,
+		UncappedPower: uncapped.PackagePower,
+		CappedPower:   capped.PackagePower,
+		UncappedIPS:   total(uncapped),
+		CappedIPS:     total(capped),
+		MemBoundNorm:  normMean(chip, names[:5], capped, 0),
+	}
+	cbF, _, _, _ := classMeans(capped, func(i int) bool { return i >= 5 })
+	res.CoreBoundFreq = cbF
+	return res, nil
+}
+
+// Tables renders the study.
+func (r UsefulFreqResult) Tables() []trace.Table {
+	t := trace.Table{
+		Title:  "Useful-frequency study (Section 4.4): omnetpp capped at its half-elastic point, 85 W",
+		Header: []string{"variant", "pkg W", "total GIPS", "power saving", "throughput loss"},
+	}
+	t.AddRow("uncapped", trace.W(r.UncappedPower), trace.F(r.UncappedIPS/1e9, 2), "-", "-")
+	t.AddRow(fmt.Sprintf("capped @ %s", r.Cap), trace.W(r.CappedPower), trace.F(r.CappedIPS/1e9, 2),
+		trace.Pct(r.PowerSaving()), trace.Pct(r.ThroughputLoss()))
+	return []trace.Table{t}
+}
+
+// GamingResult quantifies the Section 8 game-ability discussion: an
+// application deflates its measured IPS (inserting stalls) so the
+// performance-share policy believes it is underserved and grants it extra
+// frequency — hurting honest co-runners. The paper's soundness criterion is
+// that the gaming step costs the gamer more useful work than the allocation
+// gains it; frequency shares are immune by construction.
+type GamingResult struct {
+	Policy PolicyKind
+
+	HonestCoRunnerNorm float64 // honest co-runners' perf facing an honest peer
+	GamedCoRunnerNorm  float64 // honest co-runners' perf facing the gamer
+	HonestSelfIPS      float64 // the would-be gamer's useful IPS playing honestly
+	GamedSelfIPS       float64 // its useful IPS while gaming
+	HonestFreq         units.Hertz
+	GamedFreq          units.Hertz // frequency the gamer extracts
+}
+
+// GamingStudy runs the scenario under the given policy (PerfShares shows
+// the vulnerability; FreqShares shows immunity).
+func GamingStudy(kind PolicyKind) (GamingResult, error) {
+	chip := platform.Skylake()
+	honest := workload.MustByName("leela")
+	gamer := honest
+	gamer.Name = "leela-gamed"
+	// The gaming step: padding memory stalls quadruples the stall term,
+	// deflating measured IPS while genuinely slowing real work.
+	gamer.MemStall *= 4
+
+	names := []string{"g", "g", "g", "g", "g", "h", "h", "h", "h", "h"}
+	shares := make([]units.Shares, 10)
+	for i := range shares {
+		shares[i] = 50
+	}
+	base := StandaloneIPS(chip, "leela")
+	baselines := make([]float64, 10)
+	for i := range baselines {
+		baselines[i] = base // the gamer's baseline was measured pre-gaming
+	}
+	run := func(first workload.Profile) (RunResult, error) {
+		profiles := make([]workload.Profile, 10)
+		for i := range profiles {
+			if i < 5 {
+				profiles[i] = first
+			} else {
+				profiles[i] = honest
+			}
+		}
+		return Run(RunConfig{
+			Chip: chip, Names: names, Profiles: profiles, Shares: shares,
+			Baselines: baselines, Policy: kind, Limit: 50,
+			Warmup: 40 * time.Second, Window: 20 * time.Second,
+		})
+	}
+	honestRun, err := run(honest)
+	if err != nil {
+		return GamingResult{}, err
+	}
+	gamedRun, err := run(gamer)
+	if err != nil {
+		return GamingResult{}, err
+	}
+	res := GamingResult{Policy: kind}
+	hF, hIPS, _, _ := classMeans(honestRun, func(i int) bool { return i < 5 })
+	_, hCoIPS, _, _ := classMeans(honestRun, func(i int) bool { return i >= 5 })
+	gF, gIPS, _, _ := classMeans(gamedRun, func(i int) bool { return i < 5 })
+	_, gCoIPS, _, _ := classMeans(gamedRun, func(i int) bool { return i >= 5 })
+	res.HonestFreq, res.GamedFreq = hF, gF
+	res.HonestSelfIPS, res.GamedSelfIPS = hIPS, gIPS
+	res.HonestCoRunnerNorm = hCoIPS / base
+	res.GamedCoRunnerNorm = gCoIPS / base
+	return res, nil
+}
+
+// Tables renders the study.
+func (r GamingResult) Tables() []trace.Table {
+	t := trace.Table{
+		Title:  "Game-ability study (Section 8) under " + string(r.Policy) + ", 50 W",
+		Header: []string{"metric", "honest", "gaming"},
+	}
+	t.AddRow("gamer frequency (MHz)", trace.Hz(r.HonestFreq), trace.Hz(r.GamedFreq))
+	t.AddRow("gamer useful GIPS", trace.F(r.HonestSelfIPS/1e9, 3), trace.F(r.GamedSelfIPS/1e9, 3))
+	t.AddRow("co-runner norm perf", trace.F(r.HonestCoRunnerNorm, 3), trace.F(r.GamedCoRunnerNorm, 3))
+	return []trace.Table{t}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import "testing"
+
+// Section 4.4: capping the memory-bound class at its useful frequency must
+// buy a package power saving several times larger than the total
+// throughput loss, while leaving the core-bound class at full speed.
+func TestUsefulFreqStudyShape(t *testing.T) {
+	res, err := UsefulFreqStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cap <= 0 || res.Cap >= 2500*1e6 {
+		t.Errorf("cap = %v, want a binding cap below the all-core ceiling", res.Cap)
+	}
+	saving := res.PowerSaving()
+	loss := res.ThroughputLoss()
+	if saving <= 0 {
+		t.Fatalf("no power saving: %+v", res)
+	}
+	if loss < 0 {
+		t.Fatalf("negative throughput loss: %+v", res)
+	}
+	if saving < 3*loss {
+		t.Errorf("saving %.1f%% not >= 3x loss %.1f%%", saving*100, loss*100)
+	}
+	// The core-bound class keeps its ceiling.
+	if res.CoreBoundFreq < 2400*1e6 {
+		t.Errorf("core-bound class throttled to %v", res.CoreBoundFreq)
+	}
+}
+
+// Section 8: under performance shares, deflating measured IPS extracts
+// extra frequency and hurts honest co-runners, but the stalls cost the
+// gamer at least as much useful work as the allocation gains it.
+func TestGamingStudyPerfShares(t *testing.T) {
+	res, err := GamingStudy(PerfShares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gamer extracts extra frequency...
+	if res.GamedFreq <= res.HonestFreq {
+		t.Errorf("gaming extracted no frequency: %v vs %v", res.GamedFreq, res.HonestFreq)
+	}
+	// ...which hurts the honest co-runners...
+	if res.GamedCoRunnerNorm >= res.HonestCoRunnerNorm {
+		t.Errorf("co-runners unharmed: %.3f vs %.3f", res.GamedCoRunnerNorm, res.HonestCoRunnerNorm)
+	}
+	// ...but does not net the gamer more useful work (the paper's
+	// soundness criterion holds for this gaming step).
+	if res.GamedSelfIPS > res.HonestSelfIPS*1.02 {
+		t.Errorf("gaming was profitable: %.3g vs %.3g useful IPS", res.GamedSelfIPS, res.HonestSelfIPS)
+	}
+}
+
+// Frequency shares are immune: the allocation ignores IPS, so the gamer
+// gains no frequency and only hurts itself.
+func TestGamingStudyFreqSharesImmune(t *testing.T) {
+	res, err := GamingStudy(FreqShares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := float64(res.GamedFreq - res.HonestFreq)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 100e6 {
+		t.Errorf("frequency shares moved with gaming: %v vs %v", res.GamedFreq, res.HonestFreq)
+	}
+	if res.GamedSelfIPS >= res.HonestSelfIPS {
+		t.Errorf("gaming should only hurt the gamer under freq shares: %.3g vs %.3g",
+			res.GamedSelfIPS, res.HonestSelfIPS)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Figure1Row is one power limit's outcome in the motivating experiment.
+type Figure1Row struct {
+	Limit    units.Watts
+	GccFreq  units.Hertz // mean active frequency of the gcc cores
+	Cam4Freq units.Hertz
+	GccNorm  float64 // performance normalised to standalone at 85 W
+	Cam4Norm float64
+}
+
+// Figure1Result reproduces Figure 1: performance interference between a
+// low-demand application (gcc) and a high-demand AVX application (cam4)
+// sharing a Skylake socket under RAPL, normalised to each application's
+// standalone execution at 85 W.
+type Figure1Result struct {
+	Rows []Figure1Row
+}
+
+// Figure1Limits are the paper's sweep points.
+var Figure1Limits = []units.Watts{85, 70, 60, 50, 45, 40}
+
+// Figure1 runs the motivating RAPL-interference experiment: five copies of
+// gcc and five of cam4 on all ten Skylake cores under descending RAPL
+// limits. RAPL's fastest-first throttling hits the faster, lower-power gcc
+// cores long before the AVX-licence-capped cam4 cores.
+func Figure1() (Figure1Result, error) {
+	chip := platform.Skylake()
+	mix := []string{"gcc", "gcc", "gcc", "gcc", "gcc", "cam4", "cam4", "cam4", "cam4", "cam4"}
+
+	// Standalone baselines: five copies of each application alone at 85 W.
+	standalone := func(name string) (float64, error) {
+		res, err := Run(RunConfig{
+			Chip:   chip,
+			Names:  []string{name, name, name, name, name},
+			Policy: RAPL,
+			Limit:  85,
+			Warmup: 5 * time.Second,
+			Window: 10 * time.Second,
+		})
+		if err != nil {
+			return 0, err
+		}
+		_, ips, _, _ := classMeans(res, func(int) bool { return true })
+		return ips, nil
+	}
+	gccBase, err := standalone("gcc")
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	cam4Base, err := standalone("cam4")
+	if err != nil {
+		return Figure1Result{}, err
+	}
+
+	var out Figure1Result
+	for _, limit := range Figure1Limits {
+		res, err := Run(RunConfig{
+			Chip:   chip,
+			Names:  mix,
+			Policy: RAPL,
+			Limit:  limit,
+			Warmup: 10 * time.Second,
+			Window: 10 * time.Second,
+		})
+		if err != nil {
+			return Figure1Result{}, err
+		}
+		gccF, gccIPS, _, _ := classMeans(res, func(i int) bool { return i < 5 })
+		camF, camIPS, _, _ := classMeans(res, func(i int) bool { return i >= 5 })
+		out.Rows = append(out.Rows, Figure1Row{
+			Limit:    limit,
+			GccFreq:  gccF,
+			Cam4Freq: camF,
+			GccNorm:  gccIPS / gccBase,
+			Cam4Norm: camIPS / cam4Base,
+		})
+	}
+	return out, nil
+}
+
+// Tables renders the result.
+func (r Figure1Result) Tables() []trace.Table {
+	t := trace.Table{
+		Title:  "Figure 1: RAPL interference, gcc (LD) vs cam4 (HD/AVX), Skylake",
+		Header: []string{"limit(W)", "gcc MHz", "cam4 MHz", "gcc norm perf", "cam4 norm perf"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(trace.W(row.Limit), trace.Hz(row.GccFreq), trace.Hz(row.Cam4Freq),
+			trace.F(row.GccNorm, 3), trace.F(row.Cam4Norm, 3))
+	}
+	return []trace.Table{t}
+}

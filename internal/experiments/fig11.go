@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Table3Sets are the randomly selected application sets of Table 3 (two
+// copies of each run on the ten Skylake cores).
+var Table3Sets = map[string][]string{
+	"A": {"deepsjeng", "perlbench", "cactusBSSN", "exchange2", "gcc"},
+	"B": {"deepsjeng", "omnetpp", "perlbench", "cam4", "lbm"},
+}
+
+// Figure11Shares are the Skylake share levels: application i of each set
+// receives level i.
+var Figure11Shares = []units.Shares{20, 40, 60, 80, 100}
+
+// RandomCell is one application's outcome in a random-mix run.
+type RandomCell struct {
+	Set    string
+	App    string
+	AppIdx int
+	Shares units.Shares
+	Limit  units.Watts
+	Policy PolicyKind
+
+	Freq     units.Hertz
+	Norm     float64 // normalised performance
+	FreqFrac float64 // fraction of the run's total frequency
+	PerfFrac float64 // fraction of the run's total normalised performance
+}
+
+// Figure11Result reproduces Figure 11: random SPEC2017 mixes (Table 3)
+// under frequency and performance shares at 85/50/40 W on Skylake.
+type Figure11Result struct {
+	Cells []RandomCell
+}
+
+// Figure11 runs the random experiments.
+func Figure11() (Figure11Result, error) {
+	chip := platform.Skylake()
+	var out Figure11Result
+	for _, set := range []string{"A", "B"} {
+		apps := Table3Sets[set]
+		// Two copies of each application, pinned app-major: cores 2i and
+		// 2i+1 run application i with the same share level.
+		names := make([]string, 0, 10)
+		shares := make([]units.Shares, 0, 10)
+		for i, a := range apps {
+			names = append(names, a, a)
+			shares = append(shares, Figure11Shares[i], Figure11Shares[i])
+		}
+		for _, limit := range []units.Watts{85, 50, 40} {
+			for _, kind := range []PolicyKind{FreqShares, PerfShares} {
+				res, err := Run(RunConfig{
+					Chip: chip, Names: names, Shares: shares,
+					Policy: kind, Limit: limit,
+				})
+				if err != nil {
+					return Figure11Result{}, fmt.Errorf("set %s limit %v %s: %w", set, limit, kind, err)
+				}
+				// Per-application means over the two copies, plus totals
+				// for the resource fractions.
+				var totF, totN float64
+				freqs := make([]units.Hertz, len(apps))
+				norms := make([]float64, len(apps))
+				for i, a := range apps {
+					f := (res.Cores[2*i].MeanFreq + res.Cores[2*i+1].MeanFreq) / 2
+					base := StandaloneIPS(chip, a)
+					n := (res.Cores[2*i].IPS + res.Cores[2*i+1].IPS) / 2 / base
+					freqs[i], norms[i] = f, n
+					totF += float64(f)
+					totN += n
+				}
+				for i, a := range apps {
+					cell := RandomCell{
+						Set: set, App: a, AppIdx: i, Shares: Figure11Shares[i],
+						Limit: limit, Policy: kind,
+						Freq: freqs[i], Norm: norms[i],
+					}
+					if totF > 0 {
+						cell.FreqFrac = float64(freqs[i]) / totF
+					}
+					if totN > 0 {
+						cell.PerfFrac = norms[i] / totN
+					}
+					out.Cells = append(out.Cells, cell)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Tables renders the result.
+func (r Figure11Result) Tables() []trace.Table {
+	t := trace.Table{
+		Title: "Figure 11: random mixes (Table 3 sets A/B), Skylake share policies",
+		Header: []string{"set", "app", "shares", "limit(W)", "policy",
+			"MHz", "norm perf", "freq frac", "perf frac"},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(c.Set, c.App, fmt.Sprintf("%d", c.Shares), trace.W(c.Limit), string(c.Policy),
+			trace.Hz(c.Freq), trace.F(c.Norm, 3), trace.Pct(c.FreqFrac), trace.Pct(c.PerfFrac))
+	}
+	return []trace.Table{t}
+}

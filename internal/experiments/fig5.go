@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/websearch"
+	"repro/internal/workload"
+)
+
+// Figure5Row is one power limit's latency outcome.
+type Figure5Row struct {
+	Limit        units.Watts
+	AloneP90     float64 // seconds, websearch alone under RAPL
+	ColocatedP90 float64 // seconds, websearch + cpuburn under RAPL
+}
+
+// Ratio reports the colocated p90 relative to running alone.
+func (r Figure5Row) Ratio() float64 {
+	if r.AloneP90 <= 0 {
+		return 0
+	}
+	return r.ColocatedP90 / r.AloneP90
+}
+
+// Figure5Result reproduces Figure 5 (unfair throttling): the 90th
+// percentile latency of websearch (300 users on 9 Skylake cores) with and
+// without a colocated cpuburn power virus, under descending RAPL limits.
+type Figure5Result struct {
+	Users int
+	Rows  []Figure5Row
+}
+
+// Figure5Limits are the sweep points.
+var Figure5Limits = []units.Watts{85, 55, 50, 45, 40, 35}
+
+// websearchConfig is the shared websearch setup for Figures 5, 12 and 13.
+func websearchConfig(seed int64) websearch.Config {
+	return websearch.Config{
+		Users: 300,
+		Cores: []int{0, 1, 2, 3, 4, 5, 6, 7, 8},
+		Seed:  seed,
+	}
+}
+
+// websearchP90 runs websearch under a RAPL limit, optionally with cpuburn
+// on the remaining core, and returns the p90 latency of the steady window.
+func websearchP90(limit units.Watts, withBurn bool) (float64, error) {
+	chip := platform.Skylake()
+	m, err := sim.New(chip)
+	if err != nil {
+		return 0, err
+	}
+	ws, err := websearch.New(websearchConfig(1))
+	if err != nil {
+		return 0, err
+	}
+	if err := ws.Attach(m); err != nil {
+		return 0, err
+	}
+	for _, c := range websearchConfig(1).Cores {
+		if err := m.SetRequest(c, chip.Freq.Max()); err != nil {
+			return 0, err
+		}
+	}
+	if withBurn {
+		if err := m.Pin(workload.NewInstance(workload.CPUBurn), 9); err != nil {
+			return 0, err
+		}
+		if err := m.SetRequest(9, chip.Freq.Max()); err != nil {
+			return 0, err
+		}
+	}
+	m.SetPowerLimit(limit)
+	m.Run(10 * time.Second)
+	ws.ResetStats()
+	m.Run(30 * time.Second)
+	return ws.LatencyPercentile(90), nil
+}
+
+// Figure5 runs the unfair-throttling experiment.
+func Figure5() (Figure5Result, error) {
+	out := Figure5Result{Users: 300}
+	for _, limit := range Figure5Limits {
+		alone, err := websearchP90(limit, false)
+		if err != nil {
+			return Figure5Result{}, err
+		}
+		coloc, err := websearchP90(limit, true)
+		if err != nil {
+			return Figure5Result{}, err
+		}
+		out.Rows = append(out.Rows, Figure5Row{Limit: limit, AloneP90: alone, ColocatedP90: coloc})
+	}
+	return out, nil
+}
+
+// Tables renders the result.
+func (r Figure5Result) Tables() []trace.Table {
+	t := trace.Table{
+		Title:  "Figure 5: websearch p90 latency under RAPL, alone vs +cpuburn (300 users)",
+		Header: []string{"limit(W)", "alone p90 (ms)", "colocated p90 (ms)", "colocated/alone"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(trace.W(row.Limit), trace.F(row.AloneP90*1000, 1),
+			trace.F(row.ColocatedP90*1000, 1), trace.F(row.Ratio(), 2))
+	}
+	return []trace.Table{t}
+}

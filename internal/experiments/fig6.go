@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Figure6Row is one CPU-share combination on the time-shared core.
+type Figure6Row struct {
+	FixedApp  string  // app held at 50% of the core
+	VariedApp string  // app whose share varies
+	VariedPct float64 // varied app's core fraction
+	CorePower units.Watts
+}
+
+// Figure6Result reproduces Figure 6: time-shared power consumption of
+// cactusBSSN (HD) and gcc (LD) on one Ryzen core at 3.4 GHz, as docker-style
+// CPU shares vary. The solo (100%) powers of each application are included
+// as the reference lines of the figure.
+type Figure6Result struct {
+	Freq   units.Hertz
+	SoloHD units.Watts // cactusBSSN alone at 100%
+	SoloLD units.Watts // gcc alone at 100%
+	Rows   []Figure6Row
+}
+
+// Figure6 runs the time-sharing power experiment.
+func Figure6() (Figure6Result, error) {
+	chip := platform.Ryzen()
+	freq := 3400 * units.MHz
+	out := Figure6Result{Freq: freq}
+
+	solo := func(name string) (units.Watts, error) {
+		c, err := sched.New(chip, freq)
+		if err != nil {
+			return 0, err
+		}
+		if err := c.Add(workload.NewInstance(workload.MustByName(name)), 1.0); err != nil {
+			return 0, err
+		}
+		c.Run(10 * time.Second)
+		return c.AveragePower(), nil
+	}
+	var err error
+	if out.SoloHD, err = solo("cactusBSSN"); err != nil {
+		return Figure6Result{}, err
+	}
+	if out.SoloLD, err = solo("gcc"); err != nil {
+		return Figure6Result{}, err
+	}
+
+	pair := func(fixed, varied string, variedPct float64) (units.Watts, error) {
+		c, err := sched.New(chip, freq)
+		if err != nil {
+			return 0, err
+		}
+		if err := c.Add(workload.NewInstance(workload.MustByName(fixed)), 0.5); err != nil {
+			return 0, err
+		}
+		if err := c.Add(workload.NewInstance(workload.MustByName(varied)), variedPct); err != nil {
+			return 0, err
+		}
+		c.Run(10 * time.Second)
+		return c.AveragePower(), nil
+	}
+	for _, combo := range []struct{ fixed, varied string }{
+		{"cactusBSSN", "gcc"}, // HD fixed at 50%, LD varies
+		{"gcc", "cactusBSSN"}, // LD fixed at 50%, HD varies
+	} {
+		for _, pct := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+			p, err := pair(combo.fixed, combo.varied, pct)
+			if err != nil {
+				return Figure6Result{}, err
+			}
+			out.Rows = append(out.Rows, Figure6Row{
+				FixedApp:  combo.fixed,
+				VariedApp: combo.varied,
+				VariedPct: pct,
+				CorePower: p,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Tables renders the result.
+func (r Figure6Result) Tables() []trace.Table {
+	t := trace.Table{
+		Title:  "Figure 6: time-shared core power, cactusBSSN (HD) / gcc (LD) on one Ryzen core @ " + r.Freq.String(),
+		Header: []string{"fixed app (50%)", "varied app", "varied share", "core power (W)"},
+	}
+	t.AddRow("cactusBSSN solo", "-", "100%", trace.W(r.SoloHD))
+	t.AddRow("gcc solo", "-", "100%", trace.W(r.SoloLD))
+	for _, row := range r.Rows {
+		t.AddRow(row.FixedApp, row.VariedApp, trace.Pct(row.VariedPct), trace.W(row.CorePower))
+	}
+	return []trace.Table{t}
+}

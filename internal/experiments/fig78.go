@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// PriorityMix is one workload mix of the priority experiments: profile
+// names for the high- and low-priority classes (Table 2 for Skylake).
+type PriorityMix struct {
+	Label string
+	HP    []string
+	LP    []string
+}
+
+// Table2Mixes are the Skylake priority mixes of Table 2.
+func Table2Mixes() []PriorityMix {
+	return []PriorityMix{
+		{"10H 0L",
+			[]string{"cactusBSSN", "cactusBSSN", "cactusBSSN", "cactusBSSN", "cactusBSSN",
+				"leela", "leela", "leela", "leela", "leela"},
+			nil},
+		{"7H 3L",
+			[]string{"cactusBSSN", "cactusBSSN", "cactusBSSN", "cactusBSSN", "leela", "leela", "leela"},
+			[]string{"cactusBSSN", "leela", "leela"}},
+		{"5H 5L",
+			[]string{"cactusBSSN", "cactusBSSN", "cactusBSSN", "cactusBSSN", "cactusBSSN"},
+			[]string{"leela", "leela", "leela", "leela", "leela"}},
+		{"3H 7L",
+			[]string{"cactusBSSN", "cactusBSSN", "leela"},
+			[]string{"cactusBSSN", "cactusBSSN", "cactusBSSN", "leela", "leela", "leela", "leela"}},
+		{"1H 9L",
+			[]string{"cactusBSSN"},
+			[]string{"cactusBSSN", "cactusBSSN", "cactusBSSN", "cactusBSSN",
+				"leela", "leela", "leela", "leela", "leela"}},
+	}
+}
+
+// RyzenMixes are the Figure 8 mixes: similar-demand (8H, 4H4L) and
+// mixed-demand (6H2L, 2H6L) variations on eight cores.
+func RyzenMixes() []PriorityMix {
+	return []PriorityMix{
+		{"8H 0L",
+			[]string{"cactusBSSN", "cactusBSSN", "cactusBSSN", "cactusBSSN",
+				"leela", "leela", "leela", "leela"},
+			nil},
+		{"6H 2L",
+			[]string{"cactusBSSN", "cactusBSSN", "cactusBSSN", "leela", "leela", "leela"},
+			[]string{"cactusBSSN", "leela"}},
+		{"4H 4L",
+			[]string{"cactusBSSN", "cactusBSSN", "cactusBSSN", "cactusBSSN"},
+			[]string{"leela", "leela", "leela", "leela"}},
+		{"2H 6L",
+			[]string{"cactusBSSN", "leela"},
+			[]string{"cactusBSSN", "cactusBSSN", "cactusBSSN", "leela", "leela", "leela"}},
+	}
+}
+
+// PriorityCell is one (mix, limit, mechanism) outcome, averaged per class.
+type PriorityCell struct {
+	Mix       string
+	Limit     units.Watts
+	Policy    PolicyKind // PriorityPol or RAPL
+	HPNorm    float64    // mean normalised performance of HP apps
+	LPNorm    float64    // 0 when the class is starved
+	HPFreq    units.Hertz
+	LPFreq    units.Hertz
+	HPPower   units.Watts // per-core power where available (Ryzen)
+	LPPower   units.Watts
+	LPStarved bool
+	Package   units.Watts
+}
+
+// PriorityResult reproduces Figure 7 (Skylake, priority policy vs RAPL) or
+// Figure 8 (Ryzen, priority policy only).
+type PriorityResult struct {
+	Chip  string
+	Cells []PriorityCell
+}
+
+// PriorityLimits are the power limits of Figures 7 and 8.
+var PriorityLimits = []units.Watts{85, 50, 40}
+
+// Figure7 runs the Skylake priority experiments over the Table 2 mixes,
+// under both the priority policy and native RAPL.
+func Figure7() (PriorityResult, error) {
+	return priorityExperiment(platform.Skylake(), Table2Mixes(), true)
+}
+
+// Figure8 runs the Ryzen priority experiments (no RAPL baseline: the
+// platform's hardware limiter is undocumented).
+func Figure8() (PriorityResult, error) {
+	return priorityExperiment(platform.Ryzen(), RyzenMixes(), false)
+}
+
+func priorityExperiment(chip platform.Chip, mixes []PriorityMix, withRAPL bool) (PriorityResult, error) {
+	out := PriorityResult{Chip: chip.Name}
+	for _, mix := range mixes {
+		names := append(append([]string{}, mix.HP...), mix.LP...)
+		hp := make([]bool, len(names))
+		for i := range mix.HP {
+			hp[i] = true
+		}
+		kinds := []PolicyKind{PriorityPol}
+		if withRAPL {
+			kinds = append(kinds, RAPL)
+		}
+		for _, limit := range PriorityLimits {
+			for _, kind := range kinds {
+				cfg := RunConfig{
+					Chip:   chip,
+					Names:  names,
+					HP:     hp,
+					Policy: kind,
+					Limit:  limit,
+				}
+				res, err := Run(cfg)
+				if err != nil {
+					return PriorityResult{}, fmt.Errorf("mix %s limit %v %s: %w", mix.Label, limit, kind, err)
+				}
+				cell := PriorityCell{Mix: mix.Label, Limit: limit, Policy: kind, Package: res.PackagePower}
+				nHP := len(mix.HP)
+				hpF, hpIPS, hpP, _ := classMeans(res, func(i int) bool { return i < nHP })
+				lpF, lpIPS, lpP, nLP := classMeans(res, func(i int) bool { return i >= nHP })
+				cell.HPFreq, cell.HPPower = hpF, hpP
+				cell.LPFreq, cell.LPPower = lpF, lpP
+				cell.HPNorm = normMean(chip, names[:nHP], res, 0)
+				if nLP > 0 {
+					cell.LPNorm = normMean(chip, names[nHP:], res, nHP)
+					starved := true
+					for i := nHP; i < len(names); i++ {
+						if !res.Parked[i] {
+							starved = false
+						}
+					}
+					cell.LPStarved = starved && kind == PriorityPol
+				}
+				_ = lpIPS
+				_ = hpIPS
+				out.Cells = append(out.Cells, cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+// normMean averages per-app performance normalised to each app's standalone
+// baseline, for apps at core offsets [off, off+len(names)).
+func normMean(chip platform.Chip, names []string, res RunResult, off int) float64 {
+	if len(names) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, n := range names {
+		base := StandaloneIPS(chip, n)
+		if base > 0 {
+			sum += res.Cores[off+i].IPS / base
+		}
+	}
+	return sum / float64(len(names))
+}
+
+// Tables renders the result.
+func (r PriorityResult) Tables() []trace.Table {
+	t := trace.Table{
+		Title: "Priority experiments on " + r.Chip + " (Figures 7/8)",
+		Header: []string{"mix", "limit(W)", "policy", "HP norm", "LP norm", "HP MHz", "LP MHz",
+			"HP W/core", "LP W/core", "LP starved", "pkg W"},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(c.Mix, trace.W(c.Limit), string(c.Policy),
+			trace.F(c.HPNorm, 3), trace.F(c.LPNorm, 3),
+			trace.Hz(c.HPFreq), trace.Hz(c.LPFreq),
+			trace.W(c.HPPower), trace.W(c.LPPower),
+			fmt.Sprintf("%v", c.LPStarved), trace.W(c.Package))
+	}
+	return []trace.Table{t}
+}

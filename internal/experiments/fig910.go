@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// ShareCell is one (ratio, limit, policy) outcome of the proportional-share
+// experiments, averaged per application class (the paper runs one LD class,
+// leela, against one HD class, cactusBSSN).
+type ShareCell struct {
+	LDShare, HDShare units.Shares
+	Limit            units.Watts
+	Policy           PolicyKind
+
+	LDFreq, HDFreq   units.Hertz
+	LDNorm, HDNorm   float64 // normalised performance
+	LDPower, HDPower units.Watts
+
+	// Resource fractions: the LD class's share of the total across both
+	// classes, per resource (Figure 10's y axis).
+	LDFreqFrac, LDPerfFrac, LDPowerFrac float64
+
+	Package units.Watts
+}
+
+// ShareResult reproduces Figure 9 (Skylake, frequency vs performance
+// shares) or Figure 10 (Ryzen, plus power shares).
+type ShareResult struct {
+	Chip  string
+	Cells []ShareCell
+}
+
+// ShareRatios are the LD/HD share ratios swept by Figures 9 and 10.
+var ShareRatios = []struct{ LD, HD units.Shares }{
+	{90, 10}, {70, 30}, {50, 50}, {30, 70}, {10, 90},
+}
+
+// Figure9 runs Skylake proportional-share experiments: five copies of
+// leela (LD) at one share level against five of cactusBSSN (HD) at another,
+// under frequency and performance shares.
+func Figure9() (ShareResult, error) {
+	return shareExperiment(platform.Skylake(), 5,
+		[]PolicyKind{FreqShares, PerfShares},
+		[]units.Watts{85, 50, 40})
+}
+
+// Figure10 runs the Ryzen experiments with all three share types at the
+// paper's 40 W and 50 W limits.
+func Figure10() (ShareResult, error) {
+	return shareExperiment(platform.Ryzen(), 4,
+		[]PolicyKind{FreqShares, PerfShares, PowerShares},
+		[]units.Watts{50, 40})
+}
+
+func shareExperiment(chip platform.Chip, perClass int, kinds []PolicyKind, limits []units.Watts) (ShareResult, error) {
+	out := ShareResult{Chip: chip.Name}
+	names := make([]string, 0, 2*perClass)
+	for i := 0; i < perClass; i++ {
+		names = append(names, "leela")
+	}
+	for i := 0; i < perClass; i++ {
+		names = append(names, "cactusBSSN")
+	}
+	for _, ratio := range ShareRatios {
+		shares := make([]units.Shares, 2*perClass)
+		for i := 0; i < perClass; i++ {
+			shares[i] = ratio.LD
+			shares[perClass+i] = ratio.HD
+		}
+		for _, limit := range limits {
+			for _, kind := range kinds {
+				res, err := Run(RunConfig{
+					Chip: chip, Names: names, Shares: shares,
+					Policy: kind, Limit: limit,
+				})
+				if err != nil {
+					return ShareResult{}, fmt.Errorf("ratio %d/%d limit %v %s: %w",
+						ratio.LD, ratio.HD, limit, kind, err)
+				}
+				cell := ShareCell{
+					LDShare: ratio.LD, HDShare: ratio.HD,
+					Limit: limit, Policy: kind, Package: res.PackagePower,
+				}
+				ldF, _, ldP, _ := classMeans(res, func(i int) bool { return i < perClass })
+				hdF, _, hdP, _ := classMeans(res, func(i int) bool { return i >= perClass })
+				cell.LDFreq, cell.LDPower = ldF, ldP
+				cell.HDFreq, cell.HDPower = hdF, hdP
+				cell.LDNorm = normMean(chip, names[:perClass], res, 0)
+				cell.HDNorm = normMean(chip, names[perClass:], res, perClass)
+				if tot := float64(ldF + hdF); tot > 0 {
+					cell.LDFreqFrac = float64(ldF) / tot
+				}
+				if tot := cell.LDNorm + cell.HDNorm; tot > 0 {
+					cell.LDPerfFrac = cell.LDNorm / tot
+				}
+				if tot := float64(ldP + hdP); tot > 0 {
+					cell.LDPowerFrac = float64(ldP) / tot
+				}
+				out.Cells = append(out.Cells, cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Tables renders the result.
+func (r ShareResult) Tables() []trace.Table {
+	t := trace.Table{
+		Title: "Proportional shares, leela (LD) vs cactusBSSN (HD) on " + r.Chip + " (Figures 9/10)",
+		Header: []string{"shares LD/HD", "limit(W)", "policy",
+			"LD MHz", "HD MHz", "LD norm", "HD norm", "LD W", "HD W",
+			"LD freq frac", "LD perf frac", "LD power frac", "pkg W"},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(fmt.Sprintf("%d/%d", c.LDShare, c.HDShare), trace.W(c.Limit), string(c.Policy),
+			trace.Hz(c.LDFreq), trace.Hz(c.HDFreq),
+			trace.F(c.LDNorm, 3), trace.F(c.HDNorm, 3),
+			trace.W(c.LDPower), trace.W(c.HDPower),
+			trace.Pct(c.LDFreqFrac), trace.Pct(c.LDPerfFrac), trace.Pct(c.LDPowerFrac),
+			trace.W(c.Package))
+	}
+	return []trace.Table{t}
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// The tests in this file assert the *shapes* of the paper's figures (the
+// pass/fail criteria listed in DESIGN.md), not absolute numbers: who wins,
+// by roughly what factor, and where the crossovers fall.
+
+func TestFigure1Shape(t *testing.T) {
+	res, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(Figure1Limits) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	at := func(limit units.Watts) Figure1Row {
+		for _, r := range res.Rows {
+			if r.Limit == limit {
+				return r
+			}
+		}
+		t.Fatalf("no row for %v", limit)
+		return Figure1Row{}
+	}
+	// At 85 W neither application is throttled.
+	r85 := at(85)
+	if r85.GccNorm < 0.95 || r85.Cam4Norm < 0.95 {
+		t.Errorf("85 W norms = %.3f / %.3f, want ~1", r85.GccNorm, r85.Cam4Norm)
+	}
+	// Descending limits hit gcc (the faster, low-demand app) much harder
+	// than the AVX-capped cam4.
+	r40 := at(40)
+	gccLoss := 1 - float64(r40.GccFreq)/float64(r85.GccFreq)
+	camLoss := 1 - float64(r40.Cam4Freq)/float64(r85.Cam4Freq)
+	if gccLoss <= camLoss+0.1 {
+		t.Errorf("gcc frequency loss %.2f should far exceed cam4's %.2f", gccLoss, camLoss)
+	}
+	// At the lowest limit both converge to the same frequency.
+	if math.Abs(float64(r40.GccFreq-r40.Cam4Freq)) > 2e8 {
+		t.Errorf("40 W frequencies did not converge: %v vs %v", r40.GccFreq, r40.Cam4Freq)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	res, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Median normalised runtime decreases as frequency rises.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if first.Runtime.Median <= last.Runtime.Median {
+		t.Errorf("runtime median not decreasing: %.3f -> %.3f", first.Runtime.Median, last.Runtime.Median)
+	}
+	// Median power increases with frequency.
+	if first.Power.Median >= last.Power.Median {
+		t.Errorf("power median not increasing")
+	}
+	// AVX applications saturate: imagick's runtime is identical at every
+	// frequency at or above the single-core AVX licence (1.9 GHz).
+	bi := indexOf(res.Benchmarks, "imagick")
+	var base float64
+	for _, row := range res.Rows {
+		if row.Freq < 1900*units.MHz {
+			continue
+		}
+		if base == 0 {
+			base = row.RuntimeByBench[bi]
+			continue
+		}
+		if math.Abs(row.RuntimeByBench[bi]-base)/base > 0.02 {
+			t.Errorf("imagick runtime should saturate above the AVX licence: %.3f vs %.3f at %v",
+				row.RuntimeByBench[bi], base, row.Freq)
+		}
+	}
+	// AVX applications are power outliers at high frequency: the p99 of
+	// the power distribution sits well above the median.
+	top := res.Rows[len(res.Rows)-1]
+	if top.Power.P99 < top.Power.Median*1.1 {
+		t.Errorf("no AVX power outliers visible: p99 %.2f vs median %.2f", top.Power.P99, top.Power.Median)
+	}
+	// Energy efficiency: nanojoules per instruction is minimised at an
+	// interior frequency — static power dominates at the low end, V² at
+	// the high end (the classic energy-optimal DVFS point).
+	minEPI, minIdx := res.Rows[0].EnergyPerInstr, 0
+	for i, row := range res.Rows {
+		if row.EnergyPerInstr < minEPI {
+			minEPI, minIdx = row.EnergyPerInstr, i
+		}
+	}
+	if minIdx == 0 || minIdx == len(res.Rows)-1 {
+		t.Errorf("energy-optimal frequency at the sweep edge (row %d of %d)", minIdx, len(res.Rows))
+	}
+	// Turbo power jump: crossing the nominal frequency costs extra power.
+	var belowNom, aboveNom float64
+	for i := 1; i < len(res.Rows); i++ {
+		dP := res.Rows[i].Power.Median - res.Rows[i-1].Power.Median
+		if res.Rows[i].Freq <= res.NormFreq {
+			if dP > belowNom {
+				belowNom = dP
+			}
+		} else if dP > aboveNom {
+			aboveNom = dP
+		}
+	}
+	if aboveNom <= belowNom {
+		t.Errorf("no turbo power jump: max step above nominal %.2f <= below %.2f", aboveNom, belowNom)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	res, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On Ryzen (no AVX licence) performance keeps improving to the top:
+	// imagick's runtime at the maximum frequency is strictly below its
+	// runtime at 3.0 GHz.
+	bi := indexOf(res.Benchmarks, "imagick")
+	var at30, atMax float64
+	for _, row := range res.Rows {
+		if row.Freq == 3000*units.MHz {
+			at30 = row.RuntimeByBench[bi]
+		}
+	}
+	atMax = res.Rows[len(res.Rows)-1].RuntimeByBench[bi]
+	if atMax >= at30 {
+		t.Errorf("Ryzen imagick saturated: %.3f at max vs %.3f at 3 GHz", atMax, at30)
+	}
+	// Runtime normalisation is at 3.0 GHz: the 3 GHz row's median is ~1.
+	for _, row := range res.Rows {
+		if row.Freq == 3000*units.MHz && math.Abs(row.Runtime.Median-1) > 0.02 {
+			t.Errorf("3 GHz median runtime = %.3f, want ~1", row.Runtime.Median)
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(limit units.Watts, thr units.Hertz) Figure4Row {
+		for _, r := range res.Rows {
+			if r.Limit == limit && r.ThrottleReq == thr {
+				return r
+			}
+		}
+		t.Fatalf("missing cell %v/%v", limit, thr)
+		return Figure4Row{}
+	}
+	// Power freed by throttling half the cores speeds up the free half:
+	// at 50 W, free cores with an 800 MHz partner beat free cores with a
+	// 2.5 GHz partner.
+	low := cell(50, 800*units.MHz)
+	high := cell(50, 2500*units.MHz)
+	if low.FreeNorm <= high.FreeNorm {
+		t.Errorf("freed power not reused: %.3f <= %.3f", low.FreeNorm, high.FreeNorm)
+	}
+	// RAPL reduces only the unconstrained cores: the throttled half runs
+	// at its requested frequency.
+	if math.Abs(float64(low.ThrottledFreq-800*units.MHz)) > 1e6 {
+		t.Errorf("throttled cores ran at %v, want their 800 MHz request", low.ThrottledFreq)
+	}
+	// At 85 W with everything free there is no throttling at all.
+	free85 := cell(85, 2500*units.MHz)
+	if free85.FreeNorm < 0.99 {
+		t.Errorf("85 W free norm = %.3f", free85.FreeNorm)
+	}
+	// Lower limits throttle the free cores harder.
+	if cell(40, 2000*units.MHz).FreeFreq >= cell(70, 2000*units.MHz).FreeFreq {
+		t.Error("free frequency not decreasing with limit")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	res, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(limit units.Watts) Figure5Row {
+		for _, r := range res.Rows {
+			if r.Limit == limit {
+				return r
+			}
+		}
+		t.Fatalf("missing %v", limit)
+		return Figure5Row{}
+	}
+	// At 85 W colocation is harmless.
+	if r := at(85); r.Ratio() > 1.25 {
+		t.Errorf("85 W colocation ratio = %.2f, want ~1", r.Ratio())
+	}
+	// At 40 W the single power virus substantially degrades p90.
+	if r := at(40); r.Ratio() < 1.3 {
+		t.Errorf("40 W colocation ratio = %.2f, want >1.3", r.Ratio())
+	}
+	// Lower limits never help latency when colocated.
+	if at(35).ColocatedP90 < at(55).ColocatedP90 {
+		t.Error("colocated p90 improved as power dropped")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	res, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SoloHD <= res.SoloLD {
+		t.Errorf("HD solo power %v should exceed LD solo %v", res.SoloHD, res.SoloLD)
+	}
+	// Power rises monotonically with the varied share within each combo,
+	// and every pair draws less than the HD app alone plus the idle floor.
+	var prev units.Watts
+	var prevFixed string
+	for _, row := range res.Rows {
+		if row.FixedApp != prevFixed {
+			prev, prevFixed = 0, row.FixedApp
+		}
+		if row.CorePower <= prev {
+			t.Errorf("power not monotone for fixed=%s at %.0f%%: %v <= %v",
+				row.FixedApp, row.VariedPct*100, row.CorePower, prev)
+		}
+		prev = row.CorePower
+	}
+}
+
+func indexOf(xs []string, want string) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return -1
+}

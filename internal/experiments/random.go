@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// RobustnessMix is one randomized mix's outcome.
+type RobustnessMix struct {
+	Seed            int64
+	Limit           units.Watts
+	OrderViolations int     // adjacent share pairs whose frequencies invert by more than one step
+	PowerOvershoot  float64 // fractional overshoot of the settled window power over the limit (0 if under)
+	Starved         int     // apps pinned at the frequency floor
+}
+
+// RobustnessResult generalises the paper's random experiments (Section 6.3)
+// beyond the two fixed Table 3 sets: many mixes of synthetic workloads with
+// random share vectors and limits, checking the two properties a share
+// policy must never lose — allocation ordered by shares, and the power
+// limit held.
+type RobustnessResult struct {
+	Chip   string
+	Policy PolicyKind
+	Mixes  []RobustnessMix
+}
+
+// ViolationRate reports the fraction of mixes with any ordering violation.
+func (r RobustnessResult) ViolationRate() float64 {
+	if len(r.Mixes) == 0 {
+		return 0
+	}
+	bad := 0
+	for _, m := range r.Mixes {
+		if m.OrderViolations > 0 {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(r.Mixes))
+}
+
+// OvershootP90 reports the 90th percentile power overshoot across mixes.
+func (r RobustnessResult) OvershootP90() float64 {
+	xs := make([]float64, len(r.Mixes))
+	for i, m := range r.Mixes {
+		xs[i] = m.PowerOvershoot
+	}
+	return stats.Percentile(xs, 90)
+}
+
+// RandomRobustness runs n random mixes on the chip under the policy.
+// Each mix fills every core with a synthetic profile, draws shares from
+// {10..100} and a limit from [0.45, 0.75] of the chip's RAPL maximum.
+func RandomRobustness(chip platform.Chip, kind PolicyKind, n int, seed int64) (RobustnessResult, error) {
+	if n <= 0 {
+		return RobustnessResult{}, fmt.Errorf("experiments: need a positive mix count")
+	}
+	out := RobustnessResult{Chip: chip.Name, Policy: kind}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		mixSeed := rng.Int63()
+		mix, err := robustnessMix(chip, kind, mixSeed)
+		if err != nil {
+			return RobustnessResult{}, fmt.Errorf("mix %d (seed %d): %w", i, mixSeed, err)
+		}
+		out.Mixes = append(out.Mixes, mix)
+	}
+	return out, nil
+}
+
+func robustnessMix(chip platform.Chip, kind PolicyKind, seed int64) (RobustnessMix, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := chip.NumCores
+	names := make([]string, n)
+	profiles := make([]workload.Profile, n)
+	shares := make([]units.Shares, n)
+	baselines := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := workload.Synthetic(fmt.Sprintf("syn%d", i), rng)
+		names[i] = p.Name
+		profiles[i] = p
+		shares[i] = units.Shares(10 + rng.Intn(91))
+		baselines[i] = p.IPS(chip.Freq.Ceiling(1, p.AVX))
+	}
+	span := float64(chip.RAPLMax)
+	limit := units.Watts(span * (0.45 + rng.Float64()*0.3))
+	res, err := Run(RunConfig{
+		Chip: chip, Names: names, Profiles: profiles, Shares: shares,
+		Baselines: baselines, Policy: kind, Limit: limit,
+		Warmup: 40 * time.Second, Window: 15 * time.Second,
+	})
+	if err != nil {
+		return RobustnessMix{}, err
+	}
+	mix := RobustnessMix{Seed: seed, Limit: limit}
+	// Ordering: for every pair, a strictly larger share must not deliver
+	// less of the shared resource than the smaller share, beyond a small
+	// quantisation tolerance. Frequency shares are judged on frequency;
+	// performance shares on normalised performance. (AVX apps are excluded
+	// as comparands: their licence caps them regardless of shares.)
+	metric := make([]float64, n)
+	var tol float64
+	if kind == PerfShares {
+		for i := 0; i < n; i++ {
+			metric[i] = res.Cores[i].IPS / baselines[i]
+		}
+		// One P-state step's worth of normalised performance, plus slack
+		// for phase noise in the measured window.
+		tol = 1.5 * float64(chip.Freq.Step) / float64(chip.Freq.Max())
+	} else {
+		for i := 0; i < n; i++ {
+			metric[i] = float64(res.Cores[i].MeanFreq)
+		}
+		tol = float64(chip.Freq.Step)
+	}
+	// Two legitimate exemptions, both consequences the paper itself calls
+	// out: an app at its frequency *ceiling* is saturated (min-funding
+	// revocation hands its unused entitlement to smaller shares), and an
+	// app at the frequency *floor* cannot be pushed lower (the low-
+	// dynamic-range effect: "it uses a larger fraction of resources than
+	// its share"), so a floor-pinned small-share app may legitimately
+	// out-perform a larger share pinned to the same floor.
+	atCeil := make([]bool, n)
+	atFloor := make([]bool, n)
+	for i := 0; i < n; i++ {
+		ceil := chip.Freq.Ceiling(n, profiles[i].AVX)
+		atCeil[i] = res.Cores[i].MeanFreq >= ceil-chip.Freq.Step
+		atFloor[i] = res.Cores[i].MeanFreq <= chip.Freq.Min+chip.Freq.Step
+	}
+	for i := 0; i < n; i++ {
+		if profiles[i].AVX || atCeil[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if profiles[j].AVX || atFloor[j] || shares[i] <= shares[j] {
+				continue
+			}
+			if metric[i] < metric[j]-tol {
+				mix.OrderViolations++
+			}
+		}
+	}
+	if res.PackagePower > limit {
+		mix.PowerOvershoot = float64(res.PackagePower/limit) - 1
+	}
+	for i := 0; i < n; i++ {
+		if res.Cores[i].MeanFreq <= chip.Freq.Min {
+			mix.Starved++
+		}
+	}
+	return mix, nil
+}
+
+// Tables renders the result.
+func (r RobustnessResult) Tables() []trace.Table {
+	t := trace.Table{
+		Title: fmt.Sprintf("Random robustness: %d synthetic mixes on %s under %s",
+			len(r.Mixes), r.Chip, r.Policy),
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("mixes with ordering violations", trace.Pct(r.ViolationRate()))
+	t.AddRow("p90 power overshoot", trace.Pct(r.OvershootP90()))
+	var floor float64
+	for _, m := range r.Mixes {
+		floor += float64(m.Starved)
+	}
+	t.AddRow("mean apps at frequency floor", trace.F(floor/float64(len(r.Mixes)), 2))
+	return []trace.Table{t}
+}

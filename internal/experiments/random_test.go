@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestRandomRobustnessValidation(t *testing.T) {
+	if _, err := RandomRobustness(platform.Skylake(), FreqShares, 0, 1); err == nil {
+		t.Error("zero mixes accepted")
+	}
+}
+
+// Frequency shares must keep both invariants on arbitrary synthetic mixes:
+// frequency ordered by shares (among licence-free apps) and power at the
+// limit.
+func TestRandomRobustnessSkylake(t *testing.T) {
+	res, err := RandomRobustness(platform.Skylake(), FreqShares, 12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ViolationRate(); got != 0 {
+		for _, m := range res.Mixes {
+			if m.OrderViolations > 0 {
+				t.Logf("seed %d limit %v: %d violations", m.Seed, m.Limit, m.OrderViolations)
+			}
+		}
+		t.Errorf("ordering violation rate = %.2f, want 0", got)
+	}
+	if got := res.OvershootP90(); got > 0.08 {
+		t.Errorf("p90 power overshoot = %.3f, want <= 8%%", got)
+	}
+}
+
+// Performance shares must keep the same invariants on their own metric:
+// normalised performance ordered by shares.
+func TestRandomRobustnessPerfShares(t *testing.T) {
+	res, err := RandomRobustness(platform.Skylake(), PerfShares, 8, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ViolationRate(); got > 0.15 {
+		for _, m := range res.Mixes {
+			if m.OrderViolations > 0 {
+				t.Logf("seed %d limit %v: %d violations", m.Seed, m.Limit, m.OrderViolations)
+			}
+		}
+		t.Errorf("perf-share ordering violation rate = %.2f", got)
+	}
+	if got := res.OvershootP90(); got > 0.08 {
+		t.Errorf("p90 power overshoot = %.3f", got)
+	}
+}
+
+func TestRandomRobustnessRyzen(t *testing.T) {
+	// Ryzen adds the 3-P-state clustering on top; the invariants must
+	// survive it (clustering is order-preserving).
+	res, err := RandomRobustness(platform.Ryzen(), FreqShares, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ViolationRate(); got != 0 {
+		t.Errorf("ordering violation rate = %.2f, want 0", got)
+	}
+	if got := res.OvershootP90(); got > 0.08 {
+		t.Errorf("p90 power overshoot = %.3f, want <= 8%%", got)
+	}
+	if len(res.Tables()) == 0 || len(res.Tables()[0].Rows) == 0 {
+		t.Error("empty tables")
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// The paper's Section 6.2 observation: frequency shares are the most
+// stable; performance shares rebalance whenever IPS moves with program
+// phase; power shares inherit the same noise through measured activity.
+func TestStabilityShape(t *testing.T) {
+	res, err := StabilityStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := make(map[PolicyKind]StabilityCell)
+	for _, c := range res.Cells {
+		byKind[c.Policy] = c
+	}
+	fs, ok1 := byKind[FreqShares]
+	ps, ok2 := byKind[PerfShares]
+	pw, ok3 := byKind[PowerShares]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing cells: %+v", res.Cells)
+	}
+	// Frequency shares settle: very little steady-state frequency churn.
+	if fs.FreqStdDev >= ps.FreqStdDev {
+		t.Errorf("frequency shares churn %.1f MHz not below performance shares %.1f MHz",
+			fs.FreqStdDev.MHzF(), ps.FreqStdDev.MHzF())
+	}
+	if fs.MoveRate > ps.MoveRate {
+		t.Errorf("frequency shares move rate %.2f above performance shares %.2f",
+			fs.MoveRate, ps.MoveRate)
+	}
+	// The feedback policies (performance and power) both keep rebalancing
+	// against phase noise.
+	if ps.MoveRate == 0 && pw.MoveRate == 0 {
+		t.Error("feedback policies show no steady-state rebalancing at all; phase noise not reaching the loop")
+	}
+	// All three hold the power limit.
+	for _, c := range res.Cells {
+		if c.Package > 40*1.08 {
+			t.Errorf("%s: package %v over limit", c.Policy, c.Package)
+		}
+	}
+}

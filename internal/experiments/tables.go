@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Table1 renders the paper's Table 1: the power-management features of the
+// two evaluation platforms, taken from the platform configurations.
+func Table1() trace.Table {
+	t := trace.Table{
+		Title:  "Table 1: power management features",
+		Header: []string{"processor", "feature"},
+	}
+	for _, chip := range []platform.Chip{platform.Skylake(), platform.Ryzen()} {
+		t.AddRow(chip.Name, fmt.Sprintf("%d cores", chip.NumCores))
+		t.AddRow("", fmt.Sprintf("%s-%s + %s boost",
+			chip.Freq.Min, chip.Freq.Nom, chip.Freq.Max()))
+		step := fmt.Sprintf("per-core DVFS, %s increments", chip.Freq.Step)
+		if chip.MaxSimultaneousPStates > 0 {
+			step += fmt.Sprintf(", %d simultaneous P-states", chip.MaxSimultaneousPStates)
+		}
+		t.AddRow("", step)
+		if chip.HardwareRAPLLimit {
+			t.AddRow("", fmt.Sprintf("RAPL power capping (%s-%s)", chip.RAPLMin, chip.RAPLMax))
+		}
+		if chip.PerCorePower {
+			t.AddRow("", "platform and per-core power measurements")
+		} else {
+			t.AddRow("", "platform power measurements")
+		}
+	}
+	return t
+}
+
+// Table2 renders the Skylake priority mixes.
+func Table2() trace.Table {
+	t := trace.Table{
+		Title:  "Table 2: workload mixes for Skylake priority experiments",
+		Header: []string{"mix", "HP apps", "LP apps"},
+	}
+	for _, mix := range Table2Mixes() {
+		t.AddRow(mix.Label, summarize(mix.HP), summarize(mix.LP))
+	}
+	return t
+}
+
+// Table3 renders the random-experiment application sets.
+func Table3() trace.Table {
+	t := trace.Table{
+		Title:  "Table 3: applications for random experiments",
+		Header: []string{"set", "app 0", "app 1", "app 2", "app 3", "app 4"},
+	}
+	for _, set := range []string{"A", "B"} {
+		row := append([]string{set}, Table3Sets[set]...)
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// summarize compresses a name list into "3x cactusBSSN, 2x leela" form.
+func summarize(names []string) string {
+	if len(names) == 0 {
+		return "-"
+	}
+	counts := make(map[string]int)
+	var order []string
+	for _, n := range names {
+		if counts[n] == 0 {
+			order = append(order, n)
+		}
+		counts[n]++
+	}
+	parts := make([]string, len(order))
+	for i, n := range order {
+		parts[i] = fmt.Sprintf("%dx %s", counts[n], n)
+	}
+	return strings.Join(parts, ", ")
+}

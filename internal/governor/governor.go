@@ -1,0 +1,206 @@
+// Package governor implements Linux cpufreq-style OS frequency governors
+// over the simulated machine — the software heuristics the paper's
+// background section contrasts with its policies (Section 2.2): they watch
+// per-core utilisation (C0 residency) and pick the next P-state, with no
+// notion of power limits or application priority.
+//
+// Implemented governors: performance (pin to max), powersave (pin to min),
+// userspace (operator-chosen fixed frequency — the governor the paper uses
+// so its daemon can set P-states directly), ondemand (jump to max above the
+// up-threshold, else scale proportionally to load), and conservative
+// (gradual steps up and down).
+package governor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Kind selects the governor heuristic.
+type Kind string
+
+// The supported governors.
+const (
+	Performance  Kind = "performance"
+	Powersave    Kind = "powersave"
+	Userspace    Kind = "userspace"
+	Ondemand     Kind = "ondemand"
+	Conservative Kind = "conservative"
+)
+
+// Config parameterises a per-core governor.
+type Config struct {
+	Kind Kind
+
+	// Interval is the sampling period (default 100 ms, Linux's
+	// conventional rate).
+	Interval time.Duration
+
+	// UserspaceFreq is the fixed frequency for the userspace governor.
+	UserspaceFreq units.Hertz
+
+	// UpThreshold is the utilisation above which ondemand jumps to the
+	// maximum and conservative steps up (default 0.8).
+	UpThreshold float64
+
+	// DownThreshold is the utilisation below which conservative steps
+	// down (default 0.3).
+	DownThreshold float64
+
+	// StepFraction is conservative's step as a fraction of the maximum
+	// frequency (default 0.05, Linux's freq_step).
+	StepFraction float64
+}
+
+func (c *Config) fill() {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.UpThreshold <= 0 {
+		c.UpThreshold = 0.8
+	}
+	if c.DownThreshold <= 0 {
+		c.DownThreshold = 0.3
+	}
+	if c.StepFraction <= 0 {
+		c.StepFraction = 0.05
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch c.Kind {
+	case Performance, Powersave, Ondemand, Conservative:
+	case Userspace:
+		if c.UserspaceFreq <= 0 {
+			return fmt.Errorf("governor: userspace needs a frequency")
+		}
+	default:
+		return fmt.Errorf("governor: unknown kind %q", c.Kind)
+	}
+	if c.UpThreshold < 0 || c.UpThreshold > 1 || c.DownThreshold < 0 || c.DownThreshold > 1 {
+		return fmt.Errorf("governor: thresholds outside [0,1]")
+	}
+	if c.DownThreshold >= c.UpThreshold && c.Kind == Conservative {
+		return fmt.Errorf("governor: down threshold %g not below up threshold %g",
+			c.DownThreshold, c.UpThreshold)
+	}
+	return nil
+}
+
+// Manager runs one governor instance per managed core.
+type Manager struct {
+	m     *sim.Machine
+	cfg   Config
+	cores []int
+
+	acc     time.Duration
+	prevC0  []time.Duration
+	lastUtl []float64
+}
+
+// Attach installs the governor on the given cores of m and registers its
+// sampling loop on the machine's tick hook. The initial P-state is applied
+// immediately.
+func Attach(m *sim.Machine, cores []int, cfg Config) (*Manager, error) {
+	cfg.fill()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("governor: no cores")
+	}
+	g := &Manager{
+		m:       m,
+		cfg:     cfg,
+		cores:   append([]int(nil), cores...),
+		prevC0:  make([]time.Duration, len(cores)),
+		lastUtl: make([]float64, len(cores)),
+	}
+	spec := m.Chip().Freq
+	for i, core := range g.cores {
+		var init units.Hertz
+		switch cfg.Kind {
+		case Performance, Ondemand:
+			init = spec.Max()
+		case Powersave:
+			init = spec.Min
+		case Userspace:
+			init = cfg.UserspaceFreq
+		case Conservative:
+			init = spec.Nom
+		}
+		if err := m.SetRequest(core, init); err != nil {
+			return nil, err
+		}
+		g.prevC0[i] = m.Counters(core).C0Time
+	}
+	m.OnTick(g.tick)
+	return g, nil
+}
+
+// Utilization reports the managed core's load over the last completed
+// sampling interval.
+func (g *Manager) Utilization(slot int) float64 {
+	if slot < 0 || slot >= len(g.lastUtl) {
+		return 0
+	}
+	return g.lastUtl[slot]
+}
+
+func (g *Manager) tick(dt time.Duration) {
+	g.acc += dt
+	if g.acc < g.cfg.Interval {
+		return
+	}
+	interval := g.acc
+	g.acc = 0
+	spec := g.m.Chip().Freq
+	for i, core := range g.cores {
+		c0 := g.m.Counters(core).C0Time
+		util := float64(c0-g.prevC0[i]) / float64(interval)
+		if util > 1 {
+			util = 1
+		}
+		g.prevC0[i] = c0
+		g.lastUtl[i] = util
+
+		var next units.Hertz
+		cur := g.m.Request(core)
+		switch g.cfg.Kind {
+		case Performance:
+			next = spec.Max()
+		case Powersave:
+			next = spec.Min
+		case Userspace:
+			next = g.cfg.UserspaceFreq
+		case Ondemand:
+			// Linux ondemand: jump to max above the threshold, otherwise
+			// pick the frequency proportional to load with headroom.
+			if util >= g.cfg.UpThreshold {
+				next = spec.Max()
+			} else {
+				next = units.Hertz(util / g.cfg.UpThreshold * float64(spec.Max()))
+			}
+		case Conservative:
+			step := units.Hertz(g.cfg.StepFraction * float64(spec.Max()))
+			switch {
+			case util >= g.cfg.UpThreshold:
+				next = cur + step
+			case util <= g.cfg.DownThreshold:
+				next = cur - step
+			default:
+				next = cur
+			}
+		}
+		next = spec.Quantize(next)
+		if next != cur {
+			// SetRequest only fails for out-of-range cores, which Attach
+			// has already validated.
+			_ = g.m.SetRequest(core, next)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package governor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// interactive returns a duty-cycled gcc-like profile.
+func interactive(duty float64) workload.Profile {
+	p := workload.MustByName("gcc")
+	p.Phases = nil
+	p.DutyCycle = duty
+	p.DutyPeriod = 50 * time.Millisecond
+	return p
+}
+
+func machineWith(t *testing.T, p workload.Profile, cores ...int) *sim.Machine {
+	t.Helper()
+	m, err := sim.New(platform.Skylake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cores {
+		if err := m.Pin(workload.NewInstance(p), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Kind: "bogus"},
+		{Kind: Userspace},                  // missing frequency
+		{Kind: Ondemand, UpThreshold: 1.5}, // threshold out of range
+		{Kind: Conservative, UpThreshold: 0.3, DownThreshold: 0.8}, // inverted
+	}
+	for _, cfg := range cases {
+		cfg2 := cfg
+		cfg2.fill()
+		if err := cfg2.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	m := machineWith(t, interactive(0.5), 0)
+	if _, err := Attach(m, nil, Config{Kind: Performance}); err == nil {
+		t.Error("no cores accepted")
+	}
+}
+
+func TestStaticGovernors(t *testing.T) {
+	chip := platform.Skylake()
+	cases := []struct {
+		cfg  Config
+		want units.Hertz
+	}{
+		{Config{Kind: Performance}, chip.Freq.Max()},
+		{Config{Kind: Powersave}, chip.Freq.Min},
+		{Config{Kind: Userspace, UserspaceFreq: 1500 * units.MHz}, 1500 * units.MHz},
+	}
+	for _, c := range cases {
+		m := machineWith(t, interactive(1), 0)
+		if _, err := Attach(m, []int{0}, c.cfg); err != nil {
+			t.Fatal(err)
+		}
+		m.Run(time.Second)
+		if got := m.Request(0); got != c.want {
+			t.Errorf("%s: request = %v, want %v", c.cfg.Kind, got, c.want)
+		}
+	}
+}
+
+func TestOndemandTracksLoad(t *testing.T) {
+	// Fully-loaded core: ondemand requests max.
+	m := machineWith(t, interactive(1), 0)
+	g, err := Attach(m, []int{0}, Config{Kind: Ondemand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2 * time.Second)
+	if got := m.Request(0); got != m.Chip().Freq.Max() {
+		t.Errorf("full load request = %v, want max", got)
+	}
+	if u := g.Utilization(0); u < 0.95 {
+		t.Errorf("full load utilisation = %.2f", u)
+	}
+
+	// Lightly-loaded (30% duty) core: ondemand settles well below max.
+	m2 := machineWith(t, interactive(0.3), 0)
+	g2, err := Attach(m2, []int{0}, Config{Kind: Ondemand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Run(2 * time.Second)
+	if got := m2.Request(0); got >= m2.Chip().Freq.Nom {
+		t.Errorf("light load request = %v, want well below nominal", got)
+	}
+	if u := g2.Utilization(0); math.Abs(u-0.3) > 0.1 {
+		t.Errorf("utilisation = %.2f, want ~0.3", u)
+	}
+}
+
+func TestOndemandJumpsAboveThreshold(t *testing.T) {
+	m := machineWith(t, interactive(0.9), 0)
+	if _, err := Attach(m, []int{0}, Config{Kind: Ondemand, UpThreshold: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2 * time.Second)
+	if got := m.Request(0); got != m.Chip().Freq.Max() {
+		t.Errorf("90%% load should jump to max, got %v", got)
+	}
+}
+
+func TestConservativeStepsGradually(t *testing.T) {
+	m := machineWith(t, interactive(1), 0)
+	if _, err := Attach(m, []int{0}, Config{Kind: Conservative}); err != nil {
+		t.Fatal(err)
+	}
+	start := m.Request(0)
+	m.Run(150 * time.Millisecond) // one sampling interval
+	oneStep := m.Request(0)
+	if oneStep <= start {
+		t.Fatalf("conservative did not step up: %v -> %v", start, oneStep)
+	}
+	if oneStep-start > 200*units.MHz {
+		t.Errorf("conservative stepped too far at once: %v", oneStep-start)
+	}
+	// Eventually reaches max under sustained load.
+	m.Run(3 * time.Second)
+	if got := m.Request(0); got != m.Chip().Freq.Max() {
+		t.Errorf("sustained load should reach max, got %v", got)
+	}
+	// And steps back down when the load vanishes: replace with an idle
+	// machine run by unpinning.
+	m.Unpin(0)
+	down := m.Request(0)
+	m.Run(time.Second)
+	if got := m.Request(0); got >= down {
+		t.Errorf("conservative did not step down on idle: %v -> %v", down, got)
+	}
+}
+
+// Energy story: on a 30%-duty interactive load, ondemand must use less
+// energy than the performance governor while keeping most throughput.
+func TestOndemandSavesEnergyOnLightLoad(t *testing.T) {
+	run := func(kind Kind) (units.Joules, float64) {
+		m := machineWith(t, interactive(0.3), 0)
+		if _, err := Attach(m, []int{0}, Config{Kind: kind}); err != nil {
+			t.Fatal(err)
+		}
+		m.Run(5 * time.Second)
+		return m.PackageEnergy(), m.Counters(0).Instr
+	}
+	ePerf, iPerf := run(Performance)
+	eOnd, iOnd := run(Ondemand)
+	if eOnd >= ePerf {
+		t.Errorf("ondemand energy %v not below performance %v", eOnd, ePerf)
+	}
+	// The duty-cycled workload completes its on-window work regardless of
+	// frequency? No: lower frequency means fewer instructions in the same
+	// window. Ondemand trades some throughput for energy.
+	if iOnd > iPerf {
+		t.Errorf("ondemand retired more instructions than performance: %g > %g", iOnd, iPerf)
+	}
+	if iOnd < iPerf*0.2 {
+		t.Errorf("ondemand throughput collapsed: %g vs %g", iOnd, iPerf)
+	}
+}
+
+func TestDutyCycledWorkloadSemantics(t *testing.T) {
+	// A 50%-duty workload must retire about half the instructions of a
+	// full-duty one at the same fixed frequency.
+	run := func(duty float64) float64 {
+		m := machineWith(t, interactive(duty), 0)
+		if err := m.SetRequest(0, 2*units.GHz); err != nil {
+			t.Fatal(err)
+		}
+		m.Run(2 * time.Second)
+		return m.Counters(0).Instr
+	}
+	full := run(1)
+	half := run(0.5)
+	ratio := half / full
+	if math.Abs(ratio-0.5) > 0.05 {
+		t.Errorf("duty 0.5 retired %.2f of full duty, want ~0.5", ratio)
+	}
+	// And its C0 residency is about half.
+	m := machineWith(t, interactive(0.5), 0)
+	m.Run(2 * time.Second)
+	c0 := m.Counters(0).C0Time
+	if math.Abs(c0.Seconds()-1.0) > 0.1 {
+		t.Errorf("C0 residency = %v, want ~1s of 2s", c0)
+	}
+	// Off-duty cores draw idle power: package energy sits between idle and
+	// fully-busy.
+	idle := machineWith(t, interactive(0.5)) // nothing pinned
+	idle.Run(2 * time.Second)
+	busy := machineWith(t, interactive(1), 0)
+	busy.Run(2 * time.Second)
+	if !(m.PackageEnergy() > idle.PackageEnergy() && m.PackageEnergy() < busy.PackageEnergy()) {
+		t.Errorf("duty-cycled energy %v not between idle %v and busy %v",
+			m.PackageEnergy(), idle.PackageEnergy(), busy.PackageEnergy())
+	}
+}

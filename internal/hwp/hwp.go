@@ -1,0 +1,182 @@
+// Package hwp models Intel's Hardware-Managed P-states (the paper's
+// Section 2.1 discussion of CPPC/HWP): with HWP enabled, the *hardware*
+// picks each core's operating frequency autonomously within a
+// software-provided [min, max] performance window, biased by an
+// energy-performance preference (EPP) byte — 0 demands performance, 255
+// begs for energy saving.
+//
+// The controller runs at hardware speed (default 1 ms, far below the OS
+// daemon's 1 s) off the machine's tick hook, measures per-core utilisation
+// from C0 residency, and programs the core's P-state request each interval:
+//
+//	target = min + (max − min) · clamp(util · boost, 0, 1)
+//	boost  = 1 + (255 − EPP)/255          // 2x for EPP 0, 1x for EPP 255
+//
+// so a performance-biased core saturates its window at 50% load while an
+// energy-biased one tracks load proportionally. Hints arrive through the
+// IA32_HWP_REQUEST MSR, exactly how supervisory software talks to real
+// HWP; while enabled, the controller's decisions overwrite any direct
+// PERF_CTL requests (as on real silicon, where PERF_CTL is ignored under
+// HWP).
+package hwp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/msr"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// hint is one core's HWP request state.
+type hint struct {
+	min, max units.Hertz
+	epp      uint8
+}
+
+// Controller is the per-package HWP engine.
+type Controller struct {
+	m        *sim.Machine
+	cores    []int
+	interval time.Duration
+
+	enabled bool
+	hints   map[int]*hint
+	acc     time.Duration
+	prevC0  map[int]time.Duration
+	smoothU map[int]float64
+}
+
+// ewmaAlpha smooths per-interval utilisation samples. Duty-cycled
+// workloads produce near-binary samples at millisecond intervals; real HWP
+// integrates demand over a sliding window rather than flapping between the
+// window bounds. 0.02 per millisecond-scale interval gives a ~50 ms time
+// constant, longer than typical interactive duty periods.
+const ewmaAlpha = 0.02
+
+// Enable turns on hardware-managed P-states for the given cores. Initial
+// hints span the chip's full range with a balanced EPP (128).
+func Enable(m *sim.Machine, cores []int, interval time.Duration) (*Controller, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("hwp: no cores")
+	}
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	spec := m.Chip().Freq
+	c := &Controller{
+		m:        m,
+		cores:    append([]int(nil), cores...),
+		interval: interval,
+		enabled:  true,
+		hints:    make(map[int]*hint),
+		prevC0:   make(map[int]time.Duration),
+		smoothU:  make(map[int]float64),
+	}
+	for _, core := range c.cores {
+		if core < 0 || core >= m.Chip().NumCores {
+			return nil, fmt.Errorf("hwp: core %d out of range", core)
+		}
+		c.hints[core] = &hint{min: spec.Min, max: spec.Max(), epp: 128}
+		c.prevC0[core] = m.Counters(core).C0Time
+	}
+	c.wireMSRs()
+	m.OnTick(c.tick)
+	return c, nil
+}
+
+// wireMSRs exposes IA32_PM_ENABLE and IA32_HWP_REQUEST on the machine's
+// simulated MSR device.
+func (c *Controller) wireMSRs() {
+	dev, ok := c.m.Device().(*msr.SimDevice)
+	if !ok {
+		return // file-backed or foreign device: hints via SetHint only
+	}
+	step := c.m.Chip().Freq.Step
+	dev.OnRead(msr.IA32PmEnable, func(int) (uint64, error) {
+		if c.enabled {
+			return 1, nil
+		}
+		return 0, nil
+	})
+	dev.OnWrite(msr.IA32PmEnable, func(_ int, val uint64) error {
+		c.enabled = val&1 != 0
+		return nil
+	})
+	dev.OnRead(msr.IA32HwpRequest, func(cpu int) (uint64, error) {
+		h, ok := c.hints[cpu]
+		if !ok {
+			return 0, fmt.Errorf("hwp: cpu %d not under HWP control", cpu)
+		}
+		return msr.EncodeHWPRequest(h.min, h.max, step, h.epp), nil
+	})
+	dev.OnWrite(msr.IA32HwpRequest, func(cpu int, val uint64) error {
+		min, max, epp := msr.DecodeHWPRequest(val, step)
+		return c.SetHint(cpu, min, max, epp)
+	})
+}
+
+// SetHint programs one core's HWP window and EPP.
+func (c *Controller) SetHint(core int, min, max units.Hertz, epp uint8) error {
+	h, ok := c.hints[core]
+	if !ok {
+		return fmt.Errorf("hwp: core %d not under HWP control", core)
+	}
+	spec := c.m.Chip().Freq
+	min = spec.Quantize(min)
+	max = spec.Quantize(max)
+	if min > max {
+		return fmt.Errorf("hwp: min %v above max %v", min, max)
+	}
+	h.min, h.max, h.epp = min, max, epp
+	return nil
+}
+
+// Hint reports a core's current window and EPP.
+func (c *Controller) Hint(core int) (min, max units.Hertz, epp uint8, err error) {
+	h, ok := c.hints[core]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("hwp: core %d not under HWP control", core)
+	}
+	return h.min, h.max, h.epp, nil
+}
+
+// Enabled reports whether autonomous selection is active.
+func (c *Controller) Enabled() bool { return c.enabled }
+
+// Utilization reports a core's smoothed load.
+func (c *Controller) Utilization(core int) float64 { return c.smoothU[core] }
+
+func (c *Controller) tick(dt time.Duration) {
+	c.acc += dt
+	if c.acc < c.interval {
+		return
+	}
+	interval := c.acc
+	c.acc = 0
+	if !c.enabled {
+		return
+	}
+	spec := c.m.Chip().Freq
+	for _, core := range c.cores {
+		c0 := c.m.Counters(core).C0Time
+		util := float64(c0-c.prevC0[core]) / float64(interval)
+		if util > 1 {
+			util = 1
+		}
+		c.prevC0[core] = c0
+		c.smoothU[core] += ewmaAlpha * (util - c.smoothU[core])
+
+		h := c.hints[core]
+		boost := 1 + float64(255-h.epp)/255
+		frac := c.smoothU[core] * boost
+		if frac > 1 {
+			frac = 1
+		}
+		target := h.min + units.Hertz(frac*float64(h.max-h.min))
+		// SetRequest only fails for out-of-range cores, validated at
+		// Enable.
+		_ = c.m.SetRequest(core, spec.Quantize(target))
+	}
+}

@@ -1,0 +1,217 @@
+package hwp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/msr"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func interactive(duty float64) workload.Profile {
+	p := workload.MustByName("gcc")
+	p.Phases = nil
+	p.DutyCycle = duty
+	p.DutyPeriod = 20 * time.Millisecond
+	return p
+}
+
+func machineWith(t *testing.T, p workload.Profile, cores ...int) *sim.Machine {
+	t.Helper()
+	m, err := sim.New(platform.Skylake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cores {
+		if err := m.Pin(workload.NewInstance(p), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestEnableValidation(t *testing.T) {
+	m := machineWith(t, interactive(1), 0)
+	if _, err := Enable(m, nil, 0); err == nil {
+		t.Error("no cores accepted")
+	}
+	if _, err := Enable(m, []int{99}, 0); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+}
+
+func TestFullLoadSaturatesWindow(t *testing.T) {
+	m := machineWith(t, interactive(1), 0)
+	c, err := Enable(m, []int{0}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	if got := m.Request(0); got != m.Chip().Freq.Max() {
+		t.Errorf("full load request = %v, want max", got)
+	}
+	if u := c.Utilization(0); u < 0.95 {
+		t.Errorf("utilisation = %.2f", u)
+	}
+}
+
+func TestEPPBiasesSelection(t *testing.T) {
+	// At ~40% load, EPP 0 (performance) should run well above EPP 255
+	// (energy saving).
+	run := func(epp uint8) units.Hertz {
+		m := machineWith(t, interactive(0.4), 0)
+		c, err := Enable(m, []int{0}, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetHint(0, m.Chip().Freq.Min, m.Chip().Freq.Max(), epp); err != nil {
+			t.Fatal(err)
+		}
+		m.Run(2 * time.Second)
+		return m.Request(0)
+	}
+	perf := run(0)
+	save := run(255)
+	if perf <= save {
+		t.Errorf("EPP 0 request %v not above EPP 255 request %v", perf, save)
+	}
+	if perf < 2*units.GHz {
+		t.Errorf("performance-biased request %v too low for 40%% load (boost 2x)", perf)
+	}
+}
+
+func TestHintsClampSelection(t *testing.T) {
+	m := machineWith(t, interactive(1), 0)
+	c, err := Enable(m, []int{0}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetHint(0, 1200*units.MHz, 1800*units.MHz, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	if got := m.Request(0); got != 1800*units.MHz {
+		t.Errorf("request %v exceeds max hint", got)
+	}
+	// Idle-ish load floors at the min hint.
+	m2 := machineWith(t, interactive(0.05), 0)
+	c2, err := Enable(m2, []int{0}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.SetHint(0, 1200*units.MHz, 1800*units.MHz, 255); err != nil {
+		t.Fatal(err)
+	}
+	m2.Run(time.Second)
+	if got := m2.Request(0); got < 1200*units.MHz || got > 1400*units.MHz {
+		t.Errorf("light-load request %v, want near the 1200 MHz min hint", got)
+	}
+}
+
+func TestSetHintValidation(t *testing.T) {
+	m := machineWith(t, interactive(1), 0)
+	c, err := Enable(m, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetHint(5, 1*units.GHz, 2*units.GHz, 0); err == nil {
+		t.Error("unmanaged core accepted")
+	}
+	if err := c.SetHint(0, 2*units.GHz, 1*units.GHz, 0); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, _, _, err := c.Hint(7); err == nil {
+		t.Error("Hint on unmanaged core accepted")
+	}
+}
+
+func TestHWPRequestMSRRoundTrip(t *testing.T) {
+	m := machineWith(t, interactive(1), 0)
+	c, err := Enable(m, []int{0}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := m.Chip().Freq.Step
+	val := msr.EncodeHWPRequest(1000*units.MHz, 2000*units.MHz, step, 42)
+	if err := m.Device().Write(0, msr.IA32HwpRequest, val); err != nil {
+		t.Fatal(err)
+	}
+	min, max, epp, err := c.Hint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 1000*units.MHz || max != 2000*units.MHz || epp != 42 {
+		t.Errorf("hint after MSR write = %v/%v/%d", min, max, epp)
+	}
+	back, err := m.Device().Read(0, msr.IA32HwpRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bMin, bMax, bEpp := msr.DecodeHWPRequest(back, step)
+	if bMin != min || bMax != max || bEpp != epp {
+		t.Errorf("MSR read back = %v/%v/%d", bMin, bMax, bEpp)
+	}
+	// Reading the request of an unmanaged cpu errors.
+	if _, err := m.Device().Read(3, msr.IA32HwpRequest); err == nil {
+		t.Error("unmanaged cpu HWP read accepted")
+	}
+}
+
+func TestPmEnableMSRDisablesAutonomy(t *testing.T) {
+	m := machineWith(t, interactive(1), 0)
+	c, err := Enable(m, []int{0}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Device().Read(0, msr.IA32PmEnable); v != 1 {
+		t.Errorf("PM_ENABLE = %d, want 1", v)
+	}
+	if err := m.Device().Write(0, msr.IA32PmEnable, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled() {
+		t.Fatal("still enabled after PM_ENABLE clear")
+	}
+	// With HWP off, direct PERF_CTL requests stick.
+	if err := m.SetRequest(0, 1300*units.MHz); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100 * time.Millisecond)
+	if got := m.Request(0); got != 1300*units.MHz {
+		t.Errorf("request %v overwritten while HWP disabled", got)
+	}
+}
+
+func TestEnergyBiasedHWPSavesPower(t *testing.T) {
+	run := func(epp uint8) units.Joules {
+		m := machineWith(t, interactive(0.3), 0)
+		c, err := Enable(m, []int{0}, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetHint(0, m.Chip().Freq.Min, m.Chip().Freq.Max(), epp); err != nil {
+			t.Fatal(err)
+		}
+		m.Run(5 * time.Second)
+		return m.PackageEnergy()
+	}
+	if ePerf, eSave := run(0), run(255); eSave >= ePerf {
+		t.Errorf("EPP 255 energy %v not below EPP 0 energy %v", eSave, ePerf)
+	}
+}
+
+func TestUtilizationMeasurement(t *testing.T) {
+	m := machineWith(t, interactive(0.5), 0)
+	c, err := Enable(m, []int{0}, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	if u := c.Utilization(0); math.Abs(u-0.5) > 0.15 {
+		t.Errorf("utilisation = %.2f, want ~0.5", u)
+	}
+}

@@ -1,0 +1,300 @@
+// Package msr emulates the model-specific-register interface that power
+// management software uses on real hardware. The paper's userspace daemon
+// reads counters (APERF/MPERF, instructions retired, RAPL energy status)
+// and writes P-state requests (IA32_PERF_CTL, or the AMD 17h P-state MSRs)
+// through /dev/cpu/N/msr; this package provides the same register-level
+// interface over the simulator.
+//
+// Two device implementations are provided: SimDevice dispatches reads and
+// writes to registered handlers (the simulated machine wires its state in),
+// and FileDevice persists registers as little-endian 8-byte files under a
+// directory tree shaped like /dev/cpu/N — the "file-based MSR access" path,
+// which also lets the daemon run as a plain process against a directory.
+package msr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// Architectural and model-specific register addresses. Intel addresses are
+// used as the canonical set; the AMD 17h equivalents alias onto the same
+// simulated state so one daemon binary drives both platforms, exactly as the
+// paper's modified turbostat did.
+const (
+	IA32Mperf      uint32 = 0xE7  // cycles at nominal frequency while in C0
+	IA32Aperf      uint32 = 0xE8  // cycles at effective frequency while in C0
+	IA32PerfStatus uint32 = 0x198 // current P-state (ratio in bits 15:8)
+	IA32PerfCtl    uint32 = 0x199 // requested P-state (ratio in bits 15:8)
+	IA32FixedCtr0  uint32 = 0x309 // instructions retired
+
+	RAPLPowerUnit   uint32 = 0x606 // unit definitions (energy status unit in bits 12:8)
+	PkgPowerLimit   uint32 = 0x610 // package power limit (1/8 W units, enable bit 15)
+	PkgEnergyStatus uint32 = 0x611 // package energy consumed (32-bit, wraps)
+	PP0EnergyStatus uint32 = 0x639 // core-domain energy (per-core in the simulator)
+
+	IA32PmEnable   uint32 = 0x770 // HWP enable (bit 0)
+	IA32HwpRequest uint32 = 0x774 // HWP hints: min/max performance and EPP
+
+	// AMD family 17h aliases.
+	AMDPStateCtl   uint32 = 0xC0010062
+	AMDPStateStat  uint32 = 0xC0010063
+	AMDRAPLPwrUnit uint32 = 0xC0010299
+	AMDCoreEnergy  uint32 = 0xC001029A
+	AMDPkgEnergy   uint32 = 0xC001029B
+)
+
+// Canonical maps AMD alias registers onto the canonical Intel-addressed
+// simulated state; other registers map to themselves.
+func Canonical(reg uint32) uint32 {
+	switch reg {
+	case AMDPStateCtl:
+		return IA32PerfCtl
+	case AMDPStateStat:
+		return IA32PerfStatus
+	case AMDRAPLPwrUnit:
+		return RAPLPowerUnit
+	case AMDCoreEnergy:
+		return PP0EnergyStatus
+	case AMDPkgEnergy:
+		return PkgEnergyStatus
+	}
+	return reg
+}
+
+// Device is register-level access to one socket's MSRs, addressed by
+// logical CPU.
+type Device interface {
+	Read(cpu int, reg uint32) (uint64, error)
+	Write(cpu int, reg uint32, val uint64) error
+}
+
+// EncodePerfCtl encodes a frequency request as a PERF_CTL value: the
+// frequency expressed as a multiple of step, stored in bits 15:8 (the
+// Intel ratio field; we reuse the layout for AMD with its 25 MHz step).
+func EncodePerfCtl(f, step units.Hertz) uint64 {
+	if step <= 0 {
+		return 0
+	}
+	ratio := uint64(f.QuantizeNearest(step) / step)
+	return (ratio & 0xFF) << 8
+}
+
+// DecodePerfCtl recovers the requested frequency from a PERF_CTL value.
+func DecodePerfCtl(val uint64, step units.Hertz) units.Hertz {
+	return units.Hertz((val>>8)&0xFF) * step
+}
+
+// EncodeHWPRequest encodes IA32_HWP_REQUEST hints: the minimum and maximum
+// performance ratios (frequency as a multiple of step) in bits 7:0 and
+// 15:8, and the energy-performance preference (0 = maximum performance,
+// 255 = maximum energy saving) in bits 31:24. The desired-performance field
+// (bits 23:16) is left zero: autonomous selection, as the paper's HWP
+// discussion assumes.
+func EncodeHWPRequest(min, max units.Hertz, step units.Hertz, epp uint8) uint64 {
+	if step <= 0 {
+		return 0
+	}
+	lo := uint64(min.QuantizeNearest(step)/step) & 0xFF
+	hi := uint64(max.QuantizeNearest(step)/step) & 0xFF
+	return lo | hi<<8 | uint64(epp)<<24
+}
+
+// DecodeHWPRequest recovers the hints from an IA32_HWP_REQUEST value.
+func DecodeHWPRequest(val uint64, step units.Hertz) (min, max units.Hertz, epp uint8) {
+	return units.Hertz(val&0xFF) * step,
+		units.Hertz((val>>8)&0xFF) * step,
+		uint8(val >> 24)
+}
+
+// EnergyUnit converts between joules and RAPL energy-status counts. The
+// unit is 2^-ESU joules; Skylake server parts use ESU 14 (61 µJ), most
+// client parts 16 (15.3 µJ, the value the paper cites).
+type EnergyUnit struct{ ESU uint }
+
+// UnitJoules returns the size of one count in joules.
+func (u EnergyUnit) UnitJoules() units.Joules {
+	return units.Joules(1.0 / float64(uint64(1)<<u.ESU))
+}
+
+// ToCounts converts energy to counts, truncating to the 32-bit counter
+// width (the hardware counter wraps).
+func (u EnergyUnit) ToCounts(j units.Joules) uint64 {
+	if j < 0 {
+		return 0
+	}
+	return uint64(float64(j)*float64(uint64(1)<<u.ESU)) & 0xFFFFFFFF
+}
+
+// FromCounts converts counts back to energy.
+func (u EnergyUnit) FromCounts(c uint64) units.Joules {
+	return units.Joules(float64(c&0xFFFFFFFF)) * u.UnitJoules()
+}
+
+// DeltaCounts computes the counter delta from prev to cur accounting for a
+// single 32-bit wrap, as energy readers must.
+func DeltaCounts(prev, cur uint64) uint64 {
+	prev &= 0xFFFFFFFF
+	cur &= 0xFFFFFFFF
+	if cur >= prev {
+		return cur - prev
+	}
+	return cur + (1 << 32) - prev
+}
+
+// EncodePowerUnit builds a RAPL_POWER_UNIT value carrying the energy status
+// unit in bits 12:8.
+func EncodePowerUnit(u EnergyUnit) uint64 { return uint64(u.ESU&0x1F) << 8 }
+
+// DecodePowerUnit extracts the energy unit from a RAPL_POWER_UNIT value.
+func DecodePowerUnit(val uint64) EnergyUnit { return EnergyUnit{ESU: uint((val >> 8) & 0x1F)} }
+
+// EncodePowerLimit encodes a package power limit: watts in 1/8 W units in
+// bits 14:0, enable in bit 15.
+func EncodePowerLimit(w units.Watts, enable bool) uint64 {
+	v := uint64(float64(w)*8) & 0x7FFF
+	if enable {
+		v |= 1 << 15
+	}
+	return v
+}
+
+// DecodePowerLimit recovers the limit and enable flag.
+func DecodePowerLimit(val uint64) (units.Watts, bool) {
+	return units.Watts(float64(val&0x7FFF) / 8), val&(1<<15) != 0
+}
+
+// SimDevice dispatches register access to handlers registered per canonical
+// register address. Unhandled registers return ErrUnknownRegister. It is
+// safe for concurrent use if the registered handlers are.
+type SimDevice struct {
+	mu     sync.RWMutex
+	reads  map[uint32]func(cpu int) (uint64, error)
+	writes map[uint32]func(cpu int, val uint64) error
+}
+
+// ErrUnknownRegister is returned for access to an unwired register.
+var ErrUnknownRegister = fmt.Errorf("msr: unknown register")
+
+// NewSimDevice returns an empty device; wire registers with OnRead/OnWrite.
+func NewSimDevice() *SimDevice {
+	return &SimDevice{
+		reads:  make(map[uint32]func(int) (uint64, error)),
+		writes: make(map[uint32]func(int, uint64) error),
+	}
+}
+
+// OnRead registers a read handler for reg (and its aliases).
+func (d *SimDevice) OnRead(reg uint32, fn func(cpu int) (uint64, error)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reads[Canonical(reg)] = fn
+}
+
+// OnWrite registers a write handler for reg (and its aliases).
+func (d *SimDevice) OnWrite(reg uint32, fn func(cpu int, val uint64) error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writes[Canonical(reg)] = fn
+}
+
+// Read implements Device.
+func (d *SimDevice) Read(cpu int, reg uint32) (uint64, error) {
+	d.mu.RLock()
+	fn := d.reads[Canonical(reg)]
+	d.mu.RUnlock()
+	if fn == nil {
+		return 0, fmt.Errorf("%w: read 0x%X", ErrUnknownRegister, reg)
+	}
+	return fn(cpu)
+}
+
+// Write implements Device.
+func (d *SimDevice) Write(cpu int, reg uint32, val uint64) error {
+	d.mu.RLock()
+	fn := d.writes[Canonical(reg)]
+	d.mu.RUnlock()
+	if fn == nil {
+		return fmt.Errorf("%w: write 0x%X", ErrUnknownRegister, reg)
+	}
+	return fn(cpu, val)
+}
+
+// FileDevice stores each register as an 8-byte little-endian file at
+// dir/cpuN/0xXXXXXXXX, a file-system rendition of /dev/cpu/N/msr. Reads of
+// absent registers return zero, like reading an unimplemented MSR that RAZ.
+// It is safe for concurrent use within one process.
+type FileDevice struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileDevice creates (if needed) and opens a file-backed MSR tree.
+func NewFileDevice(dir string) (*FileDevice, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("msr: creating device dir: %w", err)
+	}
+	return &FileDevice{dir: dir}, nil
+}
+
+// Dir returns the root of the device tree.
+func (d *FileDevice) Dir() string { return d.dir }
+
+func (d *FileDevice) path(cpu int, reg uint32) string {
+	return filepath.Join(d.dir, fmt.Sprintf("cpu%d", cpu), fmt.Sprintf("0x%08X", Canonical(reg)))
+}
+
+// Read implements Device. Missing registers read as zero.
+func (d *FileDevice) Read(cpu int, reg uint32) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, err := os.ReadFile(d.path(cpu, reg))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("msr: read cpu%d reg 0x%X: %w", cpu, reg, err)
+	}
+	if len(b) < 8 {
+		return 0, fmt.Errorf("msr: short register file for cpu%d reg 0x%X: %d bytes", cpu, reg, len(b))
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// Write implements Device.
+func (d *FileDevice) Write(cpu int, reg uint32, val uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.path(cpu, reg)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("msr: creating cpu dir: %w", err)
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], val)
+	if err := os.WriteFile(p, b[:], 0o644); err != nil {
+		return fmt.Errorf("msr: write cpu%d reg 0x%X: %w", cpu, reg, err)
+	}
+	return nil
+}
+
+// Mirror copies a register set for cpus [0, n) from src to dst. It is used
+// to publish simulator state into a FileDevice for out-of-process readers.
+func Mirror(src, dst Device, n int, regs []uint32) error {
+	for cpu := 0; cpu < n; cpu++ {
+		for _, reg := range regs {
+			v, err := src.Read(cpu, reg)
+			if err != nil {
+				return err
+			}
+			if err := dst.Write(cpu, reg, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+// Package opconfig loads operator configuration for the power-delivery
+// daemon: which platform, which policy, the power limit, and the managed
+// applications with their cores, shares or priorities — the file-based
+// equivalent of the paper's "list of programs as input with their priority
+// and shares" (Section 5).
+package opconfig
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// App is one managed application entry.
+type App struct {
+	Name string `json:"name"`
+	Core int    `json:"core"`
+
+	// Shares is the proportional-share weight (share policies).
+	Shares int `json:"shares,omitempty"`
+
+	// Priority is "hp" or "lp" (priority policy).
+	Priority string `json:"priority,omitempty"`
+
+	// MaxFreqMHz optionally caps the application at a useful frequency.
+	MaxFreqMHz int `json:"max_freq_mhz,omitempty"`
+}
+
+// Config is the operator's daemon configuration.
+type Config struct {
+	Platform   string  `json:"platform"`
+	Policy     string  `json:"policy"` // frequency, performance, power, priority
+	LimitWatts float64 `json:"limit_watts"`
+	IntervalMS int     `json:"interval_ms,omitempty"`
+	Apps       []App   `json:"apps"`
+}
+
+// Load reads and validates a configuration file.
+func Load(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("opconfig: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Parse reads and validates a configuration document. Unknown fields are
+// rejected so typos fail loudly.
+func Parse(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("opconfig: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Validate checks the configuration's coherence without building anything.
+func (c Config) Validate() error {
+	if _, err := platform.ByName(c.Platform); err != nil {
+		return fmt.Errorf("opconfig: %w", err)
+	}
+	switch c.Policy {
+	case "frequency", "performance", "power", "priority", "priority-shares":
+	default:
+		return fmt.Errorf("opconfig: unknown policy %q", c.Policy)
+	}
+	if c.LimitWatts <= 0 {
+		return fmt.Errorf("opconfig: limit_watts must be positive")
+	}
+	if c.IntervalMS < 0 {
+		return fmt.Errorf("opconfig: negative interval_ms")
+	}
+	if len(c.Apps) == 0 {
+		return fmt.Errorf("opconfig: no apps")
+	}
+	for i, a := range c.Apps {
+		if _, err := workload.ByName(a.Name); err != nil {
+			return fmt.Errorf("opconfig: app %d: %w", i, err)
+		}
+		switch c.Policy {
+		case "priority":
+			if a.Priority != "hp" && a.Priority != "lp" {
+				return fmt.Errorf("opconfig: app %q needs priority hp or lp", a.Name)
+			}
+		case "priority-shares":
+			if a.Priority != "hp" && a.Priority != "lp" {
+				return fmt.Errorf("opconfig: app %q needs priority hp or lp", a.Name)
+			}
+			if a.Shares <= 0 {
+				return fmt.Errorf("opconfig: app %q needs positive shares for the %s policy", a.Name, c.Policy)
+			}
+		default:
+			if a.Shares > 0 {
+				break
+			}
+			return fmt.Errorf("opconfig: app %q needs positive shares for the %s policy", a.Name, c.Policy)
+		}
+		if a.MaxFreqMHz < 0 {
+			return fmt.Errorf("opconfig: app %q has negative max_freq_mhz", a.Name)
+		}
+	}
+	return nil
+}
+
+// Interval returns the control interval (the paper's 1 s by default).
+func (c Config) Interval() time.Duration {
+	if c.IntervalMS <= 0 {
+		return time.Second
+	}
+	return time.Duration(c.IntervalMS) * time.Millisecond
+}
+
+// Limit returns the power limit.
+func (c Config) Limit() units.Watts { return units.Watts(c.LimitWatts) }
+
+// Build materialises the chip, app specs (with analytic standalone
+// baselines for the performance policy), and the policy itself.
+func (c Config) Build() (platform.Chip, []core.AppSpec, core.Policy, error) {
+	chip, err := platform.ByName(c.Platform)
+	if err != nil {
+		return platform.Chip{}, nil, nil, err
+	}
+	specs := make([]core.AppSpec, len(c.Apps))
+	for i, a := range c.Apps {
+		p, err := workload.ByName(a.Name)
+		if err != nil {
+			return platform.Chip{}, nil, nil, err
+		}
+		specs[i] = core.AppSpec{
+			Name:         p.Name,
+			Core:         a.Core,
+			Shares:       units.Shares(a.Shares),
+			HighPriority: a.Priority == "hp",
+			AVX:          p.AVX,
+			MaxFreq:      units.Hertz(a.MaxFreqMHz) * units.MHz,
+		}
+		if c.Policy == "performance" {
+			specs[i].BaselineIPS = p.IPS(chip.Freq.Ceiling(1, p.AVX))
+		}
+	}
+	var pol core.Policy
+	switch c.Policy {
+	case "frequency":
+		pol, err = core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	case "performance":
+		pol, err = core.NewPerformanceShares(chip, specs, core.ShareConfig{})
+	case "power":
+		pol, err = core.NewPowerShares(chip, specs, core.ShareConfig{})
+	case "priority":
+		pol, err = core.NewPriority(chip, specs, core.PriorityConfig{Limit: c.Limit()})
+	case "priority-shares":
+		pol, err = core.NewPriorityShares(chip, specs, core.PriorityConfig{Limit: c.Limit()})
+	default:
+		err = fmt.Errorf("opconfig: unknown policy %q", c.Policy)
+	}
+	if err != nil {
+		return platform.Chip{}, nil, nil, err
+	}
+	return chip, specs, pol, nil
+}

@@ -1,0 +1,180 @@
+package opconfig
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+const goodDoc = `{
+	"platform": "skylake",
+	"policy": "frequency",
+	"limit_watts": 50,
+	"interval_ms": 500,
+	"apps": [
+		{"name": "gcc", "core": 0, "shares": 90},
+		{"name": "cam4", "core": 1, "shares": 10, "max_freq_mhz": 1700}
+	]
+}`
+
+func TestParseGood(t *testing.T) {
+	c, err := Parse(strings.NewReader(goodDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Interval() != 500*time.Millisecond {
+		t.Errorf("Interval = %v", c.Interval())
+	}
+	if c.Limit() != 50 {
+		t.Errorf("Limit = %v", c.Limit())
+	}
+	chip, specs, pol, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip.Vendor != "Intel" {
+		t.Errorf("chip = %s", chip.Name)
+	}
+	if pol.Name() != "frequency-shares" {
+		t.Errorf("policy = %s", pol.Name())
+	}
+	if specs[1].MaxFreq != 1700*units.MHz {
+		t.Errorf("MaxFreq = %v", specs[1].MaxFreq)
+	}
+	if !specs[1].AVX {
+		t.Error("cam4 AVX flag lost")
+	}
+}
+
+func TestParseRejectsBadDocs(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"garbage", "{nope"},
+		{"unknown field", `{"platform":"skylake","policy":"frequency","limit_watts":50,"typo":1,"apps":[{"name":"gcc","core":0,"shares":1}]}`},
+		{"bad platform", `{"platform":"sparc","policy":"frequency","limit_watts":50,"apps":[{"name":"gcc","core":0,"shares":1}]}`},
+		{"bad policy", `{"platform":"skylake","policy":"magic","limit_watts":50,"apps":[{"name":"gcc","core":0,"shares":1}]}`},
+		{"zero limit", `{"platform":"skylake","policy":"frequency","limit_watts":0,"apps":[{"name":"gcc","core":0,"shares":1}]}`},
+		{"no apps", `{"platform":"skylake","policy":"frequency","limit_watts":50,"apps":[]}`},
+		{"unknown app", `{"platform":"skylake","policy":"frequency","limit_watts":50,"apps":[{"name":"doom","core":0,"shares":1}]}`},
+		{"missing shares", `{"platform":"skylake","policy":"frequency","limit_watts":50,"apps":[{"name":"gcc","core":0}]}`},
+		{"bad priority", `{"platform":"skylake","policy":"priority","limit_watts":50,"apps":[{"name":"gcc","core":0,"priority":"vip"}]}`},
+		{"negative cap", `{"platform":"skylake","policy":"frequency","limit_watts":50,"apps":[{"name":"gcc","core":0,"shares":1,"max_freq_mhz":-5}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestPriorityPolicyBuild(t *testing.T) {
+	doc := `{
+		"platform": "ryzen",
+		"policy": "priority",
+		"limit_watts": 40,
+		"apps": [
+			{"name": "cactusBSSN", "core": 0, "priority": "hp"},
+			{"name": "leela", "core": 1, "priority": "lp"}
+		]
+	}`
+	c, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, specs, pol, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != "priority" {
+		t.Errorf("policy = %s", pol.Name())
+	}
+	if !specs[0].HighPriority || specs[1].HighPriority {
+		t.Error("priority flags wrong")
+	}
+}
+
+func TestPrioritySharesPolicyBuild(t *testing.T) {
+	doc := `{
+		"platform": "skylake",
+		"policy": "priority-shares",
+		"limit_watts": 45,
+		"apps": [
+			{"name": "cactusBSSN", "core": 0, "priority": "hp", "shares": 90},
+			{"name": "leela", "core": 1, "priority": "lp", "shares": 30}
+		]
+	}`
+	c, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, pol, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != "priority+shares" {
+		t.Errorf("policy = %s", pol.Name())
+	}
+	// Missing shares is rejected for this policy.
+	bad := strings.Replace(doc, `, "shares": 90`, "", 1)
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("priority-shares without shares accepted")
+	}
+}
+
+func TestPerformancePolicyGetsBaselines(t *testing.T) {
+	doc := strings.Replace(goodDoc, `"frequency"`, `"performance"`, 1)
+	c, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, specs, _, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if s.BaselineIPS <= 0 {
+			t.Errorf("%s missing baseline", s.Name)
+		}
+	}
+}
+
+func TestPowerPolicyRejectedOnSkylakeAtBuild(t *testing.T) {
+	doc := strings.Replace(goodDoc, `"frequency"`, `"power"`, 1)
+	c, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Build(); err == nil {
+		t.Error("power shares on Skylake accepted at build")
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "powerd.json")
+	if err := os.WriteFile(path, []byte(goodDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	doc := strings.Replace(goodDoc, `"interval_ms": 500,`, "", 1)
+	c, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Interval() != time.Second {
+		t.Errorf("default interval = %v, want the paper's 1s", c.Interval())
+	}
+}

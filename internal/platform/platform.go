@@ -1,0 +1,201 @@
+// Package platform defines the two evaluation platforms of the paper
+// (Table 1): the Intel Xeon-SP 4114 "Skylake" and the AMD Ryzen 1700X,
+// as chip configurations combining a frequency specification (P-states,
+// turbo tables, AVX licences), a power model, and capability flags that
+// gate which policies a platform can run (per-core power measurement is
+// Ryzen-only, hardware RAPL limiting is Skylake-only, Ryzen can hold only
+// three distinct P-states at once).
+package platform
+
+import (
+	"time"
+
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Chip is a single-socket processor configuration.
+type Chip struct {
+	Name     string
+	Vendor   string
+	NumCores int
+
+	Freq  cpu.FreqSpec
+	Power power.Model
+
+	// CStates is the core idle-state table, ordered shallow to deep. An
+	// empty table falls back to the power model's flat IdleCorePower.
+	CStates []cpu.CState
+
+	// PerCorePower reports whether the chip exposes per-core energy
+	// counters (Ryzen does; Skylake exposes only the package domain).
+	// The paper's power-share policy requires this.
+	PerCorePower bool
+
+	// HardwareRAPLLimit reports whether the chip's RAPL limiter is
+	// available (documented) for enforcement. True on Skylake; the
+	// Ryzen limiter is undocumented, so the paper enforces limits in
+	// software only.
+	HardwareRAPLLimit bool
+
+	// MaxSimultaneousPStates bounds how many distinct frequencies may be
+	// in effect at once across cores; zero means unlimited. Ryzen 1700X
+	// supports only 3.
+	MaxSimultaneousPStates int
+
+	// RAPLMin and RAPLMax bound the valid package power limit range.
+	RAPLMin, RAPLMax units.Watts
+
+	// NormFreq is the frequency the paper normalises performance to
+	// (2.2 GHz on Skylake, 3.0 GHz on Ryzen).
+	NormFreq units.Hertz
+}
+
+// Validate reports whether the chip configuration is coherent.
+func (c Chip) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("platform: chip has no name")
+	}
+	if c.NumCores <= 0 {
+		return fmt.Errorf("platform %s: NumCores must be positive", c.Name)
+	}
+	if err := c.Freq.Validate(); err != nil {
+		return fmt.Errorf("platform %s: %w", c.Name, err)
+	}
+	if err := c.Power.Validate(); err != nil {
+		return fmt.Errorf("platform %s: %w", c.Name, err)
+	}
+	if err := cpu.ValidateCStates(c.CStates); err != nil {
+		return fmt.Errorf("platform %s: %w", c.Name, err)
+	}
+	if c.Freq.Max() != c.Power.Curve.MaxFreq {
+		return fmt.Errorf("platform %s: freq spec max %v disagrees with power curve max %v",
+			c.Name, c.Freq.Max(), c.Power.Curve.MaxFreq)
+	}
+	if c.Freq.Min != c.Power.Curve.MinFreq {
+		return fmt.Errorf("platform %s: freq spec min %v disagrees with power curve min %v",
+			c.Name, c.Freq.Min, c.Power.Curve.MinFreq)
+	}
+	if len(c.Freq.Turbo) > 0 && c.Freq.Turbo[len(c.Freq.Turbo)-1].MaxActive < c.NumCores {
+		return fmt.Errorf("platform %s: turbo table does not cover %d cores", c.Name, c.NumCores)
+	}
+	if c.MaxSimultaneousPStates < 0 {
+		return fmt.Errorf("platform %s: negative MaxSimultaneousPStates", c.Name)
+	}
+	if !(c.RAPLMin > 0 && c.RAPLMin < c.RAPLMax) {
+		return fmt.Errorf("platform %s: RAPL range [%v, %v] invalid", c.Name, c.RAPLMin, c.RAPLMax)
+	}
+	if c.NormFreq < c.Freq.Min || c.NormFreq > c.Freq.Max() {
+		return fmt.Errorf("platform %s: NormFreq %v outside frequency range", c.Name, c.NormFreq)
+	}
+	return nil
+}
+
+// Skylake returns the paper's Intel platform: Xeon-SP 4114, one socket,
+// 10 cores, 0.8-2.2 GHz nominal plus TurboBoost to 3.0 GHz, per-core DVFS in
+// 100 MHz steps, RAPL power capping over 20-85 W, package-level power
+// measurement only.
+func Skylake() Chip {
+	return Chip{
+		Name:     "Skylake Xeon-SP 4114",
+		Vendor:   "Intel",
+		NumCores: 10,
+		Freq: cpu.FreqSpec{
+			Min:  800 * units.MHz,
+			Nom:  2200 * units.MHz,
+			Step: 100 * units.MHz,
+			Turbo: []cpu.TurboBin{
+				{MaxActive: 2, Normal: 3000 * units.MHz, AVX: 1900 * units.MHz},
+				{MaxActive: 4, Normal: 2800 * units.MHz, AVX: 1800 * units.MHz},
+				{MaxActive: 10, Normal: 2500 * units.MHz, AVX: 1700 * units.MHz},
+			},
+		},
+		Power: power.Model{
+			Curve: power.VoltageCurve{
+				MinFreq: 800 * units.MHz,
+				NomFreq: 2200 * units.MHz,
+				MaxFreq: 3000 * units.MHz,
+				MinV:    0.62,
+				NomV:    0.95,
+				MaxV:    1.20,
+			},
+			CoreCeff:      2.4e-9,
+			CoreLeakage:   0.6,
+			IdleCorePower: 0.10,
+			UncorePower:   12,
+		},
+		CStates: []cpu.CState{
+			{Name: "C1", Power: 0.80, ExitLatency: 2 * time.Microsecond, TargetResidency: 5 * time.Microsecond},
+			{Name: "C1E", Power: 0.40, ExitLatency: 10 * time.Microsecond, TargetResidency: 25 * time.Microsecond},
+			{Name: "C6", Power: 0.10, ExitLatency: 133 * time.Microsecond, TargetResidency: 400 * time.Microsecond},
+		},
+		PerCorePower:           false,
+		HardwareRAPLLimit:      true,
+		MaxSimultaneousPStates: 0,
+		RAPLMin:                20,
+		RAPLMax:                85,
+		NormFreq:               2200 * units.MHz,
+	}
+}
+
+// Ryzen returns the paper's AMD platform: Ryzen 1700X, 8 cores,
+// 0.4-3.4 GHz plus XFR to 3.8 GHz, per-core DVFS in 25 MHz steps limited to
+// 3 simultaneous P-states, per-core power measurement, no documented
+// hardware RAPL limiting.
+func Ryzen() Chip {
+	return Chip{
+		Name:     "AMD Ryzen 1700X",
+		Vendor:   "AMD",
+		NumCores: 8,
+		Freq: cpu.FreqSpec{
+			Min:  400 * units.MHz,
+			Nom:  3400 * units.MHz,
+			Step: 25 * units.MHz,
+			Turbo: []cpu.TurboBin{
+				// Zen 1 splits 256-bit AVX into two 128-bit halves, so
+				// there is no separate AVX licence frequency.
+				{MaxActive: 2, Normal: 3800 * units.MHz, AVX: 3800 * units.MHz},
+				{MaxActive: 8, Normal: 3500 * units.MHz, AVX: 3500 * units.MHz},
+			},
+		},
+		Power: power.Model{
+			Curve: power.VoltageCurve{
+				MinFreq: 400 * units.MHz,
+				NomFreq: 3400 * units.MHz,
+				MaxFreq: 3800 * units.MHz,
+				MinV:    0.70,
+				NomV:    1.1875,
+				MaxV:    1.35,
+			},
+			CoreCeff:      1.7e-9,
+			CoreLeakage:   0.8,
+			IdleCorePower: 0.12,
+			UncorePower:   10,
+		},
+		CStates: []cpu.CState{
+			{Name: "C1", Power: 0.70, ExitLatency: 1 * time.Microsecond, TargetResidency: 2 * time.Microsecond},
+			{Name: "C2", Power: 0.30, ExitLatency: 50 * time.Microsecond, TargetResidency: 150 * time.Microsecond},
+			{Name: "C6", Power: 0.12, ExitLatency: 350 * time.Microsecond, TargetResidency: time.Millisecond},
+		},
+		PerCorePower:           true,
+		HardwareRAPLLimit:      false,
+		MaxSimultaneousPStates: 3,
+		RAPLMin:                15,
+		RAPLMax:                95,
+		NormFreq:               3000 * units.MHz,
+	}
+}
+
+// ByName returns a platform by short name: "skylake" or "ryzen".
+func ByName(name string) (Chip, error) {
+	switch name {
+	case "skylake", "intel", "xeon":
+		return Skylake(), nil
+	case "ryzen", "amd":
+		return Ryzen(), nil
+	}
+	return Chip{}, fmt.Errorf("platform: unknown platform %q (want skylake or ryzen)", name)
+}

@@ -1,0 +1,150 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestBothPlatformsValid(t *testing.T) {
+	for _, c := range []Chip{Skylake(), Ryzen()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesIncoherence(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Chip)
+	}{
+		{"no name", func(c *Chip) { c.Name = "" }},
+		{"no cores", func(c *Chip) { c.NumCores = 0 }},
+		{"curve mismatch max", func(c *Chip) { c.Power.Curve.MaxFreq = 9 * units.GHz }},
+		{"curve mismatch min", func(c *Chip) { c.Power.Curve.MinFreq = 1 * units.MHz }},
+		{"turbo undersized", func(c *Chip) { c.NumCores = 64 }},
+		{"negative pstates", func(c *Chip) { c.MaxSimultaneousPStates = -1 }},
+		{"bad rapl range", func(c *Chip) { c.RAPLMin = 200 }},
+		{"norm freq out of range", func(c *Chip) { c.NormFreq = 10 * units.GHz }},
+	}
+	for _, tc := range cases {
+		c := Skylake()
+		tc.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestPaperTable1Features(t *testing.T) {
+	sky := Skylake()
+	if sky.NumCores != 10 {
+		t.Errorf("Skylake cores = %d", sky.NumCores)
+	}
+	if sky.Freq.Min != 800*units.MHz || sky.Freq.Nom != 2200*units.MHz || sky.Freq.Max() != 3*units.GHz {
+		t.Errorf("Skylake freq range wrong: %v-%v+%v", sky.Freq.Min, sky.Freq.Nom, sky.Freq.Max())
+	}
+	if sky.Freq.Step != 100*units.MHz {
+		t.Errorf("Skylake step = %v", sky.Freq.Step)
+	}
+	if sky.PerCorePower || !sky.HardwareRAPLLimit {
+		t.Error("Skylake capabilities wrong")
+	}
+	if sky.RAPLMin != 20 || sky.RAPLMax != 85 {
+		t.Errorf("Skylake RAPL range = %v-%v", sky.RAPLMin, sky.RAPLMax)
+	}
+
+	ryz := Ryzen()
+	if ryz.NumCores != 8 {
+		t.Errorf("Ryzen cores = %d", ryz.NumCores)
+	}
+	if ryz.Freq.Min != 400*units.MHz || ryz.Freq.Nom != 3400*units.MHz || ryz.Freq.Max() != 3800*units.MHz {
+		t.Errorf("Ryzen freq range wrong")
+	}
+	if ryz.Freq.Step != 25*units.MHz {
+		t.Errorf("Ryzen step = %v", ryz.Freq.Step)
+	}
+	if !ryz.PerCorePower || ryz.HardwareRAPLLimit {
+		t.Error("Ryzen capabilities wrong")
+	}
+	if ryz.MaxSimultaneousPStates != 3 {
+		t.Errorf("Ryzen P-state limit = %d", ryz.MaxSimultaneousPStates)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"skylake", "intel", "xeon"} {
+		c, err := ByName(n)
+		if err != nil || c.Vendor != "Intel" {
+			t.Errorf("ByName(%q) = %v, %v", n, c.Vendor, err)
+		}
+	}
+	for _, n := range []string{"ryzen", "amd"} {
+		c, err := ByName(n)
+		if err != nil || c.Vendor != "AMD" {
+			t.Errorf("ByName(%q) = %v, %v", n, c.Vendor, err)
+		}
+	}
+	if _, err := ByName("sparc"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+// Package power of a full gcc load at the all-core ceiling must sit inside
+// the RAPL range on Skylake (the paper's Figure 1 shows no throttling at
+// 85 W) and a full cactusBSSN load must exceed 50 W (so the 50 W limit
+// actually binds).
+func TestSkylakePowerEnvelope(t *testing.T) {
+	sky := Skylake()
+	gcc := workload.MustByName("gcc")
+	allCore := sky.Freq.Ceiling(sky.NumCores, false)
+	draws := make([]power.CoreDraw, sky.NumCores)
+	for i := range draws {
+		draws[i] = power.CoreDraw{Active: true, Freq: allCore, Activity: gcc.Activity}
+	}
+	full := sky.Power.Package(draws)
+	if full >= sky.RAPLMax {
+		t.Errorf("all-core gcc draws %v, should fit under TDP %v", full, sky.RAPLMax)
+	}
+	if full <= 50 {
+		t.Errorf("all-core gcc draws only %v; 50 W limit would never bind", full)
+	}
+
+	cactus := workload.MustByName("cactusBSSN")
+	for i := range draws {
+		draws[i] = power.CoreDraw{Active: true, Freq: allCore, Activity: cactus.Activity}
+	}
+	if p := sky.Power.Package(draws); p <= 50 {
+		t.Errorf("all-core cactusBSSN draws only %v, 50 W limit would never bind", p)
+	}
+}
+
+// On Ryzen the dynamic range of core power should be roughly the paper's
+// reported factor of 12-14 between min and max frequency.
+func TestRyzenCorePowerDynamicRange(t *testing.T) {
+	ryz := Ryzen()
+	lo := ryz.Power.CorePower(ryz.Freq.Min, 1)
+	hi := ryz.Power.CorePower(ryz.Freq.Max(), 1)
+	ratio := float64(hi / lo)
+	if ratio < 8 || ratio > 25 {
+		t.Errorf("Ryzen core power dynamic range = %.1fx, want ~12-14x", ratio)
+	}
+}
+
+// The AVX licence must actually bind on Skylake: an AVX app's ceiling at
+// full occupancy is far below the normal ceiling (cam4's 1667 MHz vs gcc's
+// 2360 MHz in Figure 1).
+func TestSkylakeAVXLicenceBinds(t *testing.T) {
+	sky := Skylake()
+	avx := sky.Freq.Ceiling(10, true)
+	normal := sky.Freq.Ceiling(10, false)
+	if avx >= normal {
+		t.Errorf("AVX ceiling %v not below normal %v", avx, normal)
+	}
+	if avx != 1700*units.MHz {
+		t.Errorf("AVX all-core ceiling = %v, want 1700 MHz", avx)
+	}
+}

@@ -1,0 +1,148 @@
+// Package powercap models the Linux Power Capping Framework the paper
+// references (kernel.org powercap documentation): a sysfs-shaped directory
+// tree through which operators read package energy and write power limits
+// — the userspace face of RAPL on Intel systems.
+//
+// The tree mirrors /sys/class/powercap/intel-rapl:0:
+//
+//	<root>/intel-rapl:0/
+//	    name                          "package-0"
+//	    enabled                       "1" / "0"
+//	    energy_uj                     cumulative energy, microjoules, wraps
+//	    max_energy_range_uj           wrap range
+//	    constraint_0_name             "long_term"
+//	    constraint_0_power_limit_uw   limit, microwatts (writable)
+//	    constraint_0_max_power_uw     the chip's maximum programmable limit
+//
+// A Zone attached to a simulated machine publishes energy into the tree and
+// applies limit writes to the machine's RAPL limiter on a polling interval,
+// so shell-style "echo 50000000 > constraint_0_power_limit_uw" workflows
+// work against the simulator.
+package powercap
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// maxEnergyRangeUJ is the wrap range of energy_uj (the value Skylake
+// exposes is on this order).
+const maxEnergyRangeUJ uint64 = 262143328850
+
+// Zone is one package power-capping zone bound to a simulated machine.
+type Zone struct {
+	m    *sim.Machine
+	dir  string
+	acc  time.Duration
+	intv time.Duration
+
+	lastLimit units.Watts
+}
+
+// Attach creates the sysfs-style tree under root and wires it to the
+// machine: energy is published and limit writes are applied every interval
+// of virtual time (default 10 ms). The chip must expose a hardware RAPL
+// limiter (the framework is the kernel driver for exactly that hardware).
+func Attach(m *sim.Machine, root string, interval time.Duration) (*Zone, error) {
+	chip := m.Chip()
+	if !chip.HardwareRAPLLimit {
+		return nil, fmt.Errorf("powercap: %s has no documented RAPL limiter", chip.Name)
+	}
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	dir := filepath.Join(root, "intel-rapl:0")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("powercap: creating zone dir: %w", err)
+	}
+	z := &Zone{m: m, dir: dir, intv: interval}
+	init := map[string]string{
+		"name":                        "package-0",
+		"enabled":                     "0",
+		"energy_uj":                   "0",
+		"max_energy_range_uj":         strconv.FormatUint(maxEnergyRangeUJ, 10),
+		"constraint_0_name":           "long_term",
+		"constraint_0_power_limit_uw": strconv.FormatInt(int64(float64(chip.RAPLMax)*1e6), 10),
+		"constraint_0_max_power_uw":   strconv.FormatInt(int64(float64(chip.RAPLMax)*1e6), 10),
+	}
+	for name, val := range init {
+		if err := z.write(name, val); err != nil {
+			return nil, err
+		}
+	}
+	m.OnTick(z.tick)
+	return z, nil
+}
+
+// Dir returns the zone directory.
+func (z *Zone) Dir() string { return z.dir }
+
+func (z *Zone) write(name, val string) error {
+	if err := os.WriteFile(filepath.Join(z.dir, name), []byte(val+"\n"), 0o644); err != nil {
+		return fmt.Errorf("powercap: writing %s: %w", name, err)
+	}
+	return nil
+}
+
+func (z *Zone) readUint(name string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(z.dir, name))
+	if err != nil {
+		return 0, fmt.Errorf("powercap: reading %s: %w", name, err)
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("powercap: parsing %s: %w", name, err)
+	}
+	return v, nil
+}
+
+// Sync publishes energy and applies the current enabled/limit files to the
+// machine. It is called automatically on the polling interval; exposed for
+// deterministic tests and manual flushes. Unparseable operator writes leave
+// the previous limit in place (as the kernel rejects bad writes).
+func (z *Zone) Sync() error {
+	uj := uint64(float64(z.m.PackageEnergy())*1e6) % maxEnergyRangeUJ
+	if err := z.write("energy_uj", strconv.FormatUint(uj, 10)); err != nil {
+		return err
+	}
+	enabled, err := z.readUint("enabled")
+	if err != nil {
+		return err
+	}
+	if enabled == 0 {
+		if z.lastLimit != 0 {
+			z.m.SetPowerLimit(0)
+			z.lastLimit = 0
+		}
+		return nil
+	}
+	uw, err := z.readUint("constraint_0_power_limit_uw")
+	if err != nil {
+		return err
+	}
+	chip := z.m.Chip()
+	limit := units.Watts(float64(uw)/1e6).Clamp(chip.RAPLMin, chip.RAPLMax)
+	if limit != z.lastLimit {
+		z.m.SetPowerLimit(limit)
+		z.lastLimit = limit
+	}
+	return nil
+}
+
+func (z *Zone) tick(dt time.Duration) {
+	z.acc += dt
+	if z.acc < z.intv {
+		return
+	}
+	z.acc = 0
+	// Filesystem hiccups mid-run leave the previous limit in effect; the
+	// next poll retries.
+	_ = z.Sync()
+}

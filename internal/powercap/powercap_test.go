@@ -1,0 +1,167 @@
+package powercap
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func busyMachine(t *testing.T) *sim.Machine {
+	t.Helper()
+	m, err := sim.New(platform.Skylake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := m.Pin(workload.NewInstance(workload.MustByName("cactusBSSN")), i); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetRequest(i, m.Chip().Freq.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func writeFile(t *testing.T, z *Zone, name, val string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(z.Dir(), name), []byte(val+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readFile(t *testing.T, z *Zone, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(z.Dir(), name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(string(b))
+}
+
+func TestAttachCreatesSysfsTree(t *testing.T) {
+	m := busyMachine(t)
+	z, err := Attach(m, t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"name", "enabled", "energy_uj", "max_energy_range_uj",
+		"constraint_0_name", "constraint_0_power_limit_uw", "constraint_0_max_power_uw",
+	} {
+		if _, err := os.Stat(filepath.Join(z.Dir(), name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+	if got := readFile(t, z, "name"); got != "package-0" {
+		t.Errorf("name = %q", got)
+	}
+	if got := readFile(t, z, "constraint_0_max_power_uw"); got != "85000000" {
+		t.Errorf("max power = %q, want 85000000", got)
+	}
+}
+
+func TestAttachRejectsChipsWithoutRAPL(t *testing.T) {
+	m, err := sim.New(platform.Ryzen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(m, t.TempDir(), 0); err == nil {
+		t.Error("Ryzen accepted")
+	}
+}
+
+// The shell workflow: echo a limit into the constraint file, enable the
+// zone, and the machine throttles.
+func TestLimitWriteThrottlesMachine(t *testing.T) {
+	m := busyMachine(t)
+	z, err := Attach(m, t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	unconstrained := m.PackagePower()
+	if unconstrained < 60 {
+		t.Fatalf("workload too light: %v", unconstrained)
+	}
+	writeFile(t, z, "constraint_0_power_limit_uw", "50000000") // 50 W
+	writeFile(t, z, "enabled", "1")
+	m.Run(2 * time.Second)
+	if got := m.PackagePower(); got > 50*1.03 {
+		t.Errorf("power %v exceeds the 50 W sysfs limit", got)
+	}
+	// Disabling restores unconstrained operation.
+	writeFile(t, z, "enabled", "0")
+	m.Run(2 * time.Second)
+	if got := m.PackagePower(); got < unconstrained*0.95 {
+		t.Errorf("power %v did not recover after disable (was %v)", got, unconstrained)
+	}
+}
+
+func TestEnergyCounterPublishes(t *testing.T) {
+	m := busyMachine(t)
+	z, err := Attach(m, t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(500 * time.Millisecond)
+	if err := z.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	uj, err := strconv.ParseUint(readFile(t, z, "energy_uj"), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUJ := uint64(float64(m.PackageEnergy()) * 1e6)
+	diff := int64(uj) - int64(wantUJ)
+	if diff < -1e6 || diff > 1e6 { // within a joule
+		t.Errorf("energy_uj = %d, machine = %d", uj, wantUJ)
+	}
+	if uj >= maxEnergyRangeUJ {
+		t.Errorf("energy_uj %d beyond wrap range", uj)
+	}
+}
+
+// Bad operator writes must not crash the poller or corrupt the limit.
+func TestGarbageWriteKeepsPreviousLimit(t *testing.T) {
+	m := busyMachine(t)
+	z, err := Attach(m, t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, z, "constraint_0_power_limit_uw", "50000000")
+	writeFile(t, z, "enabled", "1")
+	m.Run(2 * time.Second)
+	writeFile(t, z, "constraint_0_power_limit_uw", "not-a-number")
+	m.Run(time.Second) // poller hits the bad value and must keep going
+	if got := m.PackagePower(); got > 50*1.03 {
+		t.Errorf("garbage write disturbed the limit: %v", got)
+	}
+	if got := m.Limiter().Limit(); got != 50 {
+		t.Errorf("limiter limit = %v, want 50 W retained", got)
+	}
+}
+
+// Limits outside the chip's range clamp rather than program nonsense.
+func TestLimitClampsToChipRange(t *testing.T) {
+	m := busyMachine(t)
+	z, err := Attach(m, t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, z, "constraint_0_power_limit_uw", "1000000") // 1 W, below RAPLMin
+	writeFile(t, z, "enabled", "1")
+	if err := z.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Limiter().Limit(); got != m.Chip().RAPLMin {
+		t.Errorf("limit = %v, want clamped to %v", got, m.Chip().RAPLMin)
+	}
+}

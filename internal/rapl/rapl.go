@@ -1,0 +1,193 @@
+// Package rapl implements a Running Average Power Limit controller over the
+// simulated chip, reproducing the hardware behaviour the paper measures in
+// Section 3:
+//
+//   - the controller keeps a running average of package power over a short
+//     window and adjusts a single internal frequency cap to hold the
+//     average at or below the programmed limit;
+//   - the cap descends from the top, so the *fastest* cores are throttled
+//     first ("RAPL only reduces the frequency of the unconstrained core",
+//     Figure 4) — cores already running slower, whether by user P-state
+//     request or by AVX licence (cam4 in Figure 1), are unaffected until
+//     the cap descends to their level;
+//   - power freed by user-throttled cores is automatically available to
+//     unconstrained cores, which the cap then allows to run faster
+//     (Figure 4a).
+//
+// The controller knows nothing about priorities, which is precisely the
+// paper's complaint: this package is the baseline the policy daemon is
+// evaluated against.
+package rapl
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/units"
+)
+
+// Config parameterises a limiter.
+type Config struct {
+	// Window is the averaging window. Real RAPL uses tens of
+	// milliseconds to seconds; default 50 ms.
+	Window time.Duration
+
+	// Interval is how often the cap may move by one step; default 2 ms.
+	// Together with the frequency step count it bounds settling time.
+	Interval time.Duration
+
+	// ReleaseMargin is extra headroom (as a fraction of the predicted
+	// one-step power gain) required before the cap is raised, providing
+	// hysteresis; default 3%.
+	ReleaseMargin float64
+}
+
+func (c *Config) fill() {
+	if c.Window <= 0 {
+		c.Window = 50 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.ReleaseMargin <= 0 {
+		c.ReleaseMargin = 0.03
+	}
+}
+
+// Limiter is the RAPL power-capping state machine for one package.
+type Limiter struct {
+	spec cpu.FreqSpec
+	cfg  Config
+
+	limit   units.Watts // 0 disables capping
+	cap     units.Hertz // current internal frequency cap
+	avg     *runningAverage
+	last    units.Watts   // most recent instantaneous sample
+	pending time.Duration // time since the cap last moved
+}
+
+// New returns a limiter for a chip with the given frequency spec. The cap
+// starts fully open (at the chip's maximum frequency).
+func New(spec cpu.FreqSpec, cfg Config) (*Limiter, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("rapl: %w", err)
+	}
+	cfg.fill()
+	return &Limiter{
+		spec: spec,
+		cfg:  cfg,
+		cap:  spec.Max(),
+		avg:  newRunningAverage(cfg.Window),
+	}, nil
+}
+
+// SetLimit programs the package power limit; zero disables capping and
+// fully opens the cap.
+func (l *Limiter) SetLimit(w units.Watts) {
+	if w < 0 {
+		w = 0
+	}
+	l.limit = w
+	if w == 0 {
+		l.cap = l.spec.Max()
+	}
+}
+
+// Limit reports the programmed limit (0 when disabled).
+func (l *Limiter) Limit() units.Watts { return l.limit }
+
+// Cap reports the current internal frequency cap. Callers combine it with
+// per-core requests via cpu.FreqSpec.Effective.
+func (l *Limiter) Cap() units.Hertz { return l.cap }
+
+// Average reports the current windowed average power.
+func (l *Limiter) Average() units.Watts { return l.avg.value() }
+
+// Observe feeds one simulation step's package power into the controller and
+// moves the cap at most one frequency step per configured interval. It
+// returns the cap in effect after the observation.
+func (l *Limiter) Observe(pkg units.Watts, dt time.Duration) units.Hertz {
+	if dt <= 0 {
+		return l.cap
+	}
+	l.avg.add(pkg, dt)
+	l.last = pkg
+	if l.limit <= 0 {
+		return l.cap
+	}
+	l.pending += dt
+	if l.pending < l.cfg.Interval {
+		return l.cap
+	}
+	l.pending = 0
+	// The up/down decision uses the instantaneous sample: deciding on the
+	// lagging windowed average while stepping every interval produces
+	// large limit cycles (the cap keeps descending long after power has
+	// fallen below the limit).
+	if l.last > l.limit {
+		if l.cap > l.spec.Min {
+			l.cap -= l.spec.Step
+			if l.cap < l.spec.Min {
+				l.cap = l.spec.Min
+			}
+		}
+		return l.cap
+	}
+	// Release only when the predicted power cost of one step up still fits
+	// under the limit; otherwise the cap bounces between two levels and the
+	// high phase violates the limit. Package power scales roughly as
+	// f^2.5 in the DVFS range (P ~ V^2 f with V linear in f), so one step
+	// costs about last * 2.5 * step/cap.
+	const freqExponent = 2.5
+	if l.cap < l.spec.Max() {
+		gain := l.last * units.Watts(freqExponent*float64(l.spec.Step)/float64(l.cap))
+		if l.last+gain*units.Watts(1+l.cfg.ReleaseMargin) <= l.limit {
+			l.cap += l.spec.Step
+			if l.cap > l.spec.Max() {
+				l.cap = l.spec.Max()
+			}
+		}
+	}
+	return l.cap
+}
+
+// runningAverage maintains a time-weighted average over a sliding window.
+type runningAverage struct {
+	window  time.Duration
+	samples []sample
+	sumWJ   float64 // watt-seconds in window
+	sumT    time.Duration
+}
+
+type sample struct {
+	w  units.Watts
+	dt time.Duration
+}
+
+func newRunningAverage(window time.Duration) *runningAverage {
+	return &runningAverage{window: window}
+}
+
+func (r *runningAverage) add(w units.Watts, dt time.Duration) {
+	r.samples = append(r.samples, sample{w, dt})
+	r.sumWJ += float64(w) * dt.Seconds()
+	r.sumT += dt
+	for r.sumT > r.window && len(r.samples) > 1 {
+		old := r.samples[0]
+		if r.sumT-old.dt < r.window {
+			break
+		}
+		r.samples = r.samples[1:]
+		r.sumWJ -= float64(old.w) * old.dt.Seconds()
+		r.sumT -= old.dt
+	}
+}
+
+func (r *runningAverage) value() units.Watts {
+	s := r.sumT.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return units.Watts(r.sumWJ / s)
+}

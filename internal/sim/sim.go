@@ -1,0 +1,481 @@
+// Package sim is the discrete-time simulation engine: it advances a Machine
+// (one socket of a platform chip plus pinned workload instances) in fixed
+// ticks, resolving each core's effective frequency from its P-state request,
+// the RAPL cap, the AVX licence and the turbo grant, charging power and
+// instructions, and exposing the whole state through the msr.Device
+// interface so that the policy daemon interacts with the simulated machine
+// exactly the way the paper's daemon interacted with silicon.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/msr"
+	"repro/internal/platform"
+	"repro/internal/rapl"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithTick sets the simulation tick (default 1 ms).
+func WithTick(dt time.Duration) Option {
+	return func(m *Machine) { m.dt = dt }
+}
+
+// WithRAPLConfig overrides the RAPL controller configuration.
+func WithRAPLConfig(cfg rapl.Config) Option {
+	return func(m *Machine) { m.raplCfg = cfg }
+}
+
+// WithEnergyUnit sets the RAPL energy-status unit exponent (default 14,
+// i.e. 61 µJ counts as on Skylake server parts).
+func WithEnergyUnit(esu uint) Option {
+	return func(m *Machine) { m.unit = msr.EnergyUnit{ESU: esu} }
+}
+
+// Machine is one simulated socket.
+type Machine struct {
+	chip    platform.Chip
+	cores   []*cpu.Core
+	apps    []*workload.Instance // indexed by core; nil when unoccupied
+	lastEff []units.Hertz        // effective frequency of the previous tick
+	limiter *rapl.Limiter
+
+	clock      time.Duration
+	dt         time.Duration
+	raplCfg    rapl.Config
+	unit       msr.EnergyUnit
+	energyPkg  units.Joules
+	energyCore []units.Joules
+	dev        *msr.SimDevice
+	hooks      []func(dt time.Duration)
+	idles      []coreIdle
+}
+
+// coreIdle tracks one core's C-state machinery: the menu-style state chosen
+// at idle entry (from an EWMA prediction of idle length), promotion to
+// deeper states as the actual residency grows, and the exit-latency debt
+// paid on wake.
+type coreIdle struct {
+	wasActive   bool
+	idleSince   time.Duration
+	state       int // index into chip.CStates; -1 while active or without a table
+	predict     time.Duration
+	wakePending time.Duration
+	residency   []time.Duration
+}
+
+// New builds a machine for the chip with all cores idle at the nominal
+// frequency.
+func New(chip platform.Chip, opts ...Option) (*Machine, error) {
+	if err := chip.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	m := &Machine{
+		chip:       chip,
+		cores:      make([]*cpu.Core, chip.NumCores),
+		apps:       make([]*workload.Instance, chip.NumCores),
+		lastEff:    make([]units.Hertz, chip.NumCores),
+		dt:         time.Millisecond,
+		unit:       msr.EnergyUnit{ESU: 14},
+		energyCore: make([]units.Joules, chip.NumCores),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.dt <= 0 {
+		return nil, fmt.Errorf("sim: tick must be positive, got %v", m.dt)
+	}
+	m.idles = make([]coreIdle, chip.NumCores)
+	for i := range m.cores {
+		m.cores[i] = cpu.NewCore(i, chip.Freq.Nom)
+		m.cores[i].Idle = true
+		// Cores start idle-since-boot: deepest state, like real firmware
+		// parks unused cores.
+		m.idles[i].state = len(chip.CStates) - 1
+		m.idles[i].residency = make([]time.Duration, len(chip.CStates))
+	}
+	var err error
+	m.limiter, err = rapl.New(chip.Freq, m.raplCfg)
+	if err != nil {
+		return nil, err
+	}
+	m.wireMSRs()
+	return m, nil
+}
+
+// Chip returns the machine's platform configuration.
+func (m *Machine) Chip() platform.Chip { return m.chip }
+
+// Now returns the virtual time elapsed.
+func (m *Machine) Now() time.Duration { return m.clock }
+
+// Tick returns the simulation tick.
+func (m *Machine) Tick() time.Duration { return m.dt }
+
+// Device returns the machine's MSR interface.
+func (m *Machine) Device() msr.Device { return m.dev }
+
+// Limiter returns the machine's RAPL controller.
+func (m *Machine) Limiter() *rapl.Limiter { return m.limiter }
+
+// Pin places an application instance on a core and wakes the core at the
+// chip's nominal frequency. It fails if the core is occupied or out of
+// range.
+func (m *Machine) Pin(in *workload.Instance, core int) error {
+	if core < 0 || core >= len(m.cores) {
+		return fmt.Errorf("sim: core %d out of range [0,%d)", core, len(m.cores))
+	}
+	if m.apps[core] != nil {
+		return fmt.Errorf("sim: core %d already runs %s", core, m.apps[core].Profile.Name)
+	}
+	if err := in.Profile.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	in.Pin = core
+	m.apps[core] = in
+	m.cores[core].Idle = false
+	m.cores[core].Request = m.chip.Freq.Nom
+	return nil
+}
+
+// Unpin removes the application from a core and idles the core.
+func (m *Machine) Unpin(core int) {
+	if core < 0 || core >= len(m.cores) {
+		return
+	}
+	m.apps[core] = nil
+	m.cores[core].Idle = true
+}
+
+// App returns the instance pinned to core, or nil.
+func (m *Machine) App(core int) *workload.Instance {
+	if core < 0 || core >= len(m.apps) {
+		return nil
+	}
+	return m.apps[core]
+}
+
+// Apps returns all pinned instances in core order (nil-free).
+func (m *Machine) Apps() []*workload.Instance {
+	var out []*workload.Instance
+	for _, a := range m.apps {
+		if a != nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// SetRequest programs a core's P-state request, quantised to the chip's
+// step. This is what the daemon's actuator ultimately calls (through the
+// PERF_CTL MSR).
+func (m *Machine) SetRequest(core int, f units.Hertz) error {
+	if core < 0 || core >= len(m.cores) {
+		return fmt.Errorf("sim: core %d out of range", core)
+	}
+	m.cores[core].Request = m.chip.Freq.Quantize(f)
+	return nil
+}
+
+// Request reports a core's current P-state request.
+func (m *Machine) Request(core int) units.Hertz { return m.cores[core].Request }
+
+// SetIdle forces a core in or out of a deep C-state. Idling a core that
+// hosts an application suspends the application (the paper's priority
+// policy starves low-priority applications this way).
+func (m *Machine) SetIdle(core int, idle bool) error {
+	if core < 0 || core >= len(m.cores) {
+		return fmt.Errorf("sim: core %d out of range", core)
+	}
+	if !idle && m.apps[core] == nil {
+		return fmt.Errorf("sim: core %d has no application to wake", core)
+	}
+	m.cores[core].Idle = idle
+	return nil
+}
+
+// Idle reports whether a core is parked.
+func (m *Machine) Idle(core int) bool { return m.cores[core].Idle }
+
+// SetPowerLimit programs the RAPL package limit (zero disables). On chips
+// without a documented hardware limiter this still drives the simulated
+// limiter; callers modelling the paper's Ryzen setup simply leave it at
+// zero and enforce limits in the daemon instead.
+func (m *Machine) SetPowerLimit(w units.Watts) { m.limiter.SetLimit(w) }
+
+// ActiveCores counts cores currently in C0: awake and, for duty-cycled
+// workloads, inside the executing window.
+func (m *Machine) ActiveCores() int {
+	n := 0
+	for i, c := range m.cores {
+		if c.Idle {
+			continue
+		}
+		if a := m.apps[i]; a != nil && !a.DutyOn() {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// EffectiveFreq reports the frequency a core ran at during the last tick.
+func (m *Machine) EffectiveFreq(core int) units.Hertz { return m.lastEff[core] }
+
+// Counters returns a core's architectural counter snapshot.
+func (m *Machine) Counters(core int) cpu.Counters { return m.cores[core].Counters() }
+
+// PackageEnergy returns cumulative package energy.
+func (m *Machine) PackageEnergy() units.Joules { return m.energyPkg }
+
+// CoreEnergy returns cumulative energy of one core.
+func (m *Machine) CoreEnergy(core int) units.Joules { return m.energyCore[core] }
+
+// PackagePower computes the instantaneous package power for the machine's
+// current state (same calculation the next Step will charge).
+func (m *Machine) PackagePower() units.Watts {
+	active := m.ActiveCores()
+	var total units.Watts
+	for i := range m.cores {
+		total += m.corePowerAt(i, m.effective(i, active))
+	}
+	return total + m.chip.Power.UncorePower
+}
+
+// OnTick registers a hook invoked after every simulation step. Hooks run in
+// registration order; they may mutate machine state (the websearch latency
+// model and the policy daemon both attach here).
+func (m *Machine) OnTick(fn func(dt time.Duration)) { m.hooks = append(m.hooks, fn) }
+
+// effective resolves the frequency core i would run at now given active
+// C0 core count.
+func (m *Machine) effective(i int, active int) units.Hertz {
+	c := m.cores[i]
+	if c.Idle {
+		return 0
+	}
+	avx := false
+	if a := m.apps[i]; a != nil {
+		if !a.DutyOn() {
+			// Off-duty interactive workload: the core sits in a C-state.
+			return 0
+		}
+		avx = a.Profile.AVX
+	}
+	return m.chip.Freq.Effective(c.Request, m.limiter.Cap(), active, avx)
+}
+
+// corePowerAt returns the instantaneous draw of core i at frequency f.
+func (m *Machine) corePowerAt(i int, f units.Hertz) units.Watts {
+	c := m.cores[i]
+	if c.Idle || f <= 0 {
+		return m.idlePower(i)
+	}
+	activity := 1.0
+	if a := m.apps[i]; a != nil {
+		activity = a.CurrentActivity()
+	}
+	return m.chip.Power.CorePower(f, activity)
+}
+
+// idlePower returns the residual draw of an idle core: the resident
+// C-state's power, or the flat model value on chips without a table.
+func (m *Machine) idlePower(i int) units.Watts {
+	if s := m.idles[i].state; s >= 0 && s < len(m.chip.CStates) {
+		return m.chip.CStates[s].Power
+	}
+	return m.chip.Power.IdleCorePower
+}
+
+// CurrentCState reports the index (into Chip().CStates) of the core's
+// resident idle state, or -1 while active or without a table.
+func (m *Machine) CurrentCState(core int) int { return m.idles[core].state }
+
+// CStateResidency reports per-state idle residency of a core, aligned with
+// Chip().CStates.
+func (m *Machine) CStateResidency(core int) []time.Duration {
+	return append([]time.Duration(nil), m.idles[core].residency...)
+}
+
+// stepIdle advances core i's C-state machinery for a tick in which the
+// core's activity is activeNow, returning the wake-latency debt to charge
+// against this tick's execution.
+func (m *Machine) stepIdle(i int, activeNow bool, dt time.Duration) time.Duration {
+	id := &m.idles[i]
+	table := m.chip.CStates
+	switch {
+	case activeNow && !id.wasActive:
+		// Wake: pay the resident state's exit latency and update the
+		// idle-length prediction (EWMA, menu-governor style).
+		if id.state >= 0 && id.state < len(table) {
+			id.wakePending = table[id.state].ExitLatency
+		}
+		idleLen := m.clock - id.idleSince
+		id.predict = (id.predict*7 + idleLen*3) / 10
+		id.state = -1
+	case !activeNow && id.wasActive:
+		// Sleep: menu selection on the predicted idle length.
+		id.state = cpu.SelectCState(table, id.predict)
+		id.idleSince = m.clock
+	}
+	if !activeNow && id.state >= 0 && id.state < len(table) {
+		// Residency promotion: once the core has provably idled past a
+		// deeper state's target residency, move down.
+		for id.state+1 < len(table) &&
+			m.clock-id.idleSince >= table[id.state+1].TargetResidency {
+			id.state++
+		}
+		id.residency[id.state] += dt
+	}
+	id.wasActive = activeNow
+	debt := id.wakePending
+	if debt > dt {
+		debt = dt
+	}
+	id.wakePending -= debt
+	return debt
+}
+
+// Step advances the machine one tick.
+func (m *Machine) Step() {
+	dt := m.dt
+	active := m.ActiveCores()
+	var pkg units.Watts
+	for i, c := range m.cores {
+		eff := m.effective(i, active)
+		debt := m.stepIdle(i, eff > 0, dt)
+		if debt > 0 && eff > 0 {
+			// The wake exit latency eats into this tick's execution: model
+			// it as a proportionally slower tick (zero if the whole tick is
+			// consumed by the exit).
+			eff = units.Hertz(float64(eff) * (1 - float64(debt)/float64(dt)))
+		}
+		m.lastEff[i] = eff
+		p := m.corePowerAt(i, eff)
+		pkg += p
+		e := p.Energy(dt)
+		var instr float64
+		if a := m.apps[i]; a != nil && !c.Idle {
+			instr = a.Advance(eff, dt)
+		}
+		c.Account(eff, m.chip.Freq.Nom, dt, instr, e)
+		m.energyCore[i] += e
+	}
+	pkg += m.chip.Power.UncorePower
+	m.energyPkg += pkg.Energy(dt)
+	m.limiter.Observe(pkg, dt)
+	m.clock += dt
+	for _, h := range m.hooks {
+		h(dt)
+	}
+}
+
+// Run advances the machine for a duration of virtual time.
+func (m *Machine) Run(d time.Duration) {
+	end := m.clock + d
+	for m.clock < end {
+		m.Step()
+	}
+}
+
+// RunUntil advances until cond reports true or max virtual time elapses,
+// returning the virtual time spent and whether the condition was met.
+func (m *Machine) RunUntil(cond func() bool, max time.Duration) (time.Duration, bool) {
+	start := m.clock
+	for m.clock-start < max {
+		if cond() {
+			return m.clock - start, true
+		}
+		m.Step()
+	}
+	return m.clock - start, cond()
+}
+
+// wireMSRs connects the architectural registers to machine state.
+func (m *Machine) wireMSRs() {
+	d := msr.NewSimDevice()
+	checkCPU := func(cpu int) error {
+		if cpu < 0 || cpu >= len(m.cores) {
+			return fmt.Errorf("sim: cpu %d out of range", cpu)
+		}
+		return nil
+	}
+	d.OnRead(msr.IA32Aperf, func(cpu int) (uint64, error) {
+		if err := checkCPU(cpu); err != nil {
+			return 0, err
+		}
+		return uint64(m.cores[cpu].Counters().APERF), nil
+	})
+	d.OnRead(msr.IA32Mperf, func(cpu int) (uint64, error) {
+		if err := checkCPU(cpu); err != nil {
+			return 0, err
+		}
+		return uint64(m.cores[cpu].Counters().MPERF), nil
+	})
+	d.OnRead(msr.IA32FixedCtr0, func(cpu int) (uint64, error) {
+		if err := checkCPU(cpu); err != nil {
+			return 0, err
+		}
+		return uint64(m.cores[cpu].Counters().Instr), nil
+	})
+	d.OnRead(msr.IA32PerfCtl, func(cpu int) (uint64, error) {
+		if err := checkCPU(cpu); err != nil {
+			return 0, err
+		}
+		return msr.EncodePerfCtl(m.cores[cpu].Request, m.chip.Freq.Step), nil
+	})
+	d.OnWrite(msr.IA32PerfCtl, func(cpu int, val uint64) error {
+		if err := checkCPU(cpu); err != nil {
+			return err
+		}
+		return m.SetRequest(cpu, msr.DecodePerfCtl(val, m.chip.Freq.Step))
+	})
+	d.OnRead(msr.IA32PerfStatus, func(cpu int) (uint64, error) {
+		if err := checkCPU(cpu); err != nil {
+			return 0, err
+		}
+		return msr.EncodePerfCtl(m.lastEff[cpu], m.chip.Freq.Step), nil
+	})
+	d.OnRead(msr.RAPLPowerUnit, func(int) (uint64, error) {
+		return msr.EncodePowerUnit(m.unit), nil
+	})
+	d.OnRead(msr.PkgEnergyStatus, func(int) (uint64, error) {
+		return m.unit.ToCounts(m.energyPkg), nil
+	})
+	d.OnRead(msr.PP0EnergyStatus, func(cpu int) (uint64, error) {
+		if err := checkCPU(cpu); err != nil {
+			return 0, err
+		}
+		if m.chip.PerCorePower {
+			return m.unit.ToCounts(m.energyCore[cpu]), nil
+		}
+		// Without per-core measurement the PP0 domain reports the sum of
+		// all cores regardless of the addressed CPU, as on Skylake.
+		var sum units.Joules
+		for _, e := range m.energyCore {
+			sum += e
+		}
+		return m.unit.ToCounts(sum), nil
+	})
+	d.OnRead(msr.PkgPowerLimit, func(int) (uint64, error) {
+		return msr.EncodePowerLimit(m.limiter.Limit(), m.limiter.Limit() > 0), nil
+	})
+	d.OnWrite(msr.PkgPowerLimit, func(_ int, val uint64) error {
+		if !m.chip.HardwareRAPLLimit {
+			return fmt.Errorf("sim: %s has no documented RAPL limit interface", m.chip.Name)
+		}
+		w, enable := msr.DecodePowerLimit(val)
+		if !enable {
+			w = 0
+		}
+		m.SetPowerLimit(w.Clamp(0, m.chip.RAPLMax))
+		return nil
+	})
+	m.dev = d
+}

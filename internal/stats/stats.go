@@ -1,0 +1,202 @@
+// Package stats provides the small statistical toolkit the experiment
+// harnesses need: means, percentiles, five-number box-plot summaries (the
+// paper's Figures 2 and 3 are box plots over the SPEC2017 subset), and an
+// online accumulator for streaming telemetry.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the smallest element of xs, or zero for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or zero for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mu := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns zero for an empty slice.
+// The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted computes a percentile over an already-sorted slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantiles returns several percentiles in one pass over a single sort.
+func Quantiles(xs []float64, ps ...float64) []float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// BoxPlot is the five-number summary used for the paper's DVFS sweep
+// figures: median, first and third quartiles, and the 1st and 99th
+// percentiles as whiskers, matching the figure captions.
+type BoxPlot struct {
+	P1, Q1, Median, Q3, P99 float64
+}
+
+// Summarize computes the box-plot summary of xs.
+func Summarize(xs []float64) BoxPlot {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return BoxPlot{
+		P1:     percentileSorted(sorted, 1),
+		Q1:     percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		Q3:     percentileSorted(sorted, 75),
+		P99:    percentileSorted(sorted, 99),
+	}
+}
+
+// String renders the summary compactly for experiment tables.
+func (b BoxPlot) String() string {
+	return fmt.Sprintf("p1=%.3f q1=%.3f med=%.3f q3=%.3f p99=%.3f",
+		b.P1, b.Q1, b.Median, b.Q3, b.P99)
+}
+
+// Accumulator maintains running count, mean, and M2 (for variance) using
+// Welford's algorithm, plus min and max. It is suitable for streaming
+// telemetry samples where retaining the full series is unnecessary.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// Count reports the number of samples added.
+func (a *Accumulator) Count() int { return a.n }
+
+// Mean reports the running mean, or zero before any sample.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance reports the population variance, or zero with fewer than two
+// samples.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// StdDev reports the population standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min reports the smallest sample, or zero before any sample.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max reports the largest sample, or zero before any sample.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Normalize divides each element of xs by base, returning a new slice. A
+// zero base yields a zero slice, avoiding NaN propagation into reports.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	if base == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}

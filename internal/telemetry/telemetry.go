@@ -1,0 +1,164 @@
+// Package telemetry is the simulator's turbostat: it samples the MSR device
+// at an interval and derives, per core, the active frequency
+// (nominal * ΔAPERF/ΔMPERF), instructions per second (ΔFIXED_CTR0), and
+// power (Δenergy-status), plus package power — the exact variables the
+// paper records once per second to drive its policies (Section 3.1).
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/msr"
+	"repro/internal/units"
+)
+
+// CoreSample is one core's derived telemetry over an interval.
+type CoreSample struct {
+	CPU        int
+	ActiveFreq units.Hertz // 0 if the core never entered C0
+	IPS        float64
+	Power      units.Watts // per-core power; zero on platforms without it
+}
+
+// Sample is one sampling interval's telemetry.
+type Sample struct {
+	At           time.Duration // virtual or wall time of the sample
+	Interval     time.Duration
+	PackagePower units.Watts
+	Cores        []CoreSample
+}
+
+// TotalIPS sums instruction throughput across cores.
+func (s Sample) TotalIPS() float64 {
+	var t float64
+	for _, c := range s.Cores {
+		t += c.IPS
+	}
+	return t
+}
+
+// Sampler derives telemetry from successive MSR reads.
+type Sampler struct {
+	dev     msr.Device
+	nCores  int
+	nom     units.Hertz
+	perCore bool
+	unit    msr.EnergyUnit
+
+	primed    bool
+	at        time.Duration
+	prevAperf []uint64
+	prevMperf []uint64
+	prevInstr []uint64
+	prevCore  []uint64
+	prevPkg   uint64
+}
+
+// NewSampler builds a sampler over dev for nCores cores with nominal
+// frequency nom. perCorePower selects whether per-core energy counters are
+// meaningful (Ryzen) or only the package domain is (Skylake). The RAPL
+// energy unit is read from the device.
+func NewSampler(dev msr.Device, nCores int, nom units.Hertz, perCorePower bool) (*Sampler, error) {
+	if nCores <= 0 {
+		return nil, fmt.Errorf("telemetry: nCores must be positive")
+	}
+	if nom <= 0 {
+		return nil, fmt.Errorf("telemetry: nominal frequency must be positive")
+	}
+	uv, err := dev.Read(0, msr.RAPLPowerUnit)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: reading power unit: %w", err)
+	}
+	return &Sampler{
+		dev:       dev,
+		nCores:    nCores,
+		nom:       nom,
+		perCore:   perCorePower,
+		unit:      msr.DecodePowerUnit(uv),
+		prevAperf: make([]uint64, nCores),
+		prevMperf: make([]uint64, nCores),
+		prevInstr: make([]uint64, nCores),
+		prevCore:  make([]uint64, nCores),
+	}, nil
+}
+
+// Prime records a baseline without producing a sample. It must be called
+// once before the first Sample.
+func (s *Sampler) Prime() error {
+	if err := s.read(); err != nil {
+		return err
+	}
+	s.primed = true
+	return nil
+}
+
+func (s *Sampler) read() error {
+	for i := 0; i < s.nCores; i++ {
+		a, err := s.dev.Read(i, msr.IA32Aperf)
+		if err != nil {
+			return fmt.Errorf("telemetry: aperf cpu%d: %w", i, err)
+		}
+		m, err := s.dev.Read(i, msr.IA32Mperf)
+		if err != nil {
+			return fmt.Errorf("telemetry: mperf cpu%d: %w", i, err)
+		}
+		ins, err := s.dev.Read(i, msr.IA32FixedCtr0)
+		if err != nil {
+			return fmt.Errorf("telemetry: instr cpu%d: %w", i, err)
+		}
+		s.prevAperf[i], s.prevMperf[i], s.prevInstr[i] = a, m, ins
+		if s.perCore {
+			e, err := s.dev.Read(i, msr.PP0EnergyStatus)
+			if err != nil {
+				return fmt.Errorf("telemetry: core energy cpu%d: %w", i, err)
+			}
+			s.prevCore[i] = e
+		}
+	}
+	pkg, err := s.dev.Read(0, msr.PkgEnergyStatus)
+	if err != nil {
+		return fmt.Errorf("telemetry: package energy: %w", err)
+	}
+	s.prevPkg = pkg
+	return nil
+}
+
+// Sample reads the device, derives telemetry relative to the previous read
+// over the elapsed interval dt, and advances the baseline.
+func (s *Sampler) Sample(dt time.Duration) (Sample, error) {
+	if !s.primed {
+		return Sample{}, fmt.Errorf("telemetry: Sample before Prime")
+	}
+	if dt <= 0 {
+		return Sample{}, fmt.Errorf("telemetry: non-positive interval %v", dt)
+	}
+	prevA := append([]uint64(nil), s.prevAperf...)
+	prevM := append([]uint64(nil), s.prevMperf...)
+	prevI := append([]uint64(nil), s.prevInstr...)
+	prevC := append([]uint64(nil), s.prevCore...)
+	prevPkg := s.prevPkg
+	if err := s.read(); err != nil {
+		return Sample{}, err
+	}
+	s.at += dt
+	out := Sample{
+		At:       s.at,
+		Interval: dt,
+		Cores:    make([]CoreSample, s.nCores),
+	}
+	sec := dt.Seconds()
+	for i := 0; i < s.nCores; i++ {
+		cs := CoreSample{CPU: i}
+		if dm := s.prevMperf[i] - prevM[i]; dm > 0 {
+			cs.ActiveFreq = s.nom * units.Hertz(float64(s.prevAperf[i]-prevA[i])/float64(dm))
+		}
+		cs.IPS = float64(s.prevInstr[i]-prevI[i]) / sec
+		if s.perCore {
+			cs.Power = s.unit.FromCounts(msr.DeltaCounts(prevC[i], s.prevCore[i])).Power(dt)
+		}
+		out.Cores[i] = cs
+	}
+	out.PackagePower = s.unit.FromCounts(msr.DeltaCounts(prevPkg, s.prevPkg)).Power(dt)
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func machineWith(t *testing.T, chip platform.Chip, apps map[int]string) *sim.Machine {
+	t.Helper()
+	m, err := sim.New(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for core, name := range apps {
+		if err := m.Pin(workload.NewInstance(workload.MustByName(name)), core); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	m := machineWith(t, platform.Skylake(), nil)
+	if _, err := NewSampler(m.Device(), 0, 2*units.GHz, false); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := NewSampler(m.Device(), 10, 0, false); err == nil {
+		t.Error("zero nominal accepted")
+	}
+}
+
+func TestSampleBeforePrimeFails(t *testing.T) {
+	m := machineWith(t, platform.Skylake(), nil)
+	s, err := NewSampler(m.Device(), 10, m.Chip().Freq.Nom, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample(time.Second); err == nil {
+		t.Error("unprimed sample accepted")
+	}
+	if err := s.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestSamplerDerivesMachineState(t *testing.T) {
+	m := machineWith(t, platform.Skylake(), map[int]string{0: "gcc", 1: "leela"})
+	if err := m.SetRequest(0, 1800*units.MHz); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetRequest(1, 1200*units.MHz); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m.Device(), m.Chip().NumCores, m.Chip().Freq.Nom, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	sample, err := s.Sample(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(sample.Cores[0].ActiveFreq-1800*units.MHz)) > 1e6 {
+		t.Errorf("core0 freq = %v, want 1.8 GHz", sample.Cores[0].ActiveFreq)
+	}
+	if math.Abs(float64(sample.Cores[1].ActiveFreq-1200*units.MHz)) > 1e6 {
+		t.Errorf("core1 freq = %v, want 1.2 GHz", sample.Cores[1].ActiveFreq)
+	}
+	// Idle core: no C0 residency, zero frequency and IPS.
+	if sample.Cores[5].ActiveFreq != 0 || sample.Cores[5].IPS != 0 {
+		t.Errorf("idle core sample = %+v", sample.Cores[5])
+	}
+	// IPS should match the workload model within counter truncation error.
+	wantIPS := workload.MustByName("gcc").IPS(1800 * units.MHz)
+	if math.Abs(sample.Cores[0].IPS-wantIPS)/wantIPS > 0.01 {
+		t.Errorf("core0 IPS = %g, want %g", sample.Cores[0].IPS, wantIPS)
+	}
+	// Package power should match the machine's instantaneous power.
+	if math.Abs(float64(sample.PackagePower-m.PackagePower())) > 0.5 {
+		t.Errorf("package power = %v, machine = %v", sample.PackagePower, m.PackagePower())
+	}
+	if sample.At != time.Second || sample.Interval != time.Second {
+		t.Errorf("timestamps: %+v", sample)
+	}
+	if sample.TotalIPS() < wantIPS {
+		t.Errorf("TotalIPS = %g", sample.TotalIPS())
+	}
+}
+
+func TestPerCorePowerOnRyzen(t *testing.T) {
+	m := machineWith(t, platform.Ryzen(), map[int]string{0: "cactusBSSN"})
+	s, err := NewSampler(m.Device(), m.Chip().NumCores, m.Chip().Freq.Nom, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	sample, err := s.Sample(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.Cores[0].Power <= 1 {
+		t.Errorf("busy core power = %v, want watts", sample.Cores[0].Power)
+	}
+	if sample.Cores[3].Power >= sample.Cores[0].Power {
+		t.Errorf("idle core power %v >= busy %v", sample.Cores[3].Power, sample.Cores[0].Power)
+	}
+}
+
+func TestSkylakeReportsNoPerCorePower(t *testing.T) {
+	m := machineWith(t, platform.Skylake(), map[int]string{0: "gcc"})
+	s, err := NewSampler(m.Device(), m.Chip().NumCores, m.Chip().Freq.Nom, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	sample, err := s.Sample(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sample.Cores {
+		if c.Power != 0 {
+			t.Fatalf("Skylake per-core power should be zero, got %v on cpu%d", c.Power, c.CPU)
+		}
+	}
+}
+
+func TestSuccessiveSamplesAreIndependent(t *testing.T) {
+	m := machineWith(t, platform.Skylake(), map[int]string{0: "gcc"})
+	if err := m.SetRequest(0, 2000*units.MHz); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m.Device(), m.Chip().NumCores, m.Chip().Freq.Nom, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	s1, err := s.Sample(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change frequency; the next interval must reflect only the new rate.
+	if err := m.SetRequest(0, 1000*units.MHz); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	s2, err := s.Sample(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(s2.Cores[0].ActiveFreq-1000*units.MHz)) > 1e6 {
+		t.Errorf("second interval freq = %v, want 1 GHz", s2.Cores[0].ActiveFreq)
+	}
+	if s2.Cores[0].IPS >= s1.Cores[0].IPS {
+		t.Errorf("IPS should drop with frequency: %g -> %g", s1.Cores[0].IPS, s2.Cores[0].IPS)
+	}
+	if s2.At != 2*time.Second {
+		t.Errorf("At = %v", s2.At)
+	}
+}

@@ -1,0 +1,165 @@
+// Package thermal models package temperature and a thermald-style thermal
+// daemon (the paper's Section 2.2): a first-order RC thermal model driven
+// by package power, and a controller that programs the RAPL limit to hold
+// the die below a trip temperature — exactly how Linux's thermald uses
+// RAPL as one of its mitigation mechanisms.
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Model is a lumped RC thermal model: C · dT/dt = P − (T − Tambient)/R.
+type Model struct {
+	Ambient     float64 // ambient temperature, °C
+	Resistance  float64 // junction-to-ambient thermal resistance, °C/W
+	Capacitance float64 // thermal capacitance, J/°C
+
+	temp float64
+}
+
+// NewModel returns a model settled at ambient temperature.
+func NewModel(ambient, resistance, capacitance float64) (*Model, error) {
+	if resistance <= 0 || capacitance <= 0 {
+		return nil, fmt.Errorf("thermal: resistance and capacitance must be positive")
+	}
+	return &Model{
+		Ambient:     ambient,
+		Resistance:  resistance,
+		Capacitance: capacitance,
+		temp:        ambient,
+	}, nil
+}
+
+// Temperature reports the current die temperature in °C.
+func (m *Model) Temperature() float64 { return m.temp }
+
+// SteadyState reports the temperature the die settles at under constant
+// power: ambient + R·P.
+func (m *Model) SteadyState(p units.Watts) float64 {
+	return m.Ambient + m.Resistance*float64(p)
+}
+
+// TimeConstant reports the model's RC time constant.
+func (m *Model) TimeConstant() time.Duration {
+	return time.Duration(m.Resistance * m.Capacitance * float64(time.Second))
+}
+
+// Step integrates the model over dt under package power p.
+func (m *Model) Step(p units.Watts, dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	// Exact solution of the linear ODE over the step, stable for any dt.
+	target := m.SteadyState(p)
+	tau := m.Resistance * m.Capacitance
+	decay := dt.Seconds() / tau
+	if decay > 30 {
+		m.temp = target
+		return
+	}
+	m.temp = target + (m.temp-target)*math.Exp(-decay)
+}
+
+// Config parameterises the thermal daemon.
+type Config struct {
+	// TripTemp engages mitigation, °C.
+	TripTemp float64
+	// TargetTemp is the setpoint mitigation regulates to (must be below
+	// TripTemp); release happens when the unconstrained limit would hold
+	// the die below it.
+	TargetTemp float64
+	// Interval is the control period (default 1 s).
+	Interval time.Duration
+	// MinLimit floors the mitigation limit (default the chip's RAPLMin).
+	MinLimit units.Watts
+}
+
+// Daemon is the thermald-style controller: it integrates the thermal model
+// from the machine's package power and programs the machine's RAPL limit
+// to keep temperature at or below the target once the trip fires.
+type Daemon struct {
+	m     *sim.Machine
+	model *Model
+	cfg   Config
+
+	acc     time.Duration
+	engaged bool
+	limit   units.Watts
+	trips   int
+}
+
+// Attach installs the thermal daemon on a machine.
+func Attach(m *sim.Machine, model *Model, cfg Config) (*Daemon, error) {
+	if model == nil {
+		return nil, fmt.Errorf("thermal: nil model")
+	}
+	if !(cfg.TargetTemp > model.Ambient && cfg.TripTemp > cfg.TargetTemp) {
+		return nil, fmt.Errorf("thermal: need ambient < target < trip, got %g/%g/%g",
+			model.Ambient, cfg.TargetTemp, cfg.TripTemp)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.MinLimit <= 0 {
+		cfg.MinLimit = m.Chip().RAPLMin
+	}
+	d := &Daemon{m: m, model: model, cfg: cfg, limit: m.Chip().RAPLMax}
+	m.OnTick(d.tick)
+	return d, nil
+}
+
+// Temperature reports the modelled die temperature.
+func (d *Daemon) Temperature() float64 { return d.model.Temperature() }
+
+// Engaged reports whether mitigation is active.
+func (d *Daemon) Engaged() bool { return d.engaged }
+
+// Trips reports how many times the trip temperature has fired.
+func (d *Daemon) Trips() int { return d.trips }
+
+// Limit reports the mitigation power limit currently programmed (the
+// chip's maximum when disengaged).
+func (d *Daemon) Limit() units.Watts { return d.limit }
+
+func (d *Daemon) tick(dt time.Duration) {
+	d.model.Step(d.m.PackagePower(), dt)
+	d.acc += dt
+	if d.acc < d.cfg.Interval {
+		return
+	}
+	d.acc = 0
+	t := d.model.Temperature()
+	if !d.engaged {
+		if t >= d.cfg.TripTemp {
+			d.engaged = true
+			d.trips++
+		}
+		return
+	}
+	pkg := d.m.PackagePower()
+	if pkg < d.limit-2 && d.model.SteadyState(pkg) < d.cfg.TargetTemp-3 && t < d.cfg.TargetTemp {
+		// The limiter is not binding (the load draws well under it on its
+		// own) and the present draw cannot re-heat near the target:
+		// disengage. Power at the limit means the load is only cool
+		// *because* of mitigation, so this never fires mid-mitigation.
+		d.engaged = false
+		d.limit = d.m.Chip().RAPLMax
+		d.m.SetPowerLimit(0)
+		return
+	}
+	// Feed-forward mitigation: program the power whose steady state sits
+	// exactly at the target temperature. Feedback (integral) control
+	// against the lagging RC plant hunts and winds up during the trip
+	// transient; the model-based operating point is exact and immediate,
+	// and the RAPL limiter's own conservatism keeps the die slightly
+	// below target.
+	base := units.Watts((d.cfg.TargetTemp - d.model.Ambient) / d.model.Resistance)
+	d.limit = base.Clamp(d.cfg.MinLimit, d.m.Chip().RAPLMax)
+	d.m.SetPowerLimit(d.limit)
+}

@@ -1,0 +1,195 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(25, 0.5, 60) // tau = 30 s
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(25, 0, 60); err == nil {
+		t.Error("zero resistance accepted")
+	}
+	if _, err := NewModel(25, 0.5, -1); err == nil {
+		t.Error("negative capacitance accepted")
+	}
+}
+
+func TestSteadyStateFormula(t *testing.T) {
+	m := testModel(t)
+	if got := m.SteadyState(80); got != 25+0.5*80 {
+		t.Errorf("SteadyState(80) = %g", got)
+	}
+	if got := m.TimeConstant(); got != 30*time.Second {
+		t.Errorf("TimeConstant = %v", got)
+	}
+}
+
+func TestStepConvergesToSteadyState(t *testing.T) {
+	m := testModel(t)
+	for i := 0; i < 3000; i++ { // 300 s = 10 tau
+		m.Step(80, 100*time.Millisecond)
+	}
+	want := m.SteadyState(80)
+	if math.Abs(m.Temperature()-want) > 0.01 {
+		t.Errorf("settled at %g, want %g", m.Temperature(), want)
+	}
+}
+
+func TestStepTimeConstant(t *testing.T) {
+	m := testModel(t)
+	// After exactly one time constant the response covers 1-1/e of the
+	// step.
+	m.Step(80, m.TimeConstant())
+	want := 25 + (m.SteadyState(80)-25)*(1-math.Exp(-1))
+	if math.Abs(m.Temperature()-want) > 0.01 {
+		t.Errorf("after tau: %g, want %g", m.Temperature(), want)
+	}
+	// Step integration must be step-size independent (exact ODE solution).
+	m2 := testModel(t)
+	for i := 0; i < 3000; i++ {
+		m2.Step(80, m.TimeConstant()/3000)
+	}
+	if math.Abs(m.Temperature()-m2.Temperature()) > 0.01 {
+		t.Errorf("step-size dependence: %g vs %g", m.Temperature(), m2.Temperature())
+	}
+}
+
+func TestStepIgnoresNonPositiveDt(t *testing.T) {
+	m := testModel(t)
+	m.Step(80, 0)
+	m.Step(80, -time.Second)
+	if m.Temperature() != 25 {
+		t.Errorf("temperature moved: %g", m.Temperature())
+	}
+}
+
+func TestHugeStepSaturates(t *testing.T) {
+	m := testModel(t)
+	m.Step(80, 24*time.Hour)
+	if math.Abs(m.Temperature()-m.SteadyState(80)) > 1e-9 {
+		t.Errorf("huge step did not saturate: %g", m.Temperature())
+	}
+}
+
+func burnMachine(t *testing.T) *sim.Machine {
+	t.Helper()
+	m, err := sim.New(platform.Skylake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := m.Pin(workload.NewInstance(workload.MustByName("cactusBSSN")), i); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetRequest(i, m.Chip().Freq.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestAttachValidation(t *testing.T) {
+	m := burnMachine(t)
+	model := testModel(t)
+	if _, err := Attach(m, nil, Config{TripTemp: 70, TargetTemp: 65}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Attach(m, model, Config{TripTemp: 60, TargetTemp: 65}); err == nil {
+		t.Error("trip below target accepted")
+	}
+	if _, err := Attach(m, model, Config{TripTemp: 70, TargetTemp: 20}); err == nil {
+		t.Error("target below ambient accepted")
+	}
+}
+
+// The thermald scenario: a sustained high-power workload heats past the
+// trip point; the daemon engages RAPL and regulates the die to the target.
+func TestDaemonCapsTemperature(t *testing.T) {
+	m := burnMachine(t)
+	model := testModel(t)
+	d, err := Attach(m, model, Config{TripTemp: 58, TargetTemp: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unconstrained, cactusBSSN on all cores draws ~75 W: steady state
+	// would be ~62 °C, above the 58 °C trip.
+	m.Run(5 * time.Minute)
+	if d.Trips() == 0 {
+		t.Fatal("trip never fired")
+	}
+	if !d.Engaged() {
+		t.Error("mitigation not engaged under sustained load")
+	}
+	if got := d.Temperature(); got > 58.5 {
+		t.Errorf("temperature %g not regulated below trip", got)
+	}
+	if math.Abs(d.Temperature()-55) > 3 {
+		t.Errorf("temperature %g far from target 55", d.Temperature())
+	}
+	// The mitigation limit must be what holds it there: power well below
+	// the unconstrained draw.
+	if d.Limit() >= 70 {
+		t.Errorf("mitigation limit %v did not bite", d.Limit())
+	}
+}
+
+// After the load disappears, the daemon must release the limit and
+// disengage.
+func TestDaemonReleasesAfterLoadDrops(t *testing.T) {
+	m := burnMachine(t)
+	model := testModel(t)
+	d, err := Attach(m, model, Config{TripTemp: 58, TargetTemp: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(3 * time.Minute)
+	if !d.Engaged() {
+		t.Fatal("not engaged")
+	}
+	for i := 0; i < 10; i++ {
+		m.Unpin(i)
+	}
+	m.Run(5 * time.Minute)
+	if d.Engaged() {
+		t.Error("mitigation still engaged long after load dropped")
+	}
+	if got := m.Limiter().Limit(); got != 0 {
+		t.Errorf("RAPL limit not released: %v", got)
+	}
+}
+
+// A cool workload must never trip.
+func TestDaemonIdleNeverTrips(t *testing.T) {
+	m, err := sim.New(platform.Skylake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := testModel(t)
+	d, err := Attach(m, model, Config{TripTemp: 58, TargetTemp: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2 * time.Minute)
+	if d.Trips() != 0 || d.Engaged() {
+		t.Errorf("idle machine tripped: %d trips", d.Trips())
+	}
+	// Idle steady state: ambient + R * idle power.
+	want := model.SteadyState(m.PackagePower())
+	if math.Abs(d.Temperature()-want) > 0.5 {
+		t.Errorf("idle temperature %g, want %g", d.Temperature(), want)
+	}
+}

@@ -1,0 +1,108 @@
+// Package trace renders experiment results as aligned text tables and CSV,
+// the formats the cmd tools and EXPERIMENTS.md use to report every figure
+// and table of the paper.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteString("\n")
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (comma-separated, quoted when needed).
+func (t *Table) RenderCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			quoted[i] = c
+		}
+		_, err := io.WriteString(w, strings.Join(quoted, ",")+"\n")
+		return err
+	}
+	if err := writeLine(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// Hz formats a frequency in MHz, the unit the paper's figures use.
+func Hz(f units.Hertz) string { return fmt.Sprintf("%.0f", f.MHzF()) }
+
+// W formats watts with two decimals.
+func W(w units.Watts) string { return fmt.Sprintf("%.2f", float64(w)) }
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

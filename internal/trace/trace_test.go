@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	// Header and rows must align: "value" column starts at the same offset.
+	var idx []int
+	for _, l := range lines {
+		if strings.Contains(l, "1") && strings.Contains(l, "a") ||
+			strings.Contains(l, "22") {
+			idx = append(idx, strings.IndexAny(l, "12"))
+		}
+	}
+	if len(idx) != 2 || idx[0] != idx[1] {
+		t.Errorf("columns misaligned: %v\n%s", idx, out)
+	}
+}
+
+func TestRenderCSVQuoting(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	tb.AddRow("x,y", "has \"quote\"")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"has \"\"quote\"\"\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := F(1.2345, 2); got != "1.23" {
+		t.Errorf("F = %q", got)
+	}
+	if got := Hz(2200 * units.MHz); got != "2200" {
+		t.Errorf("Hz = %q", got)
+	}
+	if got := W(49.999); got != "50.00" {
+		t.Errorf("W = %q", got)
+	}
+	if got := Pct(0.755); got != "75.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,214 @@
+package websearch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func nineCores() []int { return []int{0, 1, 2, 3, 4, 5, 6, 7, 8} }
+
+func newAttached(t *testing.T, cfg Config, limit units.Watts, withBurn bool) (*sim.Machine, *App) {
+	t.Helper()
+	m, err := sim.New(platform.Skylake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, core := range cfg.Cores {
+		if err := m.SetRequest(core, m.Chip().Freq.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if withBurn {
+		if err := m.Pin(workload.NewInstance(workload.CPUBurn), 9); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetRequest(9, m.Chip().Freq.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if limit > 0 {
+		m.SetPowerLimit(limit)
+	}
+	return m, a
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Users: 0, Cores: nineCores()}); err == nil {
+		t.Error("zero users accepted")
+	}
+	if _, err := New(Config{Users: 10}); err == nil {
+		t.Error("no cores accepted")
+	}
+	if _, err := New(Config{Users: 10, Cores: []int{1, 1}}); err == nil {
+		t.Error("duplicate cores accepted")
+	}
+}
+
+func TestAttachTwiceFails(t *testing.T) {
+	m, err := sim.New(platform.Skylake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{Users: 10, Cores: []int{0}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Attach(m); err == nil {
+		t.Error("double attach accepted")
+	}
+}
+
+func TestAttachFailsOnOccupiedCore(t *testing.T) {
+	m, err := sim.New(platform.Skylake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pin(workload.NewInstance(workload.MustByName("gcc")), 0); err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{Users: 10, Cores: []int{0}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Attach(m); err == nil {
+		t.Error("attach over occupied core accepted")
+	}
+}
+
+func TestServesRequests(t *testing.T) {
+	cfg := Config{Users: 50, Cores: nineCores(), Seed: 42}
+	m, a := newAttached(t, cfg, 0, false)
+	m.Run(10 * time.Second)
+	if a.Completed() < 100 {
+		t.Fatalf("only %d requests completed in 10s", a.Completed())
+	}
+	if a.Throughput() <= 0 {
+		t.Error("zero throughput")
+	}
+	p50 := a.LatencyPercentile(50)
+	p90 := a.LatencyPercentile(90)
+	if p50 <= 0 || p90 < p50 {
+		t.Errorf("latency percentiles: p50=%g p90=%g", p50, p90)
+	}
+	// At light load latency should be near the bare service time
+	// (25e6 cycles / 2.5 GHz = 10 ms).
+	if p50 > 0.05 {
+		t.Errorf("light-load p50 = %gs, want near 10ms", p50)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() (int, float64) {
+		cfg := Config{Users: 50, Cores: nineCores(), Seed: 7}
+		m, a := newAttached(t, cfg, 0, false)
+		m.Run(5 * time.Second)
+		return a.Completed(), a.LatencyPercentile(90)
+	}
+	c1, p1 := run()
+	c2, p2 := run()
+	if c1 != c2 || p1 != p2 {
+		t.Errorf("non-deterministic: (%d,%g) vs (%d,%g)", c1, p1, c2, p2)
+	}
+}
+
+func TestThrottlingRaisesLatency(t *testing.T) {
+	p90At := func(req units.Hertz) float64 {
+		cfg := Config{Users: 300, Cores: nineCores(), Seed: 11}
+		m, a := newAttached(t, cfg, 0, false)
+		for _, core := range cfg.Cores {
+			if err := m.SetRequest(core, req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Run(5 * time.Second) // warm up
+		a.ResetStats()
+		m.Run(20 * time.Second)
+		return a.LatencyPercentile(90)
+	}
+	fast := p90At(2500 * units.MHz)
+	slow := p90At(1300 * units.MHz)
+	if slow <= fast*1.5 {
+		t.Errorf("throttled p90 %gs should be well above fast p90 %gs", slow, fast)
+	}
+}
+
+// The paper's Figure 5: under a low RAPL limit, colocating cpuburn must
+// raise websearch p90 latency substantially versus running alone at the
+// same limit.
+func TestColocationInterferenceUnderRAPL(t *testing.T) {
+	p90 := func(withBurn bool) float64 {
+		cfg := Config{Users: 300, Cores: nineCores(), Seed: 3}
+		m, a := newAttached(t, cfg, 40, withBurn)
+		m.Run(5 * time.Second)
+		a.ResetStats()
+		m.Run(20 * time.Second)
+		return a.LatencyPercentile(90)
+	}
+	alone := p90(false)
+	colocated := p90(true)
+	if colocated <= alone*1.3 {
+		t.Errorf("colocated p90 %gs should exceed alone %gs by >30%%", colocated, alone)
+	}
+}
+
+func TestResetStatsKeepsQueueState(t *testing.T) {
+	cfg := Config{Users: 50, Cores: nineCores(), Seed: 42}
+	m, a := newAttached(t, cfg, 0, false)
+	m.Run(5 * time.Second)
+	doneBefore := a.Completed()
+	a.ResetStats()
+	if a.LatencyPercentile(90) != 0 {
+		t.Error("stats not cleared")
+	}
+	m.Run(5 * time.Second)
+	if a.Completed() <= doneBefore {
+		t.Error("service stopped after ResetStats")
+	}
+}
+
+func TestInFlightBounded(t *testing.T) {
+	cfg := Config{Users: 30, Cores: []int{0, 1}, Seed: 9}
+	m, a := newAttached(t, cfg, 0, false)
+	for i := 0; i < 5000; i++ {
+		m.Step()
+		if n := a.InFlight(); n > cfg.Users {
+			t.Fatalf("in-flight %d exceeds closed-loop population %d", n, cfg.Users)
+		}
+	}
+}
+
+func TestOfferedLoad(t *testing.T) {
+	cfg := Config{Users: 300, Cores: nineCores()}
+	lo := cfg.OfferedLoad(2500 * units.MHz)
+	hi := cfg.OfferedLoad(1000 * units.MHz)
+	if lo <= 0 || hi <= lo {
+		t.Errorf("offered load: lo=%g hi=%g", lo, hi)
+	}
+	if cfg.OfferedLoad(0) != 0 {
+		t.Error("zero frequency load should be 0")
+	}
+}
+
+func TestProfileValid(t *testing.T) {
+	if err := Profile.Validate(); err != nil {
+		t.Error(err)
+	}
+	if Profile.AVX {
+		t.Error("websearch should not be AVX")
+	}
+}

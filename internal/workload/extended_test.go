@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestExtendedProfilesValid(t *testing.T) {
+	for _, p := range ExtendedSPEC2017() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestExtendedLookup(t *testing.T) {
+	for _, n := range ExtendedNames() {
+		p, err := ByName(n)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+		if p.Name != n {
+			t.Errorf("ByName(%q) returned %q", n, p.Name)
+		}
+	}
+}
+
+func TestExtendedDisjointFromSubset(t *testing.T) {
+	subset := make(map[string]bool)
+	for _, n := range Names() {
+		subset[n] = true
+	}
+	for _, n := range ExtendedNames() {
+		if subset[n] {
+			t.Errorf("%s appears in both the paper subset and the extension", n)
+		}
+	}
+	if got := len(ExtendedSPEC2017()); got != len(Names())+len(ExtendedNames()) {
+		t.Errorf("ExtendedSPEC2017 has %d profiles", got)
+	}
+}
+
+func TestExtendedClassAssignments(t *testing.T) {
+	// mcf is the canonical memory-bound integer benchmark; namd the
+	// canonical core-bound FP one.
+	mcf := MustByName("mcf")
+	namd := MustByName("namd")
+	lo, hi := 1*units.GHz, 3*units.GHz
+	if mcf.FrequencySensitivity(lo, hi) >= namd.FrequencySensitivity(lo, hi) {
+		t.Error("mcf should be less frequency-sensitive than namd")
+	}
+	// bwaves and x264 carry the AVX licence.
+	for _, n := range []string{"bwaves", "x264", "wrf"} {
+		if !MustByName(n).AVX {
+			t.Errorf("%s should be AVX", n)
+		}
+	}
+	// The subset classification is unaffected by the extension.
+	hd := DemandClass(SPEC2017())
+	if !hd["cam4"] || hd["gcc"] {
+		t.Error("paper subset demand classes changed")
+	}
+}
+
+func TestPaperSubsetUnchanged(t *testing.T) {
+	if got := len(SPEC2017()); got != 11 {
+		t.Errorf("paper subset = %d profiles, must stay 11", got)
+	}
+	if got := len(Names()); got != 11 {
+		t.Errorf("Names() = %d, must stay 11", got)
+	}
+}

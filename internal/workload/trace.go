@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// TracePoint is one sampling interval of a recorded application: its
+// measured instruction rate and core power while running at the recording
+// frequency. Telemetry samples (turbostat rows) convert directly.
+type TracePoint struct {
+	Duration time.Duration
+	IPS      float64
+	Power    units.Watts
+}
+
+// ProfileFromTrace builds a replayable workload profile from a telemetry
+// trace recorded at frequency refFreq on a machine described by the power
+// model. This is the substitution path for workloads that cannot ship with
+// a repository (production services, proprietary benchmarks): record
+// per-interval IPS and core power on the real system, replay the phase
+// train in the simulator.
+//
+// Each point becomes one phase: its CPI is refFreq/IPS (a single-frequency
+// trace cannot separate core cycles from memory stalls, so the profile
+// carries no MemStall — replay fidelity is exact at refFreq and optimistic
+// above it for memory-bound code), and its activity factor inverts the
+// power model at refFreq. The profile's run length is the trace's total
+// instruction count, so one full run replays the recording once.
+func ProfileFromTrace(name string, points []TracePoint, refFreq units.Hertz, m power.Model) (Profile, error) {
+	if name == "" {
+		return Profile{}, fmt.Errorf("workload: trace profile needs a name")
+	}
+	if len(points) == 0 {
+		return Profile{}, fmt.Errorf("workload: empty trace")
+	}
+	if refFreq <= 0 {
+		return Profile{}, fmt.Errorf("workload: recording frequency must be positive")
+	}
+	if err := m.Validate(); err != nil {
+		return Profile{}, fmt.Errorf("workload: %w", err)
+	}
+
+	v := float64(m.Curve.VoltageAt(refFreq))
+	dynDenom := m.CoreCeff * v * v * float64(refFreq)
+	var totalInstr, cpiSum, actSum float64
+	cpis := make([]float64, len(points))
+	acts := make([]float64, len(points))
+	instrs := make([]float64, len(points))
+	for i, p := range points {
+		if p.Duration <= 0 {
+			return Profile{}, fmt.Errorf("workload: trace point %d has non-positive duration", i)
+		}
+		if p.IPS <= 0 {
+			return Profile{}, fmt.Errorf("workload: trace point %d has non-positive IPS", i)
+		}
+		dyn := float64(p.Power - m.CoreLeakage)
+		if dyn <= 0 {
+			return Profile{}, fmt.Errorf("workload: trace point %d power %v at or below leakage %v",
+				i, p.Power, m.CoreLeakage)
+		}
+		cpis[i] = float64(refFreq) / p.IPS
+		acts[i] = dyn / dynDenom
+		instrs[i] = p.IPS * p.Duration.Seconds()
+		totalInstr += instrs[i]
+		cpiSum += cpis[i]
+		actSum += acts[i]
+	}
+	baseCPI := cpiSum / float64(len(points))
+	baseAct := actSum / float64(len(points))
+	prof := Profile{
+		Name:              name,
+		BaseCPI:           baseCPI,
+		MemStall:          0,
+		Activity:          baseAct,
+		TotalInstructions: totalInstr,
+		Phases:            make([]Phase, len(points)),
+	}
+	for i := range points {
+		prof.Phases[i] = Phase{
+			Instructions: instrs[i],
+			CPIMult:      cpis[i] / baseCPI,
+			ActivityMult: acts[i] / baseAct,
+		}
+	}
+	if err := prof.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return prof, nil
+}

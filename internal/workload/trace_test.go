@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func traceModel() power.Model {
+	return power.Model{
+		Curve: power.VoltageCurve{
+			MinFreq: 800 * units.MHz, NomFreq: 2200 * units.MHz, MaxFreq: 3000 * units.MHz,
+			MinV: 0.62, NomV: 0.95, MaxV: 1.20,
+		},
+		CoreCeff:      2.4e-9,
+		CoreLeakage:   0.6,
+		IdleCorePower: 0.1,
+		UncorePower:   12,
+	}
+}
+
+// recordTrace synthesises the telemetry a real recording session would
+// produce: per-second IPS and core power of a source profile at refFreq.
+func recordTrace(src Profile, refFreq units.Hertz, m power.Model, seconds int) []TracePoint {
+	in := NewInstance(src)
+	pts := make([]TracePoint, seconds)
+	for i := range pts {
+		act := in.CurrentActivity()
+		instr := in.Advance(refFreq, time.Second)
+		pts[i] = TracePoint{
+			Duration: time.Second,
+			IPS:      instr,
+			Power:    m.CorePower(refFreq, act),
+		}
+	}
+	return pts
+}
+
+func TestProfileFromTraceValidation(t *testing.T) {
+	m := traceModel()
+	good := []TracePoint{{Duration: time.Second, IPS: 1e9, Power: 4}}
+	if _, err := ProfileFromTrace("", good, 2*units.GHz, m); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := ProfileFromTrace("x", nil, 2*units.GHz, m); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := ProfileFromTrace("x", good, 0, m); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	bad := []TracePoint{{Duration: 0, IPS: 1e9, Power: 4}}
+	if _, err := ProfileFromTrace("x", bad, 2*units.GHz, m); err == nil {
+		t.Error("zero duration accepted")
+	}
+	bad = []TracePoint{{Duration: time.Second, IPS: 0, Power: 4}}
+	if _, err := ProfileFromTrace("x", bad, 2*units.GHz, m); err == nil {
+		t.Error("zero IPS accepted")
+	}
+	bad = []TracePoint{{Duration: time.Second, IPS: 1e9, Power: 0.1}}
+	if _, err := ProfileFromTrace("x", bad, 2*units.GHz, m); err == nil {
+		t.Error("sub-leakage power accepted")
+	}
+}
+
+// Round trip: record a phase-heavy core-bound profile, rebuild it from the
+// trace, and replay — IPS and power at the recording frequency must match
+// the original within a percent.
+func TestTraceRoundTripAtRecordingFrequency(t *testing.T) {
+	m := traceModel()
+	refFreq := 2 * units.GHz
+	src := Profile{
+		Name: "source", BaseCPI: 0.9, MemStall: 0, Activity: 1.1,
+		TotalInstructions: 1e13,
+		Phases: []Phase{
+			{Instructions: 2e9, CPIMult: 1.0, ActivityMult: 1.0},
+			{Instructions: 2e9, CPIMult: 1.4, ActivityMult: 1.3},
+			{Instructions: 1e9, CPIMult: 0.8, ActivityMult: 0.9},
+		},
+	}
+	pts := recordTrace(src, refFreq, m, 20)
+	rebuilt, err := ProfileFromTrace("replay", pts, refFreq, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the rebuilt profile for the trace duration and compare total
+	// instructions and mean power against the recording.
+	in := NewInstance(rebuilt)
+	var replayInstr, replayEnergy float64
+	for i := 0; i < 20; i++ {
+		act := in.CurrentActivity()
+		replayInstr += in.Advance(refFreq, time.Second)
+		replayEnergy += float64(m.CorePower(refFreq, act))
+	}
+	var recInstr, recEnergy float64
+	for _, p := range pts {
+		recInstr += p.IPS * p.Duration.Seconds()
+		recEnergy += float64(p.Power)
+	}
+	if rel := math.Abs(replayInstr-recInstr) / recInstr; rel > 0.01 {
+		t.Errorf("instruction replay error %.4f", rel)
+	}
+	if rel := math.Abs(replayEnergy-recEnergy) / recEnergy; rel > 0.01 {
+		t.Errorf("power replay error %.4f", rel)
+	}
+	// One full run of the rebuilt profile is exactly the recording.
+	if rel := math.Abs(rebuilt.TotalInstructions-recInstr) / recInstr; rel > 1e-9 {
+		t.Errorf("run length %.4g != trace instructions %.4g", rebuilt.TotalInstructions, recInstr)
+	}
+}
+
+// The phase train must preserve the recording's temporal structure, not
+// just its averages: a high-power second in the recording appears as a
+// high-activity phase at the same position.
+func TestTracePreservesPhaseStructure(t *testing.T) {
+	m := traceModel()
+	refFreq := 2 * units.GHz
+	pts := []TracePoint{
+		{Duration: time.Second, IPS: 2e9, Power: 4},
+		{Duration: time.Second, IPS: 1e9, Power: 7},
+		{Duration: time.Second, IPS: 2e9, Power: 4},
+	}
+	prof, err := ProfileFromTrace("x", pts, refFreq, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Phases) != 3 {
+		t.Fatalf("phases = %d", len(prof.Phases))
+	}
+	// Middle phase: slower (higher CPI) and hotter (higher activity).
+	if prof.Phases[1].CPIMult <= prof.Phases[0].CPIMult {
+		t.Error("middle phase CPI not elevated")
+	}
+	if prof.Phases[1].ActivityMult <= prof.Phases[0].ActivityMult {
+		t.Error("middle phase activity not elevated")
+	}
+	// First and third seconds were identical.
+	if math.Abs(prof.Phases[0].CPIMult-prof.Phases[2].CPIMult) > 1e-12 {
+		t.Error("identical trace points produced different phases")
+	}
+}

@@ -1,0 +1,353 @@
+// Package workload models the applications the paper co-locates under a
+// power cap.
+//
+// A Profile is an analytic stand-in for one SPEC CPU2017 rate-1 benchmark:
+// instead of executing instructions it describes how the benchmark's
+// performance and power respond to frequency, which is the only thing the
+// paper's policies observe. Performance follows a two-term latency model
+//
+//	seconds/instruction = CPI/f + MemStall
+//
+// where the CPI term scales with core frequency and the memory-stall term
+// does not (Section 2.1's observation that "the speed of memory and I/O does
+// not change with frequency"). Power demand is expressed as an activity
+// factor that scales the platform's effective switched capacitance; AVX
+// code has a higher activity factor and is subject to the platform's AVX
+// frequency licence (the paper's cam4/lbm/imagick outliers in Figures 1-3).
+//
+// An Instance is one running copy of a profile pinned to a core: it tracks
+// executed instructions, phase position, and completion/restart counts.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Phase modulates a profile's behaviour for a span of instructions. Phase
+// trains let the simulator reproduce the paper's observation that
+// performance shares are less stable than frequency shares because IPS
+// moves with program phase (Section 6.2).
+type Phase struct {
+	Instructions float64 // length of the phase in instructions
+	CPIMult      float64 // multiplies the profile's BaseCPI
+	ActivityMult float64 // multiplies the profile's Activity
+}
+
+// Profile describes one application's frequency/power/performance behaviour.
+type Profile struct {
+	Name string
+
+	// BaseCPI is the core-bound cycles-per-instruction of the workload.
+	BaseCPI float64
+
+	// MemStall is the frequency-insensitive seconds of stall per
+	// instruction (memory, I/O). Larger values make the workload
+	// memory-bound: its performance saturates as frequency rises.
+	MemStall float64
+
+	// Activity is the power activity factor relative to a typical integer
+	// workload at 1.0. It scales the platform's effective capacitance.
+	Activity float64
+
+	// AVX marks workloads that execute wide vector instructions: they draw
+	// more power and are capped at the platform's AVX licence frequency.
+	AVX bool
+
+	// TotalInstructions is the benchmark's instruction count for
+	// run-to-completion experiments.
+	TotalInstructions float64
+
+	// Phases optionally modulates CPI and activity along the run. The
+	// train cycles: after the last phase the first begins again. Empty
+	// means uniform behaviour.
+	Phases []Phase
+
+	// DutyCycle, when in (0, 1), makes the workload interactive: it
+	// executes for DutyCycle of every DutyPeriod and sleeps (core in a
+	// C-state) for the rest — the load shape OS frequency governors key
+	// on. Zero or one means always runnable (the SPEC profiles).
+	DutyCycle float64
+
+	// DutyPeriod is the duty window length; defaults to 100 ms when
+	// DutyCycle is fractional.
+	DutyPeriod time.Duration
+}
+
+// dutyCycled reports whether the profile alternates between running and
+// sleeping.
+func (p Profile) dutyCycled() bool { return p.DutyCycle > 0 && p.DutyCycle < 1 }
+
+// dutyPeriod returns the effective duty window.
+func (p Profile) dutyPeriod() time.Duration {
+	if p.DutyPeriod > 0 {
+		return p.DutyPeriod
+	}
+	return 100 * time.Millisecond
+}
+
+// Validate reports whether the profile is well-formed.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile has no name")
+	}
+	if p.BaseCPI <= 0 {
+		return fmt.Errorf("workload %s: BaseCPI must be positive, got %g", p.Name, p.BaseCPI)
+	}
+	if p.MemStall < 0 {
+		return fmt.Errorf("workload %s: negative MemStall", p.Name)
+	}
+	if p.Activity <= 0 {
+		return fmt.Errorf("workload %s: Activity must be positive, got %g", p.Name, p.Activity)
+	}
+	if p.TotalInstructions <= 0 {
+		return fmt.Errorf("workload %s: TotalInstructions must be positive", p.Name)
+	}
+	for i, ph := range p.Phases {
+		if ph.Instructions <= 0 || ph.CPIMult <= 0 || ph.ActivityMult <= 0 {
+			return fmt.Errorf("workload %s: phase %d has non-positive parameter", p.Name, i)
+		}
+	}
+	if p.DutyCycle < 0 || p.DutyCycle > 1 {
+		return fmt.Errorf("workload %s: DutyCycle %g outside [0,1]", p.Name, p.DutyCycle)
+	}
+	if p.DutyPeriod < 0 {
+		return fmt.Errorf("workload %s: negative DutyPeriod", p.Name)
+	}
+	return nil
+}
+
+// IPS returns the profile's steady-state instructions per second at
+// frequency f, ignoring phases (phase modulation applies per Instance).
+func (p Profile) IPS(f units.Hertz) float64 {
+	return ipsAt(f, p.BaseCPI, p.MemStall)
+}
+
+func ipsAt(f units.Hertz, cpi, memStall float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	spi := cpi/float64(f) + memStall
+	if spi <= 0 {
+		return 0
+	}
+	return 1 / spi
+}
+
+// Runtime returns the profile's run-to-completion time at a fixed frequency,
+// ignoring phases.
+func (p Profile) Runtime(f units.Hertz) time.Duration {
+	ips := p.IPS(f)
+	if ips <= 0 {
+		return 0
+	}
+	return time.Duration(p.TotalInstructions / ips * float64(time.Second))
+}
+
+// FrequencySensitivity reports how strongly performance responds to
+// frequency: the ratio of IPS at hi to IPS at lo, divided by hi/lo. A value
+// near 1 means perfectly frequency-sensitive (core-bound); near lo/hi means
+// totally insensitive (memory-bound).
+func (p Profile) FrequencySensitivity(lo, hi units.Hertz) float64 {
+	if lo <= 0 || hi <= lo {
+		return 0
+	}
+	return (p.IPS(hi) / p.IPS(lo)) / (float64(hi) / float64(lo))
+}
+
+// Instance is one running copy of a profile.
+type Instance struct {
+	Profile Profile
+
+	// Pin is the core the instance is pinned to, assigned by the
+	// simulator.
+	Pin int
+
+	done      float64 // instructions executed in the current run
+	phaseIdx  int
+	phaseDone float64 // instructions executed within the current phase
+	restarts  int
+	totalInst float64       // instructions across all runs
+	active    time.Duration // time spent executing
+	dutyPos   time.Duration // position within the current duty period
+}
+
+// NewInstance returns a fresh instance of p.
+func NewInstance(p Profile) *Instance {
+	return &Instance{Profile: p}
+}
+
+// CurrentCPI returns the effective CPI in the current phase.
+func (in *Instance) CurrentCPI() float64 {
+	if len(in.Profile.Phases) == 0 {
+		return in.Profile.BaseCPI
+	}
+	return in.Profile.BaseCPI * in.Profile.Phases[in.phaseIdx].CPIMult
+}
+
+// CurrentActivity returns the effective power activity factor in the current
+// phase.
+func (in *Instance) CurrentActivity() float64 {
+	if len(in.Profile.Phases) == 0 {
+		return in.Profile.Activity
+	}
+	return in.Profile.Activity * in.Profile.Phases[in.phaseIdx].ActivityMult
+}
+
+// IPS returns the instance's instructions per second at frequency f in its
+// current phase.
+func (in *Instance) IPS(f units.Hertz) float64 {
+	return ipsAt(f, in.CurrentCPI(), in.Profile.MemStall)
+}
+
+// DutyOn reports whether the instance is currently in the executing window
+// of its duty period (always true for non-duty-cycled profiles). The
+// simulator treats off-duty cores as C-state idle.
+func (in *Instance) DutyOn() bool {
+	if !in.Profile.dutyCycled() {
+		return true
+	}
+	on := time.Duration(in.Profile.DutyCycle * float64(in.Profile.dutyPeriod()))
+	return in.dutyPos < on
+}
+
+// Advance executes the instance at frequency f for dt and returns the number
+// of instructions retired. Duty-cycled profiles execute only during the on
+// window of each duty period and sleep for the rest. When the run completes
+// mid-step the instance restarts immediately (the paper's fixed-duration
+// experiments keep every core loaded); RunsCompleted counts the
+// wrap-arounds.
+func (in *Instance) Advance(f units.Hertz, dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	if !in.Profile.dutyCycled() {
+		in.active += dt
+		return in.execute(f, dt.Seconds())
+	}
+	period := in.Profile.dutyPeriod()
+	on := time.Duration(in.Profile.DutyCycle * float64(period))
+	var retired float64
+	remaining := dt
+	for remaining > 0 {
+		if in.dutyPos < on {
+			seg := on - in.dutyPos
+			if seg > remaining {
+				seg = remaining
+			}
+			in.active += seg
+			retired += in.execute(f, seg.Seconds())
+			in.dutyPos += seg
+			remaining -= seg
+		} else {
+			seg := period - in.dutyPos
+			if seg > remaining {
+				seg = remaining
+			}
+			in.dutyPos += seg
+			remaining -= seg
+		}
+		if in.dutyPos >= period {
+			in.dutyPos = 0
+		}
+	}
+	return retired
+}
+
+// execute runs the instruction/phase/run accounting for sec seconds of
+// execution time at frequency f.
+func (in *Instance) execute(f units.Hertz, sec float64) float64 {
+	remaining := sec
+	var retired float64
+	for remaining > 1e-15 {
+		ips := in.IPS(f)
+		if ips <= 0 {
+			break
+		}
+		// Instructions until the next boundary: phase end or run end.
+		untilRun := in.Profile.TotalInstructions - in.done
+		bound := untilRun
+		if n := len(in.Profile.Phases); n > 0 {
+			untilPhase := in.Profile.Phases[in.phaseIdx].Instructions - in.phaseDone
+			if untilPhase < bound {
+				bound = untilPhase
+			}
+		}
+		step := ips * remaining
+		if step >= bound {
+			step = bound
+			remaining -= bound / ips
+		} else {
+			remaining = 0
+		}
+		retired += step
+		in.done += step
+		in.totalInst += step
+		in.phaseDone += step
+		if n := len(in.Profile.Phases); n > 0 {
+			phaseLen := in.Profile.Phases[in.phaseIdx].Instructions
+			if in.phaseDone >= phaseLen*(1-1e-12) {
+				in.phaseIdx = (in.phaseIdx + 1) % n
+				in.phaseDone = 0
+			}
+		}
+		if in.done >= in.Profile.TotalInstructions*(1-1e-12) {
+			in.done = 0
+			in.restarts++
+		}
+	}
+	return retired
+}
+
+// RunsCompleted reports how many full runs the instance has finished.
+func (in *Instance) RunsCompleted() int { return in.restarts }
+
+// Progress reports the fraction [0,1) of the current run completed.
+func (in *Instance) Progress() float64 {
+	return in.done / in.Profile.TotalInstructions
+}
+
+// TotalInstructions reports instructions retired across all runs.
+func (in *Instance) TotalInstructions() float64 { return in.totalInst }
+
+// ActiveTime reports how long the instance has been executing.
+func (in *Instance) ActiveTime() time.Duration { return in.active }
+
+// MeanIPS reports the instance's average IPS over its active time.
+func (in *Instance) MeanIPS() float64 {
+	s := in.active.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return in.totalInst / s
+}
+
+// Reset returns the instance to its initial state.
+func (in *Instance) Reset() {
+	in.done, in.phaseDone, in.totalInst = 0, 0, 0
+	in.phaseIdx, in.restarts = 0, 0
+	in.active = 0
+	in.dutyPos = 0
+}
+
+// Synthetic returns a randomized but valid profile drawn from plausible
+// ranges, for property tests and randomized experiments beyond the paper's
+// fixed sets.
+func Synthetic(name string, rng *rand.Rand) Profile {
+	avx := rng.Float64() < 0.3
+	act := 0.7 + rng.Float64()*0.5
+	if avx {
+		act += 0.4 + rng.Float64()*0.3
+	}
+	return Profile{
+		Name:              name,
+		BaseCPI:           0.6 + rng.Float64()*0.8,
+		MemStall:          rng.Float64() * 0.5e-9,
+		Activity:          act,
+		AVX:               avx,
+		TotalInstructions: 1e9 + rng.Float64()*9e9,
+	}
+}
