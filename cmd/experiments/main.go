@@ -21,8 +21,16 @@ import (
 func main() {
 	figure := flag.String("figure", "all", "which figure to regenerate: all, tables, 1-13, or one of stability, useful, gaming-perf, gaming-freq, clustering, interval")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	traceDir := flag.String("tracedir", "", "also write each run's per-iteration CSV time series into this directory")
 	flag.Parse()
 
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		experiments.SetTraceDir(*traceDir)
+	}
 	if err := run(*figure, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

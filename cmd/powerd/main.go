@@ -15,7 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -23,6 +23,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/metrics"
+	"repro/internal/metrics/decisions"
+	"repro/internal/obs"
 	"repro/internal/opconfig"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -41,14 +44,15 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "control interval")
 		tracePth = flag.String("trace", "", "write a per-iteration CSV time series to this file")
 		confPath = flag.String("config", "", "JSON config file (overrides -platform/-policy/-limit/-apps/-interval)")
+		listen   = flag.String("listen", "", "serve /metrics, /debug/status, /healthz on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
 	var err error
 	if *confPath != "" {
-		err = runConfig(*confPath, *duration, *tracePth)
+		err = runConfig(*confPath, *duration, *tracePth, *listen)
 	} else {
-		err = run(*plat, *policy, units.Watts(*limit), *apps, *duration, *interval, *tracePth)
+		err = run(*plat, *policy, units.Watts(*limit), *apps, *duration, *interval, *tracePth, *listen)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "powerd:", err)
@@ -57,7 +61,7 @@ func main() {
 }
 
 // runConfig drives the daemon from an operator config file.
-func runConfig(path string, duration time.Duration, tracePath string) error {
+func runConfig(path string, duration time.Duration, tracePath, listen string) error {
 	cfg, err := opconfig.Load(path)
 	if err != nil {
 		return err
@@ -66,36 +70,7 @@ func runConfig(path string, duration time.Duration, tracePath string) error {
 	if err != nil {
 		return err
 	}
-	return drive(chip, specs, pol, cfg.Policy, cfg.Limit(), cfg.Interval(), duration, tracePath)
-}
-
-// traceWriter streams one CSV row per control iteration.
-type traceWriter struct {
-	w    io.Writer
-	apps []core.AppSpec
-}
-
-func newTraceWriter(w io.Writer, apps []core.AppSpec) *traceWriter {
-	tw := &traceWriter{w: w, apps: apps}
-	fmt.Fprint(w, "time_s,pkg_w,limit_w")
-	for _, a := range apps {
-		fmt.Fprintf(w, ",%s_c%d_mhz,%s_c%d_ips,%s_c%d_w,%s_c%d_parked",
-			a.Name, a.Core, a.Name, a.Core, a.Name, a.Core, a.Name, a.Core)
-	}
-	fmt.Fprintln(w)
-	return tw
-}
-
-func (tw *traceWriter) observe(s core.Snapshot) {
-	fmt.Fprintf(tw.w, "%.3f,%.3f,%.3f", s.Time.Seconds(), float64(s.PackagePower), float64(s.Limit))
-	for _, a := range s.Apps {
-		parked := 0
-		if a.Parked {
-			parked = 1
-		}
-		fmt.Fprintf(tw.w, ",%.0f,%.4g,%.3f,%d", a.Freq.MHzF(), a.IPS, float64(a.Power), parked)
-	}
-	fmt.Fprintln(tw.w)
+	return drive(chip, specs, pol, cfg.Policy, cfg.Limit(), cfg.Interval(), duration, tracePath, listen)
 }
 
 func parseApps(arg string, priority bool) ([]core.AppSpec, error) {
@@ -134,7 +109,7 @@ func parseApps(arg string, priority bool) ([]core.AppSpec, error) {
 	return specs, nil
 }
 
-func run(plat, policy string, limit units.Watts, apps string, duration, interval time.Duration, tracePath string) error {
+func run(plat, policy string, limit units.Watts, apps string, duration, interval time.Duration, tracePath, listen string) error {
 	chip, err := platform.ByName(plat)
 	if err != nil {
 		return err
@@ -166,15 +141,20 @@ func run(plat, policy string, limit units.Watts, apps string, duration, interval
 	if err != nil {
 		return err
 	}
-	return drive(chip, specs, pol, policy, limit, interval, duration, tracePath)
+	return drive(chip, specs, pol, policy, limit, interval, duration, tracePath, listen)
 }
 
 // drive builds the machine, pins the configured applications, and runs the
 // daemon for the requested virtual duration with periodic progress output.
+// When listen is non-empty the observability endpoints are served there for
+// the life of the run.
 func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy string,
-	limit units.Watts, interval, duration time.Duration, tracePath string) error {
+	limit units.Watts, interval, duration time.Duration, tracePath, listen string) error {
 
-	m, err := sim.New(chip)
+	reg := metrics.NewRegistry()
+	journal := decisions.NewJournal(0)
+
+	m, err := sim.New(chip, sim.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
@@ -187,6 +167,7 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 
 	dcfg := daemon.Config{
 		Chip: chip, Policy: pol, Apps: specs, Limit: limit, Interval: interval,
+		Metrics: reg, Journal: journal,
 	}
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
@@ -194,8 +175,9 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 			return fmt.Errorf("opening trace file: %w", err)
 		}
 		defer f.Close()
-		tw := newTraceWriter(f, specs)
-		dcfg.OnSnapshot = tw.observe
+		tw := trace.NewSnapshotWriter(f, specs)
+		defer tw.Flush()
+		dcfg.OnSnapshot = tw.Observe
 	}
 	d, err := daemon.New(dcfg, m.Device(), daemon.MachineActuator{M: m})
 	if err != nil {
@@ -203,6 +185,17 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 	}
 	if err := d.AttachVirtual(m); err != nil {
 		return err
+	}
+
+	if listen != "" {
+		l, err := net.Listen("tcp", listen)
+		if err != nil {
+			return fmt.Errorf("observability listener: %w", err)
+		}
+		defer l.Close()
+		srv := obs.New(reg, journal, obs.DaemonStatusFunc(d))
+		go func() { _ = srv.Serve(l) }()
+		fmt.Printf("powerd: observability on http://%s (/metrics, /debug/status, /healthz)\n", l.Addr())
 	}
 
 	fmt.Printf("powerd: %s, %s policy, %v limit, %d apps, %v virtual run\n",

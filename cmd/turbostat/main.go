@@ -7,16 +7,25 @@
 // Usage:
 //
 //	turbostat -platform skylake -apps gcc:0,cam4:1 -limit 50 -duration 10s
+//
+// With -connect it instead reads a live powerd daemon's /debug/status
+// endpoint and prints one block per poll — the live-reader counterpart to
+// powerd -listen:
+//
+//	turbostat -connect http://localhost:9090 -interval 1s -duration 10s
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -31,11 +40,58 @@ func main() {
 		limit    = flag.Float64("limit", 0, "RAPL package limit in watts (0 = uncapped)")
 		duration = flag.Duration("duration", 10*time.Second, "virtual run time")
 		interval = flag.Duration("interval", time.Second, "sampling interval")
+		connect  = flag.String("connect", "", "read a live powerd daemon at this base URL instead of simulating")
 	)
 	flag.Parse()
-	if err := run(*plat, *apps, units.Watts(*limit), *duration, *interval); err != nil {
+	var err error
+	if *connect != "" {
+		err = watch(*connect, *duration, *interval)
+	} else {
+		err = run(*plat, *apps, units.Watts(*limit), *duration, *interval)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "turbostat:", err)
 		os.Exit(1)
+	}
+}
+
+// watch polls a powerd daemon's /debug/status and prints one telemetry
+// block per poll, decision reasons included.
+func watch(base string, duration, interval time.Duration) error {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: interval}
+	deadline := time.Now().Add(duration)
+	var lastSeq uint64
+	for {
+		resp, err := client.Get(base + "/debug/status?n=1")
+		if err != nil {
+			return err
+		}
+		var sr obs.StatusResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decoding status: %w", err)
+		}
+		st := sr.Status
+		fmt.Printf("t=%-8.1f policy=%-12s iter=%-6d pkg=%6.2fW limit=%6.2fW\n",
+			st.TimeSeconds, st.Policy, st.Iterations, st.PackagePowerWatts, st.LimitWatts)
+		for _, a := range st.Apps {
+			fmt.Printf("  %-10s cpu%-3d %6.0f MHz  %10.3g IPS  %6.2f W  parked=%v\n",
+				a.Name, a.Core, a.MHz, a.IPS, a.Watts, a.Parked)
+		}
+		if len(sr.Decisions) > 0 {
+			d := sr.Decisions[len(sr.Decisions)-1]
+			if d.Seq != lastSeq {
+				lastSeq = d.Seq
+				fmt.Printf("  decision #%d: %s\n", d.Seq, strings.Join(d.Reasons, ", "))
+			}
+		}
+		fmt.Println()
+		if time.Now().Add(interval).After(deadline) {
+			return nil
+		}
+		time.Sleep(interval)
 	}
 }
 

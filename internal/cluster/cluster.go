@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -50,6 +51,10 @@ type Config struct {
 	// room-level analogue of the paper's application shares. Nil means
 	// equal weights; otherwise one positive entry per node.
 	Weights []float64
+
+	// Metrics optionally instruments the coordinator: reallocation
+	// counts, budget moved, and per-node limit gauges.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fill(n int) error {
@@ -95,6 +100,12 @@ type Coordinator struct {
 	nodes  []*Node
 	limits []units.Watts
 	moves  int
+
+	// Optional instrumentation; nil handles no-op.
+	mRealloc    *metrics.Counter
+	mMovedWatts *metrics.Counter
+	mNodeLimit  *metrics.GaugeVec
+	mTotalPower *metrics.Gauge
 }
 
 // New builds a coordinator and programs the initial equal split.
@@ -119,12 +130,19 @@ func New(nodes []*Node, cfg Config) (*Coordinator, error) {
 		nodes:  append([]*Node(nil), nodes...),
 		limits: make([]units.Watts, len(nodes)),
 	}
+	if reg := cfg.Metrics; reg != nil {
+		c.mRealloc = reg.Counter("cluster_reallocations_total", "Coordinator intervals that moved budget between nodes.")
+		c.mMovedWatts = reg.Counter("cluster_budget_moved_watts_total", "Total absolute budget shifted between nodes, in watts.")
+		c.mNodeLimit = reg.GaugeVec("cluster_node_limit_watts", "Current per-node power limit in watts.", "node")
+		c.mTotalPower = reg.Gauge("cluster_total_power_watts", "Instantaneous power summed across all nodes.")
+	}
 	equal := cfg.Budget / units.Watts(len(nodes))
 	for i, n := range c.nodes {
 		c.limits[i] = equal
 		if err := n.Daemon.SetLimit(equal); err != nil {
 			return nil, err
 		}
+		c.mNodeLimit.With(n.Name).Set(float64(equal))
 	}
 	return c, nil
 }
@@ -188,19 +206,28 @@ func (c *Coordinator) reallocate() error {
 	distributable := float64(c.cfg.Budget) - floor*float64(n)
 	alloc := core.WaterFill(distributable, bids, caps)
 	moved := false
+	var shifted float64
 	for i, node := range c.nodes {
 		newLimit := units.Watts(floor + alloc[i])
 		if diff := newLimit - c.limits[i]; diff > 0.5 || diff < -0.5 {
 			moved = true
+			if diff < 0 {
+				diff = -diff
+			}
+			shifted += float64(diff)
 		}
 		c.limits[i] = newLimit
 		if err := node.Daemon.SetLimit(newLimit); err != nil {
 			return fmt.Errorf("cluster: node %s: %w", node.Name, err)
 		}
+		c.mNodeLimit.With(node.Name).Set(float64(newLimit))
 	}
 	if moved {
 		c.moves++
+		c.mRealloc.Inc()
+		c.mMovedWatts.Add(shifted)
 	}
+	c.mTotalPower.Set(float64(c.TotalPower()))
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -192,5 +193,40 @@ func TestDonorUnharmed(t *testing.T) {
 	}
 	if c.Reallocations() == 0 {
 		t.Error("coordinator never moved budget")
+	}
+}
+
+func TestCoordinatorMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	nodes := []*Node{hungry(t, "n0"), light(t, "n1")}
+	c, err := New(nodes, Config{
+		Budget:   100,
+		Interval: 2 * time.Second,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reallocations() == 0 {
+		t.Fatal("no reallocations happened; cannot exercise the counters")
+	}
+	if v := reg.Counter("cluster_reallocations_total", "").Value(); v != float64(c.Reallocations()) {
+		t.Errorf("cluster_reallocations_total = %v, want %d", v, c.Reallocations())
+	}
+	if v := reg.Counter("cluster_budget_moved_watts_total", "").Value(); v <= 0 {
+		t.Errorf("cluster_budget_moved_watts_total = %v", v)
+	}
+	limits := c.Limits()
+	gv := reg.GaugeVec("cluster_node_limit_watts", "", "node")
+	for i, name := range []string{"n0", "n1"} {
+		if got := gv.With(name).Value(); got != float64(limits[i]) {
+			t.Errorf("node %s limit gauge = %v, want %v", name, got, limits[i])
+		}
+	}
+	if v := reg.Gauge("cluster_total_power_watts", "").Value(); v <= 0 {
+		t.Errorf("cluster_total_power_watts = %v", v)
 	}
 }

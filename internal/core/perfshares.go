@@ -19,6 +19,7 @@ import (
 // target_i = clamp(level · sᵢ/s_max, minNormPerf, 1).
 type PerformanceShares struct {
 	shareBase
+	explain
 	level   float64
 	targets []float64
 }
@@ -71,6 +72,7 @@ func (p *PerformanceShares) bounds() (bases, lo, hi []float64) {
 // measurements yet, the first translation assumes performance tracks
 // frequency.
 func (p *PerformanceShares) Initial() []Action {
+	p.setReasons(ReasonInitial)
 	p.level = 1
 	bases, lo, hi := p.bounds()
 	p.targets = applyLevel(p.level, bases, lo, hi)
@@ -93,6 +95,7 @@ func (p *PerformanceShares) Update(s Snapshot) []Action {
 	}
 	bases, lo, hi := p.bounds()
 	if !p.withinDeadband(s) {
+		p.setReasons(gapReason(s), ReasonShareRebalance)
 		perfDelta := p.alpha(s) * 1.0 * float64(len(p.specs))
 		var cur float64
 		for _, t := range p.targets {
@@ -100,6 +103,8 @@ func (p *PerformanceShares) Update(s Snapshot) []Action {
 		}
 		p.level = solveLevel(bases, lo, hi, cur+perfDelta)
 		p.targets = applyLevel(p.level, bases, lo, hi)
+	} else {
+		p.setReasons(ReasonWithinDeadband, ReasonTranslateOnly)
 	}
 	// Translation always runs: even inside the deadband, measured
 	// performance drifts with program phase and the frequencies must track

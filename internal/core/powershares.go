@@ -20,6 +20,7 @@ import (
 // package limit minus the estimated non-core overhead.
 type PowerShares struct {
 	shareBase
+	explain
 	level   float64
 	limit   units.Watts // the limit the bases were computed for
 	targets []units.Watts
@@ -115,6 +116,7 @@ func (p *PowerShares) linearFreq(i int, w units.Watts) units.Hertz {
 // budget, translated to frequencies through the linear power model
 // (modelling error is corrected by the feedback loop).
 func (p *PowerShares) InitialForLimit(limit units.Watts) []Action {
+	p.setReasons(ReasonInitial)
 	p.level = 1
 	p.limit = limit
 	bases, lo, hi := p.bounds(limit)
@@ -137,11 +139,13 @@ func (p *PowerShares) Initial() []Action {
 // translation scales each core's frequency by the damped ratio of its power
 // limit to its measured power.
 func (p *PowerShares) Update(s Snapshot) []Action {
-	if p.targets == nil || p.limit != s.Limit {
+	limitChanged := p.targets != nil && p.limit != s.Limit
+	if p.targets == nil || limitChanged {
 		p.InitialForLimit(s.Limit)
 	}
 	bases, lo, hi := p.bounds(s.Limit)
 	if !p.withinDeadband(s) {
+		p.setReasons(gapReason(s), ReasonShareRebalance)
 		delta := p.cfg.Gain * float64(s.Limit-s.PackagePower)
 		var cur float64
 		for _, t := range p.targets {
@@ -149,6 +153,11 @@ func (p *PowerShares) Update(s Snapshot) []Action {
 		}
 		p.level = solveLevel(bases, lo, hi, cur+delta)
 		p.materialize(bases, lo, hi)
+	} else {
+		p.setReasons(ReasonWithinDeadband, ReasonTranslateOnly)
+	}
+	if limitChanged {
+		p.reasons = append([]Reason{ReasonLimitChange}, p.reasons...)
 	}
 	freqs := make([]units.Hertz, len(p.specs))
 	for i, spec := range p.specs {

@@ -17,6 +17,7 @@ import (
 // starve the LP applications"), which is why Figure 7 shows HP applications
 // running *faster* at 40 W than at 85 W when most of the machine is LP.
 type Priority struct {
+	explain
 	chip     platform.Chip
 	specs    []AppSpec
 	limit    units.Watts
@@ -97,6 +98,7 @@ func (p *Priority) hpCeiling() units.Hertz {
 // Initial implements Policy: HP applications start at the maximum P-state;
 // LP applications start parked, awaiting residual power.
 func (p *Priority) Initial() []Action {
+	p.setReasons(ReasonInitial)
 	p.lpActive = 0
 	p.lpFreq = p.chip.Freq.Min
 	p.hpFreq = p.hpCeiling()
@@ -180,10 +182,12 @@ func (p *Priority) Update(s Snapshot) []Action {
 		d := p.freqDelta(s) // negative
 		switch {
 		case p.lpActive > 0 && p.lpFreq > p.chip.Freq.Min:
+			p.setReasons(ReasonPowerOverLimit, ReasonThrottleLP)
 			p.lpFreq = (p.lpFreq + d).Clamp(p.chip.Freq.Min, p.lpCeiling())
 		case p.lpActive > 0:
 			// LP already at the floor: starve one app (partial mode) or
 			// the whole class (the paper's implementation).
+			p.setReasons(ReasonPowerOverLimit, ReasonParkStarvedLP)
 			if p.partial {
 				p.lpActive--
 			} else {
@@ -191,7 +195,10 @@ func (p *Priority) Update(s Snapshot) []Action {
 			}
 			p.lpFreq = p.chip.Freq.Min
 		case p.hpFreq > p.chip.Freq.Min:
+			p.setReasons(ReasonPowerOverLimit, ReasonThrottleHP)
 			p.hpFreq = (p.hpFreq + d).Clamp(p.chip.Freq.Min, p.hpCeiling())
+		default:
+			p.setReasons(ReasonPowerOverLimit, ReasonSaturated)
 		}
 	case s.PackagePower < s.Limit*0.97:
 		d := p.freqDelta(s) // positive
@@ -206,8 +213,10 @@ func (p *Priority) Update(s Snapshot) []Action {
 		}
 		switch {
 		case p.hpFreq < p.hpCeiling():
+			p.setReasons(ReasonPowerUnderLimit, ReasonRestoreHP)
 			p.hpFreq = (p.hpFreq + d).Clamp(p.chip.Freq.Min, p.hpCeiling())
 		case grow > 0 && residual > p.lpStartCost(grow)*1.2:
+			p.setReasons(ReasonPowerUnderLimit, ReasonWakeLP)
 			p.lpActive += grow
 			p.lpFreq = p.chip.Freq.Min
 			// Waking LP raises occupancy and may shrink the HP turbo bin.
@@ -215,8 +224,13 @@ func (p *Priority) Update(s Snapshot) []Action {
 				p.hpFreq = c
 			}
 		case p.lpActive > 0 && p.lpFreq < p.lpCeiling():
+			p.setReasons(ReasonPowerUnderLimit, ReasonRaiseLP)
 			p.lpFreq = (p.lpFreq + d).Clamp(p.chip.Freq.Min, p.lpCeiling())
+		default:
+			p.setReasons(ReasonPowerUnderLimit, ReasonSaturated)
 		}
+	default:
+		p.setReasons(ReasonWithinDeadband)
 	}
 	return p.actions()
 }

@@ -18,6 +18,7 @@ import (
 // ("in the absence of a separate proportional share policy, all HP and all
 // LP applications run at the same P-states").
 type PriorityShares struct {
+	explain
 	chip    platform.Chip
 	specs   []AppSpec
 	partial bool
@@ -135,6 +136,7 @@ func (p *PriorityShares) classSaturated(idxs []int, level float64, dir int) bool
 // Initial implements Policy: HP starts at level 1 (highest-share HP app at
 // its ceiling), LP parked.
 func (p *PriorityShares) Initial() []Action {
+	p.setReasons(ReasonInitial)
 	p.hpLevel = 1
 	p.lpLevel = 0
 	p.lpActive = 0
@@ -221,8 +223,10 @@ func (p *PriorityShares) Update(s Snapshot) []Action {
 		d := p.freqDelta(s, max(p.lpActive, 1)) // negative
 		switch {
 		case p.lpActive > 0 && !p.classSaturated(p.lp[:p.lpActive], p.lpLevel, -1):
+			p.setReasons(ReasonPowerOverLimit, ReasonThrottleLP, ReasonShareRebalance)
 			p.lpLevel = p.moveLevel(p.lp[:p.lpActive], p.lpLevel, d)
 		case p.lpActive > 0:
+			p.setReasons(ReasonPowerOverLimit, ReasonParkStarvedLP)
 			if p.partial {
 				p.lpActive--
 			} else {
@@ -230,6 +234,7 @@ func (p *PriorityShares) Update(s Snapshot) []Action {
 			}
 			p.lpLevel = 0
 		default:
+			p.setReasons(ReasonPowerOverLimit, ReasonThrottleHP, ReasonShareRebalance)
 			p.hpLevel = p.moveLevel(p.hp, p.hpLevel, p.freqDelta(s, len(p.hp)))
 		}
 	case s.PackagePower < s.Limit*0.97:
@@ -244,13 +249,20 @@ func (p *PriorityShares) Update(s Snapshot) []Action {
 		}
 		switch {
 		case !p.classSaturated(p.hp, p.hpLevel, +1):
+			p.setReasons(ReasonPowerUnderLimit, ReasonRestoreHP, ReasonShareRebalance)
 			p.hpLevel = p.moveLevel(p.hp, p.hpLevel, p.freqDelta(s, len(p.hp)))
 		case grow > 0 && residual > p.lpStartCost(grow)*1.2:
+			p.setReasons(ReasonPowerUnderLimit, ReasonWakeLP)
 			p.lpActive += grow
 			p.lpLevel = 0
 		case p.lpActive > 0 && !p.classSaturated(p.lp[:p.lpActive], p.lpLevel, +1):
+			p.setReasons(ReasonPowerUnderLimit, ReasonRaiseLP, ReasonShareRebalance)
 			p.lpLevel = p.moveLevel(p.lp[:p.lpActive], p.lpLevel, p.freqDelta(s, p.lpActive))
+		default:
+			p.setReasons(ReasonPowerUnderLimit, ReasonSaturated)
 		}
+	default:
+		p.setReasons(ReasonWithinDeadband)
 	}
 	return p.actions()
 }

@@ -1,0 +1,78 @@
+package core
+
+// Reason is a machine-readable explanation for a policy decision, recorded
+// once per control interval by policies implementing Explainer and
+// surfaced through the daemon's decision journal. The vocabulary is closed:
+// observability consumers (dashboards, tests, the /debug/status endpoint)
+// match on these exact strings.
+type Reason string
+
+const (
+	// ReasonInitial marks the initial distribution, applied before the
+	// first control interval.
+	ReasonInitial Reason = "initial-distribution"
+
+	// ReasonWithinDeadband: measured power sits close enough to the limit
+	// that the policy holds still.
+	ReasonWithinDeadband Reason = "within-deadband"
+
+	// ReasonPowerOverLimit / ReasonPowerUnderLimit classify the sign of
+	// the power gap the update responded to.
+	ReasonPowerOverLimit  Reason = "power-over-limit"
+	ReasonPowerUnderLimit Reason = "power-under-limit"
+
+	// ReasonShareRebalance: a share policy moved its water level to absorb
+	// the power gap.
+	ReasonShareRebalance Reason = "share-rebalance"
+
+	// ReasonTranslateOnly: targets held still but the translation layer
+	// re-derived frequencies from fresh measurements (performance and
+	// power shares re-translate every interval as IPS drifts with phase).
+	ReasonTranslateOnly Reason = "translate-only"
+
+	// ReasonLimitChange: the enforced power limit changed since the last
+	// interval (e.g. a cluster coordinator moved the node's budget) and
+	// the policy rebuilt its distribution for the new limit.
+	ReasonLimitChange Reason = "limit-change"
+
+	// Priority-policy reasons: which class paid or gained.
+	ReasonThrottleLP    Reason = "throttle-lp"
+	ReasonParkStarvedLP Reason = "park-starved-lp"
+	ReasonThrottleHP    Reason = "throttle-hp"
+	ReasonRestoreHP     Reason = "restore-hp"
+	ReasonWakeLP        Reason = "wake-lp"
+	ReasonRaiseLP       Reason = "raise-lp"
+
+	// ReasonSaturated: the responsible class hit its floor or ceiling, so
+	// the update could not move despite a power gap.
+	ReasonSaturated Reason = "saturated"
+)
+
+// Explainer is optionally implemented by policies that can explain their
+// last decision. The daemon checks for it after every Initial/Update and
+// journals the reasons alongside the snapshot and actions.
+type Explainer interface {
+	// LastReasons returns the machine-readable reasons for the most
+	// recent Initial or Update call. The returned slice must not be
+	// mutated by the caller and is valid until the next policy call.
+	LastReasons() []Reason
+}
+
+// explain is the embeddable recorder the policies share.
+type explain struct {
+	reasons []Reason
+}
+
+// setReasons replaces the recorded reasons.
+func (e *explain) setReasons(rs ...Reason) { e.reasons = rs }
+
+// LastReasons implements Explainer.
+func (e *explain) LastReasons() []Reason { return e.reasons }
+
+// gapReason classifies the power gap of a snapshot.
+func gapReason(s Snapshot) Reason {
+	if s.PackagePower > s.Limit {
+		return ReasonPowerOverLimit
+	}
+	return ReasonPowerUnderLimit
+}

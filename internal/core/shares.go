@@ -126,6 +126,7 @@ func stateFor(s Snapshot, core int) *AppState {
 // clamping (see solveLevel).
 type FrequencyShares struct {
 	shareBase
+	explain
 	level   float64
 	targets []units.Hertz
 }
@@ -174,6 +175,7 @@ func (p *FrequencyShares) materialize(bases, lo, hi []float64) {
 // maximum frequency and the others at their share proportions of it
 // (level 1).
 func (p *FrequencyShares) Initial() []Action {
+	p.setReasons(ReasonInitial)
 	p.level = 1
 	bases, lo, hi := p.bounds()
 	p.materialize(bases, lo, hi)
@@ -187,8 +189,10 @@ func (p *FrequencyShares) Update(s Snapshot) []Action {
 		p.Initial()
 	}
 	if p.withinDeadband(s) {
+		p.setReasons(ReasonWithinDeadband)
 		return nil
 	}
+	p.setReasons(gapReason(s), ReasonShareRebalance)
 	bases, lo, hi := p.bounds()
 	freqDelta := p.alpha(s) * float64(p.chip.Freq.Max()) * float64(len(p.specs))
 	var cur float64

@@ -16,9 +16,12 @@ package daemon
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/metrics/decisions"
 	"repro/internal/msr"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -92,6 +95,48 @@ type Config struct {
 	// after the policy has been applied — the hook time-series recorders
 	// (e.g. the stability study) attach to.
 	OnSnapshot func(core.Snapshot)
+
+	// Metrics, when set, instruments the control loop (iteration counts
+	// and latency, actuations, limit changes, jitter) and the underlying
+	// telemetry sampler on the given registry.
+	Metrics *metrics.Registry
+
+	// Journal, when set, receives one decision entry per control interval:
+	// the observed snapshot, the actions emitted, and — when the policy
+	// implements core.Explainer — the machine-readable reasons behind them.
+	Journal *decisions.Journal
+}
+
+// daemonMetrics holds the daemon's metric handles. All handles are
+// nil-receiver safe, so a daemon built without a registry pays one nil
+// check per event.
+type daemonMetrics struct {
+	iterations   *metrics.Counter
+	iterSeconds  *metrics.Histogram
+	jitterSec    *metrics.Histogram
+	actuations   *metrics.CounterVec
+	sampleErrors *metrics.Counter
+	limitWatts   *metrics.Gauge
+	limitChanges *metrics.Counter
+	pkgWatts     *metrics.Gauge
+	parkedCores  *metrics.Gauge
+}
+
+func newDaemonMetrics(reg *metrics.Registry) daemonMetrics {
+	if reg == nil {
+		return daemonMetrics{}
+	}
+	return daemonMetrics{
+		iterations:   reg.Counter("powerd_iterations_total", "Completed control-loop iterations."),
+		iterSeconds:  reg.Histogram("powerd_iteration_seconds", "Wall-clock time spent in one control iteration (sample + policy + actuate).", metrics.DefBuckets),
+		jitterSec:    reg.Histogram("powerd_jitter_seconds", "Real-time loop lateness per iteration (actual minus nominal interval).", metrics.DefBuckets),
+		actuations:   reg.CounterVec("powerd_actuations_total", "Actuations applied, by kind.", "kind"),
+		sampleErrors: reg.Counter("powerd_sample_errors_total", "Control iterations aborted by a telemetry sampling error."),
+		limitWatts:   reg.Gauge("powerd_limit_watts", "Package power limit currently enforced."),
+		limitChanges: reg.Counter("powerd_limit_changes_total", "Times the enforced power limit was changed via SetLimit."),
+		pkgWatts:     reg.Gauge("powerd_package_power_watts", "Package power observed at the last control interval."),
+		parkedCores:  reg.Gauge("powerd_parked_cores", "Cores currently parked by policy decision."),
+	}
 }
 
 // Daemon is the control loop.
@@ -100,14 +145,23 @@ type Daemon struct {
 	dev     msr.Device
 	act     Actuator
 	sampler *telemetry.Sampler
+	m       daemonMetrics
 
+	// mu guards all mutable state below so HTTP status readers (the obs
+	// server's /debug/status) can observe a live loop without racing it.
+	mu         sync.RWMutex
 	parked     map[int]bool
 	iterations int
 	last       core.Snapshot
 	started    bool
 	acc        time.Duration
 	hookErr    error
-	jitter     []float64 // seconds of lateness per real-time iteration
+
+	// Jitter is summarised by a streaming accumulator (mean/max) plus a
+	// fixed-size reservoir (percentiles), so real-time loops of any length
+	// run in constant memory.
+	jitterAcc stats.Accumulator
+	jitterRes *stats.Reservoir
 }
 
 // New builds a daemon over an MSR device and actuator.
@@ -131,17 +185,26 @@ func New(cfg Config, dev msr.Device, act Actuator) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Daemon{
-		cfg:     cfg,
-		dev:     dev,
-		act:     act,
-		sampler: sampler,
-		parked:  make(map[int]bool),
-	}, nil
+	if cfg.Metrics != nil {
+		sampler.Instrument(cfg.Metrics)
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		dev:       dev,
+		act:       act,
+		sampler:   sampler,
+		m:         newDaemonMetrics(cfg.Metrics),
+		parked:    make(map[int]bool),
+		jitterRes: stats.NewReservoir(0),
+	}
+	d.m.limitWatts.Set(float64(cfg.Limit))
+	return d, nil
 }
 
 // Start applies the policy's initial distribution and primes the sampler.
 func (d *Daemon) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.started {
 		return fmt.Errorf("daemon: already started")
 	}
@@ -155,7 +218,7 @@ func (d *Daemon) Start() error {
 	return nil
 }
 
-// apply actuates a batch of policy actions.
+// apply actuates a batch of policy actions. Caller holds d.mu.
 func (d *Daemon) apply(actions []core.Action) error {
 	for _, a := range actions {
 		if a.Park {
@@ -163,6 +226,7 @@ func (d *Daemon) apply(actions []core.Action) error {
 				return fmt.Errorf("daemon: parking core %d: %w", a.Core, err)
 			}
 			d.parked[a.Core] = true
+			d.m.actuations.With("park").Inc()
 			continue
 		}
 		if d.parked[a.Core] {
@@ -170,10 +234,12 @@ func (d *Daemon) apply(actions []core.Action) error {
 				return fmt.Errorf("daemon: waking core %d: %w", a.Core, err)
 			}
 			d.parked[a.Core] = false
+			d.m.actuations.With("wake").Inc()
 		}
 		if err := d.act.SetFreq(a.Core, a.Freq); err != nil {
 			return fmt.Errorf("daemon: setting core %d to %v: %w", a.Core, a.Freq, err)
 		}
+		d.m.actuations.With("setfreq").Inc()
 	}
 	return nil
 }
@@ -181,11 +247,16 @@ func (d *Daemon) apply(actions []core.Action) error {
 // RunIteration performs one control interval of length dt: sample,
 // policy update, actuate.
 func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
+	began := time.Now()
+	d.mu.Lock()
 	if !d.started {
+		d.mu.Unlock()
 		return core.Snapshot{}, fmt.Errorf("daemon: RunIteration before Start")
 	}
 	sample, err := d.sampler.Sample(dt)
 	if err != nil {
+		d.mu.Unlock()
+		d.m.sampleErrors.Inc()
 		return core.Snapshot{}, err
 	}
 	snap := core.Snapshot{
@@ -204,11 +275,35 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 			Parked: d.parked[spec.Core],
 		}
 	}
-	if err := d.apply(d.cfg.Policy.Update(snap)); err != nil {
+	actions := d.cfg.Policy.Update(snap)
+	if err := d.apply(actions); err != nil {
+		d.mu.Unlock()
 		return snap, err
 	}
 	d.iterations++
 	d.last = snap
+	nParked := 0
+	for _, p := range d.parked {
+		if p {
+			nParked++
+		}
+	}
+	d.mu.Unlock()
+
+	if d.cfg.Journal != nil {
+		var reasons []core.Reason
+		if ex, ok := d.cfg.Policy.(core.Explainer); ok {
+			reasons = ex.LastReasons()
+		}
+		d.cfg.Journal.Append(decisions.Record(d.cfg.Policy.Name(), reasons, snap, actions))
+	}
+	d.m.iterations.Inc()
+	d.m.pkgWatts.Set(float64(snap.PackagePower))
+	d.m.parkedCores.Set(float64(nParked))
+	d.m.iterSeconds.Observe(time.Since(began).Seconds())
+
+	// The snapshot hook runs outside the lock so it may call back into the
+	// daemon's accessors.
 	if d.cfg.OnSnapshot != nil {
 		d.cfg.OnSnapshot(snap)
 	}
@@ -222,24 +317,54 @@ func (d *Daemon) SetLimit(w units.Watts) error {
 	if w <= 0 {
 		return fmt.Errorf("daemon: power limit must be positive, got %v", w)
 	}
+	d.mu.Lock()
+	changed := d.cfg.Limit != w
 	d.cfg.Limit = w
+	d.mu.Unlock()
+	if changed {
+		d.m.limitChanges.Inc()
+	}
+	d.m.limitWatts.Set(float64(w))
 	return nil
 }
 
+// PolicyName reports the configured policy's name.
+func (d *Daemon) PolicyName() string { return d.cfg.Policy.Name() }
+
 // Limit reports the currently enforced power limit.
-func (d *Daemon) Limit() units.Watts { return d.cfg.Limit }
+func (d *Daemon) Limit() units.Watts {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.cfg.Limit
+}
 
 // Iterations reports completed control intervals.
-func (d *Daemon) Iterations() int { return d.iterations }
+func (d *Daemon) Iterations() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.iterations
+}
 
 // LastSnapshot returns the most recent snapshot.
-func (d *Daemon) LastSnapshot() core.Snapshot { return d.last }
+func (d *Daemon) LastSnapshot() core.Snapshot {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.last
+}
 
 // Parked reports whether the daemon last left the core parked.
-func (d *Daemon) Parked(core int) bool { return d.parked[core] }
+func (d *Daemon) Parked(core int) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.parked[core]
+}
 
 // Err returns the first error raised inside the virtual-time hook, if any.
-func (d *Daemon) Err() error { return d.hookErr }
+func (d *Daemon) Err() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.hookErr
+}
 
 // AttachVirtual starts the daemon and registers it on the machine's tick
 // hook so one control iteration fires per configured interval of virtual
@@ -250,17 +375,24 @@ func (d *Daemon) AttachVirtual(m *sim.Machine) error {
 		return err
 	}
 	m.OnTick(func(dt time.Duration) {
+		d.mu.Lock()
 		if d.hookErr != nil {
+			d.mu.Unlock()
 			return
 		}
 		d.acc += dt
 		if d.acc < d.cfg.Interval {
+			d.mu.Unlock()
 			return
 		}
-		if _, err := d.RunIteration(d.acc); err != nil {
-			d.hookErr = err
-		}
+		interval := d.acc
 		d.acc = 0
+		d.mu.Unlock()
+		if _, err := d.RunIteration(interval); err != nil {
+			d.mu.Lock()
+			d.hookErr = err
+			d.mu.Unlock()
+		}
 	})
 	return nil
 }
@@ -287,7 +419,11 @@ func (d *Daemon) RunRealtime(ctx context.Context, iterations int) error {
 			if late < 0 {
 				late = 0
 			}
-			d.jitter = append(d.jitter, late)
+			d.mu.Lock()
+			d.jitterAcc.Add(late)
+			d.jitterRes.Add(late)
+			d.mu.Unlock()
+			d.m.jitterSec.Observe(late)
 			if _, err := d.RunIteration(actual); err != nil {
 				return err
 			}
@@ -304,12 +440,21 @@ type JitterStats struct {
 	P99     float64
 }
 
-// Jitter reports the lateness distribution observed by RunRealtime.
+// Jitter reports the lateness distribution observed by RunRealtime. The
+// mean and max are exact (streaming accumulator); the percentile is
+// estimated from a fixed-size reservoir, so memory stays constant no
+// matter how long the loop runs.
 func (d *Daemon) Jitter() JitterStats {
-	return JitterStats{
-		Samples: len(d.jitter),
-		Mean:    stats.Mean(d.jitter),
-		Max:     stats.Max(d.jitter),
-		P99:     stats.Percentile(d.jitter, 99),
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	js := JitterStats{
+		Samples: d.jitterAcc.Count(),
+		Mean:    d.jitterAcc.Mean(),
+		Max:     d.jitterAcc.Max(),
+		P99:     d.jitterRes.Percentile(99),
 	}
+	if js.Samples == 0 {
+		js.Mean, js.Max = 0, 0
+	}
+	return js
 }

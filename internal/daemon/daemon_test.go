@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/metrics/decisions"
 	"repro/internal/msr"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -364,6 +366,99 @@ func TestRealtimeLoopRecordsJitter(t *testing.T) {
 	}
 	if v == 0 {
 		t.Error("no PERF_CTL write reached the file device")
+	}
+}
+
+// Real-time mode against the simulated machine's MSR device at millisecond
+// intervals: virtual time advances one interval per wall iteration (through
+// the snapshot hook, which runs on the loop goroutine), so the daemon sees
+// real telemetry deltas. Verifies iteration count, bounded jitter stats,
+// metrics, and the decision journal.
+func TestRealtimeAgainstSimDevice(t *testing.T) {
+	chip := platform.Skylake()
+	m := buildMachine(t, chip, []string{"leela", "cactusBSSN"})
+	specs := specsFor([]string{"leela", "cactusBSSN"}, []units.Shares{80, 20}, nil)
+	pol, err := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	journal := decisions.NewJournal(16)
+	const iters = 30
+	interval := time.Millisecond
+	d, err := New(Config{
+		Chip: chip, Policy: pol, Apps: specs, Limit: 50,
+		Interval: interval,
+		Metrics:  reg,
+		Journal:  journal,
+		OnSnapshot: func(core.Snapshot) {
+			m.Run(interval) // advance virtual time in lockstep with wall time
+		},
+	}, m.Device(), MachineActuator{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.RunRealtime(ctx, iters); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Iterations(); got != iters {
+		t.Errorf("iterations = %d, want %d", got, iters)
+	}
+	js := d.Jitter()
+	if js.Samples != iters {
+		t.Errorf("jitter samples = %d, want %d", js.Samples, iters)
+	}
+	if js.Max < js.Mean || js.Mean < 0 || js.P99 < 0 {
+		t.Errorf("jitter stats inconsistent: %+v", js)
+	}
+	if got := reg.Counter("powerd_iterations_total", "").Value(); got != iters {
+		t.Errorf("powerd_iterations_total = %v, want %d", got, iters)
+	}
+	if got := reg.Histogram("powerd_iteration_seconds", "", nil).Count(); got != iters {
+		t.Errorf("iteration histogram count = %d, want %d", got, iters)
+	}
+	if journal.Total() != iters {
+		t.Errorf("journal total = %d, want %d", journal.Total(), iters)
+	}
+	last, ok := journal.Last()
+	if !ok || last.Policy != "frequency-shares" || len(last.Reasons) == 0 {
+		t.Errorf("journal last = %+v, %v", last, ok)
+	}
+	// The daemon must have seen real power once virtual time advanced.
+	if snap := d.LastSnapshot(); snap.PackagePower <= 0 {
+		t.Errorf("no package power observed: %+v", snap)
+	}
+}
+
+// Cancelling mid-run must surface the context error and leave a partial
+// iteration count.
+func TestRealtimeSimDeviceCancelMidRun(t *testing.T) {
+	chip := platform.Skylake()
+	m := buildMachine(t, chip, []string{"gcc"})
+	specs := specsFor([]string{"gcc"}, []units.Shares{50}, nil)
+	pol, _ := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAfter := 5
+	d, err := New(Config{
+		Chip: chip, Policy: pol, Apps: specs, Limit: 50,
+		Interval: time.Millisecond,
+	}, m.Device(), MachineActuator{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.cfg.OnSnapshot = func(core.Snapshot) {
+		m.Run(time.Millisecond)
+		if d.Iterations() >= stopAfter {
+			cancel()
+		}
+	}
+	if err := d.RunRealtime(ctx, 1_000_000); err == nil {
+		t.Fatal("cancellation not surfaced")
+	}
+	if got := d.Iterations(); got < stopAfter || got > stopAfter+1 {
+		t.Errorf("iterations = %d, want ~%d", got, stopAfter)
 	}
 }
 

@@ -8,6 +8,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -15,9 +17,49 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
+
+// Per-iteration trace output. When a directory is set via SetTraceDir,
+// every daemon-driven run writes its control-interval time series there as
+// run-NNN-<policy>.csv through trace.SnapshotWriter (the same buffered CSV
+// powerd's -trace flag produces).
+var (
+	traceMu  sync.Mutex
+	traceDir string
+	traceSeq int
+)
+
+// SetTraceDir enables (non-empty) or disables (empty) per-run CSV traces.
+func SetTraceDir(dir string) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	traceDir = dir
+}
+
+// newRunTrace opens the next trace file for a run, or returns nils when
+// tracing is disabled.
+func newRunTrace(policy string, specs []core.AppSpec) (*trace.SnapshotWriter, func(), error) {
+	traceMu.Lock()
+	dir := traceDir
+	traceSeq++
+	seq := traceSeq
+	traceMu.Unlock()
+	if dir == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("run-%03d-%s.csv", seq, policy)))
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: trace file: %w", err)
+	}
+	sw := trace.NewSnapshotWriter(f, specs)
+	return sw, func() {
+		sw.Flush()
+		f.Close()
+	}, nil
+}
 
 // CoreMeasure is one core's averages over a measurement window.
 type CoreMeasure struct {
@@ -215,9 +257,18 @@ func runWithPolicy(cfg RunConfig, specs []core.AppSpec, pol core.Policy) (RunRes
 	if err != nil {
 		return RunResult{}, err
 	}
-	dmn, err := daemon.New(daemon.Config{
+	sw, closeTrace, err := newRunTrace(pol.Name(), specs)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer closeTrace()
+	dcfg := daemon.Config{
 		Chip: cfg.Chip, Policy: pol, Apps: specs, Limit: cfg.Limit,
-	}, m.Device(), daemon.MachineActuator{M: m})
+	}
+	if sw != nil {
+		dcfg.OnSnapshot = sw.Observe
+	}
+	dmn, err := daemon.New(dcfg, m.Device(), daemon.MachineActuator{M: m})
 	if err != nil {
 		return RunResult{}, err
 	}

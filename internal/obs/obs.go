@@ -1,0 +1,162 @@
+// Package obs serves the daemon's observability surface over HTTP:
+//
+//	/metrics       Prometheus text exposition of the metrics registry
+//	/debug/vars    expvar-style JSON dump of the same registry
+//	/debug/status  JSON: last snapshot plus the decision-journal tail
+//	/healthz       liveness probe
+//
+// The paper evaluates its control loop from post-hoc traces; this package
+// makes the same loop inspectable while it runs — cmd/powerd serves it
+// behind -listen, cmd/turbostat reads it behind -connect, and tests scrape
+// it during live virtual runs.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"repro/internal/daemon"
+	"repro/internal/metrics"
+	"repro/internal/metrics/decisions"
+)
+
+// AppStatus is one application's state in a status report.
+type AppStatus struct {
+	Name   string  `json:"name"`
+	Core   int     `json:"core"`
+	MHz    float64 `json:"mhz"`
+	IPS    float64 `json:"ips"`
+	Watts  float64 `json:"watts"`
+	Parked bool    `json:"parked"`
+}
+
+// DaemonStatus is the control loop's externally visible state.
+type DaemonStatus struct {
+	Policy            string      `json:"policy"`
+	Iterations        int         `json:"iterations"`
+	TimeSeconds       float64     `json:"time_seconds"`
+	LimitWatts        float64     `json:"limit_watts"`
+	PackagePowerWatts float64     `json:"package_power_watts"`
+	Apps              []AppStatus `json:"apps"`
+	JitterMeanSeconds float64     `json:"jitter_mean_seconds"`
+	JitterP99Seconds  float64     `json:"jitter_p99_seconds"`
+	Error             string      `json:"error,omitempty"`
+}
+
+// StatusResponse is the /debug/status payload.
+type StatusResponse struct {
+	Status    DaemonStatus      `json:"status"`
+	Decisions []decisions.Entry `json:"decisions"`
+}
+
+// DaemonStatusFunc adapts a daemon into the status callback the server
+// needs. The callback reads the daemon through its mutex-guarded
+// accessors, so it is safe against a live control loop.
+func DaemonStatusFunc(d *daemon.Daemon) func() DaemonStatus {
+	return func() DaemonStatus {
+		snap := d.LastSnapshot()
+		jit := d.Jitter()
+		st := DaemonStatus{
+			Policy:            d.PolicyName(),
+			Iterations:        d.Iterations(),
+			TimeSeconds:       snap.Time.Seconds(),
+			LimitWatts:        float64(d.Limit()),
+			PackagePowerWatts: float64(snap.PackagePower),
+			Apps:              make([]AppStatus, len(snap.Apps)),
+			JitterMeanSeconds: jit.Mean,
+			JitterP99Seconds:  jit.P99,
+		}
+		for i, a := range snap.Apps {
+			st.Apps[i] = AppStatus{
+				Name:   a.Spec.Name,
+				Core:   a.Spec.Core,
+				MHz:    a.Freq.MHzF(),
+				IPS:    a.IPS,
+				Watts:  float64(a.Power),
+				Parked: a.Parked,
+			}
+		}
+		if err := d.Err(); err != nil {
+			st.Error = err.Error()
+		}
+		return st
+	}
+}
+
+// Server bundles a metrics registry, a decision journal, and a status
+// callback behind an http.Handler. Any of the three may be nil; the
+// corresponding endpoint then serves an empty document.
+type Server struct {
+	reg     *metrics.Registry
+	journal *decisions.Journal
+	status  func() DaemonStatus
+	mux     *http.ServeMux
+}
+
+// DefaultTail is how many journal entries /debug/status returns when the
+// request does not say (?n=).
+const DefaultTail = 32
+
+// New assembles the observability server.
+func New(reg *metrics.Registry, journal *decisions.Journal, status func() DaemonStatus) *Server {
+	s := &Server{reg: reg, journal: journal, status: status, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	s.mux.HandleFunc("/debug/status", s.handleStatus)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler exposes the endpoint mux (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve answers requests on l until the listener closes. It always
+// returns a non-nil error, per http.Serve.
+func (s *Server) Serve(l net.Listener) error {
+	return http.Serve(l, s.mux)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.reg == nil {
+		return
+	}
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if s.reg == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	_ = s.reg.WriteJSON(w)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	n := DefaultTail
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil {
+			n = v
+		}
+	}
+	resp := StatusResponse{Decisions: s.journal.Tail(n)}
+	if resp.Decisions == nil {
+		resp.Decisions = []decisions.Entry{}
+	}
+	if s.status != nil {
+		resp.Status = s.status()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

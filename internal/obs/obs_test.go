@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/metrics"
+	"repro/internal/metrics/decisions"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// liveRun builds a machine plus an instrumented daemon and returns them
+// with the observability server mounted on a test HTTP server.
+func liveRun(t *testing.T) (*sim.Machine, *daemon.Daemon, *httptest.Server) {
+	t.Helper()
+	chip := platform.Skylake()
+	reg := metrics.NewRegistry()
+	journal := decisions.NewJournal(64)
+	m, err := sim.New(chip, sim.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"leela", "cactusBSSN"}
+	specs := make([]core.AppSpec, len(names))
+	for i, n := range names {
+		p := workload.MustByName(n)
+		if err := m.Pin(workload.NewInstance(p), i); err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = core.AppSpec{Name: n, Core: i, AVX: p.AVX, Shares: units.Shares(90 - 80*i)}
+	}
+	pol, err := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := daemon.New(daemon.Config{
+		Chip: chip, Policy: pol, Apps: specs, Limit: 50,
+		Metrics: reg, Journal: journal,
+	}, m.Device(), daemon.MachineActuator{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachVirtual(m); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(reg, journal, DaemonStatusFunc(d)).Handler())
+	t.Cleanup(srv.Close)
+	return m, d, srv
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// The acceptance test: scrape /metrics and /debug/status while the virtual
+// run is in progress, then validate the final exposition.
+func TestScrapeDuringLiveRun(t *testing.T) {
+	m, d, srv := liveRun(t)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				get(t, srv.URL+"/metrics")
+				get(t, srv.URL+"/debug/status")
+				get(t, srv.URL+"/debug/vars")
+				get(t, srv.URL+"/healthz")
+			}
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		m.Run(time.Second)
+	}
+	close(stop)
+	wg.Wait()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Iterations() < 25 {
+		t.Fatalf("only %d iterations ran", d.Iterations())
+	}
+
+	// /metrics: valid Prometheus text with counters, gauges, a histogram.
+	out := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE powerd_iterations_total counter",
+		"# TYPE powerd_limit_watts gauge",
+		"powerd_limit_watts 50",
+		"# TYPE powerd_iteration_seconds histogram",
+		"powerd_iteration_seconds_count",
+		`powerd_iteration_seconds_bucket{le="+Inf"}`,
+		"# TYPE telemetry_samples_total counter",
+		"# TYPE sim_ticks_total counter",
+		"# TYPE rapl_cap_mhz gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+
+	// /debug/status: last snapshot plus a bounded decision tail.
+	var sr StatusResponse
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/debug/status?n=5")), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Status.Policy != "frequency-shares" {
+		t.Errorf("policy = %q", sr.Status.Policy)
+	}
+	if sr.Status.Iterations != d.Iterations() {
+		t.Errorf("status iterations = %d, want %d", sr.Status.Iterations, d.Iterations())
+	}
+	if sr.Status.LimitWatts != 50 || sr.Status.PackagePowerWatts <= 0 {
+		t.Errorf("status power fields: %+v", sr.Status)
+	}
+	if len(sr.Status.Apps) != 2 || sr.Status.Apps[0].Name != "leela" {
+		t.Errorf("status apps: %+v", sr.Status.Apps)
+	}
+	if len(sr.Decisions) != 5 {
+		t.Fatalf("decision tail = %d entries, want 5", len(sr.Decisions))
+	}
+	last := sr.Decisions[len(sr.Decisions)-1]
+	if last.Policy != "frequency-shares" || len(last.Reasons) == 0 {
+		t.Errorf("last decision: %+v", last)
+	}
+	if uint64(d.Iterations()) != last.Seq {
+		t.Errorf("last decision seq %d != iterations %d", last.Seq, d.Iterations())
+	}
+
+	// /debug/vars: a JSON object naming the iteration counter.
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/debug/vars")), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := vars["powerd_iterations_total"]; !ok {
+		t.Errorf("/debug/vars missing powerd_iterations_total: %v", vars)
+	}
+
+	if got := get(t, srv.URL+"/healthz"); !strings.Contains(got, "ok") {
+		t.Errorf("/healthz = %q", got)
+	}
+}
+
+// Nil components degrade to empty documents, not panics.
+func TestNilComponents(t *testing.T) {
+	srv := httptest.NewServer(New(nil, nil, nil).Handler())
+	defer srv.Close()
+	if out := get(t, srv.URL+"/metrics"); out != "" {
+		t.Errorf("/metrics on nil registry = %q", out)
+	}
+	var sr StatusResponse
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/debug/status")), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Decisions) != 0 {
+		t.Errorf("decisions = %+v", sr.Decisions)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/debug/vars")), &vars); err != nil {
+		t.Fatal(err)
+	}
+}

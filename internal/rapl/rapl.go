@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 	"repro/internal/units"
 )
 
@@ -65,6 +66,21 @@ type Limiter struct {
 	avg     *runningAverage
 	last    units.Watts   // most recent instantaneous sample
 	pending time.Duration // time since the cap last moved
+
+	// Optional instrumentation; nil handles no-op.
+	mThrottles *metrics.Counter
+	mReleases  *metrics.Counter
+	mCapMHz    *metrics.Gauge
+}
+
+// Instrument registers the limiter's metrics on reg: throttle events (cap
+// lowered one step), release events (cap raised), and the current cap in
+// MHz. Safe to call with a nil registry.
+func (l *Limiter) Instrument(reg *metrics.Registry) {
+	l.mThrottles = reg.Counter("rapl_throttle_events_total", "RAPL cap step-downs (package power over the limit).")
+	l.mReleases = reg.Counter("rapl_release_events_total", "RAPL cap step-ups (headroom regained under the limit).")
+	l.mCapMHz = reg.Gauge("rapl_cap_mhz", "Current RAPL internal frequency cap in MHz.")
+	l.mCapMHz.Set(l.cap.MHzF())
 }
 
 // New returns a limiter for a chip with the given frequency spec. The cap
@@ -131,6 +147,8 @@ func (l *Limiter) Observe(pkg units.Watts, dt time.Duration) units.Hertz {
 			if l.cap < l.spec.Min {
 				l.cap = l.spec.Min
 			}
+			l.mThrottles.Inc()
+			l.mCapMHz.Set(l.cap.MHzF())
 		}
 		return l.cap
 	}
@@ -147,6 +165,8 @@ func (l *Limiter) Observe(pkg units.Watts, dt time.Duration) units.Hertz {
 			if l.cap > l.spec.Max() {
 				l.cap = l.spec.Max()
 			}
+			l.mReleases.Inc()
+			l.mCapMHz.Set(l.cap.MHzF())
 		}
 	}
 	return l.cap

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 	"repro/internal/msr"
 	"repro/internal/platform"
 	"repro/internal/rapl"
@@ -38,6 +39,14 @@ func WithEnergyUnit(esu uint) Option {
 	return func(m *Machine) { m.unit = msr.EnergyUnit{ESU: esu} }
 }
 
+// WithMetrics instruments the machine (and its RAPL limiter) on reg: tick
+// counts, C-state sleep/wake transitions, and transitions of the
+// constraint binding each core's effective frequency (turbo grant, AVX
+// licence, RAPL cap). A nil registry disables instrumentation.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(m *Machine) { m.reg = reg }
+}
+
 // Machine is one simulated socket.
 type Machine struct {
 	chip    platform.Chip
@@ -55,6 +64,13 @@ type Machine struct {
 	dev        *msr.SimDevice
 	hooks      []func(dt time.Duration)
 	idles      []coreIdle
+
+	// Optional instrumentation; nil handles no-op.
+	reg            *metrics.Registry
+	mTicks         *metrics.Counter
+	mCStateTrans   *metrics.CounterVec
+	mFreqConstr    *metrics.CounterVec
+	lastConstraint []string // per core, last binding constraint observed
 }
 
 // coreIdle tracks one core's C-state machinery: the menu-style state chosen
@@ -104,6 +120,15 @@ func New(chip platform.Chip, opts ...Option) (*Machine, error) {
 	m.limiter, err = rapl.New(chip.Freq, m.raplCfg)
 	if err != nil {
 		return nil, err
+	}
+	if m.reg != nil {
+		m.mTicks = m.reg.Counter("sim_ticks_total", "Simulation steps executed.")
+		m.mCStateTrans = m.reg.CounterVec("sim_cstate_transitions_total",
+			"Core C-state sleep/wake transitions.", "kind")
+		m.mFreqConstr = m.reg.CounterVec("sim_freq_constraint_transitions_total",
+			"Transitions of the constraint binding a core's effective frequency.", "constraint")
+		m.lastConstraint = make([]string, chip.NumCores)
+		m.limiter.Instrument(m.reg)
 	}
 	m.wireMSRs()
 	return m, nil
@@ -319,10 +344,12 @@ func (m *Machine) stepIdle(i int, activeNow bool, dt time.Duration) time.Duratio
 		idleLen := m.clock - id.idleSince
 		id.predict = (id.predict*7 + idleLen*3) / 10
 		id.state = -1
+		m.mCStateTrans.With("wake").Inc()
 	case !activeNow && id.wasActive:
 		// Sleep: menu selection on the predicted idle length.
 		id.state = cpu.SelectCState(table, id.predict)
 		id.idleSince = m.clock
+		m.mCStateTrans.With("sleep").Inc()
 	}
 	if !activeNow && id.state >= 0 && id.state < len(table) {
 		// Residency promotion: once the core has provably idled past a
@@ -342,13 +369,51 @@ func (m *Machine) stepIdle(i int, activeNow bool, dt time.Duration) time.Duratio
 	return debt
 }
 
+// constraintFor classifies what bound core i's effective frequency at the
+// given occupancy: the OS request, the RAPL cap, the AVX licence, or the
+// turbo grant. Idle (or off-duty) cores report "idle".
+func (m *Machine) constraintFor(i, active int) string {
+	c := m.cores[i]
+	if c.Idle {
+		return "idle"
+	}
+	a := m.apps[i]
+	if a != nil && !a.DutyOn() {
+		return "idle"
+	}
+	avx := a != nil && a.Profile.AVX
+	f := m.chip.Freq.Quantize(c.Request)
+	constraint := "request"
+	if cap := m.limiter.Cap(); cap > 0 && cap < f {
+		f = cap
+		constraint = "rapl-cap"
+	}
+	if ceil := m.chip.Freq.Ceiling(active, avx); ceil < f {
+		if avx && ceil < m.chip.Freq.Ceiling(active, false) {
+			constraint = "avx-licence"
+		} else {
+			constraint = "turbo"
+		}
+	}
+	return constraint
+}
+
 // Step advances the machine one tick.
 func (m *Machine) Step() {
 	dt := m.dt
 	active := m.ActiveCores()
+	m.mTicks.Inc()
 	var pkg units.Watts
 	for i, c := range m.cores {
 		eff := m.effective(i, active)
+		if m.lastConstraint != nil {
+			if constr := m.constraintFor(i, active); constr != m.lastConstraint[i] {
+				m.lastConstraint[i] = constr
+				if constr != "idle" {
+					m.mFreqConstr.With(constr).Inc()
+				}
+			}
+		}
 		debt := m.stepIdle(i, eff > 0, dt)
 		if debt > 0 && eff > 0 {
 			// The wake exit latency eats into this tick's execution: model

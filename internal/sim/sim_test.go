@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/msr"
 	"repro/internal/platform"
 	"repro/internal/units"
@@ -424,5 +425,49 @@ func TestIdlingCoresBoostsRemaining(t *testing.T) {
 	}
 	if f1, f10 := run(1), run(10); f1 <= f10 {
 		t.Errorf("1-core freq %v should exceed 10-core freq %v", f1, f10)
+	}
+}
+
+func TestWithMetricsInstrumentsMachine(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := newSkylake(t, WithMetrics(reg))
+	for i := 0; i < 4; i++ {
+		pin(t, m, "cactusBSSN", i)
+		if err := m.SetRequest(i, m.Chip().Freq.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetPowerLimit(30) // far below 4 cores at max: RAPL must throttle
+	m.Run(3 * time.Second)
+
+	if v := reg.Counter("sim_ticks_total", "").Value(); v <= 0 {
+		t.Errorf("sim_ticks_total = %v", v)
+	}
+	// Pinned cores woke out of idle at the start of the run.
+	wake := reg.CounterVec("sim_cstate_transitions_total", "", "kind").With("wake")
+	if v := wake.Value(); v <= 0 {
+		t.Errorf("no wake transitions counted")
+	}
+	// Parking an active core is a sleep transition.
+	if err := m.SetIdle(0, true); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100 * time.Millisecond)
+	sleep := reg.CounterVec("sim_cstate_transitions_total", "", "kind").With("sleep")
+	if v := sleep.Value(); v <= 0 {
+		t.Errorf("no sleep transitions counted")
+	}
+	// The run started request-bound and became RAPL-bound once the cap
+	// descended below the request.
+	fc := reg.CounterVec("sim_freq_constraint_transitions_total", "", "constraint")
+	if v := fc.With("rapl-cap").Value(); v <= 0 {
+		t.Errorf("no rapl-cap constraint transitions counted")
+	}
+	// The limiter's own metrics ride along on the same registry.
+	if v := reg.Counter("rapl_throttle_events_total", "").Value(); v <= 0 {
+		t.Errorf("rapl_throttle_events_total = %v", v)
+	}
+	if v := reg.Gauge("rapl_cap_mhz", "").Value(); v <= 0 {
+		t.Errorf("rapl_cap_mhz = %v", v)
 	}
 }

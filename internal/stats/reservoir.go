@@ -1,0 +1,57 @@
+package stats
+
+import "math/rand"
+
+// Reservoir is a fixed-size uniform sample of a stream (Vitter's
+// algorithm R), used where percentiles of an unbounded series are needed
+// without retaining it — the daemon's real-time jitter distribution is the
+// motivating case: one sample per control interval forever would grow
+// without bound, while a reservoir keeps memory constant and the
+// percentile estimate unbiased.
+type Reservoir struct {
+	capacity int
+	seen     int64
+	xs       []float64
+	rng      *rand.Rand
+}
+
+// NewReservoir returns a reservoir holding at most capacity samples.
+// Non-positive capacities default to 512. The RNG is deterministically
+// seeded so runs are reproducible.
+func NewReservoir(capacity int) *Reservoir {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &Reservoir{
+		capacity: capacity,
+		rng:      rand.New(rand.NewSource(int64(capacity))),
+	}
+}
+
+// Add folds x into the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.xs) < r.capacity {
+		r.xs = append(r.xs, x)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.capacity) {
+		r.xs[j] = x
+	}
+}
+
+// Seen reports how many samples have been offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Len reports how many samples are retained.
+func (r *Reservoir) Len() int { return len(r.xs) }
+
+// Values returns a copy of the retained samples.
+func (r *Reservoir) Values() []float64 {
+	return append([]float64(nil), r.xs...)
+}
+
+// Percentile estimates the p-th percentile from the retained sample.
+func (r *Reservoir) Percentile(p float64) float64 {
+	return Percentile(r.xs, p)
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/msr"
 	"repro/internal/units"
 )
@@ -53,6 +54,19 @@ type Sampler struct {
 	prevInstr []uint64
 	prevCore  []uint64
 	prevPkg   uint64
+
+	// Optional instrumentation; nil handles no-op.
+	mSamples    *metrics.Counter
+	mMSRReads   *metrics.Counter
+	mReadErrors *metrics.Counter
+}
+
+// Instrument registers the sampler's metrics on reg: samples taken, raw
+// MSR reads issued, and read errors. Safe to call with a nil registry.
+func (s *Sampler) Instrument(reg *metrics.Registry) {
+	s.mSamples = reg.Counter("telemetry_samples_total", "Telemetry samples derived from MSR reads.")
+	s.mMSRReads = reg.Counter("telemetry_msr_reads_total", "Raw MSR read operations issued by the sampler.")
+	s.mReadErrors = reg.Counter("telemetry_read_errors_total", "MSR read operations that returned an error.")
 }
 
 // NewSampler builds a sampler over dev for nCores cores with nominal
@@ -93,30 +107,40 @@ func (s *Sampler) Prime() error {
 	return nil
 }
 
+// readMSR wraps the device read with instrumentation.
+func (s *Sampler) readMSR(cpu int, reg uint32) (uint64, error) {
+	s.mMSRReads.Inc()
+	v, err := s.dev.Read(cpu, reg)
+	if err != nil {
+		s.mReadErrors.Inc()
+	}
+	return v, err
+}
+
 func (s *Sampler) read() error {
 	for i := 0; i < s.nCores; i++ {
-		a, err := s.dev.Read(i, msr.IA32Aperf)
+		a, err := s.readMSR(i, msr.IA32Aperf)
 		if err != nil {
 			return fmt.Errorf("telemetry: aperf cpu%d: %w", i, err)
 		}
-		m, err := s.dev.Read(i, msr.IA32Mperf)
+		m, err := s.readMSR(i, msr.IA32Mperf)
 		if err != nil {
 			return fmt.Errorf("telemetry: mperf cpu%d: %w", i, err)
 		}
-		ins, err := s.dev.Read(i, msr.IA32FixedCtr0)
+		ins, err := s.readMSR(i, msr.IA32FixedCtr0)
 		if err != nil {
 			return fmt.Errorf("telemetry: instr cpu%d: %w", i, err)
 		}
 		s.prevAperf[i], s.prevMperf[i], s.prevInstr[i] = a, m, ins
 		if s.perCore {
-			e, err := s.dev.Read(i, msr.PP0EnergyStatus)
+			e, err := s.readMSR(i, msr.PP0EnergyStatus)
 			if err != nil {
 				return fmt.Errorf("telemetry: core energy cpu%d: %w", i, err)
 			}
 			s.prevCore[i] = e
 		}
 	}
-	pkg, err := s.dev.Read(0, msr.PkgEnergyStatus)
+	pkg, err := s.readMSR(0, msr.PkgEnergyStatus)
 	if err != nil {
 		return fmt.Errorf("telemetry: package energy: %w", err)
 	}
@@ -160,5 +184,6 @@ func (s *Sampler) Sample(dt time.Duration) (Sample, error) {
 		out.Cores[i] = cs
 	}
 	out.PackagePower = s.unit.FromCounts(msr.DeltaCounts(prevPkg, s.prevPkg)).Power(dt)
+	s.mSamples.Inc()
 	return out, nil
 }

@@ -1,10 +1,13 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
+	"repro/internal/msr"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -176,5 +179,74 @@ func TestSuccessiveSamplesAreIndependent(t *testing.T) {
 	}
 	if s2.At != 2*time.Second {
 		t.Errorf("At = %v", s2.At)
+	}
+}
+
+// failAfterDevice passes through to the machine's device until n reads have
+// happened, then fails every read.
+type failAfterDevice struct {
+	dev   msr.Device
+	n     int
+	reads int
+}
+
+func (f *failAfterDevice) Read(cpu int, reg uint32) (uint64, error) {
+	f.reads++
+	if f.reads > f.n {
+		return 0, fmt.Errorf("injected read failure")
+	}
+	return f.dev.Read(cpu, reg)
+}
+
+func (f *failAfterDevice) Write(cpu int, reg uint32, v uint64) error {
+	return f.dev.Write(cpu, reg, v)
+}
+
+func TestInstrumentCountsReadsAndErrors(t *testing.T) {
+	chip := platform.Skylake()
+	m := machineWith(t, chip, map[int]string{0: "gcc"})
+	reg := metrics.NewRegistry()
+	s, err := NewSampler(m.Device(), chip.NumCores, chip.Freq.Nom, chip.PerCorePower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Instrument(reg)
+	if err := s.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	if _, err := s.Sample(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("telemetry_samples_total", "").Value(); v != 1 {
+		t.Errorf("samples = %v, want 1", v)
+	}
+	// One read per core for APERF/MPERF/FIXED_CTR0 plus the package energy
+	// counter, per read() pass (prime + sample).
+	wantReads := float64(2 * (3*chip.NumCores + 1))
+	if v := reg.Counter("telemetry_msr_reads_total", "").Value(); v != wantReads {
+		t.Errorf("msr reads = %v, want %v", v, wantReads)
+	}
+	if v := reg.Counter("telemetry_read_errors_total", "").Value(); v != 0 {
+		t.Errorf("read errors = %v, want 0", v)
+	}
+}
+
+func TestInstrumentCountsFailedReads(t *testing.T) {
+	chip := platform.Skylake()
+	m := machineWith(t, chip, nil)
+	fd := &failAfterDevice{dev: m.Device(), n: 1 << 30}
+	reg := metrics.NewRegistry()
+	s, err := NewSampler(fd, chip.NumCores, chip.Freq.Nom, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Instrument(reg)
+	fd.n = fd.reads // every further read fails
+	if err := s.Prime(); err == nil {
+		t.Fatal("failing device primed successfully")
+	}
+	if v := reg.Counter("telemetry_read_errors_total", "").Value(); v != 1 {
+		t.Errorf("read errors = %v, want 1", v)
 	}
 }

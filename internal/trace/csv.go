@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// SnapshotWriter streams one CSV row per control-interval snapshot:
+// time, package power, limit, then four columns (MHz, IPS, W, parked) per
+// application. Output is buffered — the daemon produces two snapshots'
+// worth of text per second and an unbuffered writer would issue several
+// syscalls per app per iteration — so callers must Flush before closing
+// the underlying file.
+type SnapshotWriter struct {
+	bw   *bufio.Writer
+	apps []core.AppSpec
+}
+
+// NewSnapshotWriter wraps w in a buffer and writes the CSV header for the
+// given application set.
+func NewSnapshotWriter(w io.Writer, apps []core.AppSpec) *SnapshotWriter {
+	sw := &SnapshotWriter{bw: bufio.NewWriter(w), apps: append([]core.AppSpec(nil), apps...)}
+	fmt.Fprint(sw.bw, "time_s,pkg_w,limit_w")
+	for _, a := range sw.apps {
+		fmt.Fprintf(sw.bw, ",%s_c%d_mhz,%s_c%d_ips,%s_c%d_w,%s_c%d_parked",
+			a.Name, a.Core, a.Name, a.Core, a.Name, a.Core, a.Name, a.Core)
+	}
+	fmt.Fprintln(sw.bw)
+	return sw
+}
+
+// Observe appends one row. It matches the daemon's OnSnapshot signature.
+func (sw *SnapshotWriter) Observe(s core.Snapshot) {
+	fmt.Fprintf(sw.bw, "%.3f,%.3f,%.3f", s.Time.Seconds(), float64(s.PackagePower), float64(s.Limit))
+	for _, a := range s.Apps {
+		parked := 0
+		if a.Parked {
+			parked = 1
+		}
+		fmt.Fprintf(sw.bw, ",%.0f,%.4g,%.3f,%d", a.Freq.MHzF(), a.IPS, float64(a.Power), parked)
+	}
+	fmt.Fprintln(sw.bw)
+}
+
+// Flush drains the buffer to the underlying writer. Call it once after the
+// run completes (and before closing the file).
+func (sw *SnapshotWriter) Flush() error {
+	return sw.bw.Flush()
+}
