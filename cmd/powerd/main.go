@@ -10,6 +10,13 @@
 // Each app is name:core:shares (share policies) or name:core:hp|lp
 // (priority policy). The daemon runs in virtual time and prints one
 // telemetry row per application at the end, plus periodic progress.
+//
+// A flight recorder runs by default (-flight=false disables): every MSR
+// access, policy decision, and actuation lands in a constant-memory ring.
+// SIGQUIT (ctrl-\) snapshots the ring to a dump file in -flight-dump-dir
+// without stopping the run, the -flight-overlimit / -flight-slo triggers
+// dump automatically, and POST /debug/flight/dump on -listen streams one.
+// Analyse or replay dumps with powerdump.
 package main
 
 import (
@@ -17,12 +24,15 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/metrics/decisions"
 	"repro/internal/obs"
@@ -33,6 +43,18 @@ import (
 	"repro/internal/units"
 	"repro/internal/workload"
 )
+
+// runOpts bundles the cross-cutting flags that every run mode threads
+// through to drive.
+type runOpts struct {
+	duration  time.Duration
+	tracePath string
+	listen    string
+	pprofOn   bool
+	flightOn  bool
+	flightCap int
+	triggers  daemon.FlightTriggers
+}
 
 func main() {
 	var (
@@ -45,14 +67,34 @@ func main() {
 		tracePth = flag.String("trace", "", "write a per-iteration CSV time series to this file")
 		confPath = flag.String("config", "", "JSON config file (overrides -platform/-policy/-limit/-apps/-interval)")
 		listen   = flag.String("listen", "", "serve /metrics, /debug/status, /healthz on this address (e.g. :9090)")
+		pprofOn  = flag.Bool("debug-pprof", false, "also serve /debug/pprof/ (CPU/heap/block profiles) on -listen")
+		flightOn = flag.Bool("flight", true, "run the flight recorder (MSR accesses, decisions, actuations)")
+		fltCap   = flag.Int("flight-cap", 0, "flight-recorder ring capacity per source (0 = default)")
+		fltDir   = flag.String("flight-dump-dir", ".", "directory flight dumps are written to")
+		fltOver  = flag.Duration("flight-overlimit", 0, "dump when power exceeds the limit continuously for this long (0 = off)")
+		fltSLO   = flag.Duration("flight-slo", 0, "dump when one control iteration exceeds this wall-clock latency (0 = off)")
 	)
 	flag.Parse()
 
+	opts := runOpts{
+		duration:  *duration,
+		tracePath: *tracePth,
+		listen:    *listen,
+		pprofOn:   *pprofOn,
+		flightOn:  *flightOn,
+		flightCap: *fltCap,
+		triggers: daemon.FlightTriggers{
+			Dir:          *fltDir,
+			OverLimitFor: *fltOver,
+			IterationSLO: *fltSLO,
+		},
+	}
+
 	var err error
 	if *confPath != "" {
-		err = runConfig(*confPath, *duration, *tracePth, *listen)
+		err = runConfig(*confPath, opts)
 	} else {
-		err = run(*plat, *policy, units.Watts(*limit), *apps, *duration, *interval, *tracePth, *listen)
+		err = run(*plat, *policy, units.Watts(*limit), *apps, *interval, opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "powerd:", err)
@@ -61,7 +103,7 @@ func main() {
 }
 
 // runConfig drives the daemon from an operator config file.
-func runConfig(path string, duration time.Duration, tracePath, listen string) error {
+func runConfig(path string, opts runOpts) error {
 	cfg, err := opconfig.Load(path)
 	if err != nil {
 		return err
@@ -70,7 +112,7 @@ func runConfig(path string, duration time.Duration, tracePath, listen string) er
 	if err != nil {
 		return err
 	}
-	return drive(chip, specs, pol, cfg.Policy, cfg.Limit(), cfg.Interval(), duration, tracePath, listen)
+	return drive(chip, specs, pol, cfg.Policy, cfg.Limit(), cfg.Interval(), opts)
 }
 
 func parseApps(arg string, priority bool) ([]core.AppSpec, error) {
@@ -109,7 +151,7 @@ func parseApps(arg string, priority bool) ([]core.AppSpec, error) {
 	return specs, nil
 }
 
-func run(plat, policy string, limit units.Watts, apps string, duration, interval time.Duration, tracePath, listen string) error {
+func run(plat, policy string, limit units.Watts, apps string, interval time.Duration, opts runOpts) error {
 	chip, err := platform.ByName(plat)
 	if err != nil {
 		return err
@@ -141,20 +183,24 @@ func run(plat, policy string, limit units.Watts, apps string, duration, interval
 	if err != nil {
 		return err
 	}
-	return drive(chip, specs, pol, policy, limit, interval, duration, tracePath, listen)
+	return drive(chip, specs, pol, policy, limit, interval, opts)
 }
 
 // drive builds the machine, pins the configured applications, and runs the
 // daemon for the requested virtual duration with periodic progress output.
-// When listen is non-empty the observability endpoints are served there for
-// the life of the run.
+// When opts.listen is non-empty the observability endpoints are served
+// there for the life of the run.
 func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy string,
-	limit units.Watts, interval, duration time.Duration, tracePath, listen string) error {
+	limit units.Watts, interval time.Duration, opts runOpts) (err error) {
 
 	reg := metrics.NewRegistry()
 	journal := decisions.NewJournal(0)
+	var rec *flight.Recorder
+	if opts.flightOn {
+		rec = flight.New(opts.flightCap)
+	}
 
-	m, err := sim.New(chip, sim.WithMetrics(reg))
+	m, err := sim.New(chip, sim.WithMetrics(reg), sim.WithFlightRecorder(rec))
 	if err != nil {
 		return err
 	}
@@ -167,16 +213,28 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 
 	dcfg := daemon.Config{
 		Chip: chip, Policy: pol, Apps: specs, Limit: limit, Interval: interval,
-		Metrics: reg, Journal: journal,
+		Metrics: reg, Journal: journal, Flight: rec, Triggers: opts.triggers,
 	}
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return fmt.Errorf("opening trace file: %w", err)
+	dcfg.Triggers.OnDump = func(path, reason string, derr error) {
+		if derr != nil {
+			fmt.Fprintf(os.Stderr, "powerd: flight dump (%s) failed: %v\n", reason, derr)
+			return
 		}
-		defer f.Close()
+		fmt.Printf("powerd: flight dump (%s) written to %s\n", reason, path)
+	}
+	if opts.tracePath != "" {
+		f, ferr := os.Create(opts.tracePath)
+		if ferr != nil {
+			return fmt.Errorf("opening trace file: %w", ferr)
+		}
 		tw := trace.NewSnapshotWriter(f, specs)
-		defer tw.Flush()
+		defer func() {
+			// The writer is buffered; a dropped flush error would silently
+			// truncate the trace.
+			if cerr := tw.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing trace file: %w", cerr)
+			}
+		}()
 		dcfg.OnSnapshot = tw.Observe
 	}
 	d, err := daemon.New(dcfg, m.Device(), daemon.MachineActuator{M: m})
@@ -187,24 +245,48 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 		return err
 	}
 
-	if listen != "" {
-		l, err := net.Listen("tcp", listen)
-		if err != nil {
-			return fmt.Errorf("observability listener: %w", err)
+	if rec != nil {
+		// SIGQUIT (ctrl-\) snapshots the flight recorder without stopping
+		// the run, like the JVM's thread-dump handler.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		defer signal.Stop(quit)
+		go func() {
+			for range quit {
+				if path, derr := d.DumpFlight("sigquit"); derr != nil {
+					fmt.Fprintln(os.Stderr, "powerd: flight dump failed:", derr)
+				} else {
+					fmt.Println("powerd: flight dump written to", path)
+				}
+			}
+		}()
+	}
+
+	if opts.listen != "" {
+		l, lerr := net.Listen("tcp", opts.listen)
+		if lerr != nil {
+			return fmt.Errorf("observability listener: %w", lerr)
 		}
 		defer l.Close()
-		srv := obs.New(reg, journal, obs.DaemonStatusFunc(d))
+		var srvOpts []obs.Option
+		if opts.pprofOn {
+			srvOpts = append(srvOpts, obs.WithPprof())
+		}
+		if rec != nil {
+			srvOpts = append(srvOpts, obs.WithFlight(rec))
+		}
+		srv := obs.New(reg, journal, obs.DaemonStatusFunc(d), srvOpts...)
 		go func() { _ = srv.Serve(l) }()
 		fmt.Printf("powerd: observability on http://%s (/metrics, /debug/status, /healthz)\n", l.Addr())
 	}
 
 	fmt.Printf("powerd: %s, %s policy, %v limit, %d apps, %v virtual run\n",
-		chip.Name, pol.Name(), limit, len(specs), duration)
-	step := duration / 10
+		chip.Name, pol.Name(), limit, len(specs), opts.duration)
+	step := opts.duration / 10
 	if step < interval {
 		step = interval
 	}
-	for elapsed := time.Duration(0); elapsed < duration; elapsed += step {
+	for elapsed := time.Duration(0); elapsed < opts.duration; elapsed += step {
 		m.Run(step)
 		if err := d.Err(); err != nil {
 			return err

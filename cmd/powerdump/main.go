@@ -1,0 +1,323 @@
+// Command powerdump decodes flight-recorder dumps (written by powerd's
+// SIGQUIT handler, the daemon's automatic triggers, or POST
+// /debug/flight/dump) and turns them into something a human can debug
+// from:
+//
+//	powerdump dump.fr                  # summary: metadata + event census
+//	powerdump -view timeline dump.fr   # every event, one line each
+//	powerdump -view spans dump.fr      # per-interval sample→decide→actuate trees
+//	powerdump -view anomalies dump.fr  # over-limit excursions, throttle bursts, parks
+//	powerdump -replay dump.fr          # re-execute against a fresh simulator and diff
+//
+// Replay rebuilds the machine from the dump's metadata, re-applies the
+// recorded MSR writes and park decisions at their recorded virtual times,
+// and re-issues every recorded read: a clean dump reproduces bit for bit,
+// and any divergence is printed with the first differing sequence number.
+// A replay with mismatches exits non-zero, so CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/flight/replay"
+	"repro/internal/msr"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		view     = flag.String("view", "summary", "summary, timeline, spans, or anomalies")
+		interval = flag.Int("interval", -1, "restrict timeline/spans to one control interval (-1 = all)")
+		limit    = flag.Int("n", 0, "print at most n timeline events (0 = all)")
+		doReplay = flag.Bool("replay", false, "deterministically replay the dump and diff against the recording")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: powerdump [-view summary|timeline|spans|anomalies] [-replay] dump.fr")
+		os.Exit(2)
+	}
+	d, err := flight.ReadDumpFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerdump:", err)
+		os.Exit(1)
+	}
+	if *doReplay {
+		if err := runReplay(d); err != nil {
+			fmt.Fprintln(os.Stderr, "powerdump:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	switch *view {
+	case "summary":
+		summary(d)
+	case "timeline":
+		timeline(d, *interval, *limit)
+	case "spans":
+		spans(d, *interval)
+	case "anomalies":
+		anomalies(d)
+	default:
+		fmt.Fprintf(os.Stderr, "powerdump: unknown view %q\n", *view)
+		os.Exit(2)
+	}
+}
+
+func mhz(v uint64) string    { return fmt.Sprintf("%.0fMHz", units.Hertz(v).MHzF()) }
+func uwatts(v uint64) string { return fmt.Sprintf("%.1fW", float64(v)/1e6) }
+
+// describe renders one event's payload.
+func describe(e flight.Event) string {
+	switch e.Kind {
+	case flight.KindMSRRead:
+		return fmt.Sprintf("cpu%-2d %-12s = %#x", e.Core, msr.RegName(e.Arg), e.Value)
+	case flight.KindMSRWrite:
+		return fmt.Sprintf("cpu%-2d %-12s <- %#x", e.Core, msr.RegName(e.Arg), e.Value)
+	case flight.KindDecision:
+		return fmt.Sprintf("%-20s pkg=%s limit=%s", flight.ReasonFromCode(e.Arg), uwatts(e.Value), uwatts(e.Aux))
+	case flight.KindActuate:
+		s := fmt.Sprintf("core%-2d %s", e.Core, flight.ActName(e.Arg))
+		if e.Arg == flight.ActSetFreq {
+			s += " " + mhz(e.Value)
+		}
+		return s
+	case flight.KindRAPLThrottle, flight.KindRAPLRelease:
+		return fmt.Sprintf("cap=%s pkg=%s", mhz(e.Value), uwatts(e.Aux))
+	case flight.KindCStateSleep:
+		return fmt.Sprintf("core%-2d -> C-state %d", e.Core, e.Value)
+	case flight.KindCStateWake:
+		return fmt.Sprintf("core%-2d <- C-state %d (exit %v)", e.Core, int(e.Arg)-1, time.Duration(e.Value))
+	case flight.KindConstraint:
+		return fmt.Sprintf("core%-2d bound by %s", e.Core, flight.ConstraintFromCode(e.Arg))
+	}
+	return ""
+}
+
+func summary(d flight.Dump) {
+	m := d.Meta
+	fmt.Printf("flight dump v%d  reason=%s\n", m.Version, m.Reason)
+	fmt.Printf("machine: %s, %d cores, tick %v, ESU %d\n",
+		m.Chip, m.NumCores, time.Duration(m.TickNS), m.ESU)
+	if m.Policy != "" {
+		fmt.Printf("control: policy %s, limit %.1fW, interval %v\n",
+			m.Policy, m.LimitWatts, time.Duration(m.IntervalNS))
+	}
+	for _, a := range m.Apps {
+		extra := fmt.Sprintf("shares=%d", a.Shares)
+		if a.HighPriority {
+			extra = "high-priority"
+		}
+		fmt.Printf("  app %-10s core %d  %s\n", a.Name, a.Core, extra)
+	}
+	if len(d.Events) == 0 {
+		fmt.Println("no events")
+		return
+	}
+	first, last := d.Events[0], d.Events[len(d.Events)-1]
+	fmt.Printf("%d events, seq %d..%d, t=%v..%v, intervals %d..%d\n",
+		len(d.Events), first.Seq, last.Seq, first.Time, last.Time, first.Interval, last.Interval)
+	if first.Seq != 1 {
+		fmt.Println("NOTE: ring overwrote the start of the run (dump is truncated)")
+	}
+	counts := map[flight.Kind]int{}
+	for _, e := range d.Events {
+		counts[e.Kind]++
+	}
+	kinds := make([]flight.Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-14s %d\n", k, counts[k])
+	}
+	var worst, total time.Duration
+	sp := flight.BuildSpans(d.Events)
+	for _, s := range sp {
+		t := s.Total()
+		total += t
+		if t > worst {
+			worst = t
+		}
+	}
+	if n := len(sp); n > 0 {
+		fmt.Printf("iteration latency (wall): mean %v, worst %v over %d intervals\n",
+			total/time.Duration(n), worst, n)
+	}
+}
+
+func timeline(d flight.Dump, interval, n int) {
+	printed := 0
+	for _, e := range d.Events {
+		if interval >= 0 && int(e.Interval) != interval {
+			continue
+		}
+		if n > 0 && printed >= n {
+			fmt.Printf("... (%d more events; raise -n)\n", len(d.Events)-printed)
+			return
+		}
+		fmt.Printf("%8d %12v i%-4d %-7s %-14s %s\n",
+			e.Seq, e.Time, e.Interval, e.Source, e.Kind, describe(e))
+		printed++
+	}
+}
+
+func spans(d flight.Dump, interval int) {
+	for _, s := range flight.BuildSpans(d.Events) {
+		if interval >= 0 && int(s.Interval) != interval {
+			continue
+		}
+		fmt.Printf("interval %d  t=%v  total %v\n", s.Interval, s.Time, s.Total())
+		phase := func(name string, p flight.Phase) {
+			if len(p.Events) == 0 {
+				return
+			}
+			fmt.Printf("  %-8s %3d events  %v\n", name, len(p.Events), p.Latency())
+			for _, e := range p.Events {
+				fmt.Printf("    %-14s %s\n", e.Kind, describe(e))
+			}
+		}
+		phase("sample", s.Sample)
+		phase("decide", s.Decide)
+		phase("actuate", s.Actuate)
+		phase("machine", s.Machine)
+	}
+}
+
+func anomalies(d flight.Dump) {
+	if len(d.Events) > 0 && d.Events[0].Seq != 1 {
+		fmt.Println("truncated: ring overwrote the start of the run")
+	}
+	// Over-limit excursions, from the decision marks (which carry observed
+	// package power and the enforced limit).
+	overRuns, overWorst, inOver := 0, uint64(0), false
+	throttles, burst, worstBurst := 0, 0, 0
+	parks := 0
+	for _, e := range d.Events {
+		switch e.Kind {
+		case flight.KindDecision:
+			if e.Aux > 0 && e.Value > e.Aux {
+				if !inOver {
+					overRuns++
+					inOver = true
+				}
+				if over := e.Value - e.Aux; over > overWorst {
+					overWorst = over
+				}
+			} else {
+				inOver = false
+			}
+		case flight.KindRAPLThrottle:
+			throttles++
+			burst++
+			if burst > worstBurst {
+				worstBurst = burst
+			}
+		case flight.KindRAPLRelease:
+			burst = 0
+		case flight.KindActuate:
+			if e.Arg == flight.ActPark {
+				parks++
+			}
+		}
+	}
+	if overRuns > 0 {
+		fmt.Printf("power over limit: %d excursion(s), worst overshoot %s\n", overRuns, uwatts(overWorst))
+	}
+	if throttles > 0 {
+		fmt.Printf("RAPL throttles: %d step-down(s), longest burst %d\n", throttles, worstBurst)
+	}
+	if parks > 0 {
+		fmt.Printf("core parks: %d\n", parks)
+	}
+	// Iteration latency outliers: anything over 5x the median total.
+	sp := flight.BuildSpans(d.Events)
+	totals := make([]time.Duration, 0, len(sp))
+	for _, s := range sp {
+		if t := s.Total(); t > 0 {
+			totals = append(totals, t)
+		}
+	}
+	if len(totals) >= 4 {
+		sorted := append([]time.Duration(nil), totals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		median := sorted[len(sorted)/2]
+		for _, s := range sp {
+			if t := s.Total(); median > 0 && t > 5*median {
+				fmt.Printf("slow iteration: interval %d took %v (median %v)\n", s.Interval, t, median)
+			}
+		}
+	}
+	if overRuns == 0 && throttles == 0 && parks == 0 {
+		fmt.Println("no anomalies found")
+	}
+}
+
+func runReplay(d flight.Dump) error {
+	res, err := replay.Replay(d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d MSR writes, %d reads, %d park/wake actuations\n",
+		res.Writes, res.Reads, res.Parks)
+	if res.Truncated {
+		fmt.Println("NOTE: dump is truncated; divergence is expected")
+	}
+	if len(res.Mismatches) == 0 {
+		fmt.Println("all reads reproduced bit-identically")
+	} else {
+		fmt.Printf("%d read mismatches; first:\n", len(res.Mismatches))
+		for i, mm := range res.Mismatches {
+			if i >= 10 {
+				fmt.Printf("  ... %d more\n", len(res.Mismatches)-i)
+				break
+			}
+			fmt.Printf("  %v\n", mm)
+		}
+	}
+	cores := make([]int, 0, len(res.RecordedFreq))
+	for c := range res.RecordedFreq {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		recS, repS := res.RecordedFreq[c], res.ReplayedFreq[c]
+		fmt.Printf("core %d frequency series: %d points, %s\n", c, len(recS), seriesVerdict(len(recS) == len(repS) && freqEqual(recS, repS)))
+	}
+	fmt.Printf("package power series: %d points, %s\n", len(res.RecordedPower),
+		seriesVerdict(len(res.RecordedPower) == len(res.ReplayedPower) && powerEqual(res.RecordedPower, res.ReplayedPower)))
+	if len(res.Mismatches) > 0 && !res.Truncated {
+		return fmt.Errorf("replay diverged from recording")
+	}
+	return nil
+}
+
+func seriesVerdict(same bool) string {
+	if same {
+		return "identical"
+	}
+	return "DIVERGED"
+}
+
+func freqEqual(a, b []replay.FreqPoint) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func powerEqual(a, b []replay.PowerPoint) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

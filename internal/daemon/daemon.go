@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/metrics/decisions"
 	"repro/internal/msr"
@@ -105,7 +106,47 @@ type Config struct {
 	// the observed snapshot, the actions emitted, and — when the policy
 	// implements core.Explainer — the machine-readable reasons behind them.
 	Journal *decisions.Journal
+
+	// Flight, when set, records every policy decision (one event per typed
+	// reason) and every actuation into the flight recorder, tags all
+	// events — including the MSR traffic recorded underneath — with the
+	// control-interval id, and contributes the control-plane description
+	// to dump metadata. Nil disables recording.
+	Flight *flight.Recorder
+
+	// Triggers configures automatic flight dumps; the zero value disables
+	// them. Triggers require Flight to be set.
+	Triggers FlightTriggers
 }
+
+// FlightTriggers are the daemon-side conditions that snapshot the flight
+// recorder to a dump file, turning an anomaly into an offline test case.
+type FlightTriggers struct {
+	// Dir is where trigger dumps are written (default ".").
+	Dir string
+
+	// OverLimitFor fires a dump when observed package power has exceeded
+	// the enforced limit for at least this long of run time, continuously.
+	// The trigger re-arms when power falls back under the limit. Zero
+	// disables.
+	OverLimitFor time.Duration
+
+	// IterationSLO fires a dump when one control iteration's wall-clock
+	// latency (sample + policy + actuate) exceeds this budget. After
+	// firing, the trigger holds off for SLOCooldownIters iterations so a
+	// sustained breach produces one dump, not a dump per iteration. Zero
+	// disables.
+	IterationSLO time.Duration
+
+	// OnDump, when set, observes every trigger firing: the dump path (or
+	// an empty string when writing failed), the trigger reason, and the
+	// write error if any.
+	OnDump func(path, reason string, err error)
+}
+
+// SLOCooldownIters is how many iterations the latency trigger holds off
+// after firing.
+const SLOCooldownIters = 100
 
 // daemonMetrics holds the daemon's metric handles. All handles are
 // nil-receiver safe, so a daemon built without a registry pays one nil
@@ -157,6 +198,11 @@ type Daemon struct {
 	acc        time.Duration
 	hookErr    error
 
+	// Flight-dump trigger state (guarded by mu).
+	overSince  time.Duration // run time power first exceeded the limit; -1 while under
+	overFired  bool          // over-limit dump already taken this excursion
+	sloHoldoff int           // iterations until the latency trigger re-arms
+
 	// Jitter is summarised by a streaming accumulator (mean/max) plus a
 	// fixed-size reservoir (percentiles), so real-time loops of any length
 	// run in constant memory.
@@ -196,10 +242,29 @@ func New(cfg Config, dev msr.Device, act Actuator) (*Daemon, error) {
 		m:         newDaemonMetrics(cfg.Metrics),
 		parked:    make(map[int]bool),
 		jitterRes: stats.NewReservoir(0),
+		overSince: -1,
 	}
 	d.m.limitWatts.Set(float64(cfg.Limit))
+	if cfg.Flight != nil {
+		apps := make([]flight.MetaApp, len(cfg.Apps))
+		for i, a := range cfg.Apps {
+			apps[i] = flight.MetaApp{
+				Name: a.Name, Core: a.Core,
+				Shares: int(a.Shares), HighPriority: a.HighPriority,
+			}
+		}
+		cfg.Flight.MergeMeta(flight.Meta{
+			Policy:     cfg.Policy.Name(),
+			LimitWatts: float64(cfg.Limit),
+			IntervalNS: cfg.Interval.Nanoseconds(),
+			Apps:       apps,
+		})
+	}
 	return d, nil
 }
+
+// microwatts encodes a power reading for an event payload.
+func microwatts(w units.Watts) uint64 { return uint64(float64(w) * 1e6) }
 
 // Start applies the policy's initial distribution and primes the sampler.
 func (d *Daemon) Start() error {
@@ -227,6 +292,10 @@ func (d *Daemon) apply(actions []core.Action) error {
 			}
 			d.parked[a.Core] = true
 			d.m.actuations.With("park").Inc()
+			d.cfg.Flight.Record(flight.Event{
+				Kind: flight.KindActuate, Source: flight.SourceDaemon,
+				Core: int16(a.Core), Arg: flight.ActPark,
+			})
 			continue
 		}
 		if d.parked[a.Core] {
@@ -235,11 +304,19 @@ func (d *Daemon) apply(actions []core.Action) error {
 			}
 			d.parked[a.Core] = false
 			d.m.actuations.With("wake").Inc()
+			d.cfg.Flight.Record(flight.Event{
+				Kind: flight.KindActuate, Source: flight.SourceDaemon,
+				Core: int16(a.Core), Arg: flight.ActWake,
+			})
 		}
 		if err := d.act.SetFreq(a.Core, a.Freq); err != nil {
 			return fmt.Errorf("daemon: setting core %d to %v: %w", a.Core, a.Freq, err)
 		}
 		d.m.actuations.With("setfreq").Inc()
+		d.cfg.Flight.Record(flight.Event{
+			Kind: flight.KindActuate, Source: flight.SourceDaemon,
+			Core: int16(a.Core), Arg: flight.ActSetFreq, Value: uint64(a.Freq),
+		})
 	}
 	return nil
 }
@@ -253,6 +330,9 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 		d.mu.Unlock()
 		return core.Snapshot{}, fmt.Errorf("daemon: RunIteration before Start")
 	}
+	// Tag this interval's events — the sampling reads below included —
+	// with its id, so the dump's span trees group sample→decide→actuate.
+	d.cfg.Flight.BeginInterval(uint32(d.iterations + 1))
 	sample, err := d.sampler.Sample(dt)
 	if err != nil {
 		d.mu.Unlock()
@@ -276,6 +356,26 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 		}
 	}
 	actions := d.cfg.Policy.Update(snap)
+	var reasons []core.Reason
+	if ex, ok := d.cfg.Policy.(core.Explainer); ok {
+		reasons = ex.LastReasons()
+	}
+	if d.cfg.Flight != nil {
+		if len(reasons) == 0 {
+			// Unexplained policies still leave a decision mark per interval.
+			d.cfg.Flight.Record(flight.Event{
+				Kind: flight.KindDecision, Source: flight.SourceDaemon, Core: -1,
+				Value: microwatts(snap.PackagePower), Aux: microwatts(snap.Limit),
+			})
+		}
+		for _, r := range reasons {
+			d.cfg.Flight.Record(flight.Event{
+				Kind: flight.KindDecision, Source: flight.SourceDaemon, Core: -1,
+				Arg:   flight.ReasonCode(r),
+				Value: microwatts(snap.PackagePower), Aux: microwatts(snap.Limit),
+			})
+		}
+	}
 	if err := d.apply(actions); err != nil {
 		d.mu.Unlock()
 		return snap, err
@@ -288,13 +388,10 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 			nParked++
 		}
 	}
+	dumpReason := d.checkTriggersLocked(snap, time.Since(began))
 	d.mu.Unlock()
 
 	if d.cfg.Journal != nil {
-		var reasons []core.Reason
-		if ex, ok := d.cfg.Policy.(core.Explainer); ok {
-			reasons = ex.LastReasons()
-		}
 		d.cfg.Journal.Append(decisions.Record(d.cfg.Policy.Name(), reasons, snap, actions))
 	}
 	d.m.iterations.Inc()
@@ -302,12 +399,60 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 	d.m.parkedCores.Set(float64(nParked))
 	d.m.iterSeconds.Observe(time.Since(began).Seconds())
 
+	if dumpReason != "" {
+		path, derr := d.DumpFlight(dumpReason)
+		if d.cfg.Triggers.OnDump != nil {
+			d.cfg.Triggers.OnDump(path, dumpReason, derr)
+		}
+	}
+
 	// The snapshot hook runs outside the lock so it may call back into the
 	// daemon's accessors.
 	if d.cfg.OnSnapshot != nil {
 		d.cfg.OnSnapshot(snap)
 	}
 	return snap, nil
+}
+
+// checkTriggersLocked evaluates the flight-dump triggers against one
+// completed iteration and returns the trigger reason to dump for, or "".
+// Caller holds d.mu.
+func (d *Daemon) checkTriggersLocked(snap core.Snapshot, elapsed time.Duration) string {
+	if d.cfg.Flight == nil {
+		return ""
+	}
+	t := d.cfg.Triggers
+	if snap.PackagePower > snap.Limit {
+		if d.overSince < 0 {
+			d.overSince = snap.Time
+		}
+	} else {
+		d.overSince = -1
+		d.overFired = false
+	}
+	if t.OverLimitFor > 0 && !d.overFired && d.overSince >= 0 &&
+		snap.Time-d.overSince >= t.OverLimitFor {
+		d.overFired = true
+		return "power-over-limit"
+	}
+	if d.sloHoldoff > 0 {
+		d.sloHoldoff--
+	}
+	if t.IterationSLO > 0 && elapsed > t.IterationSLO && d.sloHoldoff == 0 {
+		d.sloHoldoff = SLOCooldownIters
+		return "iteration-slo"
+	}
+	return ""
+}
+
+// DumpFlight snapshots the flight recorder to a versioned binary file in
+// the configured trigger directory and returns its path. Manual callers
+// (cmd/powerd's SIGQUIT handler) and automatic triggers share this path.
+func (d *Daemon) DumpFlight(reason string) (string, error) {
+	if d.cfg.Flight == nil {
+		return "", fmt.Errorf("daemon: no flight recorder configured")
+	}
+	return flight.WriteDumpFile(d.cfg.Triggers.Dir, d.cfg.Flight.Dump(reason))
 }
 
 // SetLimit changes the power limit the daemon enforces from the next

@@ -1,0 +1,8 @@
+//go:build race
+
+package daemon
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions skip under it because instrumentation inflates every
+// synchronisation operation by an order of magnitude.
+const raceEnabled = true

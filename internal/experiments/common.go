@@ -40,25 +40,23 @@ func SetTraceDir(dir string) {
 }
 
 // newRunTrace opens the next trace file for a run, or returns nils when
-// tracing is disabled.
-func newRunTrace(policy string, specs []core.AppSpec) (*trace.SnapshotWriter, func(), error) {
+// tracing is disabled. The returned closer flushes and closes the file; its
+// error must be checked — a failed flush silently truncates the trace.
+func newRunTrace(policy string, specs []core.AppSpec) (*trace.SnapshotWriter, func() error, error) {
 	traceMu.Lock()
 	dir := traceDir
 	traceSeq++
 	seq := traceSeq
 	traceMu.Unlock()
 	if dir == "" {
-		return nil, func() {}, nil
+		return nil, func() error { return nil }, nil
 	}
 	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("run-%03d-%s.csv", seq, policy)))
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: trace file: %w", err)
 	}
 	sw := trace.NewSnapshotWriter(f, specs)
-	return sw, func() {
-		sw.Flush()
-		f.Close()
-	}, nil
+	return sw, sw.Close, nil
 }
 
 // CoreMeasure is one core's averages over a measurement window.
@@ -251,7 +249,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 // runWithPolicy executes a run under an explicitly constructed policy —
 // used by Run and by studies that need policy options the generic builder
 // does not expose (e.g. partial LP starvation).
-func runWithPolicy(cfg RunConfig, specs []core.AppSpec, pol core.Policy) (RunResult, error) {
+func runWithPolicy(cfg RunConfig, specs []core.AppSpec, pol core.Policy) (res RunResult, err error) {
 	cfg.fill()
 	m, apps, err := buildPinned(cfg)
 	if err != nil {
@@ -261,7 +259,11 @@ func runWithPolicy(cfg RunConfig, specs []core.AppSpec, pol core.Policy) (RunRes
 	if err != nil {
 		return RunResult{}, err
 	}
-	defer closeTrace()
+	defer func() {
+		if cerr := closeTrace(); cerr != nil && err == nil {
+			res, err = RunResult{}, cerr
+		}
+	}()
 	dcfg := daemon.Config{
 		Chip: cfg.Chip, Policy: pol, Apps: specs, Limit: cfg.Limit,
 	}

@@ -1,0 +1,111 @@
+package flight
+
+import "repro/internal/core"
+
+// Decision-reason codes map the closed core.Reason vocabulary onto the
+// stable uint32 codes carried in KindDecision events. Codes are part of the
+// dump format: once assigned they must not be renumbered, only appended.
+const (
+	codeUnknown uint32 = iota
+	codeInitial
+	codeWithinDeadband
+	codePowerOverLimit
+	codePowerUnderLimit
+	codeShareRebalance
+	codeTranslateOnly
+	codeLimitChange
+	codeThrottleLP
+	codeParkStarvedLP
+	codeThrottleHP
+	codeRestoreHP
+	codeWakeLP
+	codeRaiseLP
+	codeSaturated
+)
+
+var reasonCodes = map[core.Reason]uint32{
+	core.ReasonInitial:         codeInitial,
+	core.ReasonWithinDeadband:  codeWithinDeadband,
+	core.ReasonPowerOverLimit:  codePowerOverLimit,
+	core.ReasonPowerUnderLimit: codePowerUnderLimit,
+	core.ReasonShareRebalance:  codeShareRebalance,
+	core.ReasonTranslateOnly:   codeTranslateOnly,
+	core.ReasonLimitChange:     codeLimitChange,
+	core.ReasonThrottleLP:      codeThrottleLP,
+	core.ReasonParkStarvedLP:   codeParkStarvedLP,
+	core.ReasonThrottleHP:      codeThrottleHP,
+	core.ReasonRestoreHP:       codeRestoreHP,
+	core.ReasonWakeLP:          codeWakeLP,
+	core.ReasonRaiseLP:         codeRaiseLP,
+	core.ReasonSaturated:       codeSaturated,
+}
+
+var reasonNames = func() map[uint32]core.Reason {
+	m := make(map[uint32]core.Reason, len(reasonCodes))
+	for r, c := range reasonCodes {
+		m[c] = r
+	}
+	return m
+}()
+
+// ReasonCode returns the dump code for a policy reason (codeUnknown for a
+// reason outside the closed vocabulary).
+func ReasonCode(r core.Reason) uint32 { return reasonCodes[r] }
+
+// ReasonFromCode inverts ReasonCode; unknown codes decode as "unknown".
+func ReasonFromCode(c uint32) core.Reason {
+	if r, ok := reasonNames[c]; ok {
+		return r
+	}
+	return core.Reason("unknown")
+}
+
+// Constraint codes carried in Event.Arg of KindConstraint events, matching
+// the simulator's binding-constraint classification.
+const (
+	ConstraintIdle uint32 = iota
+	ConstraintRequest
+	ConstraintRAPLCap
+	ConstraintAVXLicence
+	ConstraintTurbo
+)
+
+var constraintCodes = map[string]uint32{
+	"idle":        ConstraintIdle,
+	"request":     ConstraintRequest,
+	"rapl-cap":    ConstraintRAPLCap,
+	"avx-licence": ConstraintAVXLicence,
+	"turbo":       ConstraintTurbo,
+}
+
+var constraintNames = func() map[uint32]string {
+	m := make(map[uint32]string, len(constraintCodes))
+	for s, c := range constraintCodes {
+		m[c] = s
+	}
+	return m
+}()
+
+// ConstraintCode maps the simulator's constraint name to its dump code.
+func ConstraintCode(name string) uint32 { return constraintCodes[name] }
+
+// ConstraintFromCode inverts ConstraintCode.
+func ConstraintFromCode(c uint32) string {
+	if s, ok := constraintNames[c]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// ActName names an actuation code for reports.
+func ActName(a uint32) string {
+	switch a {
+	case ActSetFreq:
+		return "set-freq"
+	case ActPark:
+		return "park"
+	case ActWake:
+		return "wake"
+	}
+	return "unknown"
+}

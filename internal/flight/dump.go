@@ -1,0 +1,252 @@
+package flight
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// FormatVersion is the dump format version written into Meta and implied by
+// the magic. Bump it (and the magic) on any layout change.
+const FormatVersion = 1
+
+// dumpMagic opens every dump file; the trailing digits version the record
+// layout.
+var dumpMagic = [8]byte{'P', 'A', 'D', 'F', 'R', '0', '0', '1'}
+
+// recordSize is the fixed on-disk size of one event.
+const recordSize = 56
+
+// MetaApp describes one managed application in a dump, enough to re-pin the
+// same workload during replay.
+type MetaApp struct {
+	Name         string `json:"name"`
+	Core         int    `json:"core"`
+	Shares       int    `json:"shares,omitempty"`
+	HighPriority bool   `json:"high_priority,omitempty"`
+}
+
+// Meta is the dump header: everything replay needs to rebuild the machine
+// and the control plane that produced the events.
+type Meta struct {
+	Version int    `json:"version"`
+	Reason  string `json:"reason,omitempty"` // what triggered the dump
+
+	// Machine description (contributed by the simulator).
+	Chip         string  `json:"chip,omitempty"`
+	NumCores     int     `json:"num_cores,omitempty"`
+	TickNS       int64   `json:"tick_ns,omitempty"`
+	NomHz        float64 `json:"nom_hz,omitempty"`
+	ESU          uint    `json:"esu,omitempty"`
+	PerCorePower bool    `json:"per_core_power,omitempty"`
+
+	// Control-plane description (contributed by the daemon).
+	Policy     string    `json:"policy,omitempty"`
+	LimitWatts float64   `json:"limit_watts,omitempty"`
+	IntervalNS int64     `json:"interval_ns,omitempty"`
+	Apps       []MetaApp `json:"apps,omitempty"`
+}
+
+// merge folds the non-zero fields of m into the receiver.
+func (m *Meta) merge(o Meta) {
+	if o.Reason != "" {
+		m.Reason = o.Reason
+	}
+	if o.Chip != "" {
+		m.Chip = o.Chip
+	}
+	if o.NumCores != 0 {
+		m.NumCores = o.NumCores
+	}
+	if o.TickNS != 0 {
+		m.TickNS = o.TickNS
+	}
+	if o.NomHz != 0 {
+		m.NomHz = o.NomHz
+	}
+	if o.ESU != 0 {
+		m.ESU = o.ESU
+	}
+	if o.PerCorePower {
+		m.PerCorePower = true
+	}
+	if o.Policy != "" {
+		m.Policy = o.Policy
+	}
+	if o.LimitWatts != 0 {
+		m.LimitWatts = o.LimitWatts
+	}
+	if o.IntervalNS != 0 {
+		m.IntervalNS = o.IntervalNS
+	}
+	if o.Apps != nil {
+		m.Apps = o.Apps
+	}
+}
+
+// Dump is one decoded (or to-be-encoded) flight-recorder snapshot. Events
+// are sorted by sequence number.
+type Dump struct {
+	Meta   Meta
+	Events []Event
+}
+
+// Encode writes the dump in the versioned binary format: magic, a
+// length-prefixed JSON header, then fixed-size little-endian records.
+func (d Dump) Encode(w io.Writer) error {
+	meta := d.Meta
+	meta.Version = FormatVersion
+	hdr, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("flight: encoding meta: %w", err)
+	}
+	if _, err := w.Write(dumpMagic[:]); err != nil {
+		return fmt.Errorf("flight: writing magic: %w", err)
+	}
+	var n [8]byte
+	binary.LittleEndian.PutUint32(n[:4], uint32(len(hdr)))
+	if _, err := w.Write(n[:4]); err != nil {
+		return fmt.Errorf("flight: writing header length: %w", err)
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("flight: writing header: %w", err)
+	}
+	binary.LittleEndian.PutUint64(n[:], uint64(len(d.Events)))
+	if _, err := w.Write(n[:]); err != nil {
+		return fmt.Errorf("flight: writing record count: %w", err)
+	}
+	var rec [recordSize]byte
+	for _, e := range d.Events {
+		encodeRecord(&rec, e)
+		if _, err := w.Write(rec[:]); err != nil {
+			return fmt.Errorf("flight: writing record %d: %w", e.Seq, err)
+		}
+	}
+	return nil
+}
+
+func encodeRecord(b *[recordSize]byte, e Event) {
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], e.Seq)
+	le.PutUint64(b[8:], uint64(e.Time))
+	le.PutUint64(b[16:], uint64(e.Wall))
+	b[24] = byte(e.Kind)
+	b[25] = byte(e.Source)
+	le.PutUint16(b[26:], uint16(e.Core))
+	le.PutUint32(b[28:], e.Interval)
+	le.PutUint32(b[32:], e.Arg)
+	le.PutUint32(b[36:], 0) // reserved
+	le.PutUint64(b[40:], e.Value)
+	le.PutUint64(b[48:], e.Aux)
+}
+
+func decodeRecord(b *[recordSize]byte) Event {
+	le := binary.LittleEndian
+	return Event{
+		Seq:      le.Uint64(b[0:]),
+		Time:     time.Duration(le.Uint64(b[8:])),
+		Wall:     time.Duration(le.Uint64(b[16:])),
+		Kind:     Kind(b[24]),
+		Source:   Source(b[25]),
+		Core:     int16(le.Uint16(b[26:])),
+		Interval: le.Uint32(b[28:]),
+		Arg:      le.Uint32(b[32:]),
+		Value:    le.Uint64(b[40:]),
+		Aux:      le.Uint64(b[48:]),
+	}
+}
+
+// maxHeaderLen bounds the JSON header so a corrupt length prefix cannot
+// trigger an unbounded allocation.
+const maxHeaderLen = 1 << 20
+
+// ReadDump decodes a dump written by Encode, rejecting unknown magic or
+// versions.
+func ReadDump(r io.Reader) (Dump, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return Dump{}, fmt.Errorf("flight: reading magic: %w", err)
+	}
+	if magic != dumpMagic {
+		return Dump{}, fmt.Errorf("flight: bad magic %q (not a flight dump, or an unsupported version)", magic[:])
+	}
+	var n [8]byte
+	if _, err := io.ReadFull(r, n[:4]); err != nil {
+		return Dump{}, fmt.Errorf("flight: reading header length: %w", err)
+	}
+	hlen := binary.LittleEndian.Uint32(n[:4])
+	if hlen > maxHeaderLen {
+		return Dump{}, fmt.Errorf("flight: header length %d exceeds limit", hlen)
+	}
+	hdr := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Dump{}, fmt.Errorf("flight: reading header: %w", err)
+	}
+	var d Dump
+	if err := json.Unmarshal(hdr, &d.Meta); err != nil {
+		return Dump{}, fmt.Errorf("flight: decoding header: %w", err)
+	}
+	if d.Meta.Version != FormatVersion {
+		return Dump{}, fmt.Errorf("flight: unsupported dump version %d (want %d)", d.Meta.Version, FormatVersion)
+	}
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return Dump{}, fmt.Errorf("flight: reading record count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(n[:])
+	var rec [recordSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return Dump{}, fmt.Errorf("flight: reading record %d/%d: %w", i, count, err)
+		}
+		d.Events = append(d.Events, decodeRecord(&rec))
+	}
+	return d, nil
+}
+
+// ReadDumpFile decodes the dump at path.
+func ReadDumpFile(path string) (Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Dump{}, fmt.Errorf("flight: %w", err)
+	}
+	defer f.Close()
+	return ReadDump(f)
+}
+
+// WriteDumpFile encodes the dump into dir as
+// flight-<firstseq>-<lastseq>-<reason>.fr and returns the path. The
+// sequence range in the name makes successive trigger dumps sort and never
+// collide.
+func WriteDumpFile(dir string, d Dump) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("flight: creating dump dir: %w", err)
+	}
+	var first, last uint64
+	if len(d.Events) > 0 {
+		first, last = d.Events[0].Seq, d.Events[len(d.Events)-1].Seq
+	}
+	reason := d.Meta.Reason
+	if reason == "" {
+		reason = "manual"
+	}
+	path := filepath.Join(dir, fmt.Sprintf("flight-%08d-%08d-%s.fr", first, last, reason))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("flight: creating dump file: %w", err)
+	}
+	if err := d.Encode(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("flight: closing dump file: %w", err)
+	}
+	return path, nil
+}

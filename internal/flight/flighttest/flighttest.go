@@ -1,0 +1,64 @@
+// Package flighttest hooks the flight recorder into tests: a test that
+// drives a recorded run registers its recorder with DumpOnFailure, and if
+// the test fails the ring is snapshotted to $FLIGHT_DUMP_DIR so the failure
+// ships with its own replayable evidence (CI uploads the directory as an
+// artifact). When FLIGHT_DUMP_DIR is unset the helper is a no-op, so local
+// runs stay clean.
+package flighttest
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/flight"
+)
+
+// EnvVar names the directory failing tests dump flight recordings into.
+const EnvVar = "FLIGHT_DUMP_DIR"
+
+// DumpOnFailure registers a cleanup that writes rec's dump to
+// $FLIGHT_DUMP_DIR if (and only if) the test ends up failing. Safe to call
+// with a nil recorder or without the environment set.
+func DumpOnFailure(t testing.TB, rec *flight.Recorder) {
+	t.Helper()
+	dir := os.Getenv(EnvVar)
+	if dir == "" || rec == nil {
+		return
+	}
+	name := t.Name()
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		path, err := dump(dir, name, rec)
+		if err != nil {
+			t.Logf("flighttest: could not write failure dump: %v", err)
+			return
+		}
+		t.Logf("flighttest: flight recording of the failed run: %s", path)
+	})
+}
+
+// dump snapshots the recorder to dir with the test name folded into the
+// dump reason (and therefore the file name).
+func dump(dir, testName string, rec *flight.Recorder) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	reason := "testfail-" + sanitize(testName)
+	return flight.WriteDumpFile(dir, rec.Dump(reason))
+}
+
+// sanitize makes a subtest name (which may contain path separators and
+// spaces) safe for a file name.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

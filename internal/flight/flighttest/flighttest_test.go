@@ -1,0 +1,50 @@
+package flighttest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/flight"
+)
+
+func TestDumpWritesNamedFile(t *testing.T) {
+	rec := flight.New(0)
+	rec.Record(flight.Event{Kind: flight.KindDecision, Source: flight.SourceDaemon, Core: -1})
+	dir := filepath.Join(t.TempDir(), "nested") // must be created on demand
+	path, err := dump(dir, "TestX/sub case#01", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(filepath.Base(path), "testfail-TestX_sub_case_01") {
+		t.Errorf("dump name %q lacks sanitized test name", filepath.Base(path))
+	}
+	d, err := flight.ReadDumpFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 1 {
+		t.Errorf("dump has %d events, want 1", len(d.Events))
+	}
+}
+
+func TestDumpOnFailureNoOps(t *testing.T) {
+	// Unset env: registering must be a no-op even with a live recorder, and
+	// nil recorders must never panic.
+	old, had := os.LookupEnv(EnvVar)
+	os.Unsetenv(EnvVar)
+	defer func() {
+		if had {
+			os.Setenv(EnvVar, old)
+		}
+	}()
+	DumpOnFailure(t, flight.New(0))
+	DumpOnFailure(t, nil)
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("A/b c#1.x-_"); got != "A_b_c_1.x-_" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,290 @@
+// Package replay reconstructs a simulated machine from a flight-recorder
+// dump and re-executes the recorded run deterministically.
+//
+// The dump's metadata names the chip, tick, energy unit, and pinned
+// applications; the event log holds every MSR write and every park/wake
+// actuation the control plane issued, stamped with the virtual time it
+// landed. Because the simulator is a deterministic function of its initial
+// state and those inputs, stepping a fresh machine and re-applying the
+// writes at their recorded times reproduces the run exactly: re-issuing
+// each recorded MSR read must return the recorded value bit for bit. Any
+// mismatch localises the first point where the replayed machine diverged —
+// the flight-recorder equivalent of a failing assertion with a core dump
+// attached.
+//
+// Beyond raw counter values, Replay derives the same per-core frequency
+// (nominal · ΔAPERF/ΔMPERF) and package power (energy-status delta scaled
+// by 2^-ESU over the interval) series the daemon's telemetry computed,
+// from both the recorded and the replayed read streams, so callers can
+// assert the series agree exactly or render them side by side.
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/msr"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Mismatch is one replayed MSR read that disagreed with the recording.
+type Mismatch struct {
+	Seq      uint64
+	Time     time.Duration
+	Core     int
+	Reg      uint32
+	Recorded uint64
+	Replayed uint64
+}
+
+func (mm Mismatch) String() string {
+	return fmt.Sprintf("seq %d t=%v cpu%d %s: recorded %#x, replayed %#x",
+		mm.Seq, mm.Time, mm.Core, msr.RegName(mm.Reg), mm.Recorded, mm.Replayed)
+}
+
+// FreqPoint is one derived frequency sample for a core.
+type FreqPoint struct {
+	Interval uint32
+	Time     time.Duration
+	Hz       units.Hertz
+}
+
+// PowerPoint is one derived package-power sample.
+type PowerPoint struct {
+	Interval uint32
+	Time     time.Duration
+	Watts    units.Watts
+}
+
+// Result summarises a replay.
+type Result struct {
+	// Writes, Reads, Parks count the replayed inputs (MSR writes, MSR
+	// reads re-issued for comparison, park/wake actuations).
+	Writes, Reads, Parks int
+
+	// Mismatches lists every read whose replayed value differed from the
+	// recording, in sequence order. Empty means the replay was exact.
+	Mismatches []Mismatch
+
+	// Truncated reports that the dump does not start at sequence zero:
+	// the ring overwrote the beginning of the run, so the replayed
+	// machine's initial state may not match and mismatches are expected.
+	Truncated bool
+
+	// RecordedFreq and ReplayedFreq are the per-core derived frequency
+	// series (nominal · ΔAPERF/ΔMPERF per control interval), computed from
+	// the recorded and the replayed counter reads respectively. Keyed by
+	// core id.
+	RecordedFreq, ReplayedFreq map[int][]FreqPoint
+
+	// RecordedPower and ReplayedPower are the derived package-power
+	// series (energy-status counter delta · 2^-ESU per interval second).
+	RecordedPower, ReplayedPower []PowerPoint
+}
+
+// chipFor resolves a chip from either the platform lookup key ("skylake")
+// or the full model name dumps carry ("Skylake Xeon-SP 4114").
+func chipFor(name string) (platform.Chip, error) {
+	if c, err := platform.ByName(name); err == nil {
+		return c, nil
+	}
+	for _, c := range []platform.Chip{platform.Skylake(), platform.Ryzen()} {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return platform.Chip{}, fmt.Errorf("unknown chip %q", name)
+}
+
+// Machine rebuilds a simulated machine matching the dump's metadata: same
+// chip, tick, energy unit, and pinned applications, all cores in their
+// boot state. Callers drive it themselves when they want to poke at the
+// replayed run; Replay uses it internally.
+func Machine(meta flight.Meta) (*sim.Machine, error) {
+	if meta.Chip == "" {
+		return nil, fmt.Errorf("replay: dump has no chip metadata (recorder not wired to a machine?)")
+	}
+	chip, err := chipFor(meta.Chip)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if meta.NumCores != 0 && meta.NumCores != chip.NumCores {
+		return nil, fmt.Errorf("replay: dump says %d cores but %s has %d",
+			meta.NumCores, chip.Name, chip.NumCores)
+	}
+	opts := []sim.Option{}
+	if meta.TickNS > 0 {
+		opts = append(opts, sim.WithTick(time.Duration(meta.TickNS)))
+	}
+	if meta.ESU > 0 {
+		opts = append(opts, sim.WithEnergyUnit(meta.ESU))
+	}
+	m, err := sim.New(chip, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	for _, a := range meta.Apps {
+		p, err := workload.ByName(a.Name)
+		if err != nil {
+			return nil, fmt.Errorf("replay: app %q: %w", a.Name, err)
+		}
+		if err := m.Pin(workload.NewInstance(p), a.Core); err != nil {
+			return nil, fmt.Errorf("replay: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// Replay re-executes the dump against a fresh machine and reports how
+// faithfully the recording reproduces. An error means the replay could not
+// be driven at all (unknown chip, unknown app, an input that the machine
+// rejected); divergence of values is not an error, it is Mismatches.
+func Replay(d flight.Dump) (*Result, error) {
+	m, err := Machine(d.Meta)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		RecordedFreq: make(map[int][]FreqPoint),
+		ReplayedFreq: make(map[int][]FreqPoint),
+	}
+	// Sequence numbers start at 1; a dump that does not contain the first
+	// event has lost the beginning of the run to ring overwrite.
+	if len(d.Events) > 0 && d.Events[0].Seq != 1 {
+		res.Truncated = true
+	}
+	rec := newDeriver(d.Meta)
+	rep := newDeriver(d.Meta)
+	dev := m.Device()
+	for _, ev := range d.Events {
+		if ev.Time > m.Now() {
+			// Events are stamped after the step that ended at their time,
+			// so the machine must have completed that step before the
+			// input is applied.
+			m.Run(ev.Time - m.Now())
+		}
+		switch ev.Kind {
+		case flight.KindMSRWrite:
+			if err := dev.Write(int(ev.Core), ev.Arg, ev.Value); err != nil {
+				return nil, fmt.Errorf("replay: seq %d t=%v: write cpu%d %s: %w",
+					ev.Seq, ev.Time, ev.Core, msr.RegName(ev.Arg), err)
+			}
+			res.Writes++
+		case flight.KindMSRRead:
+			got, err := dev.Read(int(ev.Core), ev.Arg)
+			if err != nil {
+				return nil, fmt.Errorf("replay: seq %d t=%v: read cpu%d %s: %w",
+					ev.Seq, ev.Time, ev.Core, msr.RegName(ev.Arg), err)
+			}
+			res.Reads++
+			if got != ev.Value {
+				res.Mismatches = append(res.Mismatches, Mismatch{
+					Seq: ev.Seq, Time: ev.Time, Core: int(ev.Core),
+					Reg: ev.Arg, Recorded: ev.Value, Replayed: got,
+				})
+			}
+			rec.read(ev, ev.Value)
+			rep.read(ev, got)
+		case flight.KindActuate:
+			switch ev.Arg {
+			case flight.ActPark:
+				if err := m.SetIdle(int(ev.Core), true); err != nil {
+					return nil, fmt.Errorf("replay: seq %d t=%v: park core %d: %w",
+						ev.Seq, ev.Time, ev.Core, err)
+				}
+				res.Parks++
+			case flight.ActWake:
+				if err := m.SetIdle(int(ev.Core), false); err != nil {
+					return nil, fmt.Errorf("replay: seq %d t=%v: wake core %d: %w",
+						ev.Seq, ev.Time, ev.Core, err)
+				}
+				res.Parks++
+			}
+			// ActSetFreq is informational: the actual input is the
+			// PERF_CTL write already replayed above.
+		}
+		// Decisions, RAPL cap moves, C-state transitions, and constraint
+		// changes are outputs of the run, not inputs: the replayed machine
+		// regenerates them on its own.
+	}
+	res.RecordedFreq, res.RecordedPower = rec.freq, rec.power
+	res.ReplayedFreq, res.ReplayedPower = rep.freq, rep.power
+	return res, nil
+}
+
+// deriver recomputes the daemon's derived telemetry from a stream of MSR
+// read values: per-core frequency from APERF/MPERF deltas, package power
+// from energy-status deltas. Recorded and replayed streams each get their
+// own deriver so the two series can be compared.
+type deriver struct {
+	nom   float64
+	unit  msr.EnergyUnit
+	freq  map[int][]FreqPoint
+	power []PowerPoint
+
+	aperf   map[int]uint64 // APERF seen this interval, keyed by core
+	prevA   map[int]uint64 // completed pair from the previous interval
+	prevM   map[int]uint64
+	havePrv map[int]bool
+
+	prevE     uint64 // previous energy-status counter
+	prevETime time.Duration
+	haveE     bool
+	haveAFlag map[int]bool
+}
+
+func newDeriver(meta flight.Meta) *deriver {
+	return &deriver{
+		nom:       meta.NomHz,
+		unit:      msr.EnergyUnit{ESU: meta.ESU},
+		freq:      make(map[int][]FreqPoint),
+		aperf:     make(map[int]uint64),
+		prevA:     make(map[int]uint64),
+		prevM:     make(map[int]uint64),
+		havePrv:   make(map[int]bool),
+		haveAFlag: make(map[int]bool),
+	}
+}
+
+func (dv *deriver) read(ev flight.Event, val uint64) {
+	core := int(ev.Core)
+	switch ev.Arg {
+	case msr.IA32Aperf:
+		dv.aperf[core] = val
+		dv.haveAFlag[core] = true
+	case msr.IA32Mperf:
+		if !dv.haveAFlag[core] {
+			return
+		}
+		dv.haveAFlag[core] = false
+		a := dv.aperf[core]
+		if dv.havePrv[core] {
+			da, dm := a-dv.prevA[core], val-dv.prevM[core]
+			var hz units.Hertz
+			if dm > 0 {
+				hz = units.Hertz(dv.nom * float64(da) / float64(dm))
+			}
+			dv.freq[core] = append(dv.freq[core], FreqPoint{
+				Interval: ev.Interval, Time: ev.Time, Hz: hz,
+			})
+		}
+		dv.prevA[core], dv.prevM[core] = a, val
+		dv.havePrv[core] = true
+	case msr.PkgEnergyStatus:
+		if dv.haveE {
+			sec := (ev.Time - dv.prevETime).Seconds()
+			if sec > 0 {
+				j := dv.unit.FromCounts(msr.DeltaCounts(dv.prevE, val))
+				dv.power = append(dv.power, PowerPoint{
+					Interval: ev.Interval, Time: ev.Time,
+					Watts: units.Watts(float64(j) / sec),
+				})
+			}
+		}
+		dv.prevE, dv.prevETime, dv.haveE = val, ev.Time, true
+	}
+}

@@ -1,0 +1,94 @@
+package flight
+
+import "time"
+
+// Phase is one stage of a control interval's span tree: the contiguous
+// stretch of events belonging to sample, decide, or actuate. Wall times are
+// offsets from recorder start, so End-Start is the stage's wall-clock
+// latency as the daemon experienced it.
+type Phase struct {
+	Start, End time.Duration // wall-clock offsets; zero when empty
+	Events     []Event
+}
+
+// Latency is the phase's wall-clock extent.
+func (p Phase) Latency() time.Duration {
+	if len(p.Events) == 0 {
+		return 0
+	}
+	return p.End - p.Start
+}
+
+func (p *Phase) add(e Event) {
+	if len(p.Events) == 0 || e.Wall < p.Start {
+		p.Start = e.Wall
+	}
+	if e.Wall > p.End {
+		p.End = e.Wall
+	}
+	p.Events = append(p.Events, e)
+}
+
+// IntervalSpan is one control interval's events decomposed into the
+// daemon's sample → decide → actuate pipeline, plus the machine-side
+// events (C-state and constraint transitions, RAPL cap moves) that
+// happened on the same interval's watch.
+type IntervalSpan struct {
+	Interval uint32
+	Time     time.Duration // virtual time of the interval's first event
+
+	Sample  Phase // MSR reads issued by the telemetry sampler
+	Decide  Phase // policy decisions with their typed reasons
+	Actuate Phase // park/wake/setfreq actions and the MSR writes underneath
+	Machine Phase // sim/RAPL background events
+}
+
+// Total is the sample→actuate wall-clock latency: from the first sampling
+// read to the last actuation.
+func (s IntervalSpan) Total() time.Duration {
+	first, last := time.Duration(0), time.Duration(0)
+	started := false
+	for _, p := range []Phase{s.Sample, s.Decide, s.Actuate} {
+		if len(p.Events) == 0 {
+			continue
+		}
+		if !started || p.Start < first {
+			first = p.Start
+		}
+		if p.End > last {
+			last = p.End
+		}
+		started = true
+	}
+	if !started {
+		return 0
+	}
+	return last - first
+}
+
+// BuildSpans decomposes a seq-ordered event stream (as produced by
+// Snapshot or carried in a Dump) into per-interval span trees. Interval 0
+// holds everything recorded before the first control iteration — the
+// daemon's initial actuation and sampler priming.
+func BuildSpans(events []Event) []IntervalSpan {
+	var out []IntervalSpan
+	cur := -1
+	for _, e := range events {
+		if cur < 0 || out[cur].Interval != e.Interval {
+			out = append(out, IntervalSpan{Interval: e.Interval, Time: e.Time})
+			cur = len(out) - 1
+		}
+		s := &out[cur]
+		switch {
+		case e.Kind == KindMSRRead:
+			s.Sample.add(e)
+		case e.Kind == KindDecision:
+			s.Decide.add(e)
+		case e.Kind == KindActuate || e.Kind == KindMSRWrite:
+			s.Actuate.add(e)
+		default:
+			s.Machine.add(e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package flight
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuildSpans(t *testing.T) {
+	us := func(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+	events := []Event{
+		// Interval 0: priming.
+		{Seq: 1, Interval: 0, Kind: KindMSRWrite, Wall: us(1)},
+		{Seq: 2, Interval: 0, Kind: KindMSRRead, Wall: us(2)},
+		// Interval 1: a full sample → decide → actuate pipeline plus a
+		// machine-side constraint change.
+		{Seq: 3, Interval: 1, Kind: KindMSRRead, Wall: us(10), Time: time.Second},
+		{Seq: 4, Interval: 1, Kind: KindMSRRead, Wall: us(14), Time: time.Second},
+		{Seq: 5, Interval: 1, Kind: KindDecision, Wall: us(20), Time: time.Second},
+		{Seq: 6, Interval: 1, Kind: KindMSRWrite, Wall: us(25), Time: time.Second},
+		{Seq: 7, Interval: 1, Kind: KindActuate, Wall: us(28), Time: time.Second},
+		{Seq: 8, Interval: 1, Kind: KindConstraint, Wall: us(30), Time: time.Second},
+	}
+	spans := BuildSpans(events)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	s0, s1 := spans[0], spans[1]
+	if s0.Interval != 0 || len(s0.Actuate.Events) != 1 || len(s0.Sample.Events) != 1 {
+		t.Errorf("interval 0 misgrouped: %+v", s0)
+	}
+	if s1.Interval != 1 || s1.Time != time.Second {
+		t.Errorf("interval 1 header wrong: %+v", s1)
+	}
+	if got := len(s1.Sample.Events); got != 2 {
+		t.Errorf("sample events = %d, want 2", got)
+	}
+	if got := s1.Sample.Latency(); got != us(4) {
+		t.Errorf("sample latency = %v, want 4µs", got)
+	}
+	if got := len(s1.Actuate.Events); got != 2 {
+		t.Errorf("actuate events = %d, want 2", got)
+	}
+	if got := len(s1.Machine.Events); got != 1 {
+		t.Errorf("machine events = %d, want 1", got)
+	}
+	if got := s1.Total(); got != us(18) {
+		t.Errorf("total latency = %v, want 18µs", got)
+	}
+	if got := s0.Total(); got != us(1) {
+		t.Errorf("interval 0 total = %v, want 1µs", got)
+	}
+	var empty IntervalSpan
+	if empty.Total() != 0 {
+		t.Error("empty span should have zero total")
+	}
+}

@@ -136,10 +136,10 @@ func escapeHelp(s string) string {
 
 // histogramJSON is the JSON dump shape of one histogram.
 type histogramJSON struct {
-	Count   uint64             `json:"count"`
-	Sum     float64            `json:"sum"`
-	Mean    float64            `json:"mean"`
-	Buckets map[string]uint64  `json:"buckets"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Mean    float64           `json:"mean"`
+	Buckets map[string]uint64 `json:"buckets"`
 }
 
 // WriteJSON renders every family as a single JSON object keyed by metric

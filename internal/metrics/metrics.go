@@ -107,11 +107,11 @@ func (g *Gauge) Value() float64 {
 
 // Histogram accumulates observations into cumulative buckets.
 type Histogram struct {
-	mu      sync.Mutex
-	uppers  []float64 // ascending upper bounds, +Inf implicit
-	counts  []uint64  // per-bucket (non-cumulative), len(uppers)+1
-	sum     float64
-	count   uint64
+	mu     sync.Mutex
+	uppers []float64 // ascending upper bounds, +Inf implicit
+	counts []uint64  // per-bucket (non-cumulative), len(uppers)+1
+	sum    float64
+	count  uint64
 }
 
 // Observe records one observation.

@@ -74,6 +74,44 @@ type Device interface {
 	Write(cpu int, reg uint32, val uint64) error
 }
 
+// Recorder observes every successful register access on a device — the
+// flight recorder's MSR tap (internal/flight implements it). Registers are
+// reported in canonical form so AMD-alias traffic lands on one register
+// stream.
+type Recorder interface {
+	RecordMSR(write bool, cpu int, reg uint32, val uint64)
+}
+
+// RegName names the architectural registers this package defines, for
+// analyzer output; unknown registers format as hex.
+func RegName(reg uint32) string {
+	switch Canonical(reg) {
+	case IA32Mperf:
+		return "MPERF"
+	case IA32Aperf:
+		return "APERF"
+	case IA32PerfStatus:
+		return "PERF_STATUS"
+	case IA32PerfCtl:
+		return "PERF_CTL"
+	case IA32FixedCtr0:
+		return "FIXED_CTR0"
+	case RAPLPowerUnit:
+		return "RAPL_POWER_UNIT"
+	case PkgPowerLimit:
+		return "PKG_POWER_LIMIT"
+	case PkgEnergyStatus:
+		return "PKG_ENERGY_STATUS"
+	case PP0EnergyStatus:
+		return "PP0_ENERGY_STATUS"
+	case IA32PmEnable:
+		return "PM_ENABLE"
+	case IA32HwpRequest:
+		return "HWP_REQUEST"
+	}
+	return fmt.Sprintf("0x%X", reg)
+}
+
 // EncodePerfCtl encodes a frequency request as a PERF_CTL value: the
 // frequency expressed as a multiple of step, stored in bits 15:8 (the
 // Intel ratio field; we reuse the layout for AMD with its 25 MHz step).
@@ -176,6 +214,7 @@ type SimDevice struct {
 	mu     sync.RWMutex
 	reads  map[uint32]func(cpu int) (uint64, error)
 	writes map[uint32]func(cpu int, val uint64) error
+	rec    Recorder
 }
 
 // ErrUnknownRegister is returned for access to an unwired register.
@@ -203,26 +242,44 @@ func (d *SimDevice) OnWrite(reg uint32, fn func(cpu int, val uint64) error) {
 	d.writes[Canonical(reg)] = fn
 }
 
+// SetRecorder installs (or, with nil, removes) the access recorder. Install
+// before traffic starts; accesses already in flight may go unrecorded.
+func (d *SimDevice) SetRecorder(rec Recorder) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rec = rec
+}
+
 // Read implements Device.
 func (d *SimDevice) Read(cpu int, reg uint32) (uint64, error) {
 	d.mu.RLock()
 	fn := d.reads[Canonical(reg)]
+	rec := d.rec
 	d.mu.RUnlock()
 	if fn == nil {
 		return 0, fmt.Errorf("%w: read 0x%X", ErrUnknownRegister, reg)
 	}
-	return fn(cpu)
+	v, err := fn(cpu)
+	if err == nil && rec != nil {
+		rec.RecordMSR(false, cpu, Canonical(reg), v)
+	}
+	return v, err
 }
 
 // Write implements Device.
 func (d *SimDevice) Write(cpu int, reg uint32, val uint64) error {
 	d.mu.RLock()
 	fn := d.writes[Canonical(reg)]
+	rec := d.rec
 	d.mu.RUnlock()
 	if fn == nil {
 		return fmt.Errorf("%w: write 0x%X", ErrUnknownRegister, reg)
 	}
-	return fn(cpu, val)
+	err := fn(cpu, val)
+	if err == nil && rec != nil {
+		rec.RecordMSR(true, cpu, Canonical(reg), val)
+	}
+	return err
 }
 
 // FileDevice stores each register as an 8-byte little-endian file at
@@ -232,6 +289,14 @@ func (d *SimDevice) Write(cpu int, reg uint32, val uint64) error {
 type FileDevice struct {
 	dir string
 	mu  sync.Mutex
+	rec Recorder
+}
+
+// SetRecorder installs (or, with nil, removes) the access recorder.
+func (d *FileDevice) SetRecorder(rec Recorder) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rec = rec
 }
 
 // NewFileDevice creates (if needed) and opens a file-backed MSR tree.
@@ -255,6 +320,10 @@ func (d *FileDevice) Read(cpu int, reg uint32) (uint64, error) {
 	defer d.mu.Unlock()
 	b, err := os.ReadFile(d.path(cpu, reg))
 	if os.IsNotExist(err) {
+		// RAZ reads are still observations; record them.
+		if d.rec != nil {
+			d.rec.RecordMSR(false, cpu, Canonical(reg), 0)
+		}
 		return 0, nil
 	}
 	if err != nil {
@@ -263,7 +332,11 @@ func (d *FileDevice) Read(cpu int, reg uint32) (uint64, error) {
 	if len(b) < 8 {
 		return 0, fmt.Errorf("msr: short register file for cpu%d reg 0x%X: %d bytes", cpu, reg, len(b))
 	}
-	return binary.LittleEndian.Uint64(b), nil
+	v := binary.LittleEndian.Uint64(b)
+	if d.rec != nil {
+		d.rec.RecordMSR(false, cpu, Canonical(reg), v)
+	}
+	return v, nil
 }
 
 // Write implements Device.
@@ -278,6 +351,9 @@ func (d *FileDevice) Write(cpu int, reg uint32, val uint64) error {
 	binary.LittleEndian.PutUint64(b[:], val)
 	if err := os.WriteFile(p, b[:], 0o644); err != nil {
 		return fmt.Errorf("msr: write cpu%d reg 0x%X: %w", cpu, reg, err)
+	}
+	if d.rec != nil {
+		d.rec.RecordMSR(true, cpu, Canonical(reg), val)
 	}
 	return nil
 }

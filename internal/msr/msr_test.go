@@ -2,6 +2,7 @@ package msr
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -233,5 +234,88 @@ func TestMirrorPropagatesErrors(t *testing.T) {
 	}
 	if err := Mirror(src, dst, 1, []uint32{IA32Aperf}); err == nil {
 		t.Error("Mirror should propagate read errors")
+	}
+}
+
+// accessLog is a test Recorder capturing every recorded access.
+type accessLog struct {
+	ops []string
+}
+
+func (l *accessLog) RecordMSR(write bool, cpu int, reg uint32, val uint64) {
+	op := "r"
+	if write {
+		op = "w"
+	}
+	l.ops = append(l.ops, fmt.Sprintf("%s cpu%d %s %d", op, cpu, RegName(reg), val))
+}
+
+func TestSimDeviceRecorder(t *testing.T) {
+	d := NewSimDevice()
+	d.OnRead(IA32Aperf, func(cpu int) (uint64, error) { return 42, nil })
+	d.OnWrite(IA32PerfCtl, func(cpu int, val uint64) error { return nil })
+	log := &accessLog{}
+	d.SetRecorder(log)
+	if _, err := d.Read(1, IA32Aperf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(2, AMDPStateCtl, 0x1800); err != nil { // alias: canonicalised
+		t.Fatal(err)
+	}
+	if _, err := d.Read(0, IA32FixedCtr0); err == nil {
+		t.Fatal("unwired register should fail")
+	}
+	want := []string{"r cpu1 APERF 42", "w cpu2 PERF_CTL 6144"}
+	if len(log.ops) != len(want) {
+		t.Fatalf("recorded %v, want %v", log.ops, want)
+	}
+	for i := range want {
+		if log.ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, log.ops[i], want[i])
+		}
+	}
+	// Failed accesses are not recorded.
+	d.SetRecorder(nil)
+	if _, err := d.Read(1, IA32Aperf); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.ops) != 2 {
+		t.Error("recorder not removed")
+	}
+}
+
+func TestFileDeviceRecorder(t *testing.T) {
+	d, err := NewFileDevice(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &accessLog{}
+	d.SetRecorder(log)
+	if err := d.Write(0, IA32PerfCtl, 0x2A00); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(0, IA32PerfCtl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(3, IA32Aperf); err != nil { // absent: RAZ, still recorded
+		t.Fatal(err)
+	}
+	want := []string{"w cpu0 PERF_CTL 10752", "r cpu0 PERF_CTL 10752", "r cpu3 APERF 0"}
+	if len(log.ops) != len(want) {
+		t.Fatalf("recorded %v, want %v", log.ops, want)
+	}
+	for i := range want {
+		if log.ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, log.ops[i], want[i])
+		}
+	}
+}
+
+func TestRegName(t *testing.T) {
+	if RegName(IA32Aperf) != "APERF" || RegName(AMDPkgEnergy) != "PKG_ENERGY_STATUS" {
+		t.Error("known registers should name")
+	}
+	if RegName(0xDEAD) != "0xDEAD" {
+		t.Errorf("unknown register = %q", RegName(0xDEAD))
 	}
 }

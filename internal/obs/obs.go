@@ -1,9 +1,12 @@
 // Package obs serves the daemon's observability surface over HTTP:
 //
-//	/metrics       Prometheus text exposition of the metrics registry
-//	/debug/vars    expvar-style JSON dump of the same registry
-//	/debug/status  JSON: last snapshot plus the decision-journal tail
-//	/healthz       liveness probe
+//	/metrics            Prometheus text exposition of the metrics registry
+//	/debug/vars         expvar-style JSON dump of the same registry
+//	/debug/status       JSON: last snapshot plus the decision-journal tail
+//	/debug/flight       JSON: flight-recorder occupancy (with WithFlight)
+//	/debug/flight/dump  POST: stream a flight-recorder dump (with WithFlight)
+//	/debug/pprof/...    CPU/heap/block profiles (with WithPprof)
+//	/healthz            liveness probe
 //
 // The paper evaluates its control loop from post-hoc traces; this package
 // makes the same loop inspectable while it runs — cmd/powerd serves it
@@ -16,9 +19,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"repro/internal/daemon"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/metrics/decisions"
 )
@@ -93,6 +98,7 @@ type Server struct {
 	reg     *metrics.Registry
 	journal *decisions.Journal
 	status  func() DaemonStatus
+	flight  *flight.Recorder
 	mux     *http.ServeMux
 }
 
@@ -100,13 +106,45 @@ type Server struct {
 // request does not say (?n=).
 const DefaultTail = 32
 
+// Option configures optional server surfaces.
+type Option func(*Server)
+
+// WithFlight exposes the flight recorder: GET /debug/flight reports ring
+// occupancy, POST /debug/flight/dump streams a versioned binary dump of the
+// current ring contents (the same format the daemon's trigger dumps write,
+// decodable by cmd/powerdump).
+func WithFlight(rec *flight.Recorder) Option {
+	return func(s *Server) { s.flight = rec }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/, so CPU, heap, and
+// block profiles can be taken from a live run. Off by default: profiles
+// expose internals and cost CPU, so cmd/powerd gates this behind
+// -debug-pprof.
+func WithPprof() Option {
+	return func(s *Server) {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
 // New assembles the observability server.
-func New(reg *metrics.Registry, journal *decisions.Journal, status func() DaemonStatus) *Server {
+func New(reg *metrics.Registry, journal *decisions.Journal, status func() DaemonStatus, opts ...Option) *Server {
 	s := &Server{reg: reg, journal: journal, status: status, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
 	s.mux.HandleFunc("/debug/status", s.handleStatus)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	for _, o := range opts {
+		o(s)
+	}
+	if s.flight != nil {
+		s.mux.HandleFunc("/debug/flight", s.handleFlight)
+		s.mux.HandleFunc("/debug/flight/dump", s.handleFlightDump)
+	}
 	return s
 }
 
@@ -159,4 +197,35 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// FlightStats is the /debug/flight payload.
+type FlightStats struct {
+	TotalEvents    uint64 `json:"total_events"`
+	RetainedEvents int    `json:"retained_events"`
+	Interval       uint32 `json:"interval"`
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(FlightStats{
+		TotalEvents:    s.flight.Total(),
+		RetainedEvents: s.flight.Len(),
+		Interval:       s.flight.Interval(),
+	})
+}
+
+func (s *Server) handleFlightDump(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required (a dump mutates nothing but is expensive)", http.StatusMethodNotAllowed)
+		return
+	}
+	d := s.flight.Dump("http")
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="flight.fr"`)
+	w.Header().Set("X-Flight-Events", strconv.Itoa(len(d.Events)))
+	_ = d.Encode(w)
 }

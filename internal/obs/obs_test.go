@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -12,6 +13,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/flight"
+	"repro/internal/flight/flighttest"
 	"repro/internal/metrics"
 	"repro/internal/metrics/decisions"
 	"repro/internal/platform"
@@ -195,5 +198,178 @@ func TestNilComponents(t *testing.T) {
 	var vars map[string]any
 	if err := json.Unmarshal([]byte(get(t, srv.URL+"/debug/vars")), &vars); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// pprof must be absent unless explicitly mounted: profiles cost CPU and
+// leak internals, so they ride behind powerd's -debug-pprof flag.
+func TestPprofGating(t *testing.T) {
+	plain := httptest.NewServer(New(nil, nil, nil).Handler())
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ without WithPprof: %s, want 404", resp.Status)
+	}
+
+	prof := httptest.NewServer(New(nil, nil, nil, WithPprof()).Handler())
+	defer prof.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(prof.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %s, want 200", path, resp.Status)
+		}
+	}
+}
+
+// The flight endpoints report ring occupancy and stream decodable dumps.
+func TestFlightEndpoints(t *testing.T) {
+	rec := flight.New(0)
+	rec.BeginInterval(7)
+	for i := 0; i < 5; i++ {
+		rec.Record(flight.Event{Kind: flight.KindDecision, Source: flight.SourceDaemon, Core: -1})
+	}
+	srv := httptest.NewServer(New(nil, nil, nil, WithFlight(rec)).Handler())
+	defer srv.Close()
+
+	var fs FlightStats
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/debug/flight")), &fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs.TotalEvents != 5 || fs.RetainedEvents != 5 || fs.Interval != 7 {
+		t.Errorf("stats = %+v", fs)
+	}
+
+	// Dumps are POST-only.
+	resp, err := http.Get(srv.URL + "/debug/flight/dump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET dump = %s, want 405", resp.Status)
+	}
+
+	resp, err = http.Post(srv.URL+"/debug/flight/dump", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST dump = %s", resp.Status)
+	}
+	if got := resp.Header.Get("X-Flight-Events"); got != "5" {
+		t.Errorf("X-Flight-Events = %q, want 5", got)
+	}
+	d, err := flight.ReadDump(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 5 || d.Meta.Reason != "http" {
+		t.Errorf("decoded dump: %d events, reason %q", len(d.Events), d.Meta.Reason)
+	}
+
+	// Absent recorder, absent endpoints.
+	none := httptest.NewServer(New(nil, nil, nil).Handler())
+	defer none.Close()
+	resp, err = http.Post(none.URL+"/debug/flight/dump", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("dump without WithFlight = %s, want 404", resp.Status)
+	}
+}
+
+// TestDumpDuringRealtimeLoop hammers /metrics and /debug/flight/dump while
+// a real-time control loop runs at a 1 ms interval over the simulated
+// device. Run under -race (as CI does) this proves the recorder's
+// single-writer rings, the dump snapshot path, and the metrics registry
+// tolerate concurrent readers without torn state.
+func TestDumpDuringRealtimeLoop(t *testing.T) {
+	chip := platform.Skylake()
+	reg := metrics.NewRegistry()
+	rec := flight.New(1 << 10)
+	flighttest.DumpOnFailure(t, rec)
+	m, err := sim.New(chip, sim.WithMetrics(reg), sim.WithFlightRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.MustByName("gcc")
+	if err := m.Pin(workload.NewInstance(p), 0); err != nil {
+		t.Fatal(err)
+	}
+	specs := []core.AppSpec{{Name: "gcc", Core: 0, Shares: 100}}
+	pol, err := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := daemon.New(daemon.Config{
+		Chip: chip, Policy: pol, Apps: specs, Limit: 50,
+		Interval: time.Millisecond, Metrics: reg, Flight: rec,
+	}, m.Device(), daemon.MachineActuator{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(reg, nil, DaemonStatusFunc(d), WithFlight(rec)).Handler())
+	defer srv.Close()
+
+	loopDone := make(chan error, 1)
+	go func() {
+		loopDone <- d.RunRealtime(context.Background(), 200)
+	}()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				get(t, srv.URL+"/metrics")
+				resp, err := http.Post(srv.URL+"/debug/flight/dump", "", nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				dump, derr := flight.ReadDump(resp.Body)
+				resp.Body.Close()
+				if derr != nil {
+					t.Errorf("dump mid-loop undecodable: %v", derr)
+					return
+				}
+				// Every dump must be internally consistent: seq-sorted.
+				for i := 1; i < len(dump.Events); i++ {
+					if dump.Events[i].Seq <= dump.Events[i-1].Seq {
+						t.Errorf("dump not seq-sorted at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	if err := <-loopDone; err != nil {
+		t.Error(err)
+	}
+	close(stop)
+	wg.Wait()
+	if d.Iterations() != 200 {
+		t.Errorf("loop ran %d iterations, want 200", d.Iterations())
+	}
+	if rec.Total() == 0 {
+		t.Error("recorder saw no events")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/units"
 )
@@ -71,6 +72,7 @@ type Limiter struct {
 	mThrottles *metrics.Counter
 	mReleases  *metrics.Counter
 	mCapMHz    *metrics.Gauge
+	flight     *flight.Recorder
 }
 
 // Instrument registers the limiter's metrics on reg: throttle events (cap
@@ -81,6 +83,22 @@ func (l *Limiter) Instrument(reg *metrics.Registry) {
 	l.mReleases = reg.Counter("rapl_release_events_total", "RAPL cap step-ups (headroom regained under the limit).")
 	l.mCapMHz = reg.Gauge("rapl_cap_mhz", "Current RAPL internal frequency cap in MHz.")
 	l.mCapMHz.Set(l.cap.MHzF())
+}
+
+// Flight attaches the flight recorder: every cap step-down (throttle) and
+// step-up (release) is logged with the new cap and the instantaneous
+// package power. A nil recorder disables logging.
+func (l *Limiter) Flight(rec *flight.Recorder) { l.flight = rec }
+
+// recordCap logs one cap movement to the flight recorder.
+func (l *Limiter) recordCap(kind flight.Kind) {
+	l.flight.Record(flight.Event{
+		Kind:   kind,
+		Source: flight.SourceRAPL,
+		Core:   -1,
+		Value:  uint64(l.cap),
+		Aux:    uint64(float64(l.last) * 1e6),
+	})
 }
 
 // New returns a limiter for a chip with the given frequency spec. The cap
@@ -149,6 +167,7 @@ func (l *Limiter) Observe(pkg units.Watts, dt time.Duration) units.Hertz {
 			}
 			l.mThrottles.Inc()
 			l.mCapMHz.Set(l.cap.MHzF())
+			l.recordCap(flight.KindRAPLThrottle)
 		}
 		return l.cap
 	}
@@ -167,6 +186,7 @@ func (l *Limiter) Observe(pkg units.Watts, dt time.Duration) units.Hertz {
 			}
 			l.mReleases.Inc()
 			l.mCapMHz.Set(l.cap.MHzF())
+			l.recordCap(flight.KindRAPLRelease)
 		}
 	}
 	return l.cap

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/msr"
 	"repro/internal/platform"
@@ -47,6 +48,16 @@ func WithMetrics(reg *metrics.Registry) Option {
 	return func(m *Machine) { m.reg = reg }
 }
 
+// WithFlightRecorder attaches the flight recorder: the machine drives the
+// recorder's clock from virtual time, taps every MSR access on its device,
+// logs C-state sleep/wake and binding-constraint (turbo, AVX licence,
+// RAPL cap) transitions, wires the RAPL limiter's throttle/release events,
+// and contributes the machine description to the dump metadata. A nil
+// recorder disables recording.
+func WithFlightRecorder(rec *flight.Recorder) Option {
+	return func(m *Machine) { m.flight = rec }
+}
+
 // Machine is one simulated socket.
 type Machine struct {
 	chip    platform.Chip
@@ -67,6 +78,7 @@ type Machine struct {
 
 	// Optional instrumentation; nil handles no-op.
 	reg            *metrics.Registry
+	flight         *flight.Recorder
 	mTicks         *metrics.Counter
 	mCStateTrans   *metrics.CounterVec
 	mFreqConstr    *metrics.CounterVec
@@ -127,10 +139,27 @@ func New(chip platform.Chip, opts ...Option) (*Machine, error) {
 			"Core C-state sleep/wake transitions.", "kind")
 		m.mFreqConstr = m.reg.CounterVec("sim_freq_constraint_transitions_total",
 			"Transitions of the constraint binding a core's effective frequency.", "constraint")
-		m.lastConstraint = make([]string, chip.NumCores)
 		m.limiter.Instrument(m.reg)
 	}
+	if m.reg != nil || m.flight != nil {
+		m.lastConstraint = make([]string, chip.NumCores)
+	}
+	if m.flight != nil {
+		m.flight.SetClock(m.Now)
+		m.limiter.Flight(m.flight)
+		m.flight.MergeMeta(flight.Meta{
+			Chip:         chip.Name,
+			NumCores:     chip.NumCores,
+			TickNS:       m.dt.Nanoseconds(),
+			NomHz:        float64(chip.Freq.Nom),
+			ESU:          m.unit.ESU,
+			PerCorePower: chip.PerCorePower,
+		})
+	}
 	m.wireMSRs()
+	if m.flight != nil {
+		m.dev.SetRecorder(m.flight)
+	}
 	return m, nil
 }
 
@@ -343,12 +372,20 @@ func (m *Machine) stepIdle(i int, activeNow bool, dt time.Duration) time.Duratio
 		}
 		idleLen := m.clock - id.idleSince
 		id.predict = (id.predict*7 + idleLen*3) / 10
+		m.flight.Record(flight.Event{
+			Kind: flight.KindCStateWake, Source: flight.SourceSim, Core: int16(i),
+			Arg: uint32(id.state + 1), Value: uint64(id.wakePending),
+		})
 		id.state = -1
 		m.mCStateTrans.With("wake").Inc()
 	case !activeNow && id.wasActive:
 		// Sleep: menu selection on the predicted idle length.
 		id.state = cpu.SelectCState(table, id.predict)
 		id.idleSince = m.clock
+		m.flight.Record(flight.Event{
+			Kind: flight.KindCStateSleep, Source: flight.SourceSim, Core: int16(i),
+			Value: uint64(id.state),
+		})
 		m.mCStateTrans.With("sleep").Inc()
 	}
 	if !activeNow && id.state >= 0 && id.state < len(table) {
@@ -411,6 +448,10 @@ func (m *Machine) Step() {
 				m.lastConstraint[i] = constr
 				if constr != "idle" {
 					m.mFreqConstr.With(constr).Inc()
+					m.flight.Record(flight.Event{
+						Kind: flight.KindConstraint, Source: flight.SourceSim,
+						Core: int16(i), Arg: flight.ConstraintCode(constr),
+					})
 				}
 			}
 		}

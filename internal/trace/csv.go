@@ -15,6 +15,7 @@ import (
 // syscalls per app per iteration — so callers must Flush before closing
 // the underlying file.
 type SnapshotWriter struct {
+	w    io.Writer
 	bw   *bufio.Writer
 	apps []core.AppSpec
 }
@@ -22,7 +23,7 @@ type SnapshotWriter struct {
 // NewSnapshotWriter wraps w in a buffer and writes the CSV header for the
 // given application set.
 func NewSnapshotWriter(w io.Writer, apps []core.AppSpec) *SnapshotWriter {
-	sw := &SnapshotWriter{bw: bufio.NewWriter(w), apps: append([]core.AppSpec(nil), apps...)}
+	sw := &SnapshotWriter{w: w, bw: bufio.NewWriter(w), apps: append([]core.AppSpec(nil), apps...)}
 	fmt.Fprint(sw.bw, "time_s,pkg_w,limit_w")
 	for _, a := range sw.apps {
 		fmt.Fprintf(sw.bw, ",%s_c%d_mhz,%s_c%d_ips,%s_c%d_w,%s_c%d_parked",
@@ -49,4 +50,17 @@ func (sw *SnapshotWriter) Observe(s core.Snapshot) {
 // run completes (and before closing the file).
 func (sw *SnapshotWriter) Flush() error {
 	return sw.bw.Flush()
+}
+
+// Close flushes the buffer and closes the underlying writer if it is an
+// io.Closer. A flush failure takes precedence over a close failure: it
+// means rows were lost, which matters more than a leaked descriptor.
+func (sw *SnapshotWriter) Close() error {
+	ferr := sw.bw.Flush()
+	if c, ok := sw.w.(io.Closer); ok {
+		if cerr := c.Close(); ferr == nil {
+			ferr = cerr
+		}
+	}
+	return ferr
 }
