@@ -32,9 +32,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/fault"
 	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/metrics/decisions"
+	"repro/internal/msr"
 	"repro/internal/obs"
 	"repro/internal/opconfig"
 	"repro/internal/platform"
@@ -54,6 +56,8 @@ type runOpts struct {
 	flightOn  bool
 	flightCap int
 	triggers  daemon.FlightTriggers
+	faults    fault.Schedule
+	faultSeed int64
 }
 
 func main() {
@@ -73,8 +77,28 @@ func main() {
 		fltDir   = flag.String("flight-dump-dir", ".", "directory flight dumps are written to")
 		fltOver  = flag.Duration("flight-overlimit", 0, "dump when power exceeds the limit continuously for this long (0 = off)")
 		fltSLO   = flag.Duration("flight-slo", 0, "dump when one control iteration exceeds this wall-clock latency (0 = off)")
+		faults   = flag.String("faults", "", "fault schedule, inline (';'-separated entries) or @file; enables the resilient daemon")
+		faultSd  = flag.Int64("fault-seed", 1, "seed for probabilistic fault decisions (same seed = same fault pattern)")
 	)
 	flag.Parse()
+
+	var sched fault.Schedule
+	if *faults != "" {
+		text := *faults
+		if strings.HasPrefix(text, "@") {
+			data, rerr := os.ReadFile(text[1:])
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "powerd: reading fault schedule:", rerr)
+				os.Exit(1)
+			}
+			text = string(data)
+		}
+		var perr error
+		if sched, perr = fault.ParseSchedule(text); perr != nil {
+			fmt.Fprintln(os.Stderr, "powerd:", perr)
+			os.Exit(1)
+		}
+	}
 
 	opts := runOpts{
 		duration:  *duration,
@@ -88,6 +112,8 @@ func main() {
 			OverLimitFor: *fltOver,
 			IterationSLO: *fltSLO,
 		},
+		faults:    sched,
+		faultSeed: *faultSd,
 	}
 
 	var err error
@@ -211,9 +237,26 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 		}
 	}
 
+	// With a fault schedule the injector wraps the device (so the daemon
+	// reads through it) and drives window transitions off virtual time;
+	// resilient mode is implied — a fault run with a fail-fast daemon would
+	// just exit on the first EIO.
+	dev := msr.Device(m.Device())
+	var inj *fault.Injector
+	if len(opts.faults) > 0 {
+		inj = fault.New(opts.faults, opts.faultSeed)
+		inj.Instrument(reg)
+		inj.Flight(rec)
+		inj.Drive(m)
+		dev = inj.WrapDevice(dev)
+	}
+
 	dcfg := daemon.Config{
 		Chip: chip, Policy: pol, Apps: specs, Limit: limit, Interval: interval,
 		Metrics: reg, Journal: journal, Flight: rec, Triggers: opts.triggers,
+	}
+	if inj != nil {
+		dcfg.Resilience = &daemon.Resilience{}
 	}
 	dcfg.Triggers.OnDump = func(path, reason string, derr error) {
 		if derr != nil {
@@ -237,7 +280,7 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 		}()
 		dcfg.OnSnapshot = tw.Observe
 	}
-	d, err := daemon.New(dcfg, m.Device(), daemon.MachineActuator{M: m})
+	d, err := daemon.New(dcfg, dev, daemon.MachineActuator{M: m, Dev: dev})
 	if err != nil {
 		return err
 	}
@@ -282,6 +325,10 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 
 	fmt.Printf("powerd: %s, %s policy, %v limit, %d apps, %v virtual run\n",
 		chip.Name, pol.Name(), limit, len(specs), opts.duration)
+	if inj != nil {
+		fmt.Printf("powerd: fault schedule: %d windows, last closes at %v, seed %d\n",
+			len(opts.faults), opts.faults.End(), opts.faultSeed)
+	}
 	step := opts.duration / 10
 	if step < interval {
 		step = interval
@@ -312,5 +359,23 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 			trace.Hz(a.Freq), fmt.Sprintf("%.3g", a.IPS), trace.W(a.Power),
 			fmt.Sprintf("%v", a.Parked))
 	}
-	return tb.Render(os.Stdout)
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if inj != nil {
+		var parts []string
+		for _, c := range []fault.Class{fault.ClassEIO, fault.ClassStuck, fault.ClassTorn,
+			fault.ClassLatency, fault.ClassThermal, fault.ClassRAPL, fault.ClassOffline} {
+			if n := inj.Effects(c); n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", c, n))
+			}
+		}
+		if lat := inj.TotalLatency(); lat > 0 {
+			parts = append(parts, "added-latency="+lat.String())
+		}
+		if len(parts) > 0 {
+			fmt.Println("powerd: fault effects:", strings.Join(parts, " "))
+		}
+	}
+	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/flight/replay"
 	"repro/internal/msr"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -94,6 +95,30 @@ func describe(e flight.Event) string {
 		return fmt.Sprintf("core%-2d <- C-state %d (exit %v)", e.Core, int(e.Arg)-1, time.Duration(e.Value))
 	case flight.KindConstraint:
 		return fmt.Sprintf("core%-2d bound by %s", e.Core, flight.ConstraintFromCode(e.Arg))
+	case flight.KindFaultInject, flight.KindFaultClear:
+		verb := "open"
+		if e.Kind == flight.KindFaultClear {
+			verb = "close"
+		}
+		scope := "pkg"
+		if e.Core >= 0 {
+			scope = fmt.Sprintf("cpu%d", e.Core)
+		}
+		s := fmt.Sprintf("%-5s %-8s %-5s", verb, flight.FaultName(e.Arg), scope)
+		switch e.Arg {
+		case flight.FaultThermal:
+			s += " cap=" + mhz(e.Value)
+		case flight.FaultRAPL:
+			s += " limit=" + uwatts(e.Value)
+		case flight.FaultLatency:
+			s += " delay=" + time.Duration(e.Value).String()
+		case flight.FaultEIO:
+			s += fmt.Sprintf(" prob=%.2f", float64(e.Value)/1e6)
+		}
+		return s
+	case flight.KindHealth:
+		return fmt.Sprintf("core%-2d %s (telemetry %s)",
+			e.Core, flight.HealthName(e.Arg), telemetry.CoreStatus(e.Value))
 	}
 	return ""
 }

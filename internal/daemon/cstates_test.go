@@ -25,7 +25,7 @@ func TestStarvedCoresReachDeepIdle(t *testing.T) {
 		t.Fatal(err)
 	}
 	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 40},
-		m.Device(), MachineActuator{m})
+		m.Device(), MachineActuator{M: m})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,11 +44,20 @@ type Actuator interface {
 // through the machine's C-state control.
 type MachineActuator struct {
 	M *sim.Machine
+
+	// Dev, when set, is the device P-state writes go through instead of
+	// the machine's own — chaos runs pass the fault injector's wrapper
+	// here so writes to an offline core fail like they would on hardware.
+	Dev msr.Device
 }
 
 // SetFreq implements Actuator via an MSR write.
 func (a MachineActuator) SetFreq(core int, f units.Hertz) error {
-	return a.M.Device().Write(core, msr.IA32PerfCtl, msr.EncodePerfCtl(f, a.M.Chip().Freq.Step))
+	dev := a.Dev
+	if dev == nil {
+		dev = a.M.Device()
+	}
+	return dev.Write(core, msr.IA32PerfCtl, msr.EncodePerfCtl(f, a.M.Chip().Freq.Step))
 }
 
 // Park implements Actuator via C-state control.
@@ -117,6 +126,13 @@ type Config struct {
 	// Triggers configures automatic flight dumps; the zero value disables
 	// them. Triggers require Flight to be set.
 	Triggers FlightTriggers
+
+	// Resilience, when set, arms degraded mode: telemetry reads retry with
+	// backoff, cores with lying or unreadable counters are isolated (policy
+	// sees their last good state, actuation drops to a safe P-state floor),
+	// actuation errors are tolerated, and a fault-storm watchdog dumps
+	// flight state. Nil keeps the historical fail-fast behaviour.
+	Resilience *Resilience
 }
 
 // FlightTriggers are the daemon-side conditions that snapshot the flight
@@ -161,6 +177,12 @@ type daemonMetrics struct {
 	limitChanges *metrics.Counter
 	pkgWatts     *metrics.Gauge
 	parkedCores  *metrics.Gauge
+
+	degradedCores     *metrics.Gauge
+	degradedIntervals *metrics.Counter
+	readmissions      *metrics.Counter
+	actuationErrors   *metrics.Counter
+	safeFloorActions  *metrics.Counter
 }
 
 func newDaemonMetrics(reg *metrics.Registry) daemonMetrics {
@@ -177,6 +199,12 @@ func newDaemonMetrics(reg *metrics.Registry) daemonMetrics {
 		limitChanges: reg.Counter("powerd_limit_changes_total", "Times the enforced power limit was changed via SetLimit."),
 		pkgWatts:     reg.Gauge("powerd_package_power_watts", "Package power observed at the last control interval."),
 		parkedCores:  reg.Gauge("powerd_parked_cores", "Cores currently parked by policy decision."),
+
+		degradedCores:     reg.Gauge("powerd_degraded_cores", "Cores currently isolated from policy control by untrustworthy telemetry."),
+		degradedIntervals: reg.Counter("powerd_degraded_intervals_total", "Control intervals that ran with at least one degraded core or a blind package counter."),
+		readmissions:      reg.Counter("powerd_readmissions_total", "Cores re-admitted to policy control after sustained healthy telemetry."),
+		actuationErrors:   reg.Counter("powerd_actuation_errors_total", "Actuations that failed and were tolerated in resilient mode."),
+		safeFloorActions:  reg.Counter("powerd_safe_floor_actions_total", "Actions overridden to the safe P-state floor."),
 	}
 }
 
@@ -202,6 +230,14 @@ type Daemon struct {
 	overSince  time.Duration // run time power first exceeded the limit; -1 while under
 	overFired  bool          // over-limit dump already taken this excursion
 	sloHoldoff int           // iterations until the latency trigger re-arms
+
+	// Degraded-mode state (guarded by mu); res is nil outside resilient
+	// mode and never changes after New.
+	res        *Resilience
+	health     []coreHealth     // per-app health state machine
+	lastGood   []core.AppState  // per-app last trustworthy policy input
+	stormRun   int              // consecutive unhealthy intervals
+	stormFired bool             // watchdog dump already taken this storm
 
 	// Jitter is summarised by a streaming accumulator (mean/max) plus a
 	// fixed-size reservoir (percentiles), so real-time loops of any length
@@ -244,6 +280,13 @@ func New(cfg Config, dev msr.Device, act Actuator) (*Daemon, error) {
 		jitterRes: stats.NewReservoir(0),
 		overSince: -1,
 	}
+	if cfg.Resilience != nil {
+		res := cfg.Resilience.withDefaults(cfg.Chip.SafeFloor())
+		d.res = &res
+		d.health = make([]coreHealth, len(cfg.Apps))
+		d.lastGood = make([]core.AppState, len(cfg.Apps))
+		sampler.SetResilient(res.Retry)
+	}
 	d.m.limitWatts.Set(float64(cfg.Limit))
 	if cfg.Flight != nil {
 		apps := make([]flight.MetaApp, len(cfg.Apps))
@@ -283,11 +326,25 @@ func (d *Daemon) Start() error {
 	return nil
 }
 
+// tolerate reports whether an actuation error should be absorbed instead
+// of aborting the iteration: in resilient mode a failed write (a core gone
+// dark mid-actuation) costs a metric tick, not the control loop.
+func (d *Daemon) tolerate(err error) bool {
+	if d.res == nil || err == nil {
+		return false
+	}
+	d.m.actuationErrors.Inc()
+	return true
+}
+
 // apply actuates a batch of policy actions. Caller holds d.mu.
 func (d *Daemon) apply(actions []core.Action) error {
 	for _, a := range actions {
 		if a.Park {
 			if err := d.act.Park(a.Core, true); err != nil {
+				if d.tolerate(err) {
+					continue
+				}
 				return fmt.Errorf("daemon: parking core %d: %w", a.Core, err)
 			}
 			d.parked[a.Core] = true
@@ -300,6 +357,9 @@ func (d *Daemon) apply(actions []core.Action) error {
 		}
 		if d.parked[a.Core] {
 			if err := d.act.Park(a.Core, false); err != nil {
+				if d.tolerate(err) {
+					continue
+				}
 				return fmt.Errorf("daemon: waking core %d: %w", a.Core, err)
 			}
 			d.parked[a.Core] = false
@@ -310,6 +370,9 @@ func (d *Daemon) apply(actions []core.Action) error {
 			})
 		}
 		if err := d.act.SetFreq(a.Core, a.Freq); err != nil {
+			if d.tolerate(err) {
+				continue
+			}
 			return fmt.Errorf("daemon: setting core %d to %v: %w", a.Core, a.Freq, err)
 		}
 		d.m.actuations.With("setfreq").Inc()
@@ -345,17 +408,36 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 		PackagePower: sample.PackagePower,
 		Apps:         make([]core.AppState, len(d.cfg.Apps)),
 	}
+	degraded := map[int]bool{}
 	for i, spec := range d.cfg.Apps {
 		cs := sample.Cores[spec.Core]
-		snap.Apps[i] = core.AppState{
+		st := core.AppState{
 			Spec:   spec,
 			Freq:   cs.ActiveFreq,
 			IPS:    cs.IPS,
 			Power:  cs.Power,
 			Parked: d.parked[spec.Core],
 		}
+		if d.res != nil {
+			if d.updateHealthLocked(i, spec.Core, cs.Status) {
+				// Untrusted core: the policy keeps seeing the last state we
+				// could vouch for instead of zeros or garbage.
+				degraded[spec.Core] = true
+				st.Freq, st.IPS, st.Power = d.lastGood[i].Freq, d.lastGood[i].IPS, d.lastGood[i].Power
+			} else {
+				d.lastGood[i] = st
+			}
+		}
+		snap.Apps[i] = st
 	}
 	actions := d.cfg.Policy.Update(snap)
+	if d.res != nil {
+		if len(degraded) > 0 || !sample.PkgStatus.Trustworthy() {
+			d.m.degradedIntervals.Inc()
+			actions = d.overrideDegraded(actions, sample, degraded)
+		}
+		d.m.degradedCores.Set(float64(len(degraded)))
+	}
 	var reasons []core.Reason
 	if ex, ok := d.cfg.Policy.(core.Explainer); ok {
 		reasons = ex.LastReasons()
@@ -389,6 +471,9 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 		}
 	}
 	dumpReason := d.checkTriggersLocked(snap, time.Since(began))
+	if d.watchdogLocked(sample.Healthy()) && dumpReason == "" {
+		dumpReason = "fault-storm"
+	}
 	d.mu.Unlock()
 
 	if d.cfg.Journal != nil {

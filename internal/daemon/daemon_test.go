@@ -59,7 +59,7 @@ func TestNewValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	good := Config{Chip: chip, Policy: pol, Apps: specs, Limit: 50}
-	if _, err := New(good, m.Device(), MachineActuator{m}); err != nil {
+	if _, err := New(good, m.Device(), MachineActuator{M: m}); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
 	for _, mut := range []func(*Config){
@@ -70,7 +70,7 @@ func TestNewValidation(t *testing.T) {
 	} {
 		bad := good
 		mut(&bad)
-		if _, err := New(bad, m.Device(), MachineActuator{m}); err == nil {
+		if _, err := New(bad, m.Device(), MachineActuator{M: m}); err == nil {
 			t.Error("invalid config accepted")
 		}
 	}
@@ -81,7 +81,7 @@ func TestLifecycleErrors(t *testing.T) {
 	m := buildMachine(t, chip, []string{"gcc"})
 	specs := specsFor([]string{"gcc"}, []units.Shares{50}, nil)
 	pol, _ := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
-	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 50}, m.Device(), MachineActuator{m})
+	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 50}, m.Device(), MachineActuator{M: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestFrequencySharesClosedLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 50}, m.Device(), MachineActuator{m})
+	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 50}, m.Device(), MachineActuator{M: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestPerformanceSharesClosedLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 45}, m.Device(), MachineActuator{m})
+	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 45}, m.Device(), MachineActuator{M: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestPowerSharesClosedLoopOnRyzen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 50}, m.Device(), MachineActuator{m})
+	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 50}, m.Device(), MachineActuator{M: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestPriorityClosedLoopStarvation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 40}, m.Device(), MachineActuator{m})
+	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 40}, m.Device(), MachineActuator{M: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestPriorityClosedLoopFullPower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 85}, m.Device(), MachineActuator{m})
+	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 85}, m.Device(), MachineActuator{M: m})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,7 +60,7 @@ func TestSamplerFaultSurfacesFromRunIteration(t *testing.T) {
 	chip := platform.Skylake()
 	m := buildMachine(t, chip, []string{"gcc", "leela"})
 	flaky := &flakyDevice{inner: m.Device(), failAfter: 1000}
-	d := flakySetup(t, flaky, MachineActuator{m})
+	d := flakySetup(t, flaky, MachineActuator{M: m})
 	if err := d.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestSamplerFaultStopsVirtualHook(t *testing.T) {
 	chip := platform.Skylake()
 	m := buildMachine(t, chip, []string{"gcc", "leela"})
 	flaky := &flakyDevice{inner: m.Device(), failAfter: 200}
-	d := flakySetup(t, flaky, MachineActuator{m})
+	d := flakySetup(t, flaky, MachineActuator{M: m})
 	if err := d.AttachVirtual(m); err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestConstructionFailsWhenPowerUnitUnreadable(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 50},
-		flaky, MachineActuator{m}); err == nil {
+		flaky, MachineActuator{M: m}); err == nil {
 		t.Fatal("unreadable power unit accepted")
 	}
 }

@@ -26,7 +26,7 @@ func TestPrioritySharesClosedLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	d, err := New(Config{Chip: chip, Policy: pol, Apps: specs, Limit: 30},
-		m.Device(), MachineActuator{m})
+		m.Device(), MachineActuator{M: m})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,143 @@
+package daemon
+
+import (
+	"repro/internal/core"
+	"repro/internal/flight"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// Resilience configures the daemon's degraded mode: what it does when
+// telemetry lies, reads fail, or cores go dark. Nil (the default) keeps the
+// historical fail-fast semantics — any sampling or actuation error aborts
+// the iteration and, in virtual mode, stops the loop.
+type Resilience struct {
+	// SafeFloor is the P-state programmed on a core whose telemetry can no
+	// longer be trusted: slow enough that a core running blind cannot blow
+	// the package budget. Zero takes the chip's SafeFloor().
+	SafeFloor units.Hertz
+
+	// Retry bounds the sampler's per-read retry. The zero value takes
+	// telemetry.DefaultRetry.
+	Retry telemetry.RetryPolicy
+
+	// ReadmitAfter is how many consecutive trustworthy intervals a degraded
+	// core must produce before the daemon hands it back to the policy.
+	// Values below 1 take the default of 2.
+	ReadmitAfter int
+
+	// StormIters, when positive, arms the fault-storm watchdog: after this
+	// many consecutive unhealthy intervals the daemon dumps flight state
+	// (reason "fault-storm") and re-arms once the storm clears.
+	StormIters int
+}
+
+// withDefaults normalises the configuration against the chip.
+func (r Resilience) withDefaults(floor units.Hertz) Resilience {
+	if r.SafeFloor <= 0 {
+		r.SafeFloor = floor
+	}
+	if r.ReadmitAfter < 1 {
+		r.ReadmitAfter = 2
+	}
+	return r
+}
+
+// coreHealth is the daemon's per-app health state machine.
+type coreHealth struct {
+	degraded   bool
+	healthyRun int // consecutive trustworthy intervals while degraded
+}
+
+// updateHealth advances one app's health state from its core's sample
+// status and reports whether the app is currently degraded (policy input
+// frozen, actuation forced to the safe floor). Caller holds d.mu.
+func (d *Daemon) updateHealthLocked(app int, coreID int, st telemetry.CoreStatus) bool {
+	h := &d.health[app]
+	if st.Trustworthy() {
+		if !h.degraded {
+			return false
+		}
+		h.healthyRun++
+		if h.healthyRun >= d.res.ReadmitAfter {
+			h.degraded = false
+			h.healthyRun = 0
+			d.m.readmissions.Inc()
+			d.cfg.Flight.Record(flight.Event{
+				Kind: flight.KindHealth, Source: flight.SourceDaemon,
+				Core: int16(coreID), Arg: flight.HealthReadmitted, Value: uint64(st),
+			})
+			return false
+		}
+		return true
+	}
+	h.healthyRun = 0
+	if !h.degraded {
+		h.degraded = true
+		d.cfg.Flight.Record(flight.Event{
+			Kind: flight.KindHealth, Source: flight.SourceDaemon,
+			Core: int16(coreID), Arg: flight.HealthDegraded, Value: uint64(st),
+		})
+	}
+	return true
+}
+
+// overrideDegraded rewrites the policy's actions for degraded operation:
+// actions on dark cores (whose MSRs fail in both directions) are dropped,
+// actions on otherwise-degraded cores are clamped to the safe floor, and
+// degraded cores the policy left alone get an explicit safe-floor action.
+// When the package reading itself is untrustworthy every core is forced to
+// the floor — with the energy counter lying, no frequency above the floor
+// can be proven within budget. Caller holds d.mu.
+func (d *Daemon) overrideDegraded(actions []core.Action, sample telemetry.Sample, degraded map[int]bool) []core.Action {
+	pkgBlind := !sample.PkgStatus.Trustworthy()
+	dark := func(c int) bool { return sample.Cores[c].Status == telemetry.StatusDark }
+	out := actions[:0]
+	handled := make(map[int]bool, len(actions))
+	for _, a := range actions {
+		handled[a.Core] = true
+		switch {
+		case dark(a.Core):
+			// No point actuating a core whose register file is gone; the
+			// write would fail and teach us nothing.
+			continue
+		case a.Park:
+			// Parking is always safe: a parked core draws C-state power.
+			out = append(out, a)
+		case degraded[a.Core] || pkgBlind:
+			d.m.safeFloorActions.Inc()
+			out = append(out, core.Action{Core: a.Core, Freq: d.res.SafeFloor})
+		default:
+			out = append(out, a)
+		}
+	}
+	// Cores the policy left untouched still need forcing down when they —
+	// or the package counter — went untrustworthy.
+	for _, spec := range d.cfg.Apps {
+		c := spec.Core
+		if handled[c] || dark(c) || d.parked[c] {
+			continue
+		}
+		if degraded[c] || pkgBlind {
+			d.m.safeFloorActions.Inc()
+			out = append(out, core.Action{Core: c, Freq: d.res.SafeFloor})
+		}
+	}
+	return out
+}
+
+// watchdogLocked advances the fault-storm watchdog and reports whether it
+// fired this interval. Caller holds d.mu.
+func (d *Daemon) watchdogLocked(healthy bool) bool {
+	if healthy {
+		d.stormRun = 0
+		d.stormFired = false
+		return false
+	}
+	d.stormRun++
+	if d.res == nil || d.res.StormIters <= 0 || d.stormFired || d.stormRun < d.res.StormIters {
+		return false
+	}
+	d.stormFired = true
+	return true
+}

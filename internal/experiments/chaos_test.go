@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestChaosStudy(t *testing.T) {
+	r, err := ChaosStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != len(chaosSchedules) {
+		t.Fatalf("got %d cells, want %d", len(r.Cells), len(chaosSchedules))
+	}
+	for _, c := range r.Cells {
+		if c.Windows == 0 {
+			t.Errorf("%s: no fault window opened", c.Class)
+		}
+		if !c.Recovered {
+			t.Errorf("%s: %d degraded but only %d readmitted", c.Class, c.Degraded, c.Readmitted)
+		}
+		// Machine-truth power must respect the limit with margin even
+		// while telemetry lies (one averaging window of slack).
+		if c.MaxPower > r.Limit*125/100 {
+			t.Errorf("%s: machine power %v blew through the %v limit", c.Class, c.MaxPower, r.Limit)
+		}
+	}
+	// The detectable classes must actually exercise the health machinery.
+	for _, c := range r.Cells {
+		switch c.Class {
+		case fault.ClassEIO, fault.ClassStuck, fault.ClassOffline:
+			if c.Degraded == 0 {
+				t.Errorf("%s: expected core degradations, saw none", c.Class)
+			}
+		}
+	}
+	if tables := r.Tables(); len(tables) != 1 || len(tables[0].Rows) != len(r.Cells) {
+		t.Error("Tables() shape wrong")
+	}
+}

@@ -1,0 +1,358 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/metrics"
+	"repro/internal/msr"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// ErrInjected marks every error the injector fabricates, so consumers (and
+// tests) can tell injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// regKey addresses one register on one CPU.
+type regKey struct {
+	cpu int
+	reg uint32
+}
+
+// Injector realises a Schedule against a run: wrap the MSR device with
+// WrapDevice to get the device-level classes, and Drive a simulated machine
+// to get the platform classes plus automatic clock advancement. All fault
+// decisions flow from the seed, so two runs with the same schedule, seed,
+// and workload inject identically.
+//
+// The injector sits above the recorded device: reads it fails or serves
+// stale never reach the inner device, so the flight recorder's MSR log
+// remains ground truth for what the control plane actually observed, and a
+// faulted run replays exactly.
+type Injector struct {
+	mu    sync.Mutex
+	sched Schedule
+	rng   *rand.Rand
+	now   time.Duration
+
+	active  []bool
+	frozen  map[int]map[regKey]uint64 // stuck/torn cached values, by entry
+	torn    map[int]map[regKey]bool   // torn per-key freeze decision, by entry
+	prevCap map[int]units.Hertz       // thermal restore value, by entry
+	prevLim map[int]units.Watts       // rapl restore value, by entry
+
+	m     *sim.Machine
+	rec   *flight.Recorder
+	sleep func(time.Duration) // realises latency faults; nil = account only
+
+	injections *metrics.CounterVec // windows opened, by class
+	effects    *metrics.CounterVec // per-access perturbations, by class
+	activeG    *metrics.Gauge
+
+	counts       [numClasses]uint64 // per-access effects, for tests
+	totalLatency time.Duration
+}
+
+// New builds an injector for the schedule, deterministic in seed.
+func New(sched Schedule, seed int64) *Injector {
+	return &Injector{
+		sched:   sched,
+		rng:     rand.New(rand.NewSource(seed)),
+		active:  make([]bool, len(sched)),
+		frozen:  make(map[int]map[regKey]uint64),
+		torn:    make(map[int]map[regKey]bool),
+		prevCap: make(map[int]units.Hertz),
+		prevLim: make(map[int]units.Watts),
+	}
+}
+
+// Instrument registers the injector's metrics.
+func (in *Injector) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.injections = reg.CounterVec("fault_windows_total",
+		"Fault windows opened, by class.", "class")
+	in.effects = reg.CounterVec("fault_effects_total",
+		"Individual injected perturbations (failed reads, stale serves, delays), by class.", "class")
+	in.activeG = reg.Gauge("fault_active_windows",
+		"Fault windows currently open.")
+}
+
+// Flight attaches a flight recorder; every window transition is recorded as
+// a fault-inject/fault-clear event.
+func (in *Injector) Flight(rec *flight.Recorder) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rec = rec
+}
+
+// WithSleep sets the function that realises latency faults (wall-clock runs
+// pass time.Sleep). Without it delays are accounted but not imposed, which
+// is what virtual-time runs want.
+func (in *Injector) WithSleep(fn func(time.Duration)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sleep = fn
+}
+
+// Drive binds the injector to a simulated machine: platform faults
+// (thermal, rapl, offline) are applied to it, and a tick hook advances the
+// injector clock so windows open and close on their own. Call before
+// attaching the daemon so fault transitions at tick t precede the control
+// iteration at tick t.
+func (in *Injector) Drive(m *sim.Machine) {
+	in.mu.Lock()
+	in.m = m
+	in.mu.Unlock()
+	m.OnTick(func(time.Duration) { in.AdvanceTo(m.Now()) })
+}
+
+// AdvanceTo moves the injector clock to run time t, opening and closing
+// windows it has crossed. Drive calls it per tick; wall-clock users call it
+// themselves.
+func (in *Injector) AdvanceTo(t time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.now = t
+	for i := range in.sched {
+		if act := in.sched[i].Active(t); act != in.active[i] {
+			in.active[i] = act
+			if act {
+				in.openLocked(i)
+			} else {
+				in.closeLocked(i)
+			}
+		}
+	}
+}
+
+// openLocked applies entry i's window-open side effects.
+func (in *Injector) openLocked(i int) {
+	e := in.sched[i]
+	var value uint64
+	switch e.Class {
+	case ClassThermal:
+		if in.m != nil {
+			in.prevCap[i] = in.m.ThermalCap()
+			in.m.SetThermalCap(e.Cap)
+		}
+		value = uint64(e.Cap)
+	case ClassRAPL:
+		if in.m != nil {
+			in.prevLim[i] = in.m.Limiter().Limit()
+			in.m.SetPowerLimit(e.Limit)
+		}
+		value = uint64(float64(e.Limit) * 1e6) // microwatts
+	case ClassOffline:
+		if in.m != nil {
+			// CPU is validated >= 0 for offline entries.
+			_ = in.m.SetOffline(e.CPU, true)
+		}
+	case ClassLatency:
+		value = uint64(e.Delay)
+	case ClassEIO:
+		value = uint64(e.Prob * 1e6) // parts per million
+	}
+	if in.injections != nil {
+		in.injections.With(e.Class.String()).Inc()
+	}
+	if in.activeG != nil {
+		in.activeG.Add(1)
+	}
+	in.rec.Record(flight.Event{
+		Kind: flight.KindFaultInject, Source: flight.SourceFault,
+		Core: int16(e.CPU), Arg: e.Class.FlightCode(), Value: value,
+	})
+}
+
+// closeLocked applies entry i's window-close side effects. Clear events
+// carry the value being restored so replay can apply them directly.
+func (in *Injector) closeLocked(i int) {
+	e := in.sched[i]
+	var value uint64
+	switch e.Class {
+	case ClassThermal:
+		if in.m != nil {
+			in.m.SetThermalCap(in.prevCap[i])
+			value = uint64(in.prevCap[i])
+		}
+		delete(in.prevCap, i)
+	case ClassRAPL:
+		if in.m != nil {
+			in.m.SetPowerLimit(in.prevLim[i])
+			value = uint64(float64(in.prevLim[i]) * 1e6)
+		}
+		delete(in.prevLim, i)
+	case ClassOffline:
+		if in.m != nil {
+			_ = in.m.SetOffline(e.CPU, false)
+		}
+	}
+	delete(in.frozen, i)
+	delete(in.torn, i)
+	if in.activeG != nil {
+		in.activeG.Add(-1)
+	}
+	in.rec.Record(flight.Event{
+		Kind: flight.KindFaultClear, Source: flight.SourceFault,
+		Core: int16(e.CPU), Arg: e.Class.FlightCode(), Value: value,
+	})
+}
+
+// ActiveWindows reports how many windows are currently open.
+func (in *Injector) ActiveWindows() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, a := range in.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Effects reports how many per-access perturbations the class has caused.
+func (in *Injector) Effects(c Class) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c >= numClasses {
+		return 0
+	}
+	return in.counts[c]
+}
+
+// TotalLatency reports the accumulated injected read latency.
+func (in *Injector) TotalLatency() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.totalLatency
+}
+
+// noteLocked counts one per-access perturbation.
+func (in *Injector) noteLocked(c Class) {
+	in.counts[c]++
+	if in.effects != nil {
+		in.effects.With(c.String()).Inc()
+	}
+}
+
+// WrapDevice interposes the injector between the control plane and dev.
+// The wrapper must sit *above* any recording tap: faulted accesses never
+// reach dev, so the flight log keeps recording only what physically
+// happened.
+func (in *Injector) WrapDevice(dev msr.Device) msr.Device {
+	return &faultDevice{in: in, dev: dev}
+}
+
+type faultDevice struct {
+	in  *Injector
+	dev msr.Device
+}
+
+// Read applies every open matching window, in schedule order: offline and
+// EIO fail the read, latency delays it, stuck serves the value cached at
+// first faulted access, torn does the same for a seed-chosen half of the
+// registers. The injector lock is held across the inner read so stale
+// caches populate atomically; the inner device never calls back into the
+// injector, so this cannot deadlock.
+func (d *faultDevice) Read(cpu int, reg uint32) (uint64, error) {
+	in := d.in
+	creg := msr.Canonical(reg)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var delay time.Duration
+	freeze := -1
+	for i := range in.sched {
+		e := &in.sched[i]
+		if !in.active[i] || !e.Matches(cpu, creg) {
+			continue
+		}
+		switch e.Class {
+		case ClassOffline:
+			in.noteLocked(e.Class)
+			return 0, fmt.Errorf("fault: cpu%d offline, read %s: %w",
+				cpu, msr.RegName(creg), ErrInjected)
+		case ClassEIO:
+			if e.Prob <= 0 || e.Prob >= 1 || in.rng.Float64() < e.Prob {
+				in.noteLocked(e.Class)
+				return 0, fmt.Errorf("fault: EIO cpu%d %s: %w",
+					cpu, msr.RegName(creg), ErrInjected)
+			}
+		case ClassLatency:
+			delay += e.Delay
+			in.noteLocked(e.Class)
+		case ClassStuck:
+			if freeze < 0 {
+				freeze = i
+			}
+		case ClassTorn:
+			tm := in.torn[i]
+			if tm == nil {
+				tm = make(map[regKey]bool)
+				in.torn[i] = tm
+			}
+			k := regKey{cpu, creg}
+			fr, ok := tm[k]
+			if !ok {
+				fr = in.rng.Intn(2) == 0
+				tm[k] = fr
+			}
+			if fr && freeze < 0 {
+				freeze = i
+			}
+		}
+	}
+	if delay > 0 {
+		in.totalLatency += delay
+		if in.sleep != nil {
+			in.sleep(delay)
+		}
+	}
+	if freeze >= 0 {
+		k := regKey{cpu, creg}
+		fm := in.frozen[freeze]
+		if fm == nil {
+			fm = make(map[regKey]uint64)
+			in.frozen[freeze] = fm
+		}
+		if v, ok := fm[k]; ok {
+			in.noteLocked(in.sched[freeze].Class)
+			return v, nil
+		}
+		v, err := d.dev.Read(cpu, reg)
+		if err != nil {
+			return v, err
+		}
+		fm[k] = v
+		return v, nil
+	}
+	return d.dev.Read(cpu, reg)
+}
+
+// Write blocks actuation of offline CPUs (a dead core's MSRs are gone in
+// both directions) and passes everything else through untouched.
+func (d *faultDevice) Write(cpu int, reg uint32, val uint64) error {
+	in := d.in
+	creg := msr.Canonical(reg)
+	in.mu.Lock()
+	for i := range in.sched {
+		e := &in.sched[i]
+		if in.active[i] && e.Class == ClassOffline && e.Matches(cpu, creg) {
+			in.noteLocked(e.Class)
+			in.mu.Unlock()
+			return fmt.Errorf("fault: cpu%d offline, write %s: %w",
+				cpu, msr.RegName(creg), ErrInjected)
+		}
+	}
+	in.mu.Unlock()
+	return d.dev.Write(cpu, reg, val)
+}

@@ -1,0 +1,266 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/metrics"
+	"repro/internal/msr"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// countingDevice serves monotonically increasing values and counts access.
+type countingDevice struct {
+	reads, writes int
+	val           uint64
+}
+
+func (d *countingDevice) Read(cpu int, reg uint32) (uint64, error) {
+	d.reads++
+	d.val++
+	return d.val, nil
+}
+
+func (d *countingDevice) Write(cpu int, reg uint32, val uint64) error {
+	d.writes++
+	return nil
+}
+
+func window(class Class, mut func(*Entry)) Schedule {
+	e := Entry{At: 0, For: time.Second, Class: class, CPU: -1, Prob: 1}
+	if mut != nil {
+		mut(&e)
+	}
+	return Schedule{e}
+}
+
+func TestEIOFailsReadsOnlyInsideWindow(t *testing.T) {
+	inner := &countingDevice{}
+	in := New(window(ClassEIO, nil), 1)
+	dev := in.WrapDevice(inner)
+
+	in.AdvanceTo(0)
+	if _, err := dev.Read(0, msr.IA32Aperf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("inside window: err = %v, want ErrInjected", err)
+	}
+	if inner.reads != 0 {
+		t.Fatalf("failed read leaked to inner device (%d reads)", inner.reads)
+	}
+	in.AdvanceTo(2 * time.Second)
+	if _, err := dev.Read(0, msr.IA32Aperf); err != nil {
+		t.Fatalf("after window: %v", err)
+	}
+	if got := in.Effects(ClassEIO); got != 1 {
+		t.Fatalf("effects = %d, want 1", got)
+	}
+}
+
+func TestEIOProbabilityIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(window(ClassEIO, func(e *Entry) { e.Prob = 0.5 }), seed)
+		dev := in.WrapDevice(&countingDevice{})
+		in.AdvanceTo(0)
+		out := make([]bool, 64)
+		for i := range out {
+			_, err := dev.Read(0, msr.IA32Aperf)
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at read %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault patterns")
+	}
+}
+
+func TestStuckServesFrozenValue(t *testing.T) {
+	inner := &countingDevice{}
+	in := New(window(ClassStuck, nil), 1)
+	dev := in.WrapDevice(inner)
+	in.AdvanceTo(0)
+	first, err := dev.Read(0, msr.IA32Mperf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		v, err := dev.Read(0, msr.IA32Mperf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != first {
+			t.Fatalf("stuck register advanced: %d -> %d", first, v)
+		}
+	}
+	if inner.reads != 1 {
+		t.Fatalf("inner reads = %d, want 1 (cache fill only)", inner.reads)
+	}
+	// Another CPU freezes independently at its own value.
+	v2, _ := dev.Read(1, msr.IA32Mperf)
+	if v2 == first {
+		t.Fatal("cpu1 served cpu0's frozen value")
+	}
+	in.AdvanceTo(2 * time.Second)
+	v, _ := dev.Read(0, msr.IA32Mperf)
+	if v == first {
+		t.Fatal("register still frozen after window closed")
+	}
+}
+
+func TestTornFreezesSubsetOfRegisters(t *testing.T) {
+	// With one register per read key and many keys, a fair coin must both
+	// freeze some and leave some live.
+	inner := &countingDevice{}
+	in := New(window(ClassTorn, nil), 7)
+	dev := in.WrapDevice(inner)
+	in.AdvanceTo(0)
+	frozen, live := 0, 0
+	for cpu := 0; cpu < 16; cpu++ {
+		a, _ := dev.Read(cpu, msr.IA32Aperf)
+		b, _ := dev.Read(cpu, msr.IA32Aperf)
+		if a == b {
+			frozen++
+		} else {
+			live++
+		}
+	}
+	if frozen == 0 || live == 0 {
+		t.Fatalf("torn split frozen=%d live=%d, want both nonzero", frozen, live)
+	}
+}
+
+func TestLatencyAccountsAndSleeps(t *testing.T) {
+	in := New(window(ClassLatency, func(e *Entry) { e.Delay = 3 * time.Millisecond }), 1)
+	var slept time.Duration
+	in.WithSleep(func(d time.Duration) { slept += d })
+	dev := in.WrapDevice(&countingDevice{})
+	in.AdvanceTo(0)
+	for i := 0; i < 4; i++ {
+		if _, err := dev.Read(0, msr.IA32Aperf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := 12 * time.Millisecond; slept != want || in.TotalLatency() != want {
+		t.Fatalf("slept %v, accounted %v, want %v", slept, in.TotalLatency(), want)
+	}
+}
+
+func TestOfflineBlocksReadsAndWrites(t *testing.T) {
+	inner := &countingDevice{}
+	in := New(window(ClassOffline, func(e *Entry) { e.CPU = 2 }), 1)
+	dev := in.WrapDevice(inner)
+	in.AdvanceTo(0)
+	if _, err := dev.Read(2, msr.IA32Aperf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read of offline cpu: %v", err)
+	}
+	if err := dev.Write(2, msr.IA32PerfCtl, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write to offline cpu: %v", err)
+	}
+	if _, err := dev.Read(1, msr.IA32Aperf); err != nil {
+		t.Fatalf("other cpu affected: %v", err)
+	}
+	if err := dev.Write(1, msr.IA32PerfCtl, 1); err != nil {
+		t.Fatalf("other cpu write affected: %v", err)
+	}
+}
+
+func TestPlatformFaultsDriveMachineAndFlight(t *testing.T) {
+	chip := platform.Skylake()
+	m, err := sim.New(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pin(workload.NewInstance(workload.MustByName("gcc")), 0); err != nil {
+		t.Fatal(err)
+	}
+	rec := flight.New(flight.DefaultCapacity)
+	rec.SetClock(m.Now)
+	sched, err := ParseSchedule(`
+at 10ms for 20ms thermal cap=1200MHz
+at 15ms for 10ms rapl limit=30W
+at 40ms for 20ms offline cpu=0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(sched, 1)
+	in.Flight(rec)
+	reg := metrics.NewRegistry()
+	in.Instrument(reg)
+	in.Drive(m)
+
+	m.Run(12 * time.Millisecond)
+	if got := m.ThermalCap(); got != 1200*units.MHz {
+		t.Fatalf("thermal cap = %v, want 1200 MHz", got)
+	}
+	if in.ActiveWindows() != 1 {
+		t.Fatalf("active windows = %d, want 1", in.ActiveWindows())
+	}
+	m.Run(8 * time.Millisecond) // t=20ms: rapl window open
+	if got := m.Limiter().Limit(); got != 30 {
+		t.Fatalf("rapl limit = %v, want 30 W", got)
+	}
+	m.Run(15 * time.Millisecond) // t=35ms: both cleared
+	if m.ThermalCap() != 0 {
+		t.Fatalf("thermal cap not restored: %v", m.ThermalCap())
+	}
+	if got := m.Limiter().Limit(); got == 30 {
+		t.Fatalf("rapl limit not restored: %v", got)
+	}
+	m.Run(10 * time.Millisecond) // t=45ms: core 0 offline
+	if !m.Offline(0) {
+		t.Fatal("core 0 should be offline")
+	}
+	m.Run(20 * time.Millisecond) // t=65ms: back online
+	if m.Offline(0) {
+		t.Fatal("core 0 should be back online")
+	}
+
+	// Every transition must be in the flight ring: 3 injects, 3 clears.
+	injects, clears := 0, 0
+	for _, ev := range rec.Snapshot() {
+		switch ev.Kind {
+		case flight.KindFaultInject:
+			injects++
+		case flight.KindFaultClear:
+			clears++
+		}
+	}
+	if injects != 3 || clears != 3 {
+		t.Fatalf("flight saw %d injects, %d clears; want 3 and 3", injects, clears)
+	}
+}
+
+func TestFlightCodesCoverAllClasses(t *testing.T) {
+	seen := map[uint32]bool{}
+	for c := Class(0); c < numClasses; c++ {
+		code := c.FlightCode()
+		if code == ^uint32(0) {
+			t.Fatalf("class %s has no flight code", c)
+		}
+		if seen[code] {
+			t.Fatalf("class %s shares a flight code", c)
+		}
+		seen[code] = true
+		if flight.FaultName(code) != c.String() {
+			t.Fatalf("flight name %q != class name %q", flight.FaultName(code), c)
+		}
+	}
+}

@@ -68,6 +68,7 @@ const (
 	ConstraintRAPLCap
 	ConstraintAVXLicence
 	ConstraintTurbo
+	ConstraintThermal
 )
 
 var constraintCodes = map[string]uint32{
@@ -76,6 +77,7 @@ var constraintCodes = map[string]uint32{
 	"rapl-cap":    ConstraintRAPLCap,
 	"avx-licence": ConstraintAVXLicence,
 	"turbo":       ConstraintTurbo,
+	"thermal":     ConstraintThermal,
 }
 
 var constraintNames = func() map[uint32]string {
@@ -93,6 +95,60 @@ func ConstraintCode(name string) uint32 { return constraintCodes[name] }
 func ConstraintFromCode(c uint32) string {
 	if s, ok := constraintNames[c]; ok {
 		return s
+	}
+	return "unknown"
+}
+
+// Fault class codes carried in Event.Arg of KindFaultInject/KindFaultClear
+// events. They mirror internal/fault's class vocabulary; like reason codes
+// they are part of the dump format and may only be appended to.
+const (
+	FaultEIO uint32 = iota
+	FaultStuck
+	FaultTorn
+	FaultLatency
+	FaultThermal
+	FaultRAPL
+	FaultOffline
+)
+
+// FaultName names a fault class code for reports.
+func FaultName(c uint32) string {
+	switch c {
+	case FaultEIO:
+		return "eio"
+	case FaultStuck:
+		return "stuck"
+	case FaultTorn:
+		return "torn"
+	case FaultLatency:
+		return "latency"
+	case FaultThermal:
+		return "thermal"
+	case FaultRAPL:
+		return "rapl"
+	case FaultOffline:
+		return "offline"
+	}
+	return "unknown"
+}
+
+// Health codes carried in Event.Arg of KindHealth events: the daemon's
+// per-core health state machine degrading a core (policy input frozen at the
+// last good sample, actuation forced to the safe floor) or re-admitting it
+// after sustained healthy telemetry.
+const (
+	HealthDegraded uint32 = iota
+	HealthReadmitted
+)
+
+// HealthName names a health transition code for reports.
+func HealthName(c uint32) string {
+	switch c {
+	case HealthDegraded:
+		return "degraded"
+	case HealthReadmitted:
+		return "readmitted"
 	}
 	return "unknown"
 }

@@ -36,6 +36,7 @@ const (
 	SourceDaemon               // control-loop decisions and actuations
 	SourceRAPL                 // hardware power limiter cap movements
 	SourceSim                  // simulated C-state and constraint transitions
+	SourceFault                // fault-injector window transitions
 	numSources
 )
 
@@ -50,6 +51,8 @@ func (s Source) String() string {
 		return "rapl"
 	case SourceSim:
 		return "sim"
+	case SourceFault:
+		return "fault"
 	}
 	return "unknown"
 }
@@ -88,6 +91,18 @@ const (
 	// effective frequency: Arg is a Constraint* code. AVX-licence
 	// transitions appear here as ConstraintAVXLicence.
 	KindConstraint
+	// KindFaultInject / KindFaultClear record a fault-injector window
+	// opening or closing: Arg is a Fault* class code, Core the target CPU
+	// (-1 for package scope), Value the class parameter (thermal cap in Hz,
+	// RAPL limit in µW, latency in ns) — on clear, the value being
+	// restored. Platform-level fault events are replay inputs: the
+	// replayer re-applies them to the rebuilt machine.
+	KindFaultInject
+	KindFaultClear
+	// KindHealth records the daemon's per-core health state machine moving:
+	// Arg is a Health* code, Core the affected CPU, Value the telemetry
+	// status code that triggered the transition.
+	KindHealth
 )
 
 // String names the kind for reports.
@@ -111,6 +126,12 @@ func (k Kind) String() string {
 		return "cstate-wake"
 	case KindConstraint:
 		return "constraint"
+	case KindFaultInject:
+		return "fault-inject"
+	case KindFaultClear:
+		return "fault-clear"
+	case KindHealth:
+		return "health"
 	}
 	return "unknown"
 }

@@ -119,8 +119,8 @@ func TestConcurrentRecordAndSnapshot(t *testing.T) {
 	wg.Wait()
 	close(stop)
 	<-snapDone
-	if r.Total() != 4*2000 {
-		t.Fatalf("total = %d", r.Total())
+	if want := uint64(numSources) * 2000; r.Total() != want {
+		t.Fatalf("total = %d, want %d", r.Total(), want)
 	}
 }
 

@@ -1,0 +1,80 @@
+package flight
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// validDumpBytes encodes a small real dump for the fuzz corpus.
+func validDumpBytes(tb testing.TB) []byte {
+	tb.Helper()
+	r := New(64)
+	r.MergeMeta(Meta{Chip: "skylake", NumCores: 2, TickNS: 1e6, NomHz: 2.2e9})
+	r.Record(Event{Kind: KindMSRRead, Source: SourceMSR, Core: 0, Arg: 0xE8, Value: 123})
+	r.Record(Event{Kind: KindMSRWrite, Source: SourceMSR, Core: 1, Arg: 0x199, Value: 22})
+	r.Record(Event{Kind: KindFaultInject, Source: SourceFault, Core: -1, Arg: FaultThermal, Value: 1.2e9})
+	r.Record(Event{Kind: KindHealth, Source: SourceDaemon, Core: 1, Arg: HealthDegraded})
+	var buf bytes.Buffer
+	if err := r.Dump("fuzz-seed").Encode(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadDump feeds arbitrary bytes to the dump parser. The parser must
+// never panic or allocate unboundedly, and anything it accepts must survive
+// an encode/decode round trip with its events intact.
+func FuzzReadDump(f *testing.F) {
+	valid := validDumpBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-13]) // truncated mid-record
+	f.Add(valid[:9])             // truncated mid-header-length
+	f.Add([]byte("PADFR001"))    // magic only
+	f.Add([]byte("not a dump at all"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadDump(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := d.Encode(&buf); err != nil {
+			t.Fatalf("accepted dump failed to re-encode: %v", err)
+		}
+		d2, err := ReadDump(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded dump rejected: %v", err)
+		}
+		if len(d2.Events) != len(d.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(d.Events), len(d2.Events))
+		}
+		for i := range d.Events {
+			if d.Events[i] != d2.Events[i] {
+				t.Fatalf("event %d changed: %+v -> %+v", i, d.Events[i], d2.Events[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeRecord hammers the fixed-size record codec directly: any
+// 56-byte pattern must decode, re-encode, and decode to the same event.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add(make([]byte, recordSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < recordSize {
+			return
+		}
+		var b [recordSize]byte
+		copy(b[:], data)
+		e := decodeRecord(&b)
+		var b2 [recordSize]byte
+		encodeRecord(&b2, e)
+		if e2 := decodeRecord(&b2); e != e2 {
+			t.Fatalf("record round trip diverged: %+v vs %+v", e, e2)
+		}
+		_ = e.Kind.String()
+		_ = e.Source.String()
+		_ = time.Duration(e.Time).String()
+	})
+}

@@ -206,6 +206,14 @@ func Replay(d flight.Dump) (*Result, error) {
 			}
 			// ActSetFreq is informational: the actual input is the
 			// PERF_CTL write already replayed above.
+		case flight.KindFaultInject, flight.KindFaultClear:
+			// Platform-level faults perturb the machine outside the MSR
+			// path, so they are replay inputs. Device-level fault classes
+			// (eio, stuck, torn, latency) only perturbed the control
+			// plane, whose resulting writes are already in the log.
+			if err := applyFault(m, ev); err != nil {
+				return nil, fmt.Errorf("replay: seq %d t=%v: %w", ev.Seq, ev.Time, err)
+			}
 		}
 		// Decisions, RAPL cap moves, C-state transitions, and constraint
 		// changes are outputs of the run, not inputs: the replayed machine
@@ -214,6 +222,25 @@ func Replay(d flight.Dump) (*Result, error) {
 	res.RecordedFreq, res.RecordedPower = rec.freq, rec.power
 	res.ReplayedFreq, res.ReplayedPower = rep.freq, rep.power
 	return res, nil
+}
+
+// applyFault re-applies one recorded platform-fault transition to the
+// replayed machine. Inject events carry the fault parameter; clear events
+// carry the value being restored, so both directions are plain
+// applications.
+func applyFault(m *sim.Machine, ev flight.Event) error {
+	switch ev.Arg {
+	case flight.FaultThermal:
+		m.SetThermalCap(units.Hertz(ev.Value))
+	case flight.FaultRAPL:
+		m.SetPowerLimit(units.Watts(float64(ev.Value) / 1e6))
+	case flight.FaultOffline:
+		if err := m.SetOffline(int(ev.Core), ev.Kind == flight.KindFaultInject); err != nil {
+			return fmt.Errorf("%s core %d: %w", flight.FaultName(ev.Arg), ev.Core, err)
+		}
+	}
+	// Device-level classes carry no machine state: nothing to apply.
+	return nil
 }
 
 // deriver recomputes the daemon's derived telemetry from a stream of MSR

@@ -49,6 +49,13 @@ type Chip struct {
 	// RAPLMin and RAPLMax bound the valid package power limit range.
 	RAPLMin, RAPLMax units.Watts
 
+	// DegradedFloor is the safe P-state the control plane falls back to
+	// for a core whose telemetry has gone stale or dark: slow enough that
+	// a core running blind cannot blow the package power budget, fast
+	// enough that its application keeps making progress. Zero means "use
+	// the chip's minimum frequency".
+	DegradedFloor units.Hertz
+
 	// NormFreq is the frequency the paper normalises performance to
 	// (2.2 GHz on Skylake, 3.0 GHz on Ryzen).
 	NormFreq units.Hertz
@@ -91,7 +98,20 @@ func (c Chip) Validate() error {
 	if c.NormFreq < c.Freq.Min || c.NormFreq > c.Freq.Max() {
 		return fmt.Errorf("platform %s: NormFreq %v outside frequency range", c.Name, c.NormFreq)
 	}
+	if c.DegradedFloor != 0 && (c.DegradedFloor < c.Freq.Min || c.DegradedFloor > c.Freq.Max()) {
+		return fmt.Errorf("platform %s: DegradedFloor %v outside frequency range", c.Name, c.DegradedFloor)
+	}
 	return nil
+}
+
+// SafeFloor returns the frequency the control plane programs on a core it
+// can no longer trust: the chip's DegradedFloor, or its minimum frequency
+// when none is configured.
+func (c Chip) SafeFloor() units.Hertz {
+	if c.DegradedFloor > 0 {
+		return c.DegradedFloor
+	}
+	return c.Freq.Min
 }
 
 // Skylake returns the paper's Intel platform: Xeon-SP 4114, one socket,
@@ -137,6 +157,7 @@ func Skylake() Chip {
 		MaxSimultaneousPStates: 0,
 		RAPLMin:                20,
 		RAPLMax:                85,
+		DegradedFloor:          800 * units.MHz,
 		NormFreq:               2200 * units.MHz,
 	}
 }
@@ -185,6 +206,7 @@ func Ryzen() Chip {
 		MaxSimultaneousPStates: 3,
 		RAPLMin:                15,
 		RAPLMax:                95,
+		DegradedFloor:          400 * units.MHz,
 		NormFreq:               3000 * units.MHz,
 	}
 }

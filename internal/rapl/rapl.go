@@ -21,6 +21,7 @@ package rapl
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/cpu"
@@ -144,6 +145,14 @@ func (l *Limiter) Average() units.Watts { return l.avg.value() }
 func (l *Limiter) Observe(pkg units.Watts, dt time.Duration) units.Hertz {
 	if dt <= 0 {
 		return l.cap
+	}
+	// A lying energy counter (fault injection, torn multi-register sample)
+	// can hand the controller NaN, ±Inf, or a negative wattage. None of
+	// these may poison the running average or move the cap — a zero-clamped
+	// negative would read as full headroom and wrongly release — so hold
+	// the last sane sample instead.
+	if f := float64(pkg); math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+		pkg = l.last
 	}
 	l.avg.add(pkg, dt)
 	l.last = pkg

@@ -66,6 +66,14 @@ type Machine struct {
 	lastEff []units.Hertz        // effective frequency of the previous tick
 	limiter *rapl.Limiter
 
+	// thermalCap models a thermal excursion: a package-wide frequency
+	// clamp the firmware imposes regardless of P-state requests, RAPL
+	// state, or turbo grants. Zero means no excursion.
+	thermalCap units.Hertz
+	// offline marks cores that have died mid-run (hot-unplug, MCE): they
+	// execute nothing and stay parked until brought back online.
+	offline []bool
+
 	clock      time.Duration
 	dt         time.Duration
 	raplCfg    rapl.Config
@@ -112,6 +120,7 @@ func New(chip platform.Chip, opts ...Option) (*Machine, error) {
 		dt:         time.Millisecond,
 		unit:       msr.EnergyUnit{ESU: 14},
 		energyCore: make([]units.Joules, chip.NumCores),
+		offline:    make([]bool, chip.NumCores),
 	}
 	for _, o := range opts {
 		o(m)
@@ -242,10 +251,14 @@ func (m *Machine) Request(core int) units.Hertz { return m.cores[core].Request }
 
 // SetIdle forces a core in or out of a deep C-state. Idling a core that
 // hosts an application suspends the application (the paper's priority
-// policy starves low-priority applications this way).
+// policy starves low-priority applications this way). Offline cores cannot
+// be woken.
 func (m *Machine) SetIdle(core int, idle bool) error {
 	if core < 0 || core >= len(m.cores) {
 		return fmt.Errorf("sim: core %d out of range", core)
+	}
+	if !idle && m.offline[core] {
+		return fmt.Errorf("sim: core %d is offline", core)
 	}
 	if !idle && m.apps[core] == nil {
 		return fmt.Errorf("sim: core %d has no application to wake", core)
@@ -256,6 +269,45 @@ func (m *Machine) SetIdle(core int, idle bool) error {
 
 // Idle reports whether a core is parked.
 func (m *Machine) Idle(core int) bool { return m.cores[core].Idle }
+
+// SetThermalCap imposes (or, with zero, lifts) a package-wide thermal
+// frequency clamp: every core's effective frequency is limited to f no
+// matter what is requested or granted, the way a thermal excursion forces
+// an abrupt frequency collapse on real silicon.
+func (m *Machine) SetThermalCap(f units.Hertz) {
+	if f < 0 {
+		f = 0
+	}
+	m.thermalCap = f
+}
+
+// ThermalCap reports the active thermal clamp (0 when none).
+func (m *Machine) ThermalCap() units.Hertz { return m.thermalCap }
+
+// SetOffline takes a core out of (or returns it to) service mid-run. An
+// offline core executes nothing — it behaves like a dead core — and
+// SetIdle cannot wake it. Bringing a core back online resumes its pinned
+// application, if any.
+func (m *Machine) SetOffline(core int, off bool) error {
+	if core < 0 || core >= len(m.cores) {
+		return fmt.Errorf("sim: core %d out of range", core)
+	}
+	m.offline[core] = off
+	if off {
+		m.cores[core].Idle = true
+	} else if m.apps[core] != nil {
+		m.cores[core].Idle = false
+	}
+	return nil
+}
+
+// Offline reports whether a core is out of service.
+func (m *Machine) Offline(core int) bool {
+	if core < 0 || core >= len(m.offline) {
+		return false
+	}
+	return m.offline[core]
+}
 
 // SetPowerLimit programs the RAPL package limit (zero disables). On chips
 // without a documented hardware limiter this still drives the simulated
@@ -268,7 +320,7 @@ func (m *Machine) SetPowerLimit(w units.Watts) { m.limiter.SetLimit(w) }
 func (m *Machine) ActiveCores() int {
 	n := 0
 	for i, c := range m.cores {
-		if c.Idle {
+		if c.Idle || m.offline[i] {
 			continue
 		}
 		if a := m.apps[i]; a != nil && !a.DutyOn() {
@@ -311,7 +363,7 @@ func (m *Machine) OnTick(fn func(dt time.Duration)) { m.hooks = append(m.hooks, 
 // C0 core count.
 func (m *Machine) effective(i int, active int) units.Hertz {
 	c := m.cores[i]
-	if c.Idle {
+	if c.Idle || m.offline[i] {
 		return 0
 	}
 	avx := false
@@ -322,7 +374,13 @@ func (m *Machine) effective(i int, active int) units.Hertz {
 		}
 		avx = a.Profile.AVX
 	}
-	return m.chip.Freq.Effective(c.Request, m.limiter.Cap(), active, avx)
+	f := m.chip.Freq.Effective(c.Request, m.limiter.Cap(), active, avx)
+	if m.thermalCap > 0 && f > m.thermalCap {
+		// A thermal clamp is not bound to P-state steps: the hardware
+		// drops to whatever frequency the excursion dictates.
+		f = m.thermalCap
+	}
+	return f
 }
 
 // corePowerAt returns the instantaneous draw of core i at frequency f.
@@ -411,7 +469,7 @@ func (m *Machine) stepIdle(i int, activeNow bool, dt time.Duration) time.Duratio
 // turbo grant. Idle (or off-duty) cores report "idle".
 func (m *Machine) constraintFor(i, active int) string {
 	c := m.cores[i]
-	if c.Idle {
+	if c.Idle || m.offline[i] {
 		return "idle"
 	}
 	a := m.apps[i]
@@ -426,11 +484,15 @@ func (m *Machine) constraintFor(i, active int) string {
 		constraint = "rapl-cap"
 	}
 	if ceil := m.chip.Freq.Ceiling(active, avx); ceil < f {
+		f = ceil
 		if avx && ceil < m.chip.Freq.Ceiling(active, false) {
 			constraint = "avx-licence"
 		} else {
 			constraint = "turbo"
 		}
+	}
+	if m.thermalCap > 0 && m.thermalCap < f {
+		constraint = "thermal"
 	}
 	return constraint
 }

@@ -3,6 +3,17 @@
 // (nominal * ΔAPERF/ΔMPERF), instructions per second (ΔFIXED_CTR0), and
 // power (Δenergy-status), plus package power — the exact variables the
 // paper records once per second to drive its policies (Section 3.1).
+//
+// Real MSR access fails in ways a control loop must survive: transient EIO
+// from the msr driver, counters that stop advancing (a stuck register file
+// looks exactly like an idle core), torn multi-register samples where APERF
+// advances while MPERF is frozen. The sampler therefore classifies every
+// core sample with a typed Status instead of conflating "zero delta" with
+// "garbage": an idle core legitimately reports 0 IPS with StatusIdle, while
+// internally inconsistent counters report StatusStale and a core whose
+// reads keep failing reports StatusDark. In resilient mode (SetResilient)
+// reads are retried with bounded backoff and a failing core is isolated
+// rather than aborting the whole sample.
 package telemetry
 
 import (
@@ -14,12 +25,50 @@ import (
 	"repro/internal/units"
 )
 
+// CoreStatus classifies the trustworthiness of one core's sample.
+type CoreStatus uint8
+
+const (
+	// StatusOK: counters advanced consistently; derived values are good.
+	StatusOK CoreStatus = iota
+	// StatusIdle: APERF, MPERF, and the instruction counter all held still
+	// — the core spent the interval parked or in a C-state. 0 IPS is the
+	// truth, not garbage.
+	StatusIdle
+	// StatusStale: counters are internally inconsistent (some advanced
+	// while others froze, or a monotonic counter went backwards). Derived
+	// values are zeroed; do not trust this core's telemetry.
+	StatusStale
+	// StatusDark: the core's MSRs could not be read at all this interval,
+	// even after retries. Only reported in resilient mode.
+	StatusDark
+	// StatusRecovering: first successful read after a non-OK interval. The
+	// baseline was re-established; derived values are zeroed because the
+	// deltas would span the outage.
+	StatusRecovering
+)
+
+var statusNames = [...]string{"ok", "idle", "stale", "dark", "recovering"}
+
+// String names the status.
+func (st CoreStatus) String() string {
+	if int(st) < len(statusNames) {
+		return statusNames[st]
+	}
+	return "unknown"
+}
+
+// Trustworthy reports whether derived values from a sample with this
+// status should feed control decisions.
+func (st CoreStatus) Trustworthy() bool { return st == StatusOK || st == StatusIdle }
+
 // CoreSample is one core's derived telemetry over an interval.
 type CoreSample struct {
 	CPU        int
 	ActiveFreq units.Hertz // 0 if the core never entered C0
 	IPS        float64
 	Power      units.Watts // per-core power; zero on platforms without it
+	Status     CoreStatus  // why the values are (or are not) trustworthy
 }
 
 // Sample is one sampling interval's telemetry.
@@ -27,7 +76,12 @@ type Sample struct {
 	At           time.Duration // virtual or wall time of the sample
 	Interval     time.Duration
 	PackagePower units.Watts
-	Cores        []CoreSample
+	// PkgStatus qualifies PackagePower: StatusStale means the energy
+	// counter froze while cores were demonstrably executing (the value is
+	// the last trustworthy reading, carried forward), StatusDark means the
+	// register was unreadable this interval.
+	PkgStatus CoreStatus
+	Cores     []CoreSample
 }
 
 // TotalIPS sums instruction throughput across cores.
@@ -39,6 +93,38 @@ func (s Sample) TotalIPS() float64 {
 	return t
 }
 
+// Healthy reports whether every core sample and the package reading are
+// trustworthy.
+func (s Sample) Healthy() bool {
+	if !s.PkgStatus.Trustworthy() {
+		return false
+	}
+	for _, c := range s.Cores {
+		if !c.Status.Trustworthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// RetryPolicy bounds how hard a resilient sampler tries to read one MSR.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per read; values below 1 are
+	// treated as 1 (no retry).
+	Attempts int
+	// Backoff is the wait before the second attempt; it doubles per
+	// further attempt. Zero means retry immediately.
+	Backoff time.Duration
+	// Sleep realises the backoff. Nil means no actual waiting, which is
+	// what virtual-time runs want: the retries still happen, the wall
+	// clock does not move.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetry is the retry policy resilient samplers get when the caller
+// does not specify one: three attempts, 50µs then 100µs apart.
+var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: 50 * time.Microsecond}
+
 // Sampler derives telemetry from successive MSR reads.
 type Sampler struct {
 	dev     msr.Device
@@ -46,6 +132,9 @@ type Sampler struct {
 	nom     units.Hertz
 	perCore bool
 	unit    msr.EnergyUnit
+
+	resilient bool
+	retry     RetryPolicy
 
 	primed    bool
 	at        time.Duration
@@ -55,18 +144,29 @@ type Sampler struct {
 	prevCore  []uint64
 	prevPkg   uint64
 
+	baseOK     []bool       // per-core baseline is valid
+	lastStatus []CoreStatus // previous interval's classification
+	pkgBaseOK  bool
+	pkgLast    CoreStatus
+	lastGoodW  units.Watts // last trustworthy package power
+
 	// Optional instrumentation; nil handles no-op.
 	mSamples    *metrics.Counter
 	mMSRReads   *metrics.Counter
 	mReadErrors *metrics.Counter
+	mRetries    *metrics.Counter
+	mStatus     *metrics.CounterVec
 }
 
 // Instrument registers the sampler's metrics on reg: samples taken, raw
-// MSR reads issued, and read errors. Safe to call with a nil registry.
+// MSR reads issued, read errors, retries, and per-status core sample
+// counts. Safe to call with a nil registry.
 func (s *Sampler) Instrument(reg *metrics.Registry) {
 	s.mSamples = reg.Counter("telemetry_samples_total", "Telemetry samples derived from MSR reads.")
 	s.mMSRReads = reg.Counter("telemetry_msr_reads_total", "Raw MSR read operations issued by the sampler.")
 	s.mReadErrors = reg.Counter("telemetry_read_errors_total", "MSR read operations that returned an error.")
+	s.mRetries = reg.Counter("telemetry_read_retries_total", "MSR reads retried after a transient failure.")
+	s.mStatus = reg.CounterVec("telemetry_core_status_total", "Core samples by trustworthiness classification.", "status")
 }
 
 // NewSampler builds a sampler over dev for nCores cores with nominal
@@ -85,39 +185,83 @@ func NewSampler(dev msr.Device, nCores int, nom units.Hertz, perCorePower bool) 
 		return nil, fmt.Errorf("telemetry: reading power unit: %w", err)
 	}
 	return &Sampler{
-		dev:       dev,
-		nCores:    nCores,
-		nom:       nom,
-		perCore:   perCorePower,
-		unit:      msr.DecodePowerUnit(uv),
-		prevAperf: make([]uint64, nCores),
-		prevMperf: make([]uint64, nCores),
-		prevInstr: make([]uint64, nCores),
-		prevCore:  make([]uint64, nCores),
+		dev:        dev,
+		nCores:     nCores,
+		nom:        nom,
+		perCore:    perCorePower,
+		unit:       msr.DecodePowerUnit(uv),
+		prevAperf:  make([]uint64, nCores),
+		prevMperf:  make([]uint64, nCores),
+		prevInstr:  make([]uint64, nCores),
+		prevCore:   make([]uint64, nCores),
+		baseOK:     make([]bool, nCores),
+		lastStatus: make([]CoreStatus, nCores),
 	}, nil
 }
 
+// SetResilient switches the sampler into resilient mode: reads are retried
+// per rp, and a core whose reads still fail is reported StatusDark (its
+// baseline held for re-admission) instead of failing the whole Sample. A
+// zero rp takes DefaultRetry.
+func (s *Sampler) SetResilient(rp RetryPolicy) {
+	if rp.Attempts < 1 {
+		rp = DefaultRetry
+	}
+	s.resilient = true
+	s.retry = rp
+}
+
 // Prime records a baseline without producing a sample. It must be called
-// once before the first Sample.
+// once before the first Sample. In resilient mode unreadable cores are
+// tolerated: they start dark and baseline on their first good read.
 func (s *Sampler) Prime() error {
-	if err := s.read(); err != nil {
+	if s.resilient {
+		s.readResilient()
+		s.primed = true
+		return nil
+	}
+	if err := s.readStrict(); err != nil {
 		return err
 	}
+	for i := range s.baseOK {
+		s.baseOK[i] = true
+	}
+	s.pkgBaseOK = true
 	s.primed = true
 	return nil
 }
 
-// readMSR wraps the device read with instrumentation.
+// readMSR wraps the device read with instrumentation and, in resilient
+// mode, bounded retry with backoff.
 func (s *Sampler) readMSR(cpu int, reg uint32) (uint64, error) {
-	s.mMSRReads.Inc()
-	v, err := s.dev.Read(cpu, reg)
-	if err != nil {
+	attempts := 1
+	if s.resilient {
+		attempts = s.retry.Attempts
+	}
+	backoff := s.retry.Backoff
+	var v uint64
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			s.mRetries.Inc()
+			if s.retry.Sleep != nil && backoff > 0 {
+				s.retry.Sleep(backoff)
+			}
+			backoff *= 2
+		}
+		s.mMSRReads.Inc()
+		v, err = s.dev.Read(cpu, reg)
+		if err == nil {
+			return v, nil
+		}
 		s.mReadErrors.Inc()
 	}
 	return v, err
 }
 
-func (s *Sampler) read() error {
+// readStrict is the fail-fast read path: the first error aborts, leaving
+// baselines partially advanced (callers treat the whole sample as lost).
+func (s *Sampler) readStrict() error {
 	for i := 0; i < s.nCores; i++ {
 		a, err := s.readMSR(i, msr.IA32Aperf)
 		if err != nil {
@@ -148,8 +292,67 @@ func (s *Sampler) read() error {
 	return nil
 }
 
+// coreRead is one core's raw counters for an interval.
+type coreRead struct {
+	aperf, mperf, instr, energy uint64
+	ok                          bool
+}
+
+// readResilient reads every core independently, isolating failures: a core
+// whose reads fail (after retries) comes back ok=false with its previous
+// baseline untouched. Returns the per-core reads, the package counter, and
+// whether the package read succeeded.
+func (s *Sampler) readResilient() (cores []coreRead, pkg uint64, pkgOK bool) {
+	cores = make([]coreRead, s.nCores)
+	for i := 0; i < s.nCores; i++ {
+		var cr coreRead
+		var err error
+		if cr.aperf, err = s.readMSR(i, msr.IA32Aperf); err != nil {
+			continue
+		}
+		if cr.mperf, err = s.readMSR(i, msr.IA32Mperf); err != nil {
+			continue
+		}
+		if cr.instr, err = s.readMSR(i, msr.IA32FixedCtr0); err != nil {
+			continue
+		}
+		if s.perCore {
+			if cr.energy, err = s.readMSR(i, msr.PP0EnergyStatus); err != nil {
+				continue
+			}
+		}
+		cr.ok = true
+		cores[i] = cr
+		// Prime path: establish the baseline directly.
+		if !s.primed {
+			s.prevAperf[i], s.prevMperf[i], s.prevInstr[i] = cr.aperf, cr.mperf, cr.instr
+			s.prevCore[i] = cr.energy
+			s.baseOK[i] = true
+		}
+	}
+	pkg, err := s.readMSR(0, msr.PkgEnergyStatus)
+	pkgOK = err == nil
+	if pkgOK && !s.primed {
+		s.prevPkg = pkg
+		s.pkgBaseOK = true
+	}
+	return cores, pkg, pkgOK
+}
+
+// noteStatus counts a classification.
+func (s *Sampler) noteStatus(st CoreStatus) {
+	if s.mStatus != nil {
+		s.mStatus.With(st.String()).Inc()
+	}
+}
+
 // Sample reads the device, derives telemetry relative to the previous read
 // over the elapsed interval dt, and advances the baseline.
+//
+// In the default (fail-fast) mode any read error aborts the sample, exactly
+// as before resilient mode existed. In resilient mode the error return is
+// reserved for misuse (Sample before Prime, bad dt): read failures degrade
+// the affected core to StatusDark instead.
 func (s *Sampler) Sample(dt time.Duration) (Sample, error) {
 	if !s.primed {
 		return Sample{}, fmt.Errorf("telemetry: Sample before Prime")
@@ -157,12 +360,15 @@ func (s *Sampler) Sample(dt time.Duration) (Sample, error) {
 	if dt <= 0 {
 		return Sample{}, fmt.Errorf("telemetry: non-positive interval %v", dt)
 	}
+	if s.resilient {
+		return s.sampleResilient(dt)
+	}
 	prevA := append([]uint64(nil), s.prevAperf...)
 	prevM := append([]uint64(nil), s.prevMperf...)
 	prevI := append([]uint64(nil), s.prevInstr...)
 	prevC := append([]uint64(nil), s.prevCore...)
 	prevPkg := s.prevPkg
-	if err := s.read(); err != nil {
+	if err := s.readStrict(); err != nil {
 		return Sample{}, err
 	}
 	s.at += dt
@@ -171,19 +377,144 @@ func (s *Sampler) Sample(dt time.Duration) (Sample, error) {
 		Interval: dt,
 		Cores:    make([]CoreSample, s.nCores),
 	}
-	sec := dt.Seconds()
+	anyExec := false
 	for i := 0; i < s.nCores; i++ {
-		cs := CoreSample{CPU: i}
-		if dm := s.prevMperf[i] - prevM[i]; dm > 0 {
-			cs.ActiveFreq = s.nom * units.Hertz(float64(s.prevAperf[i]-prevA[i])/float64(dm))
-		}
-		cs.IPS = float64(s.prevInstr[i]-prevI[i]) / sec
-		if s.perCore {
-			cs.Power = s.unit.FromCounts(msr.DeltaCounts(prevC[i], s.prevCore[i])).Power(dt)
+		cs := s.classify(i, coreRead{
+			aperf: s.prevAperf[i], mperf: s.prevMperf[i],
+			instr: s.prevInstr[i], energy: s.prevCore[i], ok: true,
+		}, prevA[i], prevM[i], prevI[i], prevC[i], dt)
+		if s.prevMperf[i] != prevM[i] {
+			anyExec = true
 		}
 		out.Cores[i] = cs
 	}
-	out.PackagePower = s.unit.FromCounts(msr.DeltaCounts(prevPkg, s.prevPkg)).Power(dt)
+	out.PackagePower, out.PkgStatus = s.pkgPower(prevPkg, s.prevPkg, true, anyExec, dt)
 	s.mSamples.Inc()
 	return out, nil
+}
+
+// sampleResilient is the degraded-tolerant sampling path.
+func (s *Sampler) sampleResilient(dt time.Duration) (Sample, error) {
+	prevA := append([]uint64(nil), s.prevAperf...)
+	prevM := append([]uint64(nil), s.prevMperf...)
+	prevI := append([]uint64(nil), s.prevInstr...)
+	prevC := append([]uint64(nil), s.prevCore...)
+	prevPkg := s.prevPkg
+	cores, pkg, pkgOK := s.readResilient()
+	s.at += dt
+	out := Sample{
+		At:       s.at,
+		Interval: dt,
+		Cores:    make([]CoreSample, s.nCores),
+	}
+	anyExec := false
+	for i := 0; i < s.nCores; i++ {
+		cs := s.classify(i, cores[i], prevA[i], prevM[i], prevI[i], prevC[i], dt)
+		if cores[i].ok && s.baseOK[i] && cores[i].mperf != prevM[i] {
+			anyExec = true
+		}
+		out.Cores[i] = cs
+	}
+	out.PackagePower, out.PkgStatus = s.pkgPower(prevPkg, pkg, pkgOK, anyExec, dt)
+	s.mSamples.Inc()
+	return out, nil
+}
+
+// classify derives one core's sample and its status, advancing that core's
+// baseline as appropriate. cur holds the freshly read counters (ok=false
+// when the read failed); prev* are the pre-read baseline.
+func (s *Sampler) classify(i int, cur coreRead, prevA, prevM, prevI, prevC uint64, dt time.Duration) CoreSample {
+	cs := CoreSample{CPU: i}
+	defer func() {
+		s.lastStatus[i] = cs.Status
+		s.noteStatus(cs.Status)
+	}()
+
+	if !cur.ok {
+		// Reads failed after retries: the core is dark. Hold the baseline
+		// (s.prev* untouched by readResilient) so a later recovery can
+		// re-baseline cleanly.
+		cs.Status = StatusDark
+		return cs
+	}
+	// Commit the new baseline; classification below decides whether the
+	// deltas derived against the old one are trustworthy.
+	s.prevAperf[i], s.prevMperf[i], s.prevInstr[i] = cur.aperf, cur.mperf, cur.instr
+	if s.perCore {
+		s.prevCore[i] = cur.energy
+	}
+	hadBase := s.baseOK[i]
+	s.baseOK[i] = true
+
+	if !hadBase || s.lastStatus[i] == StatusDark || s.lastStatus[i] == StatusStale {
+		// First good read after an outage (or ever): the old baseline is
+		// missing or spans the outage, so deltas are meaningless. Zero the
+		// derived values for one interval and resume from here — the
+		// baseline just committed makes the next interval's deltas clean.
+		cs.Status = StatusRecovering
+		return cs
+	}
+	if cur.aperf < prevA || cur.mperf < prevM || cur.instr < prevI {
+		// A monotonic 64-bit counter went backwards: the register file is
+		// lying (or the device was swapped underneath us).
+		cs.Status = StatusStale
+		return cs
+	}
+	da, dm, di := cur.aperf-prevA, cur.mperf-prevM, cur.instr-prevI
+	if da == 0 && dm == 0 && di == 0 {
+		// Nothing advanced: the core spent the whole interval out of C0.
+		// That is an idle core, not garbage — 0 IPS with a reason.
+		cs.Status = StatusIdle
+		return cs
+	}
+	if dm == 0 || da == 0 {
+		// Torn sample: C0 residency and work done must advance together.
+		// APERF moving while MPERF is frozen (or either frozen while
+		// instructions retire) is internally inconsistent.
+		cs.Status = StatusStale
+		return cs
+	}
+	cs.Status = StatusOK
+	cs.ActiveFreq = s.nom * units.Hertz(float64(da)/float64(dm))
+	cs.IPS = float64(di) / dt.Seconds()
+	if s.perCore {
+		cs.Power = s.unit.FromCounts(msr.DeltaCounts(prevC, cur.energy)).Power(dt)
+	}
+	return cs
+}
+
+// pkgPower derives package power and its status. anyExec reports whether
+// any core demonstrably executed this interval (MPERF advanced), which
+// makes a frozen energy counter implausible rather than idle.
+func (s *Sampler) pkgPower(prev, cur uint64, ok, anyExec bool, dt time.Duration) (units.Watts, CoreStatus) {
+	defer func() { s.noteStatus(s.pkgLast) }()
+	if !ok {
+		// Unreadable: carry the last trustworthy power forward so the
+		// control plane keeps a conservative estimate instead of seeing
+		// zero draw.
+		s.pkgLast = StatusDark
+		return s.lastGoodW, StatusDark
+	}
+	hadBase := s.pkgBaseOK
+	s.prevPkg, s.pkgBaseOK = cur, true
+	if !hadBase || s.pkgLast == StatusDark || s.pkgLast == StatusStale {
+		s.pkgLast = StatusRecovering
+		return s.lastGoodW, StatusRecovering
+	}
+	if cur == prev && anyExec {
+		// Cores executed but the package energy counter did not move: the
+		// counter is stuck. Zero watts while work is being done would let
+		// every policy raise frequencies without bound, so report the last
+		// good reading instead.
+		s.pkgLast = StatusStale
+		return s.lastGoodW, StatusStale
+	}
+	w := s.unit.FromCounts(msr.DeltaCounts(prev, cur)).Power(dt)
+	st := StatusOK
+	if cur == prev {
+		st = StatusIdle
+	}
+	s.pkgLast = st
+	s.lastGoodW = w
+	return w, st
 }
