@@ -1,0 +1,317 @@
+// Command powercoord runs the room-level power coordinator over remote
+// powerd daemons: it polls every node's control-plane agent, water-fills
+// the room budget over their bids, and leases each node its share — the
+// networked counterpart of the in-process cluster experiments.
+//
+// Usage:
+//
+//	powercoord -budget 200 -nodes n0=host0:9090,n1=host1:9090 \
+//	           -interval 5s -listen :9190
+//
+// Nodes may also register themselves at runtime by POSTing to
+// /v1/cluster/register on -listen (powerctl register does this).
+// Membership changes rebuild the coordinator at the next tick, re-issuing
+// the initial equal split before reallocation resumes.
+//
+// Leases make partitions safe: every grant expires after -ttl unless
+// renewed, at which point the node reverts to its fallback cap on its own.
+// Nodes that keep timing out are quarantined — their reservation decays to
+// the floor — and re-admitted on their first good report.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/powerapi"
+	"repro/internal/units"
+)
+
+// registry tracks the room's membership: the static -nodes set plus any
+// node that registered over the wire.
+type registry struct {
+	mu    sync.Mutex
+	addrs map[string]string // node name -> address
+	dirty bool              // membership changed since the last build
+}
+
+func (r *registry) add(name, addr string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.addrs[name]; ok && prev == addr {
+		return false
+	}
+	r.addrs[name] = addr
+	r.dirty = true
+	return true
+}
+
+func (r *registry) known(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.addrs[name]
+	return ok
+}
+
+// snapshot returns the membership sorted by name and clears the dirty
+// flag when take is set.
+func (r *registry) snapshot(take bool) (names, addrs []string, changed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n := range r.addrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		addrs = append(addrs, r.addrs[n])
+	}
+	changed = r.dirty
+	if take {
+		r.dirty = false
+	}
+	return names, addrs, changed
+}
+
+func main() {
+	var (
+		budget    = flag.Float64("budget", 0, "room power budget in watts (required)")
+		nodesArg  = flag.String("nodes", "", "static membership, comma-separated name=addr")
+		name      = flag.String("name", "powercoord", "coordinator name stamped into leases")
+		listen    = flag.String("listen", "", "serve /metrics and /v1/cluster/ on this address")
+		interval  = flag.Duration("interval", 5*time.Second, "reallocation interval")
+		ttl       = flag.Duration("ttl", 0, "lease TTL (0 = 3x interval)")
+		floorFrac = flag.Float64("floor-fraction", 0.5, "per-node guaranteed fraction of an equal split")
+		timeout   = flag.Duration("node-timeout", 2*time.Second, "per-attempt node call timeout")
+		retries   = flag.Int("retries", 2, "extra attempts per failed node call")
+		quarAfter = flag.Int("quarantine-after", 3, "consecutive failed steps before quarantine")
+	)
+	flag.Parse()
+	if err := run(*budget, *nodesArg, *name, *listen, *interval, *ttl, *floorFrac, *timeout, *retries, *quarAfter); err != nil {
+		fmt.Fprintln(os.Stderr, "powercoord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(budget float64, nodesArg, name, listen string, interval, ttl time.Duration,
+	floorFrac float64, timeout time.Duration, retries, quarAfter int) error {
+
+	if budget <= 0 {
+		return fmt.Errorf("-budget must be positive")
+	}
+	reg := &registry{addrs: map[string]string{}}
+	if nodesArg != "" {
+		for _, item := range strings.Split(nodesArg, ",") {
+			parts := strings.SplitN(strings.TrimSpace(item), "=", 2)
+			if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+				return fmt.Errorf("node %q: want name=addr", item)
+			}
+			reg.add(parts[0], parts[1])
+		}
+	}
+
+	mreg := metrics.NewRegistry()
+	cfg := cluster.Config{
+		Budget:          units.Watts(budget),
+		Interval:        interval,
+		FloorFraction:   floorFrac,
+		LeaseTTL:        ttl,
+		NodeTimeout:     timeout,
+		Retries:         retries,
+		QuarantineAfter: quarAfter,
+		Metrics:         mreg,
+	}
+
+	var (
+		mu    sync.Mutex
+		coord *cluster.Coordinator
+		names []string
+	)
+
+	if listen != "" {
+		l, err := net.Listen("tcp", listen)
+		if err != nil {
+			return fmt.Errorf("listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc(powerapi.ClusterPrefix+"register", func(w http.ResponseWriter, r *http.Request) {
+			msg, ok := readClusterMsg(w, r, powerapi.KindRegister)
+			if !ok {
+				return
+			}
+			reg2 := msg.(*powerapi.Register)
+			if reg2.Node == "" || reg2.Addr == "" {
+				writeClusterErr(w, http.StatusBadRequest, powerapi.CodeInvalid, "register needs node and addr")
+				return
+			}
+			if reg.add(reg2.Node, reg2.Addr) {
+				fmt.Printf("powercoord: node %s registered at %s\n", reg2.Node, reg2.Addr)
+			}
+			writeClusterMsg(w, http.StatusOK, &powerapi.RegisterAck{Accepted: true})
+		})
+		mux.HandleFunc(powerapi.ClusterPrefix+"heartbeat", func(w http.ResponseWriter, r *http.Request) {
+			msg, ok := readClusterMsg(w, r, powerapi.KindHeartbeat)
+			if !ok {
+				return
+			}
+			hb := msg.(*powerapi.Heartbeat)
+			writeClusterMsg(w, http.StatusOK, &powerapi.HeartbeatAck{Known: reg.known(hb.Node)})
+		})
+		mux.HandleFunc(powerapi.ClusterPrefix+"status", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				w.Header().Set("Allow", http.MethodGet)
+				writeClusterErr(w, http.StatusMethodNotAllowed, powerapi.CodeBadRequest, "status requires GET")
+				return
+			}
+			mu.Lock()
+			c, ns := coord, append([]string(nil), names...)
+			mu.Unlock()
+			writeRoomStatus(w, units.Watts(budget), c, ns)
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", http.MethodGet)
+				http.Error(w, "GET required", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = mreg.WritePrometheus(w)
+		})
+		hsrv := &http.Server{Handler: mux}
+		go func() { _ = hsrv.Serve(l) }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = hsrv.Shutdown(ctx)
+		}()
+		fmt.Printf("powercoord: serving http://%s (/metrics, %sstatus)\n", l.Addr(), powerapi.ClusterPrefix)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	fmt.Printf("powercoord: %v budget, %v interval\n", units.Watts(budget), interval)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		ns, addrs, changed := reg.snapshot(true)
+		if len(ns) == 0 {
+			fmt.Println("powercoord: no nodes yet; waiting for registrations")
+		} else if changed || func() bool { mu.Lock(); defer mu.Unlock(); return coord == nil }() {
+			ts := make([]cluster.Transport, len(ns))
+			for i := range ns {
+				ts[i] = cluster.NewHTTPNode(ns[i], addrs[i], name)
+			}
+			c, err := cluster.NewOverTransports(ts, cfg)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			coord, names = c, ns
+			mu.Unlock()
+			fmt.Printf("powercoord: coordinating %d node(s): %s\n", len(ns), strings.Join(ns, ", "))
+		}
+		mu.Lock()
+		c := coord
+		mu.Unlock()
+		if c != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			err := c.Step(ctx)
+			cancel()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "powercoord: step:", err)
+			}
+		}
+		select {
+		case sig := <-stop:
+			fmt.Printf("powercoord: %v, shutting down (leases will expire on their own)\n", sig)
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+// RoomStatus is the /v1/cluster/status payload.
+type RoomStatus struct {
+	BudgetWatts     float64    `json:"budget_watts"`
+	TotalPowerWatts float64    `json:"total_power_watts"`
+	Reallocations   int        `json:"reallocations"`
+	Nodes           []RoomNode `json:"nodes"`
+}
+
+// RoomNode is one node's row in a RoomStatus.
+type RoomNode struct {
+	Name        string  `json:"name"`
+	LimitWatts  float64 `json:"limit_watts"`
+	Quarantined bool    `json:"quarantined,omitempty"`
+}
+
+func writeRoomStatus(w http.ResponseWriter, budget units.Watts, c *cluster.Coordinator, names []string) {
+	st := RoomStatus{BudgetWatts: float64(budget), Nodes: []RoomNode{}}
+	if c != nil {
+		st.TotalPowerWatts = float64(c.TotalPower())
+		st.Reallocations = c.Reallocations()
+		limits := c.Limits()
+		for i, n := range names {
+			st.Nodes = append(st.Nodes, RoomNode{
+				Name:        n,
+				LimitWatts:  float64(limits[i]),
+				Quarantined: c.Quarantined(i),
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}
+
+// writeClusterMsg, writeClusterErr, and readClusterMsg mirror the node
+// agent's envelope plumbing for the coordinator's endpoints.
+func writeClusterMsg(w http.ResponseWriter, status int, msg any) {
+	data, err := powerapi.Marshal(msg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", powerapi.ContentType)
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+func writeClusterErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeClusterMsg(w, status, &powerapi.ErrorReply{Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+func readClusterMsg(w http.ResponseWriter, r *http.Request, want string) (any, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeClusterErr(w, http.StatusMethodNotAllowed, powerapi.CodeBadRequest, "%s requires POST", r.URL.Path)
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeClusterErr(w, http.StatusBadRequest, powerapi.CodeBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	msg, err := powerapi.UnmarshalAs(data, want)
+	if err != nil {
+		writeClusterErr(w, http.StatusBadRequest, powerapi.CodeBadRequest, "%v", err)
+		return nil, false
+	}
+	return msg, true
+}

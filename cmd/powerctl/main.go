@@ -1,0 +1,205 @@
+// Command powerctl is the operator CLI of the power control plane: it
+// inspects and live-reconfigures a running powerd daemon through its
+// /v1/power/ endpoints, and registers nodes with a powercoord.
+//
+// Usage:
+//
+//	powerctl -node host:9090 status
+//	powerctl -node host:9090 set-policy priority-shares
+//	powerctl -node host:9090 set-limit 42
+//	powerctl -node host:9090 set-shares gcc=70,cam4=30
+//	powerctl -node host:9090 set-priorities gcc=hp,cam4=lp
+//	powerctl -node host:9090 drain on|off
+//	powerctl -coord host:9190 register n3 host3:9090
+//
+// set-policy, set-limit, set-shares, and set-priorities may be combined in
+// one invocation; the daemon applies them as a single validated change
+// between control intervals, without restarting or dropping a sample.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/powerapi"
+)
+
+func main() {
+	var (
+		node    = flag.String("node", "", "node address (powerd -listen) for node commands")
+		coord   = flag.String("coord", "", "coordinator address (powercoord -listen) for register")
+		timeout = flag.Duration("timeout", 5*time.Second, "request timeout")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: powerctl [-node addr | -coord addr] <command> [args]\n\ncommands:\n"+
+				"  status                      node control-plane status\n"+
+				"  set-policy <name>           switch the running policy\n"+
+				"  set-limit <watts>           change the power limit\n"+
+				"  set-shares a=N,b=M          change per-app shares\n"+
+				"  set-priorities a=hp,b=lp    change per-app priorities\n"+
+				"  drain on|off                toggle drain mode\n"+
+				"  register <name> <addr>      register a node with -coord\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := dispatch(ctx, *node, *coord, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "powerctl:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(ctx context.Context, node, coord string, args []string) error {
+	cmd, rest := args[0], args[1:]
+	if cmd == "register" {
+		if coord == "" {
+			return fmt.Errorf("register needs -coord")
+		}
+		if len(rest) != 2 {
+			return fmt.Errorf("register wants <name> <addr>")
+		}
+		ack, err := powerapi.NewCoordClient(coord).Register(ctx, rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		if !ack.Accepted {
+			return fmt.Errorf("coordinator refused: %s", ack.Reason)
+		}
+		fmt.Printf("registered %s at %s\n", rest[0], rest[1])
+		return nil
+	}
+
+	if node == "" {
+		return fmt.Errorf("%s needs -node", cmd)
+	}
+	c := powerapi.NewClient(node)
+
+	// The reconfigure verbs compose: walk the args as verb/value pairs and
+	// send one combined message.
+	rc := &powerapi.Reconfigure{}
+	reconfig := false
+	for len(args) > 0 {
+		cmd, rest = args[0], args[1:]
+		switch cmd {
+		case "status":
+			if reconfig {
+				return fmt.Errorf("status does not combine with reconfiguration")
+			}
+			return status(ctx, c)
+		case "drain":
+			if len(rest) < 1 || (rest[0] != "on" && rest[0] != "off") {
+				return fmt.Errorf("drain wants on or off")
+			}
+			ack, err := c.Drain(ctx, rest[0] == "on")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("draining: %v\n", ack.Draining)
+			return nil
+		case "set-policy":
+			if len(rest) < 1 {
+				return fmt.Errorf("set-policy wants a policy name")
+			}
+			rc.Policy, reconfig = rest[0], true
+			args = rest[1:]
+		case "set-limit":
+			if len(rest) < 1 {
+				return fmt.Errorf("set-limit wants watts")
+			}
+			w, err := strconv.ParseFloat(rest[0], 64)
+			if err != nil {
+				return fmt.Errorf("set-limit: %w", err)
+			}
+			rc.LimitWatts, reconfig = w, true
+			args = rest[1:]
+		case "set-shares":
+			if len(rest) < 1 {
+				return fmt.Errorf("set-shares wants a=N,b=M")
+			}
+			m, err := parsePairs(rest[0])
+			if err != nil {
+				return err
+			}
+			rc.Shares = map[string]int{}
+			for app, v := range m {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("shares for %s: %w", app, err)
+				}
+				rc.Shares[app] = n
+			}
+			reconfig = true
+			args = rest[1:]
+		case "set-priorities":
+			if len(rest) < 1 {
+				return fmt.Errorf("set-priorities wants a=hp,b=lp")
+			}
+			m, err := parsePairs(rest[0])
+			if err != nil {
+				return err
+			}
+			rc.Priorities = m
+			reconfig = true
+			args = rest[1:]
+		default:
+			return fmt.Errorf("unknown command %q", cmd)
+		}
+	}
+	if !reconfig {
+		return fmt.Errorf("nothing to do")
+	}
+	ack, err := c.Reconfigure(ctx, rc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reconfigured: policy=%s limit=%.5gW\n", ack.Policy, ack.LimitWatts)
+	return nil
+}
+
+func parsePairs(arg string) (map[string]string, error) {
+	m := map[string]string{}
+	for _, item := range strings.Split(arg, ",") {
+		parts := strings.SplitN(strings.TrimSpace(item), "=", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("%q: want app=value", item)
+		}
+		m[parts[0]] = parts[1]
+	}
+	return m, nil
+}
+
+func status(ctx context.Context, c *powerapi.Client) error {
+	st, err := c.Status(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node       %s\n", st.Node)
+	fmt.Printf("policy     %s\n", st.Policy)
+	fmt.Printf("limit      %.5g W (fallback %.5g W, max %.5g W)\n", st.LimitWatts, st.FallbackWatts, st.MaxWatts)
+	fmt.Printf("power      %.5g W\n", st.PowerWatts)
+	fmt.Printf("iterations %d\n", st.Iterations)
+	if st.Draining {
+		fmt.Println("draining   yes")
+	}
+	if l := st.Lease; l != nil {
+		fmt.Printf("lease      #%d from %q: %.5g W, %dms left of %dms\n",
+			l.ID, l.Coordinator, l.LimitWatts, l.RemainingMS, l.TTLMS)
+	} else {
+		fmt.Println("lease      none (enforcing fallback or configured limit)")
+	}
+	for _, a := range st.Apps {
+		fmt.Printf("app        %-10s core %-3d shares %-4d %s\n", a.Name, a.Core, a.Shares, a.Priority)
+	}
+	return nil
+}

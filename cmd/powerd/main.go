@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/opconfig"
 	"repro/internal/platform"
+	"repro/internal/powerapi"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -52,6 +54,8 @@ type runOpts struct {
 	duration  time.Duration
 	tracePath string
 	listen    string
+	nodeName  string
+	fallback  units.Watts
 	pprofOn   bool
 	flightOn  bool
 	flightCap int
@@ -71,6 +75,8 @@ func main() {
 		tracePth = flag.String("trace", "", "write a per-iteration CSV time series to this file")
 		confPath = flag.String("config", "", "JSON config file (overrides -platform/-policy/-limit/-apps/-interval)")
 		listen   = flag.String("listen", "", "serve /metrics, /debug/status, /healthz on this address (e.g. :9090)")
+		nodeName = flag.String("node-name", "", "control-plane node name; serves /v1/power/ on -listen for powercoord and powerctl")
+		fallback = flag.Float64("fallback", 0, "safe cap in watts a lease expiry reverts to (0 = the configured limit)")
 		pprofOn  = flag.Bool("debug-pprof", false, "also serve /debug/pprof/ (CPU/heap/block profiles) on -listen")
 		flightOn = flag.Bool("flight", true, "run the flight recorder (MSR accesses, decisions, actuations)")
 		fltCap   = flag.Int("flight-cap", 0, "flight-recorder ring capacity per source (0 = default)")
@@ -104,6 +110,8 @@ func main() {
 		duration:  *duration,
 		tracePath: *tracePth,
 		listen:    *listen,
+		nodeName:  *nodeName,
+		fallback:  units.Watts(*fallback),
 		pprofOn:   *pprofOn,
 		flightOn:  *flightOn,
 		flightCap: *fltCap,
@@ -193,19 +201,7 @@ func run(plat, policy string, limit units.Watts, apps string, interval time.Dura
 			specs[i].BaselineIPS = p.IPS(chip.Freq.Ceiling(1, p.AVX))
 		}
 	}
-	var pol core.Policy
-	switch policy {
-	case "frequency":
-		pol, err = core.NewFrequencyShares(chip, specs, core.ShareConfig{})
-	case "performance":
-		pol, err = core.NewPerformanceShares(chip, specs, core.ShareConfig{})
-	case "power":
-		pol, err = core.NewPowerShares(chip, specs, core.ShareConfig{})
-	case "priority":
-		pol, err = core.NewPriority(chip, specs, core.PriorityConfig{Limit: limit})
-	default:
-		return fmt.Errorf("unknown policy %q", policy)
-	}
+	pol, err := opconfig.PolicyFor(policy, chip, specs, limit)
 	if err != nil {
 		return err
 	}
@@ -310,7 +306,6 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 		if lerr != nil {
 			return fmt.Errorf("observability listener: %w", lerr)
 		}
-		defer l.Close()
 		var srvOpts []obs.Option
 		if opts.pprofOn {
 			srvOpts = append(srvOpts, obs.WithPprof())
@@ -318,9 +313,39 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 		if rec != nil {
 			srvOpts = append(srvOpts, obs.WithFlight(rec))
 		}
+		if opts.nodeName != "" {
+			// The control-plane agent rides on the observability listener:
+			// coordinators lease budget and operators reconfigure through
+			// /v1/power/ on the same port.
+			agent, aerr := powerapi.NewAgent(powerapi.AgentConfig{
+				Name:       opts.nodeName,
+				Daemon:     d,
+				Fallback:   opts.fallback,
+				PolicyName: policy,
+				Metrics:    reg,
+				Flight:     rec,
+			})
+			if aerr != nil {
+				l.Close()
+				return aerr
+			}
+			defer agent.Close()
+			srvOpts = append(srvOpts, obs.WithHandler(powerapi.PathPrefix, agent.Handler()))
+		}
 		srv := obs.New(reg, journal, obs.DaemonStatusFunc(d), srvOpts...)
 		go func() { _ = srv.Serve(l) }()
+		defer func() {
+			// In-flight scrapes get a grace period instead of a reset.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if serr := srv.Shutdown(ctx); serr != nil && err == nil {
+				err = fmt.Errorf("observability shutdown: %w", serr)
+			}
+		}()
 		fmt.Printf("powerd: observability on http://%s (/metrics, /debug/status, /healthz)\n", l.Addr())
+		if opts.nodeName != "" {
+			fmt.Printf("powerd: control plane on http://%s%s (node %q)\n", l.Addr(), powerapi.PathPrefix, opts.nodeName)
+		}
 	}
 
 	fmt.Printf("powerd: %s, %s policy, %v limit, %d apps, %v virtual run\n",
@@ -329,14 +354,45 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 		fmt.Printf("powerd: fault schedule: %d windows, last closes at %v, seed %d\n",
 			len(opts.faults), opts.faults.End(), opts.faultSeed)
 	}
+	// SIGINT/SIGTERM stop the run at the next progress step, so the final
+	// table still prints and the observability server shuts down cleanly.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
 	step := opts.duration / 10
 	if step < interval {
 		step = interval
 	}
-	for elapsed := time.Duration(0); elapsed < opts.duration; elapsed += step {
-		m.Run(step)
-		if err := d.Err(); err != nil {
-			return err
+	// The machine advances in chunks much smaller than a progress step so
+	// a signal (or a coordinator-driven shutdown) is noticed within a
+	// fraction of a wall-clock second even on very long virtual runs.
+	chunk := 10 * time.Minute
+	if chunk < interval {
+		chunk = interval
+	}
+loop:
+	for elapsed := time.Duration(0); elapsed < opts.duration; {
+		target := elapsed + step
+		if target > opts.duration {
+			target = opts.duration
+		}
+		for elapsed < target {
+			select {
+			case sig := <-stop:
+				fmt.Printf("powerd: %v, shutting down\n", sig)
+				break loop
+			default:
+			}
+			c := chunk
+			if elapsed+c > target {
+				c = target - elapsed
+			}
+			m.Run(c)
+			if err := d.Err(); err != nil {
+				return err
+			}
+			elapsed += c
 		}
 		snap := d.LastSnapshot()
 		fmt.Printf("t=%-6s pkg=%-8s limit=%s\n", m.Now(), snap.PackagePower, snap.Limit)

@@ -119,6 +119,29 @@ func describe(e flight.Event) string {
 	case flight.KindHealth:
 		return fmt.Sprintf("core%-2d %s (telemetry %s)",
 			e.Core, flight.HealthName(e.Arg), telemetry.CoreStatus(e.Value))
+	case flight.KindLease:
+		node := ""
+		if e.Core >= 0 {
+			node = fmt.Sprintf("node%-2d ", e.Core)
+		}
+		s := fmt.Sprintf("%s%-8s cap=%s", node, flight.LeaseName(e.Arg), uwatts(e.Value))
+		switch e.Arg {
+		case flight.LeaseGrant, flight.LeaseRenew:
+			s += fmt.Sprintf(" ttl=%v", time.Duration(e.Aux))
+		case flight.LeaseExpire, flight.LeaseFallback:
+			s += " was=" + uwatts(e.Aux)
+		}
+		return s
+	case flight.KindReconfigure:
+		node := ""
+		if e.Core >= 0 {
+			node = fmt.Sprintf("node%-2d ", e.Core)
+		}
+		s := fmt.Sprintf("%s%-8s limit=%s", node, flight.ReconfigName(e.Arg), uwatts(e.Value))
+		if e.Arg == flight.ReconfigLimit {
+			s += " was=" + uwatts(e.Aux)
+		}
+		return s
 	}
 	return ""
 }
@@ -223,8 +246,20 @@ func anomalies(d flight.Dump) {
 	overRuns, overWorst, inOver := 0, uint64(0), false
 	throttles, burst, worstBurst := 0, 0, 0
 	parks := 0
+	expiries, fallbacks, refusals, reconfigs := 0, 0, 0, 0
 	for _, e := range d.Events {
 		switch e.Kind {
+		case flight.KindLease:
+			switch e.Arg {
+			case flight.LeaseExpire:
+				expiries++
+			case flight.LeaseFallback:
+				fallbacks++
+			case flight.LeaseRefuse:
+				refusals++
+			}
+		case flight.KindReconfigure:
+			reconfigs++
 		case flight.KindDecision:
 			if e.Aux > 0 && e.Value > e.Aux {
 				if !inOver {
@@ -260,6 +295,16 @@ func anomalies(d flight.Dump) {
 	if parks > 0 {
 		fmt.Printf("core parks: %d\n", parks)
 	}
+	if expiries > 0 || fallbacks > 0 {
+		fmt.Printf("lease expiries: %d, fallback reverts: %d (coordinator silent past TTL)\n",
+			expiries, fallbacks)
+	}
+	if refusals > 0 {
+		fmt.Printf("lease refusals: %d (draining node or invalid grant)\n", refusals)
+	}
+	if reconfigs > 0 {
+		fmt.Printf("live reconfigurations: %d\n", reconfigs)
+	}
 	// Iteration latency outliers: anything over 5x the median total.
 	sp := flight.BuildSpans(d.Events)
 	totals := make([]time.Duration, 0, len(sp))
@@ -278,7 +323,8 @@ func anomalies(d flight.Dump) {
 			}
 		}
 	}
-	if overRuns == 0 && throttles == 0 && parks == 0 {
+	if overRuns == 0 && throttles == 0 && parks == 0 &&
+		expiries == 0 && fallbacks == 0 && refusals == 0 && reconfigs == 0 {
 		fmt.Println("no anomalies found")
 	}
 }

@@ -6,10 +6,21 @@
 // periodically shifts budget from nodes with headroom to nodes whose limit
 // binds. The paper's daemon is exactly the "node-level primitive" such
 // systems need; this package closes the loop above it.
+//
+// The coordinator talks to nodes through the Transport interface: the
+// in-process implementation (New) drives simulated machines in lockstep for
+// deterministic experiments, while cmd/powercoord runs the same
+// reallocation code over remote powerd daemons via the powerapi wire
+// protocol (NewOverTransports) — with concurrent fan-out, per-node
+// timeouts, retry with backoff, quarantine of repeatedly-failing nodes, and
+// lease-based grants so a partitioned node reverts to a safe cap instead of
+// holding a stale share of the room budget.
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -18,13 +29,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/units"
 )
-
-// Node couples one simulated machine with its power-delivery daemon.
-type Node struct {
-	Name   string
-	M      *sim.Machine
-	Daemon *daemon.Daemon
-}
 
 // Config parameterises the coordinator.
 type Config struct {
@@ -38,7 +42,9 @@ type Config struct {
 	// FloorFraction is each node's guaranteed share of an equal split
 	// (default 0.5): a node never drops below
 	// FloorFraction * Budget / numNodes, so no node starves while another
-	// hoards.
+	// hoards. The floor doubles as the lease fallback cap: the sum of
+	// floors never exceeds the budget, so even a fully partitioned room
+	// stays within it.
 	FloorFraction float64
 
 	// BindMargin is how close (fractionally) measured power must sit to a
@@ -52,9 +58,34 @@ type Config struct {
 	// equal weights; otherwise one positive entry per node.
 	Weights []float64
 
+	// LeaseTTL is how long a budget grant stays valid without renewal;
+	// a node that stops hearing from the coordinator reverts to its floor
+	// when it elapses. Default 3×Interval. In-process transports cannot be
+	// partitioned and ignore it.
+	LeaseTTL time.Duration
+
+	// NodeTimeout bounds each remote node call (default 2 s).
+	NodeTimeout time.Duration
+
+	// Retries is how many extra attempts a failed node call gets within
+	// one step (default 2), waiting RetryBackoff, doubling per attempt
+	// (default 50 ms).
+	Retries      int
+	RetryBackoff time.Duration
+
+	// QuarantineAfter is how many consecutive failed steps a node may
+	// accumulate before the coordinator quarantines it: its budget
+	// reservation decays to the floor once its lease expires, and it is
+	// re-admitted on the first successful report. Default 3.
+	QuarantineAfter int
+
 	// Metrics optionally instruments the coordinator: reallocation
-	// counts, budget moved, and per-node limit gauges.
+	// counts, budget moved, per-node limit gauges, transport failures,
+	// and quarantine state.
 	Metrics *metrics.Registry
+
+	// now is the coordinator's clock; tests may override it.
+	now func() time.Time
 }
 
 func (c *Config) fill(n int) error {
@@ -83,6 +114,26 @@ func (c *Config) fill(n int) error {
 			}
 		}
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 3 * c.Interval
+	}
+	if c.NodeTimeout <= 0 {
+		c.NodeTimeout = 2 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
 	return nil
 }
 
@@ -94,21 +145,43 @@ func (c Config) weight(i int) float64 {
 	return c.Weights[i]
 }
 
-// Coordinator redistributes a power budget across nodes.
+// Coordinator redistributes a power budget across nodes reached through
+// Transports.
 type Coordinator struct {
 	cfg    Config
-	nodes  []*Node
-	limits []units.Watts
-	moves  int
+	ts     []Transport
+	nodes  []*Node // in-process set when built via New; drives Run
+	strict bool    // in-process mode: any transport error aborts the step
+
+	mu         sync.Mutex
+	limits     []units.Watts // current target limit per node
+	granted    []units.Watts // last acknowledged grant per node
+	leaseUntil []time.Time   // coordinator-side lease deadline per node
+	lastPower  []units.Watts // power from each node's last good report
+	fails      []int         // consecutive failed steps per node
+	quar       []bool        // quarantined nodes
+	moves      int
 
 	// Optional instrumentation; nil handles no-op.
 	mRealloc    *metrics.Counter
 	mMovedWatts *metrics.Counter
 	mNodeLimit  *metrics.GaugeVec
 	mTotalPower *metrics.Gauge
+	mFailures   *metrics.CounterVec
+	mQuar       *metrics.GaugeVec
 }
 
-// New builds a coordinator and programs the initial equal split.
+// Node couples one simulated machine with its power-delivery daemon.
+type Node struct {
+	Name   string
+	M      *sim.Machine
+	Daemon *daemon.Daemon
+}
+
+// New builds an in-process coordinator over simulated nodes and programs
+// the initial equal split. Transport errors (including the initial grants)
+// are strict: they abort construction and steps, preserving the
+// deterministic lockstep semantics experiments rely on.
 func New(nodes []*Node, cfg Config) (*Coordinator, error) {
 	if err := cfg.fill(len(nodes)); err != nil {
 		return nil, err
@@ -118,50 +191,142 @@ func New(nodes []*Node, cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("cluster: node %d incomplete", i)
 		}
 	}
+	ts := make([]Transport, len(nodes))
+	for i, n := range nodes {
+		ts[i] = localTransport{n}
+	}
+	c, err := newCoordinator(ts, cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	c.nodes = append([]*Node(nil), nodes...)
+	return c, nil
+}
+
+// NewOverTransports builds a coordinator over arbitrary node transports
+// (typically powerapi clients speaking to remote powerd daemons) and
+// attempts the initial equal split. Unreachable nodes do not abort
+// construction: they accumulate failures like any other step and receive
+// their grant when they come back.
+func NewOverTransports(ts []Transport, cfg Config) (*Coordinator, error) {
+	if err := cfg.fill(len(ts)); err != nil {
+		return nil, err
+	}
+	for i, t := range ts {
+		if t == nil {
+			return nil, fmt.Errorf("cluster: transport %d is nil", i)
+		}
+	}
+	return newCoordinator(ts, cfg, false)
+}
+
+func newCoordinator(ts []Transport, cfg Config, strict bool) (*Coordinator, error) {
+	n := len(ts)
 	var floorSum units.Watts
-	for range nodes {
-		floorSum += cfg.Budget * units.Watts(cfg.FloorFraction) / units.Watts(len(nodes))
+	for range ts {
+		floorSum += cfg.Budget * units.Watts(cfg.FloorFraction) / units.Watts(n)
 	}
 	if floorSum > cfg.Budget {
 		return nil, fmt.Errorf("cluster: floors %v exceed budget %v", floorSum, cfg.Budget)
 	}
 	c := &Coordinator{
-		cfg:    cfg,
-		nodes:  append([]*Node(nil), nodes...),
-		limits: make([]units.Watts, len(nodes)),
+		cfg:        cfg,
+		ts:         append([]Transport(nil), ts...),
+		strict:     strict,
+		limits:     make([]units.Watts, n),
+		granted:    make([]units.Watts, n),
+		leaseUntil: make([]time.Time, n),
+		lastPower:  make([]units.Watts, n),
+		fails:      make([]int, n),
+		quar:       make([]bool, n),
 	}
 	if reg := cfg.Metrics; reg != nil {
 		c.mRealloc = reg.Counter("cluster_reallocations_total", "Coordinator intervals that moved budget between nodes.")
 		c.mMovedWatts = reg.Counter("cluster_budget_moved_watts_total", "Total absolute budget shifted between nodes, in watts.")
 		c.mNodeLimit = reg.GaugeVec("cluster_node_limit_watts", "Current per-node power limit in watts.", "node")
 		c.mTotalPower = reg.Gauge("cluster_total_power_watts", "Instantaneous power summed across all nodes.")
+		c.mFailures = reg.CounterVec("cluster_transport_failures_total", "Node calls that failed after all retries, by node.", "node")
+		c.mQuar = reg.GaugeVec("cluster_node_quarantined", "1 while the node is quarantined for repeated failures.", "node")
 	}
-	equal := cfg.Budget / units.Watts(len(nodes))
-	for i, n := range c.nodes {
+	equal := cfg.Budget / units.Watts(n)
+	for i := range c.ts {
 		c.limits[i] = equal
-		if err := n.Daemon.SetLimit(equal); err != nil {
-			return nil, err
-		}
-		c.mNodeLimit.With(n.Name).Set(float64(equal))
+	}
+	if err := c.grantAll(context.Background(), equal); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
 
+// grantAll extends the same grant to every node; strict mode propagates the
+// first error, lenient mode records failures.
+func (c *Coordinator) grantAll(ctx context.Context, limit units.Watts) error {
+	g := Grant{Limit: limit, TTL: c.cfg.LeaseTTL, Fallback: c.floor()}
+	errs := make([]error, len(c.ts))
+	var wg sync.WaitGroup
+	for i := range c.ts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.callGrant(ctx, i, g)
+		}(i)
+	}
+	wg.Wait()
+	now := c.cfg.now()
+	for i, err := range errs {
+		if err != nil {
+			if c.strict {
+				return fmt.Errorf("cluster: node %s: %w", c.ts[i].Name(), err)
+			}
+			c.noteFailure(i)
+			continue
+		}
+		c.granted[i] = limit
+		c.leaseUntil[i] = now.Add(c.cfg.LeaseTTL)
+		c.mNodeLimit.With(c.ts[i].Name()).Set(float64(limit))
+	}
+	return nil
+}
+
+// floor is the per-node guaranteed share, which doubles as the lease
+// fallback cap.
+func (c *Coordinator) floor() units.Watts {
+	return c.cfg.Budget * units.Watts(c.cfg.FloorFraction) / units.Watts(len(c.ts))
+}
+
 // Limits reports the current per-node limits.
 func (c *Coordinator) Limits() []units.Watts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]units.Watts(nil), c.limits...)
 }
 
 // Reallocations reports how many intervals actually moved budget.
-func (c *Coordinator) Reallocations() int { return c.moves }
+func (c *Coordinator) Reallocations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.moves
+}
 
-// Run advances all nodes in lockstep for a duration of virtual time,
-// reallocating the budget every interval: each node bids its measured
+// Quarantined reports whether node i is currently quarantined.
+func (c *Coordinator) Quarantined(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quar[i]
+}
+
+// Run advances all in-process nodes in lockstep for a duration of virtual
+// time, reallocating the budget every interval: each node bids its measured
 // power, constrained nodes (power at their limit) bid extra, and the
 // budget is water-filled over the bids above per-node floors — so budget
 // flows from idle nodes to power-hungry ones while every node keeps its
-// floor (min-funding revocation again, one level up).
+// floor (min-funding revocation again, one level up). Run requires a
+// coordinator built with New; networked coordinators call Step on a
+// wall-clock ticker instead.
 func (c *Coordinator) Run(d time.Duration) error {
+	if c.nodes == nil {
+		return fmt.Errorf("cluster: Run needs in-process nodes; use Step")
+	}
 	for elapsed := time.Duration(0); elapsed < d; elapsed += c.cfg.Interval {
 		step := c.cfg.Interval
 		if rem := d - elapsed; rem < step {
@@ -173,20 +338,167 @@ func (c *Coordinator) Run(d time.Duration) error {
 				return fmt.Errorf("cluster: node %s: %w", n.Name, err)
 			}
 		}
-		if err := c.reallocate(); err != nil {
+		if err := c.Step(context.Background()); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (c *Coordinator) reallocate() error {
-	n := len(c.nodes)
-	floor := float64(c.cfg.Budget) * c.cfg.FloorFraction / float64(n)
-	bids := make([]float64, n)
-	caps := make([]float64, n)
-	for i, node := range c.nodes {
-		power := float64(node.M.PackagePower())
+// callReport fetches one node's report with per-attempt timeout and retry
+// with doubling backoff.
+func (c *Coordinator) callReport(ctx context.Context, i int) (Report, error) {
+	var lastErr error
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return Report{}, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		actx, cancel := context.WithTimeout(ctx, c.cfg.NodeTimeout)
+		r, err := c.ts[i].Report(actx)
+		cancel()
+		if err == nil {
+			return r, nil
+		}
+		lastErr = err
+	}
+	return Report{}, lastErr
+}
+
+// callGrant issues one grant with per-attempt timeout and retry.
+func (c *Coordinator) callGrant(ctx context.Context, i int, g Grant) error {
+	var lastErr error
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		actx, cancel := context.WithTimeout(ctx, c.cfg.NodeTimeout)
+		err := c.ts[i].Grant(actx, g)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// noteFailure bumps a node's consecutive-failure count and quarantines it
+// past the threshold. Caller must not hold c.mu.
+func (c *Coordinator) noteFailure(i int) {
+	c.mu.Lock()
+	c.fails[i]++
+	if c.fails[i] >= c.cfg.QuarantineAfter && !c.quar[i] {
+		c.quar[i] = true
+		c.mQuar.With(c.ts[i].Name()).Set(1)
+	}
+	c.mu.Unlock()
+	c.mFailures.With(c.ts[i].Name()).Inc()
+}
+
+// Step performs one reallocation round: fan out report requests to all
+// nodes concurrently, water-fill the budget over the healthy bids, then
+// issue grants — shrinking grants first and growing ones only afterwards,
+// so the sum of outstanding grants (plus expired nodes' fallback floors)
+// never exceeds the budget even mid-step or under partial failure.
+func (c *Coordinator) Step(ctx context.Context) error {
+	n := len(c.ts)
+	reports := make([]Report, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = c.callReport(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+
+	healthy := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			if c.strict {
+				return fmt.Errorf("cluster: node %s: %w", c.ts[i].Name(), errs[i])
+			}
+			c.noteFailure(i)
+			continue
+		}
+		c.mu.Lock()
+		c.fails[i] = 0
+		if c.quar[i] {
+			// First good report re-admits the node.
+			c.quar[i] = false
+			c.mQuar.With(c.ts[i].Name()).Set(0)
+		}
+		c.lastPower[i] = reports[i].Power
+		c.mu.Unlock()
+		healthy[i] = true
+	}
+
+	targets, moved, shifted := c.plan(reports, healthy)
+	if err := c.issueGrants(ctx, targets, healthy); err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	if moved {
+		c.moves++
+	}
+	var total units.Watts
+	for _, p := range c.lastPower {
+		total += p
+	}
+	c.mu.Unlock()
+	if moved {
+		c.mRealloc.Inc()
+		c.mMovedWatts.Add(shifted)
+	}
+	if c.nodes != nil {
+		total = c.totalMachinePower()
+	}
+	c.mTotalPower.Set(float64(total))
+	return nil
+}
+
+// plan computes per-node target limits from the healthy reports: floors
+// plus a water-fill of the distributable budget over the bids. Unhealthy
+// nodes keep their reservation — the last grant while its lease lives, the
+// fallback floor after — so the room total stays within budget no matter
+// when they come back or expire.
+func (c *Coordinator) plan(reports []Report, healthy []bool) (targets []units.Watts, moved bool, shifted float64) {
+	n := len(c.ts)
+	floor := float64(c.floor())
+	now := c.cfg.now()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var reserved float64 // held by unhealthy nodes
+	bids := make([]float64, 0, n)
+	caps := make([]float64, 0, n)
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !healthy[i] {
+			r := floor
+			if c.granted[i] > 0 && now.Before(c.leaseUntil[i]) {
+				r = float64(c.granted[i])
+			}
+			reserved += r
+			continue
+		}
+		power := float64(reports[i].Power)
 		limit := float64(c.limits[i])
 		bid := power
 		if power >= limit*(1-c.cfg.BindMargin) {
@@ -196,19 +508,24 @@ func (c *Coordinator) reallocate() error {
 		if bid < floor {
 			bid = floor
 		}
-		bids[i] = bid * c.cfg.weight(i)
-		chipMax := float64(node.M.Chip().RAPLMax)
-		caps[i] = chipMax - floor
-		if caps[i] < 0 {
-			caps[i] = 0
+		bids = append(bids, bid*c.cfg.weight(i))
+		cap := float64(reports[i].Max) - floor
+		if cap < 0 {
+			cap = 0
 		}
+		caps = append(caps, cap)
+		idx = append(idx, i)
 	}
-	distributable := float64(c.cfg.Budget) - floor*float64(n)
+
+	distributable := float64(c.cfg.Budget) - floor*float64(len(idx)) - reserved
+	if distributable < 0 {
+		distributable = 0
+	}
 	alloc := core.WaterFill(distributable, bids, caps)
-	moved := false
-	var shifted float64
-	for i, node := range c.nodes {
-		newLimit := units.Watts(floor + alloc[i])
+
+	targets = append([]units.Watts(nil), c.limits...)
+	for j, i := range idx {
+		newLimit := units.Watts(floor + alloc[j])
 		if diff := newLimit - c.limits[i]; diff > 0.5 || diff < -0.5 {
 			moved = true
 			if diff < 0 {
@@ -216,26 +533,121 @@ func (c *Coordinator) reallocate() error {
 			}
 			shifted += float64(diff)
 		}
+		targets[i] = newLimit
 		c.limits[i] = newLimit
-		if err := node.Daemon.SetLimit(newLimit); err != nil {
-			return fmt.Errorf("cluster: node %s: %w", node.Name, err)
+	}
+	return targets, moved, shifted
+}
+
+// issueGrants applies the planned targets: shrinking (or renewing equal)
+// grants fan out concurrently first; growing grants follow sequentially,
+// each capped by the headroom the acknowledged ledger still shows, so a
+// failed shrink can never combine with a successful grow to over-commit
+// the budget.
+func (c *Coordinator) issueGrants(ctx context.Context, targets []units.Watts, healthy []bool) error {
+	n := len(c.ts)
+	floor := c.floor()
+	now := c.cfg.now()
+
+	// effective is the worst-case cap the ledger must assume a node holds.
+	effective := func(i int) units.Watts {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.granted[i] > 0 && now.Before(c.leaseUntil[i]) {
+			return c.granted[i]
 		}
-		c.mNodeLimit.With(node.Name).Set(float64(newLimit))
+		return floor
 	}
-	if moved {
-		c.moves++
-		c.mRealloc.Inc()
-		c.mMovedWatts.Add(shifted)
+	grant := func(i int, limit units.Watts) error {
+		err := c.callGrant(ctx, i, Grant{Limit: limit, TTL: c.cfg.LeaseTTL, Fallback: floor})
+		if err != nil {
+			if c.strict {
+				return fmt.Errorf("cluster: node %s: %w", c.ts[i].Name(), err)
+			}
+			c.noteFailure(i)
+			return nil
+		}
+		c.mu.Lock()
+		c.granted[i] = limit
+		c.limits[i] = limit // what the node actually enforces, headroom cap included
+		c.leaseUntil[i] = c.cfg.now().Add(c.cfg.LeaseTTL)
+		c.mu.Unlock()
+		c.mNodeLimit.With(c.ts[i].Name()).Set(float64(limit))
+		return nil
 	}
-	c.mTotalPower.Set(float64(c.TotalPower()))
+
+	// Phase 1: shrinks and renewals, concurrently.
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	grows := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !healthy[i] {
+			continue
+		}
+		if targets[i] > effective(i) {
+			grows = append(grows, i)
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = grant(i, targets[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: grows, bounded by the headroom the acknowledged ledger
+	// leaves. A node whose shrink failed still occupies its old grant, so
+	// the grows squeeze rather than overshoot.
+	var held units.Watts
+	for i := 0; i < n; i++ {
+		held += effective(i)
+	}
+	headroom := c.cfg.Budget - held
+	for _, i := range grows {
+		cur := effective(i)
+		limit := targets[i]
+		delta := limit - cur
+		if delta > headroom {
+			delta = headroom
+			limit = cur + delta
+		}
+		if delta <= 0 {
+			continue
+		}
+		if err := grant(i, limit); err != nil {
+			return err
+		}
+		headroom -= delta
+	}
 	return nil
 }
 
-// TotalPower reports the instantaneous power across all nodes.
-func (c *Coordinator) TotalPower() units.Watts {
+// totalMachinePower sums instantaneous power over in-process machines.
+func (c *Coordinator) totalMachinePower() units.Watts {
 	var t units.Watts
 	for _, n := range c.nodes {
 		t += n.M.PackagePower()
+	}
+	return t
+}
+
+// TotalPower reports the instantaneous power across all nodes: measured
+// directly for in-process machines, from the last good reports otherwise.
+func (c *Coordinator) TotalPower() units.Watts {
+	if c.nodes != nil {
+		return c.totalMachinePower()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t units.Watts
+	for _, p := range c.lastPower {
+		t += p
 	}
 	return t
 }

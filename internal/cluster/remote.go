@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/powerapi"
+	"repro/internal/units"
+)
+
+// HTTPNode is a Transport over the powerapi wire protocol: the coordinator
+// code that drives in-process simulations drives remote powerd daemons
+// through this adapter unchanged.
+type HTTPNode struct {
+	name    string
+	coord   string
+	client  *powerapi.Client
+	leaseID atomic.Uint64
+}
+
+// NewHTTPNode builds a transport for a remote node reachable at addr
+// (the node's observability listen address). coord names the granting
+// coordinator in lease messages; it may be empty.
+func NewHTTPNode(name, addr, coord string) *HTTPNode {
+	return &HTTPNode{name: name, coord: coord, client: powerapi.NewClient(addr)}
+}
+
+// WithHTTPClient swaps the underlying HTTP client (tests, timeouts).
+func (h *HTTPNode) WithHTTPClient(c *http.Client) *HTTPNode {
+	h.client.WithHTTPClient(c)
+	return h
+}
+
+func (h *HTTPNode) Name() string { return h.name }
+
+func (h *HTTPNode) Report(ctx context.Context) (Report, error) {
+	st, err := h.client.Status(ctx)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Power: units.Watts(st.PowerWatts),
+		Limit: units.Watts(st.LimitWatts),
+		Max:   units.Watts(st.MaxWatts),
+	}, nil
+}
+
+func (h *HTTPNode) Grant(ctx context.Context, g Grant) error {
+	ack, err := h.client.Lease(ctx, &powerapi.LeaseGrant{
+		ID:            h.leaseID.Add(1),
+		Coordinator:   h.coord,
+		LimitWatts:    float64(g.Limit),
+		TTLMS:         g.TTL.Milliseconds(),
+		FallbackWatts: float64(g.Fallback),
+	})
+	if err != nil {
+		return err
+	}
+	if !ack.Applied {
+		return fmt.Errorf("cluster: node %s refused grant: %s", h.name, ack.Reason)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Report is one node's telemetry as the coordinator sees it: enough to bid
+// in the room-level water-fill.
+type Report struct {
+	// Power is the node's instantaneous package power.
+	Power units.Watts
+	// Limit is the cap the node currently enforces.
+	Limit units.Watts
+	// Max is the highest cap the node can usefully absorb (the chip's
+	// RAPL maximum).
+	Max units.Watts
+}
+
+// Grant is one budget lease the coordinator extends to a node: the cap to
+// enforce, how long the promise lasts without renewal, and the safe cap the
+// node must revert to when it expires. The sum of outstanding grants (or
+// fallbacks, once expired) never exceeds the room budget, so no partition
+// can over-commit it.
+type Grant struct {
+	Limit    units.Watts
+	TTL      time.Duration
+	Fallback units.Watts
+}
+
+// Transport is the coordinator's view of one node. The in-process
+// implementation wraps a Node directly; the networked one speaks the
+// powerapi wire protocol to a remote powerd. Both are exercised by the same
+// coordinator code.
+type Transport interface {
+	// Name identifies the node in metrics and errors.
+	Name() string
+	// Report fetches the node's current telemetry.
+	Report(ctx context.Context) (Report, error)
+	// Grant leases part of the room budget to the node.
+	Grant(ctx context.Context, g Grant) error
+}
+
+// localTransport adapts an in-process Node: calls go straight into the
+// daemon, cannot time out, and ignore lease TTLs (an in-process node cannot
+// be partitioned from its coordinator).
+type localTransport struct{ n *Node }
+
+func (t localTransport) Name() string { return t.n.Name }
+
+func (t localTransport) Report(context.Context) (Report, error) {
+	return Report{
+		Power: t.n.M.PackagePower(),
+		Limit: t.n.Daemon.Limit(),
+		Max:   t.n.M.Chip().RAPLMax,
+	}, nil
+}
+
+func (t localTransport) Grant(_ context.Context, g Grant) error {
+	return t.n.Daemon.SetLimit(g.Limit)
+}

@@ -46,6 +46,11 @@ const (
 	// ReasonSaturated: the responsible class hit its floor or ceiling, so
 	// the update could not move despite a power gap.
 	ReasonSaturated Reason = "saturated"
+
+	// ReasonReconfigure: the daemon's configuration (policy, shares, or
+	// limit) was changed mid-run through the Reconfigure path and the new
+	// policy's initial distribution was applied.
+	ReasonReconfigure Reason = "reconfigure"
 )
 
 // Explainer is optionally implemented by policies that can explain their

@@ -183,6 +183,8 @@ type daemonMetrics struct {
 	readmissions      *metrics.Counter
 	actuationErrors   *metrics.Counter
 	safeFloorActions  *metrics.Counter
+
+	reconfigures *metrics.Counter
 }
 
 func newDaemonMetrics(reg *metrics.Registry) daemonMetrics {
@@ -205,6 +207,8 @@ func newDaemonMetrics(reg *metrics.Registry) daemonMetrics {
 		readmissions:      reg.Counter("powerd_readmissions_total", "Cores re-admitted to policy control after sustained healthy telemetry."),
 		actuationErrors:   reg.Counter("powerd_actuation_errors_total", "Actuations that failed and were tolerated in resilient mode."),
 		safeFloorActions:  reg.Counter("powerd_safe_floor_actions_total", "Actions overridden to the safe P-state floor."),
+
+		reconfigures: reg.Counter("powerd_reconfigures_total", "Live reconfigurations applied to the running daemon."),
 	}
 }
 
@@ -234,10 +238,10 @@ type Daemon struct {
 	// Degraded-mode state (guarded by mu); res is nil outside resilient
 	// mode and never changes after New.
 	res        *Resilience
-	health     []coreHealth     // per-app health state machine
-	lastGood   []core.AppState  // per-app last trustworthy policy input
-	stormRun   int              // consecutive unhealthy intervals
-	stormFired bool             // watchdog dump already taken this storm
+	health     []coreHealth    // per-app health state machine
+	lastGood   []core.AppState // per-app last trustworthy policy input
+	stormRun   int             // consecutive unhealthy intervals
+	stormFired bool            // watchdog dump already taken this storm
 
 	// Jitter is summarised by a streaming accumulator (mean/max) plus a
 	// fixed-size reservoir (percentiles), so real-time loops of any length
@@ -288,22 +292,30 @@ func New(cfg Config, dev msr.Device, act Actuator) (*Daemon, error) {
 		sampler.SetResilient(res.Retry)
 	}
 	d.m.limitWatts.Set(float64(cfg.Limit))
-	if cfg.Flight != nil {
-		apps := make([]flight.MetaApp, len(cfg.Apps))
-		for i, a := range cfg.Apps {
-			apps[i] = flight.MetaApp{
-				Name: a.Name, Core: a.Core,
-				Shares: int(a.Shares), HighPriority: a.HighPriority,
-			}
-		}
-		cfg.Flight.MergeMeta(flight.Meta{
-			Policy:     cfg.Policy.Name(),
-			LimitWatts: float64(cfg.Limit),
-			IntervalNS: cfg.Interval.Nanoseconds(),
-			Apps:       apps,
-		})
-	}
+	d.mergeFlightMeta()
 	return d, nil
+}
+
+// mergeFlightMeta contributes the current control-plane description to the
+// flight recorder's dump metadata; called at construction and again after a
+// live reconfiguration so later dumps describe the plane that produced them.
+func (d *Daemon) mergeFlightMeta() {
+	if d.cfg.Flight == nil {
+		return
+	}
+	apps := make([]flight.MetaApp, len(d.cfg.Apps))
+	for i, a := range d.cfg.Apps {
+		apps[i] = flight.MetaApp{
+			Name: a.Name, Core: a.Core,
+			Shares: int(a.Shares), HighPriority: a.HighPriority,
+		}
+	}
+	d.cfg.Flight.MergeMeta(flight.Meta{
+		Policy:     d.cfg.Policy.Name(),
+		LimitWatts: float64(d.cfg.Limit),
+		IntervalNS: d.cfg.Interval.Nanoseconds(),
+		Apps:       apps,
+	})
 }
 
 // microwatts encodes a power reading for an event payload.
@@ -431,6 +443,7 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 		snap.Apps[i] = st
 	}
 	actions := d.cfg.Policy.Update(snap)
+	polName := d.cfg.Policy.Name()
 	if d.res != nil {
 		if len(degraded) > 0 || !sample.PkgStatus.Trustworthy() {
 			d.m.degradedIntervals.Inc()
@@ -477,7 +490,7 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 	d.mu.Unlock()
 
 	if d.cfg.Journal != nil {
-		d.cfg.Journal.Append(decisions.Record(d.cfg.Policy.Name(), reasons, snap, actions))
+		d.cfg.Journal.Append(decisions.Record(polName, reasons, snap, actions))
 	}
 	d.m.iterations.Inc()
 	d.m.pkgWatts.Set(float64(snap.PackagePower))
@@ -559,7 +572,24 @@ func (d *Daemon) SetLimit(w units.Watts) error {
 }
 
 // PolicyName reports the configured policy's name.
-func (d *Daemon) PolicyName() string { return d.cfg.Policy.Name() }
+func (d *Daemon) PolicyName() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.cfg.Policy.Name()
+}
+
+// Chip reports the platform the daemon controls.
+func (d *Daemon) Chip() platform.Chip { return d.cfg.Chip }
+
+// Interval reports the control interval.
+func (d *Daemon) Interval() time.Duration { return d.cfg.Interval }
+
+// Apps returns a copy of the currently managed application specs.
+func (d *Daemon) Apps() []core.AppSpec {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]core.AppSpec(nil), d.cfg.Apps...)
+}
 
 // Limit reports the currently enforced power limit.
 func (d *Daemon) Limit() units.Watts {

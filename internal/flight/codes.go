@@ -21,6 +21,7 @@ const (
 	codeWakeLP
 	codeRaiseLP
 	codeSaturated
+	codeReconfigure
 )
 
 var reasonCodes = map[core.Reason]uint32{
@@ -38,6 +39,7 @@ var reasonCodes = map[core.Reason]uint32{
 	core.ReasonWakeLP:          codeWakeLP,
 	core.ReasonRaiseLP:         codeRaiseLP,
 	core.ReasonSaturated:       codeSaturated,
+	core.ReasonReconfigure:     codeReconfigure,
 }
 
 var reasonNames = func() map[uint32]core.Reason {
@@ -149,6 +151,68 @@ func HealthName(c uint32) string {
 		return "degraded"
 	case HealthReadmitted:
 		return "readmitted"
+	}
+	return "unknown"
+}
+
+// Lease codes carried in Event.Arg of KindLease events: the node agent's
+// lease state machine. Like every Arg vocabulary they are part of the dump
+// format and may only be appended to.
+const (
+	// LeaseGrant: a coordinator granted (or raised/lowered) a budget lease;
+	// Value is the granted cap in µW, Aux the TTL in ns.
+	LeaseGrant uint32 = iota
+	// LeaseRenew: an active lease was renewed before expiry; payload as for
+	// LeaseGrant.
+	LeaseRenew
+	// LeaseExpire: the lease TTL elapsed without renewal (coordinator lost);
+	// Value is the expired cap in µW.
+	LeaseExpire
+	// LeaseFallback: the agent programmed the safe fallback cap; Value is
+	// the fallback cap in µW, Aux the cap it replaced in µW.
+	LeaseFallback
+	// LeaseRefuse: a grant was refused (node draining, or a malformed
+	// grant); Value is the refused cap in µW.
+	LeaseRefuse
+)
+
+// LeaseName names a lease transition code for reports.
+func LeaseName(c uint32) string {
+	switch c {
+	case LeaseGrant:
+		return "grant"
+	case LeaseRenew:
+		return "renew"
+	case LeaseExpire:
+		return "expire"
+	case LeaseFallback:
+		return "fallback"
+	case LeaseRefuse:
+		return "refuse"
+	}
+	return "unknown"
+}
+
+// Reconfigure codes carried in Event.Arg of KindReconfigure events: which
+// part of a running daemon's configuration a live reconfiguration touched.
+const (
+	ReconfigPolicy uint32 = iota
+	ReconfigShares
+	ReconfigLimit
+	ReconfigDrain
+)
+
+// ReconfigName names a reconfiguration code for reports.
+func ReconfigName(c uint32) string {
+	switch c {
+	case ReconfigPolicy:
+		return "policy"
+	case ReconfigShares:
+		return "shares"
+	case ReconfigLimit:
+		return "limit"
+	case ReconfigDrain:
+		return "drain"
 	}
 	return "unknown"
 }

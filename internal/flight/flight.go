@@ -32,11 +32,12 @@ type Source uint8
 
 // The event sources.
 const (
-	SourceMSR    Source = iota // register-level device access
-	SourceDaemon               // control-loop decisions and actuations
-	SourceRAPL                 // hardware power limiter cap movements
-	SourceSim                  // simulated C-state and constraint transitions
-	SourceFault                // fault-injector window transitions
+	SourceMSR     Source = iota // register-level device access
+	SourceDaemon                // control-loop decisions and actuations
+	SourceRAPL                  // hardware power limiter cap movements
+	SourceSim                   // simulated C-state and constraint transitions
+	SourceFault                 // fault-injector window transitions
+	SourceControl               // control-plane lease and reconfiguration traffic
 	numSources
 )
 
@@ -53,6 +54,8 @@ func (s Source) String() string {
 		return "sim"
 	case SourceFault:
 		return "fault"
+	case SourceControl:
+		return "control"
 	}
 	return "unknown"
 }
@@ -103,6 +106,15 @@ const (
 	// Arg is a Health* code, Core the affected CPU, Value the telemetry
 	// status code that triggered the transition.
 	KindHealth
+	// KindLease records the node agent's lease state machine moving: Arg is
+	// a Lease* code, Core the agent's node id (-1 when unset), Value the
+	// power cap taking effect in µW, Aux the lease TTL in ns (grant/renew)
+	// or the cap being left behind in µW (expire/fallback).
+	KindLease
+	// KindReconfigure records a live reconfiguration applied to a running
+	// daemon: Arg is a Reconfig* code, Value the new limit in µW (limit
+	// changes) and Aux the previous limit in µW.
+	KindReconfigure
 )
 
 // String names the kind for reports.
@@ -132,6 +144,10 @@ func (k Kind) String() string {
 		return "fault-clear"
 	case KindHealth:
 		return "health"
+	case KindLease:
+		return "lease"
+	case KindReconfigure:
+		return "reconfigure"
 	}
 	return "unknown"
 }

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+)
+
+// TestEndpointHardening pins the method and media-type contract of every
+// observability endpoint: read-only endpoints reject writes with 405 and an
+// Allow header, the dump endpoint rejects reads the same way, and every
+// response declares an explicit Content-Type.
+func TestEndpointHardening(t *testing.T) {
+	rec := flight.New(64)
+	srv := httptest.NewServer(New(nil, nil, nil, WithFlight(rec)).Handler())
+	defer srv.Close()
+
+	readOnly := []string{"/metrics", "/debug/vars", "/debug/status", "/healthz", "/debug/flight"}
+	for _, path := range readOnly {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s -> %d, want 405", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != http.MethodGet {
+			t.Errorf("POST %s Allow = %q, want GET", path, got)
+		}
+	}
+
+	for _, path := range readOnly {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s -> %d", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Content-Type") == "" {
+			t.Errorf("GET %s has no Content-Type", path)
+		}
+	}
+
+	// The dump endpoint is the mirror image: POST-only.
+	resp, err := http.Get(srv.URL + "/debug/flight/dump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /debug/flight/dump -> %d, want 405", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Allow"); got != http.MethodPost {
+		t.Errorf("GET /debug/flight/dump Allow = %q, want POST", got)
+	}
+}
+
+// TestGracefulShutdown: Serve stops with http.ErrServerClosed when Shutdown
+// is called, in-flight requests complete, and new connections are refused.
+func TestGracefulShutdown(t *testing.T) {
+	s := New(nil, nil, nil)
+
+	// Shutdown on a server that never served is a no-op.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown before Serve: %v", err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(l) }()
+
+	url := "http://" + l.Addr().String() + "/healthz"
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("healthz -> %d", resp.StatusCode)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case err := <-served:
+		if err != http.ErrServerClosed {
+			t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Error("request succeeded after Shutdown")
+	}
+}

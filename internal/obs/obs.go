@@ -15,12 +15,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 
 	"repro/internal/daemon"
 	"repro/internal/flight"
@@ -100,6 +102,9 @@ type Server struct {
 	status  func() DaemonStatus
 	flight  *flight.Recorder
 	mux     *http.ServeMux
+
+	mu   sync.Mutex
+	hsrv *http.Server // live only between Serve and Shutdown
 }
 
 // DefaultTail is how many journal entries /debug/status returns when the
@@ -131,18 +136,40 @@ func WithPprof() Option {
 	}
 }
 
+// WithHandler mounts an extra handler on the server's mux — how the
+// powerapi control-plane agent rides on the daemon's existing
+// observability listener instead of opening a second port. The pattern
+// follows http.ServeMux rules (use a trailing slash for a subtree).
+func WithHandler(pattern string, h http.Handler) Option {
+	return func(s *Server) { s.mux.Handle(pattern, h) }
+}
+
+// getOnly rejects everything but GET (and HEAD, which net/http answers
+// from GET handlers) with 405 and an Allow header — the read-only
+// endpoints must not look writable.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
 // New assembles the observability server.
 func New(reg *metrics.Registry, journal *decisions.Journal, status func() DaemonStatus, opts ...Option) *Server {
 	s := &Server{reg: reg, journal: journal, status: status, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/debug/vars", s.handleVars)
-	s.mux.HandleFunc("/debug/status", s.handleStatus)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", getOnly(s.handleMetrics))
+	s.mux.HandleFunc("/debug/vars", getOnly(s.handleVars))
+	s.mux.HandleFunc("/debug/status", getOnly(s.handleStatus))
+	s.mux.HandleFunc("/healthz", getOnly(s.handleHealthz))
 	for _, o := range opts {
 		o(s)
 	}
 	if s.flight != nil {
-		s.mux.HandleFunc("/debug/flight", s.handleFlight)
+		s.mux.HandleFunc("/debug/flight", getOnly(s.handleFlight))
 		s.mux.HandleFunc("/debug/flight/dump", s.handleFlightDump)
 	}
 	return s
@@ -151,10 +178,28 @@ func New(reg *metrics.Registry, journal *decisions.Journal, status func() Daemon
 // Handler exposes the endpoint mux (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Serve answers requests on l until the listener closes. It always
-// returns a non-nil error, per http.Serve.
+// Serve answers requests on l until the listener closes or Shutdown is
+// called. It always returns a non-nil error; after a clean Shutdown that
+// error is http.ErrServerClosed.
 func (s *Server) Serve(l net.Listener) error {
-	return http.Serve(l, s.mux)
+	hsrv := &http.Server{Handler: s.mux}
+	s.mu.Lock()
+	s.hsrv = hsrv
+	s.mu.Unlock()
+	return hsrv.Serve(l)
+}
+
+// Shutdown gracefully stops a server started with Serve: the listener
+// closes immediately, in-flight requests get until ctx expires to finish.
+// A server that never served returns nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hsrv := s.hsrv
+	s.mu.Unlock()
+	if hsrv == nil {
+		return nil
+	}
+	return hsrv.Shutdown(ctx)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -151,23 +151,41 @@ func (c Config) Build() (platform.Chip, []core.AppSpec, core.Policy, error) {
 			specs[i].BaselineIPS = p.IPS(chip.Freq.Ceiling(1, p.AVX))
 		}
 	}
-	var pol core.Policy
-	switch c.Policy {
-	case "frequency":
-		pol, err = core.NewFrequencyShares(chip, specs, core.ShareConfig{})
-	case "performance":
-		pol, err = core.NewPerformanceShares(chip, specs, core.ShareConfig{})
-	case "power":
-		pol, err = core.NewPowerShares(chip, specs, core.ShareConfig{})
-	case "priority":
-		pol, err = core.NewPriority(chip, specs, core.PriorityConfig{Limit: c.Limit()})
-	case "priority-shares":
-		pol, err = core.NewPriorityShares(chip, specs, core.PriorityConfig{Limit: c.Limit()})
-	default:
-		err = fmt.Errorf("opconfig: unknown policy %q", c.Policy)
-	}
+	pol, err := PolicyFor(c.Policy, chip, specs, c.Limit())
 	if err != nil {
 		return platform.Chip{}, nil, nil, err
 	}
 	return chip, specs, pol, nil
+}
+
+// PolicyFor builds the named policy over chip and specs — the single
+// by-name constructor shared by config loading, cmd/powerd's flags, and the
+// control plane's live-reconfigure path. For the performance policy, specs
+// missing a standalone baseline get the analytic one when their workload
+// profile is known. The specs slice is not mutated.
+func PolicyFor(name string, chip platform.Chip, specs []core.AppSpec, limit units.Watts) (core.Policy, error) {
+	specs = append([]core.AppSpec(nil), specs...)
+	if name == "performance" {
+		for i := range specs {
+			if specs[i].BaselineIPS > 0 {
+				continue
+			}
+			if p, err := workload.ByName(specs[i].Name); err == nil {
+				specs[i].BaselineIPS = p.IPS(chip.Freq.Ceiling(1, p.AVX))
+			}
+		}
+	}
+	switch name {
+	case "frequency":
+		return core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	case "performance":
+		return core.NewPerformanceShares(chip, specs, core.ShareConfig{})
+	case "power":
+		return core.NewPowerShares(chip, specs, core.ShareConfig{})
+	case "priority":
+		return core.NewPriority(chip, specs, core.PriorityConfig{Limit: limit})
+	case "priority-shares":
+		return core.NewPriorityShares(chip, specs, core.PriorityConfig{Limit: limit})
+	}
+	return nil, fmt.Errorf("opconfig: unknown policy %q", name)
 }

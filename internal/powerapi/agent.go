@@ -1,0 +1,513 @@
+package powerapi
+
+import (
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/flight"
+	"repro/internal/metrics"
+	"repro/internal/opconfig"
+	"repro/internal/units"
+)
+
+// maxBody bounds request bodies; control-plane messages are tiny.
+const maxBody = 1 << 20
+
+// AgentConfig configures a node-side control-plane agent.
+type AgentConfig struct {
+	// Name identifies this node to coordinators and operators.
+	Name string
+
+	// NodeID is stamped into the Core field of the agent's flight events,
+	// so a room-wide recorder can tell nodes apart. -1 when unset.
+	NodeID int16
+
+	// Daemon is the running power-delivery daemon the agent fronts.
+	Daemon *daemon.Daemon
+
+	// Fallback is the safe cap the node reverts to when its lease expires
+	// without renewal. Defaults to the daemon's limit at agent creation,
+	// so an agent that never hears from a coordinator keeps enforcing its
+	// configured limit.
+	Fallback units.Watts
+
+	// PolicyName is the operator-facing policy name currently running
+	// (e.g. "frequency", "priority-shares") — the vocabulary
+	// opconfig.PolicyFor accepts. Policies report display names like
+	// "frequency-shares", so the agent tracks the config-facing name
+	// itself to rebuild policies on live reconfiguration.
+	PolicyName string
+
+	// Metrics optionally counts control-plane traffic and lease events.
+	Metrics *metrics.Registry
+
+	// Flight optionally records every lease transition and
+	// reconfiguration for post-hoc analysis; a room-wide recorder can be
+	// shared across agents (NodeID tells events apart).
+	Flight *flight.Recorder
+
+	// now is the agent's clock; tests may override it.
+	now func() time.Time
+}
+
+// Agent serves the node side of the control plane: it holds the lease
+// state machine and translates wire messages into daemon calls. Mount
+// Handler() under PathPrefix on the node's observability server.
+type Agent struct {
+	cfg AgentConfig
+
+	mu         sync.Mutex
+	policyName string
+	fallback   units.Watts
+	draining   bool
+
+	// Lease state. epoch invalidates pending expiry timers when a newer
+	// grant supersedes them.
+	leaseID      uint64
+	leaseCoord   string
+	leaseLimit   units.Watts
+	leaseTTL     time.Duration
+	leaseExpires time.Time
+	leaseActive  bool
+	epoch        uint64
+	timer        *time.Timer
+
+	mRequests *metrics.CounterVec // by endpoint
+	mLease    *metrics.CounterVec // by event: grant, renew, expire, fallback, refuse
+	mReconfig *metrics.Counter
+	mLeaseW   *metrics.Gauge
+}
+
+// NewAgent validates the configuration and builds an agent.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("powerapi: agent needs a node name")
+	}
+	if cfg.Daemon == nil {
+		return nil, fmt.Errorf("powerapi: agent needs a daemon")
+	}
+	if cfg.PolicyName != "" {
+		if _, err := opconfig.PolicyFor(cfg.PolicyName, cfg.Daemon.Chip(), cfg.Daemon.Apps(), cfg.Daemon.Limit()); err != nil {
+			return nil, fmt.Errorf("powerapi: agent policy name: %w", err)
+		}
+	}
+	if cfg.Fallback < 0 {
+		return nil, fmt.Errorf("powerapi: negative fallback cap %v", cfg.Fallback)
+	}
+	if cfg.Fallback == 0 {
+		cfg.Fallback = cfg.Daemon.Limit()
+	}
+	if cfg.NodeID == 0 {
+		cfg.NodeID = -1
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	a := &Agent{
+		cfg:        cfg,
+		policyName: cfg.PolicyName,
+		fallback:   cfg.Fallback,
+	}
+	if reg := cfg.Metrics; reg != nil {
+		a.mRequests = reg.CounterVec("powerapi_requests_total", "Control-plane requests served, by endpoint.", "endpoint")
+		a.mLease = reg.CounterVec("powerapi_lease_events_total", "Lease state-machine transitions, by event.", "event")
+		a.mReconfig = reg.Counter("powerapi_reconfigures_total", "Live reconfigurations applied through the control plane.")
+		a.mLeaseW = reg.Gauge("powerapi_lease_limit_watts", "Power cap of the currently-held lease (0 when none).")
+	}
+	return a, nil
+}
+
+// record emits one lease/reconfigure flight event stamped with the node id.
+func (a *Agent) record(kind flight.Kind, arg uint32, value, aux uint64) {
+	a.cfg.Flight.Record(flight.Event{
+		Kind: kind, Source: flight.SourceControl, Core: a.cfg.NodeID,
+		Arg: arg, Value: value, Aux: aux,
+	})
+}
+
+func microwatts(w units.Watts) uint64 {
+	if w <= 0 {
+		return 0
+	}
+	return uint64(float64(w) * 1e6)
+}
+
+// Handler returns the agent's HTTP handler. Mount it under PathPrefix.
+func (a *Agent) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathPrefix+"status", a.serveStatus)
+	mux.HandleFunc(PathPrefix+"lease", a.serveLease)
+	mux.HandleFunc(PathPrefix+"reconfigure", a.serveReconfigure)
+	mux.HandleFunc(PathPrefix+"drain", a.serveDrain)
+	return mux
+}
+
+// writeMsg frames msg in an envelope and writes it with the protocol
+// media type.
+func writeMsg(w http.ResponseWriter, status int, msg any) {
+	data, err := Marshal(msg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeErr writes a structured protocol error.
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeMsg(w, status, &ErrorReply{Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// readMsg decodes a request body expecting one message kind, enforcing
+// method, media type, and size.
+func readMsg(w http.ResponseWriter, r *http.Request, want string) (any, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeErr(w, http.StatusMethodNotAllowed, CodeBadRequest, "%s requires POST", r.URL.Path)
+		return nil, false
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != ContentType {
+			writeErr(w, http.StatusUnsupportedMediaType, CodeBadRequest, "content type %q, want %s", ct, ContentType)
+			return nil, false
+		}
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	if len(data) > maxBody {
+		writeErr(w, http.StatusRequestEntityTooLarge, CodeBadRequest, "body over %d bytes", maxBody)
+		return nil, false
+	}
+	msg, err := UnmarshalAs(data, want)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return nil, false
+	}
+	return msg, true
+}
+
+// Status snapshots the node's control-plane state.
+func (a *Agent) Status() *NodeStatus {
+	d := a.cfg.Daemon
+	snap := d.LastSnapshot()
+	st := &NodeStatus{
+		Node:       a.cfg.Name,
+		Policy:     d.PolicyName(),
+		LimitWatts: float64(d.Limit()),
+		PowerWatts: float64(snap.PackagePower),
+		MaxWatts:   float64(d.Chip().RAPLMax),
+		Iterations: d.Iterations(),
+	}
+	for _, s := range d.Apps() {
+		as := AppShare{Name: s.Name, Core: s.Core, Shares: int(s.Shares)}
+		if s.HighPriority {
+			as.Priority = "hp"
+		} else {
+			as.Priority = "lp"
+		}
+		st.Apps = append(st.Apps, as)
+	}
+	a.mu.Lock()
+	st.FallbackWatts = float64(a.fallback)
+	st.Draining = a.draining
+	if a.leaseActive {
+		rem := a.leaseExpires.Sub(a.cfg.now())
+		if rem < 0 {
+			rem = 0
+		}
+		st.Lease = &LeaseInfo{
+			ID:          a.leaseID,
+			Coordinator: a.leaseCoord,
+			LimitWatts:  float64(a.leaseLimit),
+			TTLMS:       a.leaseTTL.Milliseconds(),
+			RemainingMS: rem.Milliseconds(),
+		}
+	}
+	a.mu.Unlock()
+	return st
+}
+
+func (a *Agent) serveStatus(w http.ResponseWriter, r *http.Request) {
+	a.mRequests.With("status").Inc()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErr(w, http.StatusMethodNotAllowed, CodeBadRequest, "status requires GET")
+		return
+	}
+	writeMsg(w, http.StatusOK, a.Status())
+}
+
+// Grant applies a budget lease: enforce the granted cap now, fall back to
+// the grant's fallback cap if no renewal arrives within the TTL.
+func (a *Agent) Grant(g *LeaseGrant) (*LeaseAck, error) {
+	limit := units.Watts(g.LimitWatts)
+	ttl := time.Duration(g.TTLMS) * time.Millisecond
+
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		a.mLease.With("refuse").Inc()
+		a.record(flight.KindLease, flight.LeaseRefuse, microwatts(limit), 0)
+		return &LeaseAck{ID: g.ID, Applied: false, Reason: "draining"},
+			&ErrorReply{Code: CodeDraining, Message: fmt.Sprintf("node %s is draining", a.cfg.Name)}
+	}
+	if limit <= 0 || ttl <= 0 {
+		a.mu.Unlock()
+		a.mLease.With("refuse").Inc()
+		a.record(flight.KindLease, flight.LeaseRefuse, microwatts(limit), 0)
+		return &LeaseAck{ID: g.ID, Applied: false, Reason: "invalid grant"},
+			&ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("grant limit %v ttl %v", limit, ttl)}
+	}
+	if a.leaseActive && g.ID < a.leaseID {
+		held := a.leaseID
+		a.mu.Unlock()
+		a.mLease.With("refuse").Inc()
+		a.record(flight.KindLease, flight.LeaseRefuse, microwatts(limit), 0)
+		return &LeaseAck{ID: g.ID, Applied: false, LimitWatts: 0, Reason: "stale lease id"},
+			&ErrorReply{Code: CodeStaleLease, Message: fmt.Sprintf("grant %d older than held lease %d", g.ID, held)}
+	}
+	renewal := a.leaseActive
+	a.leaseActive = true
+	a.leaseID = g.ID
+	a.leaseCoord = g.Coordinator
+	a.leaseLimit = limit
+	a.leaseTTL = ttl
+	a.leaseExpires = a.cfg.now().Add(ttl)
+	if g.FallbackWatts > 0 {
+		a.fallback = units.Watts(g.FallbackWatts)
+	}
+	a.epoch++
+	epoch := a.epoch
+	if a.timer != nil {
+		a.timer.Stop()
+	}
+	a.timer = time.AfterFunc(ttl, func() { a.expire(epoch) })
+	a.mu.Unlock()
+
+	if err := a.cfg.Daemon.SetLimit(limit); err != nil {
+		a.mu.Lock()
+		a.leaseActive = false
+		if a.timer != nil {
+			a.timer.Stop()
+		}
+		a.mu.Unlock()
+		a.mLease.With("refuse").Inc()
+		a.record(flight.KindLease, flight.LeaseRefuse, microwatts(limit), 0)
+		return &LeaseAck{ID: g.ID, Applied: false, Reason: err.Error()},
+			&ErrorReply{Code: CodeInvalid, Message: err.Error()}
+	}
+	event, code := "grant", flight.LeaseGrant
+	if renewal {
+		event, code = "renew", flight.LeaseRenew
+	}
+	a.mLease.With(event).Inc()
+	a.mLeaseW.Set(float64(limit))
+	a.record(flight.KindLease, code, microwatts(limit), uint64(ttl))
+	return &LeaseAck{ID: g.ID, Applied: true, LimitWatts: float64(limit)}, nil
+}
+
+// expire fires when a lease's TTL elapses without renewal: the node
+// reverts to its fallback cap on its own, so a partition cannot leave it
+// holding an oversized share of the room budget.
+func (a *Agent) expire(epoch uint64) {
+	a.mu.Lock()
+	if epoch != a.epoch || !a.leaseActive {
+		a.mu.Unlock()
+		return
+	}
+	old := a.leaseLimit
+	fallback := a.fallback
+	a.leaseActive = false
+	a.mu.Unlock()
+
+	a.mLease.With("expire").Inc()
+	a.mLeaseW.Set(0)
+	a.record(flight.KindLease, flight.LeaseExpire, microwatts(old), microwatts(old))
+	if err := a.cfg.Daemon.SetLimit(fallback); err != nil {
+		// The old cap stays enforced: safe, just not the fallback.
+		return
+	}
+	a.mLease.With("fallback").Inc()
+	a.record(flight.KindLease, flight.LeaseFallback, microwatts(fallback), microwatts(old))
+}
+
+func (a *Agent) serveLease(w http.ResponseWriter, r *http.Request) {
+	a.mRequests.With("lease").Inc()
+	msg, ok := readMsg(w, r, KindLeaseGrant)
+	if !ok {
+		return
+	}
+	ack, err := a.Grant(msg.(*LeaseGrant))
+	if err != nil {
+		status := http.StatusConflict
+		if e, k := err.(*ErrorReply); k && e.Code == CodeInvalid {
+			status = http.StatusBadRequest
+		}
+		writeMsg(w, status, err.(*ErrorReply))
+		return
+	}
+	writeMsg(w, http.StatusOK, ack)
+}
+
+// ApplyReconfigure translates a wire reconfiguration into a daemon
+// Reconfigure: share/priority overrides are resolved against the current
+// app set by name, and the policy is rebuilt through the same factory the
+// config loader uses, so live changes face construction-grade validation.
+func (a *Agent) ApplyReconfigure(rc *Reconfigure) (*ReconfigureAck, error) {
+	d := a.cfg.Daemon
+
+	a.mu.Lock()
+	polName := a.policyName
+	a.mu.Unlock()
+	if rc.Policy != "" {
+		polName = rc.Policy
+	}
+	if polName == "" {
+		return nil, &ErrorReply{Code: CodeInvalid,
+			Message: "agent has no operator policy name; set one at startup to allow policy rebuilds"}
+	}
+
+	limit := d.Limit()
+	if rc.LimitWatts != 0 {
+		if rc.LimitWatts < 0 {
+			return nil, &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("limit %v W", rc.LimitWatts)}
+		}
+		limit = units.Watts(rc.LimitWatts)
+	}
+
+	specsChanged := len(rc.Shares) > 0 || len(rc.Priorities) > 0
+	specs := d.Apps()
+	if specsChanged {
+		byName := make(map[string]int, len(specs))
+		for i, s := range specs {
+			byName[s.Name] = i
+		}
+		for name, shares := range rc.Shares {
+			i, ok := byName[name]
+			if !ok {
+				return nil, &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("no app %q", name)}
+			}
+			if shares <= 0 {
+				return nil, &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("app %q shares %d", name, shares)}
+			}
+			specs[i].Shares = units.Shares(shares)
+		}
+		for name, prio := range rc.Priorities {
+			i, ok := byName[name]
+			if !ok {
+				return nil, &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("no app %q", name)}
+			}
+			switch prio {
+			case "hp", "lp":
+				specs[i].HighPriority = prio == "hp"
+			default:
+				return nil, &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("app %q priority %q, want hp or lp", name, prio)}
+			}
+		}
+	}
+
+	drc := daemon.Reconfig{}
+	if rc.LimitWatts != 0 {
+		drc.Limit = limit
+	}
+	if rc.Policy != "" || specsChanged {
+		pol, err := opconfig.PolicyFor(polName, d.Chip(), specs, limit)
+		if err != nil {
+			return nil, &ErrorReply{Code: CodeInvalid, Message: err.Error()}
+		}
+		drc.Policy = pol
+		if specsChanged {
+			drc.Apps = specs
+		}
+	}
+	if err := d.Reconfigure(drc); err != nil {
+		return nil, &ErrorReply{Code: CodeInvalid, Message: err.Error()}
+	}
+	a.mu.Lock()
+	a.policyName = polName
+	a.mu.Unlock()
+	a.mReconfig.Inc()
+	return &ReconfigureAck{Policy: d.PolicyName(), LimitWatts: float64(d.Limit())}, nil
+}
+
+func (a *Agent) serveReconfigure(w http.ResponseWriter, r *http.Request) {
+	a.mRequests.With("reconfigure").Inc()
+	msg, ok := readMsg(w, r, KindReconfigure)
+	if !ok {
+		return
+	}
+	ack, err := a.ApplyReconfigure(msg.(*Reconfigure))
+	if err != nil {
+		writeMsg(w, http.StatusBadRequest, err.(*ErrorReply))
+		return
+	}
+	writeMsg(w, http.StatusOK, ack)
+}
+
+// SetDrain toggles drain mode. Draining cancels any held lease, drops the
+// node to its fallback cap, and refuses new leases until undrained.
+func (a *Agent) SetDrain(on bool) (*DrainAck, error) {
+	a.mu.Lock()
+	was := a.draining
+	a.draining = on
+	hadLease := a.leaseActive
+	fallback := a.fallback
+	if on {
+		a.leaseActive = false
+		a.epoch++
+		if a.timer != nil {
+			a.timer.Stop()
+		}
+	}
+	a.mu.Unlock()
+
+	if on && !was {
+		a.record(flight.KindReconfigure, flight.ReconfigDrain, microwatts(fallback), 1)
+		if hadLease {
+			a.mLeaseW.Set(0)
+		}
+		if err := a.cfg.Daemon.SetLimit(fallback); err != nil {
+			return nil, &ErrorReply{Code: CodeInternal, Message: err.Error()}
+		}
+	}
+	if !on && was {
+		a.record(flight.KindReconfigure, flight.ReconfigDrain, microwatts(fallback), 0)
+	}
+	return &DrainAck{Draining: on}, nil
+}
+
+func (a *Agent) serveDrain(w http.ResponseWriter, r *http.Request) {
+	a.mRequests.With("drain").Inc()
+	msg, ok := readMsg(w, r, KindDrain)
+	if !ok {
+		return
+	}
+	ack, err := a.SetDrain(msg.(*Drain).On)
+	if err != nil {
+		writeMsg(w, http.StatusInternalServerError, err.(*ErrorReply))
+		return
+	}
+	writeMsg(w, http.StatusOK, ack)
+}
+
+// Close stops any pending lease-expiry timer. The agent must not be used
+// afterwards.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.epoch++
+	if a.timer != nil {
+		a.timer.Stop()
+	}
+}

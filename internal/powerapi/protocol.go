@@ -1,0 +1,282 @@
+// Package powerapi is the wire protocol of the networked power control
+// plane: a small, versioned JSON-over-HTTP vocabulary through which a room
+// coordinator (cmd/powercoord) leases slices of a power budget to
+// per-node power-delivery daemons, and operators (cmd/powerctl) inspect
+// and live-reconfigure a running daemon without restarting it.
+//
+// Every message travels inside an Envelope{v, kind, body}; unknown fields,
+// unknown kinds, and version mismatches are rejected loudly, so protocol
+// drift between coordinator and node surfaces as an error rather than a
+// silently-misread field. The node side (Agent) mounts under
+// /v1/power/ on the daemon's existing observability server; the
+// coordinator side mounts under /v1/cluster/.
+//
+// The budget-safety contract is the lease: every grant carries a TTL and a
+// fallback cap, and a node that stops hearing renewals reverts to the
+// fallback on its own — so a partitioned node can never hold a stale,
+// oversized share of the room budget (the coordinator sizes fallbacks so
+// that all nodes at fallback sum to at most the budget).
+package powerapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Version is the protocol version both sides must speak.
+const Version = 1
+
+// PathPrefix is where the node-side Agent mounts its endpoints.
+const PathPrefix = "/v1/power/"
+
+// ClusterPrefix is where the coordinator mounts its endpoints.
+const ClusterPrefix = "/v1/cluster/"
+
+// ContentType is the media type of every request and response body.
+const ContentType = "application/json"
+
+// Envelope frames every message on the wire.
+type Envelope struct {
+	V    int             `json:"v"`
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+// Message kinds. The registry below maps each to its body type.
+const (
+	KindStatus         = "status"
+	KindLeaseGrant     = "lease_grant"
+	KindLeaseAck       = "lease_ack"
+	KindReconfigure    = "reconfigure"
+	KindReconfigureAck = "reconfigure_ack"
+	KindDrain          = "drain"
+	KindDrainAck       = "drain_ack"
+	KindRegister       = "register"
+	KindRegisterAck    = "register_ack"
+	KindHeartbeat      = "heartbeat"
+	KindHeartbeatAck   = "heartbeat_ack"
+	KindError          = "error"
+)
+
+// NodeStatus reports one daemon's control-plane view: what it enforces,
+// what it measures, and the lease it holds, if any.
+type NodeStatus struct {
+	Node          string     `json:"node"`
+	Policy        string     `json:"policy"`
+	LimitWatts    float64    `json:"limit_watts"`
+	PowerWatts    float64    `json:"power_watts"`
+	MaxWatts      float64    `json:"max_watts"`
+	FallbackWatts float64    `json:"fallback_watts"`
+	Iterations    int        `json:"iterations"`
+	Draining      bool       `json:"draining,omitempty"`
+	Lease         *LeaseInfo `json:"lease,omitempty"`
+	Apps          []AppShare `json:"apps,omitempty"`
+}
+
+// LeaseInfo describes the lease a node currently holds.
+type LeaseInfo struct {
+	ID          uint64  `json:"id"`
+	Coordinator string  `json:"coordinator,omitempty"`
+	LimitWatts  float64 `json:"limit_watts"`
+	TTLMS       int64   `json:"ttl_ms"`
+	RemainingMS int64   `json:"remaining_ms"`
+}
+
+// AppShare is one managed application as the control plane sees it.
+type AppShare struct {
+	Name     string `json:"name"`
+	Core     int    `json:"core"`
+	Shares   int    `json:"shares,omitempty"`
+	Priority string `json:"priority,omitempty"`
+}
+
+// LeaseGrant leases part of the room budget to a node: enforce Limit now,
+// revert to Fallback if no renewal arrives within TTL.
+type LeaseGrant struct {
+	ID            uint64  `json:"id"`
+	Coordinator   string  `json:"coordinator,omitempty"`
+	LimitWatts    float64 `json:"limit_watts"`
+	TTLMS         int64   `json:"ttl_ms"`
+	FallbackWatts float64 `json:"fallback_watts,omitempty"`
+}
+
+// LeaseAck is the node's answer to a grant.
+type LeaseAck struct {
+	ID         uint64  `json:"id"`
+	Applied    bool    `json:"applied"`
+	LimitWatts float64 `json:"limit_watts"`
+	Reason     string  `json:"reason,omitempty"`
+}
+
+// Reconfigure asks a running daemon to change policy, shares, priorities,
+// and/or power limit in place. Zero-valued fields keep the current
+// setting; Shares and Priorities address applications by name.
+type Reconfigure struct {
+	Policy     string            `json:"policy,omitempty"`
+	LimitWatts float64           `json:"limit_watts,omitempty"`
+	Shares     map[string]int    `json:"shares,omitempty"`
+	Priorities map[string]string `json:"priorities,omitempty"`
+}
+
+// ReconfigureAck reports the applied configuration.
+type ReconfigureAck struct {
+	Policy     string  `json:"policy"`
+	LimitWatts float64 `json:"limit_watts"`
+}
+
+// Drain toggles drain mode: a draining node refuses new leases, drops to
+// its fallback cap, and waits to be taken out of the room.
+type Drain struct {
+	On bool `json:"on"`
+}
+
+// DrainAck reports the node's drain state after the toggle.
+type DrainAck struct {
+	Draining bool `json:"draining"`
+}
+
+// Register announces a node to the coordinator.
+type Register struct {
+	Node string `json:"node"`
+	Addr string `json:"addr"`
+}
+
+// RegisterAck confirms registration.
+type RegisterAck struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Heartbeat keeps a registration alive.
+type Heartbeat struct {
+	Node string `json:"node"`
+}
+
+// HeartbeatAck confirms the coordinator still knows the node.
+type HeartbeatAck struct {
+	Known bool `json:"known"`
+}
+
+// ErrorReply carries a structured protocol-level failure.
+type ErrorReply struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes used in ErrorReply.
+const (
+	CodeBadRequest  = "bad_request"
+	CodeDraining    = "draining"
+	CodeStaleLease  = "stale_lease"
+	CodeInvalid     = "invalid"
+	CodeUnknownNode = "unknown_node"
+	CodeInternal    = "internal"
+)
+
+func (e *ErrorReply) Error() string {
+	return fmt.Sprintf("powerapi: %s: %s", e.Code, e.Message)
+}
+
+// kinds maps each message kind to a constructor for its body type — the
+// single registry Marshal, Unmarshal, and the fuzz target all share.
+var kinds = map[string]func() any{
+	KindStatus:         func() any { return &NodeStatus{} },
+	KindLeaseGrant:     func() any { return &LeaseGrant{} },
+	KindLeaseAck:       func() any { return &LeaseAck{} },
+	KindReconfigure:    func() any { return &Reconfigure{} },
+	KindReconfigureAck: func() any { return &ReconfigureAck{} },
+	KindDrain:          func() any { return &Drain{} },
+	KindDrainAck:       func() any { return &DrainAck{} },
+	KindRegister:       func() any { return &Register{} },
+	KindRegisterAck:    func() any { return &RegisterAck{} },
+	KindHeartbeat:      func() any { return &Heartbeat{} },
+	KindHeartbeatAck:   func() any { return &HeartbeatAck{} },
+	KindError:          func() any { return &ErrorReply{} },
+}
+
+// KindOf reports the wire kind for a message body, or "" for a type that
+// is not part of the protocol.
+func KindOf(msg any) string {
+	switch msg.(type) {
+	case *NodeStatus:
+		return KindStatus
+	case *LeaseGrant:
+		return KindLeaseGrant
+	case *LeaseAck:
+		return KindLeaseAck
+	case *Reconfigure:
+		return KindReconfigure
+	case *ReconfigureAck:
+		return KindReconfigureAck
+	case *Drain:
+		return KindDrain
+	case *DrainAck:
+		return KindDrainAck
+	case *Register:
+		return KindRegister
+	case *RegisterAck:
+		return KindRegisterAck
+	case *Heartbeat:
+		return KindHeartbeat
+	case *HeartbeatAck:
+		return KindHeartbeatAck
+	case *ErrorReply:
+		return KindError
+	}
+	return ""
+}
+
+// Marshal frames a message body in a versioned envelope.
+func Marshal(msg any) ([]byte, error) {
+	kind := KindOf(msg)
+	if kind == "" {
+		return nil, fmt.Errorf("powerapi: %T is not a protocol message", msg)
+	}
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return nil, fmt.Errorf("powerapi: marshal %s: %w", kind, err)
+	}
+	return json.Marshal(Envelope{V: Version, Kind: kind, Body: body})
+}
+
+// Unmarshal parses an envelope and its body. Unknown fields anywhere,
+// unknown kinds, and foreign versions are errors.
+func Unmarshal(data []byte) (string, any, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var env Envelope
+	if err := dec.Decode(&env); err != nil {
+		return "", nil, fmt.Errorf("powerapi: envelope: %w", err)
+	}
+	if env.V != Version {
+		return "", nil, fmt.Errorf("powerapi: version %d, want %d", env.V, Version)
+	}
+	mk, ok := kinds[env.Kind]
+	if !ok {
+		return "", nil, fmt.Errorf("powerapi: unknown kind %q", env.Kind)
+	}
+	msg := mk()
+	bdec := json.NewDecoder(bytes.NewReader(env.Body))
+	bdec.DisallowUnknownFields()
+	if err := bdec.Decode(msg); err != nil {
+		return "", nil, fmt.Errorf("powerapi: %s body: %w", env.Kind, err)
+	}
+	return env.Kind, msg, nil
+}
+
+// UnmarshalAs parses an envelope expecting one specific kind; an error
+// envelope decodes into its ErrorReply instead.
+func UnmarshalAs(data []byte, want string) (any, error) {
+	kind, msg, err := Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind == KindError {
+		return nil, msg.(*ErrorReply)
+	}
+	if kind != want {
+		return nil, fmt.Errorf("powerapi: got %s, want %s", kind, want)
+	}
+	return msg, nil
+}
