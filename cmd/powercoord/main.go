@@ -17,6 +17,12 @@
 // renewed, at which point the node reverts to its fallback cap on its own.
 // Nodes that keep timing out are quarantined — their reservation decays to
 // the floor — and re-admitted on their first good report.
+//
+// Observability: every reallocation round is traced (fan-out, per-node
+// RPCs, plan, grant wave) into a constant-memory ring served at
+// /debug/rounds, node metrics snapshots piggyback on the status poll and
+// aggregate into fleet rollups at /debug/fleet (rendered by powerctl
+// top), and the room totals are exported on /metrics.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/powerapi"
+	"repro/internal/tracing"
 	"repro/internal/units"
 )
 
@@ -124,6 +131,9 @@ func run(budget float64, nodesArg, name, listen string, interval, ttl time.Durat
 	}
 
 	mreg := metrics.NewRegistry()
+	metrics.RegisterBuildInfo(mreg, "powercoord")
+	tracer := tracing.New(name, 0)
+	fleet := cluster.NewFleet(units.Watts(budget), mreg)
 	cfg := cluster.Config{
 		Budget:          units.Watts(budget),
 		Interval:        interval,
@@ -133,6 +143,8 @@ func run(budget float64, nodesArg, name, listen string, interval, ttl time.Durat
 		Retries:         retries,
 		QuarantineAfter: quarAfter,
 		Metrics:         mreg,
+		Tracer:          tracer,
+		Fleet:           fleet,
 	}
 
 	var (
@@ -190,6 +202,26 @@ func run(budget float64, nodesArg, name, listen string, interval, ttl time.Durat
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = mreg.WritePrometheus(w)
 		})
+		mux.HandleFunc("/debug/rounds", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				w.Header().Set("Allow", http.MethodGet)
+				http.Error(w, "GET required", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = tracer.Log().Write(w)
+		})
+		mux.HandleFunc("/debug/fleet", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				w.Header().Set("Allow", http.MethodGet)
+				http.Error(w, "GET required", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(fleet.Snapshot())
+		})
 		hsrv := &http.Server{Handler: mux}
 		go func() { _ = hsrv.Serve(l) }()
 		defer func() {
@@ -197,7 +229,7 @@ func run(budget float64, nodesArg, name, listen string, interval, ttl time.Durat
 			defer cancel()
 			_ = hsrv.Shutdown(ctx)
 		}()
-		fmt.Printf("powercoord: serving http://%s (/metrics, %sstatus)\n", l.Addr(), powerapi.ClusterPrefix)
+		fmt.Printf("powercoord: serving http://%s (/metrics, /debug/fleet, /debug/rounds, %sstatus)\n", l.Addr(), powerapi.ClusterPrefix)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -214,7 +246,7 @@ func run(budget float64, nodesArg, name, listen string, interval, ttl time.Durat
 		} else if changed || func() bool { mu.Lock(); defer mu.Unlock(); return coord == nil }() {
 			ts := make([]cluster.Transport, len(ns))
 			for i := range ns {
-				ts[i] = cluster.NewHTTPNode(ns[i], addrs[i], name)
+				ts[i] = cluster.NewHTTPNode(ns[i], addrs[i], name).CollectMetrics()
 			}
 			c, err := cluster.NewOverTransports(ts, cfg)
 			if err != nil {

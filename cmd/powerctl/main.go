@@ -11,6 +11,12 @@
 //	powerctl -node host:9090 set-priorities gcc=hp,cam4=lp
 //	powerctl -node host:9090 drain on|off
 //	powerctl -coord host:9190 register n3 host3:9090
+//	powerctl -coord host:9190 top
+//
+// top renders the coordinator's fleet rollup (/debug/fleet): total power
+// against the room budget, per-node rows with RPC latency percentiles,
+// the fleet-wide per-application watt ranking, lease churn, and any
+// nodes the round traces flag as stragglers.
 //
 // set-policy, set-limit, set-shares, and set-priorities may be combined in
 // one invocation; the daemon applies them as a single validated change
@@ -19,13 +25,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/powerapi"
 )
 
@@ -44,7 +54,8 @@ func main() {
 				"  set-shares a=N,b=M          change per-app shares\n"+
 				"  set-priorities a=hp,b=lp    change per-app priorities\n"+
 				"  drain on|off                toggle drain mode\n"+
-				"  register <name> <addr>      register a node with -coord\n\nflags:\n")
+				"  register <name> <addr>      register a node with -coord\n"+
+				"  top                         fleet rollup from -coord (/debug/fleet)\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,6 +73,12 @@ func main() {
 
 func dispatch(ctx context.Context, node, coord string, args []string) error {
 	cmd, rest := args[0], args[1:]
+	if cmd == "top" {
+		if coord == "" {
+			return fmt.Errorf("top needs -coord")
+		}
+		return top(ctx, coord)
+	}
 	if cmd == "register" {
 		if coord == "" {
 			return fmt.Errorf("register needs -coord")
@@ -177,6 +194,88 @@ func parsePairs(arg string) (map[string]string, error) {
 		m[parts[0]] = parts[1]
 	}
 	return m, nil
+}
+
+// top fetches and renders the coordinator's fleet rollup.
+func top(ctx context.Context, coord string) error {
+	if !strings.Contains(coord, "://") {
+		coord = "http://" + coord
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, coord+"/debug/fleet", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator: %s", resp.Status)
+	}
+	var fs cluster.FleetSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		return fmt.Errorf("decoding fleet snapshot: %w", err)
+	}
+
+	pct := 0.0
+	if fs.BudgetWatts > 0 {
+		pct = 100 * fs.TotalPowerWatts / fs.BudgetWatts
+	}
+	fmt.Printf("round %d   power %.5g / %.5g W (%.0f%%)   round latency p50 %.2fms p99 %.2fms\n",
+		fs.Round, fs.TotalPowerWatts, fs.BudgetWatts, pct,
+		fs.RoundLatency.P50MS, fs.RoundLatency.P99MS)
+	if fs.MixedVersions {
+		fmt.Printf("WARNING: mixed node versions: %s\n", strings.Join(fs.Versions, ", "))
+	}
+
+	fmt.Printf("\n%-12s %9s %9s %-16s %8s %8s %7s %s\n",
+		"NODE", "POWER", "LIMIT", "POLICY", "RPC p50", "RPC p99", "MISSED", "FLAGS")
+	for _, n := range fs.Nodes {
+		flags := []string{}
+		if n.Draining {
+			flags = append(flags, "draining")
+		}
+		if n.MissedRounds > 0 {
+			flags = append(flags, "unreachable")
+		}
+		for _, s := range fs.Stragglers {
+			if s.Node == n.Name {
+				flags = append(flags, "straggler")
+			}
+		}
+		fmt.Printf("%-12s %8.3gW %8.3gW %-16s %6.2fms %6.2fms %7d %s\n",
+			n.Name, n.PowerWatts, n.LimitWatts, n.Policy,
+			n.RPC.P50MS, n.RPC.P99MS, n.TotalMissed, strings.Join(flags, ","))
+	}
+
+	if len(fs.Apps) > 0 {
+		fmt.Printf("\n%-12s %9s %6s\n", "APP", "POWER", "NODES")
+		for _, a := range fs.Apps {
+			fmt.Printf("%-12s %8.3gW %6d\n", a.Name, a.Watts, a.Nodes)
+		}
+	}
+
+	if len(fs.LeaseEvents) > 0 {
+		events := make([]string, 0, len(fs.LeaseEvents))
+		for ev := range fs.LeaseEvents {
+			events = append(events, ev)
+		}
+		sort.Strings(events)
+		fmt.Printf("\nlease churn:")
+		for _, ev := range events {
+			fmt.Printf("  %s=%.0f", ev, fs.LeaseEvents[ev])
+		}
+		fmt.Println()
+	}
+
+	if len(fs.Stragglers) > 0 {
+		fmt.Printf("\nstragglers (from round traces):\n")
+		for _, s := range fs.Stragglers {
+			fmt.Printf("  %-12s %d round(s), worst %.2fms\n", s.Node, s.Rounds, s.WorstMS)
+		}
+	}
+	return nil
 }
 
 func status(ctx context.Context, c *powerapi.Client) error {

@@ -44,6 +44,7 @@ import (
 	"repro/internal/powerapi"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -216,6 +217,7 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 	limit units.Watts, interval time.Duration, opts runOpts) (err error) {
 
 	reg := metrics.NewRegistry()
+	metrics.RegisterBuildInfo(reg, "powerd")
 	journal := decisions.NewJournal(0)
 	var rec *flight.Recorder
 	if opts.flightOn {
@@ -316,7 +318,10 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 		if opts.nodeName != "" {
 			// The control-plane agent rides on the observability listener:
 			// coordinators lease budget and operators reconfigure through
-			// /v1/power/ on the same port.
+			// /v1/power/ on the same port. Every coordinator round this node
+			// serves is traced into a ring at /debug/rounds, joinable with
+			// the coordinator's own trace by round ID (powerdump -view merged).
+			tracer := tracing.New(opts.nodeName, 0)
 			agent, aerr := powerapi.NewAgent(powerapi.AgentConfig{
 				Name:       opts.nodeName,
 				Daemon:     d,
@@ -324,13 +329,16 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 				PolicyName: policy,
 				Metrics:    reg,
 				Flight:     rec,
+				Tracer:     tracer,
 			})
 			if aerr != nil {
 				l.Close()
 				return aerr
 			}
 			defer agent.Close()
-			srvOpts = append(srvOpts, obs.WithHandler(powerapi.PathPrefix, agent.Handler()))
+			srvOpts = append(srvOpts,
+				obs.WithHandler(powerapi.PathPrefix, agent.Handler()),
+				obs.WithRounds(tracer))
 		}
 		srv := obs.New(reg, journal, obs.DaemonStatusFunc(d), srvOpts...)
 		go func() { _ = srv.Serve(l) }()

@@ -9,6 +9,16 @@
 //	powerdump -view anomalies dump.fr  # over-limit excursions, throttle bursts, parks
 //	powerdump -replay dump.fr          # re-execute against a fresh simulator and diff
 //
+// The merged view joins distributed round traces (GET /debug/rounds on
+// the coordinator and each node, or tracing logs written by tests) into
+// one cross-node timeline keyed by round ID, flagging stragglers and
+// partition gaps. The coordinator's log comes first:
+//
+//	powerdump -view merged coord.json n0.json n1.json ...
+//
+// -json switches the anomalies and merged views to machine-readable
+// output for scripting and CI.
+//
 // Replay rebuilds the machine from the dump's metadata, re-applies the
 // recorded MSR writes and park decisions at their recorded virtual times,
 // and re-issues every recorded read: a clean dump reproduces bit for bit,
@@ -17,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,19 +38,32 @@ import (
 	"repro/internal/flight/replay"
 	"repro/internal/msr"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 	"repro/internal/units"
 )
 
 func main() {
 	var (
-		view     = flag.String("view", "summary", "summary, timeline, spans, or anomalies")
+		view     = flag.String("view", "summary", "summary, timeline, spans, anomalies, or merged")
 		interval = flag.Int("interval", -1, "restrict timeline/spans to one control interval (-1 = all)")
 		limit    = flag.Int("n", 0, "print at most n timeline events (0 = all)")
 		doReplay = flag.Bool("replay", false, "deterministically replay the dump and diff against the recording")
+		jsonOut  = flag.Bool("json", false, "machine-readable output (anomalies and merged views)")
 	)
 	flag.Parse()
+	if *view == "merged" {
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "usage: powerdump -view merged [-json] coord.json node.json [node.json ...]")
+			os.Exit(2)
+		}
+		if err := merged(flag.Args(), *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "powerdump:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: powerdump [-view summary|timeline|spans|anomalies] [-replay] dump.fr")
+		fmt.Fprintln(os.Stderr, "usage: powerdump [-view summary|timeline|spans|anomalies|merged] [-json] [-replay] dump.fr")
 		os.Exit(2)
 	}
 	d, err := flight.ReadDumpFile(flag.Arg(0))
@@ -62,10 +86,85 @@ func main() {
 	case "spans":
 		spans(d, *interval)
 	case "anomalies":
-		anomalies(d)
+		anomalies(d, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "powerdump: unknown view %q\n", *view)
 		os.Exit(2)
+	}
+}
+
+// merged joins one coordinator round-trace log with any number of node
+// logs into a cross-node timeline.
+func merged(paths []string, jsonOut bool) error {
+	coord, err := tracing.ReadLogFile(paths[0])
+	if err != nil {
+		return err
+	}
+	nodes := make([]tracing.Log, 0, len(paths)-1)
+	for _, p := range paths[1:] {
+		nl, err := tracing.ReadLogFile(p)
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, nl)
+	}
+	tl := tracing.Merge(coord, nodes)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tl)
+	}
+	renderTimeline(tl)
+	return nil
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.2fms", float64(d)/1e6) }
+
+func renderTimeline(tl tracing.Timeline) {
+	fmt.Printf("merged timeline: coordinator %q, %d round(s), %d with partition gaps\n",
+		tl.Coordinator, len(tl.Rounds), tl.GapRounds)
+	for _, r := range tl.Rounds {
+		line := fmt.Sprintf("round %-5d wall %s", r.ID, ms(r.End-r.Start))
+		if r.Plan != nil {
+			line += "  plan " + ms(r.Plan.Latency())
+		}
+		if r.Straggler != "" {
+			line += "  straggler=" + r.Straggler
+		}
+		fmt.Println(line)
+		for _, n := range r.Nodes {
+			switch {
+			case n.Missing:
+				fmt.Printf("  %-12s MISSING (partition gap: no node-side record)\n", n.Node)
+			default:
+				row := fmt.Sprintf("  %-12s", n.Node)
+				if n.Report != nil {
+					row += "  report " + ms(n.Report.Latency())
+					if n.Report.Err != "" {
+						row += " ERR:" + n.Report.Err
+					}
+				}
+				if n.Grant != nil {
+					row += "  grant " + ms(n.Grant.Latency())
+					if n.Grant.Err != "" {
+						row += " ERR:" + n.Grant.Err
+					}
+				}
+				if n.Record != nil {
+					row += "  node-side " + ms(n.Record.Latency())
+				}
+				if n.Straggler {
+					row += "  STRAGGLER"
+				}
+				fmt.Println(row)
+			}
+		}
+	}
+	if len(tl.Stragglers) > 0 {
+		fmt.Println("stragglers:")
+		for _, s := range tl.Stragglers {
+			fmt.Printf("  %-12s %d round(s), worst %s\n", s.Node, s.Rounds, ms(s.Worst))
+		}
 	}
 }
 
@@ -237,33 +336,59 @@ func spans(d flight.Dump, interval int) {
 	}
 }
 
-func anomalies(d flight.Dump) {
-	if len(d.Events) > 0 && d.Events[0].Seq != 1 {
-		fmt.Println("truncated: ring overwrote the start of the run")
-	}
+// anomalyReport is the machine-readable shape of the anomalies view
+// (-json); the text rendering prints the same facts.
+type anomalyReport struct {
+	Truncated       bool       `json:"truncated,omitempty"`
+	OverLimitRuns   int        `json:"over_limit_runs"`
+	WorstOvershootW float64    `json:"worst_overshoot_watts,omitempty"`
+	RAPLThrottles   int        `json:"rapl_throttles"`
+	LongestBurst    int        `json:"longest_throttle_burst,omitempty"`
+	CoreParks       int        `json:"core_parks"`
+	LeaseExpiries   int        `json:"lease_expiries"`
+	LeaseFallbacks  int        `json:"lease_fallbacks"`
+	LeaseRefusals   int        `json:"lease_refusals"`
+	Reconfigures    int        `json:"reconfigures"`
+	SlowIterations  []slowIter `json:"slow_iterations,omitempty"`
+}
+
+// slowIter is one control interval more than 5x slower than the median.
+type slowIter struct {
+	Interval int   `json:"interval"`
+	TotalNS  int64 `json:"total_ns"`
+	MedianNS int64 `json:"median_ns"`
+}
+
+func (a anomalyReport) any() bool {
+	return a.OverLimitRuns > 0 || a.RAPLThrottles > 0 || a.CoreParks > 0 ||
+		a.LeaseExpiries > 0 || a.LeaseFallbacks > 0 || a.LeaseRefusals > 0 ||
+		a.Reconfigures > 0 || len(a.SlowIterations) > 0
+}
+
+func collectAnomalies(d flight.Dump) anomalyReport {
+	var a anomalyReport
+	a.Truncated = len(d.Events) > 0 && d.Events[0].Seq != 1
 	// Over-limit excursions, from the decision marks (which carry observed
 	// package power and the enforced limit).
-	overRuns, overWorst, inOver := 0, uint64(0), false
-	throttles, burst, worstBurst := 0, 0, 0
-	parks := 0
-	expiries, fallbacks, refusals, reconfigs := 0, 0, 0, 0
+	inOver, burst := false, 0
+	overWorst := uint64(0)
 	for _, e := range d.Events {
 		switch e.Kind {
 		case flight.KindLease:
 			switch e.Arg {
 			case flight.LeaseExpire:
-				expiries++
+				a.LeaseExpiries++
 			case flight.LeaseFallback:
-				fallbacks++
+				a.LeaseFallbacks++
 			case flight.LeaseRefuse:
-				refusals++
+				a.LeaseRefusals++
 			}
 		case flight.KindReconfigure:
-			reconfigs++
+			a.Reconfigures++
 		case flight.KindDecision:
 			if e.Aux > 0 && e.Value > e.Aux {
 				if !inOver {
-					overRuns++
+					a.OverLimitRuns++
 					inOver = true
 				}
 				if over := e.Value - e.Aux; over > overWorst {
@@ -273,38 +398,20 @@ func anomalies(d flight.Dump) {
 				inOver = false
 			}
 		case flight.KindRAPLThrottle:
-			throttles++
+			a.RAPLThrottles++
 			burst++
-			if burst > worstBurst {
-				worstBurst = burst
+			if burst > a.LongestBurst {
+				a.LongestBurst = burst
 			}
 		case flight.KindRAPLRelease:
 			burst = 0
 		case flight.KindActuate:
 			if e.Arg == flight.ActPark {
-				parks++
+				a.CoreParks++
 			}
 		}
 	}
-	if overRuns > 0 {
-		fmt.Printf("power over limit: %d excursion(s), worst overshoot %s\n", overRuns, uwatts(overWorst))
-	}
-	if throttles > 0 {
-		fmt.Printf("RAPL throttles: %d step-down(s), longest burst %d\n", throttles, worstBurst)
-	}
-	if parks > 0 {
-		fmt.Printf("core parks: %d\n", parks)
-	}
-	if expiries > 0 || fallbacks > 0 {
-		fmt.Printf("lease expiries: %d, fallback reverts: %d (coordinator silent past TTL)\n",
-			expiries, fallbacks)
-	}
-	if refusals > 0 {
-		fmt.Printf("lease refusals: %d (draining node or invalid grant)\n", refusals)
-	}
-	if reconfigs > 0 {
-		fmt.Printf("live reconfigurations: %d\n", reconfigs)
-	}
+	a.WorstOvershootW = float64(overWorst) / 1e6
 	// Iteration latency outliers: anything over 5x the median total.
 	sp := flight.BuildSpans(d.Events)
 	totals := make([]time.Duration, 0, len(sp))
@@ -319,12 +426,50 @@ func anomalies(d flight.Dump) {
 		median := sorted[len(sorted)/2]
 		for _, s := range sp {
 			if t := s.Total(); median > 0 && t > 5*median {
-				fmt.Printf("slow iteration: interval %d took %v (median %v)\n", s.Interval, t, median)
+				a.SlowIterations = append(a.SlowIterations, slowIter{
+					Interval: int(s.Interval), TotalNS: int64(t), MedianNS: int64(median),
+				})
 			}
 		}
 	}
-	if overRuns == 0 && throttles == 0 && parks == 0 &&
-		expiries == 0 && fallbacks == 0 && refusals == 0 && reconfigs == 0 {
+	return a
+}
+
+func anomalies(d flight.Dump, jsonOut bool) {
+	a := collectAnomalies(d)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a)
+		return
+	}
+	if a.Truncated {
+		fmt.Println("truncated: ring overwrote the start of the run")
+	}
+	if a.OverLimitRuns > 0 {
+		fmt.Printf("power over limit: %d excursion(s), worst overshoot %.1fW\n", a.OverLimitRuns, a.WorstOvershootW)
+	}
+	if a.RAPLThrottles > 0 {
+		fmt.Printf("RAPL throttles: %d step-down(s), longest burst %d\n", a.RAPLThrottles, a.LongestBurst)
+	}
+	if a.CoreParks > 0 {
+		fmt.Printf("core parks: %d\n", a.CoreParks)
+	}
+	if a.LeaseExpiries > 0 || a.LeaseFallbacks > 0 {
+		fmt.Printf("lease expiries: %d, fallback reverts: %d (coordinator silent past TTL)\n",
+			a.LeaseExpiries, a.LeaseFallbacks)
+	}
+	if a.LeaseRefusals > 0 {
+		fmt.Printf("lease refusals: %d (draining node or invalid grant)\n", a.LeaseRefusals)
+	}
+	if a.Reconfigures > 0 {
+		fmt.Printf("live reconfigurations: %d\n", a.Reconfigures)
+	}
+	for _, s := range a.SlowIterations {
+		fmt.Printf("slow iteration: interval %d took %v (median %v)\n",
+			s.Interval, time.Duration(s.TotalNS), time.Duration(s.MedianNS))
+	}
+	if !a.any() {
 		fmt.Println("no anomalies found")
 	}
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/tracing"
+)
+
+// writeLog round-trips a log through the same files powerdump reads.
+func writeLog(t *testing.T, dir, name string, l tracing.Log) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if ferr != nil {
+		t.Fatalf("merged: %v (output: %s)", ferr, buf.String())
+	}
+	return buf.String()
+}
+
+func TestMergedViewJoinsLogs(t *testing.T) {
+	coord := tracing.Log{Origin: "coord", Rounds: []tracing.Round{{
+		ID: 1, Origin: "coord", Start: 0, End: 10 * time.Millisecond,
+		Spans: []tracing.Span{
+			{Name: "report", Node: "n0", Start: 0, End: 2 * time.Millisecond},
+			{Name: "report", Node: "n1", Start: 0, End: 9 * time.Millisecond},
+			{Name: "plan", Start: 9 * time.Millisecond, End: 9*time.Millisecond + 100*time.Microsecond},
+		},
+	}}}
+	n0 := tracing.Log{Origin: "n0", Rounds: []tracing.Round{{
+		ID: 1, Origin: "n0", Start: 0, End: time.Millisecond,
+		Spans: []tracing.Span{{Name: "receive", Start: 0, End: time.Millisecond}},
+	}}}
+	// n1 recorded nothing for round 1: a partition gap.
+	n1 := tracing.Log{Origin: "n1"}
+
+	dir := t.TempDir()
+	paths := []string{
+		writeLog(t, dir, "coord.json", coord),
+		writeLog(t, dir, "n0.json", n0),
+		writeLog(t, dir, "n1.json", n1),
+	}
+
+	out := capture(t, func() error { return merged(paths, true) })
+	var tl tracing.Timeline
+	if err := json.Unmarshal([]byte(out), &tl); err != nil {
+		t.Fatalf("-json output is not a Timeline: %v\n%s", err, out)
+	}
+	if tl.Coordinator != "coord" || len(tl.Rounds) != 1 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	r := tl.Rounds[0]
+	if r.ID != 1 || len(r.Nodes) != 2 {
+		t.Fatalf("round = %+v", r)
+	}
+	byNode := map[string]tracing.NodeRound{}
+	for _, n := range r.Nodes {
+		byNode[n.Node] = n
+	}
+	if n := byNode["n0"]; n.Record == nil || n.Missing {
+		t.Errorf("n0 should have a node-side record: %+v", n)
+	}
+	if n := byNode["n1"]; !n.Missing {
+		t.Errorf("n1 should be a partition gap: %+v", n)
+	}
+	if tl.GapRounds != 1 {
+		t.Errorf("GapRounds = %d, want 1", tl.GapRounds)
+	}
+
+	// The text rendering names the gap too.
+	txt := capture(t, func() error { return merged(paths, false) })
+	for _, want := range []string{"round 1", "n0", "MISSING", "plan"} {
+		if !bytes.Contains([]byte(txt), []byte(want)) {
+			t.Errorf("text output missing %q:\n%s", want, txt)
+		}
+	}
+}

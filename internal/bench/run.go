@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/powerapi"
+	"repro/internal/sim"
+	"repro/internal/tracing"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Node counts for the coordinator-tick trajectory and core counts for
+// the control-loop trajectory. Smoke mode drops the largest
+// configuration so CI's gate run stays fast.
+var (
+	coordinatorNodes = []int{4, 16, 64}
+	loopCores        = []int{4, 10, 32}
+)
+
+func sizes(all []int, smoke bool) []int {
+	if smoke {
+		return all[:len(all)-1]
+	}
+	return all
+}
+
+// scaledSkylake widens the paper's Skylake to the given core count: the
+// turbo table's last bin covers every core and the RAPL window scales
+// with the socket so the control policy operates in the same regime at
+// every size.
+func scaledSkylake(cores int) platform.Chip {
+	chip := platform.Skylake()
+	chip.Name = fmt.Sprintf("%s (scaled %d cores)", chip.Name, cores)
+	chip.NumCores = cores
+	if last := len(chip.Freq.Turbo) - 1; chip.Freq.Turbo[last].MaxActive < cores {
+		chip.Freq.Turbo[last].MaxActive = cores
+	}
+	chip.RAPLMax = chip.RAPLMax * units.Watts(cores) / units.Watts(platform.Skylake().NumCores)
+	if chip.RAPLMax <= chip.RAPLMin {
+		chip.RAPLMax = chip.RAPLMin + 10
+	}
+	return chip
+}
+
+// benchNode is one loopback-HTTP node for the coordinator benchmark:
+// the full powerd stack (machine, daemon, agent, obs listener), reached
+// only through the wire.
+type benchNode struct {
+	agent *powerapi.Agent
+	srv   *httptest.Server
+}
+
+func (n *benchNode) close() {
+	n.srv.Close()
+	n.agent.Close()
+}
+
+func newBenchNode(name string, limit units.Watts) (*benchNode, error) {
+	chip := platform.Skylake()
+	m, err := sim.New(chip)
+	if err != nil {
+		return nil, err
+	}
+	apps := []string{"gcc", "cam4"}
+	specs := make([]core.AppSpec, len(apps))
+	for i, a := range apps {
+		p := workload.MustByName(a)
+		if err := m.Pin(workload.NewInstance(p), i); err != nil {
+			return nil, err
+		}
+		specs[i] = core.AppSpec{Name: a, Core: i, Shares: 50, AVX: p.AVX}
+	}
+	pol, err := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	if err != nil {
+		return nil, err
+	}
+	d, err := daemon.New(daemon.Config{
+		Chip: chip, Policy: pol, Apps: specs, Limit: limit,
+	}, m.Device(), daemon.MachineActuator{M: m})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.AttachVirtual(m); err != nil {
+		return nil, err
+	}
+	m.Run(time.Second) // non-zero power so the node bids
+	agent, err := powerapi.NewAgent(powerapi.AgentConfig{
+		Name: name, Daemon: d, Fallback: limit, PolicyName: "frequency",
+	})
+	if err != nil {
+		return nil, err
+	}
+	osrv := obs.New(nil, nil, nil, obs.WithHandler(powerapi.PathPrefix, agent.Handler()))
+	return &benchNode{agent: agent, srv: httptest.NewServer(osrv.Handler())}, nil
+}
+
+// phaseWalls reduces a trace log to the mean wall-clock nanoseconds per
+// span phase and round: concurrent spans of one phase (the report
+// fan-out) count once, first-start to last-end.
+func phaseWalls(log tracing.Log) map[string]float64 {
+	sum := map[string]float64{}
+	cnt := map[string]float64{}
+	for _, r := range log.Rounds {
+		starts := map[string]time.Duration{}
+		ends := map[string]time.Duration{}
+		for _, s := range r.Spans {
+			if cur, ok := starts[s.Name]; !ok || s.Start < cur {
+				starts[s.Name] = s.Start
+			}
+			if s.End > ends[s.Name] {
+				ends[s.Name] = s.End
+			}
+		}
+		for name := range starts {
+			sum[name] += float64(ends[name] - starts[name])
+			cnt[name]++
+		}
+	}
+	out := make(map[string]float64, len(sum))
+	for name, s := range sum {
+		out[name] = s / cnt[name]
+	}
+	return out
+}
+
+// CoordinatorTrajectory benchmarks one coordinator reallocation round
+// over loopback-HTTP node fleets of increasing size: the concurrent
+// status fan-out, the water-fill plan, and the grant wave, with the
+// phase breakdown taken from the round traces the run records.
+func CoordinatorTrajectory(smoke bool) ([]Entry, error) {
+	var entries []Entry
+	for _, n := range sizes(coordinatorNodes, smoke) {
+		budget := units.Watts(30 * n)
+		nodes := make([]*benchNode, n)
+		ts := make([]cluster.Transport, n)
+		for i := range nodes {
+			name := fmt.Sprintf("n%03d", i)
+			nd, err := newBenchNode(name, budget/units.Watts(n))
+			if err != nil {
+				return nil, fmt.Errorf("bench: node %d of %d: %w", i, n, err)
+			}
+			nodes[i] = nd
+			ts[i] = cluster.NewHTTPNode(name, nd.srv.URL, "bench")
+		}
+		tracer := tracing.New("bench-coord", 0)
+		c, err := cluster.NewOverTransports(ts, cluster.Config{
+			Budget:   budget,
+			LeaseTTL: time.Hour,
+			Retries:  -1,
+			Tracer:   tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ctx := context.Background()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := c.Step(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entries = append(entries, Entry{
+			Name:        fmt.Sprintf("coordinator_tick/nodes=%d", n),
+			Config:      map[string]int{"nodes": n},
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+			Phases:      phaseWalls(tracer.Log()),
+		})
+		for _, nd := range nodes {
+			nd.close()
+		}
+	}
+	return entries, nil
+}
+
+// LoopTrajectory benchmarks one 1 ms control-loop iteration (sample →
+// decide → actuate plus one simulator step) on Skylake sockets scaled
+// to increasing core counts, with the phase breakdown read back from
+// the daemon's phase histograms.
+func LoopTrajectory(smoke bool) ([]Entry, error) {
+	names := []string{"gcc", "cam4", "leela", "cactusBSSN"}
+	var entries []Entry
+	for _, cores := range sizes(loopCores, smoke) {
+		chip := scaledSkylake(cores)
+		reg := metrics.NewRegistry()
+		m, err := sim.New(chip)
+		if err != nil {
+			return nil, err
+		}
+		specs := make([]core.AppSpec, cores)
+		for i := 0; i < cores; i++ {
+			p := workload.MustByName(names[i%len(names)])
+			if err := m.Pin(workload.NewInstance(p), i); err != nil {
+				return nil, err
+			}
+			specs[i] = core.AppSpec{Name: p.Name, Core: i, Shares: units.Shares(10 + i%7), AVX: p.AVX}
+		}
+		pol, err := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+		if err != nil {
+			return nil, err
+		}
+		limit := chip.RAPLMax * 6 / 10
+		d, err := daemon.New(daemon.Config{
+			Chip: chip, Policy: pol, Apps: specs, Limit: limit, Metrics: reg,
+		}, m.Device(), daemon.MachineActuator{M: m})
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Start(); err != nil {
+			return nil, err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Step()
+				if _, err := d.RunIteration(time.Millisecond); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		phases := map[string]float64{}
+		vec := reg.HistogramVec("powerd_phase_seconds", "", nil, "phase")
+		for _, ph := range []string{"sample", "decide", "actuate"} {
+			h := vec.With(ph)
+			if c := h.Count(); c > 0 {
+				phases[ph] = h.Sum() / float64(c) * 1e9
+			}
+		}
+		entries = append(entries, Entry{
+			Name:        fmt.Sprintf("loop_iteration/cores=%d", cores),
+			Config:      map[string]int{"cores": cores},
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+			Phases:      phases,
+		})
+	}
+	return entries, nil
+}

@@ -21,12 +21,15 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/metrics"
+	"repro/internal/powerapi"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 	"repro/internal/units"
 )
 
@@ -83,6 +86,18 @@ type Config struct {
 	// counts, budget moved, per-node limit gauges, transport failures,
 	// and quarantine state.
 	Metrics *metrics.Registry
+
+	// Tracer optionally records a span tree per reallocation round: the
+	// concurrent report fan-out, the plan, and every grant, each stamped
+	// with the node it touched. The round ID is propagated to nodes over
+	// the powerapi envelope so node-side records join the coordinator's
+	// by ID (tracing.Merge). Nil disables tracing at zero cost.
+	Tracer *tracing.Tracer
+
+	// Fleet optionally aggregates the reports every round collects —
+	// power against budget, per-app watts, RPC latencies, stragglers,
+	// piggybacked node metrics — into the rollups /debug/fleet serves.
+	Fleet *Fleet
 
 	// now is the coordinator's clock; tests may override it.
 	now func() time.Time
@@ -152,6 +167,7 @@ type Coordinator struct {
 	ts     []Transport
 	nodes  []*Node // in-process set when built via New; drives Run
 	strict bool    // in-process mode: any transport error aborts the step
+	round  atomic.Uint64
 
 	mu         sync.Mutex
 	limits     []units.Watts // current target limit per node
@@ -308,6 +324,10 @@ func (c *Coordinator) Reallocations() int {
 	return c.moves
 }
 
+// Round reports the ID of the latest reallocation round (zero before
+// the first Step).
+func (c *Coordinator) Round() uint64 { return c.round.Load() }
+
 // Quarantined reports whether node i is currently quarantined.
 func (c *Coordinator) Quarantined(i int) bool {
 	c.mu.Lock()
@@ -412,16 +432,31 @@ func (c *Coordinator) noteFailure(i int) {
 // issue grants — shrinking grants first and growing ones only afterwards,
 // so the sum of outstanding grants (plus expired nodes' fallback floors)
 // never exceeds the budget even mid-step or under partial failure.
+//
+// Each round gets a monotonic ID, stamped on every node RPC through the
+// powerapi envelope and recorded (with report/plan/grant spans) when a
+// Tracer is configured; a Fleet, when configured, observes every round's
+// reports and RPC latencies.
 func (c *Coordinator) Step(ctx context.Context) error {
+	rid := c.round.Add(1)
+	rb := c.cfg.Tracer.Begin(rid)
+	defer rb.End()
+	ctx = powerapi.WithRound(ctx, rid)
+	began := time.Now()
+
 	n := len(c.ts)
 	reports := make([]Report, n)
 	errs := make([]error, n)
+	rpc := make([]time.Duration, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			s0, t0 := rb.Now(), time.Now()
 			reports[i], errs[i] = c.callReport(ctx, i)
+			rpc[i] = time.Since(t0)
+			rb.Span("report", c.ts[i].Name(), s0, rb.Now(), errs[i])
 		}(i)
 	}
 	wg.Wait()
@@ -447,9 +482,20 @@ func (c *Coordinator) Step(ctx context.Context) error {
 		healthy[i] = true
 	}
 
+	planStart := rb.Now()
 	targets, moved, shifted := c.plan(reports, healthy)
-	if err := c.issueGrants(ctx, targets, healthy); err != nil {
-		return err
+	rb.Span("plan", "", planStart, rb.Now(), nil)
+	grantErr := c.issueGrants(ctx, targets, healthy, rb)
+
+	if c.cfg.Fleet != nil {
+		obs := make([]NodeObservation, n)
+		for i := 0; i < n; i++ {
+			obs[i] = NodeObservation{Node: c.ts[i].Name(), Err: errs[i], RPC: rpc[i], Report: reports[i]}
+		}
+		c.cfg.Fleet.ObserveRound(rid, time.Since(began), obs)
+	}
+	if grantErr != nil {
+		return grantErr
 	}
 
 	c.mu.Lock()
@@ -544,7 +590,7 @@ func (c *Coordinator) plan(reports []Report, healthy []bool) (targets []units.Wa
 // each capped by the headroom the acknowledged ledger still shows, so a
 // failed shrink can never combine with a successful grow to over-commit
 // the budget.
-func (c *Coordinator) issueGrants(ctx context.Context, targets []units.Watts, healthy []bool) error {
+func (c *Coordinator) issueGrants(ctx context.Context, targets []units.Watts, healthy []bool, rb *tracing.RoundBuilder) error {
 	n := len(c.ts)
 	floor := c.floor()
 	now := c.cfg.now()
@@ -559,7 +605,9 @@ func (c *Coordinator) issueGrants(ctx context.Context, targets []units.Watts, he
 		return floor
 	}
 	grant := func(i int, limit units.Watts) error {
+		s0 := rb.Now()
 		err := c.callGrant(ctx, i, Grant{Limit: limit, TTL: c.cfg.LeaseTTL, Fallback: floor})
+		rb.Span("grant", c.ts[i].Name(), s0, rb.Now(), err)
 		if err != nil {
 			if c.strict {
 				return fmt.Errorf("cluster: node %s: %w", c.ts[i].Name(), err)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/powerapi"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -30,11 +31,13 @@ type wireNode struct {
 	m    *sim.Machine
 	d    *daemon.Daemon
 	srv  *httptest.Server
+	tr   *tracing.Tracer
 }
 
 // newWireNode builds a Skylake node whose daemon starts at the given
-// limit, which doubles as the agent's lease-fallback cap.
-func newWireNode(tb testing.TB, name string, limit units.Watts, rec *flight.Recorder, id int16) *wireNode {
+// limit, which doubles as the agent's lease-fallback cap. A non-nil
+// tracer makes the agent record a round trace per coordinator RPC.
+func newWireNode(tb testing.TB, name string, limit units.Watts, rec *flight.Recorder, id int16, tr *tracing.Tracer) *wireNode {
 	tb.Helper()
 	chip := platform.Skylake()
 	m, err := sim.New(chip)
@@ -68,7 +71,7 @@ func newWireNode(tb testing.TB, name string, limit units.Watts, rec *flight.Reco
 	}
 	agent, err := powerapi.NewAgent(powerapi.AgentConfig{
 		Name: name, NodeID: id, Daemon: d, Fallback: limit,
-		PolicyName: "frequency", Metrics: reg, Flight: rec,
+		PolicyName: "frequency", Metrics: reg, Flight: rec, Tracer: tr,
 	})
 	if err != nil {
 		tb.Fatal(err)
@@ -78,7 +81,7 @@ func newWireNode(tb testing.TB, name string, limit units.Watts, rec *flight.Reco
 	srv := httptest.NewServer(osrv.Handler())
 	tb.Cleanup(srv.Close)
 	tb.Cleanup(agent.Close)
-	return &wireNode{name: name, m: m, d: d, srv: srv}
+	return &wireNode{name: name, m: m, d: d, srv: srv, tr: tr}
 }
 
 // TestPartitionFallsBackWithinTTL is the acceptance check for lease
@@ -96,7 +99,7 @@ func TestPartitionFallsBackWithinTTL(t *testing.T) {
 	ts := make([]Transport, n)
 	for i := range nodes {
 		// Node IDs are 1-based: the agent treats NodeID 0 as unset.
-		nodes[i] = newWireNode(t, fmt.Sprintf("n%d", i), fallback, rec, int16(i+1))
+		nodes[i] = newWireNode(t, fmt.Sprintf("n%d", i), fallback, rec, int16(i+1), nil)
 		nodes[i].m.Run(2 * time.Second) // non-zero power so nodes bid
 		ts[i] = NewHTTPNode(nodes[i].name, nodes[i].srv.URL, "coord")
 	}
@@ -351,7 +354,7 @@ func BenchmarkCoordinatorTick(b *testing.B) {
 	nodes := make([]*wireNode, n)
 	ts := make([]Transport, n)
 	for i := range nodes {
-		nodes[i] = newWireNode(b, fmt.Sprintf("n%d", i), budget/n, nil, int16(i))
+		nodes[i] = newWireNode(b, fmt.Sprintf("n%d", i), budget/n, nil, int16(i), nil)
 		nodes[i].m.Run(time.Second)
 		ts[i] = NewHTTPNode(nodes[i].name, nodes[i].srv.URL, "bench")
 	}

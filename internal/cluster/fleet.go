@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/powerapi"
+	"repro/internal/stats"
+	"repro/internal/tracing"
+	"repro/internal/units"
+)
+
+// StragglerTopK bounds the straggler ranking a fleet snapshot carries.
+const StragglerTopK = 5
+
+// NodeObservation is what one reallocation round learned about one node:
+// the transport outcome, the report RPC latency, and the report itself
+// (with its piggybacked status and metrics snapshot when the transport
+// collects them).
+type NodeObservation struct {
+	Node   string
+	Err    error
+	RPC    time.Duration
+	Report Report
+}
+
+// fleetNode is the aggregator's per-node state.
+type fleetNode struct {
+	name        string
+	lastRound   uint64
+	missed      int // consecutive rounds without a good report
+	totalMissed int
+	straggles   int // rounds this node was the straggler
+	worstRPC    time.Duration
+	power       units.Watts
+	limit       units.Watts
+	status      *powerapi.NodeStatus
+	metricsRev  uint64
+	vals        map[string]float64 // delta-merged metrics snapshot
+	rpcAcc      stats.Accumulator
+	rpcRes      *stats.Reservoir
+}
+
+// Fleet aggregates per-node status reports and metrics snapshots into
+// room-level rollups: total power against budget, per-app watts, lease
+// churn, round-latency percentiles, straggler ranking, and version
+// skew. The coordinator feeds it one ObserveRound per reallocation
+// round; /debug/fleet and `powerctl top` render Snapshot. All methods
+// are safe for concurrent use and on a nil receiver.
+type Fleet struct {
+	budget units.Watts
+
+	mu       sync.Mutex
+	round    uint64
+	nodes    map[string]*fleetNode
+	order    []string
+	roundAcc stats.Accumulator
+	roundRes *stats.Reservoir
+
+	// Optional room-level rollup metrics on the coordinator registry.
+	mPower     *metrics.Gauge
+	mBudget    *metrics.Gauge
+	mNodes     *metrics.Gauge
+	mReporting *metrics.Gauge
+	mAppWatts  *metrics.GaugeVec
+	mRoundSec  *metrics.Histogram
+	mStraggler *metrics.Counter
+}
+
+// NewFleet builds an aggregator for a room with the given budget,
+// optionally publishing rollup gauges on reg.
+func NewFleet(budget units.Watts, reg *metrics.Registry) *Fleet {
+	f := &Fleet{
+		budget:   budget,
+		nodes:    make(map[string]*fleetNode),
+		roundRes: stats.NewReservoir(0),
+	}
+	if reg != nil {
+		f.mPower = reg.Gauge("fleet_power_watts", "Power summed over the latest good report of every node.")
+		f.mBudget = reg.Gauge("fleet_budget_watts", "Room power budget.")
+		f.mNodes = reg.Gauge("fleet_nodes", "Nodes the coordinator manages.")
+		f.mReporting = reg.Gauge("fleet_nodes_reporting", "Nodes whose report succeeded in the latest round.")
+		f.mAppWatts = reg.GaugeVec("fleet_app_watts", "Per-application watts summed across nodes, from the latest reports.", "app")
+		f.mRoundSec = reg.Histogram("fleet_round_seconds", "End-to-end latency of one coordinator reallocation round.", metrics.DefBuckets)
+		f.mStraggler = reg.Counter("fleet_straggler_rounds_total", "Rounds in which some node was flagged as the straggler.")
+		f.mBudget.Set(float64(budget))
+	}
+	return f
+}
+
+// ObserveRound folds one reallocation round into the rollups. total is
+// the round's end-to-end latency as the coordinator measured it.
+func (f *Fleet) ObserveRound(round uint64, total time.Duration, obs []NodeObservation) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.round = round
+	f.roundAcc.Add(total.Seconds())
+	f.roundRes.Add(total.Seconds())
+
+	reporting := 0
+	var lats []time.Duration
+	var latNodes []*fleetNode
+	for _, o := range obs {
+		n := f.nodes[o.Node]
+		if n == nil {
+			n = &fleetNode{name: o.Node, rpcRes: stats.NewReservoir(0)}
+			f.nodes[o.Node] = n
+			f.order = append(f.order, o.Node)
+		}
+		if o.Err != nil {
+			n.missed++
+			n.totalMissed++
+			continue
+		}
+		reporting++
+		n.missed = 0
+		n.lastRound = round
+		n.power = o.Report.Power
+		n.limit = o.Report.Limit
+		n.rpcAcc.Add(o.RPC.Seconds())
+		n.rpcRes.Add(o.RPC.Seconds())
+		if o.RPC > n.worstRPC {
+			n.worstRPC = o.RPC
+		}
+		lats = append(lats, o.RPC)
+		latNodes = append(latNodes, n)
+		if st := o.Report.Status; st != nil {
+			n.status = st
+			f.mergeMetricsLocked(n, st, o.Report.MetricsFull)
+		}
+	}
+	if at := tracing.StragglerIn(lats); at >= 0 {
+		latNodes[at].straggles++
+		f.mStraggler.Inc()
+	}
+
+	var totalPower units.Watts
+	appWatts := map[string]float64{}
+	for _, n := range f.nodes {
+		totalPower += n.power
+		if n.status != nil {
+			for _, app := range n.status.Apps {
+				appWatts[app.Name] += app.Watts
+			}
+		}
+	}
+	f.mu.Unlock()
+
+	f.mPower.Set(float64(totalPower))
+	f.mNodes.Set(float64(len(obs)))
+	f.mReporting.Set(float64(reporting))
+	f.mRoundSec.Observe(total.Seconds())
+	if f.mAppWatts != nil {
+		for app, w := range appWatts {
+			f.mAppWatts.With(app).Set(w)
+		}
+	}
+}
+
+// mergeMetricsLocked folds a node's metrics snapshot into its merged
+// view: a full snapshot replaces the map (dropping stale series), a
+// delta overlays only the changed series. Caller holds f.mu.
+func (f *Fleet) mergeMetricsLocked(n *fleetNode, st *powerapi.NodeStatus, full bool) {
+	if st.Metrics == nil && st.MetricsRev == 0 {
+		return
+	}
+	n.metricsRev = st.MetricsRev
+	if full || n.vals == nil {
+		n.vals = make(map[string]float64, len(st.Metrics))
+	}
+	for k, v := range st.Metrics {
+		n.vals[k] = v
+	}
+}
+
+// LatencySummary condenses a latency distribution to what `top` shows.
+type LatencySummary struct {
+	P50MS   float64 `json:"p50_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	Samples int     `json:"samples"`
+}
+
+func summarize(acc stats.Accumulator, res *stats.Reservoir) LatencySummary {
+	return LatencySummary{
+		P50MS:   res.Percentile(50) * 1e3,
+		P99MS:   res.Percentile(99) * 1e3,
+		MaxMS:   acc.Max() * 1e3,
+		Samples: acc.Count(),
+	}
+}
+
+// FleetNode is one node's row in a fleet snapshot.
+type FleetNode struct {
+	Name         string              `json:"name"`
+	PowerWatts   float64             `json:"power_watts"`
+	LimitWatts   float64             `json:"limit_watts"`
+	Policy       string              `json:"policy,omitempty"`
+	Draining     bool                `json:"draining,omitempty"`
+	Lease        *powerapi.LeaseInfo `json:"lease,omitempty"`
+	LastRound    uint64              `json:"last_round"`
+	MissedRounds int                 `json:"missed_rounds,omitempty"`
+	TotalMissed  int                 `json:"total_missed,omitempty"`
+	RPC          LatencySummary      `json:"rpc"`
+	MetricsRev   uint64              `json:"metrics_rev,omitempty"`
+}
+
+// FleetApp is one application's room-wide power rollup.
+type FleetApp struct {
+	Name  string  `json:"name"`
+	Watts float64 `json:"watts"`
+	Nodes int     `json:"nodes"`
+}
+
+// FleetStraggler ranks one node's straggler record.
+type FleetStraggler struct {
+	Node    string  `json:"node"`
+	Rounds  int     `json:"rounds"`
+	WorstMS float64 `json:"worst_ms"`
+}
+
+// FleetSnapshot is the room-level rollup served at /debug/fleet.
+type FleetSnapshot struct {
+	Round           uint64             `json:"round"`
+	BudgetWatts     float64            `json:"budget_watts"`
+	TotalPowerWatts float64            `json:"total_power_watts"`
+	Nodes           []FleetNode        `json:"nodes"`
+	Apps            []FleetApp         `json:"apps,omitempty"`
+	RoundLatency    LatencySummary     `json:"round_latency"`
+	LeaseEvents     map[string]float64 `json:"lease_events,omitempty"`
+	Stragglers      []FleetStraggler   `json:"stragglers,omitempty"`
+	Versions        []string           `json:"versions,omitempty"`
+	MixedVersions   bool               `json:"mixed_versions,omitempty"`
+}
+
+// Snapshot renders the current rollups. Nil-safe (returns zero value).
+func (f *Fleet) Snapshot() FleetSnapshot {
+	if f == nil {
+		return FleetSnapshot{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	snap := FleetSnapshot{
+		Round:        f.round,
+		BudgetWatts:  float64(f.budget),
+		RoundLatency: summarize(f.roundAcc, f.roundRes),
+		LeaseEvents:  map[string]float64{},
+	}
+	apps := map[string]*FleetApp{}
+	versions := map[string]bool{}
+	for _, name := range f.order {
+		n := f.nodes[name]
+		row := FleetNode{
+			Name:         n.name,
+			PowerWatts:   float64(n.power),
+			LimitWatts:   float64(n.limit),
+			LastRound:    n.lastRound,
+			MissedRounds: n.missed,
+			TotalMissed:  n.totalMissed,
+			RPC:          summarize(n.rpcAcc, n.rpcRes),
+			MetricsRev:   n.metricsRev,
+		}
+		if st := n.status; st != nil {
+			row.Policy = st.Policy
+			row.Draining = st.Draining
+			row.Lease = st.Lease
+			for _, app := range st.Apps {
+				a := apps[app.Name]
+				if a == nil {
+					a = &FleetApp{Name: app.Name}
+					apps[app.Name] = a
+				}
+				a.Watts += app.Watts
+				a.Nodes++
+			}
+		}
+		snap.TotalPowerWatts += float64(n.power)
+		for k, v := range n.vals {
+			if ev, ok := leaseEvent(k); ok {
+				snap.LeaseEvents[ev] += v
+			}
+			if strings.HasPrefix(k, "padpd_build_info{") {
+				versions[k] = true
+			}
+		}
+		snap.Nodes = append(snap.Nodes, row)
+		if n.straggles > 0 {
+			snap.Stragglers = append(snap.Stragglers, FleetStraggler{
+				Node: n.name, Rounds: n.straggles, WorstMS: float64(n.worstRPC) / 1e6,
+			})
+		}
+	}
+	for _, a := range apps {
+		snap.Apps = append(snap.Apps, *a)
+	}
+	sort.Slice(snap.Apps, func(i, j int) bool {
+		if snap.Apps[i].Watts != snap.Apps[j].Watts {
+			return snap.Apps[i].Watts > snap.Apps[j].Watts
+		}
+		return snap.Apps[i].Name < snap.Apps[j].Name
+	})
+	sort.Slice(snap.Stragglers, func(i, j int) bool {
+		a, b := snap.Stragglers[i], snap.Stragglers[j]
+		if a.Rounds != b.Rounds {
+			return a.Rounds > b.Rounds
+		}
+		return a.WorstMS > b.WorstMS
+	})
+	if len(snap.Stragglers) > StragglerTopK {
+		snap.Stragglers = snap.Stragglers[:StragglerTopK]
+	}
+	for v := range versions {
+		snap.Versions = append(snap.Versions, v)
+	}
+	sort.Strings(snap.Versions)
+	snap.MixedVersions = len(snap.Versions) > 1
+	if len(snap.LeaseEvents) == 0 {
+		snap.LeaseEvents = nil
+	}
+	return snap
+}
+
+// leaseEvent extracts the event label from a lease-churn series key,
+// e.g. `powerapi_lease_events_total{event="renew"}` -> "renew".
+func leaseEvent(key string) (string, bool) {
+	const prefix = `powerapi_lease_events_total{event="`
+	if !strings.HasPrefix(key, prefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(key, prefix)
+	i := strings.IndexByte(rest, '"')
+	if i < 0 {
+		return "", false
+	}
+	return rest[:i], true
+}

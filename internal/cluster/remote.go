@@ -18,6 +18,13 @@ type HTTPNode struct {
 	coord   string
 	client  *powerapi.Client
 	leaseID atomic.Uint64
+
+	// collect enables piggybacked metrics snapshots on report RPCs.
+	// synced tracks whether the node has a baseline for delta encoding:
+	// the first report (and the first after any error) requests a full
+	// snapshot, steady state requests deltas.
+	collect bool
+	synced  atomic.Bool
 }
 
 // NewHTTPNode builds a transport for a remote node reachable at addr
@@ -33,17 +40,42 @@ func (h *HTTPNode) WithHTTPClient(c *http.Client) *HTTPNode {
 	return h
 }
 
+// CollectMetrics makes every report RPC piggyback the node's metrics
+// snapshot for fleet aggregation: full on first contact and after any
+// transport error, delta-encoded once a baseline exists.
+func (h *HTTPNode) CollectMetrics() *HTTPNode {
+	h.collect = true
+	return h
+}
+
 func (h *HTTPNode) Name() string { return h.name }
 
 func (h *HTTPNode) Report(ctx context.Context) (Report, error) {
-	st, err := h.client.Status(ctx)
+	mode := powerapi.MetricsNone
+	full := false
+	if h.collect {
+		if full = !h.synced.Load(); full {
+			mode = powerapi.MetricsFull
+		} else {
+			mode = powerapi.MetricsDelta
+		}
+	}
+	st, err := h.client.StatusWithMetrics(ctx, mode)
 	if err != nil {
+		// The reply (and any delta it carried) is lost; resync with a
+		// full snapshot on the next report.
+		h.synced.Store(false)
 		return Report{}, err
 	}
+	if h.collect {
+		h.synced.Store(true)
+	}
 	return Report{
-		Power: units.Watts(st.PowerWatts),
-		Limit: units.Watts(st.LimitWatts),
-		Max:   units.Watts(st.MaxWatts),
+		Power:       units.Watts(st.PowerWatts),
+		Limit:       units.Watts(st.LimitWatts),
+		Max:         units.Watts(st.MaxWatts),
+		Status:      st,
+		MetricsFull: full,
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/powerapi"
 	"repro/internal/units"
 )
 
@@ -17,6 +18,14 @@ type Report struct {
 	// Max is the highest cap the node can usefully absorb (the chip's
 	// RAPL maximum).
 	Max units.Watts
+	// Status carries the node's full status frame when the transport has
+	// one (networked transports piggyback it on the report RPC). Fleet
+	// aggregation reads app shares and metrics from it; the water-fill
+	// never does. Nil for transports that only know power numbers.
+	Status *powerapi.NodeStatus
+	// MetricsFull marks Status.Metrics as a complete snapshot rather
+	// than a delta against the previous report.
+	MetricsFull bool
 }
 
 // Grant is one budget lease the coordinator extends to a node: the cap to

@@ -177,6 +177,7 @@ type daemonMetrics struct {
 	limitChanges *metrics.Counter
 	pkgWatts     *metrics.Gauge
 	parkedCores  *metrics.Gauge
+	phaseSeconds *metrics.HistogramVec
 
 	degradedCores     *metrics.Gauge
 	degradedIntervals *metrics.Counter
@@ -201,6 +202,7 @@ func newDaemonMetrics(reg *metrics.Registry) daemonMetrics {
 		limitChanges: reg.Counter("powerd_limit_changes_total", "Times the enforced power limit was changed via SetLimit."),
 		pkgWatts:     reg.Gauge("powerd_package_power_watts", "Package power observed at the last control interval."),
 		parkedCores:  reg.Gauge("powerd_parked_cores", "Cores currently parked by policy decision."),
+		phaseSeconds: reg.HistogramVec("powerd_phase_seconds", "Wall-clock time of one control-iteration phase.", metrics.DefBuckets, "phase"),
 
 		degradedCores:     reg.Gauge("powerd_degraded_cores", "Cores currently isolated from policy control by untrustworthy telemetry."),
 		degradedIntervals: reg.Counter("powerd_degraded_intervals_total", "Control intervals that ran with at least one degraded core or a blind package counter."),
@@ -229,6 +231,11 @@ type Daemon struct {
 	started    bool
 	acc        time.Duration
 	hookErr    error
+
+	// lastPhases is the sample/decide/actuate wall-clock breakdown of the
+	// most recent completed iteration (guarded by mu) — what round tracing
+	// stitches into node-side span trees.
+	lastPhases PhaseLatencies
 
 	// Flight-dump trigger state (guarded by mu).
 	overSince  time.Duration // run time power first exceeded the limit; -1 while under
@@ -442,6 +449,7 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 		}
 		snap.Apps[i] = st
 	}
+	sampleDone := time.Now()
 	actions := d.cfg.Policy.Update(snap)
 	polName := d.cfg.Policy.Name()
 	if d.res != nil {
@@ -471,12 +479,21 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 			})
 		}
 	}
+	decideDone := time.Now()
 	if err := d.apply(actions); err != nil {
 		d.mu.Unlock()
 		return snap, err
 	}
+	actuateDone := time.Now()
 	d.iterations++
 	d.last = snap
+	d.lastPhases = PhaseLatencies{
+		Interval: uint32(d.iterations),
+		Sample:   sampleDone.Sub(began),
+		Decide:   decideDone.Sub(sampleDone),
+		Actuate:  actuateDone.Sub(decideDone),
+	}
+	phases := d.lastPhases
 	nParked := 0
 	for _, p := range d.parked {
 		if p {
@@ -496,6 +513,11 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 	d.m.pkgWatts.Set(float64(snap.PackagePower))
 	d.m.parkedCores.Set(float64(nParked))
 	d.m.iterSeconds.Observe(time.Since(began).Seconds())
+	if d.m.phaseSeconds != nil {
+		d.m.phaseSeconds.With("sample").Observe(phases.Sample.Seconds())
+		d.m.phaseSeconds.With("decide").Observe(phases.Decide.Seconds())
+		d.m.phaseSeconds.With("actuate").Observe(phases.Actuate.Seconds())
+	}
 
 	if dumpReason != "" {
 		path, derr := d.DumpFlight(dumpReason)
@@ -707,6 +729,11 @@ type JitterStats struct {
 func (d *Daemon) Jitter() JitterStats {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	return d.jitterLocked()
+}
+
+// jitterLocked builds JitterStats. Caller holds d.mu (read or write).
+func (d *Daemon) jitterLocked() JitterStats {
 	js := JitterStats{
 		Samples: d.jitterAcc.Count(),
 		Mean:    d.jitterAcc.Mean(),
@@ -717,4 +744,61 @@ func (d *Daemon) Jitter() JitterStats {
 		js.Mean, js.Max = 0, 0
 	}
 	return js
+}
+
+// PhaseLatencies is the wall-clock breakdown of one control iteration
+// into the paper's sample → decide → actuate pipeline: telemetry
+// sampling and snapshot assembly, the policy update (including reason
+// extraction and degraded-mode overrides), and actuation of the
+// returned actions. Interval is the flight-recorder interval id the
+// breakdown belongs to, so node-side round traces can link both.
+type PhaseLatencies struct {
+	Interval uint32
+	Sample   time.Duration
+	Decide   time.Duration
+	Actuate  time.Duration
+}
+
+// Total is the summed phase time.
+func (p PhaseLatencies) Total() time.Duration { return p.Sample + p.Decide + p.Actuate }
+
+// LastPhases reports the phase breakdown of the most recent completed
+// iteration (zero before the first).
+func (d *Daemon) LastPhases() PhaseLatencies {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.lastPhases
+}
+
+// StatusView is a coherent point-in-time view of the control loop: every
+// field was read under one lock acquisition, so a reader can never pair,
+// say, a new policy name with the previous configuration's limit while a
+// live reconfiguration is in flight.
+type StatusView struct {
+	Policy     string
+	Iterations int
+	Limit      units.Watts
+	Snapshot   core.Snapshot
+	Apps       []core.AppSpec
+	Phases     PhaseLatencies
+	Jitter     JitterStats
+	Err        error
+}
+
+// StatusView snapshots the daemon under a single lock acquisition. HTTP
+// status and metrics exposition should prefer this over stitching
+// together individual accessors, each of which locks separately.
+func (d *Daemon) StatusView() StatusView {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return StatusView{
+		Policy:     d.cfg.Policy.Name(),
+		Iterations: d.iterations,
+		Limit:      d.cfg.Limit,
+		Snapshot:   d.last,
+		Apps:       append([]core.AppSpec(nil), d.cfg.Apps...),
+		Phases:     d.lastPhases,
+		Jitter:     d.jitterLocked(),
+		Err:        d.hookErr,
+	}
 }

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Version reports the binary's version string: the module version when
+// the binary was built from a tagged module, else the VCS revision the
+// go tool stamped into the build info (suffixed "-dirty" for modified
+// trees), else "dev". Cheap enough to call once at startup.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// RegisterBuildInfo publishes the process identity series every
+// component exports so fleet rollups can detect mixed-version rooms:
+//
+//	padpd_build_info{component,version,go_version} 1
+//	padpd_start_time_seconds                       <unix time>
+//	padpd_uptime_seconds                           <live>
+//
+// component names the binary ("powerd", "powercoord", ...). Safe to
+// call more than once and on a nil registry.
+func RegisterBuildInfo(r *Registry, component string) {
+	if r == nil {
+		return
+	}
+	r.GaugeVec("padpd_build_info",
+		"Build and version identity of the process; value is always 1.",
+		"component", "version", "go_version").
+		With(component, Version(), runtime.Version()).Set(1)
+	start := time.Now()
+	r.Gauge("padpd_start_time_seconds", "Unix time the process started.").
+		Set(float64(start.UnixNano()) / 1e9)
+	r.GaugeFunc("padpd_uptime_seconds", "Seconds since the process started.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+}

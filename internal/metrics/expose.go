@@ -74,6 +74,10 @@ func (f *family) writePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(m.Value())); err != nil {
 				return err
 			}
+		case *GaugeFunc:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(m.Value())); err != nil {
+				return err
+			}
 		case *Histogram:
 			if err := writeHistogram(w, f.name, f.labels, lvals[key], m); err != nil {
 				return err
@@ -172,11 +176,46 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(out)
 }
 
+// Values flattens the registry into a map from Prometheus series name
+// (name plus rendered label set, e.g. `powerd_actions_total{kind="set_freq"}`)
+// to current value. Counters, gauges, and gauge funcs contribute one
+// entry; histograms contribute their _sum and _count series. This is
+// the snapshot the control plane piggybacks on status reports so the
+// coordinator can aggregate fleet rollups; flat string keys make
+// delta-encoding trivial (send only entries that changed).
+func (r *Registry) Values() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, f := range r.sortedFamilies() {
+		keys, lvals, children := f.sortedChildren()
+		for _, k := range keys {
+			labels := formatLabels(f.labels, lvals[k])
+			switch m := children[k].(type) {
+			case *Counter:
+				out[f.name+labels] = m.Value()
+			case *Gauge:
+				out[f.name+labels] = m.Value()
+			case *GaugeFunc:
+				out[f.name+labels] = m.Value()
+			case *Histogram:
+				_, _, sum, count := m.snapshot()
+				out[f.name+"_sum"+labels] = sum
+				out[f.name+"_count"+labels] = float64(count)
+			}
+		}
+	}
+	return out
+}
+
 func jsonValue(m any) any {
 	switch m := m.(type) {
 	case *Counter:
 		return m.Value()
 	case *Gauge:
+		return m.Value()
+	case *GaugeFunc:
 		return m.Value()
 	case *Histogram:
 		uppers, cumulative, sum, count := m.snapshot()

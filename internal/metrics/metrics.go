@@ -105,6 +105,21 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// GaugeFunc is a gauge whose value is computed at scrape time by a
+// callback — used for values that are cheaper to derive than to track,
+// such as process uptime. The callback must be safe for concurrent use.
+type GaugeFunc struct {
+	fn func() float64
+}
+
+// Value invokes the callback (zero on a nil GaugeFunc).
+func (g *GaugeFunc) Value() float64 {
+	if g == nil || g.fn == nil {
+		return 0
+	}
+	return g.fn()
+}
+
 // Histogram accumulates observations into cumulative buckets.
 type Histogram struct {
 	mu     sync.Mutex
@@ -308,6 +323,25 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		return nil
 	}
 	return r.family(name, help, kindGauge, nil, nil).child(nil).(*Gauge)
+}
+
+// GaugeFunc registers an unlabelled gauge computed by fn at scrape
+// time. Registration is idempotent: if the family already has a child
+// (a previous GaugeFunc or a plain Gauge of the same name), the
+// existing child wins and fn is dropped.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.family(name, help, kindGauge, nil, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.children[""]; ok {
+		return
+	}
+	f.children[""] = &GaugeFunc{fn: fn}
+	f.keys = append(f.keys, "")
+	f.lvals[""] = nil
 }
 
 // Histogram registers (or fetches) an unlabelled histogram with the given

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValuesFlattensAllKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(3)
+	r.Gauge("g", "").Set(-1.5)
+	r.CounterVec("cv_total", "", "kind").With("a").Add(2)
+	r.CounterVec("cv_total", "", "kind").With("b").Inc()
+	h := r.Histogram("h_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	r.GaugeFunc("up", "", func() float64 { return 7 })
+
+	v := r.Values()
+	want := map[string]float64{
+		"c_total":            3,
+		"g":                  -1.5,
+		`cv_total{kind="a"}`: 2,
+		`cv_total{kind="b"}`: 1,
+		"h_seconds_sum":      0.55,
+		"h_seconds_count":    2,
+		"up":                 7,
+	}
+	for k, wv := range want {
+		if got, ok := v[k]; !ok || got != wv {
+			t.Errorf("Values[%q] = %v (present=%v), want %v", k, got, ok, wv)
+		}
+	}
+	if len(v) != len(want) {
+		t.Errorf("Values has %d entries, want %d: %v", len(v), len(want), v)
+	}
+
+	var nilReg *Registry
+	if nilReg.Values() != nil {
+		t.Errorf("nil registry Values should be nil")
+	}
+}
+
+func TestGaugeFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.GaugeFunc("ticks", "live ticks", func() float64 { n++; return n })
+	// Re-registration keeps the first callback.
+	r.GaugeFunc("ticks", "live ticks", func() float64 { return -99 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE ticks gauge\n") || !strings.Contains(out, "ticks 1\n") {
+		t.Fatalf("prometheus output missing gauge func series:\n%s", out)
+	}
+	b.Reset()
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"ticks": 2`) {
+		t.Fatalf("json output missing gauge func value:\n%s", b.String())
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, "powerd")
+	RegisterBuildInfo(r, "powerd") // idempotent
+
+	v := r.Values()
+	var infoSeries string
+	for k, val := range v {
+		if strings.HasPrefix(k, "padpd_build_info{") {
+			if infoSeries != "" {
+				t.Fatalf("duplicate build info series: %q and %q", infoSeries, k)
+			}
+			infoSeries = k
+			if val != 1 {
+				t.Errorf("%s = %v, want 1", k, val)
+			}
+		}
+	}
+	if infoSeries == "" || !strings.Contains(infoSeries, `component="powerd"`) ||
+		!strings.Contains(infoSeries, "go_version=") || !strings.Contains(infoSeries, "version=") {
+		t.Fatalf("build info series missing or malformed: %q (all: %v)", infoSeries, v)
+	}
+	if v["padpd_start_time_seconds"] <= 0 {
+		t.Errorf("start time = %v", v["padpd_start_time_seconds"])
+	}
+	if up, ok := v["padpd_uptime_seconds"]; !ok || up < 0 {
+		t.Errorf("uptime = %v (present=%v)", up, ok)
+	}
+
+	RegisterBuildInfo(nil, "powerd") // must not panic
+}

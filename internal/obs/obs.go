@@ -3,6 +3,7 @@
 //	/metrics            Prometheus text exposition of the metrics registry
 //	/debug/vars         expvar-style JSON dump of the same registry
 //	/debug/status       JSON: last snapshot plus the decision-journal tail
+//	/debug/rounds       JSON: round-trace ring (with WithRounds)
 //	/debug/flight       JSON: flight-recorder occupancy (with WithFlight)
 //	/debug/flight/dump  POST: stream a flight-recorder dump (with WithFlight)
 //	/debug/pprof/...    CPU/heap/block profiles (with WithPprof)
@@ -28,6 +29,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/metrics/decisions"
+	"repro/internal/tracing"
 )
 
 // AppStatus is one application's state in a status report.
@@ -50,7 +52,13 @@ type DaemonStatus struct {
 	Apps              []AppStatus `json:"apps"`
 	JitterMeanSeconds float64     `json:"jitter_mean_seconds"`
 	JitterP99Seconds  float64     `json:"jitter_p99_seconds"`
-	Error             string      `json:"error,omitempty"`
+	// Phase breakdown of the latest control iteration (the paper's
+	// sample → decide → actuate pipeline), matching the span names a
+	// round trace records.
+	PhaseSampleSeconds  float64 `json:"phase_sample_seconds"`
+	PhaseDecideSeconds  float64 `json:"phase_decide_seconds"`
+	PhaseActuateSeconds float64 `json:"phase_actuate_seconds"`
+	Error               string  `json:"error,omitempty"`
 }
 
 // StatusResponse is the /debug/status payload.
@@ -60,21 +68,26 @@ type StatusResponse struct {
 }
 
 // DaemonStatusFunc adapts a daemon into the status callback the server
-// needs. The callback reads the daemon through its mutex-guarded
-// accessors, so it is safe against a live control loop.
+// needs. The callback snapshots the daemon under a single lock
+// acquisition (daemon.StatusView), so a concurrent live reconfiguration
+// can never surface as a torn read — a new policy name paired with the
+// previous configuration's limit, say.
 func DaemonStatusFunc(d *daemon.Daemon) func() DaemonStatus {
 	return func() DaemonStatus {
-		snap := d.LastSnapshot()
-		jit := d.Jitter()
+		view := d.StatusView()
+		snap := view.Snapshot
 		st := DaemonStatus{
-			Policy:            d.PolicyName(),
-			Iterations:        d.Iterations(),
-			TimeSeconds:       snap.Time.Seconds(),
-			LimitWatts:        float64(d.Limit()),
-			PackagePowerWatts: float64(snap.PackagePower),
-			Apps:              make([]AppStatus, len(snap.Apps)),
-			JitterMeanSeconds: jit.Mean,
-			JitterP99Seconds:  jit.P99,
+			Policy:              view.Policy,
+			Iterations:          view.Iterations,
+			TimeSeconds:         snap.Time.Seconds(),
+			LimitWatts:          float64(view.Limit),
+			PackagePowerWatts:   float64(snap.PackagePower),
+			Apps:                make([]AppStatus, len(snap.Apps)),
+			JitterMeanSeconds:   view.Jitter.Mean,
+			JitterP99Seconds:    view.Jitter.P99,
+			PhaseSampleSeconds:  view.Phases.Sample.Seconds(),
+			PhaseDecideSeconds:  view.Phases.Decide.Seconds(),
+			PhaseActuateSeconds: view.Phases.Actuate.Seconds(),
 		}
 		for i, a := range snap.Apps {
 			st.Apps[i] = AppStatus{
@@ -86,8 +99,8 @@ func DaemonStatusFunc(d *daemon.Daemon) func() DaemonStatus {
 				Parked: a.Parked,
 			}
 		}
-		if err := d.Err(); err != nil {
-			st.Error = err.Error()
+		if view.Err != nil {
+			st.Error = view.Err.Error()
 		}
 		return st
 	}
@@ -101,6 +114,7 @@ type Server struct {
 	journal *decisions.Journal
 	status  func() DaemonStatus
 	flight  *flight.Recorder
+	tracer  *tracing.Tracer
 	mux     *http.ServeMux
 
 	mu   sync.Mutex
@@ -120,6 +134,14 @@ type Option func(*Server)
 // decodable by cmd/powerdump).
 func WithFlight(rec *flight.Recorder) Option {
 	return func(s *Server) { s.flight = rec }
+}
+
+// WithRounds exposes the round-trace ring: GET /debug/rounds returns the
+// tracer's retained rounds as a JSON trace log — the per-machine half of
+// the cross-node merged timeline (`powerdump -view merged` joins one such
+// dump per machine by round ID).
+func WithRounds(tr *tracing.Tracer) Option {
+	return func(s *Server) { s.tracer = tr }
 }
 
 // WithPprof mounts net/http/pprof under /debug/pprof/, so CPU, heap, and
@@ -171,6 +193,9 @@ func New(reg *metrics.Registry, journal *decisions.Journal, status func() Daemon
 	if s.flight != nil {
 		s.mux.HandleFunc("/debug/flight", getOnly(s.handleFlight))
 		s.mux.HandleFunc("/debug/flight/dump", s.handleFlightDump)
+	}
+	if s.tracer != nil {
+		s.mux.HandleFunc("/debug/rounds", getOnly(s.handleRounds))
 	}
 	return s
 }
@@ -237,6 +262,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(resp)
+}
+
+func (s *Server) handleRounds(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = s.tracer.Log().Write(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

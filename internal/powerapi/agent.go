@@ -5,6 +5,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/opconfig"
+	"repro/internal/tracing"
 	"repro/internal/units"
 )
 
@@ -51,6 +53,13 @@ type AgentConfig struct {
 	// shared across agents (NodeID tells events apart).
 	Flight *flight.Recorder
 
+	// Tracer, when set, records the node-side span tree of every
+	// coordinator round that touches this agent (receive plus the
+	// daemon's last sample→decide→actuate phase breakdown, linked to
+	// the flight-recorder interval), for the /debug/rounds endpoint and
+	// powerdump's merged cross-node timeline.
+	Tracer *tracing.Tracer
+
 	// now is the agent's clock; tests may override it.
 	now func() time.Time
 }
@@ -81,6 +90,14 @@ type Agent struct {
 	mLease    *metrics.CounterVec // by event: grant, renew, expire, fallback, refuse
 	mReconfig *metrics.Counter
 	mLeaseW   *metrics.Gauge
+
+	// Metrics-snapshot state for fleet aggregation: lastSent is the
+	// previous snapshot served, against which deltas are computed.
+	// Guarded by its own mutex so a slow registry walk never holds the
+	// lease lock.
+	metricsMu  sync.Mutex
+	metricsRev uint64
+	lastSent   map[string]float64
 }
 
 // NewAgent validates the configuration and builds an agent.
@@ -150,7 +167,13 @@ func (a *Agent) Handler() http.Handler {
 // writeMsg frames msg in an envelope and writes it with the protocol
 // media type.
 func writeMsg(w http.ResponseWriter, status int, msg any) {
-	data, err := Marshal(msg)
+	writeMsgRound(w, status, msg, 0)
+}
+
+// writeMsgRound is writeMsg echoing the control-round ID the request
+// carried, so both directions of a round's traffic join on it.
+func writeMsgRound(w http.ResponseWriter, status int, msg any, round uint64) {
+	data, err := MarshalRound(msg, round)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -166,51 +189,74 @@ func writeErr(w http.ResponseWriter, status int, code, format string, args ...an
 }
 
 // readMsg decodes a request body expecting one message kind, enforcing
-// method, media type, and size.
-func readMsg(w http.ResponseWriter, r *http.Request, want string) (any, bool) {
+// method, media type, and size. It also returns the control-round ID
+// the envelope carried, zero if none.
+func readMsg(w http.ResponseWriter, r *http.Request, want string) (any, uint64, bool) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeErr(w, http.StatusMethodNotAllowed, CodeBadRequest, "%s requires POST", r.URL.Path)
-		return nil, false
+		return nil, 0, false
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		mt, _, err := mime.ParseMediaType(ct)
 		if err != nil || mt != ContentType {
 			writeErr(w, http.StatusUnsupportedMediaType, CodeBadRequest, "content type %q, want %s", ct, ContentType)
-			return nil, false
+			return nil, 0, false
 		}
 	}
 	data, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
-		return nil, false
+		return nil, 0, false
 	}
 	if len(data) > maxBody {
 		writeErr(w, http.StatusRequestEntityTooLarge, CodeBadRequest, "body over %d bytes", maxBody)
-		return nil, false
+		return nil, 0, false
 	}
-	msg, err := UnmarshalAs(data, want)
+	env, msg, err := UnmarshalEnvelope(data)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
-		return nil, false
+		return nil, 0, false
 	}
-	return msg, true
+	if env.Kind == KindError {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", msg.(*ErrorReply))
+		return nil, 0, false
+	}
+	if env.Kind != want {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "got %s, want %s", env.Kind, want)
+		return nil, 0, false
+	}
+	return msg, env.Round, true
 }
 
-// Status snapshots the node's control-plane state.
+// queryRound parses the ?round= query parameter body-less requests
+// carry their round ID in.
+func queryRound(r *http.Request) uint64 {
+	round, _ := strconv.ParseUint(r.URL.Query().Get("round"), 10, 64)
+	return round
+}
+
+// Status snapshots the node's control-plane state. The daemon fields
+// come from one StatusView — a single lock acquisition on the control
+// loop — so the reported policy, limit, apps, and snapshot always
+// belong to the same interval even while a reconfiguration is applied.
 func (a *Agent) Status() *NodeStatus {
 	d := a.cfg.Daemon
-	snap := d.LastSnapshot()
+	view := d.StatusView()
 	st := &NodeStatus{
 		Node:       a.cfg.Name,
-		Policy:     d.PolicyName(),
-		LimitWatts: float64(d.Limit()),
-		PowerWatts: float64(snap.PackagePower),
+		Policy:     view.Policy,
+		LimitWatts: float64(view.Limit),
+		PowerWatts: float64(view.Snapshot.PackagePower),
 		MaxWatts:   float64(d.Chip().RAPLMax),
-		Iterations: d.Iterations(),
+		Iterations: view.Iterations,
 	}
-	for _, s := range d.Apps() {
-		as := AppShare{Name: s.Name, Core: s.Core, Shares: int(s.Shares)}
+	coreWatts := make(map[int]float64, len(view.Snapshot.Apps))
+	for _, as := range view.Snapshot.Apps {
+		coreWatts[as.Spec.Core] = float64(as.Power)
+	}
+	for _, s := range view.Apps {
+		as := AppShare{Name: s.Name, Core: s.Core, Shares: int(s.Shares), Watts: coreWatts[s.Core]}
 		if s.HighPriority {
 			as.Priority = "hp"
 		} else {
@@ -238,6 +284,61 @@ func (a *Agent) Status() *NodeStatus {
 	return st
 }
 
+// metricsSnapshot builds the snapshot a ?metrics= status request asked
+// for and advances the delta baseline. Deltas are relative to the last
+// snapshot served to anyone: with several pollers, have all but one use
+// MetricsFull.
+func (a *Agent) metricsSnapshot(mode string) (uint64, map[string]float64) {
+	vals := a.cfg.Metrics.Values()
+	if vals == nil {
+		return 0, nil
+	}
+	a.metricsMu.Lock()
+	defer a.metricsMu.Unlock()
+	a.metricsRev++
+	out := vals
+	if mode == MetricsDelta {
+		out = make(map[string]float64)
+		for k, v := range vals {
+			if old, ok := a.lastSent[k]; !ok || old != v {
+				out[k] = v
+			}
+		}
+	}
+	a.lastSent = vals
+	return a.metricsRev, out
+}
+
+// traceRound records this agent's span tree for one coordinator round:
+// the request handling span plus the daemon's last completed
+// sample→decide→actuate breakdown, anchored after it and linked to the
+// flight-recorder interval id. No-op without a tracer or outside a
+// round.
+func (a *Agent) traceRound(round uint64, name string, start time.Duration) {
+	tr := a.cfg.Tracer
+	if tr == nil || round == 0 {
+		return
+	}
+	b := tr.Begin(round)
+	// Begin stamps Start at "now"; rewind it to when handling began.
+	b.SetStart(start)
+	end := tr.Now()
+	b.Span(name, "", start, end, nil)
+	if ph := a.cfg.Daemon.LastPhases(); ph.Interval != 0 {
+		b.SetInterval(ph.Interval)
+		// The phases ran asynchronously inside the control loop; they
+		// are laid out back-to-back after the handling span so the
+		// merged timeline shows the pipeline the round observed.
+		t := end
+		b.Span("sample", "", t, t+ph.Sample, nil)
+		t += ph.Sample
+		b.Span("decide", "", t, t+ph.Decide, nil)
+		t += ph.Decide
+		b.Span("actuate", "", t, t+ph.Actuate, nil)
+	}
+	b.End()
+}
+
 func (a *Agent) serveStatus(w http.ResponseWriter, r *http.Request) {
 	a.mRequests.With("status").Inc()
 	if r.Method != http.MethodGet {
@@ -245,7 +346,21 @@ func (a *Agent) serveStatus(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, CodeBadRequest, "status requires GET")
 		return
 	}
-	writeMsg(w, http.StatusOK, a.Status())
+	mode := r.URL.Query().Get("metrics")
+	switch mode {
+	case MetricsNone, MetricsFull, MetricsDelta:
+	default:
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "metrics mode %q, want full or delta", mode)
+		return
+	}
+	round := queryRound(r)
+	start := a.cfg.Tracer.Now()
+	st := a.Status()
+	if mode != MetricsNone {
+		st.MetricsRev, st.Metrics = a.metricsSnapshot(mode)
+	}
+	a.traceRound(round, "receive", start)
+	writeMsgRound(w, http.StatusOK, st, round)
 }
 
 // Grant applies a budget lease: enforce the granted cap now, fall back to
@@ -344,20 +459,22 @@ func (a *Agent) expire(epoch uint64) {
 
 func (a *Agent) serveLease(w http.ResponseWriter, r *http.Request) {
 	a.mRequests.With("lease").Inc()
-	msg, ok := readMsg(w, r, KindLeaseGrant)
+	msg, round, ok := readMsg(w, r, KindLeaseGrant)
 	if !ok {
 		return
 	}
+	start := a.cfg.Tracer.Now()
 	ack, err := a.Grant(msg.(*LeaseGrant))
+	a.traceRound(round, "grant", start)
 	if err != nil {
 		status := http.StatusConflict
 		if e, k := err.(*ErrorReply); k && e.Code == CodeInvalid {
 			status = http.StatusBadRequest
 		}
-		writeMsg(w, status, err.(*ErrorReply))
+		writeMsgRound(w, status, err.(*ErrorReply), round)
 		return
 	}
-	writeMsg(w, http.StatusOK, ack)
+	writeMsgRound(w, http.StatusOK, ack, round)
 }
 
 // ApplyReconfigure translates a wire reconfiguration into a daemon
@@ -443,16 +560,16 @@ func (a *Agent) ApplyReconfigure(rc *Reconfigure) (*ReconfigureAck, error) {
 
 func (a *Agent) serveReconfigure(w http.ResponseWriter, r *http.Request) {
 	a.mRequests.With("reconfigure").Inc()
-	msg, ok := readMsg(w, r, KindReconfigure)
+	msg, round, ok := readMsg(w, r, KindReconfigure)
 	if !ok {
 		return
 	}
 	ack, err := a.ApplyReconfigure(msg.(*Reconfigure))
 	if err != nil {
-		writeMsg(w, http.StatusBadRequest, err.(*ErrorReply))
+		writeMsgRound(w, http.StatusBadRequest, err.(*ErrorReply), round)
 		return
 	}
-	writeMsg(w, http.StatusOK, ack)
+	writeMsgRound(w, http.StatusOK, ack, round)
 }
 
 // SetDrain toggles drain mode. Draining cancels any held lease, drops the
@@ -489,16 +606,16 @@ func (a *Agent) SetDrain(on bool) (*DrainAck, error) {
 
 func (a *Agent) serveDrain(w http.ResponseWriter, r *http.Request) {
 	a.mRequests.With("drain").Inc()
-	msg, ok := readMsg(w, r, KindDrain)
+	msg, round, ok := readMsg(w, r, KindDrain)
 	if !ok {
 		return
 	}
 	ack, err := a.SetDrain(msg.(*Drain).On)
 	if err != nil {
-		writeMsg(w, http.StatusInternalServerError, err.(*ErrorReply))
+		writeMsgRound(w, http.StatusInternalServerError, err.(*ErrorReply), round)
 		return
 	}
-	writeMsg(w, http.StatusOK, ack)
+	writeMsgRound(w, http.StatusOK, ack, round)
 }
 
 // Close stops any pending lease-expiry timer. The agent must not be used

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -36,15 +37,24 @@ func normalize(addr string) string {
 }
 
 // roundTrip performs one request and decodes the expected reply kind;
-// ErrorReply envelopes surface as *ErrorReply errors.
+// ErrorReply envelopes surface as *ErrorReply errors. A control-round
+// ID on the context (WithRound) is propagated: bodied requests carry it
+// in the envelope, body-less ones as a ?round= query parameter.
 func (c *Client) roundTrip(ctx context.Context, method, path string, msg any, want string) (any, error) {
+	round := RoundFrom(ctx)
 	var body io.Reader
 	if msg != nil {
-		data, err := Marshal(msg)
+		data, err := MarshalRound(msg, round)
 		if err != nil {
 			return nil, err
 		}
 		body = bytes.NewReader(data)
+	} else if round != 0 {
+		sep := "?"
+		if strings.Contains(path, "?") {
+			sep = "&"
+		}
+		path += sep + "round=" + strconv.FormatUint(round, 10)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
@@ -86,7 +96,27 @@ func firstLine(data []byte) string {
 
 // Status fetches the node's control-plane status.
 func (c *Client) Status(ctx context.Context) (*NodeStatus, error) {
-	reply, err := c.roundTrip(ctx, http.MethodGet, PathPrefix+"status", nil, KindStatus)
+	return c.StatusWithMetrics(ctx, MetricsNone)
+}
+
+// Metrics snapshot modes for StatusWithMetrics.
+const (
+	MetricsNone  = ""      // no snapshot (plain status)
+	MetricsFull  = "full"  // every series
+	MetricsDelta = "delta" // only series changed since the agent's last snapshot
+)
+
+// StatusWithMetrics fetches the node's status with a piggybacked
+// metrics snapshot: MetricsFull for every series, MetricsDelta for only
+// what changed since the agent's previous snapshot. Use MetricsFull on
+// first contact and after any transport failure (a lost response also
+// loses the delta it carried), MetricsDelta on the steady path.
+func (c *Client) StatusWithMetrics(ctx context.Context, mode string) (*NodeStatus, error) {
+	path := PathPrefix + "status"
+	if mode != MetricsNone {
+		path += "?metrics=" + mode
+	}
+	reply, err := c.roundTrip(ctx, http.MethodGet, path, nil, KindStatus)
 	if err != nil {
 		return nil, err
 	}

@@ -17,36 +17,51 @@ func FuzzUnmarshalMessage(f *testing.F) {
 		}
 		f.Add(data)
 	}
+	for _, msg := range sampleMessages()[:3] {
+		data, err := MarshalRound(msg, 77)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
 	f.Add([]byte(`{"v":1,"kind":"drain","body":{}}`))
 	f.Add([]byte(`{"v":2,"kind":"drain","body":{"on":true}}`))
 	f.Add([]byte(`{"v":1,"kind":"bogus","body":{}}`))
 	f.Add([]byte(`{"v":1,"kind":"status","body":{"node":"n","apps":[]}}`))
+	f.Add([]byte(`{"v":1,"kind":"drain","body":{"on":true},"round":12345}`))
+	f.Add([]byte(`{"v":1,"kind":"status","body":{"node":"n","metrics_rev":3,"metrics":{"x":1}},"round":9}`))
+	f.Add([]byte(`{"v":1,"kind":"drain","body":{"on":true},"future_field":{"deep":[1,2]}}`))
+	f.Add([]byte(`{"v":1,"kind":"heartbeat","body":{"node":"n"},"round":-1}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(``))
 	f.Add([]byte(`[1,2,3]`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		kind, msg, err := Unmarshal(data)
+		env, msg, err := UnmarshalEnvelope(data)
 		if err != nil {
 			return
 		}
+		kind := env.Kind
 		if _, ok := kinds[kind]; !ok {
 			t.Fatalf("decoded unregistered kind %q", kind)
 		}
-		re, err := Marshal(msg)
+		re, err := MarshalRound(msg, env.Round)
 		if err != nil {
 			t.Fatalf("decoded %s does not re-marshal: %v", kind, err)
 		}
-		kind2, msg2, err := Unmarshal(re)
+		env2, msg2, err := UnmarshalEnvelope(re)
 		if err != nil {
 			t.Fatalf("re-marshaled %s does not decode: %v", kind, err)
 		}
-		if kind2 != kind {
-			t.Fatalf("kind changed across round trip: %s -> %s", kind, kind2)
+		if env2.Kind != kind {
+			t.Fatalf("kind changed across round trip: %s -> %s", kind, env2.Kind)
+		}
+		if env2.Round != env.Round {
+			t.Fatalf("round changed across round trip: %d -> %d", env.Round, env2.Round)
 		}
 		// One Marshal canonicalises (omitempty may drop empty fields);
 		// after that, the bytes must be a fixed point.
-		re2, err := Marshal(msg2)
+		re2, err := MarshalRound(msg2, env2.Round)
 		if err != nil {
 			t.Fatalf("second marshal of %s: %v", kind, err)
 		}

@@ -4,10 +4,13 @@
 // per-node power-delivery daemons, and operators (cmd/powerctl) inspect
 // and live-reconfigure a running daemon without restarting it.
 //
-// Every message travels inside an Envelope{v, kind, body}; unknown fields,
-// unknown kinds, and version mismatches are rejected loudly, so protocol
-// drift between coordinator and node surfaces as an error rather than a
-// silently-misread field. The node side (Agent) mounts under
+// Every message travels inside an Envelope{v, kind, body}; unknown body
+// fields, unknown kinds, and version mismatches are rejected loudly, so
+// protocol drift between coordinator and node surfaces as an error
+// rather than a silently-misread field. The envelope itself is the
+// versioned extension point: decoders tolerate unknown envelope fields,
+// so additive envelope metadata (like the round ID below) reaches new
+// peers while old ones ignore it. The node side (Agent) mounts under
 // /v1/power/ on the daemon's existing observability server; the
 // coordinator side mounts under /v1/cluster/.
 //
@@ -41,6 +44,13 @@ type Envelope struct {
 	V    int             `json:"v"`
 	Kind string          `json:"kind"`
 	Body json.RawMessage `json:"body"`
+
+	// Round is the coordinator-assigned control-round ID the message
+	// belongs to, zero outside a round. It rides the envelope (not the
+	// body) so every message kind carries it without a schema change,
+	// and old decoders — which tolerate unknown envelope fields —
+	// simply ignore it.
+	Round uint64 `json:"round,omitempty"`
 }
 
 // Message kinds. The registry below maps each to its body type.
@@ -72,6 +82,14 @@ type NodeStatus struct {
 	Draining      bool       `json:"draining,omitempty"`
 	Lease         *LeaseInfo `json:"lease,omitempty"`
 	Apps          []AppShare `json:"apps,omitempty"`
+
+	// MetricsRev and Metrics carry an optional metrics snapshot for
+	// fleet aggregation, requested via ?metrics=full|delta on the
+	// status endpoint. A delta holds only series whose value changed
+	// since the previous snapshot this agent served; MetricsRev
+	// increments per snapshot so a receiver can spot missed deltas.
+	MetricsRev uint64             `json:"metrics_rev,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
 // LeaseInfo describes the lease a node currently holds.
@@ -89,6 +107,9 @@ type AppShare struct {
 	Core     int    `json:"core"`
 	Shares   int    `json:"shares,omitempty"`
 	Priority string `json:"priority,omitempty"`
+	// Watts is the application's observed core power at the node's
+	// last control interval — the input to fleet per-app rollups.
+	Watts float64 `json:"watts,omitempty"`
 }
 
 // LeaseGrant leases part of the room budget to a node: enforce Limit now,
@@ -229,6 +250,12 @@ func KindOf(msg any) string {
 
 // Marshal frames a message body in a versioned envelope.
 func Marshal(msg any) ([]byte, error) {
+	return MarshalRound(msg, 0)
+}
+
+// MarshalRound frames a message body in a versioned envelope stamped
+// with a control-round ID (zero omits the stamp).
+func MarshalRound(msg any, round uint64) ([]byte, error) {
 	kind := KindOf(msg)
 	if kind == "" {
 		return nil, fmt.Errorf("powerapi: %T is not a protocol message", msg)
@@ -237,32 +264,41 @@ func Marshal(msg any) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("powerapi: marshal %s: %w", kind, err)
 	}
-	return json.Marshal(Envelope{V: Version, Kind: kind, Body: body})
+	return json.Marshal(Envelope{V: Version, Kind: kind, Body: body, Round: round})
 }
 
-// Unmarshal parses an envelope and its body. Unknown fields anywhere,
-// unknown kinds, and foreign versions are errors.
+// Unmarshal parses an envelope and its body. Unknown body fields,
+// unknown kinds, and foreign versions are errors; unknown envelope
+// fields are tolerated (the envelope is the forward-compatible
+// extension point).
 func Unmarshal(data []byte) (string, any, error) {
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
+	env, msg, err := UnmarshalEnvelope(data)
+	return env.Kind, msg, err
+}
+
+// UnmarshalEnvelope is Unmarshal exposing the decoded envelope, for
+// callers that need its metadata (the round ID) as well as the body.
+func UnmarshalEnvelope(data []byte) (Envelope, any, error) {
 	var env Envelope
-	if err := dec.Decode(&env); err != nil {
-		return "", nil, fmt.Errorf("powerapi: envelope: %w", err)
+	// The envelope decodes leniently so additive fields from newer
+	// peers pass through old decoders; bodies stay strict below.
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Envelope{}, nil, fmt.Errorf("powerapi: envelope: %w", err)
 	}
 	if env.V != Version {
-		return "", nil, fmt.Errorf("powerapi: version %d, want %d", env.V, Version)
+		return env, nil, fmt.Errorf("powerapi: version %d, want %d", env.V, Version)
 	}
 	mk, ok := kinds[env.Kind]
 	if !ok {
-		return "", nil, fmt.Errorf("powerapi: unknown kind %q", env.Kind)
+		return env, nil, fmt.Errorf("powerapi: unknown kind %q", env.Kind)
 	}
 	msg := mk()
 	bdec := json.NewDecoder(bytes.NewReader(env.Body))
 	bdec.DisallowUnknownFields()
 	if err := bdec.Decode(msg); err != nil {
-		return "", nil, fmt.Errorf("powerapi: %s body: %w", env.Kind, err)
+		return env, nil, fmt.Errorf("powerapi: %s body: %w", env.Kind, err)
 	}
-	return env.Kind, msg, nil
+	return env, msg, nil
 }
 
 // UnmarshalAs parses an envelope expecting one specific kind; an error

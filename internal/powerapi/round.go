@@ -1,0 +1,28 @@
+package powerapi
+
+import "context"
+
+// roundKey carries the control-round ID through a context.
+type roundKey struct{}
+
+// WithRound returns a context stamped with a control-round ID. The
+// coordinator stamps the context once per reallocation round; Client
+// propagates it onto every request it makes under that context (in the
+// envelope for bodied requests, as a ?round= query parameter for GETs),
+// and the node-side agent records its handling under the same ID — the
+// join key for cross-node merged timelines.
+func WithRound(ctx context.Context, round uint64) context.Context {
+	if round == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, roundKey{}, round)
+}
+
+// RoundFrom extracts the control-round ID from a context, zero if none.
+func RoundFrom(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	v, _ := ctx.Value(roundKey{}).(uint64)
+	return v
+}

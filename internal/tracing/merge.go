@@ -1,0 +1,205 @@
+package tracing
+
+import (
+	"sort"
+	"time"
+)
+
+// Straggler detection: a node is flagged for a round when its report
+// RPC took at least StragglerFactor times the round's median report
+// latency AND exceeded it by at least StragglerFloor. The absolute
+// floor keeps loopback-fast rounds (median in the microseconds) from
+// flagging ordinary scheduling noise.
+const (
+	StragglerFactor = 2
+	StragglerFloor  = 5 * time.Millisecond
+)
+
+// NodeRound is one node's slice of a merged round: the coordinator's
+// view of its RPCs plus, when the node's dump covers the round, the
+// node-side span tree joined by round ID.
+type NodeRound struct {
+	Node string `json:"node"`
+	// Report and Grant are the coordinator-side RPC spans for this node.
+	Report *Span `json:"report,omitempty"`
+	Grant  *Span `json:"grant,omitempty"`
+	// Record is the node's own round record (receive/sample/decide/
+	// actuate spans, flight-recorder interval link); nil when the node
+	// dump has no record for the round — a partition-induced gap.
+	Record *Round `json:"record,omitempty"`
+	// Missing marks nodes the coordinator contacted but whose dump has
+	// no matching round record.
+	Missing bool `json:"missing,omitempty"`
+	// Straggler marks the node flagged as this round's straggler.
+	Straggler bool `json:"straggler,omitempty"`
+}
+
+// MergedRound is one coordinator round joined with every node that
+// participated in it.
+type MergedRound struct {
+	ID    uint64        `json:"id"`
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+	// Plan is the coordinator's local planning span, if recorded.
+	Plan  *Span       `json:"plan,omitempty"`
+	Nodes []NodeRound `json:"nodes"`
+	// Straggler names the slowest node whose report RPC latency
+	// qualifies under StragglerFactor/StragglerFloor.
+	Straggler string `json:"straggler,omitempty"`
+	// Gaps lists nodes with no node-side record for this round.
+	Gaps []string `json:"gaps,omitempty"`
+}
+
+// StragglerStat aggregates one node's straggler behaviour across the
+// merged window.
+type StragglerStat struct {
+	Node string `json:"node"`
+	// Rounds is how many rounds flagged this node.
+	Rounds int `json:"rounds"`
+	// Worst is the node's worst report RPC latency.
+	Worst time.Duration `json:"worst_ns"`
+}
+
+// Timeline is the cross-node merged view: every coordinator round
+// resolved to per-node spans by round ID.
+type Timeline struct {
+	Coordinator string        `json:"coordinator"`
+	Rounds      []MergedRound `json:"rounds"`
+	// Stragglers ranks nodes by how often they were the round
+	// straggler, worst first (top-K is the caller's slice to take).
+	Stragglers []StragglerStat `json:"stragglers,omitempty"`
+	// GapRounds counts rounds with at least one partition-induced gap.
+	GapRounds int `json:"gap_rounds,omitempty"`
+}
+
+// StragglerIn applies the straggler rule to one round's report
+// latencies and returns the index of the flagged node, or -1. Only the
+// slowest node can be the straggler; ties keep the first.
+func StragglerIn(latencies []time.Duration) int {
+	if len(latencies) < 2 {
+		return -1
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	worst, at := time.Duration(-1), -1
+	for i, l := range latencies {
+		if l > worst {
+			worst, at = l, i
+		}
+	}
+	if worst >= median*StragglerFactor && worst >= median+StragglerFloor {
+		return at
+	}
+	return -1
+}
+
+// Merge joins a coordinator log with node logs by round ID, flagging
+// stragglers and partition-induced gaps. Node logs are matched to
+// coordinator RPC spans by their Origin.
+func Merge(coord Log, nodes []Log) Timeline {
+	// Index node-side rounds: origin -> round ID -> merged record.
+	// A node may record several rounds with the same ID (a status
+	// report and a grant both arrive within one coordinator round);
+	// collapse them into one record with the union of spans.
+	byNode := make(map[string]map[uint64]*Round, len(nodes))
+	for _, nl := range nodes {
+		m := byNode[nl.Origin]
+		if m == nil {
+			m = make(map[uint64]*Round)
+			byNode[nl.Origin] = m
+		}
+		for _, r := range nl.Rounds {
+			if r.ID == 0 {
+				continue
+			}
+			if have, ok := m[r.ID]; ok {
+				have.Spans = append(have.Spans, r.Spans...)
+				if r.Start < have.Start {
+					have.Start = r.Start
+				}
+				if r.End > have.End {
+					have.End = r.End
+				}
+				if r.Interval != 0 {
+					have.Interval = r.Interval
+				}
+			} else {
+				cp := r
+				cp.Spans = append([]Span(nil), r.Spans...)
+				m[r.ID] = &cp
+			}
+		}
+	}
+
+	tl := Timeline{Coordinator: coord.Origin}
+	stats := make(map[string]*StragglerStat)
+	for _, cr := range coord.Rounds {
+		mr := MergedRound{ID: cr.ID, Start: cr.Start, End: cr.End}
+		if p := cr.Find("plan", ""); p != nil {
+			cp := *p
+			mr.Plan = &cp
+		}
+		// One NodeRound per node the coordinator talked to, in the
+		// order its report spans were recorded.
+		var lats []time.Duration
+		var latIdx []int
+		for i := range cr.Spans {
+			s := cr.Spans[i]
+			if s.Name != "report" || s.Node == "" {
+				continue
+			}
+			nr := NodeRound{Node: s.Node}
+			sp := s
+			nr.Report = &sp
+			if g := cr.Find("grant", s.Node); g != nil {
+				gp := *g
+				nr.Grant = &gp
+			}
+			if rec, ok := byNode[s.Node][cr.ID]; ok {
+				nr.Record = rec
+			} else {
+				nr.Missing = true
+				mr.Gaps = append(mr.Gaps, s.Node)
+			}
+			if s.Err == "" {
+				lats = append(lats, sp.Latency())
+				latIdx = append(latIdx, len(mr.Nodes))
+			}
+			mr.Nodes = append(mr.Nodes, nr)
+		}
+		if at := StragglerIn(lats); at >= 0 {
+			n := &mr.Nodes[latIdx[at]]
+			n.Straggler = true
+			mr.Straggler = n.Node
+			st := stats[n.Node]
+			if st == nil {
+				st = &StragglerStat{Node: n.Node}
+				stats[n.Node] = st
+			}
+			st.Rounds++
+			if l := n.Report.Latency(); l > st.Worst {
+				st.Worst = l
+			}
+		}
+		if len(mr.Gaps) > 0 {
+			tl.GapRounds++
+		}
+		tl.Rounds = append(tl.Rounds, mr)
+	}
+	sort.Slice(tl.Rounds, func(i, j int) bool { return tl.Rounds[i].ID < tl.Rounds[j].ID })
+	for _, st := range stats {
+		tl.Stragglers = append(tl.Stragglers, *st)
+	}
+	sort.Slice(tl.Stragglers, func(i, j int) bool {
+		a, b := tl.Stragglers[i], tl.Stragglers[j]
+		if a.Rounds != b.Rounds {
+			return a.Rounds > b.Rounds
+		}
+		if a.Worst != b.Worst {
+			return a.Worst > b.Worst
+		}
+		return a.Node < b.Node
+	})
+	return tl
+}

@@ -1,0 +1,213 @@
+package tracing
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Now() != 0 || tr.Origin() != "" || tr.Total() != 0 {
+		t.Fatalf("nil tracer leaked state")
+	}
+	if got := tr.Rounds(); got != nil {
+		t.Fatalf("nil tracer Rounds = %v, want nil", got)
+	}
+	b := tr.Begin(7)
+	b.Span("report", "n1", 0, 1, nil)
+	b.SetInterval(3)
+	b.End() // must not panic
+	if l := tr.Log(); l.Origin != "" || len(l.Rounds) != 0 {
+		t.Fatalf("nil tracer Log = %+v", l)
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	tr := New("coord", 4)
+	for id := uint64(1); id <= 10; id++ {
+		tr.Add(Round{ID: id})
+	}
+	rounds := tr.Rounds()
+	if len(rounds) != 4 {
+		t.Fatalf("kept %d rounds, want 4", len(rounds))
+	}
+	for i, r := range rounds {
+		if want := uint64(7 + i); r.ID != want {
+			t.Fatalf("rounds[%d].ID = %d, want %d (oldest-first)", i, r.ID, want)
+		}
+		if r.Origin != "coord" {
+			t.Fatalf("rounds[%d].Origin = %q, want coord", i, r.Origin)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+}
+
+func TestBuilderConcurrentSpans(t *testing.T) {
+	tr := New("coord", 8)
+	b := tr.Begin(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := b.Now()
+			b.Span("report", "n", s, b.Now(), errors.New("boom"))
+		}()
+	}
+	wg.Wait()
+	b.End()
+	rounds := tr.Rounds()
+	if len(rounds) != 1 || len(rounds[0].Spans) != 16 {
+		t.Fatalf("got %d rounds / %d spans, want 1/16", len(rounds), len(rounds[0].Spans))
+	}
+	for _, s := range rounds[0].Spans {
+		if s.Err != "boom" {
+			t.Fatalf("span err = %q", s.Err)
+		}
+	}
+	if rounds[0].End < rounds[0].Start {
+		t.Fatalf("round ends before it starts: %+v", rounds[0])
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	tr := New("n3", 4)
+	b := tr.Begin(42)
+	b.SetInterval(9)
+	b.Span("receive", "", 10, 20, nil)
+	b.Span("sample", "", 11, 13, nil)
+	b.End()
+
+	var buf bytes.Buffer
+	if err := tr.Log().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != "n3" || got.Total != 1 || len(got.Rounds) != 1 {
+		t.Fatalf("round-tripped log = %+v", got)
+	}
+	r := got.Rounds[0]
+	if r.ID != 42 || r.Interval != 9 || len(r.Spans) != 2 {
+		t.Fatalf("round-tripped round = %+v", r)
+	}
+	if s := r.Find("sample", ""); s == nil || s.Latency() != 2 {
+		t.Fatalf("Find(sample) = %+v", s)
+	}
+}
+
+func TestStragglerIn(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name string
+		lats []time.Duration
+		want int
+	}{
+		{"uniform", []time.Duration{ms(1), ms(1), ms(1), ms(1)}, -1},
+		{"one slow", []time.Duration{ms(1), ms(50), ms(1), ms(2)}, 1},
+		{"slow but under floor", []time.Duration{ms(1), ms(3), ms(1), ms(1)}, -1},
+		{"slow but under factor", []time.Duration{ms(40), ms(60), ms(41), ms(42)}, -1},
+		{"single node", []time.Duration{ms(100)}, -1},
+	}
+	for _, c := range cases {
+		if got := StragglerIn(c.lats); got != c.want {
+			t.Errorf("%s: StragglerIn = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestMerge joins a synthetic coordinator log with node logs and
+// checks round resolution, gap flagging, and straggler ranking.
+func TestMerge(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	coord := Log{
+		Origin: "coord",
+		Rounds: []Round{
+			{ID: 2, Start: ms(100), End: ms(160), Spans: []Span{
+				{Name: "report", Node: "a", Start: ms(100), End: ms(101)},
+				{Name: "report", Node: "b", Start: ms(100), End: ms(150)},
+				{Name: "report", Node: "c", Start: ms(100), End: ms(102)},
+				{Name: "plan", Start: ms(150), End: ms(151)},
+				{Name: "grant", Node: "a", Start: ms(151), End: ms(152)},
+			}},
+			{ID: 1, Start: ms(0), End: ms(10), Spans: []Span{
+				{Name: "report", Node: "a", Start: ms(0), End: ms(1)},
+				{Name: "report", Node: "b", Start: ms(0), End: ms(1)},
+				{Name: "report", Node: "c", Start: ms(0), End: ms(2), Err: "timeout"},
+			}},
+		},
+	}
+	nodes := []Log{
+		{Origin: "a", Rounds: []Round{
+			{ID: 1, Interval: 5, Spans: []Span{{Name: "receive", Start: ms(0), End: ms(1)}}},
+			{ID: 2, Interval: 6, Spans: []Span{{Name: "receive", Start: ms(100), End: ms(101)}}},
+			// Second record for the same round (grant handling):
+			// must collapse into one record with both spans.
+			{ID: 2, Spans: []Span{{Name: "apply", Start: ms(151), End: ms(152)}}},
+		}},
+		{Origin: "b", Rounds: []Round{
+			{ID: 1, Spans: []Span{{Name: "receive", Start: ms(0), End: ms(1)}}},
+			{ID: 2, Spans: []Span{{Name: "receive", Start: ms(149), End: ms(150)}}},
+		}},
+		// node c's dump has no rounds: every coordinator round shows a gap.
+	}
+
+	tl := Merge(coord, nodes)
+	if tl.Coordinator != "coord" || len(tl.Rounds) != 2 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	if tl.Rounds[0].ID != 1 || tl.Rounds[1].ID != 2 {
+		t.Fatalf("rounds not sorted by ID: %d, %d", tl.Rounds[0].ID, tl.Rounds[1].ID)
+	}
+
+	r2 := tl.Rounds[1]
+	if r2.Straggler != "b" {
+		t.Fatalf("round 2 straggler = %q, want b", r2.Straggler)
+	}
+	if r2.Plan == nil || r2.Plan.Latency() != ms(1) {
+		t.Fatalf("round 2 plan span = %+v", r2.Plan)
+	}
+	var a, c *NodeRound
+	for i := range r2.Nodes {
+		switch r2.Nodes[i].Node {
+		case "a":
+			a = &r2.Nodes[i]
+		case "c":
+			c = &r2.Nodes[i]
+		}
+	}
+	if a == nil || a.Record == nil || a.Record.Interval != 6 || len(a.Record.Spans) != 2 {
+		t.Fatalf("node a record not collapsed: %+v", a)
+	}
+	if a.Grant == nil || a.Grant.Latency() != ms(1) {
+		t.Fatalf("node a grant = %+v", a.Grant)
+	}
+	if c == nil || !c.Missing || c.Record != nil {
+		t.Fatalf("node c should be a gap: %+v", c)
+	}
+	if len(r2.Gaps) != 1 || r2.Gaps[0] != "c" {
+		t.Fatalf("round 2 gaps = %v", r2.Gaps)
+	}
+	if tl.GapRounds != 2 {
+		t.Fatalf("GapRounds = %d, want 2 (c missing in both)", tl.GapRounds)
+	}
+
+	// Round 1: b is not a straggler (uniform latencies); c's report
+	// errored so it is excluded from straggler math but still a gap.
+	if tl.Rounds[0].Straggler != "" {
+		t.Fatalf("round 1 straggler = %q, want none", tl.Rounds[0].Straggler)
+	}
+	if len(tl.Stragglers) != 1 || tl.Stragglers[0].Node != "b" || tl.Stragglers[0].Rounds != 1 {
+		t.Fatalf("straggler stats = %+v", tl.Stragglers)
+	}
+	if tl.Stragglers[0].Worst != ms(50) {
+		t.Fatalf("straggler worst = %v, want 50ms", tl.Stragglers[0].Worst)
+	}
+}
