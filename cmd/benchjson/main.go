@@ -92,6 +92,9 @@ func runCompare(spec string, threshold float64, absolute bool) error {
 		if err != nil {
 			return err
 		}
+		for _, w := range bench.ShapeWarnings(bf, cf) {
+			fmt.Fprintf(os.Stderr, "%s: warning: %s\n", base, w)
+		}
 		regs, err := bench.Compare(bf, cf, bench.CompareOptions{Threshold: threshold, Absolute: absolute})
 		if err != nil {
 			return err

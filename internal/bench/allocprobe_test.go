@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func buildLoop(t *testing.T, chip platform.Chip, mkpol func(platform.Chip, []core.AppSpec) (core.Policy, error)) (*sim.Machine, *daemon.Daemon) {
+	names := []string{"gcc", "cam4", "leela", "cactusBSSN"}
+	reg := metrics.NewRegistry()
+	m, err := sim.New(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]core.AppSpec, chip.NumCores)
+	for i := 0; i < chip.NumCores; i++ {
+		p := workload.MustByName(names[i%len(names)])
+		if err := m.Pin(workload.NewInstance(p), i); err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = core.AppSpec{Name: p.Name, Core: i, Shares: units.Shares(10 + i%7), AVX: p.AVX, HighPriority: i%2 == 0, BaselineIPS: 1e9}
+	}
+	pol, err := mkpol(chip, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := chip.RAPLMax * 6 / 10
+	d, err := daemon.New(daemon.Config{Chip: chip, Policy: pol, Apps: specs, Limit: limit, Metrics: reg}, m.Device(), daemon.MachineActuator{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+// TestAllocProbeDetectsInjection proves the measurement the zero-alloc
+// gate rests on can actually fail: the same loop with one allocating
+// snapshot hook wired in reads as nonzero allocs/op immediately. A green
+// TestAllocProbe is therefore evidence of absence, not an artifact of a
+// probe that cannot trip.
+func TestAllocProbeDetectsInjection(t *testing.T) {
+	chip := platform.Skylake()
+	m, err := sim.New(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.MustByName("gcc")
+	if err := m.Pin(workload.NewInstance(p), 0); err != nil {
+		t.Fatal(err)
+	}
+	specs := []core.AppSpec{{Name: p.Name, Core: 0, Shares: 10, AVX: p.AVX, BaselineIPS: 1e9}}
+	pol, err := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink []core.AppState
+	d, err := daemon.New(daemon.Config{
+		Chip: chip, Policy: pol, Apps: specs, Limit: chip.RAPLMax * 6 / 10,
+		OnSnapshot: func(s core.Snapshot) {
+			sink = append([]core.AppState(nil), s.Apps...) // one heap copy per interval
+		},
+	}, m.Device(), daemon.MachineActuator{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		m.Step()
+		if _, err := d.RunIteration(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := testing.AllocsPerRun(100, func() {
+		m.Step()
+		if _, err := d.RunIteration(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n == 0 {
+		t.Error("injected per-interval allocation went unmeasured; the zero-alloc probe cannot trip")
+	}
+	_ = sink
+}
+
+func TestAllocProbe(t *testing.T) {
+	chips := map[string]platform.Chip{
+		"sky10":  platform.Skylake(),
+		"sky128": platform.MultiSocket(platform.ScaleSocket(platform.Skylake(), 64), 2),
+		"ryzen8": platform.Ryzen(),
+	}
+	pols := map[string]func(platform.Chip, []core.AppSpec) (core.Policy, error){
+		"freq": func(c platform.Chip, s []core.AppSpec) (core.Policy, error) {
+			return core.NewFrequencyShares(c, s, core.ShareConfig{})
+		},
+		"perf": func(c platform.Chip, s []core.AppSpec) (core.Policy, error) {
+			return core.NewPerformanceShares(c, s, core.ShareConfig{})
+		},
+		"power": func(c platform.Chip, s []core.AppSpec) (core.Policy, error) {
+			if !c.PerCorePower {
+				return nil, nil
+			}
+			return core.NewPowerShares(c, s, core.ShareConfig{})
+		},
+		"prio": func(c platform.Chip, s []core.AppSpec) (core.Policy, error) {
+			return core.NewPriority(c, s, core.PriorityConfig{Limit: c.RAPLMax * 6 / 10})
+		},
+		"prioshares": func(c platform.Chip, s []core.AppSpec) (core.Policy, error) {
+			return core.NewPriorityShares(c, s, core.PriorityConfig{Limit: c.RAPLMax * 6 / 10})
+		},
+	}
+	for cn, chip := range chips {
+		for pn, mk := range pols {
+			if pn == "power" && !chip.PerCorePower {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/%s", cn, pn), func(t *testing.T) {
+				m, d := buildLoop(t, chip, mk)
+				for i := 0; i < 50; i++ {
+					m.Step()
+					if _, err := d.RunIteration(time.Millisecond); err != nil {
+						t.Fatal(err)
+					}
+				}
+				n := testing.AllocsPerRun(100, func() {
+					m.Step()
+					if _, err := d.RunIteration(time.Millisecond); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if n != 0 {
+					t.Errorf("allocs per iteration = %v, want 0", n)
+				}
+			})
+		}
+	}
+}

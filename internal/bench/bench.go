@@ -45,28 +45,34 @@ type Entry struct {
 // File is one benchmark trajectory file (BENCH_coordinator.json,
 // BENCH_loop.json).
 type File struct {
-	Schema    string  `json:"schema"`
-	Name      string  `json:"name"`
-	GitRev    string  `json:"git_rev"`
-	GoVersion string  `json:"go_version"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	NumCPU    int     `json:"num_cpu"`
-	Smoke     bool    `json:"smoke,omitempty"`
-	Entries   []Entry `json:"entries"`
+	Schema    string `json:"schema"`
+	Name      string `json:"name"`
+	GitRev    string `json:"git_rev"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler width the run executed under; with
+	// NumCPU it describes the machine shape, which the comparator uses
+	// to warn when baseline and candidate ran on wildly different
+	// hardware (a calibration hazard, not a failure).
+	GOMAXPROCS int     `json:"gomaxprocs,omitempty"`
+	Smoke      bool    `json:"smoke,omitempty"`
+	Entries    []Entry `json:"entries"`
 }
 
 // NewFile stamps an empty trajectory file with the environment.
 func NewFile(name string, smoke bool) *File {
 	return &File{
-		Schema:    Schema,
-		Name:      name,
-		GitRev:    GitRev(),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Smoke:     smoke,
+		Schema:     Schema,
+		Name:       name,
+		GitRev:     GitRev(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Smoke:      smoke,
 	}
 }
 

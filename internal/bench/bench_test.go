@@ -177,17 +177,97 @@ func TestTrajectorySmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(lents) != 2 {
-		t.Fatalf("loop smoke entries = %d, want 2", len(lents))
+	if len(lents) != len(loopSmokeCores) {
+		t.Fatalf("loop smoke entries = %d, want %d", len(lents), len(loopSmokeCores))
 	}
-	for _, e := range lents {
-		if e.NsPerOp <= 0 || e.Config["cores"] == 0 {
+	sawMultiSocket := false
+	for i, e := range lents {
+		if e.NsPerOp <= 0 || e.Config["cores"] != loopSmokeCores[i] {
 			t.Errorf("entry %+v", e)
+		}
+		if e.Config["cores"] > benchSocketCores {
+			sawMultiSocket = true
+		}
+		// The steady-state loop invariant the CI gate enforces, checked at
+		// the source too so a regression fails fast in `go test`.
+		if e.AllocsPerOp != 0 {
+			t.Errorf("%s: allocs/op = %v, want 0", e.Name, e.AllocsPerOp)
 		}
 		for _, ph := range []string{"sample", "decide", "actuate"} {
 			if e.Phases[ph] <= 0 {
 				t.Errorf("%s: phase %q missing (%v)", e.Name, ph, e.Phases)
 			}
 		}
+	}
+	if !sawMultiSocket {
+		t.Error("loop smoke never reached a multi-socket machine")
+	}
+}
+
+// The zero-alloc gate is absolute: a loop_iteration entry with any
+// allocations fails the comparison regardless of threshold, slack, or
+// what the baseline recorded — including entries the baseline has never
+// seen.
+func TestCompareZeroAllocGate(t *testing.T) {
+	base := baseline()
+	base.Entries = append(base.Entries, Entry{
+		Name: "loop_iteration/cores=10", Config: map[string]int{"cores": 10},
+		NsPerOp: 4_000, AllocsPerOp: 0, BytesPerOp: 0,
+	})
+	cand := baseline()
+	cand.Entries = append(cand.Entries, Entry{
+		Name: "loop_iteration/cores=10", Config: map[string]int{"cores": 10},
+		NsPerOp: 4_000, AllocsPerOp: 1, BytesPerOp: 64,
+	})
+
+	regs, err := Compare(base, cand, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "allocs/op (zero-alloc gate)" || regs[0].Limit != 0 {
+		t.Fatalf("gate did not trip: %+v", regs)
+	}
+
+	// Even a brand-new configuration absent from the baseline is gated.
+	cand.Entries = append(cand.Entries, Entry{
+		Name: "loop_iteration/cores=512", Config: map[string]int{"cores": 512},
+		NsPerOp: 100_000, AllocsPerOp: 3,
+	})
+	regs, _ = Compare(base, cand, CompareOptions{})
+	if len(regs) != 2 {
+		t.Fatalf("unmatched entry escaped the gate: %+v", regs)
+	}
+
+	// Zero allocs passes; the slack that forgives small alloc flips
+	// elsewhere must not apply here.
+	cand = baseline()
+	cand.Entries = append(cand.Entries, Entry{
+		Name: "loop_iteration/cores=10", AllocsPerOp: 0, NsPerOp: 4_000,
+	})
+	if regs, _ := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("clean candidate flagged: %+v", regs)
+	}
+}
+
+func TestShapeWarnings(t *testing.T) {
+	base := baseline()
+	cand := baseline()
+	if w := ShapeWarnings(base, cand); len(w) != 0 {
+		t.Fatalf("same shape warned: %v", w)
+	}
+	cand.NumCPU = base.NumCPU * 8
+	cand.GOMAXPROCS = base.GOMAXPROCS * 8
+	w := ShapeWarnings(base, cand)
+	if len(w) != 2 {
+		t.Fatalf("8x CPU/GOMAXPROCS gap: warnings = %v", w)
+	}
+	cand = baseline()
+	cand.GOARCH = "arm64"
+	if w := ShapeWarnings(base, cand); len(w) != 1 {
+		t.Fatalf("arch mismatch: warnings = %v", w)
+	}
+	// Warnings never turn into failures: Compare stays clean.
+	if regs, _ := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("shape mismatch failed the gate: %+v", regs)
 	}
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // DefaultThreshold is the fractional ns/op regression the comparator
@@ -13,6 +14,19 @@ const DefaultThreshold = 0.20
 // tiny benchmarks flip a handful of allocations with runtime-internal
 // noise, which must not read as a regression.
 const allocSlack = 8
+
+// zeroAllocPrefix names the benchmark family held to the zero-allocation
+// invariant: the steady-state control loop. Any entry under this prefix
+// with a nonzero allocs/op fails the gate outright — no threshold, no
+// slack, no calibration — because a single allocation per iteration is a
+// GC-pressure regression the threshold machinery exists to excuse
+// everywhere else.
+const zeroAllocPrefix = "loop_iteration/"
+
+// shapeWarnRatio is how far apart two machines' logical CPU counts may
+// be before the comparator warns that calibration is stretching across
+// very different hardware.
+const shapeWarnRatio = 4
 
 // Regression is one entry that got slower than the baseline allows.
 type Regression struct {
@@ -106,6 +120,9 @@ func Compare(baseline, candidate *File, opts CompareOptions) ([]Regression, erro
 				Old: p.old.NsPerOp, New: p.new.NsPerOp, Limit: limit,
 			})
 		}
+		if strings.HasPrefix(p.old.Name, zeroAllocPrefix) {
+			continue // held to the hard zero gate below instead
+		}
 		if limit := p.old.AllocsPerOp*(1+threshold) + allocSlack; p.new.AllocsPerOp > limit {
 			regs = append(regs, Regression{
 				Name: p.old.Name, Metric: "allocs/op",
@@ -113,5 +130,59 @@ func Compare(baseline, candidate *File, opts CompareOptions) ([]Regression, erro
 			})
 		}
 	}
+
+	// The zero-allocation gate runs over every candidate entry — matched
+	// or not — so a newly added configuration cannot smuggle allocations
+	// in just because the baseline predates it.
+	for _, e := range candidate.Entries {
+		if strings.HasPrefix(e.Name, zeroAllocPrefix) && e.AllocsPerOp > 0 {
+			var old float64
+			if o, ok := oldByName(baseline, e.Name); ok {
+				old = o.AllocsPerOp
+			}
+			regs = append(regs, Regression{
+				Name: e.Name, Metric: "allocs/op (zero-alloc gate)",
+				Old: old, New: e.AllocsPerOp, Limit: 0,
+			})
+		}
+	}
 	return regs, nil
+}
+
+func oldByName(f *File, name string) (Entry, bool) {
+	for _, e := range f.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// ShapeWarnings reports advisory mismatches between the machines that
+// produced the baseline and the candidate: a different architecture, or
+// logical CPU counts more than shapeWarnRatio apart. These make the
+// median-ratio calibration stretch further than it was designed to, so
+// the verdicts deserve scepticism — but a shape difference alone is
+// exactly what calibration exists to absorb, so it warns rather than
+// fails.
+func ShapeWarnings(baseline, candidate *File) []string {
+	var warns []string
+	if baseline.GOOS != candidate.GOOS || baseline.GOARCH != candidate.GOARCH {
+		warns = append(warns, fmt.Sprintf(
+			"baseline ran on %s/%s but candidate on %s/%s; ns/op calibration is unreliable across architectures",
+			baseline.GOOS, baseline.GOARCH, candidate.GOOS, candidate.GOARCH))
+	}
+	bq, cq := baseline.NumCPU, candidate.NumCPU
+	if bq > 0 && cq > 0 && (bq >= cq*shapeWarnRatio || cq >= bq*shapeWarnRatio) {
+		warns = append(warns, fmt.Sprintf(
+			"baseline machine has %d logical CPUs but candidate has %d (>%dx apart); contended phases scale differently",
+			bq, cq, shapeWarnRatio))
+	}
+	bp, cp := baseline.GOMAXPROCS, candidate.GOMAXPROCS
+	if bp > 0 && cp > 0 && (bp >= cp*shapeWarnRatio || cp >= bp*shapeWarnRatio) {
+		warns = append(warns, fmt.Sprintf(
+			"baseline ran with GOMAXPROCS=%d but candidate with GOMAXPROCS=%d (>%dx apart); scheduler width differs wildly",
+			bp, cp, shapeWarnRatio))
+	}
+	return warns
 }

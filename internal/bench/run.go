@@ -21,36 +21,42 @@ import (
 )
 
 // Node counts for the coordinator-tick trajectory and core counts for
-// the control-loop trajectory. Smoke mode drops the largest
-// configuration so CI's gate run stays fast.
+// the control-loop trajectory. Smoke mode keeps the loop trajectory
+// through the first multi-socket size (128 cores, where the NUMA paths
+// start mattering) and drops only the largest fleets, so CI's gate run
+// stays fast but still exercises cross-socket sampling.
 var (
-	coordinatorNodes = []int{4, 16, 64}
-	loopCores        = []int{4, 10, 32}
+	coordinatorNodes      = []int{4, 16, 64}
+	coordinatorSmokeNodes = []int{4, 16}
+	loopCores             = []int{4, 10, 32, 128, 256, 512}
+	loopSmokeCores        = []int{4, 10, 32, 128}
 )
 
-func sizes(all []int, smoke bool) []int {
+func sizes(all, smokeSubset []int, smoke bool) []int {
 	if smoke {
-		return all[:len(all)-1]
+		return smokeSubset
 	}
 	return all
 }
 
-// scaledSkylake widens the paper's Skylake to the given core count: the
-// turbo table's last bin covers every core and the RAPL window scales
-// with the socket so the control policy operates in the same regime at
-// every size.
-func scaledSkylake(cores int) platform.Chip {
-	chip := platform.Skylake()
-	chip.Name = fmt.Sprintf("%s (scaled %d cores)", chip.Name, cores)
-	chip.NumCores = cores
-	if last := len(chip.Freq.Turbo) - 1; chip.Freq.Turbo[last].MaxActive < cores {
-		chip.Freq.Turbo[last].MaxActive = cores
+// benchSocketCores is the per-socket core count the multi-socket bench
+// machines are built from: eight of these make the 512-core flagship.
+const benchSocketCores = 64
+
+// benchChip builds the control-loop benchmark machine for a core count:
+// a single widened Skylake socket up to 64 cores, and a multi-socket
+// package of 64-core sockets beyond that (128 = 2×64, 512 = 8×64), so
+// the large configurations exercise per-socket RAPL domains and
+// cross-socket turbo occupancy rather than one implausibly wide socket.
+func benchChip(cores int) platform.Chip {
+	if cores <= benchSocketCores {
+		return platform.ScaleSocket(platform.Skylake(), cores)
 	}
-	chip.RAPLMax = chip.RAPLMax * units.Watts(cores) / units.Watts(platform.Skylake().NumCores)
-	if chip.RAPLMax <= chip.RAPLMin {
-		chip.RAPLMax = chip.RAPLMin + 10
+	if cores%benchSocketCores != 0 {
+		panic(fmt.Sprintf("bench: %d cores is not a multiple of the %d-core bench socket", cores, benchSocketCores))
 	}
-	return chip
+	socket := platform.ScaleSocket(platform.Skylake(), benchSocketCores)
+	return platform.MultiSocket(socket, cores/benchSocketCores)
 }
 
 // benchNode is one loopback-HTTP node for the coordinator benchmark:
@@ -140,7 +146,7 @@ func phaseWalls(log tracing.Log) map[string]float64 {
 // phase breakdown taken from the round traces the run records.
 func CoordinatorTrajectory(smoke bool) ([]Entry, error) {
 	var entries []Entry
-	for _, n := range sizes(coordinatorNodes, smoke) {
+	for _, n := range sizes(coordinatorNodes, coordinatorSmokeNodes, smoke) {
 		budget := units.Watts(30 * n)
 		nodes := make([]*benchNode, n)
 		ts := make([]cluster.Transport, n)
@@ -194,8 +200,8 @@ func CoordinatorTrajectory(smoke bool) ([]Entry, error) {
 func LoopTrajectory(smoke bool) ([]Entry, error) {
 	names := []string{"gcc", "cam4", "leela", "cactusBSSN"}
 	var entries []Entry
-	for _, cores := range sizes(loopCores, smoke) {
-		chip := scaledSkylake(cores)
+	for _, cores := range sizes(loopCores, loopSmokeCores, smoke) {
+		chip := benchChip(cores)
 		reg := metrics.NewRegistry()
 		m, err := sim.New(chip)
 		if err != nil {

@@ -55,16 +55,22 @@ func (p *PerformanceShares) Targets() []float64 {
 
 func (p *PerformanceShares) bounds() (bases, lo, hi []float64) {
 	maxShare := p.maxShare()
-	n := len(p.specs)
-	bases = make([]float64, n)
-	lo = make([]float64, n)
-	hi = make([]float64, n)
+	bases, lo, hi = p.scrBases, p.scrLo, p.scrHi
 	for i, s := range p.specs {
 		bases[i] = s.Shares.Fraction(maxShare)
 		lo[i] = minNormPerf
 		hi[i] = 1
 	}
 	return bases, lo, hi
+}
+
+// materialize fills the normalised performance targets for the current
+// level without allocating.
+func (p *PerformanceShares) materialize(bases, lo, hi []float64) {
+	if p.targets == nil {
+		p.targets = make([]float64, len(p.specs))
+	}
+	applyLevelInto(p.targets, p.level, bases, lo, hi)
 }
 
 // Initial implements Policy: the highest-share application targets full
@@ -75,8 +81,8 @@ func (p *PerformanceShares) Initial() []Action {
 	p.setReasons(ReasonInitial)
 	p.level = 1
 	bases, lo, hi := p.bounds()
-	p.targets = applyLevel(p.level, bases, lo, hi)
-	freqs := make([]units.Hertz, len(p.specs))
+	p.materialize(bases, lo, hi)
+	freqs := p.scrFreqs
 	for i := range p.specs {
 		f := units.Hertz(p.targets[i] * float64(p.chip.Freq.Max()))
 		freqs[i] = f.Clamp(p.chip.Freq.Min, p.ceiling(i))
@@ -102,16 +108,16 @@ func (p *PerformanceShares) Update(s Snapshot) []Action {
 			cur += t
 		}
 		p.level = solveLevel(bases, lo, hi, cur+perfDelta)
-		p.targets = applyLevel(p.level, bases, lo, hi)
+		p.materialize(bases, lo, hi)
 	} else {
 		p.setReasons(ReasonWithinDeadband, ReasonTranslateOnly)
 	}
 	// Translation always runs: even inside the deadband, measured
 	// performance drifts with program phase and the frequencies must track
 	// the existing targets.
-	freqs := make([]units.Hertz, len(p.specs))
+	freqs := p.scrFreqs
 	for i, spec := range p.specs {
-		st := stateFor(s, spec.Core)
+		st := stateForHint(s, spec.Core, i)
 		var f units.Hertz
 		switch {
 		case st == nil || st.Freq <= 0 || st.NormPerf() <= 1e-3:

@@ -74,10 +74,7 @@ func (p *PowerShares) bounds(limit units.Watts) (bases, lo, hi []float64) {
 		total += s.Shares
 	}
 	budget := float64(p.budget(limit))
-	n := len(p.specs)
-	bases = make([]float64, n)
-	lo = make([]float64, n)
-	hi = make([]float64, n)
+	bases, lo, hi = p.scrBases, p.scrLo, p.scrHi
 	pmin := float64(p.chip.Power.CorePower(p.chip.Freq.Min, 1))
 	for i, s := range p.specs {
 		bases[i] = budget * s.Shares.Fraction(total)
@@ -88,9 +85,11 @@ func (p *PowerShares) bounds(limit units.Watts) (bases, lo, hi []float64) {
 }
 
 func (p *PowerShares) materialize(bases, lo, hi []float64) {
-	ts := applyLevel(p.level, bases, lo, hi)
-	p.targets = make([]units.Watts, len(ts))
-	for i, t := range ts {
+	if p.targets == nil {
+		p.targets = make([]units.Watts, len(p.specs))
+	}
+	applyLevelInto(p.scrLvl, p.level, bases, lo, hi)
+	for i, t := range p.scrLvl {
 		p.targets[i] = units.Watts(t)
 	}
 }
@@ -121,7 +120,7 @@ func (p *PowerShares) InitialForLimit(limit units.Watts) []Action {
 	p.limit = limit
 	bases, lo, hi := p.bounds(limit)
 	p.materialize(bases, lo, hi)
-	freqs := make([]units.Hertz, len(p.specs))
+	freqs := p.scrFreqs
 	for i := range p.specs {
 		freqs[i] = p.linearFreq(i, p.targets[i])
 	}
@@ -157,11 +156,11 @@ func (p *PowerShares) Update(s Snapshot) []Action {
 		p.setReasons(ReasonWithinDeadband, ReasonTranslateOnly)
 	}
 	if limitChanged {
-		p.reasons = append([]Reason{ReasonLimitChange}, p.reasons...)
+		p.prependReason(ReasonLimitChange)
 	}
-	freqs := make([]units.Hertz, len(p.specs))
+	freqs := p.scrFreqs
 	for i, spec := range p.specs {
-		st := stateFor(s, spec.Core)
+		st := stateForHint(s, spec.Core, i)
 		var f units.Hertz
 		switch {
 		case st == nil || st.Freq <= 0 || st.Power <= 0.01:

@@ -26,6 +26,10 @@ type Priority struct {
 	hpFreq   units.Hertz
 	lpFreq   units.Hertz
 	lpActive int // number of LP apps currently running (0 = class starved)
+
+	// scrActs is the reusable action buffer; the slice actions() returns is
+	// valid until the next Initial/Update call, per the Policy contract.
+	scrActs []Action
 }
 
 // PriorityConfig parameterises the priority policy.
@@ -71,6 +75,7 @@ func NewPriority(chip platform.Chip, specs []AppSpec, cfg PriorityConfig) (*Prio
 	if len(p.hp) == 0 {
 		return nil, fmt.Errorf("core: priority policy needs at least one high-priority app")
 	}
+	p.scrActs = make([]Action, 0, len(p.specs))
 	return p, nil
 }
 
@@ -110,7 +115,7 @@ func (p *Priority) actions() []Action {
 	// state); emitted actions are quantised to valid P-states.
 	hpF := p.chip.Freq.Quantize(p.hpFreq)
 	lpF := p.chip.Freq.Quantize(p.lpFreq)
-	out := make([]Action, 0, len(p.specs))
+	out := p.scrActs[:0]
 	for _, i := range p.hp {
 		out = append(out, Action{Core: p.specs[i].Core, Freq: hpF})
 	}

@@ -27,6 +27,20 @@ type PriorityShares struct {
 	hpLevel  float64
 	lpLevel  float64
 	lpActive int
+
+	// Per-interval scratch, sized for the full spec set and sliced down to
+	// the class being worked on. Class use is strictly sequential (the HP
+	// targets are consumed into actions before the LP targets are computed)
+	// so one shared set suffices. The Action slice actions() returns is
+	// owned by this scratch: valid until the next Initial/Update call.
+	scrBases []float64
+	scrLo    []float64
+	scrHi    []float64
+	scrLvl   []float64
+	scrT     []units.Hertz
+	scrFreqs []units.Hertz
+	scrActs  []Action
+	cluster  *pstateClusterer
 }
 
 // NewPriorityShares builds the composed policy. Every spec needs positive
@@ -56,6 +70,15 @@ func NewPriorityShares(chip platform.Chip, specs []AppSpec, cfg PriorityConfig) 
 	if len(p.hp) == 0 {
 		return nil, fmt.Errorf("core: priority policy needs at least one high-priority app")
 	}
+	n := len(p.specs)
+	p.scrBases = make([]float64, n)
+	p.scrLo = make([]float64, n)
+	p.scrHi = make([]float64, n)
+	p.scrLvl = make([]float64, n)
+	p.scrT = make([]units.Hertz, n)
+	p.scrFreqs = make([]units.Hertz, n)
+	p.scrActs = make([]Action, 0, n)
+	p.cluster = newPStateClusterer(n, chip.MaxSimultaneousPStates)
 	return p, nil
 }
 
@@ -78,9 +101,7 @@ func (p *PriorityShares) classBounds(idxs []int) (bases, lo, hi []float64) {
 		}
 	}
 	n := len(idxs)
-	bases = make([]float64, n)
-	lo = make([]float64, n)
-	hi = make([]float64, n)
+	bases, lo, hi = p.scrBases[:n], p.scrLo[:n], p.scrHi[:n]
 	for k, i := range idxs {
 		ceil := p.chip.Freq.Ceiling(p.occupancy(), p.specs[i].AVX)
 		if mf := p.specs[i].MaxFreq; mf > 0 && mf < ceil {
@@ -96,12 +117,15 @@ func (p *PriorityShares) classBounds(idxs []int) (bases, lo, hi []float64) {
 	return bases, lo, hi
 }
 
-// classTargets materialises one class's per-app frequencies.
+// classTargets materialises one class's per-app frequencies into the shared
+// scratch; the result is valid until the next classTargets/moveLevel/
+// classSaturated call.
 func (p *PriorityShares) classTargets(idxs []int, level float64) []units.Hertz {
 	bases, lo, hi := p.classBounds(idxs)
-	ts := applyLevel(level, bases, lo, hi)
-	out := make([]units.Hertz, len(ts))
-	for i, t := range ts {
+	lvl := p.scrLvl[:len(idxs)]
+	applyLevelInto(lvl, level, bases, lo, hi)
+	out := p.scrT[:len(idxs)]
+	for i, t := range lvl {
 		out[i] = units.Hertz(t)
 	}
 	return out
@@ -110,8 +134,10 @@ func (p *PriorityShares) classTargets(idxs []int, level float64) []units.Hertz {
 // moveLevel shifts a class's water level to absorb a total frequency delta.
 func (p *PriorityShares) moveLevel(idxs []int, level, freqDelta float64) float64 {
 	bases, lo, hi := p.classBounds(idxs)
+	lvl := p.scrLvl[:len(idxs)]
+	applyLevelInto(lvl, level, bases, lo, hi)
 	var cur float64
-	for _, t := range applyLevel(level, bases, lo, hi) {
+	for _, t := range lvl {
 		cur += t
 	}
 	return solveLevel(bases, lo, hi, cur+freqDelta)
@@ -121,7 +147,8 @@ func (p *PriorityShares) moveLevel(idxs []int, level, freqDelta float64) float64
 // direction (+1 up, -1 down).
 func (p *PriorityShares) classSaturated(idxs []int, level float64, dir int) bool {
 	bases, lo, hi := p.classBounds(idxs)
-	ts := applyLevel(level, bases, lo, hi)
+	ts := p.scrLvl[:len(idxs)]
+	applyLevelInto(ts, level, bases, lo, hi)
 	for i, t := range ts {
 		if dir > 0 && t < hi[i]-1e-6 {
 			return false
@@ -144,7 +171,7 @@ func (p *PriorityShares) Initial() []Action {
 }
 
 func (p *PriorityShares) actions() []Action {
-	out := make([]Action, 0, len(p.specs))
+	out := p.scrActs[:0]
 	hpT := p.classTargets(p.hp, p.hpLevel)
 	for k, i := range p.hp {
 		out = append(out, Action{Core: p.specs[i].Core, Freq: p.chip.Freq.Quantize(hpT[k])})
@@ -160,18 +187,18 @@ func (p *PriorityShares) actions() []Action {
 		out = append(out, Action{Core: p.specs[i].Core, Park: true})
 	}
 	// The platform's simultaneous-P-state limit applies across classes.
-	if k := p.chip.MaxSimultaneousPStates; k > 0 {
-		freqs := make([]units.Hertz, 0, len(out))
+	if p.chip.MaxSimultaneousPStates > 0 {
+		freqs := p.scrFreqs[:0]
 		for _, a := range out {
 			if !a.Park {
 				freqs = append(freqs, a.Freq)
 			}
 		}
-		clustered := ClusterPStates(freqs, k, p.chip.Freq)
+		p.cluster.clusterInto(freqs, freqs, p.chip.Freq)
 		j := 0
 		for i := range out {
 			if !out[i].Park {
-				out[i].Freq = clustered[j]
+				out[i].Freq = freqs[j]
 				j++
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/platform"
@@ -70,11 +71,11 @@ func TestPrioritySharesLPPaysFirst(t *testing.T) {
 	// Force LP running with headroom.
 	p.lpActive = 2
 	p.lpLevel = 0.5
-	hpBefore := p.classTargets(p.hp, p.hpLevel)
-	lpBefore := p.classTargets(p.lp[:2], p.lpLevel)
+	hpBefore := slices.Clone(p.classTargets(p.hp, p.hpLevel))
+	lpBefore := slices.Clone(p.classTargets(p.lp[:2], p.lpLevel))
 	p.Update(Snapshot{Limit: 50, PackagePower: 60})
-	hpAfter := p.classTargets(p.hp, p.hpLevel)
-	lpAfter := p.classTargets(p.lp[:2], p.lpLevel)
+	hpAfter := slices.Clone(p.classTargets(p.hp, p.hpLevel))
+	lpAfter := slices.Clone(p.classTargets(p.lp[:2], p.lpLevel))
 	if hpAfter[0] != hpBefore[0] || hpAfter[1] != hpBefore[1] {
 		t.Error("HP throttled while LP had headroom")
 	}
@@ -89,7 +90,7 @@ func TestPrioritySharesLPPaysFirst(t *testing.T) {
 	}
 	// Then HP pays.
 	p.Update(Snapshot{Limit: 50, PackagePower: 60})
-	hpFinal := p.classTargets(p.hp, p.hpLevel)
+	hpFinal := slices.Clone(p.classTargets(p.hp, p.hpLevel))
 	if hpFinal[0] >= hpAfter[0] {
 		t.Error("HP did not throttle after LP starved")
 	}

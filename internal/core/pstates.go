@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cpu"
 	"repro/internal/units"
@@ -21,66 +21,115 @@ import (
 //
 // k <= 0 or k >= the number of distinct targets returns the targets
 // quantised but otherwise unchanged.
+//
+// This convenience wrapper allocates; policies on the control loop's hot
+// path hold a pstateClusterer and use clusterInto instead.
 func ClusterPStates(targets []units.Hertz, k int, spec cpu.FreqSpec) []units.Hertz {
 	out := make([]units.Hertz, len(targets))
+	newPStateClusterer(len(targets), k).clusterInto(out, targets, spec)
+	return out
+}
+
+// clusterItem pairs a quantised target with its original position.
+type clusterItem struct {
+	f   units.Hertz
+	idx int
+}
+
+// pstateClusterer carries the preallocated working set for repeated
+// ClusterPStates runs over vectors of a fixed maximum size: sort items,
+// the O(n²) cost matrix, and the DP tables, all flattened and reused so a
+// steady-state clusterInto call performs no heap allocation.
+type pstateClusterer struct {
+	k     int
+	items []clusterItem
+	cost  []float64 // n*n, row-major: cost of items[i..j]
+	dp    []float64 // k*n
+	cut   []int     // k*n
+}
+
+// newPStateClusterer sizes the working set for vectors of up to n targets
+// clustered into at most k groups. k <= 0 builds a quantise-only
+// clusterer with no DP tables (the Skylake case: no simultaneous-P-state
+// limit).
+func newPStateClusterer(n, k int) *pstateClusterer {
+	c := &pstateClusterer{k: k}
+	if k > 0 && n > 0 {
+		c.items = make([]clusterItem, n)
+		c.cost = make([]float64, n*n)
+		c.dp = make([]float64, k*n)
+		c.cut = make([]int, k*n)
+	}
+	return c
+}
+
+// clusterInto quantises targets into dst (which may alias targets) and,
+// when the clusterer carries a group limit, reduces them to at most k
+// distinct values. len(dst) must equal len(targets) and not exceed the
+// size the clusterer was built for.
+func (c *pstateClusterer) clusterInto(dst, targets []units.Hertz, spec cpu.FreqSpec) {
 	for i, f := range targets {
-		out[i] = spec.Quantize(f)
+		dst[i] = spec.Quantize(f)
 	}
-	if k <= 0 || len(out) == 0 {
-		return out
+	n := len(dst)
+	if c.k <= 0 || n == 0 {
+		return
 	}
-	distinct := make(map[units.Hertz]bool)
-	for _, f := range out {
-		distinct[f] = true
+	items := c.items[:n]
+	for i, f := range dst {
+		items[i] = clusterItem{f, i}
 	}
-	if len(distinct) <= k {
-		return out
+	slices.SortFunc(items, func(a, b clusterItem) int {
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		}
+		return 0
+	})
+	// Count distinct values on the sorted items; at or below the limit the
+	// quantised targets already comply.
+	distinct := 1
+	for i := 1; i < n; i++ {
+		if items[i].f != items[i-1].f {
+			distinct++
+		}
+	}
+	if distinct <= c.k {
+		return
 	}
 
-	// Sort with original index tracking.
-	type item struct {
-		f   units.Hertz
-		idx int
-	}
-	items := make([]item, len(out))
-	for i, f := range out {
-		items[i] = item{f, i}
-	}
-	sort.Slice(items, func(a, b int) bool { return items[a].f < items[b].f })
-	n := len(items)
-
-	// cost[i][j]: total absolute deviation of items[i..j] from their median.
-	cost := make([][]float64, n)
-	for i := range cost {
-		cost[i] = make([]float64, n)
+	// cost[i*n+j]: total absolute deviation of items[i..j] from their median.
+	cost := c.cost[: n*n : n*n]
+	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
 			med := float64(items[(i+j)/2].f)
-			var c float64
+			var cc float64
 			for t := i; t <= j; t++ {
-				c += math.Abs(float64(items[t].f) - med)
+				cc += math.Abs(float64(items[t].f) - med)
 			}
-			cost[i][j] = c
+			cost[i*n+j] = cc
 		}
 	}
 
-	// dp[g][j]: min cost partitioning items[0..j] into g+1 groups;
-	// cut[g][j]: start index of the last group.
-	dp := make([][]float64, k)
-	cut := make([][]int, k)
-	for g := range dp {
-		dp[g] = make([]float64, n)
-		cut[g] = make([]int, n)
+	// dp[g*n+j]: min cost partitioning items[0..j] into g+1 groups;
+	// cut[g*n+j]: start index of the last group.
+	k := c.k
+	dp := c.dp[: k*n : k*n]
+	cut := c.cut[: k*n : k*n]
+	for g := 0; g < k; g++ {
 		for j := 0; j < n; j++ {
 			if g == 0 {
-				dp[g][j] = cost[0][j]
-				cut[g][j] = 0
+				dp[j] = cost[j]
+				cut[j] = 0
 				continue
 			}
-			dp[g][j] = math.Inf(1)
+			dp[g*n+j] = math.Inf(1)
 			for s := g; s <= j; s++ {
-				if c := dp[g-1][s-1] + cost[s][j]; c < dp[g][j] {
-					dp[g][j] = c
-					cut[g][j] = s
+				if cc := dp[(g-1)*n+s-1] + cost[s*n+j]; cc < dp[g*n+j] {
+					dp[g*n+j] = cc
+					cut[g*n+j] = s
 				}
 			}
 		}
@@ -90,15 +139,14 @@ func ClusterPStates(targets []units.Hertz, k int, spec cpu.FreqSpec) []units.Her
 	groups := min(k, n)
 	j := n - 1
 	for g := groups - 1; g >= 0; g-- {
-		s := cut[g][j]
+		s := cut[g*n+j]
 		med := spec.Quantize(items[(s+j)/2].f)
 		for t := s; t <= j; t++ {
-			out[items[t].idx] = med
+			dst[items[t].idx] = med
 		}
 		j = s - 1
 		if j < 0 {
 			break
 		}
 	}
-	return out
 }

@@ -63,16 +63,32 @@ type Explainer interface {
 	LastReasons() []Reason
 }
 
-// explain is the embeddable recorder the policies share.
+// explain is the embeddable recorder the policies share. Reasons are
+// copied into a fixed inline buffer so recording a decision allocates
+// nothing: the variadic argument slice never escapes and stays on the
+// caller's stack.
 type explain struct {
-	reasons []Reason
+	buf [4]Reason
+	n   int
 }
 
-// setReasons replaces the recorded reasons.
-func (e *explain) setReasons(rs ...Reason) { e.reasons = rs }
+// setReasons replaces the recorded reasons (at most 4 are kept).
+func (e *explain) setReasons(rs ...Reason) { e.n = copy(e.buf[:], rs) }
+
+// prependReason pushes a reason in front of the recorded ones, dropping
+// the last if the buffer is full.
+func (e *explain) prependReason(r Reason) {
+	n := e.n
+	if n >= len(e.buf) {
+		n = len(e.buf) - 1
+	}
+	copy(e.buf[1:n+1], e.buf[:n])
+	e.buf[0] = r
+	e.n = n + 1
+}
 
 // LastReasons implements Explainer.
-func (e *explain) LastReasons() []Reason { return e.reasons }
+func (e *explain) LastReasons() []Reason { return e.buf[:e.n] }
 
 // gapReason classifies the power gap of a snapshot.
 func gapReason(s Snapshot) Reason {

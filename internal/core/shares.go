@@ -28,11 +28,24 @@ func (c *ShareConfig) fill() {
 	}
 }
 
-// shareBase carries the state common to the three share policies.
+// shareBase carries the state common to the three share policies,
+// including the preallocated per-interval scratch (water-level inputs,
+// materialised targets, the action buffer, and the P-state clusterer)
+// that makes a steady-state Update allocation-free. The Action slice a
+// policy returns is owned by this scratch: it is valid until the next
+// Initial/Update call, per the Policy contract.
 type shareBase struct {
 	chip  platform.Chip
 	specs []AppSpec
 	cfg   ShareConfig
+
+	scrBases []float64
+	scrLo    []float64
+	scrHi    []float64
+	scrLvl   []float64
+	scrFreqs []units.Hertz
+	scrActs  []Action
+	cluster  *pstateClusterer
 }
 
 func newShareBase(chip platform.Chip, specs []AppSpec, cfg ShareConfig) (shareBase, error) {
@@ -49,7 +62,19 @@ func newShareBase(chip platform.Chip, specs []AppSpec, cfg ShareConfig) (shareBa
 		}
 	}
 	cfg.fill()
-	return shareBase{chip: chip, specs: append([]AppSpec(nil), specs...), cfg: cfg}, nil
+	n := len(specs)
+	return shareBase{
+		chip:     chip,
+		specs:    append([]AppSpec(nil), specs...),
+		cfg:      cfg,
+		scrBases: make([]float64, n),
+		scrLo:    make([]float64, n),
+		scrHi:    make([]float64, n),
+		scrLvl:   make([]float64, n),
+		scrFreqs: make([]units.Hertz, n),
+		scrActs:  make([]Action, n),
+		cluster:  newPStateClusterer(n, chip.MaxSimultaneousPStates),
+	}, nil
 }
 
 // ceiling returns the highest frequency app i can reach given that all
@@ -94,11 +119,13 @@ func (b *shareBase) alpha(s Snapshot) float64 {
 
 // translate converts per-app frequency targets into actions, quantising and
 // applying the platform's simultaneous-P-state constraint (Ryzen's 3).
+// freqs is clustered in place; the returned slice is the shared action
+// scratch, valid until the next policy call.
 func (b *shareBase) translate(freqs []units.Hertz) []Action {
-	fs := ClusterPStates(freqs, b.chip.MaxSimultaneousPStates, b.chip.Freq)
-	actions := make([]Action, len(b.specs))
+	b.cluster.clusterInto(freqs, freqs, b.chip.Freq)
+	actions := b.scrActs
 	for i, s := range b.specs {
-		actions[i] = Action{Core: s.Core, Freq: fs[i]}
+		actions[i] = Action{Core: s.Core, Freq: freqs[i], Park: false}
 	}
 	return actions
 }
@@ -111,6 +138,18 @@ func stateFor(s Snapshot, core int) *AppState {
 		}
 	}
 	return nil
+}
+
+// stateForHint is stateFor with a position hint: the daemon materialises
+// Snapshot.Apps in spec order, so the app for specs[i] is almost always
+// Apps[i] — O(1) instead of an O(n) scan per app (which would make the
+// translate pass quadratic on a 512-core machine). The scan remains as
+// the fallback for callers holding differently-ordered snapshots.
+func stateForHint(s Snapshot, core, hint int) *AppState {
+	if hint >= 0 && hint < len(s.Apps) && s.Apps[hint].Spec.Core == core {
+		return &s.Apps[hint]
+	}
+	return stateFor(s, core)
 }
 
 // FrequencyShares distributes *frequency* proportionally to shares
@@ -151,10 +190,7 @@ func (p *FrequencyShares) Targets() []units.Hertz {
 
 func (p *FrequencyShares) bounds() (bases, lo, hi []float64) {
 	maxShare := p.maxShare()
-	n := len(p.specs)
-	bases = make([]float64, n)
-	lo = make([]float64, n)
-	hi = make([]float64, n)
+	bases, lo, hi = p.scrBases, p.scrLo, p.scrHi
 	for i, s := range p.specs {
 		bases[i] = float64(p.chip.Freq.Max()) * s.Shares.Fraction(maxShare)
 		lo[i] = float64(p.chip.Freq.Min)
@@ -164,9 +200,11 @@ func (p *FrequencyShares) bounds() (bases, lo, hi []float64) {
 }
 
 func (p *FrequencyShares) materialize(bases, lo, hi []float64) {
-	ts := applyLevel(p.level, bases, lo, hi)
-	p.targets = make([]units.Hertz, len(ts))
-	for i, t := range ts {
+	if p.targets == nil {
+		p.targets = make([]units.Hertz, len(p.specs))
+	}
+	applyLevelInto(p.scrLvl, p.level, bases, lo, hi)
+	for i, t := range p.scrLvl {
 		p.targets[i] = units.Hertz(t)
 	}
 }
@@ -179,7 +217,15 @@ func (p *FrequencyShares) Initial() []Action {
 	p.level = 1
 	bases, lo, hi := p.bounds()
 	p.materialize(bases, lo, hi)
-	return p.translate(p.targets)
+	return p.translateTargets()
+}
+
+// translateTargets stages the continuous targets into the frequency
+// scratch before translation, so clustering's in-place quantisation never
+// corrupts the control state the next interval integrates from.
+func (p *FrequencyShares) translateTargets() []Action {
+	copy(p.scrFreqs, p.targets)
+	return p.translate(p.scrFreqs)
 }
 
 // Update implements Policy: it converts the power gap into a frequency
@@ -201,5 +247,5 @@ func (p *FrequencyShares) Update(s Snapshot) []Action {
 	}
 	p.level = solveLevel(bases, lo, hi, cur+freqDelta)
 	p.materialize(bases, lo, hi)
-	return p.translate(p.targets)
+	return p.translateTargets()
 }

@@ -103,7 +103,10 @@ type Config struct {
 
 	// OnSnapshot, when set, observes every control interval's snapshot
 	// after the policy has been applied — the hook time-series recorders
-	// (e.g. the stability study) attach to.
+	// (e.g. the stability study) attach to. The snapshot's Apps slice is
+	// owned by the daemon's double-buffered reuse pool: it is valid during
+	// the call and until the next-but-one control interval, after which the
+	// loop overwrites it in place. Hooks that retain it must copy.
 	OnSnapshot func(core.Snapshot)
 
 	// Metrics, when set, instruments the control loop (iteration counts
@@ -179,6 +182,15 @@ type daemonMetrics struct {
 	parkedCores  *metrics.Gauge
 	phaseSeconds *metrics.HistogramVec
 
+	// Cached vec children: With allocates its variadic key per call, so the
+	// hot path holds the resolved handles instead.
+	actPark      *metrics.Counter
+	actWake      *metrics.Counter
+	actSetFreq   *metrics.Counter
+	phaseSample  *metrics.Histogram
+	phaseDecide  *metrics.Histogram
+	phaseActuate *metrics.Histogram
+
 	degradedCores     *metrics.Gauge
 	degradedIntervals *metrics.Counter
 	readmissions      *metrics.Counter
@@ -192,7 +204,7 @@ func newDaemonMetrics(reg *metrics.Registry) daemonMetrics {
 	if reg == nil {
 		return daemonMetrics{}
 	}
-	return daemonMetrics{
+	m := daemonMetrics{
 		iterations:   reg.Counter("powerd_iterations_total", "Completed control-loop iterations."),
 		iterSeconds:  reg.Histogram("powerd_iteration_seconds", "Wall-clock time spent in one control iteration (sample + policy + actuate).", metrics.DefBuckets),
 		jitterSec:    reg.Histogram("powerd_jitter_seconds", "Real-time loop lateness per iteration (actual minus nominal interval).", metrics.DefBuckets),
@@ -212,6 +224,13 @@ func newDaemonMetrics(reg *metrics.Registry) daemonMetrics {
 
 		reconfigures: reg.Counter("powerd_reconfigures_total", "Live reconfigurations applied to the running daemon."),
 	}
+	m.actPark = m.actuations.With("park")
+	m.actWake = m.actuations.With("wake")
+	m.actSetFreq = m.actuations.With("setfreq")
+	m.phaseSample = m.phaseSeconds.With("sample")
+	m.phaseDecide = m.phaseSeconds.With("decide")
+	m.phaseActuate = m.phaseSeconds.With("actuate")
+	return m
 }
 
 // Daemon is the control loop.
@@ -225,12 +244,25 @@ type Daemon struct {
 	// mu guards all mutable state below so HTTP status readers (the obs
 	// server's /debug/status) can observe a live loop without racing it.
 	mu         sync.RWMutex
-	parked     map[int]bool
+	parked     []bool // indexed by core id
 	iterations int
 	last       core.Snapshot
 	started    bool
 	acc        time.Duration
 	hookErr    error
+
+	// Hot-path reuse buffers. appsBuf double-buffers the snapshot's Apps
+	// slice the same way the telemetry sampler double-buffers its Sample:
+	// RunIteration flips between the two, so the snapshot it returns (and
+	// hands to OnSnapshot) stays intact for one further interval while
+	// readers that go through the lock (StatusView, LastSnapshot) always
+	// copy. degraded and scrHandled are per-core flag scratch; scrOverride
+	// is the action buffer overrideDegraded rewrites into.
+	appsBuf     [2][]core.AppState
+	appsFlip    int
+	degraded    []bool
+	scrHandled  []bool
+	scrOverride []core.Action
 
 	// lastPhases is the sample/decide/actuate wall-clock breakdown of the
 	// most recent completed iteration (guarded by mu) — what round tracing
@@ -278,19 +310,25 @@ func New(cfg Config, dev msr.Device, act Actuator) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := sampler.SetSockets(cfg.Chip.Sockets()); err != nil {
+		return nil, err
+	}
 	if cfg.Metrics != nil {
 		sampler.Instrument(cfg.Metrics)
 	}
 	d := &Daemon{
-		cfg:       cfg,
-		dev:       dev,
-		act:       act,
-		sampler:   sampler,
-		m:         newDaemonMetrics(cfg.Metrics),
-		parked:    make(map[int]bool),
-		jitterRes: stats.NewReservoir(0),
-		overSince: -1,
+		cfg:        cfg,
+		dev:        dev,
+		act:        act,
+		sampler:    sampler,
+		m:          newDaemonMetrics(cfg.Metrics),
+		parked:     make([]bool, cfg.Chip.NumCores),
+		degraded:   make([]bool, cfg.Chip.NumCores),
+		scrHandled: make([]bool, cfg.Chip.NumCores),
+		jitterRes:  stats.NewReservoir(0),
+		overSince:  -1,
 	}
+	d.sizeAppBuffers()
 	if cfg.Resilience != nil {
 		res := cfg.Resilience.withDefaults(cfg.Chip.SafeFloor())
 		d.res = &res
@@ -301,6 +339,18 @@ func New(cfg Config, dev msr.Device, act Actuator) (*Daemon, error) {
 	d.m.limitWatts.Set(float64(cfg.Limit))
 	d.mergeFlightMeta()
 	return d, nil
+}
+
+// sizeAppBuffers (re)allocates the per-app reuse buffers for the current
+// spec set; called at construction and when Reconfigure changes the apps.
+// Caller holds d.mu after construction.
+func (d *Daemon) sizeAppBuffers() {
+	n := len(d.cfg.Apps)
+	d.appsBuf[0] = make([]core.AppState, n)
+	d.appsBuf[1] = make([]core.AppState, n)
+	// overrideDegraded may emit one action per policy action plus one
+	// safe-floor action per untouched app.
+	d.scrOverride = make([]core.Action, 0, 2*n)
 }
 
 // mergeFlightMeta contributes the current control-plane description to the
@@ -367,7 +417,7 @@ func (d *Daemon) apply(actions []core.Action) error {
 				return fmt.Errorf("daemon: parking core %d: %w", a.Core, err)
 			}
 			d.parked[a.Core] = true
-			d.m.actuations.With("park").Inc()
+			d.m.actPark.Inc()
 			d.cfg.Flight.Record(flight.Event{
 				Kind: flight.KindActuate, Source: flight.SourceDaemon,
 				Core: int16(a.Core), Arg: flight.ActPark,
@@ -382,7 +432,7 @@ func (d *Daemon) apply(actions []core.Action) error {
 				return fmt.Errorf("daemon: waking core %d: %w", a.Core, err)
 			}
 			d.parked[a.Core] = false
-			d.m.actuations.With("wake").Inc()
+			d.m.actWake.Inc()
 			d.cfg.Flight.Record(flight.Event{
 				Kind: flight.KindActuate, Source: flight.SourceDaemon,
 				Core: int16(a.Core), Arg: flight.ActWake,
@@ -394,7 +444,7 @@ func (d *Daemon) apply(actions []core.Action) error {
 			}
 			return fmt.Errorf("daemon: setting core %d to %v: %w", a.Core, a.Freq, err)
 		}
-		d.m.actuations.With("setfreq").Inc()
+		d.m.actSetFreq.Inc()
 		d.cfg.Flight.Record(flight.Event{
 			Kind: flight.KindActuate, Source: flight.SourceDaemon,
 			Core: int16(a.Core), Arg: flight.ActSetFreq, Value: uint64(a.Freq),
@@ -421,13 +471,19 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 		d.m.sampleErrors.Inc()
 		return core.Snapshot{}, err
 	}
+	d.appsFlip ^= 1
 	snap := core.Snapshot{
 		Time:         sample.At,
 		Limit:        d.cfg.Limit,
 		PackagePower: sample.PackagePower,
-		Apps:         make([]core.AppState, len(d.cfg.Apps)),
+		Apps:         d.appsBuf[d.appsFlip],
 	}
-	degraded := map[int]bool{}
+	nDegraded := 0
+	if d.res != nil {
+		for i := range d.degraded {
+			d.degraded[i] = false
+		}
+	}
 	for i, spec := range d.cfg.Apps {
 		cs := sample.Cores[spec.Core]
 		st := core.AppState{
@@ -441,7 +497,8 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 			if d.updateHealthLocked(i, spec.Core, cs.Status) {
 				// Untrusted core: the policy keeps seeing the last state we
 				// could vouch for instead of zeros or garbage.
-				degraded[spec.Core] = true
+				d.degraded[spec.Core] = true
+				nDegraded++
 				st.Freq, st.IPS, st.Power = d.lastGood[i].Freq, d.lastGood[i].IPS, d.lastGood[i].Power
 			} else {
 				d.lastGood[i] = st
@@ -453,11 +510,11 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 	actions := d.cfg.Policy.Update(snap)
 	polName := d.cfg.Policy.Name()
 	if d.res != nil {
-		if len(degraded) > 0 || !sample.PkgStatus.Trustworthy() {
+		if nDegraded > 0 || !sample.PkgStatus.Trustworthy() {
 			d.m.degradedIntervals.Inc()
-			actions = d.overrideDegraded(actions, sample, degraded)
+			actions = d.overrideDegraded(actions, sample, d.degraded)
 		}
-		d.m.degradedCores.Set(float64(len(degraded)))
+		d.m.degradedCores.Set(float64(nDegraded))
 	}
 	var reasons []core.Reason
 	if ex, ok := d.cfg.Policy.(core.Explainer); ok {
@@ -513,11 +570,9 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 	d.m.pkgWatts.Set(float64(snap.PackagePower))
 	d.m.parkedCores.Set(float64(nParked))
 	d.m.iterSeconds.Observe(time.Since(began).Seconds())
-	if d.m.phaseSeconds != nil {
-		d.m.phaseSeconds.With("sample").Observe(phases.Sample.Seconds())
-		d.m.phaseSeconds.With("decide").Observe(phases.Decide.Seconds())
-		d.m.phaseSeconds.With("actuate").Observe(phases.Actuate.Seconds())
-	}
+	d.m.phaseSample.Observe(phases.Sample.Seconds())
+	d.m.phaseDecide.Observe(phases.Decide.Seconds())
+	d.m.phaseActuate.Observe(phases.Actuate.Seconds())
 
 	if dumpReason != "" {
 		path, derr := d.DumpFlight(dumpReason)
@@ -627,18 +682,26 @@ func (d *Daemon) Iterations() int {
 	return d.iterations
 }
 
-// LastSnapshot returns the most recent snapshot.
+// LastSnapshot returns the most recent snapshot. The Apps slice is copied
+// out of the loop's reuse buffers, so the result is immutable to the caller.
 func (d *Daemon) LastSnapshot() core.Snapshot {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.last
+	return cloneSnapshot(d.last)
+}
+
+// cloneSnapshot deep-copies the Apps slice so readers escape the loop's
+// double-buffered reuse pool. Caller holds d.mu (read or write).
+func cloneSnapshot(s core.Snapshot) core.Snapshot {
+	s.Apps = append([]core.AppState(nil), s.Apps...)
+	return s
 }
 
 // Parked reports whether the daemon last left the core parked.
 func (d *Daemon) Parked(core int) bool {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.parked[core]
+	return core >= 0 && core < len(d.parked) && d.parked[core]
 }
 
 // Err returns the first error raised inside the virtual-time hook, if any.
@@ -795,7 +858,7 @@ func (d *Daemon) StatusView() StatusView {
 		Policy:     d.cfg.Policy.Name(),
 		Iterations: d.iterations,
 		Limit:      d.cfg.Limit,
-		Snapshot:   d.last,
+		Snapshot:   cloneSnapshot(d.last),
 		Apps:       append([]core.AppSpec(nil), d.cfg.Apps...),
 		Phases:     d.lastPhases,
 		Jitter:     d.jitterLocked(),

@@ -75,6 +75,7 @@ func (d *Daemon) Reconfigure(rc Reconfig) error {
 	}
 	if rc.Apps != nil {
 		d.cfg.Apps = append([]core.AppSpec(nil), rc.Apps...)
+		d.sizeAppBuffers()
 		codes = append(codes, flight.ReconfigShares)
 		if d.res != nil {
 			// Health state is per-app; a new app set starts trusted.
@@ -110,7 +111,7 @@ func (d *Daemon) Reconfigure(rc Reconfig) error {
 				continue
 			}
 			d.parked[c] = false
-			d.m.actuations.With("wake").Inc()
+			d.m.actWake.Inc()
 			d.cfg.Flight.Record(flight.Event{
 				Kind: flight.KindActuate, Source: flight.SourceDaemon,
 				Core: int16(c), Arg: flight.ActWake,

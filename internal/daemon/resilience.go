@@ -89,11 +89,14 @@ func (d *Daemon) updateHealthLocked(app int, coreID int, st telemetry.CoreStatus
 // When the package reading itself is untrustworthy every core is forced to
 // the floor — with the energy counter lying, no frequency above the floor
 // can be proven within budget. Caller holds d.mu.
-func (d *Daemon) overrideDegraded(actions []core.Action, sample telemetry.Sample, degraded map[int]bool) []core.Action {
+func (d *Daemon) overrideDegraded(actions []core.Action, sample telemetry.Sample, degraded []bool) []core.Action {
 	pkgBlind := !sample.PkgStatus.Trustworthy()
 	dark := func(c int) bool { return sample.Cores[c].Status == telemetry.StatusDark }
-	out := actions[:0]
-	handled := make(map[int]bool, len(actions))
+	out := d.scrOverride[:0]
+	handled := d.scrHandled
+	for i := range handled {
+		handled[i] = false
+	}
 	for _, a := range actions {
 		handled[a.Core] = true
 		switch {

@@ -1,0 +1,94 @@
+package daemon
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+// TestScrapesDuringBufferReuse hammers every observer entry point —
+// StatusView, LastSnapshot, Parked, Jitter — from scraper goroutines
+// while the control loop recycles its snapshot buffers underneath them.
+// Under `go test -race` (CI's configuration) this proves the reuse pool
+// never leaks a live buffer to a reader: the scrapers deliberately WRITE
+// into the Apps slices they get back, which the race detector flags the
+// moment a view aliases the loop's double buffer instead of copying.
+func TestScrapesDuringBufferReuse(t *testing.T) {
+	chip := platform.Skylake()
+	names := []string{"gcc", "cam4", "leela", "cactusBSSN"}
+	m := buildMachine(t, chip, names)
+	specs := specsFor(names, []units.Shares{40, 30, 20, 10}, nil)
+	pol, err := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{
+		Chip: chip, Policy: pol, Apps: specs,
+		Limit: chip.RAPLMax * 6 / 10, Metrics: metrics.NewRegistry(),
+	}, m.Device(), MachineActuator{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	iters := 400
+	if raceEnabled {
+		iters = 150 // the detector makes each iteration ~10x slower
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				sv := d.StatusView()
+				for i := range sv.Snapshot.Apps {
+					sv.Snapshot.Apps[i].IPS = -1 // must be a private copy
+				}
+				snap := d.LastSnapshot()
+				for i := range snap.Apps {
+					snap.Apps[i].Power = -1
+				}
+				if len(snap.Apps) > 0 && snap.Apps[0].Power != -1 {
+					t.Error("snapshot copy lost a write")
+					return
+				}
+				d.Parked(0)
+				d.Jitter()
+			}
+		}()
+	}
+
+	for i := 0; i < iters; i++ {
+		m.Step()
+		if _, err := d.RunIteration(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// The loop's own view stayed coherent despite the scrapers' writes.
+	last := d.LastSnapshot()
+	if len(last.Apps) != len(specs) {
+		t.Fatalf("apps = %d, want %d", len(last.Apps), len(specs))
+	}
+	for _, a := range last.Apps {
+		if a.IPS < 0 || a.Power < 0 {
+			t.Fatalf("scraper write leaked into the loop's buffers: %+v", a)
+		}
+	}
+}

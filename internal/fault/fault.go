@@ -338,6 +338,15 @@ func (d *faultDevice) Read(cpu int, reg uint32) (uint64, error) {
 	return d.dev.Read(cpu, reg)
 }
 
+// ReadBatch implements msr.BatchReader by delegating to the faulting Read
+// per cpu, so batched sampling sweeps observe exactly the same injected
+// faults — offline, EIO, latency, stuck, torn — as per-core reads do. A
+// wrapped device's own batch fast path is deliberately not used: it would
+// bypass the injector's per-access windows.
+func (d *faultDevice) ReadBatch(reg uint32, vals []uint64, ok []bool) error {
+	return msr.ReadBatchFunc(d.Read, reg, vals, ok)
+}
+
 // Write blocks actuation of offline CPUs (a dead core's MSRs are gone in
 // both directions) and passes everything else through untouched.
 func (d *faultDevice) Write(cpu int, reg uint32, val uint64) error {

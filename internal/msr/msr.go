@@ -74,6 +74,62 @@ type Device interface {
 	Write(cpu int, reg uint32, val uint64) error
 }
 
+// BatchReader is the bulk-sampling extension of Device: one call reads a
+// single register across cpus [0, len(vals)) into the caller-owned vals
+// slice, amortising per-call overhead (interface dispatch, lock
+// acquisition) over the whole sweep — the difference between a per-core
+// and a per-register cost on a 512-core package.
+//
+// Two error disciplines, selected by ok:
+//
+//   - ok == nil (strict): the first failing cpu aborts the sweep and its
+//     error is returned; vals entries past it are unspecified.
+//   - ok != nil (resilient): the sweep always visits every cpu, ok[i]
+//     records whether cpu i's read succeeded (vals[i] is zeroed on
+//     failure), and the returned error is the first one encountered —
+//     nil when every cpu read cleanly. len(ok) must equal len(vals).
+//
+// Implementations must not retain vals or ok.
+type BatchReader interface {
+	ReadBatch(reg uint32, vals []uint64, ok []bool) error
+}
+
+// ReadBatch reads reg across cpus [0, len(vals)) on any Device, using the
+// device's own BatchReader when it has one and falling back to per-cpu
+// Read calls otherwise. Semantics follow BatchReader.
+func ReadBatch(dev Device, reg uint32, vals []uint64, ok []bool) error {
+	if br, isBatch := dev.(BatchReader); isBatch {
+		return br.ReadBatch(reg, vals, ok)
+	}
+	return ReadBatchFunc(dev.Read, reg, vals, ok)
+}
+
+// ReadBatchFunc implements BatchReader semantics over a per-cpu read
+// function; device implementations and wrappers (e.g. the fault
+// injector) share it for their own sweeps.
+func ReadBatchFunc(read func(cpu int, reg uint32) (uint64, error), reg uint32, vals []uint64, ok []bool) error {
+	var first error
+	for cpu := range vals {
+		v, err := read(cpu, reg)
+		if err != nil {
+			if ok == nil {
+				return err
+			}
+			if first == nil {
+				first = err
+			}
+			vals[cpu] = 0
+			ok[cpu] = false
+			continue
+		}
+		vals[cpu] = v
+		if ok != nil {
+			ok[cpu] = true
+		}
+	}
+	return first
+}
+
 // Recorder observes every successful register access on a device — the
 // flight recorder's MSR tap (internal/flight implements it). Registers are
 // reported in canonical form so AMD-alias traffic lands on one register
@@ -266,6 +322,51 @@ func (d *SimDevice) Read(cpu int, reg uint32) (uint64, error) {
 	return v, err
 }
 
+// ReadBatch implements BatchReader: the handler and recorder are resolved
+// once under a single lock acquisition and the sweep runs handler calls
+// back to back, so sampling n cores costs one dispatch, not n.
+func (d *SimDevice) ReadBatch(reg uint32, vals []uint64, ok []bool) error {
+	creg := Canonical(reg)
+	d.mu.RLock()
+	fn := d.reads[creg]
+	rec := d.rec
+	d.mu.RUnlock()
+	if fn == nil {
+		err := fmt.Errorf("%w: read 0x%X", ErrUnknownRegister, reg)
+		if ok == nil {
+			return err
+		}
+		for i := range vals {
+			vals[i] = 0
+			ok[i] = false
+		}
+		return err
+	}
+	var first error
+	for cpu := range vals {
+		v, err := fn(cpu)
+		if err != nil {
+			if ok == nil {
+				return err
+			}
+			if first == nil {
+				first = err
+			}
+			vals[cpu] = 0
+			ok[cpu] = false
+			continue
+		}
+		if rec != nil {
+			rec.RecordMSR(false, cpu, creg, v)
+		}
+		vals[cpu] = v
+		if ok != nil {
+			ok[cpu] = true
+		}
+	}
+	return first
+}
+
 // Write implements Device.
 func (d *SimDevice) Write(cpu int, reg uint32, val uint64) error {
 	d.mu.RLock()
@@ -318,6 +419,17 @@ func (d *FileDevice) path(cpu int, reg uint32) string {
 func (d *FileDevice) Read(cpu int, reg uint32) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.readLocked(cpu, reg)
+}
+
+// ReadBatch implements BatchReader under a single lock acquisition.
+func (d *FileDevice) ReadBatch(reg uint32, vals []uint64, ok []bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return ReadBatchFunc(d.readLocked, reg, vals, ok)
+}
+
+func (d *FileDevice) readLocked(cpu int, reg uint32) (uint64, error) {
 	b, err := os.ReadFile(d.path(cpu, reg))
 	if os.IsNotExist(err) {
 		// RAZ reads are still observations; record them.

@@ -17,11 +17,31 @@ import (
 	"repro/internal/units"
 )
 
-// Chip is a single-socket processor configuration.
+// Topology describes how a chip's cores are organised into sockets. The
+// zero value is a single socket. Multi-socket packages model the NUMA
+// machines the control loop must scale to: each socket is its own RAPL
+// energy domain (the package energy MSR is per-socket, read through any
+// of that socket's CPUs) and its own turbo-occupancy domain (active-core
+// counts on one socket do not shrink another socket's turbo bins).
+type Topology struct {
+	// Sockets is the number of sockets (NUMA domains); 0 or 1 means a
+	// single socket. NumCores must divide evenly into sockets, and cores
+	// are assigned to sockets in contiguous blocks: socket s owns cores
+	// [s·NumCores/Sockets, (s+1)·NumCores/Sockets).
+	Sockets int
+}
+
+// Chip is one processor package configuration: a single socket in the
+// paper's evaluation, or a multi-socket NUMA package when Topo.Sockets
+// is set (power, RAPL bounds, and core counts then describe the whole
+// package; the frequency spec and power model remain per-core/per-socket).
 type Chip struct {
 	Name     string
 	Vendor   string
 	NumCores int
+
+	// Topo is the socket organisation; the zero value is single-socket.
+	Topo Topology
 
 	Freq  cpu.FreqSpec
 	Power power.Model
@@ -61,6 +81,33 @@ type Chip struct {
 	NormFreq units.Hertz
 }
 
+// Sockets returns the number of sockets in the package (at least 1).
+func (c Chip) Sockets() int {
+	if c.Topo.Sockets > 1 {
+		return c.Topo.Sockets
+	}
+	return 1
+}
+
+// CoresPerSocket returns how many cores each socket holds.
+func (c Chip) CoresPerSocket() int {
+	return c.NumCores / c.Sockets()
+}
+
+// SocketOf returns the socket owning the given core. Out-of-range cores
+// clamp to the nearest socket so callers on degraded paths never index
+// past the energy-domain arrays.
+func (c Chip) SocketOf(core int) int {
+	if core <= 0 {
+		return 0
+	}
+	s := core / c.CoresPerSocket()
+	if max := c.Sockets() - 1; s > max {
+		return max
+	}
+	return s
+}
+
 // Validate reports whether the chip configuration is coherent.
 func (c Chip) Validate() error {
 	if c.Name == "" {
@@ -68,6 +115,12 @@ func (c Chip) Validate() error {
 	}
 	if c.NumCores <= 0 {
 		return fmt.Errorf("platform %s: NumCores must be positive", c.Name)
+	}
+	if c.Topo.Sockets < 0 {
+		return fmt.Errorf("platform %s: negative socket count", c.Name)
+	}
+	if s := c.Sockets(); c.NumCores%s != 0 {
+		return fmt.Errorf("platform %s: %d cores do not divide into %d sockets", c.Name, c.NumCores, s)
 	}
 	if err := c.Freq.Validate(); err != nil {
 		return fmt.Errorf("platform %s: %w", c.Name, err)
@@ -86,8 +139,11 @@ func (c Chip) Validate() error {
 		return fmt.Errorf("platform %s: freq spec min %v disagrees with power curve min %v",
 			c.Name, c.Freq.Min, c.Power.Curve.MinFreq)
 	}
-	if len(c.Freq.Turbo) > 0 && c.Freq.Turbo[len(c.Freq.Turbo)-1].MaxActive < c.NumCores {
-		return fmt.Errorf("platform %s: turbo table does not cover %d cores", c.Name, c.NumCores)
+	// Turbo occupancy is a per-socket property: active cores on one socket
+	// do not consume another socket's turbo bins, so the table only has to
+	// cover one socket's worth of cores.
+	if len(c.Freq.Turbo) > 0 && c.Freq.Turbo[len(c.Freq.Turbo)-1].MaxActive < c.CoresPerSocket() {
+		return fmt.Errorf("platform %s: turbo table does not cover %d cores per socket", c.Name, c.CoresPerSocket())
 	}
 	if c.MaxSimultaneousPStates < 0 {
 		return fmt.Errorf("platform %s: negative MaxSimultaneousPStates", c.Name)
@@ -209,6 +265,45 @@ func Ryzen() Chip {
 		DegradedFloor:          400 * units.MHz,
 		NormFreq:               3000 * units.MHz,
 	}
+}
+
+// ScaleSocket widens a single-socket chip to the given core count: the
+// turbo table's last bin grows to cover every core and the RAPL window
+// scales with the socket, so a control policy operates in the same
+// regime at every size. The base chip must be single-socket.
+func ScaleSocket(base Chip, cores int) Chip {
+	chip := base
+	chip.Name = fmt.Sprintf("%s (scaled %d cores)", base.Name, cores)
+	chip.NumCores = cores
+	chip.Topo = Topology{}
+	chip.Freq.Turbo = append([]cpu.TurboBin(nil), base.Freq.Turbo...)
+	if last := len(chip.Freq.Turbo) - 1; last >= 0 && chip.Freq.Turbo[last].MaxActive < cores {
+		chip.Freq.Turbo[last].MaxActive = cores
+	}
+	chip.RAPLMax = base.RAPLMax * units.Watts(cores) / units.Watts(base.NumCores)
+	if chip.RAPLMax <= chip.RAPLMin {
+		chip.RAPLMax = chip.RAPLMin + 10
+	}
+	return chip
+}
+
+// MultiSocket replicates a single-socket chip into an n-socket NUMA
+// package: n× the cores, n× the package RAPL window (each socket keeps
+// its own energy domain and turbo-occupancy table), with the socket
+// boundaries recorded in the topology. The per-core frequency spec and
+// power model are unchanged — UncorePower remains per-socket and is
+// accounted once per socket by the machine model.
+func MultiSocket(socket Chip, n int) Chip {
+	if n <= 1 {
+		return socket
+	}
+	chip := socket
+	chip.Name = fmt.Sprintf("%s ×%d sockets", socket.Name, n)
+	chip.NumCores = socket.NumCores * n
+	chip.Topo = Topology{Sockets: n}
+	chip.RAPLMin = socket.RAPLMin * units.Watts(n)
+	chip.RAPLMax = socket.RAPLMax * units.Watts(n)
+	return chip
 }
 
 // ByName returns a platform by short name: "skylake" or "ryzen".

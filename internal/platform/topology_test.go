@@ -1,0 +1,105 @@
+package platform
+
+import "testing"
+
+func TestSocketAccessorsSingleSocket(t *testing.T) {
+	sky := Skylake()
+	if sky.Sockets() != 1 || sky.CoresPerSocket() != sky.NumCores {
+		t.Fatalf("single socket: sockets=%d cps=%d", sky.Sockets(), sky.CoresPerSocket())
+	}
+	for _, c := range []int{0, sky.NumCores - 1, -3, sky.NumCores + 5} {
+		if s := sky.SocketOf(c); s != 0 {
+			t.Errorf("SocketOf(%d) = %d on a single socket", c, s)
+		}
+	}
+}
+
+func TestMultiSocketLayout(t *testing.T) {
+	sky := Skylake()
+	chip := MultiSocket(sky, 4)
+	if err := chip.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if chip.Sockets() != 4 || chip.NumCores != 4*sky.NumCores {
+		t.Fatalf("4-socket package: sockets=%d cores=%d", chip.Sockets(), chip.NumCores)
+	}
+	if chip.CoresPerSocket() != sky.NumCores {
+		t.Fatalf("cores per socket = %d, want %d", chip.CoresPerSocket(), sky.NumCores)
+	}
+	// Contiguous block assignment, with out-of-range cores clamped so
+	// degraded paths can never index past the energy-domain arrays.
+	cps := chip.CoresPerSocket()
+	for core := 0; core < chip.NumCores; core++ {
+		if got := chip.SocketOf(core); got != core/cps {
+			t.Fatalf("SocketOf(%d) = %d, want %d", core, got, core/cps)
+		}
+	}
+	if got := chip.SocketOf(-1); got != 0 {
+		t.Errorf("SocketOf(-1) = %d", got)
+	}
+	if got := chip.SocketOf(chip.NumCores + 7); got != 3 {
+		t.Errorf("SocketOf(past-end) = %d, want last socket", got)
+	}
+	// Each socket is its own RAPL domain: the package window is n× the
+	// socket's, and the per-socket turbo table still validates (active
+	// cores on one socket do not consume another's bins).
+	if chip.RAPLMax != sky.RAPLMax*4 || chip.RAPLMin != sky.RAPLMin*4 {
+		t.Errorf("RAPL window [%v, %v], want 4x [%v, %v]",
+			chip.RAPLMin, chip.RAPLMax, sky.RAPLMin, sky.RAPLMax)
+	}
+	// Replicating one socket is the identity.
+	if got := MultiSocket(sky, 1); got.Name != sky.Name || got.Sockets() != 1 {
+		t.Errorf("MultiSocket(n=1) altered the chip: %q", got.Name)
+	}
+}
+
+func TestScaleSocketThenMultiSocket(t *testing.T) {
+	// The bench flagship: 64-core sockets replicated 8x to 512 cores.
+	socket := ScaleSocket(Skylake(), 64)
+	if err := socket.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if socket.NumCores != 64 || socket.Sockets() != 1 {
+		t.Fatalf("scaled socket: cores=%d sockets=%d", socket.NumCores, socket.Sockets())
+	}
+	if last := socket.Freq.Turbo[len(socket.Freq.Turbo)-1]; last.MaxActive < 64 {
+		t.Fatalf("turbo table does not cover the widened socket: %+v", last)
+	}
+	chip := MultiSocket(socket, 8)
+	if err := chip.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if chip.NumCores != 512 || chip.Sockets() != 8 || chip.CoresPerSocket() != 64 {
+		t.Fatalf("512-core package: cores=%d sockets=%d cps=%d",
+			chip.NumCores, chip.Sockets(), chip.CoresPerSocket())
+	}
+	if chip.SocketOf(511) != 7 || chip.SocketOf(64) != 1 {
+		t.Fatalf("socket assignment: SocketOf(511)=%d SocketOf(64)=%d",
+			chip.SocketOf(511), chip.SocketOf(64))
+	}
+}
+
+func TestValidateRejectsRaggedSockets(t *testing.T) {
+	chip := Skylake() // 10 cores
+	chip.Topo = Topology{Sockets: 3}
+	if err := chip.Validate(); err == nil {
+		t.Error("10 cores across 3 sockets validated")
+	}
+	chip.Topo = Topology{Sockets: -1}
+	if err := chip.Validate(); err == nil {
+		t.Error("negative socket count validated")
+	}
+}
+
+func TestMultiSocketTurboIsPerSocket(t *testing.T) {
+	// A turbo table covering one socket's cores must satisfy Validate on
+	// the multi-socket package: occupancy is socket-local.
+	sky := Skylake()
+	chip := MultiSocket(sky, 2)
+	if last := chip.Freq.Turbo[len(chip.Freq.Turbo)-1]; last.MaxActive >= chip.NumCores {
+		t.Skip("turbo table covers the whole package; per-socket rule not exercised")
+	}
+	if err := chip.Validate(); err != nil {
+		t.Fatalf("per-socket turbo table rejected: %v", err)
+	}
+}

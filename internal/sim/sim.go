@@ -74,12 +74,19 @@ type Machine struct {
 	// execute nothing and stay parked until brought back online.
 	offline []bool
 
-	clock      time.Duration
-	dt         time.Duration
-	raplCfg    rapl.Config
-	unit       msr.EnergyUnit
-	energyPkg  units.Joules
-	energyCore []units.Joules
+	clock   time.Duration
+	dt      time.Duration
+	raplCfg rapl.Config
+	unit    msr.EnergyUnit
+	// energySocket holds cumulative energy per RAPL domain: one entry per
+	// socket (a single entry on single-socket chips). PkgEnergyStatus reads
+	// on cpu i report i's socket domain, as on real multi-socket machines.
+	energySocket []units.Joules
+	energyCore   []units.Joules
+	// activeSock is per-Step scratch for per-socket C0 occupancy: turbo
+	// bins are a socket-local resource, so core i's grant depends only on
+	// its own socket's active count.
+	activeSock []int
 	dev        *msr.SimDevice
 	hooks      []func(dt time.Duration)
 	idles      []coreIdle
@@ -113,14 +120,16 @@ func New(chip platform.Chip, opts ...Option) (*Machine, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	m := &Machine{
-		chip:       chip,
-		cores:      make([]*cpu.Core, chip.NumCores),
-		apps:       make([]*workload.Instance, chip.NumCores),
-		lastEff:    make([]units.Hertz, chip.NumCores),
-		dt:         time.Millisecond,
-		unit:       msr.EnergyUnit{ESU: 14},
-		energyCore: make([]units.Joules, chip.NumCores),
-		offline:    make([]bool, chip.NumCores),
+		chip:         chip,
+		cores:        make([]*cpu.Core, chip.NumCores),
+		apps:         make([]*workload.Instance, chip.NumCores),
+		lastEff:      make([]units.Hertz, chip.NumCores),
+		dt:           time.Millisecond,
+		unit:         msr.EnergyUnit{ESU: 14},
+		energySocket: make([]units.Joules, chip.Sockets()),
+		energyCore:   make([]units.Joules, chip.NumCores),
+		activeSock:   make([]int, chip.Sockets()),
+		offline:      make([]bool, chip.NumCores),
 	}
 	for _, o := range opts {
 		o(m)
@@ -319,6 +328,20 @@ func (m *Machine) SetPowerLimit(w units.Watts) { m.limiter.SetLimit(w) }
 // workloads, inside the executing window.
 func (m *Machine) ActiveCores() int {
 	n := 0
+	for _, s := range m.fillActiveSock() {
+		n += s
+	}
+	return n
+}
+
+// fillActiveSock recounts C0 occupancy per socket into the preallocated
+// scratch and returns it. Turbo occupancy is socket-local: the grant for
+// core i is computed against its own socket's count only.
+func (m *Machine) fillActiveSock() []int {
+	for s := range m.activeSock {
+		m.activeSock[s] = 0
+	}
+	cps := m.chip.CoresPerSocket()
 	for i, c := range m.cores {
 		if c.Idle || m.offline[i] {
 			continue
@@ -326,9 +349,9 @@ func (m *Machine) ActiveCores() int {
 		if a := m.apps[i]; a != nil && !a.DutyOn() {
 			continue
 		}
-		n++
+		m.activeSock[i/cps]++
 	}
-	return n
+	return m.activeSock
 }
 
 // EffectiveFreq reports the frequency a core ran at during the last tick.
@@ -337,8 +360,22 @@ func (m *Machine) EffectiveFreq(core int) units.Hertz { return m.lastEff[core] }
 // Counters returns a core's architectural counter snapshot.
 func (m *Machine) Counters(core int) cpu.Counters { return m.cores[core].Counters() }
 
-// PackageEnergy returns cumulative package energy.
-func (m *Machine) PackageEnergy() units.Joules { return m.energyPkg }
+// PackageEnergy returns cumulative package energy, summed over sockets.
+func (m *Machine) PackageEnergy() units.Joules {
+	var sum units.Joules
+	for _, e := range m.energySocket {
+		sum += e
+	}
+	return sum
+}
+
+// SocketEnergy returns the cumulative energy of one socket's RAPL domain.
+func (m *Machine) SocketEnergy(socket int) units.Joules {
+	if socket < 0 || socket >= len(m.energySocket) {
+		return 0
+	}
+	return m.energySocket[socket]
+}
 
 // CoreEnergy returns cumulative energy of one core.
 func (m *Machine) CoreEnergy(core int) units.Joules { return m.energyCore[core] }
@@ -346,12 +383,13 @@ func (m *Machine) CoreEnergy(core int) units.Joules { return m.energyCore[core] 
 // PackagePower computes the instantaneous package power for the machine's
 // current state (same calculation the next Step will charge).
 func (m *Machine) PackagePower() units.Watts {
-	active := m.ActiveCores()
+	act := m.fillActiveSock()
+	cps := m.chip.CoresPerSocket()
 	var total units.Watts
 	for i := range m.cores {
-		total += m.corePowerAt(i, m.effective(i, active))
+		total += m.corePowerAt(i, m.effective(i, act[i/cps]))
 	}
-	return total + m.chip.Power.UncorePower
+	return total + m.chip.Power.UncorePower*units.Watts(m.chip.Sockets())
 }
 
 // OnTick registers a hook invoked after every simulation step. Hooks run in
@@ -500,10 +538,22 @@ func (m *Machine) constraintFor(i, active int) string {
 // Step advances the machine one tick.
 func (m *Machine) Step() {
 	dt := m.dt
-	active := m.ActiveCores()
+	act := m.fillActiveSock()
+	cps := m.chip.CoresPerSocket()
 	m.mTicks.Inc()
 	var pkg units.Watts
+	var sockPower units.Watts
+	sock := 0
 	for i, c := range m.cores {
+		if i/cps != sock {
+			// Socket boundary: close out the previous socket's domain.
+			sockPower += m.chip.Power.UncorePower
+			m.energySocket[sock] += sockPower.Energy(dt)
+			pkg += sockPower
+			sockPower = 0
+			sock = i / cps
+		}
+		active := act[sock]
 		eff := m.effective(i, active)
 		if m.lastConstraint != nil {
 			if constr := m.constraintFor(i, active); constr != m.lastConstraint[i] {
@@ -526,7 +576,7 @@ func (m *Machine) Step() {
 		}
 		m.lastEff[i] = eff
 		p := m.corePowerAt(i, eff)
-		pkg += p
+		sockPower += p
 		e := p.Energy(dt)
 		var instr float64
 		if a := m.apps[i]; a != nil && !c.Idle {
@@ -535,8 +585,9 @@ func (m *Machine) Step() {
 		c.Account(eff, m.chip.Freq.Nom, dt, instr, e)
 		m.energyCore[i] += e
 	}
-	pkg += m.chip.Power.UncorePower
-	m.energyPkg += pkg.Energy(dt)
+	sockPower += m.chip.Power.UncorePower
+	m.energySocket[sock] += sockPower.Energy(dt)
+	pkg += sockPower
 	m.limiter.Observe(pkg, dt)
 	m.clock += dt
 	for _, h := range m.hooks {
@@ -613,8 +664,11 @@ func (m *Machine) wireMSRs() {
 	d.OnRead(msr.RAPLPowerUnit, func(int) (uint64, error) {
 		return msr.EncodePowerUnit(m.unit), nil
 	})
-	d.OnRead(msr.PkgEnergyStatus, func(int) (uint64, error) {
-		return m.unit.ToCounts(m.energyPkg), nil
+	d.OnRead(msr.PkgEnergyStatus, func(cpu int) (uint64, error) {
+		// The package energy domain is per-socket: a read through cpu i
+		// reports i's socket counter, as on real multi-socket machines
+		// (single-socket chips have exactly one domain, so any cpu works).
+		return m.unit.ToCounts(m.energySocket[m.chip.SocketOf(cpu)]), nil
 	})
 	d.OnRead(msr.PP0EnergyStatus, func(cpu int) (uint64, error) {
 		if err := checkCPU(cpu); err != nil {
@@ -624,9 +678,11 @@ func (m *Machine) wireMSRs() {
 			return m.unit.ToCounts(m.energyCore[cpu]), nil
 		}
 		// Without per-core measurement the PP0 domain reports the sum of
-		// all cores regardless of the addressed CPU, as on Skylake.
+		// the addressed CPU's socket cores, as on Skylake.
+		cps := m.chip.CoresPerSocket()
+		base := m.chip.SocketOf(cpu) * cps
 		var sum units.Joules
-		for _, e := range m.energyCore {
+		for _, e := range m.energyCore[base : base+cps] {
 			sum += e
 		}
 		return m.unit.ToCounts(sum), nil

@@ -14,6 +14,18 @@
 // reads keep failing reports StatusDark. In resilient mode (SetResilient)
 // reads are retried with bounded backoff and a failing core is isolated
 // rather than aborting the whole sample.
+//
+// The sampler is built for the steady-state control loop of large
+// machines: counters are read with one batched sweep per register
+// (msr.BatchReader) instead of one interface call per core, baselines
+// advance by swapping the previous and current counter slices, and the
+// returned Sample is written into one of two sampler-owned buffers. A
+// steady-state Sample call performs no heap allocation. The buffer
+// contract: the slices inside a returned Sample (Cores, SocketPower,
+// SocketStatus) remain valid until the *second* following Sample call —
+// the double buffer gives the previous interval's reading a full interval
+// of grace — after which they are overwritten in place. Callers that
+// retain telemetry longer must copy.
 package telemetry
 
 import (
@@ -50,6 +62,16 @@ const (
 
 var statusNames = [...]string{"ok", "idle", "stale", "dark", "recovering"}
 
+// statusSeverity orders statuses for worst-of aggregation across sockets:
+// a package reading is only as trustworthy as its least trustworthy domain.
+var statusSeverity = [...]uint8{
+	StatusOK:         0,
+	StatusIdle:       1,
+	StatusRecovering: 2,
+	StatusStale:      3,
+	StatusDark:       4,
+}
+
 // String names the status.
 func (st CoreStatus) String() string {
 	if int(st) < len(statusNames) {
@@ -72,16 +94,26 @@ type CoreSample struct {
 }
 
 // Sample is one sampling interval's telemetry.
+//
+// The Cores, SocketPower, and SocketStatus slices are owned by the
+// Sampler's double buffer: they stay valid until the second following
+// Sample call, then are overwritten in place. Copy to retain longer.
 type Sample struct {
 	At           time.Duration // virtual or wall time of the sample
 	Interval     time.Duration
 	PackagePower units.Watts
-	// PkgStatus qualifies PackagePower: StatusStale means the energy
+	// PkgStatus qualifies PackagePower: StatusStale means an energy
 	// counter froze while cores were demonstrably executing (the value is
-	// the last trustworthy reading, carried forward), StatusDark means the
-	// register was unreadable this interval.
+	// the last trustworthy reading, carried forward), StatusDark means a
+	// register was unreadable this interval. On multi-socket packages it
+	// is the worst status across sockets.
 	PkgStatus CoreStatus
 	Cores     []CoreSample
+	// SocketPower breaks PackagePower down per RAPL domain (one entry per
+	// socket; a single entry on single-socket chips), with SocketStatus
+	// qualifying each entry the way PkgStatus qualifies the total.
+	SocketPower  []units.Watts
+	SocketStatus []CoreStatus
 }
 
 // TotalIPS sums instruction throughput across cores.
@@ -129,6 +161,8 @@ var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: 50 * time.Microsecond}
 type Sampler struct {
 	dev     msr.Device
 	nCores  int
+	sockets int
+	cps     int // cores per socket
 	nom     units.Hertz
 	perCore bool
 	unit    msr.EnergyUnit
@@ -136,26 +170,43 @@ type Sampler struct {
 	resilient bool
 	retry     RetryPolicy
 
-	primed    bool
-	at        time.Duration
-	prevAperf []uint64
-	prevMperf []uint64
-	prevInstr []uint64
-	prevCore  []uint64
-	prevPkg   uint64
+	primed bool
+	at     time.Duration
+
+	// Counter baselines and the current sweep's scratch. A sample reads
+	// into cur*, classifies cur against prev, then swaps the slice
+	// headers — no copying, no allocation. Cores whose reads failed get
+	// prev copied into cur before the swap so their baseline holds.
+	prevAperf, curAperf []uint64
+	prevMperf, curMperf []uint64
+	prevInstr, curInstr []uint64
+	prevCore, curCore   []uint64
+	okScratch           []bool // per-register read success, resilient mode
+	curOK               []bool // all of a core's registers read this sweep
+
+	prevPkg []uint64 // per-socket package energy baseline
 
 	baseOK     []bool       // per-core baseline is valid
 	lastStatus []CoreStatus // previous interval's classification
-	pkgBaseOK  bool
-	pkgLast    CoreStatus
-	lastGoodW  units.Watts // last trustworthy package power
+	pkgBaseOK  []bool       // per socket
+	pkgLast    []CoreStatus // per socket
+	lastGoodW  []units.Watts
+
+	anyExecSock []bool // per-Sample scratch: socket saw MPERF advance
+
+	// out is the double buffer the returned Samples point into: flip
+	// selects the buffer being written, leaving the previous Sample's
+	// slices intact for one more interval (so a reader holding last
+	// interval's telemetry never races the loop).
+	out  [2]Sample
+	flip int
 
 	// Optional instrumentation; nil handles no-op.
 	mSamples    *metrics.Counter
 	mMSRReads   *metrics.Counter
 	mReadErrors *metrics.Counter
 	mRetries    *metrics.Counter
-	mStatus     *metrics.CounterVec
+	mStatusBy   [len(statusNames)]*metrics.Counter
 }
 
 // Instrument registers the sampler's metrics on reg: samples taken, raw
@@ -166,7 +217,14 @@ func (s *Sampler) Instrument(reg *metrics.Registry) {
 	s.mMSRReads = reg.Counter("telemetry_msr_reads_total", "Raw MSR read operations issued by the sampler.")
 	s.mReadErrors = reg.Counter("telemetry_read_errors_total", "MSR read operations that returned an error.")
 	s.mRetries = reg.Counter("telemetry_read_retries_total", "MSR reads retried after a transient failure.")
-	s.mStatus = reg.CounterVec("telemetry_core_status_total", "Core samples by trustworthiness classification.", "status")
+	if reg != nil {
+		// The status label set is closed, so the per-status counters are
+		// resolved once here instead of a map lookup per core per interval.
+		vec := reg.CounterVec("telemetry_core_status_total", "Core samples by trustworthiness classification.", "status")
+		for i, name := range statusNames {
+			s.mStatusBy[i] = vec.With(name)
+		}
+	}
 }
 
 // NewSampler builds a sampler over dev for nCores cores with nominal
@@ -184,20 +242,66 @@ func NewSampler(dev msr.Device, nCores int, nom units.Hertz, perCorePower bool) 
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: reading power unit: %w", err)
 	}
-	return &Sampler{
+	s := &Sampler{
 		dev:        dev,
 		nCores:     nCores,
 		nom:        nom,
 		perCore:    perCorePower,
 		unit:       msr.DecodePowerUnit(uv),
 		prevAperf:  make([]uint64, nCores),
+		curAperf:   make([]uint64, nCores),
 		prevMperf:  make([]uint64, nCores),
+		curMperf:   make([]uint64, nCores),
 		prevInstr:  make([]uint64, nCores),
+		curInstr:   make([]uint64, nCores),
 		prevCore:   make([]uint64, nCores),
+		curCore:    make([]uint64, nCores),
+		okScratch:  make([]bool, nCores),
+		curOK:      make([]bool, nCores),
 		baseOK:     make([]bool, nCores),
 		lastStatus: make([]CoreStatus, nCores),
-	}, nil
+	}
+	for b := range s.out {
+		s.out[b].Cores = make([]CoreSample, nCores)
+	}
+	s.sizeSockets(1)
+	return s, nil
 }
+
+// SetSockets splits the package into n RAPL domains: the package energy
+// MSR is read once per socket (through the socket's first CPU) and the
+// Sample carries a per-socket power breakdown. Must be called before
+// Prime; n must divide the core count. Single-socket is the default.
+func (s *Sampler) SetSockets(n int) error {
+	if n < 1 {
+		return fmt.Errorf("telemetry: socket count %d must be positive", n)
+	}
+	if s.nCores%n != 0 {
+		return fmt.Errorf("telemetry: %d cores do not divide into %d sockets", s.nCores, n)
+	}
+	if s.primed {
+		return fmt.Errorf("telemetry: SetSockets after Prime")
+	}
+	s.sizeSockets(n)
+	return nil
+}
+
+func (s *Sampler) sizeSockets(n int) {
+	s.sockets = n
+	s.cps = s.nCores / n
+	s.prevPkg = make([]uint64, n)
+	s.pkgBaseOK = make([]bool, n)
+	s.pkgLast = make([]CoreStatus, n)
+	s.lastGoodW = make([]units.Watts, n)
+	s.anyExecSock = make([]bool, n)
+	for b := range s.out {
+		s.out[b].SocketPower = make([]units.Watts, n)
+		s.out[b].SocketStatus = make([]CoreStatus, n)
+	}
+}
+
+// Sockets reports how many RAPL domains the sampler reads.
+func (s *Sampler) Sockets() int { return s.sockets }
 
 // SetResilient switches the sampler into resilient mode: reads are retried
 // per rp, and a core whose reads still fail is reported StatusDark (its
@@ -217,22 +321,54 @@ func (s *Sampler) SetResilient(rp RetryPolicy) {
 func (s *Sampler) Prime() error {
 	if s.resilient {
 		s.readResilient()
+		for i, ok := range s.curOK {
+			if !ok {
+				continue
+			}
+			s.prevAperf[i], s.prevMperf[i], s.prevInstr[i] = s.curAperf[i], s.curMperf[i], s.curInstr[i]
+			s.prevCore[i] = s.curCore[i]
+			s.baseOK[i] = true
+		}
+		for sck := 0; sck < s.sockets; sck++ {
+			if pkg, err := s.readMSR(sck*s.cps, msr.PkgEnergyStatus); err == nil {
+				s.prevPkg[sck] = pkg
+				s.pkgBaseOK[sck] = true
+			}
+		}
 		s.primed = true
 		return nil
 	}
 	if err := s.readStrict(); err != nil {
 		return err
 	}
+	for sck := 0; sck < s.sockets; sck++ {
+		pkg, err := s.readMSR(sck*s.cps, msr.PkgEnergyStatus)
+		if err != nil {
+			return fmt.Errorf("telemetry: package energy socket %d: %w", sck, err)
+		}
+		s.prevPkg[sck] = pkg
+		s.pkgBaseOK[sck] = true
+	}
+	s.swapBaselines()
 	for i := range s.baseOK {
 		s.baseOK[i] = true
 	}
-	s.pkgBaseOK = true
 	s.primed = true
 	return nil
 }
 
-// readMSR wraps the device read with instrumentation and, in resilient
-// mode, bounded retry with backoff.
+// swapBaselines commits the current sweep as the new baseline by swapping
+// the slice headers — the old baseline becomes next sweep's scratch.
+func (s *Sampler) swapBaselines() {
+	s.prevAperf, s.curAperf = s.curAperf, s.prevAperf
+	s.prevMperf, s.curMperf = s.curMperf, s.prevMperf
+	s.prevInstr, s.curInstr = s.curInstr, s.prevInstr
+	s.prevCore, s.curCore = s.curCore, s.prevCore
+}
+
+// readMSR wraps a single device read with instrumentation and, in
+// resilient mode, bounded retry with backoff. Used for the per-socket
+// package counter and as the retry path behind failed batch entries.
 func (s *Sampler) readMSR(cpu int, reg uint32) (uint64, error) {
 	attempts := 1
 	if s.resilient {
@@ -259,95 +395,114 @@ func (s *Sampler) readMSR(cpu int, reg uint32) (uint64, error) {
 	return v, err
 }
 
-// readStrict is the fail-fast read path: the first error aborts, leaving
-// baselines partially advanced (callers treat the whole sample as lost).
+// retryRead runs the retry tail (attempts after the first) for one cpu
+// whose batch read failed. Reports success and the value.
+func (s *Sampler) retryRead(cpu int, reg uint32) (uint64, bool) {
+	backoff := s.retry.Backoff
+	for try := 1; try < s.retry.Attempts; try++ {
+		s.mRetries.Inc()
+		if s.retry.Sleep != nil && backoff > 0 {
+			s.retry.Sleep(backoff)
+		}
+		backoff *= 2
+		s.mMSRReads.Inc()
+		if v, err := s.dev.Read(cpu, reg); err == nil {
+			return v, true
+		}
+		s.mReadErrors.Inc()
+	}
+	return 0, false
+}
+
+// readStrict is the fail-fast read path: one batched sweep per register;
+// the first error aborts with the baseline untouched (the whole sample is
+// lost, nothing partial is committed).
 func (s *Sampler) readStrict() error {
-	for i := 0; i < s.nCores; i++ {
-		a, err := s.readMSR(i, msr.IA32Aperf)
-		if err != nil {
-			return fmt.Errorf("telemetry: aperf cpu%d: %w", i, err)
-		}
-		m, err := s.readMSR(i, msr.IA32Mperf)
-		if err != nil {
-			return fmt.Errorf("telemetry: mperf cpu%d: %w", i, err)
-		}
-		ins, err := s.readMSR(i, msr.IA32FixedCtr0)
-		if err != nil {
-			return fmt.Errorf("telemetry: instr cpu%d: %w", i, err)
-		}
-		s.prevAperf[i], s.prevMperf[i], s.prevInstr[i] = a, m, ins
-		if s.perCore {
-			e, err := s.readMSR(i, msr.PP0EnergyStatus)
-			if err != nil {
-				return fmt.Errorf("telemetry: core energy cpu%d: %w", i, err)
-			}
-			s.prevCore[i] = e
+	regs := [3]struct {
+		reg  uint32
+		dst  []uint64
+		name string
+	}{
+		{msr.IA32Aperf, s.curAperf, "aperf"},
+		{msr.IA32Mperf, s.curMperf, "mperf"},
+		{msr.IA32FixedCtr0, s.curInstr, "instr"},
+	}
+	for _, r := range regs {
+		s.mMSRReads.Add(float64(len(r.dst)))
+		if err := msr.ReadBatch(s.dev, r.reg, r.dst, nil); err != nil {
+			s.mReadErrors.Inc()
+			return fmt.Errorf("telemetry: %s: %w", r.name, err)
 		}
 	}
-	pkg, err := s.readMSR(0, msr.PkgEnergyStatus)
-	if err != nil {
-		return fmt.Errorf("telemetry: package energy: %w", err)
+	if s.perCore {
+		s.mMSRReads.Add(float64(s.nCores))
+		if err := msr.ReadBatch(s.dev, msr.PP0EnergyStatus, s.curCore, nil); err != nil {
+			s.mReadErrors.Inc()
+			return fmt.Errorf("telemetry: core energy: %w", err)
+		}
 	}
-	s.prevPkg = pkg
+	for i := range s.curOK {
+		s.curOK[i] = true
+	}
 	return nil
 }
 
-// coreRead is one core's raw counters for an interval.
-type coreRead struct {
-	aperf, mperf, instr, energy uint64
-	ok                          bool
+// readResilient reads every core with one batched sweep per register,
+// retrying individual failures with backoff; a core whose reads still
+// fail comes back curOK=false with prev copied into cur so the swap holds
+// its baseline.
+func (s *Sampler) readResilient() {
+	for i := range s.curOK {
+		s.curOK[i] = true
+	}
+	s.batchResilient(msr.IA32Aperf, s.curAperf)
+	s.batchResilient(msr.IA32Mperf, s.curMperf)
+	s.batchResilient(msr.IA32FixedCtr0, s.curInstr)
+	if s.perCore {
+		s.batchResilient(msr.PP0EnergyStatus, s.curCore)
+	}
+	for i, ok := range s.curOK {
+		if ok {
+			continue
+		}
+		// Hold the failed core's baseline across the swap.
+		s.curAperf[i] = s.prevAperf[i]
+		s.curMperf[i] = s.prevMperf[i]
+		s.curInstr[i] = s.prevInstr[i]
+		s.curCore[i] = s.prevCore[i]
+	}
 }
 
-// readResilient reads every core independently, isolating failures: a core
-// whose reads fail (after retries) comes back ok=false with its previous
-// baseline untouched. Returns the per-core reads, the package counter, and
-// whether the package read succeeded.
-func (s *Sampler) readResilient() (cores []coreRead, pkg uint64, pkgOK bool) {
-	cores = make([]coreRead, s.nCores)
-	for i := 0; i < s.nCores; i++ {
-		var cr coreRead
-		var err error
-		if cr.aperf, err = s.readMSR(i, msr.IA32Aperf); err != nil {
+// batchResilient sweeps one register across all cores, then walks the
+// retry tail for cores whose batch entry failed, folding the outcome into
+// curOK.
+func (s *Sampler) batchResilient(reg uint32, dst []uint64) {
+	s.mMSRReads.Add(float64(len(dst)))
+	_ = msr.ReadBatch(s.dev, reg, dst, s.okScratch)
+	for i, ok := range s.okScratch {
+		if ok {
 			continue
 		}
-		if cr.mperf, err = s.readMSR(i, msr.IA32Mperf); err != nil {
+		s.mReadErrors.Inc()
+		if v, recovered := s.retryRead(i, reg); recovered {
+			dst[i] = v
 			continue
 		}
-		if cr.instr, err = s.readMSR(i, msr.IA32FixedCtr0); err != nil {
-			continue
-		}
-		if s.perCore {
-			if cr.energy, err = s.readMSR(i, msr.PP0EnergyStatus); err != nil {
-				continue
-			}
-		}
-		cr.ok = true
-		cores[i] = cr
-		// Prime path: establish the baseline directly.
-		if !s.primed {
-			s.prevAperf[i], s.prevMperf[i], s.prevInstr[i] = cr.aperf, cr.mperf, cr.instr
-			s.prevCore[i] = cr.energy
-			s.baseOK[i] = true
-		}
+		s.curOK[i] = false
 	}
-	pkg, err := s.readMSR(0, msr.PkgEnergyStatus)
-	pkgOK = err == nil
-	if pkgOK && !s.primed {
-		s.prevPkg = pkg
-		s.pkgBaseOK = true
-	}
-	return cores, pkg, pkgOK
 }
 
 // noteStatus counts a classification.
 func (s *Sampler) noteStatus(st CoreStatus) {
-	if s.mStatus != nil {
-		s.mStatus.With(st.String()).Inc()
+	if int(st) < len(s.mStatusBy) {
+		s.mStatusBy[st].Inc()
 	}
 }
 
 // Sample reads the device, derives telemetry relative to the previous read
-// over the elapsed interval dt, and advances the baseline.
+// over the elapsed interval dt, and advances the baseline. The returned
+// Sample's slices point into the sampler's double buffer — see the Sample
+// type for the ownership rule. Steady state performs no heap allocation.
 //
 // In the default (fail-fast) mode any read error aborts the sample, exactly
 // as before resilient mode existed. In resilient mode the error return is
@@ -361,87 +516,65 @@ func (s *Sampler) Sample(dt time.Duration) (Sample, error) {
 		return Sample{}, fmt.Errorf("telemetry: non-positive interval %v", dt)
 	}
 	if s.resilient {
-		return s.sampleResilient(dt)
-	}
-	prevA := append([]uint64(nil), s.prevAperf...)
-	prevM := append([]uint64(nil), s.prevMperf...)
-	prevI := append([]uint64(nil), s.prevInstr...)
-	prevC := append([]uint64(nil), s.prevCore...)
-	prevPkg := s.prevPkg
-	if err := s.readStrict(); err != nil {
+		s.readResilient()
+	} else if err := s.readStrict(); err != nil {
 		return Sample{}, err
 	}
+
 	s.at += dt
-	out := Sample{
-		At:       s.at,
-		Interval: dt,
-		Cores:    make([]CoreSample, s.nCores),
+	s.flip ^= 1
+	out := &s.out[s.flip]
+	out.At = s.at
+	out.Interval = dt
+
+	for sck := range s.anyExecSock {
+		s.anyExecSock[sck] = false
 	}
-	anyExec := false
 	for i := 0; i < s.nCores; i++ {
-		cs := s.classify(i, coreRead{
-			aperf: s.prevAperf[i], mperf: s.prevMperf[i],
-			instr: s.prevInstr[i], energy: s.prevCore[i], ok: true,
-		}, prevA[i], prevM[i], prevI[i], prevC[i], dt)
-		if s.prevMperf[i] != prevM[i] {
-			anyExec = true
+		if s.curOK[i] && s.baseOK[i] && s.curMperf[i] != s.prevMperf[i] {
+			s.anyExecSock[i/s.cps] = true
 		}
-		out.Cores[i] = cs
+		out.Cores[i] = s.classify(i, dt)
 	}
-	out.PackagePower, out.PkgStatus = s.pkgPower(prevPkg, s.prevPkg, true, anyExec, dt)
+	s.swapBaselines()
+
+	out.PackagePower = 0
+	worst := StatusOK
+	for sck := 0; sck < s.sockets; sck++ {
+		pkg, err := s.readMSR(sck*s.cps, msr.PkgEnergyStatus)
+		pkgOK := err == nil
+		if err != nil && !s.resilient {
+			return Sample{}, fmt.Errorf("telemetry: package energy socket %d: %w", sck, err)
+		}
+		w, st := s.pkgPower(sck, pkg, pkgOK, s.anyExecSock[sck], dt)
+		out.SocketPower[sck] = w
+		out.SocketStatus[sck] = st
+		out.PackagePower += w
+		if statusSeverity[st] > statusSeverity[worst] {
+			worst = st
+		}
+	}
+	out.PkgStatus = worst
 	s.mSamples.Inc()
-	return out, nil
+	return *out, nil
 }
 
-// sampleResilient is the degraded-tolerant sampling path.
-func (s *Sampler) sampleResilient(dt time.Duration) (Sample, error) {
-	prevA := append([]uint64(nil), s.prevAperf...)
-	prevM := append([]uint64(nil), s.prevMperf...)
-	prevI := append([]uint64(nil), s.prevInstr...)
-	prevC := append([]uint64(nil), s.prevCore...)
-	prevPkg := s.prevPkg
-	cores, pkg, pkgOK := s.readResilient()
-	s.at += dt
-	out := Sample{
-		At:       s.at,
-		Interval: dt,
-		Cores:    make([]CoreSample, s.nCores),
-	}
-	anyExec := false
-	for i := 0; i < s.nCores; i++ {
-		cs := s.classify(i, cores[i], prevA[i], prevM[i], prevI[i], prevC[i], dt)
-		if cores[i].ok && s.baseOK[i] && cores[i].mperf != prevM[i] {
-			anyExec = true
-		}
-		out.Cores[i] = cs
-	}
-	out.PackagePower, out.PkgStatus = s.pkgPower(prevPkg, pkg, pkgOK, anyExec, dt)
-	s.mSamples.Inc()
-	return out, nil
-}
-
-// classify derives one core's sample and its status, advancing that core's
-// baseline as appropriate. cur holds the freshly read counters (ok=false
-// when the read failed); prev* are the pre-read baseline.
-func (s *Sampler) classify(i int, cur coreRead, prevA, prevM, prevI, prevC uint64, dt time.Duration) CoreSample {
+// classify derives core i's sample and its status from the current sweep
+// against the baseline. The baseline slices are committed by the caller's
+// swap; classify only maintains the per-core status state machine.
+func (s *Sampler) classify(i int, dt time.Duration) CoreSample {
 	cs := CoreSample{CPU: i}
 	defer func() {
 		s.lastStatus[i] = cs.Status
 		s.noteStatus(cs.Status)
 	}()
 
-	if !cur.ok {
-		// Reads failed after retries: the core is dark. Hold the baseline
-		// (s.prev* untouched by readResilient) so a later recovery can
-		// re-baseline cleanly.
+	if !s.curOK[i] {
+		// Reads failed after retries: the core is dark. The baseline is
+		// held (prev copied into cur before the swap) so a later recovery
+		// can re-baseline cleanly.
 		cs.Status = StatusDark
 		return cs
-	}
-	// Commit the new baseline; classification below decides whether the
-	// deltas derived against the old one are trustworthy.
-	s.prevAperf[i], s.prevMperf[i], s.prevInstr[i] = cur.aperf, cur.mperf, cur.instr
-	if s.perCore {
-		s.prevCore[i] = cur.energy
 	}
 	hadBase := s.baseOK[i]
 	s.baseOK[i] = true
@@ -450,17 +583,19 @@ func (s *Sampler) classify(i int, cur coreRead, prevA, prevM, prevI, prevC uint6
 		// First good read after an outage (or ever): the old baseline is
 		// missing or spans the outage, so deltas are meaningless. Zero the
 		// derived values for one interval and resume from here — the
-		// baseline just committed makes the next interval's deltas clean.
+		// baseline committed by this sweep makes the next interval clean.
 		cs.Status = StatusRecovering
 		return cs
 	}
-	if cur.aperf < prevA || cur.mperf < prevM || cur.instr < prevI {
+	curA, curM, curI := s.curAperf[i], s.curMperf[i], s.curInstr[i]
+	prevA, prevM, prevI := s.prevAperf[i], s.prevMperf[i], s.prevInstr[i]
+	if curA < prevA || curM < prevM || curI < prevI {
 		// A monotonic 64-bit counter went backwards: the register file is
 		// lying (or the device was swapped underneath us).
 		cs.Status = StatusStale
 		return cs
 	}
-	da, dm, di := cur.aperf-prevA, cur.mperf-prevM, cur.instr-prevI
+	da, dm, di := curA-prevA, curM-prevM, curI-prevI
 	if da == 0 && dm == 0 && di == 0 {
 		// Nothing advanced: the core spent the whole interval out of C0.
 		// That is an idle core, not garbage — 0 IPS with a reason.
@@ -478,43 +613,45 @@ func (s *Sampler) classify(i int, cur coreRead, prevA, prevM, prevI, prevC uint6
 	cs.ActiveFreq = s.nom * units.Hertz(float64(da)/float64(dm))
 	cs.IPS = float64(di) / dt.Seconds()
 	if s.perCore {
-		cs.Power = s.unit.FromCounts(msr.DeltaCounts(prevC, cur.energy)).Power(dt)
+		cs.Power = s.unit.FromCounts(msr.DeltaCounts(s.prevCore[i], s.curCore[i])).Power(dt)
 	}
 	return cs
 }
 
-// pkgPower derives package power and its status. anyExec reports whether
-// any core demonstrably executed this interval (MPERF advanced), which
-// makes a frozen energy counter implausible rather than idle.
-func (s *Sampler) pkgPower(prev, cur uint64, ok, anyExec bool, dt time.Duration) (units.Watts, CoreStatus) {
-	defer func() { s.noteStatus(s.pkgLast) }()
+// pkgPower derives one socket's power and status. anyExec reports whether
+// any of the socket's cores demonstrably executed this interval (MPERF
+// advanced), which makes a frozen energy counter implausible rather than
+// idle.
+func (s *Sampler) pkgPower(sck int, cur uint64, ok, anyExec bool, dt time.Duration) (units.Watts, CoreStatus) {
+	defer func() { s.noteStatus(s.pkgLast[sck]) }()
 	if !ok {
 		// Unreadable: carry the last trustworthy power forward so the
 		// control plane keeps a conservative estimate instead of seeing
 		// zero draw.
-		s.pkgLast = StatusDark
-		return s.lastGoodW, StatusDark
+		s.pkgLast[sck] = StatusDark
+		return s.lastGoodW[sck], StatusDark
 	}
-	hadBase := s.pkgBaseOK
-	s.prevPkg, s.pkgBaseOK = cur, true
-	if !hadBase || s.pkgLast == StatusDark || s.pkgLast == StatusStale {
-		s.pkgLast = StatusRecovering
-		return s.lastGoodW, StatusRecovering
+	prev := s.prevPkg[sck]
+	hadBase := s.pkgBaseOK[sck]
+	s.prevPkg[sck], s.pkgBaseOK[sck] = cur, true
+	if !hadBase || s.pkgLast[sck] == StatusDark || s.pkgLast[sck] == StatusStale {
+		s.pkgLast[sck] = StatusRecovering
+		return s.lastGoodW[sck], StatusRecovering
 	}
 	if cur == prev && anyExec {
-		// Cores executed but the package energy counter did not move: the
+		// Cores executed but the socket's energy counter did not move: the
 		// counter is stuck. Zero watts while work is being done would let
 		// every policy raise frequencies without bound, so report the last
 		// good reading instead.
-		s.pkgLast = StatusStale
-		return s.lastGoodW, StatusStale
+		s.pkgLast[sck] = StatusStale
+		return s.lastGoodW[sck], StatusStale
 	}
 	w := s.unit.FromCounts(msr.DeltaCounts(prev, cur)).Power(dt)
 	st := StatusOK
 	if cur == prev {
 		st = StatusIdle
 	}
-	s.pkgLast = st
-	s.lastGoodW = w
+	s.pkgLast[sck] = st
+	s.lastGoodW[sck] = w
 	return w, st
 }
