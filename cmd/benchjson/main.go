@@ -69,6 +69,11 @@ func runGenerate(dir string, smoke bool) error {
 	if loop.Entries, err = bench.LoopTrajectory(smoke); err != nil {
 		return err
 	}
+	ledgerEntries, err := bench.LedgerTrajectory(smoke)
+	if err != nil {
+		return err
+	}
+	loop.Entries = append(loop.Entries, ledgerEntries...)
 	path = filepath.Join(dir, "BENCH_loop.json")
 	if err := loop.WriteFile(path); err != nil {
 		return err

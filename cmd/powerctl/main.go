@@ -256,6 +256,35 @@ func top(ctx context.Context, coord string) error {
 		}
 	}
 
+	if fs.EnergyJoules > 0 {
+		epct := 0.0
+		if fs.EnergyBudgetJoules > 0 {
+			epct = 100 * fs.EnergyJoules / fs.EnergyBudgetJoules
+		}
+		fmt.Printf("\nenergy: %.5g / %.5g J (%.0f%% of budget)   overshoot %.3g J   excluded %.3g J   $%.6f   %.2f gCO2\n",
+			fs.EnergyJoules, fs.EnergyBudgetJoules, epct,
+			fs.OvershootJoules, fs.ExcludedJoules, fs.EnergyCostUSD, fs.EnergyCarbonGrams)
+		if len(fs.TopEnergyApps) > 0 {
+			fmt.Printf("%-12s %12s %10s %10s %6s\n", "TOP ENERGY", "JOULES", "COST $", "gCO2", "NODES")
+			for _, a := range fs.TopEnergyApps {
+				fmt.Printf("%-12s %12.5g %10.6f %10.2f %6d\n",
+					a.Name, a.Joules, a.CostUSD, a.CarbonGrams, a.Nodes)
+			}
+		}
+		if len(fs.AnomalyCounts) > 0 {
+			kinds := make([]string, 0, len(fs.AnomalyCounts))
+			for k := range fs.AnomalyCounts {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			fmt.Printf("anomalies:")
+			for _, k := range kinds {
+				fmt.Printf("  %s=%d", k, fs.AnomalyCounts[k])
+			}
+			fmt.Println()
+		}
+	}
+
 	if len(fs.LeaseEvents) > 0 {
 		events := make([]string, 0, len(fs.LeaseEvents))
 		for ev := range fs.LeaseEvents {
@@ -299,6 +328,29 @@ func status(ctx context.Context, c *powerapi.Client) error {
 	}
 	for _, a := range st.Apps {
 		fmt.Printf("app        %-10s core %-3d shares %-4d %s\n", a.Name, a.Core, a.Shares, a.Priority)
+	}
+	if e := st.Energy; e != nil {
+		fmt.Printf("energy     %.5g J over %.4gs (%d intervals, %d over limit)\n",
+			e.TotalJoules, e.ElapsedSeconds, e.Intervals, e.OverIntervals)
+		fmt.Printf("           overshoot %.3g J, unattributed %.3g J, excluded %.3g J, $%.6f, %.2f gCO2\n",
+			e.OvershootJoules, float64(e.UnattributedUJ)/1e6, float64(e.ExcludedUJ)/1e6,
+			e.CostUSD, e.CarbonGrams)
+		for _, a := range e.Apps {
+			fmt.Printf("           %-10s %12.5g J  %5.1f%% of energy (%5.1f%% of shares)\n",
+				a.Name, a.Joules, a.EnergyFrac*100, a.ShareFrac*100)
+		}
+		if len(e.Anomalies) > 0 {
+			kinds := make([]string, 0, len(e.Anomalies))
+			for k := range e.Anomalies {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			fmt.Printf("anomalies ")
+			for _, k := range kinds {
+				fmt.Printf(" %s=%d", k, e.Anomalies[k])
+			}
+			fmt.Println()
+		}
 	}
 	return nil
 }

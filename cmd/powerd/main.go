@@ -35,6 +35,7 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/fault"
 	"repro/internal/flight"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/metrics/decisions"
 	"repro/internal/msr"
@@ -63,6 +64,7 @@ type runOpts struct {
 	triggers  daemon.FlightTriggers
 	faults    fault.Schedule
 	faultSeed int64
+	rates     ledger.RateSchedule
 }
 
 func main() {
@@ -86,8 +88,18 @@ func main() {
 		fltSLO   = flag.Duration("flight-slo", 0, "dump when one control iteration exceeds this wall-clock latency (0 = off)")
 		faults   = flag.String("faults", "", "fault schedule, inline (';'-separated entries) or @file; enables the resilient daemon")
 		faultSd  = flag.Int64("fault-seed", 1, "seed for probabilistic fault decisions (same seed = same fault pattern)")
+		rates    = flag.String("energy-rates", "", `energy rate schedule "start=usd_per_kwh:gco2_per_kwh,..." (e.g. "0=0.12:420,8h=0.08:250"); empty = defaults`)
 	)
 	flag.Parse()
+
+	rateSched := ledger.DefaultRates
+	if *rates != "" {
+		var rerr error
+		if rateSched, rerr = ledger.ParseRateSchedule(*rates); rerr != nil {
+			fmt.Fprintln(os.Stderr, "powerd:", rerr)
+			os.Exit(1)
+		}
+	}
 
 	var sched fault.Schedule
 	if *faults != "" {
@@ -123,6 +135,7 @@ func main() {
 		},
 		faults:    sched,
 		faultSeed: *faultSd,
+		rates:     rateSched,
 	}
 
 	var err error
@@ -249,9 +262,20 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 		dev = inj.WrapDevice(dev)
 	}
 
+	// The energy ledger is always on: attribution costs one lock and a few
+	// hundred integer ops per interval, and post-hoc "which app burned the
+	// budget" questions can't be answered from data nobody recorded.
+	led, err := ledger.New(ledger.Config{
+		Chip: chip, Apps: specs, Rates: opts.rates, Metrics: reg, Flight: rec,
+	})
+	if err != nil {
+		return err
+	}
+
 	dcfg := daemon.Config{
 		Chip: chip, Policy: pol, Apps: specs, Limit: limit, Interval: interval,
 		Metrics: reg, Journal: journal, Flight: rec, Triggers: opts.triggers,
+		Ledger: led,
 	}
 	if inj != nil {
 		dcfg.Resilience = &daemon.Resilience{}
@@ -309,6 +333,7 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 			return fmt.Errorf("observability listener: %w", lerr)
 		}
 		var srvOpts []obs.Option
+		srvOpts = append(srvOpts, obs.WithLedger(led))
 		if opts.pprofOn {
 			srvOpts = append(srvOpts, obs.WithPprof())
 		}
@@ -330,6 +355,7 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 				Metrics:    reg,
 				Flight:     rec,
 				Tracer:     tracer,
+				Ledger:     led,
 			})
 			if aerr != nil {
 				l.Close()
@@ -407,11 +433,12 @@ loop:
 	}
 
 	snap := d.LastSnapshot()
+	sum := led.Summarize()
 	tb := trace.Table{
 		Title:  "final state",
-		Header: []string{"app", "core", "shares", "prio", "MHz", "IPS", "W/core", "parked"},
+		Header: []string{"app", "core", "shares", "prio", "MHz", "IPS", "W/core", "parked", "joules", "energy%"},
 	}
-	for _, a := range snap.Apps {
+	for i, a := range snap.Apps {
 		prio := "lp"
 		if a.Spec.HighPriority {
 			prio = "hp"
@@ -419,13 +446,22 @@ loop:
 		if policy != "priority" {
 			prio = "-"
 		}
+		joules, frac := "-", "-"
+		if i < len(sum.Apps) {
+			joules = fmt.Sprintf("%.1f", sum.Apps[i].Joules)
+			frac = fmt.Sprintf("%.1f", sum.Apps[i].EnergyFrac*100)
+		}
 		tb.AddRow(a.Spec.Name, strconv.Itoa(a.Spec.Core), strconv.Itoa(int(a.Spec.Shares)), prio,
 			trace.Hz(a.Freq), fmt.Sprintf("%.3g", a.IPS), trace.W(a.Power),
-			fmt.Sprintf("%v", a.Parked))
+			fmt.Sprintf("%v", a.Parked), joules, frac)
 	}
 	if err := tb.Render(os.Stdout); err != nil {
 		return err
 	}
+	fmt.Printf("powerd: energy: %.1f J total, %.1f J overshoot, %.1f J unattributed, %.1f J excluded, $%.6f, %.2f gCO2\n",
+		sum.TotalJoules, sum.OvershootJoules,
+		float64(sum.UnattributedUJ)/1e6, float64(sum.ExcludedUJ)/1e6,
+		sum.CostUSD, sum.CarbonGrams)
 	if inj != nil {
 		var parts []string
 		for _, c := range []fault.Class{fault.ClassEIO, fault.ClassStuck, fault.ClassTorn,

@@ -7,6 +7,7 @@
 //	powerdump -view timeline dump.fr   # every event, one line each
 //	powerdump -view spans dump.fr      # per-interval sample→decide→actuate trees
 //	powerdump -view anomalies dump.fr  # over-limit excursions, throttle bursts, parks
+//	powerdump -view energy dump.fr     # energy ledger rebuilt from cumulative events
 //	powerdump -replay dump.fr          # re-execute against a fresh simulator and diff
 //
 // The merged view joins distributed round traces (GET /debug/rounds on
@@ -16,8 +17,8 @@
 //
 //	powerdump -view merged coord.json n0.json n1.json ...
 //
-// -json switches the anomalies and merged views to machine-readable
-// output for scripting and CI.
+// -json switches the anomalies, energy, and merged views to
+// machine-readable output for scripting and CI.
 //
 // Replay rebuilds the machine from the dump's metadata, re-applies the
 // recorded MSR writes and park decisions at their recorded virtual times,
@@ -36,6 +37,7 @@ import (
 
 	"repro/internal/flight"
 	"repro/internal/flight/replay"
+	"repro/internal/ledger"
 	"repro/internal/msr"
 	"repro/internal/telemetry"
 	"repro/internal/tracing"
@@ -44,11 +46,11 @@ import (
 
 func main() {
 	var (
-		view     = flag.String("view", "summary", "summary, timeline, spans, anomalies, or merged")
+		view     = flag.String("view", "summary", "summary, timeline, spans, anomalies, energy, or merged")
 		interval = flag.Int("interval", -1, "restrict timeline/spans to one control interval (-1 = all)")
 		limit    = flag.Int("n", 0, "print at most n timeline events (0 = all)")
 		doReplay = flag.Bool("replay", false, "deterministically replay the dump and diff against the recording")
-		jsonOut  = flag.Bool("json", false, "machine-readable output (anomalies and merged views)")
+		jsonOut  = flag.Bool("json", false, "machine-readable output (anomalies, energy, and merged views)")
 	)
 	flag.Parse()
 	if *view == "merged" {
@@ -63,7 +65,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: powerdump [-view summary|timeline|spans|anomalies|merged] [-json] [-replay] dump.fr")
+		fmt.Fprintln(os.Stderr, "usage: powerdump [-view summary|timeline|spans|anomalies|energy|merged] [-json] [-replay] dump.fr")
 		os.Exit(2)
 	}
 	d, err := flight.ReadDumpFile(flag.Arg(0))
@@ -87,6 +89,8 @@ func main() {
 		spans(d, *interval)
 	case "anomalies":
 		anomalies(d, *jsonOut)
+	case "energy":
+		energyView(d, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "powerdump: unknown view %q\n", *view)
 		os.Exit(2)
@@ -239,6 +243,26 @@ func describe(e flight.Event) string {
 		s := fmt.Sprintf("%s%-8s limit=%s", node, flight.ReconfigName(e.Arg), uwatts(e.Value))
 		if e.Arg == flight.ReconfigLimit {
 			s += " was=" + uwatts(e.Aux)
+		}
+		return s
+	case flight.KindEnergy:
+		acct := flight.EnergyArgName(e.Arg)
+		if acct == "app" {
+			acct = fmt.Sprintf("app%d(core%d)", e.Arg, e.Core)
+		}
+		return fmt.Sprintf("%-14s +%duJ total=%duJ", acct, e.Value, e.Aux)
+	case flight.KindAnomaly:
+		s := fmt.Sprintf("%-11s", flight.AnomalyName(e.Arg))
+		switch e.Arg {
+		case flight.AnomalyOvershoot:
+			s += fmt.Sprintf(" over=%s for %d intervals", uwatts(e.Value), e.Aux)
+		case flight.AnomalyOscillation:
+			s += fmt.Sprintf(" limit=%s flips=%d", uwatts(e.Value), e.Aux)
+		case flight.AnomalyShareDrift:
+			s += fmt.Sprintf(" core%-2d energy=%.1f%% shares=%.1f%%",
+				e.Core, float64(e.Value)/1e4, float64(e.Aux)/1e4)
+		case flight.AnomalyStraggler:
+			s += fmt.Sprintf(" socket%d untrusted for %d intervals", e.Core, e.Aux)
 		}
 		return s
 	}
@@ -471,6 +495,107 @@ func anomalies(d flight.Dump, jsonOut bool) {
 	}
 	if !a.any() {
 		fmt.Println("no anomalies found")
+	}
+}
+
+// energyAppRow is one application's line in the machine-readable energy
+// view.
+type energyAppRow struct {
+	Name       string  `json:"name"`
+	Core       int     `json:"core"`
+	TotalUJ    uint64  `json:"total_uj"`
+	Joules     float64 `json:"joules"`
+	EnergyFrac float64 `json:"energy_frac"`
+}
+
+// energyReport is the machine-readable shape of the energy view: the
+// ledger account book rebuilt exactly from the dump's cumulative energy
+// events.
+type energyReport struct {
+	Events         int               `json:"events"`
+	TotalUJ        uint64            `json:"total_uj"`
+	AttributedUJ   uint64            `json:"attributed_uj"`
+	UnattributedUJ uint64            `json:"unattributed_uj"`
+	ExcludedUJ     uint64            `json:"excluded_uj"`
+	LimitUJ        uint64            `json:"limit_uj"`
+	OvershootUJ    uint64            `json:"overshoot_uj"`
+	TotalJoules    float64           `json:"total_joules"`
+	Conserved      bool              `json:"conserved"`
+	Apps           []energyAppRow    `json:"apps,omitempty"`
+	Anomalies      map[string]uint64 `json:"anomalies,omitempty"`
+}
+
+func buildEnergyReport(d flight.Dump) energyReport {
+	r := ledger.Rebuild(d.Events)
+	rep := energyReport{
+		Events:         r.Events,
+		TotalUJ:        r.TotalUJ,
+		AttributedUJ:   r.AttributedUJ(),
+		UnattributedUJ: r.UnattributedUJ,
+		ExcludedUJ:     r.ExcludedUJ,
+		LimitUJ:        r.LimitUJ,
+		OvershootUJ:    r.OvershootUJ,
+		TotalJoules:    float64(r.TotalUJ) / 1e6,
+		Anomalies:      r.AnomalyCounts,
+	}
+	rep.Conserved = rep.AttributedUJ+rep.UnattributedUJ+rep.ExcludedUJ == rep.TotalUJ
+	for i, uj := range r.AppUJ {
+		row := energyAppRow{Name: fmt.Sprintf("app%d", i), Core: -1, TotalUJ: uj, Joules: float64(uj) / 1e6}
+		if i < len(d.Meta.Apps) {
+			row.Name = d.Meta.Apps[i].Name
+			row.Core = d.Meta.Apps[i].Core
+		}
+		if rep.TotalUJ > 0 {
+			row.EnergyFrac = float64(uj) / float64(rep.TotalUJ)
+		}
+		rep.Apps = append(rep.Apps, row)
+	}
+	return rep
+}
+
+// energyView rebuilds the energy ledger's account book from the dump's
+// cumulative KindEnergy events — bit-identical to the live ledger at the
+// instant of the dump — and renders it.
+func energyView(d flight.Dump, jsonOut bool) {
+	rep := buildEnergyReport(d)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+		return
+	}
+	if rep.Events == 0 {
+		fmt.Println("no energy events (ledger not running, or ring overwrote them)")
+		return
+	}
+	fmt.Printf("energy ledger rebuilt from %d event(s):\n", rep.Events)
+	fmt.Printf("  total        %12d uJ  (%.3f J)\n", rep.TotalUJ, rep.TotalJoules)
+	fmt.Printf("  attributed   %12d uJ\n", rep.AttributedUJ)
+	fmt.Printf("  unattributed %12d uJ\n", rep.UnattributedUJ)
+	fmt.Printf("  excluded     %12d uJ  (untrusted telemetry, not smeared)\n", rep.ExcludedUJ)
+	fmt.Printf("  limit budget %12d uJ, overshoot %d uJ\n", rep.LimitUJ, rep.OvershootUJ)
+	if rep.Conserved {
+		fmt.Println("  conservation: attributed + unattributed + excluded == total (exact)")
+	} else {
+		fmt.Println("  CONSERVATION VIOLATION: accounts do not sum to the total")
+	}
+	if len(rep.Apps) > 0 {
+		fmt.Printf("  %-12s %5s %14s %8s\n", "APP", "CORE", "JOULES", "ENERGY%")
+		for _, a := range rep.Apps {
+			fmt.Printf("  %-12s %5d %14.3f %7.1f%%\n", a.Name, a.Core, a.Joules, a.EnergyFrac*100)
+		}
+	}
+	if len(rep.Anomalies) > 0 {
+		kinds := make([]string, 0, len(rep.Anomalies))
+		for k := range rep.Anomalies {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Printf("  anomalies (retained in ring):")
+		for _, k := range kinds {
+			fmt.Printf("  %s=%d", k, rep.Anomalies[k])
+		}
+		fmt.Println()
 	}
 }
 

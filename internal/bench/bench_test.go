@@ -159,18 +159,26 @@ func TestTrajectorySmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ents) != 2 {
-		t.Fatalf("coordinator smoke entries = %d, want 2", len(ents))
+	// Each smoke size runs bare and ledgered.
+	if want := 2 * len(coordinatorSmokeNodes); len(ents) != want {
+		t.Fatalf("coordinator smoke entries = %d, want %d", len(ents), want)
 	}
+	sawLedger := false
 	for _, e := range ents {
 		if e.NsPerOp <= 0 || e.Config["nodes"] == 0 {
 			t.Errorf("entry %+v", e)
+		}
+		if e.Config["ledger"] == 1 {
+			sawLedger = true
 		}
 		for _, ph := range []string{"report", "plan", "grant"} {
 			if e.Phases[ph] <= 0 {
 				t.Errorf("%s: phase %q missing (%v)", e.Name, ph, e.Phases)
 			}
 		}
+	}
+	if !sawLedger {
+		t.Error("coordinator smoke never ran the ledgered variant")
 	}
 
 	lents, err := LoopTrajectory(true)
@@ -201,6 +209,24 @@ func TestTrajectorySmoke(t *testing.T) {
 	}
 	if !sawMultiSocket {
 		t.Error("loop smoke never reached a multi-socket machine")
+	}
+
+	gents, err := LedgerTrajectory(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gents) != len(ledgerSmokeApps) {
+		t.Fatalf("ledger smoke entries = %d, want %d", len(gents), len(ledgerSmokeApps))
+	}
+	for i, e := range gents {
+		if e.NsPerOp <= 0 || e.Config["apps"] != ledgerSmokeApps[i] {
+			t.Errorf("entry %+v", e)
+		}
+		// The ledger rides the 1 ms control loop: zero-alloc, and cheap
+		// enough that attribution can never become the loop's long pole.
+		if e.AllocsPerOp != 0 {
+			t.Errorf("%s: allocs/op = %v, want 0", e.Name, e.AllocsPerOp)
+		}
 	}
 }
 

@@ -15,13 +15,24 @@ const DefaultThreshold = 0.20
 // noise, which must not read as a regression.
 const allocSlack = 8
 
-// zeroAllocPrefix names the benchmark family held to the zero-allocation
-// invariant: the steady-state control loop. Any entry under this prefix
-// with a nonzero allocs/op fails the gate outright — no threshold, no
-// slack, no calibration — because a single allocation per iteration is a
-// GC-pressure regression the threshold machinery exists to excuse
-// everywhere else.
-const zeroAllocPrefix = "loop_iteration/"
+// zeroAllocPrefixes names the benchmark families held to the
+// zero-allocation invariant: the steady-state control loop and the energy
+// ledger that rides on it. Any entry under these prefixes with a nonzero
+// allocs/op fails the gate outright — no threshold, no slack, no
+// calibration — because a single allocation per iteration is a GC-pressure
+// regression the threshold machinery exists to excuse everywhere else.
+var zeroAllocPrefixes = []string{"loop_iteration/", "ledger_append/"}
+
+// zeroAllocGated reports whether a benchmark entry is held to the hard
+// zero-allocation gate.
+func zeroAllocGated(name string) bool {
+	for _, p := range zeroAllocPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
 
 // shapeWarnRatio is how far apart two machines' logical CPU counts may
 // be before the comparator warns that calibration is stretching across
@@ -120,7 +131,7 @@ func Compare(baseline, candidate *File, opts CompareOptions) ([]Regression, erro
 				Old: p.old.NsPerOp, New: p.new.NsPerOp, Limit: limit,
 			})
 		}
-		if strings.HasPrefix(p.old.Name, zeroAllocPrefix) {
+		if zeroAllocGated(p.old.Name) {
 			continue // held to the hard zero gate below instead
 		}
 		if limit := p.old.AllocsPerOp*(1+threshold) + allocSlack; p.new.AllocsPerOp > limit {
@@ -135,7 +146,7 @@ func Compare(baseline, candidate *File, opts CompareOptions) ([]Regression, erro
 	// or not — so a newly added configuration cannot smuggle allocations
 	// in just because the baseline predates it.
 	for _, e := range candidate.Entries {
-		if strings.HasPrefix(e.Name, zeroAllocPrefix) && e.AllocsPerOp > 0 {
+		if zeroAllocGated(e.Name) && e.AllocsPerOp > 0 {
 			var old float64
 			if o, ok := oldByName(baseline, e.Name); ok {
 				old = o.AllocsPerOp

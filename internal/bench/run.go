@@ -10,11 +10,14 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/flight"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/powerapi"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tracing"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -30,6 +33,8 @@ var (
 	coordinatorSmokeNodes = []int{4, 16}
 	loopCores             = []int{4, 10, 32, 128, 256, 512}
 	loopSmokeCores        = []int{4, 10, 32, 128}
+	ledgerApps            = []int{2, 8, 32, 128}
+	ledgerSmokeApps       = []int{2, 8, 32}
 )
 
 func sizes(all, smokeSubset []int, smoke bool) []int {
@@ -72,7 +77,7 @@ func (n *benchNode) close() {
 	n.agent.Close()
 }
 
-func newBenchNode(name string, limit units.Watts) (*benchNode, error) {
+func newBenchNode(name string, limit units.Watts, withLedger bool) (*benchNode, error) {
 	chip := platform.Skylake()
 	m, err := sim.New(chip)
 	if err != nil {
@@ -91,8 +96,14 @@ func newBenchNode(name string, limit units.Watts) (*benchNode, error) {
 	if err != nil {
 		return nil, err
 	}
+	var led *ledger.Ledger
+	if withLedger {
+		if led, err = ledger.New(ledger.Config{Chip: chip, Apps: specs}); err != nil {
+			return nil, err
+		}
+	}
 	d, err := daemon.New(daemon.Config{
-		Chip: chip, Policy: pol, Apps: specs, Limit: limit,
+		Chip: chip, Policy: pol, Apps: specs, Limit: limit, Ledger: led,
 	}, m.Device(), daemon.MachineActuator{M: m})
 	if err != nil {
 		return nil, err
@@ -103,6 +114,7 @@ func newBenchNode(name string, limit units.Watts) (*benchNode, error) {
 	m.Run(time.Second) // non-zero power so the node bids
 	agent, err := powerapi.NewAgent(powerapi.AgentConfig{
 		Name: name, Daemon: d, Fallback: limit, PolicyName: "frequency",
+		Ledger: led,
 	})
 	if err != nil {
 		return nil, err
@@ -140,54 +152,85 @@ func phaseWalls(log tracing.Log) map[string]float64 {
 	return out
 }
 
+// coordinatorEntry benchmarks one coordinator reallocation round over a
+// loopback-HTTP fleet of n nodes. With withLedger every node runs an
+// energy ledger and piggybacks its summary on the status poll, and the
+// coordinator aggregates the fleet energy rollup — the full observability
+// cost a production round pays.
+func coordinatorEntry(n int, withLedger bool) (Entry, error) {
+	budget := units.Watts(30 * n)
+	nodes := make([]*benchNode, n)
+	ts := make([]cluster.Transport, n)
+	for i := range nodes {
+		name := fmt.Sprintf("n%03d", i)
+		nd, err := newBenchNode(name, budget/units.Watts(n), withLedger)
+		if err != nil {
+			return Entry{}, fmt.Errorf("bench: node %d of %d: %w", i, n, err)
+		}
+		nodes[i] = nd
+		ts[i] = cluster.NewHTTPNode(name, nd.srv.URL, "bench")
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.close()
+		}
+	}()
+	tracer := tracing.New("bench-coord", 0)
+	ccfg := cluster.Config{
+		Budget:   budget,
+		LeaseTTL: time.Hour,
+		Retries:  -1,
+		Tracer:   tracer,
+	}
+	if withLedger {
+		ccfg.Fleet = cluster.NewFleet(budget, nil)
+	}
+	c, err := cluster.NewOverTransports(ts, ccfg)
+	if err != nil {
+		return Entry{}, err
+	}
+	ctx := context.Background()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := c.Step(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	name := fmt.Sprintf("coordinator_tick/nodes=%d", n)
+	cfg := map[string]int{"nodes": n}
+	if withLedger {
+		name = fmt.Sprintf("coordinator_tick_ledger/nodes=%d", n)
+		cfg["ledger"] = 1
+	}
+	return Entry{
+		Name:        name,
+		Config:      cfg,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		Phases:      phaseWalls(tracer.Log()),
+	}, nil
+}
+
 // CoordinatorTrajectory benchmarks one coordinator reallocation round
 // over loopback-HTTP node fleets of increasing size: the concurrent
 // status fan-out, the water-fill plan, and the grant wave, with the
-// phase breakdown taken from the round traces the run records.
+// phase breakdown taken from the round traces the run records. Each
+// fleet size runs twice — bare, and with per-node energy ledgers plus
+// the coordinator's fleet energy rollup — so the ledger's status-poll
+// piggyback cost is pinned in the baseline next to the figure it must
+// not regress.
 func CoordinatorTrajectory(smoke bool) ([]Entry, error) {
 	var entries []Entry
-	for _, n := range sizes(coordinatorNodes, coordinatorSmokeNodes, smoke) {
-		budget := units.Watts(30 * n)
-		nodes := make([]*benchNode, n)
-		ts := make([]cluster.Transport, n)
-		for i := range nodes {
-			name := fmt.Sprintf("n%03d", i)
-			nd, err := newBenchNode(name, budget/units.Watts(n))
+	for _, withLedger := range []bool{false, true} {
+		for _, n := range sizes(coordinatorNodes, coordinatorSmokeNodes, smoke) {
+			e, err := coordinatorEntry(n, withLedger)
 			if err != nil {
-				return nil, fmt.Errorf("bench: node %d of %d: %w", i, n, err)
+				return nil, err
 			}
-			nodes[i] = nd
-			ts[i] = cluster.NewHTTPNode(name, nd.srv.URL, "bench")
-		}
-		tracer := tracing.New("bench-coord", 0)
-		c, err := cluster.NewOverTransports(ts, cluster.Config{
-			Budget:   budget,
-			LeaseTTL: time.Hour,
-			Retries:  -1,
-			Tracer:   tracer,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ctx := context.Background()
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := c.Step(ctx); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-		entries = append(entries, Entry{
-			Name:        fmt.Sprintf("coordinator_tick/nodes=%d", n),
-			Config:      map[string]int{"nodes": n},
-			NsPerOp:     float64(r.NsPerOp()),
-			AllocsPerOp: float64(r.AllocsPerOp()),
-			BytesPerOp:  float64(r.AllocedBytesPerOp()),
-			Phases:      phaseWalls(tracer.Log()),
-		})
-		for _, nd := range nodes {
-			nd.close()
+			entries = append(entries, e)
 		}
 	}
 	return entries, nil
@@ -253,6 +296,64 @@ func LoopTrajectory(smoke bool) ([]Entry, error) {
 			AllocsPerOp: float64(r.AllocsPerOp()),
 			BytesPerOp:  float64(r.AllocedBytesPerOp()),
 			Phases:      phases,
+		})
+	}
+	return entries, nil
+}
+
+// LedgerTrajectory benchmarks one energy-ledger Append — attribution,
+// tier append, detectors, cost, metrics publish, and flight events — at
+// increasing app counts on the same multi-socket machines the loop
+// trajectory uses. The family rides the control loop, so it is held to
+// the hard zero-allocation gate alongside loop_iteration.
+func LedgerTrajectory(smoke bool) ([]Entry, error) {
+	var entries []Entry
+	for _, napps := range sizes(ledgerApps, ledgerSmokeApps, smoke) {
+		chip := benchChip(napps)
+		names := []string{"gcc", "cam4", "leela", "cactusBSSN"}
+		specs := make([]core.AppSpec, napps)
+		for i := range specs {
+			specs[i] = core.AppSpec{Name: names[i%len(names)], Core: i, Shares: units.Shares(10 + i%7)}
+		}
+		led, err := ledger.New(ledger.Config{
+			Chip: chip, Apps: specs,
+			Metrics: metrics.NewRegistry(), Flight: flight.New(0),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sockets := chip.Sockets()
+		in := ledger.Input{
+			Dt:           time.Millisecond,
+			Limit:        units.Watts(25 * sockets),
+			PackagePower: units.Watts(30 * sockets),
+			PkgStatus:    telemetry.StatusOK,
+			SocketPower:  make([]units.Watts, sockets),
+			SocketStatus: make([]telemetry.CoreStatus, sockets),
+			Cores:        make([]telemetry.CoreSample, chip.NumCores),
+		}
+		for s := 0; s < sockets; s++ {
+			in.SocketPower[s] = 30
+			in.SocketStatus[s] = telemetry.StatusOK
+		}
+		for c := range in.Cores {
+			in.Cores[c] = telemetry.CoreSample{
+				CPU: c, ActiveFreq: units.Hertz(2e9 + float64(c)*1e7), Status: telemetry.StatusOK,
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				in.At += in.Dt
+				led.Append(in)
+			}
+		})
+		entries = append(entries, Entry{
+			Name:        fmt.Sprintf("ledger_append/apps=%d", napps),
+			Config:      map[string]int{"apps": napps},
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
 		})
 	}
 	return entries, nil

@@ -16,6 +16,9 @@ import (
 // StragglerTopK bounds the straggler ranking a fleet snapshot carries.
 const StragglerTopK = 5
 
+// EnergyTopK bounds the top-energy-app ranking a fleet snapshot carries.
+const EnergyTopK = 5
+
 // NodeObservation is what one reallocation round learned about one node:
 // the transport outcome, the report RPC latency, and the report itself
 // (with its piggybacked status and metrics snapshot when the transport
@@ -68,6 +71,14 @@ type Fleet struct {
 	mAppWatts  *metrics.GaugeVec
 	mRoundSec  *metrics.Histogram
 	mStraggler *metrics.Counter
+
+	// Energy rollups, fed from the EnergyStatus nodes piggyback on their
+	// status replies.
+	mEnergy       *metrics.Gauge
+	mEnergyBudget *metrics.Gauge
+	mEnergyCost   *metrics.Gauge
+	mEnergyCarbon *metrics.Gauge
+	mAnomalies    *metrics.GaugeVec
 }
 
 // NewFleet builds an aggregator for a room with the given budget,
@@ -86,6 +97,11 @@ func NewFleet(budget units.Watts, reg *metrics.Registry) *Fleet {
 		f.mAppWatts = reg.GaugeVec("fleet_app_watts", "Per-application watts summed across nodes, from the latest reports.", "app")
 		f.mRoundSec = reg.Histogram("fleet_round_seconds", "End-to-end latency of one coordinator reallocation round.", metrics.DefBuckets)
 		f.mStraggler = reg.Counter("fleet_straggler_rounds_total", "Rounds in which some node was flagged as the straggler.")
+		f.mEnergy = reg.Gauge("fleet_energy_joules", "Energy attributed across the fleet, summed over the latest ledger summary of every node.")
+		f.mEnergyBudget = reg.Gauge("fleet_energy_budget_joules", "Room budget integrated over the longest node run clock — what the fleet was allowed to burn.")
+		f.mEnergyCost = reg.Gauge("fleet_energy_cost_usd", "Fleet energy cost under the nodes' rate schedules.")
+		f.mEnergyCarbon = reg.Gauge("fleet_energy_carbon_grams", "Fleet carbon footprint under the nodes' rate schedules.")
+		f.mAnomalies = reg.GaugeVec("fleet_anomalies_total", "Ledger anomalies summed across nodes, by detector kind.", "kind")
 		f.mBudget.Set(float64(budget))
 	}
 	return f
@@ -141,11 +157,25 @@ func (f *Fleet) ObserveRound(round uint64, total time.Duration, obs []NodeObserv
 
 	var totalPower units.Watts
 	appWatts := map[string]float64{}
+	var energyJ, costUSD, carbonG, maxElapsed float64
+	anomalies := map[string]float64{}
 	for _, n := range f.nodes {
 		totalPower += n.power
-		if n.status != nil {
-			for _, app := range n.status.Apps {
-				appWatts[app.Name] += app.Watts
+		if n.status == nil {
+			continue
+		}
+		for _, app := range n.status.Apps {
+			appWatts[app.Name] += app.Watts
+		}
+		if e := n.status.Energy; e != nil {
+			energyJ += e.TotalJoules
+			costUSD += e.CostUSD
+			carbonG += e.CarbonGrams
+			if e.ElapsedSeconds > maxElapsed {
+				maxElapsed = e.ElapsedSeconds
+			}
+			for k, v := range e.Anomalies {
+				anomalies[k] += float64(v)
 			}
 		}
 	}
@@ -158,6 +188,15 @@ func (f *Fleet) ObserveRound(round uint64, total time.Duration, obs []NodeObserv
 	if f.mAppWatts != nil {
 		for app, w := range appWatts {
 			f.mAppWatts.With(app).Set(w)
+		}
+	}
+	f.mEnergy.Set(energyJ)
+	f.mEnergyBudget.Set(float64(f.budget) * maxElapsed)
+	f.mEnergyCost.Set(costUSD)
+	f.mEnergyCarbon.Set(carbonG)
+	if f.mAnomalies != nil {
+		for kind, v := range anomalies {
+			f.mAnomalies.With(kind).Set(v)
 		}
 	}
 }
@@ -208,6 +247,9 @@ type FleetNode struct {
 	TotalMissed  int                 `json:"total_missed,omitempty"`
 	RPC          LatencySummary      `json:"rpc"`
 	MetricsRev   uint64              `json:"metrics_rev,omitempty"`
+	EnergyJoules float64             `json:"energy_joules,omitempty"`
+	CostUSD      float64             `json:"cost_usd,omitempty"`
+	Anomalies    uint64              `json:"anomalies,omitempty"`
 }
 
 // FleetApp is one application's room-wide power rollup.
@@ -215,6 +257,15 @@ type FleetApp struct {
 	Name  string  `json:"name"`
 	Watts float64 `json:"watts"`
 	Nodes int     `json:"nodes"`
+}
+
+// FleetAppEnergy is one application's room-wide energy rollup.
+type FleetAppEnergy struct {
+	Name        string  `json:"name"`
+	Joules      float64 `json:"joules"`
+	CostUSD     float64 `json:"cost_usd"`
+	CarbonGrams float64 `json:"carbon_grams"`
+	Nodes       int     `json:"nodes"`
 }
 
 // FleetStraggler ranks one node's straggler record.
@@ -236,6 +287,20 @@ type FleetSnapshot struct {
 	Stragglers      []FleetStraggler   `json:"stragglers,omitempty"`
 	Versions        []string           `json:"versions,omitempty"`
 	MixedVersions   bool               `json:"mixed_versions,omitempty"`
+
+	// Energy rollups from the nodes' piggybacked ledger summaries.
+	// EnergyBudgetJoules integrates the room budget over the longest node
+	// run clock — the fleet's allowance over the same window the joules
+	// were burned in — so EnergyJoules/EnergyBudgetJoules reads directly
+	// as budget utilisation.
+	EnergyJoules       float64           `json:"energy_joules,omitempty"`
+	EnergyBudgetJoules float64           `json:"energy_budget_joules,omitempty"`
+	OvershootJoules    float64           `json:"overshoot_joules,omitempty"`
+	ExcludedJoules     float64           `json:"excluded_joules,omitempty"`
+	EnergyCostUSD      float64           `json:"energy_cost_usd,omitempty"`
+	EnergyCarbonGrams  float64           `json:"energy_carbon_grams,omitempty"`
+	TopEnergyApps      []FleetAppEnergy  `json:"top_energy_apps,omitempty"`
+	AnomalyCounts      map[string]uint64 `json:"anomaly_counts,omitempty"`
 }
 
 // Snapshot renders the current rollups. Nil-safe (returns zero value).
@@ -253,7 +318,9 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 		LeaseEvents:  map[string]float64{},
 	}
 	apps := map[string]*FleetApp{}
+	energyApps := map[string]*FleetAppEnergy{}
 	versions := map[string]bool{}
+	var maxElapsed float64
 	for _, name := range f.order {
 		n := f.nodes[name]
 		row := FleetNode{
@@ -278,6 +345,43 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 				}
 				a.Watts += app.Watts
 				a.Nodes++
+			}
+			if e := st.Energy; e != nil {
+				row.EnergyJoules = e.TotalJoules
+				row.CostUSD = e.CostUSD
+				for _, v := range e.Anomalies {
+					row.Anomalies += v
+				}
+				snap.EnergyJoules += e.TotalJoules
+				snap.OvershootJoules += e.OvershootJoules
+				snap.ExcludedJoules += float64(e.ExcludedUJ) / 1e6
+				snap.EnergyCostUSD += e.CostUSD
+				snap.EnergyCarbonGrams += e.CarbonGrams
+				if e.ElapsedSeconds > maxElapsed {
+					maxElapsed = e.ElapsedSeconds
+				}
+				for k, v := range e.Anomalies {
+					if snap.AnomalyCounts == nil {
+						snap.AnomalyCounts = map[string]uint64{}
+					}
+					snap.AnomalyCounts[k] += v
+				}
+				for _, ae := range e.Apps {
+					fa := energyApps[ae.Name]
+					if fa == nil {
+						fa = &FleetAppEnergy{Name: ae.Name}
+						energyApps[ae.Name] = fa
+					}
+					fa.Joules += ae.Joules
+					fa.Nodes++
+					// Split the node's cost and carbon over its apps in
+					// proportion to attributed joules; unattributed and
+					// excluded energy stays in the node-level totals.
+					if e.TotalJoules > 0 {
+						fa.CostUSD += e.CostUSD * ae.Joules / e.TotalJoules
+						fa.CarbonGrams += e.CarbonGrams * ae.Joules / e.TotalJoules
+					}
+				}
 			}
 		}
 		snap.TotalPowerWatts += float64(n.power)
@@ -314,6 +418,20 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 	})
 	if len(snap.Stragglers) > StragglerTopK {
 		snap.Stragglers = snap.Stragglers[:StragglerTopK]
+	}
+	snap.EnergyBudgetJoules = float64(f.budget) * maxElapsed
+	for _, a := range energyApps {
+		snap.TopEnergyApps = append(snap.TopEnergyApps, *a)
+	}
+	sort.Slice(snap.TopEnergyApps, func(i, j int) bool {
+		a, b := snap.TopEnergyApps[i], snap.TopEnergyApps[j]
+		if a.Joules != b.Joules {
+			return a.Joules > b.Joules
+		}
+		return a.Name < b.Name
+	})
+	if len(snap.TopEnergyApps) > EnergyTopK {
+		snap.TopEnergyApps = snap.TopEnergyApps[:EnergyTopK]
 	}
 	for v := range versions {
 		snap.Versions = append(snap.Versions, v)

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flight"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/metrics/decisions"
 	"repro/internal/msr"
@@ -136,6 +137,13 @@ type Config struct {
 	// actuation errors are tolerated, and a fault-storm watchdog dumps
 	// flight state. Nil keeps the historical fail-fast behaviour.
 	Resilience *Resilience
+
+	// Ledger, when set, receives every control interval's telemetry for
+	// per-app energy attribution, time-series history, anomaly detection,
+	// and cost accounting. The daemon feeds it outside the loop lock (the
+	// ledger has its own); Reconfigure rebinds it when the app set
+	// changes. Nil disables energy accounting.
+	Ledger *ledger.Ledger
 }
 
 // FlightTriggers are the daemon-side conditions that snapshot the flight
@@ -563,6 +571,21 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 	}
 	d.mu.Unlock()
 
+	// The ledger appends outside d.mu (it has its own lock); the sample's
+	// slices stay valid under the sampler's double-buffer grace, and
+	// Append consumes them synchronously.
+	if d.cfg.Ledger != nil {
+		d.cfg.Ledger.Append(ledger.Input{
+			At:           sample.At,
+			Dt:           sample.Interval,
+			Limit:        snap.Limit,
+			PackagePower: sample.PackagePower,
+			PkgStatus:    sample.PkgStatus,
+			SocketPower:  sample.SocketPower,
+			SocketStatus: sample.SocketStatus,
+			Cores:        sample.Cores,
+		})
+	}
 	if d.cfg.Journal != nil {
 		d.cfg.Journal.Append(decisions.Record(polName, reasons, snap, actions))
 	}

@@ -76,6 +76,7 @@ func (d *Daemon) Reconfigure(rc Reconfig) error {
 	if rc.Apps != nil {
 		d.cfg.Apps = append([]core.AppSpec(nil), rc.Apps...)
 		d.sizeAppBuffers()
+		d.cfg.Ledger.Reconfigure(d.cfg.Apps)
 		codes = append(codes, flight.ReconfigShares)
 		if d.res != nil {
 			// Health state is per-app; a new app set starts trusted.

@@ -217,6 +217,80 @@ func ReconfigName(c uint32) string {
 	return "unknown"
 }
 
+// Energy account sentinels carried in Event.Arg of KindEnergy events.
+// Small Arg values are app indices in spec order (flight.Meta.Apps order in
+// a dump); the sentinels occupy the top of the uint32 range so they can
+// never collide with a real app index. Like every Arg vocabulary they are
+// part of the dump format and may only be appended to (downward).
+const (
+	// EnergyArgUnattributed: socket energy measured by trustworthy
+	// counters that no app weight claims (idle/static power).
+	EnergyArgUnattributed uint32 = 0xFFFFFFFF
+	// EnergyArgExcluded: socket energy withheld from attribution because
+	// a counter on that socket was untrustworthy this interval.
+	EnergyArgExcluded uint32 = 0xFFFFFFFE
+	// EnergyArgTotal: total socket energy integrated (attributed +
+	// unattributed + excluded).
+	EnergyArgTotal uint32 = 0xFFFFFFFD
+	// EnergyArgLimit: the integral of the enforced power limit (the
+	// energy budget the cap allowed).
+	EnergyArgLimit uint32 = 0xFFFFFFFC
+	// EnergyArgOvershoot: the integral of max(0, package power − limit).
+	EnergyArgOvershoot uint32 = 0xFFFFFFFB
+)
+
+// EnergyArgName names an energy account sentinel (or "app" for an app
+// index) for reports.
+func EnergyArgName(a uint32) string {
+	switch a {
+	case EnergyArgUnattributed:
+		return "unattributed"
+	case EnergyArgExcluded:
+		return "excluded"
+	case EnergyArgTotal:
+		return "total"
+	case EnergyArgLimit:
+		return "limit"
+	case EnergyArgOvershoot:
+		return "overshoot"
+	}
+	return "app"
+}
+
+// Anomaly codes carried in Event.Arg of KindAnomaly events: the energy
+// ledger's streaming detectors. Append-only, like every Arg vocabulary.
+const (
+	// AnomalyOvershoot: package power sustained above limit×(1+margin);
+	// Value is the overshoot in µW, Aux the consecutive intervals over.
+	AnomalyOvershoot uint32 = iota
+	// AnomalyOscillation: the enforced cap thrashing direction; Value is
+	// the current limit in µW, Aux the direction flips in the window.
+	AnomalyOscillation
+	// AnomalyShareDrift: an app's energy share drifting from its granted
+	// share; Core is the app core, Value the observed energy fraction in
+	// ppm, Aux the granted share fraction in ppm.
+	AnomalyShareDrift
+	// AnomalyStraggler: a socket's telemetry untrustworthy for a
+	// sustained run; Core is the socket index, Aux the consecutive
+	// untrustworthy intervals.
+	AnomalyStraggler
+)
+
+// AnomalyName names an anomaly code for reports and metric labels.
+func AnomalyName(c uint32) string {
+	switch c {
+	case AnomalyOvershoot:
+		return "overshoot"
+	case AnomalyOscillation:
+		return "oscillation"
+	case AnomalyShareDrift:
+		return "share-drift"
+	case AnomalyStraggler:
+		return "straggler"
+	}
+	return "unknown"
+}
+
 // ActName names an actuation code for reports.
 func ActName(a uint32) string {
 	switch a {

@@ -38,6 +38,7 @@ const (
 	SourceSim                   // simulated C-state and constraint transitions
 	SourceFault                 // fault-injector window transitions
 	SourceControl               // control-plane lease and reconfiguration traffic
+	SourceLedger                // energy-ledger attribution and anomaly detectors
 	numSources
 )
 
@@ -56,6 +57,8 @@ func (s Source) String() string {
 		return "fault"
 	case SourceControl:
 		return "control"
+	case SourceLedger:
+		return "ledger"
 	}
 	return "unknown"
 }
@@ -115,6 +118,19 @@ const (
 	// daemon: Arg is a Reconfig* code, Value the new limit in µW (limit
 	// changes) and Aux the previous limit in µW.
 	KindReconfigure
+	// KindEnergy records one energy-ledger account advancing at the end of
+	// a control interval: Arg is the app index in spec order (or an
+	// Energy* sentinel for the unattributed/excluded/total/limit/overshoot
+	// accounts), Core the app's pinned core (-1 for package accounts),
+	// Value the microjoules attributed this interval, Aux the cumulative
+	// microjoules of the account. Because Aux is cumulative, the latest
+	// retained event per account reproduces the ledger's totals exactly,
+	// no matter how much of the ring has been overwritten.
+	KindEnergy
+	// KindAnomaly records a streaming anomaly detector firing: Arg is an
+	// Anomaly* code, Core the affected app core or socket (-1 for package
+	// scope), Value/Aux detector-specific payload (see the code docs).
+	KindAnomaly
 )
 
 // String names the kind for reports.
@@ -148,6 +164,10 @@ func (k Kind) String() string {
 		return "lease"
 	case KindReconfigure:
 		return "reconfigure"
+	case KindEnergy:
+		return "energy"
+	case KindAnomaly:
+		return "anomaly"
 	}
 	return "unknown"
 }

@@ -1,0 +1,291 @@
+package ledger
+
+import (
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/units"
+)
+
+// numAnomalyKinds sizes the per-kind counters; it tracks the flight
+// Anomaly* code vocabulary.
+const numAnomalyKinds = 4
+
+// DetectorConfig tunes the streaming anomaly detectors. Every detector
+// keeps O(1) state per subject, fires once when its condition is first
+// sustained, and re-arms only after the condition fully clears — a
+// sustained excursion produces one anomaly, not one per interval.
+type DetectorConfig struct {
+	// OvershootMargin is the fractional headroom above the limit that
+	// counts as overshoot (default 0.05: power > limit × 1.05).
+	OvershootMargin float64
+	// OvershootN is how many consecutive overshooting intervals arm the
+	// sustained-overshoot anomaly (default 10).
+	OvershootN int
+
+	// OscillationWindow is the trailing interval window over which
+	// limit-direction flips are counted (default 100), and
+	// OscillationFlips the flip count that fires the cap-thrash anomaly
+	// (default 8).
+	OscillationWindow int
+	OscillationFlips  int
+
+	// DriftAlpha is the EWMA weight for an app's energy-share fraction
+	// (default 0.05); DriftMargin the absolute deviation from the granted
+	// share fraction that counts as drift (default 0.15); DriftN the
+	// consecutive drifting intervals that fire (default 100).
+	DriftAlpha  float64
+	DriftMargin float64
+	DriftN      int
+
+	// StragglerN is how many consecutive untrustworthy intervals flag a
+	// socket as straggling (default 50).
+	StragglerN int
+
+	// FeedCapacity bounds the retained anomaly feed (default 256).
+	FeedCapacity int
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.OvershootMargin <= 0 {
+		c.OvershootMargin = 0.05
+	}
+	if c.OvershootN <= 0 {
+		c.OvershootN = 10
+	}
+	if c.OscillationWindow <= 0 {
+		c.OscillationWindow = 100
+	}
+	if c.OscillationFlips <= 0 {
+		c.OscillationFlips = 8
+	}
+	if c.DriftAlpha <= 0 {
+		c.DriftAlpha = 0.05
+	}
+	if c.DriftMargin <= 0 {
+		c.DriftMargin = 0.15
+	}
+	if c.DriftN <= 0 {
+		c.DriftN = 100
+	}
+	if c.StragglerN <= 0 {
+		c.StragglerN = 50
+	}
+	if c.FeedCapacity <= 0 {
+		c.FeedCapacity = 256
+	}
+	return c
+}
+
+// Anomaly is one detector firing, as served in feeds.
+type Anomaly struct {
+	Kind      string  `json:"kind"`
+	AtSeconds float64 `json:"at_seconds"`
+	App       string  `json:"app,omitempty"`
+	Core      int     `json:"core"`
+	Value     float64 `json:"value"`
+	Aux       float64 `json:"aux"`
+}
+
+// detectors is the ledger's streaming detector state: fixed-size, updated
+// once per Append without allocating.
+type detectors struct {
+	cfg DetectorConfig
+
+	overRun   int
+	overFired bool
+
+	lastLimitUW uint64
+	lastDir     int
+	flipRing    []bool
+	flipNext    int
+	flipCount   int
+	oscFired    bool
+
+	sockRun   []int
+	sockFired []bool
+
+	ring   []Anomaly
+	next   int
+	filled bool
+	total  [numAnomalyKinds]uint64
+}
+
+func newDetectors(cfg DetectorConfig, sockets int) detectors {
+	cfg = cfg.withDefaults()
+	return detectors{
+		cfg:       cfg,
+		flipRing:  make([]bool, cfg.OscillationWindow),
+		sockRun:   make([]int, sockets),
+		sockFired: make([]bool, sockets),
+		ring:      make([]Anomaly, cfg.FeedCapacity),
+	}
+}
+
+// counts snapshots per-kind firing totals (cold path; allocates a map).
+func (d *detectors) counts() map[string]uint64 {
+	var out map[string]uint64
+	for k := uint32(0); k < numAnomalyKinds; k++ {
+		if d.total[k] == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]uint64, numAnomalyKinds)
+		}
+		out[flight.AnomalyName(k)] = d.total[k]
+	}
+	return out
+}
+
+// feed copies the retained anomalies, oldest first (cold path).
+func (d *detectors) feed() []Anomaly {
+	if !d.filled {
+		return append([]Anomaly(nil), d.ring[:d.next]...)
+	}
+	out := make([]Anomaly, 0, len(d.ring))
+	out = append(out, d.ring[d.next:]...)
+	out = append(out, d.ring[:d.next]...)
+	return out
+}
+
+// fire records one anomaly everywhere it surfaces: the metric family, the
+// flight recorder, and the retained feed. Caller holds l.mu; fire is
+// allocation-free.
+func (l *Ledger) fire(code uint32, at time.Duration, coreID int, app string, value, aux uint64) {
+	d := &l.det
+	if code < numAnomalyKinds {
+		d.total[code]++
+		l.m.anomalies[code].Inc()
+	}
+	l.flight.Record(flight.Event{
+		Kind: flight.KindAnomaly, Source: flight.SourceLedger,
+		Core: int16(coreID), Arg: code, Value: value, Aux: aux,
+	})
+	d.ring[d.next] = Anomaly{
+		Kind:      flight.AnomalyName(code),
+		AtSeconds: at.Seconds(),
+		App:       app,
+		Core:      coreID,
+		Value:     float64(value),
+		Aux:       float64(aux),
+	}
+	d.next++
+	if d.next == len(d.ring) {
+		d.next = 0
+		d.filled = true
+	}
+}
+
+// runDetectors advances every streaming detector by one interval. Caller
+// holds l.mu.
+func (l *Ledger) runDetectors(in Input) {
+	d := &l.det
+
+	// Sustained overshoot: package power above limit × (1+margin) for N
+	// consecutive intervals.
+	if in.Limit > 0 && in.PackagePower > in.Limit+units.Watts(float64(in.Limit)*d.cfg.OvershootMargin) {
+		d.overRun++
+		if d.overRun >= d.cfg.OvershootN && !d.overFired {
+			d.overFired = true
+			l.fire(flight.AnomalyOvershoot, in.At, -1, "",
+				uint64(float64(in.PackagePower-in.Limit)*1e6), uint64(d.overRun))
+		}
+	} else {
+		d.overRun = 0
+		d.overFired = false
+	}
+
+	// Cap oscillation: the enforced limit reversing direction too often
+	// inside the trailing window — the signature of a thrashing
+	// coordinator or a fighting pair of controllers.
+	uw := uint64(float64(in.Limit) * 1e6)
+	dir := 0
+	if d.lastLimitUW != 0 {
+		if uw > d.lastLimitUW {
+			dir = 1
+		} else if uw < d.lastLimitUW {
+			dir = -1
+		}
+	}
+	flip := dir != 0 && d.lastDir != 0 && dir != d.lastDir
+	if dir != 0 {
+		d.lastDir = dir
+	}
+	d.lastLimitUW = uw
+	if d.flipRing[d.flipNext] {
+		d.flipCount--
+	}
+	d.flipRing[d.flipNext] = flip
+	if flip {
+		d.flipCount++
+	}
+	d.flipNext++
+	if d.flipNext == len(d.flipRing) {
+		d.flipNext = 0
+	}
+	if d.flipCount >= d.cfg.OscillationFlips {
+		if !d.oscFired {
+			d.oscFired = true
+			l.fire(flight.AnomalyOscillation, in.At, -1, "", uw, uint64(d.flipCount))
+		}
+	} else if d.flipCount == 0 {
+		d.oscFired = false
+	}
+
+	// Per-app energy-share drift: the EWMA of each app's fraction of the
+	// attributed energy wandering away from its granted share fraction.
+	// Only intervals that attributed energy advance the EWMA — an idle or
+	// excluded interval says nothing about proportionality.
+	var attr uint64
+	for i := range l.apps {
+		attr += l.apps[i].lastUJ
+	}
+	if attr > 0 && l.totalShares > 0 {
+		for i := range l.apps {
+			a := &l.apps[i]
+			frac := float64(a.lastUJ) / float64(attr)
+			if !a.ewmaPrimed {
+				a.ewmaFrac = frac
+				a.ewmaPrimed = true
+			} else {
+				a.ewmaFrac += d.cfg.DriftAlpha * (frac - a.ewmaFrac)
+			}
+			sh := float64(a.spec.Shares)
+			if sh <= 0 {
+				sh = 1
+			}
+			shareFrac := sh / float64(l.totalShares)
+			dev := a.ewmaFrac - shareFrac
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > d.cfg.DriftMargin {
+				a.driftRun++
+				if a.driftRun >= d.cfg.DriftN && !a.driftFired {
+					a.driftFired = true
+					l.fire(flight.AnomalyShareDrift, in.At, a.spec.Core, a.spec.Name,
+						uint64(a.ewmaFrac*1e6), uint64(shareFrac*1e6))
+				}
+			} else {
+				a.driftRun = 0
+				a.driftFired = false
+			}
+		}
+	}
+
+	// Straggling socket: a RAPL domain whose telemetry has been
+	// untrustworthy for a sustained run of intervals.
+	for s := range d.sockRun {
+		trusted := s < len(in.SocketStatus) && in.SocketStatus[s].Trustworthy()
+		if !trusted {
+			d.sockRun[s]++
+			if d.sockRun[s] >= d.cfg.StragglerN && !d.sockFired[s] {
+				d.sockFired[s] = true
+				l.fire(flight.AnomalyStraggler, in.At, s, "", 0, uint64(d.sockRun[s]))
+			}
+		} else {
+			d.sockRun[s] = 0
+			d.sockFired[s] = false
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package ledger
+
+import (
+	"net/url"
+	"testing"
+	"time"
+)
+
+// FuzzParseEnergyQuery hammers the /debug/energy parameter parser: it must
+// never panic, and anything it accepts must be internally consistent (a
+// closed range is ordered, the resolution is one of the four names, limit
+// and step are non-negative) — the properties Range relies on without
+// re-checking.
+func FuzzParseEnergyQuery(f *testing.F) {
+	f.Add("from=10&to=1m&res=1s&step=5s&limit=12")
+	f.Add("from=0&to=0")
+	f.Add("res=auto")
+	f.Add("from=12.5&res=raw")
+	f.Add("to=-1")
+	f.Add("limit=999999999999999999999")
+	f.Add("from=NaN&step=Inf")
+	f.Add("from=1h30m&to=1e300")
+	f.Add("res=%00&from=+5")
+	f.Fuzz(func(t *testing.T, raw string) {
+		v, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		q, err := ParseQuery(v)
+		if err != nil {
+			return
+		}
+		if q.From < 0 || q.To < 0 || q.Step < 0 || q.Limit < 0 {
+			t.Fatalf("accepted negative field: %+v from %q", q, raw)
+		}
+		if q.To > 0 && q.From > q.To {
+			t.Fatalf("accepted inverted range: %+v from %q", q, raw)
+		}
+		switch q.Res {
+		case ResRaw, ResSecond, ResMinute, ResAuto:
+		default:
+			t.Fatalf("accepted resolution %q from %q", q.Res, raw)
+		}
+	})
+}
+
+// FuzzDownsample drives the merge with adversarial point sets decoded from
+// raw bytes and holds it to its contract: no panic, every microjoule
+// column conserved exactly, output sorted by start, aligned to the step,
+// with no duplicate windows.
+func FuzzDownsample(f *testing.F) {
+	f.Add([]byte{}, uint16(1000))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint16(0))
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0}, uint16(3))
+	f.Fuzz(func(t *testing.T, data []byte, stepMS uint16) {
+		// Decode 6 bytes per point: 2 start, 1 dur, 1 total, 1 app0, 1 app1.
+		var pts []Point
+		for i := 0; i+6 <= len(data) && len(pts) < 256; i += 6 {
+			start := int64(data[i])<<8 | int64(data[i+1])
+			p := Point{
+				StartNS:   start * int64(time.Millisecond),
+				DurNS:     int64(data[i+2]) * int64(time.Millisecond),
+				Intervals: 1,
+				TotalUJ:   uint64(data[i+3]),
+				AppUJ:     []uint64{uint64(data[i+4])},
+			}
+			if data[i+5]%2 == 0 { // mixed app-column widths
+				p.AppUJ = append(p.AppUJ, uint64(data[i+5]))
+			}
+			p.UnattributedUJ = uint64(data[i+5]) / 2
+			p.ExcludedUJ = uint64(data[i]) % 7
+			p.LimitUJ = uint64(data[i+1])
+			p.OvershootUJ = uint64(data[i+2]) % 3
+			pts = append(pts, p)
+		}
+		step := time.Duration(stepMS) * time.Millisecond
+
+		wantT, wantU, wantE, wantL, wantO, wantA := sumPoints(pts)
+		out := Downsample(pts, step)
+		gotT, gotU, gotE, gotL, gotO, gotA := sumPoints(out)
+		if gotT != wantT || gotU != wantU || gotE != wantE || gotL != wantL || gotO != wantO {
+			t.Fatalf("package columns not conserved: in %d/%d/%d/%d/%d out %d/%d/%d/%d/%d",
+				wantT, wantU, wantE, wantL, wantO, gotT, gotU, gotE, gotL, gotO)
+		}
+		for i := range wantA {
+			var got uint64
+			if i < len(gotA) {
+				got = gotA[i]
+			}
+			if got != wantA[i] {
+				t.Fatalf("app column %d not conserved: in %d out %d", i, wantA[i], got)
+			}
+		}
+		stepNS := step.Nanoseconds()
+		for i, p := range out {
+			if i > 0 && p.StartNS < out[i-1].StartNS {
+				t.Fatalf("output unsorted at %d: %d after %d", i, p.StartNS, out[i-1].StartNS)
+			}
+			if stepNS > 0 {
+				if p.StartNS%stepNS != 0 {
+					t.Fatalf("window %d unaligned: %d %% %d", i, p.StartNS, stepNS)
+				}
+				if i > 0 && p.StartNS == out[i-1].StartNS {
+					t.Fatalf("duplicate window at %d: start %d", i, p.StartNS)
+				}
+			}
+		}
+	})
+}

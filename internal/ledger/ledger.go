@@ -1,0 +1,570 @@
+// Package ledger is the always-on per-application energy accountant: every
+// control interval it integrates the per-socket RAPL power readings into
+// per-app microjoules, attributed by granted shares and measured per-core
+// activity, and appends the result to an in-memory multi-resolution
+// time-series store (raw → 1 s → 1 min tiers, constant memory). On top of
+// the store it runs streaming anomaly detectors (sustained overshoot, cap
+// oscillation, per-app energy-share drift, straggling socket) that emit
+// typed flight-recorder events and a padpd_anomalies_total metric family,
+// and accumulates cost and carbon from a configurable $/kWh and gCO2/kWh
+// rate schedule.
+//
+// Attribution is exact integer accounting. Each socket's power reading is
+// quantised once per interval to microjoules (µJ = round(W · dt · 1e6)) and
+// then distributed over the apps pinned to that socket by largest-remainder
+// rounding of the weights shares×activeFreq — so the per-app microjoules of
+// one socket sum to the socket's microjoules exactly, and the conservation
+// identity
+//
+//	Σ app µJ + unattributed µJ + excluded µJ == total µJ
+//
+// holds bit-exactly over any horizon. Sockets whose RAPL counter or any
+// app core's counters were untrustworthy this interval (stuck, torn, dark)
+// contribute to the excluded account instead of being smeared across apps;
+// trustworthy energy no app weight claims (idle/static power) lands in the
+// unattributed account.
+//
+// Append is allocation-free: every tier bin, scratch slice, anomaly-ring
+// slot, and metric child is preallocated at construction, so the ledger
+// rides the 1 ms control loop without disturbing the zero-alloc gate.
+package ledger
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flight"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// microjoulesPerKWh converts the integer energy accounts to kilowatt-hours
+// for the cost/carbon schedule: 1 kWh = 3.6e6 J = 3.6e12 µJ.
+const microjoulesPerKWh = 3.6e12
+
+// Config assembles a ledger.
+type Config struct {
+	// Chip supplies the socket topology attribution follows: an app's
+	// energy comes from the RAPL domain of the socket its core lives on.
+	Chip platform.Chip
+
+	// Apps are the managed applications, in daemon spec order — the order
+	// KindEnergy events index and dump metadata lists.
+	Apps []core.AppSpec
+
+	// Rates is the $/kWh and gCO2/kWh schedule; nil uses DefaultRates.
+	Rates RateSchedule
+
+	// Metrics, when set, publishes the energy accounts and the
+	// padpd_anomalies_total family on the registry.
+	Metrics *metrics.Registry
+
+	// Flight, when set, receives one KindEnergy event per account per
+	// interval (delta + cumulative µJ) and one KindAnomaly event per
+	// detector firing, so dumps reproduce the ledger's totals exactly.
+	Flight *flight.Recorder
+
+	// RawBins, SecondBins, MinuteBins size the three store tiers
+	// (defaults: 4096 raw intervals, 3600 one-second bins, 1440
+	// one-minute bins). The store's memory is fixed at construction.
+	RawBins, SecondBins, MinuteBins int
+
+	// Detect tunes the streaming anomaly detectors; zero fields take the
+	// documented defaults.
+	Detect DetectorConfig
+}
+
+// appAccount is one app's cumulative energy state.
+type appAccount struct {
+	spec    core.AppSpec
+	socket  int
+	totalUJ uint64 // cumulative attributed microjoules
+	lastUJ  uint64 // microjoules attributed in the latest interval
+
+	// Share-drift detector state: an EWMA of the app's fraction of the
+	// attributed energy, compared against its granted share fraction.
+	ewmaFrac   float64
+	ewmaPrimed bool
+	driftRun   int
+	driftFired bool
+}
+
+// ledgerMetrics holds the ledger's cached metric handles (nil-safe).
+type ledgerMetrics struct {
+	totalJ     *metrics.Gauge
+	unattribJ  *metrics.Gauge
+	excludedJ  *metrics.Gauge
+	overshootJ *metrics.Gauge
+	costUSD    *metrics.Gauge
+	carbonG    *metrics.Gauge
+	appJ       []*metrics.Gauge // cached per-app children, spec order
+
+	anomalies [numAnomalyKinds]*metrics.Counter
+}
+
+// Ledger is the per-app energy accountant. A nil *Ledger is a valid
+// disabled ledger: every method no-ops or returns zero values.
+type Ledger struct {
+	mu sync.Mutex
+
+	chip        platform.Chip
+	apps        []appAccount
+	sockApps    [][]int // app indices per socket
+	totalShares int     // Σ max(1, shares), for share-fraction comparisons
+	rates       RateSchedule
+	flight      *flight.Recorder
+	reg         *metrics.Registry
+	m           ledgerMetrics
+
+	// Cumulative integer accounts (µJ) and counters.
+	totalUJ     uint64
+	unattribUJ  uint64
+	excludedUJ  uint64
+	limitUJ     uint64
+	overshootUJ uint64
+	intervals   uint64
+	overIntvls  uint64
+	costUSD     float64
+	carbonG     float64
+	elapsed     time.Duration // run clock of the latest Append
+
+	store store
+	det   detectors
+
+	// Preallocated attribution scratch, indexed by app.
+	weights []float64
+	baseUJ  []uint64
+	rem     []float64
+}
+
+// New builds a ledger. The configuration is validated like daemon
+// construction: every app core must exist on the chip.
+func New(cfg Config) (*Ledger, error) {
+	if err := cfg.Chip.Validate(); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("ledger: no applications")
+	}
+	for _, a := range cfg.Apps {
+		if a.Core < 0 || a.Core >= cfg.Chip.NumCores {
+			return nil, fmt.Errorf("ledger: app %s pinned to core %d beyond chip's %d cores",
+				a.Name, a.Core, cfg.Chip.NumCores)
+		}
+	}
+	rates := cfg.Rates
+	if len(rates) == 0 {
+		rates = DefaultRates
+	}
+	if err := rates.Validate(); err != nil {
+		return nil, err
+	}
+	l := &Ledger{
+		chip:   cfg.Chip,
+		rates:  rates,
+		flight: cfg.Flight,
+		reg:    cfg.Metrics,
+		det:    newDetectors(cfg.Detect, cfg.Chip.Sockets()),
+	}
+	l.store.init(len(cfg.Apps), cfg.RawBins, cfg.SecondBins, cfg.MinuteBins)
+	l.sizeApps(cfg.Apps)
+	l.initMetrics()
+	return l, nil
+}
+
+// sizeApps (re)builds the per-app accounts and attribution scratch for a
+// spec set. Caller holds l.mu after construction.
+func (l *Ledger) sizeApps(apps []core.AppSpec) {
+	l.apps = make([]appAccount, len(apps))
+	l.sockApps = make([][]int, l.chip.Sockets())
+	l.totalShares = 0
+	for i, a := range apps {
+		s := l.chip.SocketOf(a.Core)
+		l.apps[i] = appAccount{spec: a, socket: s}
+		l.sockApps[s] = append(l.sockApps[s], i)
+		if a.Shares > 0 {
+			l.totalShares += int(a.Shares)
+		} else {
+			l.totalShares++
+		}
+	}
+	l.weights = make([]float64, len(apps))
+	l.baseUJ = make([]uint64, len(apps))
+	l.rem = make([]float64, len(apps))
+}
+
+// initMetrics registers the ledger's metric families and caches every
+// child handle the hot path touches. Caller holds no lock (construction
+// and reconfiguration only).
+func (l *Ledger) initMetrics() {
+	if l.reg == nil {
+		return
+	}
+	l.m.totalJ = l.reg.Gauge("padpd_energy_total_joules", "Total socket energy integrated by the ledger.")
+	l.m.unattribJ = l.reg.Gauge("padpd_energy_unattributed_joules", "Trustworthy energy no app activity claimed (idle/static power).")
+	l.m.excludedJ = l.reg.Gauge("padpd_energy_excluded_joules", "Energy excluded from attribution because a counter was untrustworthy.")
+	l.m.overshootJ = l.reg.Gauge("padpd_energy_overshoot_joules", "Integral of package power above the enforced limit.")
+	l.m.costUSD = l.reg.Gauge("padpd_energy_cost_usd", "Cumulative energy cost under the configured rate schedule.")
+	l.m.carbonG = l.reg.Gauge("padpd_energy_carbon_grams", "Cumulative carbon under the configured rate schedule.")
+	appVec := l.reg.GaugeVec("padpd_app_energy_joules", "Cumulative energy attributed to one application.", "app")
+	l.m.appJ = make([]*metrics.Gauge, len(l.apps))
+	for i := range l.apps {
+		l.m.appJ[i] = appVec.With(l.apps[i].spec.Name)
+	}
+	vec := l.reg.CounterVec("padpd_anomalies_total", "Energy-ledger anomaly detector firings, by kind.", "kind")
+	for k := uint32(0); k < numAnomalyKinds; k++ {
+		l.m.anomalies[k] = vec.With(flight.AnomalyName(k))
+	}
+}
+
+// Input is one control interval's telemetry handed to Append. The slices
+// follow the telemetry sampler's double-buffer contract: they need only
+// stay valid for the duration of the call.
+type Input struct {
+	At           time.Duration // run clock at the end of the interval
+	Dt           time.Duration // interval length
+	Limit        units.Watts   // enforced package limit this interval
+	PackagePower units.Watts
+	PkgStatus    telemetry.CoreStatus
+	SocketPower  []units.Watts
+	SocketStatus []telemetry.CoreStatus
+	Cores        []telemetry.CoreSample
+}
+
+// microjoules quantises one interval's energy at watts w over dt. This is
+// the ledger's only rounding step: everything downstream is exact integer
+// arithmetic.
+func microjoules(w units.Watts, dt time.Duration) uint64 {
+	if w <= 0 || dt <= 0 {
+		return 0
+	}
+	return uint64(float64(w)*dt.Seconds()*1e6 + 0.5)
+}
+
+// Append folds one control interval into the ledger: attribution, tier
+// append, detectors, cost, metrics, flight events. It is allocation-free
+// and safe for concurrent use with the query methods (single writer, own
+// mutex — the daemon calls it once per interval outside its loop lock).
+func (l *Ledger) Append(in Input) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.intervals++
+	l.elapsed = in.At
+
+	var intervalTotal, intervalUnattrib, intervalExcluded uint64
+	for i := range l.apps {
+		l.apps[i].lastUJ = 0
+	}
+	for s := range l.sockApps {
+		var w units.Watts
+		if s < len(in.SocketPower) {
+			w = in.SocketPower[s]
+		}
+		uj := microjoules(w, in.Dt)
+		intervalTotal += uj
+
+		// Trust gate: the socket's RAPL counter and every app core on the
+		// socket must be trustworthy, or the whole socket's energy is
+		// excluded — a stuck or torn counter must not smear fabricated
+		// attributions across the apps that share its domain.
+		trusted := s < len(in.SocketStatus) && in.SocketStatus[s].Trustworthy()
+		if trusted {
+			for _, ai := range l.sockApps[s] {
+				c := l.apps[ai].spec.Core
+				if c >= len(in.Cores) || !in.Cores[c].Status.Trustworthy() {
+					trusted = false
+					break
+				}
+			}
+		}
+		if !trusted {
+			intervalExcluded += uj
+			continue
+		}
+		attributed := l.attributeSocket(s, uj, in.Cores)
+		intervalUnattrib += uj - attributed
+	}
+
+	limitUJ := microjoules(in.Limit, in.Dt)
+	var overUJ uint64
+	if in.PackagePower > in.Limit {
+		overUJ = microjoules(in.PackagePower-in.Limit, in.Dt)
+		l.overIntvls++
+	}
+	l.totalUJ += intervalTotal
+	l.unattribUJ += intervalUnattrib
+	l.excludedUJ += intervalExcluded
+	l.limitUJ += limitUJ
+	l.overshootUJ += overUJ
+
+	rate := l.rates.At(in.At)
+	kwh := float64(intervalTotal) / microjoulesPerKWh
+	l.costUSD += kwh * rate.USDPerKWh
+	l.carbonG += kwh * rate.GCO2PerKWh
+
+	l.store.append(in.At, in.Dt, l.apps, intervalTotal, intervalUnattrib, intervalExcluded, limitUJ, overUJ)
+	l.runDetectors(in)
+	l.publishLocked()
+	l.recordEnergyEvents()
+	l.mu.Unlock()
+}
+
+// attributeSocket distributes uj microjoules over the apps of socket s by
+// largest-remainder rounding of the weights shares×activeFreq, and returns
+// how much was attributed (uj when any weight is positive, 0 otherwise).
+// Caller holds l.mu.
+func (l *Ledger) attributeSocket(s int, uj uint64, cores []telemetry.CoreSample) uint64 {
+	idx := l.sockApps[s]
+	if uj == 0 || len(idx) == 0 {
+		return 0
+	}
+	var sumW float64
+	for _, ai := range idx {
+		sh := float64(l.apps[ai].spec.Shares)
+		if sh <= 0 {
+			sh = 1
+		}
+		w := sh * float64(cores[l.apps[ai].spec.Core].ActiveFreq)
+		l.weights[ai] = w
+		sumW += w
+	}
+	if sumW <= 0 {
+		return 0 // every core idle: static power is unattributed, not invented
+	}
+	var sumBase uint64
+	for _, ai := range idx {
+		f := float64(uj) * (l.weights[ai] / sumW)
+		b := uint64(f)
+		l.baseUJ[ai] = b
+		l.rem[ai] = f - float64(b)
+		sumBase += b
+	}
+	// Largest-remainder fix-up: hand the leftover microjoules to the apps
+	// with the largest fractional remainders, lowest index winning ties —
+	// deterministic, and exact by construction. Floating-point error can
+	// in principle push Σfloor one past uj; walk it back first.
+	for sumBase > uj {
+		maxAt := idx[0]
+		for _, ai := range idx {
+			if l.baseUJ[ai] > l.baseUJ[maxAt] {
+				maxAt = ai
+			}
+		}
+		l.baseUJ[maxAt]--
+		sumBase--
+	}
+	for left := uj - sumBase; left > 0; left-- {
+		maxAt := -1
+		for _, ai := range idx {
+			if maxAt < 0 || l.rem[ai] > l.rem[maxAt] {
+				maxAt = ai
+			}
+		}
+		l.baseUJ[maxAt]++
+		l.rem[maxAt]-- // keeps the walk well-defined even if left > len(idx)
+	}
+	for _, ai := range idx {
+		l.apps[ai].lastUJ += l.baseUJ[ai]
+		l.apps[ai].totalUJ += l.baseUJ[ai]
+	}
+	return uj
+}
+
+// publishLocked pushes the cumulative accounts to the cached metric
+// handles. Caller holds l.mu.
+func (l *Ledger) publishLocked() {
+	l.m.totalJ.Set(float64(l.totalUJ) / 1e6)
+	l.m.unattribJ.Set(float64(l.unattribUJ) / 1e6)
+	l.m.excludedJ.Set(float64(l.excludedUJ) / 1e6)
+	l.m.overshootJ.Set(float64(l.overshootUJ) / 1e6)
+	l.m.costUSD.Set(l.costUSD)
+	l.m.carbonG.Set(l.carbonG)
+	for i := range l.apps {
+		if i < len(l.m.appJ) {
+			l.m.appJ[i].Set(float64(l.apps[i].totalUJ) / 1e6)
+		}
+	}
+}
+
+// recordEnergyEvents emits one KindEnergy event per account: every app
+// (delta + cumulative), then the package accounts. Emitting every account
+// every interval guarantees the latest interval's events alone rebuild the
+// ledger bit-exactly from a dump, regardless of ring overwrites. Caller
+// holds l.mu.
+func (l *Ledger) recordEnergyEvents() {
+	if l.flight == nil {
+		return
+	}
+	for i := range l.apps {
+		a := &l.apps[i]
+		l.flight.Record(flight.Event{
+			Kind: flight.KindEnergy, Source: flight.SourceLedger,
+			Core: int16(a.spec.Core), Arg: uint32(i),
+			Value: a.lastUJ, Aux: a.totalUJ,
+		})
+	}
+	pkg := [...]struct {
+		arg uint32
+		cum uint64
+	}{
+		{flight.EnergyArgUnattributed, l.unattribUJ},
+		{flight.EnergyArgExcluded, l.excludedUJ},
+		{flight.EnergyArgTotal, l.totalUJ},
+		{flight.EnergyArgLimit, l.limitUJ},
+		{flight.EnergyArgOvershoot, l.overshootUJ},
+	}
+	for _, p := range pkg {
+		l.flight.Record(flight.Event{
+			Kind: flight.KindEnergy, Source: flight.SourceLedger,
+			Core: -1, Arg: p.arg, Aux: p.cum,
+		})
+	}
+}
+
+// Reconfigure rebinds the ledger to a new app set after a live daemon
+// reconfiguration. Cumulative per-app totals carry over by name; apps that
+// disappear keep their joules in the package totals (conservation is over
+// energy, not app identity). The per-app columns of the time-series tiers
+// are reset — historical bins were indexed by the old spec order — while
+// the package accounts and detectors keep running.
+func (l *Ledger) Reconfigure(apps []core.AppSpec) {
+	if l == nil || len(apps) == 0 {
+		return
+	}
+	l.mu.Lock()
+	carried := make(map[string]uint64, len(l.apps))
+	for i := range l.apps {
+		carried[l.apps[i].spec.Name] += l.apps[i].totalUJ
+	}
+	l.sizeApps(apps)
+	for i := range l.apps {
+		l.apps[i].totalUJ = carried[l.apps[i].spec.Name]
+	}
+	l.store.reset(len(apps))
+	l.mu.Unlock()
+	l.initMetrics()
+}
+
+// AppTotal is one app's row in a ledger summary.
+type AppTotal struct {
+	Name    string  `json:"name"`
+	Core    int     `json:"core"`
+	Shares  int     `json:"shares"`
+	TotalUJ uint64  `json:"total_uj"`
+	Joules  float64 `json:"joules"`
+	// EnergyFrac and ShareFrac compare where the joules went against
+	// where the shares said they should go — the share-drift detector's
+	// view, over the whole run.
+	EnergyFrac float64 `json:"energy_frac"`
+	ShareFrac  float64 `json:"share_frac"`
+}
+
+// Summary is the ledger's cumulative account book.
+type Summary struct {
+	ElapsedSeconds  float64           `json:"elapsed_seconds"`
+	Intervals       uint64            `json:"intervals"`
+	OverIntervals   uint64            `json:"over_intervals"`
+	TotalUJ         uint64            `json:"total_uj"`
+	UnattributedUJ  uint64            `json:"unattributed_uj"`
+	ExcludedUJ      uint64            `json:"excluded_uj"`
+	LimitUJ         uint64            `json:"limit_uj"`
+	OvershootUJ     uint64            `json:"overshoot_uj"`
+	TotalJoules     float64           `json:"total_joules"`
+	OvershootJoules float64           `json:"overshoot_joules"`
+	CostUSD         float64           `json:"cost_usd"`
+	CarbonGrams     float64           `json:"carbon_grams"`
+	Apps            []AppTotal        `json:"apps"`
+	Anomalies       map[string]uint64 `json:"anomalies,omitempty"`
+}
+
+// Summarize snapshots the cumulative accounts. Allocates; intended for
+// status endpoints and tests, not the hot path.
+func (l *Ledger) Summarize() Summary {
+	if l == nil {
+		return Summary{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Summary{
+		ElapsedSeconds:  l.elapsed.Seconds(),
+		Intervals:       l.intervals,
+		OverIntervals:   l.overIntvls,
+		TotalUJ:         l.totalUJ,
+		UnattributedUJ:  l.unattribUJ,
+		ExcludedUJ:      l.excludedUJ,
+		LimitUJ:         l.limitUJ,
+		OvershootUJ:     l.overshootUJ,
+		TotalJoules:     float64(l.totalUJ) / 1e6,
+		OvershootJoules: float64(l.overshootUJ) / 1e6,
+		CostUSD:         l.costUSD,
+		CarbonGrams:     l.carbonG,
+		Apps:            make([]AppTotal, len(l.apps)),
+	}
+	var attributed uint64
+	var shares int
+	for i := range l.apps {
+		attributed += l.apps[i].totalUJ
+		sh := int(l.apps[i].spec.Shares)
+		if sh <= 0 {
+			sh = 1
+		}
+		shares += sh
+	}
+	for i := range l.apps {
+		a := &l.apps[i]
+		sh := int(a.spec.Shares)
+		if sh <= 0 {
+			sh = 1
+		}
+		row := AppTotal{
+			Name:    a.spec.Name,
+			Core:    a.spec.Core,
+			Shares:  int(a.spec.Shares),
+			TotalUJ: a.totalUJ,
+			Joules:  float64(a.totalUJ) / 1e6,
+		}
+		if attributed > 0 {
+			row.EnergyFrac = float64(a.totalUJ) / float64(attributed)
+		}
+		if shares > 0 {
+			row.ShareFrac = float64(sh) / float64(shares)
+		}
+		s.Apps[i] = row
+	}
+	if counts := l.det.counts(); len(counts) > 0 {
+		s.Anomalies = counts
+	}
+	return s
+}
+
+// AttributedUJ reports the cumulative microjoules attributed across all
+// apps — the left side of the conservation identity. Tests use it next to
+// Summarize.
+func (l *Ledger) AttributedUJ() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum uint64
+	for i := range l.apps {
+		sum += l.apps[i].totalUJ
+	}
+	return sum
+}
+
+// Anomalies returns the retained anomaly feed, oldest first.
+func (l *Ledger) Anomalies() []Anomaly {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.det.feed()
+}

@@ -1,0 +1,555 @@
+package ledger
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flight"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// twoSocketChip is a 2×10-core package: apps can live on separate RAPL
+// domains, so exclusion and attribution are testable per socket.
+func twoSocketChip() platform.Chip {
+	return platform.MultiSocket(platform.Skylake(), 2)
+}
+
+func newTestLedger(t *testing.T, chip platform.Chip, apps []core.AppSpec, cfg Config) *Ledger {
+	t.Helper()
+	cfg.Chip = chip
+	cfg.Apps = apps
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// okInput builds one interval's telemetry: every core trustworthy at the
+// given frequency, every socket at the given watts.
+func okInput(chip platform.Chip, at, dt time.Duration, limit units.Watts, sockW []units.Watts, freq []units.Hertz) Input {
+	in := Input{
+		At: at, Dt: dt, Limit: limit,
+		PkgStatus:    telemetry.StatusOK,
+		SocketPower:  sockW,
+		SocketStatus: make([]telemetry.CoreStatus, len(sockW)),
+		Cores:        make([]telemetry.CoreSample, chip.NumCores),
+	}
+	for s := range sockW {
+		in.PackagePower += sockW[s]
+		in.SocketStatus[s] = telemetry.StatusOK
+	}
+	for c := range in.Cores {
+		f := units.Hertz(2e9)
+		if c < len(freq) {
+			f = freq[c]
+		}
+		in.Cores[c] = telemetry.CoreSample{CPU: c, ActiveFreq: f, Status: telemetry.StatusOK}
+	}
+	return in
+}
+
+func checkConservation(t *testing.T, l *Ledger) Summary {
+	t.Helper()
+	s := l.Summarize()
+	if got := l.AttributedUJ() + s.UnattributedUJ + s.ExcludedUJ; got != s.TotalUJ {
+		t.Fatalf("conservation violated: attributed %d + unattributed %d + excluded %d = %d, want total %d",
+			l.AttributedUJ(), s.UnattributedUJ, s.ExcludedUJ, got, s.TotalUJ)
+	}
+	return s
+}
+
+func TestMicrojoules(t *testing.T) {
+	cases := []struct {
+		w    units.Watts
+		dt   time.Duration
+		want uint64
+	}{
+		{0, time.Second, 0},
+		{-5, time.Second, 0},
+		{50, 0, 0},
+		{50, time.Second, 50_000_000},
+		{50, time.Millisecond, 50_000},
+		{1, time.Microsecond, 1},   // 1 W × 1 µs = 1 µJ
+		{0.4, time.Microsecond, 0}, // 0.4 µJ rounds down
+		{0.6, time.Microsecond, 1}, // 0.6 µJ rounds up
+		{33.333, 3 * time.Second, 99_999_000},
+	}
+	for _, c := range cases {
+		if got := microjoules(c.w, c.dt); got != c.want {
+			t.Errorf("microjoules(%v, %v) = %d, want %d", c.w, c.dt, got, c.want)
+		}
+	}
+}
+
+// Attribution must hand out every microjoule of a trusted socket: the
+// per-app accounts sum to the quantised socket energy exactly, whatever
+// the weights.
+func TestAttributionExact(t *testing.T) {
+	chip := platform.Skylake()
+	apps := []core.AppSpec{
+		{Name: "gcc", Core: 0, Shares: 90},
+		{Name: "cam4", Core: 1, Shares: 10},
+		{Name: "leela", Core: 2, Shares: 7},
+	}
+	l := newTestLedger(t, chip, apps, Config{})
+
+	// Awkward wattage and interval so the float weights can't be exact.
+	at := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		at += 997 * time.Microsecond
+		in := okInput(chip, at, 997*time.Microsecond, 50,
+			[]units.Watts{33.777}, []units.Hertz{2.1e9, 1.9e9, 2.7e9})
+		l.Append(in)
+	}
+	s := checkConservation(t, l)
+	if s.ExcludedUJ != 0 {
+		t.Errorf("excluded %d uJ with fully trusted telemetry", s.ExcludedUJ)
+	}
+	if s.UnattributedUJ != 0 {
+		t.Errorf("unattributed %d uJ with every core active", s.UnattributedUJ)
+	}
+	if s.Intervals != 1000 {
+		t.Errorf("intervals = %d, want 1000", s.Intervals)
+	}
+	// Higher shares at comparable frequency must earn more energy.
+	if !(s.Apps[0].TotalUJ > s.Apps[1].TotalUJ && s.Apps[0].TotalUJ > s.Apps[2].TotalUJ) {
+		t.Errorf("share weighting inverted: %+v", s.Apps)
+	}
+}
+
+// Largest-remainder ties go to the lowest app index, deterministically.
+func TestLargestRemainderDeterminism(t *testing.T) {
+	chip := platform.Skylake()
+	apps := []core.AppSpec{
+		{Name: "a", Core: 0, Shares: 50},
+		{Name: "b", Core: 1, Shares: 50},
+	}
+	mk := func() *Ledger { return newTestLedger(t, chip, apps, Config{}) }
+
+	// 3 µJ split 50/50: 1.5 each, remainders tie, app0 takes the spare.
+	in := okInput(chip, time.Microsecond, time.Microsecond, 50,
+		[]units.Watts{3}, []units.Hertz{2e9, 2e9})
+	l1, l2 := mk(), mk()
+	l1.Append(in)
+	l2.Append(in)
+	s1, s2 := l1.Summarize(), l2.Summarize()
+	if s1.Apps[0].TotalUJ != 2 || s1.Apps[1].TotalUJ != 1 {
+		t.Errorf("tie-break not lowest-index: %d/%d, want 2/1", s1.Apps[0].TotalUJ, s1.Apps[1].TotalUJ)
+	}
+	for i := range s1.Apps {
+		if s1.Apps[i].TotalUJ != s2.Apps[i].TotalUJ {
+			t.Errorf("attribution not deterministic: app %d %d vs %d", i, s1.Apps[i].TotalUJ, s2.Apps[i].TotalUJ)
+		}
+	}
+	checkConservation(t, l1)
+}
+
+// A fully idle socket's energy is unattributed — static power is real but
+// belongs to no app, and must not be invented onto one.
+func TestIdleEnergyUnattributed(t *testing.T) {
+	chip := platform.Skylake()
+	apps := []core.AppSpec{{Name: "gcc", Core: 0, Shares: 50}}
+	l := newTestLedger(t, chip, apps, Config{})
+	in := okInput(chip, time.Second, time.Second, 50, []units.Watts{12}, []units.Hertz{0})
+	in.Cores[0].Status = telemetry.StatusIdle
+	l.Append(in)
+	s := checkConservation(t, l)
+	if s.UnattributedUJ != 12_000_000 {
+		t.Errorf("unattributed = %d uJ, want 12000000", s.UnattributedUJ)
+	}
+	if got := l.AttributedUJ(); got != 0 {
+		t.Errorf("attributed %d uJ to an idle app", got)
+	}
+}
+
+// An untrustworthy socket is excluded whole: its energy lands in the
+// excluded account and no app on it gets anything, while the other
+// socket's attribution is unaffected.
+func TestUntrustedSocketExcludedNotSmeared(t *testing.T) {
+	chip := twoSocketChip()
+	cps := chip.CoresPerSocket()
+	apps := []core.AppSpec{
+		{Name: "gcc", Core: 0, Shares: 50},
+		{Name: "cam4", Core: cps, Shares: 50}, // first core of socket 1
+	}
+	l := newTestLedger(t, chip, apps, Config{})
+	in := okInput(chip, time.Second, time.Second, 100, []units.Watts{40, 60}, nil)
+	in.SocketStatus[1] = telemetry.StatusStale
+	l.Append(in)
+	s := checkConservation(t, l)
+	if s.ExcludedUJ != 60_000_000 {
+		t.Errorf("excluded = %d uJ, want socket 1's 60000000", s.ExcludedUJ)
+	}
+	if s.Apps[1].TotalUJ != 0 {
+		t.Errorf("app on untrusted socket attributed %d uJ, want 0", s.Apps[1].TotalUJ)
+	}
+	if s.Apps[0].TotalUJ != 40_000_000 {
+		t.Errorf("trusted socket attribution disturbed: %d uJ, want 40000000", s.Apps[0].TotalUJ)
+	}
+}
+
+// A lying app-core counter poisons its whole socket: the domain's energy
+// cannot be split honestly when one of the weights is fabricated.
+func TestUntrustedCoreExcludesSocket(t *testing.T) {
+	chip := platform.Skylake()
+	apps := []core.AppSpec{
+		{Name: "gcc", Core: 0, Shares: 50},
+		{Name: "cam4", Core: 1, Shares: 50},
+	}
+	l := newTestLedger(t, chip, apps, Config{})
+	in := okInput(chip, time.Second, time.Second, 100, []units.Watts{40}, nil)
+	in.Cores[1].Status = telemetry.StatusDark
+	l.Append(in)
+	s := checkConservation(t, l)
+	if s.ExcludedUJ != 40_000_000 {
+		t.Errorf("excluded = %d uJ, want 40000000", s.ExcludedUJ)
+	}
+	if got := l.AttributedUJ(); got != 0 {
+		t.Errorf("attributed %d uJ from a poisoned socket", got)
+	}
+}
+
+func TestOvershootAccounting(t *testing.T) {
+	chip := platform.Skylake()
+	apps := []core.AppSpec{{Name: "gcc", Core: 0, Shares: 50}}
+	l := newTestLedger(t, chip, apps, Config{})
+	in := okInput(chip, time.Second, time.Second, 50, []units.Watts{58}, nil)
+	l.Append(in)
+	s := l.Summarize()
+	if s.OvershootUJ != 8_000_000 {
+		t.Errorf("overshoot = %d uJ, want 8000000", s.OvershootUJ)
+	}
+	if s.LimitUJ != 50_000_000 {
+		t.Errorf("limit budget = %d uJ, want 50000000", s.LimitUJ)
+	}
+	if s.OverIntervals != 1 {
+		t.Errorf("over-limit intervals = %d, want 1", s.OverIntervals)
+	}
+}
+
+func TestCostAndCarbon(t *testing.T) {
+	chip := platform.Skylake()
+	apps := []core.AppSpec{{Name: "gcc", Core: 0, Shares: 50}}
+	l := newTestLedger(t, chip, apps, Config{
+		Rates: RateSchedule{{Start: 0, USDPerKWh: 0.36, GCO2PerKWh: 360}},
+	})
+	// 100 W × 36 s = 3600 J = 0.001 kWh.
+	for i := 1; i <= 36; i++ {
+		l.Append(okInput(chip, time.Duration(i)*time.Second, time.Second, 200, []units.Watts{100}, nil))
+	}
+	s := l.Summarize()
+	if s.TotalJoules != 3600 {
+		t.Fatalf("total = %v J, want 3600", s.TotalJoules)
+	}
+	if diff := s.CostUSD - 0.00036; diff < -1e-12 || diff > 1e-12 {
+		t.Errorf("cost = %v, want 0.00036", s.CostUSD)
+	}
+	if diff := s.CarbonGrams - 0.36; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("carbon = %v g, want 0.36", s.CarbonGrams)
+	}
+}
+
+// Reconfiguration carries cumulative app totals by name and keeps the
+// package accounts running.
+func TestReconfigureCarriesTotalsByName(t *testing.T) {
+	chip := platform.Skylake()
+	l := newTestLedger(t, chip, []core.AppSpec{
+		{Name: "gcc", Core: 0, Shares: 50},
+		{Name: "cam4", Core: 1, Shares: 50},
+	}, Config{})
+	l.Append(okInput(chip, time.Second, time.Second, 100, []units.Watts{40}, nil))
+	before := l.Summarize()
+
+	// gcc moves to core 2 and keeps its joules; cam4 is replaced by leela,
+	// whose account starts at zero.
+	l.Reconfigure([]core.AppSpec{
+		{Name: "gcc", Core: 2, Shares: 30},
+		{Name: "leela", Core: 3, Shares: 70},
+	})
+	after := l.Summarize()
+	if after.TotalUJ != before.TotalUJ {
+		t.Errorf("package total changed across reconfigure: %d -> %d", before.TotalUJ, after.TotalUJ)
+	}
+	if after.Apps[0].Name != "gcc" || after.Apps[0].TotalUJ != before.Apps[0].TotalUJ {
+		t.Errorf("gcc's total not carried: %+v", after.Apps[0])
+	}
+	if after.Apps[1].Name != "leela" || after.Apps[1].TotalUJ != 0 {
+		t.Errorf("new app not zeroed: %+v", after.Apps[1])
+	}
+
+	// The ledger keeps accounting under the new spec set.
+	l.Append(okInput(chip, 2*time.Second, time.Second, 100, []units.Watts{40}, nil))
+	if got := l.Summarize().TotalUJ; got != before.TotalUJ+40_000_000 {
+		t.Errorf("post-reconfigure total = %d, want %d", got, before.TotalUJ+40_000_000)
+	}
+}
+
+// The hot path must not allocate: the loop_iteration zero-alloc CI gate
+// rides on it.
+func TestAppendAllocs(t *testing.T) {
+	chip := twoSocketChip()
+	cps := chip.CoresPerSocket()
+	apps := []core.AppSpec{
+		{Name: "gcc", Core: 0, Shares: 90},
+		{Name: "cam4", Core: 1, Shares: 10},
+		{Name: "leela", Core: cps, Shares: 40},
+	}
+	l := newTestLedger(t, chip, apps, Config{
+		Metrics: metrics.NewRegistry(),
+		Flight:  flight.New(0),
+	})
+	var at time.Duration
+	in := okInput(chip, 0, time.Millisecond, 50, []units.Watts{30, 25}, nil)
+	allocs := testing.AllocsPerRun(200, func() {
+		at += time.Millisecond
+		in.At = at
+		l.Append(in)
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocates %v times per interval, want 0", allocs)
+	}
+}
+
+// Append must stay a negligible fraction of the 1 ms control interval.
+// The acceptance bar is 5% (50 µs); a healthy run is well under 10 µs, so
+// the margin absorbs CI-runner noise without hiding a real regression.
+func TestAppendOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	chip := twoSocketChip()
+	apps := []core.AppSpec{
+		{Name: "gcc", Core: 0, Shares: 90},
+		{Name: "cam4", Core: 1, Shares: 10},
+	}
+	l := newTestLedger(t, chip, apps, Config{
+		Metrics: metrics.NewRegistry(),
+		Flight:  flight.New(0),
+	})
+	in := okInput(chip, 0, time.Millisecond, 50, []units.Watts{30, 25}, nil)
+	const iters = 5000
+	start := time.Now()
+	for i := 1; i <= iters; i++ {
+		in.At = time.Duration(i) * time.Millisecond
+		l.Append(in)
+	}
+	mean := time.Since(start) / iters
+	if mean > 50*time.Microsecond {
+		t.Errorf("Append mean %v exceeds 5%% of a 1 ms control interval", mean)
+	}
+}
+
+func TestDetectorSustainedOvershoot(t *testing.T) {
+	chip := platform.Skylake()
+	apps := []core.AppSpec{{Name: "gcc", Core: 0, Shares: 50}}
+	l := newTestLedger(t, chip, apps, Config{
+		Detect: DetectorConfig{OvershootN: 5},
+	})
+	over := func(i int) Input {
+		return okInput(chip, time.Duration(i)*time.Second, time.Second, 50, []units.Watts{60}, nil)
+	}
+	under := func(i int) Input {
+		return okInput(chip, time.Duration(i)*time.Second, time.Second, 50, []units.Watts{45}, nil)
+	}
+	at := 0
+	for i := 0; i < 4; i++ {
+		at++
+		l.Append(over(at))
+	}
+	if n := len(l.Anomalies()); n != 0 {
+		t.Fatalf("fired after 4 intervals, want >=5: %d anomalies", n)
+	}
+	at++
+	l.Append(over(at))
+	if got := l.Summarize().Anomalies["overshoot"]; got != 1 {
+		t.Fatalf("overshoot count = %d, want 1", got)
+	}
+	// Sustained excursion fires once, not once per interval.
+	for i := 0; i < 20; i++ {
+		at++
+		l.Append(over(at))
+	}
+	if got := l.Summarize().Anomalies["overshoot"]; got != 1 {
+		t.Fatalf("sustained excursion re-fired: count %d", got)
+	}
+	// Clearing re-arms; a second excursion fires again.
+	at++
+	l.Append(under(at))
+	for i := 0; i < 5; i++ {
+		at++
+		l.Append(over(at))
+	}
+	if got := l.Summarize().Anomalies["overshoot"]; got != 2 {
+		t.Fatalf("second excursion count = %d, want 2", got)
+	}
+	a := l.Anomalies()
+	if len(a) != 2 || a[0].Kind != "overshoot" {
+		t.Fatalf("feed = %+v", a)
+	}
+}
+
+func TestDetectorCapOscillation(t *testing.T) {
+	chip := platform.Skylake()
+	apps := []core.AppSpec{{Name: "gcc", Core: 0, Shares: 50}}
+	l := newTestLedger(t, chip, apps, Config{
+		Detect: DetectorConfig{OscillationWindow: 20, OscillationFlips: 4},
+	})
+	limits := []units.Watts{50, 60, 50, 60, 50, 60, 50, 60}
+	for i, lim := range limits {
+		l.Append(okInput(chip, time.Duration(i+1)*time.Second, time.Second, lim, []units.Watts{30}, nil))
+	}
+	if got := l.Summarize().Anomalies["oscillation"]; got != 1 {
+		t.Fatalf("oscillation count = %d, want 1", got)
+	}
+	// A steady limit never flips.
+	l2 := newTestLedger(t, chip, apps, Config{
+		Detect: DetectorConfig{OscillationWindow: 20, OscillationFlips: 4},
+	})
+	for i := 0; i < 50; i++ {
+		l2.Append(okInput(chip, time.Duration(i+1)*time.Second, time.Second, 50, []units.Watts{30}, nil))
+	}
+	if got := l2.Summarize().Anomalies["oscillation"]; got != 0 {
+		t.Fatalf("steady limit fired oscillation %d times", got)
+	}
+}
+
+func TestDetectorShareDrift(t *testing.T) {
+	chip := platform.Skylake()
+	apps := []core.AppSpec{
+		{Name: "gcc", Core: 0, Shares: 50},
+		{Name: "cam4", Core: 1, Shares: 50},
+	}
+	l := newTestLedger(t, chip, apps, Config{
+		Detect: DetectorConfig{DriftAlpha: 0.5, DriftN: 5, DriftMargin: 0.15},
+	})
+	// Equal shares but gcc's core runs 10× the frequency: its energy
+	// fraction settles near 0.9 against a 0.5 share fraction.
+	for i := 0; i < 20; i++ {
+		l.Append(okInput(chip, time.Duration(i+1)*time.Second, time.Second, 100,
+			[]units.Watts{40}, []units.Hertz{20e9, 2e9}))
+	}
+	s := l.Summarize()
+	if got := s.Anomalies["share-drift"]; got == 0 {
+		t.Fatalf("skewed run never fired share-drift: %+v", s.Anomalies)
+	}
+	found := false
+	for _, a := range l.Anomalies() {
+		if a.Kind == "share-drift" && a.App == "gcc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("share-drift feed entry names wrong app: %+v", l.Anomalies())
+	}
+}
+
+func TestDetectorStragglerSocket(t *testing.T) {
+	chip := twoSocketChip()
+	apps := []core.AppSpec{{Name: "gcc", Core: 0, Shares: 50}}
+	l := newTestLedger(t, chip, apps, Config{
+		Detect: DetectorConfig{StragglerN: 5},
+	})
+	for i := 0; i < 6; i++ {
+		in := okInput(chip, time.Duration(i+1)*time.Second, time.Second, 100, []units.Watts{40, 40}, nil)
+		in.SocketStatus[1] = telemetry.StatusDark
+		l.Append(in)
+	}
+	if got := l.Summarize().Anomalies["straggler"]; got != 1 {
+		t.Fatalf("straggler count = %d, want 1", got)
+	}
+	var hit *Anomaly
+	for i, a := range l.Anomalies() {
+		if a.Kind == "straggler" {
+			hit = &l.Anomalies()[i]
+		}
+	}
+	if hit == nil || hit.Core != 1 {
+		t.Fatalf("straggler did not name socket 1: %+v", l.Anomalies())
+	}
+}
+
+// The flight-recorder events must rebuild the ledger's totals
+// bit-identically, even though the ring retains only the newest events.
+func TestRebuildFromDumpBitIdentical(t *testing.T) {
+	chip := twoSocketChip()
+	cps := chip.CoresPerSocket()
+	rec := flight.New(0)
+	apps := []core.AppSpec{
+		{Name: "gcc", Core: 0, Shares: 90},
+		{Name: "cam4", Core: 1, Shares: 10},
+		{Name: "leela", Core: cps, Shares: 40},
+	}
+	l := newTestLedger(t, chip, apps, Config{Flight: rec, Detect: DetectorConfig{OvershootN: 3}})
+	at := time.Duration(0)
+	for i := 0; i < 500; i++ {
+		at += 997 * time.Microsecond
+		in := okInput(chip, at, 997*time.Microsecond, 40,
+			[]units.Watts{31.13, 27.77}, []units.Hertz{2.1e9, 1.7e9})
+		if i%7 == 0 {
+			in.SocketStatus[1] = telemetry.StatusStale // some excluded energy
+		}
+		if i%5 == 0 {
+			in.SocketPower[0] = 55 // overshoot excursions
+			in.PackagePower = in.SocketPower[0] + in.SocketPower[1]
+		}
+		l.Append(in)
+	}
+	s := checkConservation(t, l)
+
+	r := Rebuild(rec.Dump("test").Events)
+	if r.Events == 0 {
+		t.Fatal("dump contains no ledger events")
+	}
+	if r.TotalUJ != s.TotalUJ || r.UnattributedUJ != s.UnattributedUJ ||
+		r.ExcludedUJ != s.ExcludedUJ || r.LimitUJ != s.LimitUJ || r.OvershootUJ != s.OvershootUJ {
+		t.Fatalf("package accounts diverge:\nrebuilt %+v\nlive    %+v", r, s)
+	}
+	if len(r.AppUJ) != len(s.Apps) {
+		t.Fatalf("rebuilt %d apps, want %d", len(r.AppUJ), len(s.Apps))
+	}
+	for i := range s.Apps {
+		if r.AppUJ[i] != s.Apps[i].TotalUJ {
+			t.Errorf("app %d: rebuilt %d uJ, live %d uJ", i, r.AppUJ[i], s.Apps[i].TotalUJ)
+		}
+	}
+	if r.AttributedUJ()+r.UnattributedUJ+r.ExcludedUJ != r.TotalUJ {
+		t.Error("rebuilt accounts violate conservation")
+	}
+	if len(r.AnomalyCounts) == 0 {
+		t.Error("no anomalies rebuilt despite overshoot excursions")
+	}
+}
+
+func TestNilLedgerIsSafe(t *testing.T) {
+	var l *Ledger
+	l.Append(Input{At: time.Second, Dt: time.Second})
+	l.Reconfigure([]core.AppSpec{{Name: "x", Core: 0}})
+	if s := l.Summarize(); s.TotalUJ != 0 {
+		t.Error("nil Summarize not zero")
+	}
+	if l.AttributedUJ() != 0 || l.Anomalies() != nil {
+		t.Error("nil accessors not zero")
+	}
+	if _, err := l.Range(Query{}); err == nil {
+		t.Error("nil Range should error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	chip := platform.Skylake()
+	if _, err := New(Config{Chip: chip}); err == nil {
+		t.Error("no apps accepted")
+	}
+	if _, err := New(Config{Chip: chip, Apps: []core.AppSpec{{Name: "x", Core: 99}}}); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if _, err := New(Config{Chip: chip, Apps: []core.AppSpec{{Name: "x", Core: 0}},
+		Rates: RateSchedule{{Start: time.Hour, USDPerKWh: 1}}}); err == nil {
+		t.Error("rate schedule not starting at 0 accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Rate is one segment of the cost/carbon schedule, effective from Start on
+// the run clock until the next segment.
+type Rate struct {
+	Start      time.Duration
+	USDPerKWh  float64
+	GCO2PerKWh float64
+}
+
+// RateSchedule maps run time to energy price and carbon intensity. It must
+// be sorted by Start with the first segment starting at 0.
+type RateSchedule []Rate
+
+// DefaultRates is a flat schedule near the 2019 US industrial average:
+// $0.10/kWh at 400 gCO2/kWh.
+var DefaultRates = RateSchedule{{Start: 0, USDPerKWh: 0.10, GCO2PerKWh: 400}}
+
+// Validate checks ordering and non-negativity.
+func (rs RateSchedule) Validate() error {
+	if len(rs) == 0 {
+		return fmt.Errorf("ledger: empty rate schedule")
+	}
+	if rs[0].Start != 0 {
+		return fmt.Errorf("ledger: rate schedule must start at 0, got %v", rs[0].Start)
+	}
+	for i, r := range rs {
+		if r.USDPerKWh < 0 || r.GCO2PerKWh < 0 {
+			return fmt.Errorf("ledger: negative rate in segment %d", i)
+		}
+		if i > 0 && r.Start <= rs[i-1].Start {
+			return fmt.Errorf("ledger: rate segments out of order at %d (%v after %v)", i, r.Start, rs[i-1].Start)
+		}
+	}
+	return nil
+}
+
+// At returns the segment in effect at run time t. Allocation-free (a
+// backwards linear scan; schedules are short).
+func (rs RateSchedule) At(t time.Duration) Rate {
+	for i := len(rs) - 1; i >= 0; i-- {
+		if t >= rs[i].Start {
+			return rs[i]
+		}
+	}
+	if len(rs) > 0 {
+		return rs[0]
+	}
+	return DefaultRates[0]
+}
+
+// ParseRateSchedule parses the operator syntax powerd's -energy-rates flag
+// accepts: comma-separated segments "start=usd:gco2", where start is a Go
+// duration or bare seconds. Example:
+//
+//	0=0.12:420,8h=0.08:250,20h=0.12:420
+//
+// prices the first eight run hours at 12¢/kWh and 420 gCO2/kWh, the next
+// twelve at off-peak rates, and evening hours at peak again.
+func ParseRateSchedule(s string) (RateSchedule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("ledger: empty rate schedule")
+	}
+	var rs RateSchedule
+	for _, seg := range strings.Split(s, ",") {
+		seg = strings.TrimSpace(seg)
+		eq := strings.IndexByte(seg, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("ledger: rate segment %q: want start=usd:gco2", seg)
+		}
+		start, err := parseRunTime(seg[:eq])
+		if err != nil {
+			return nil, fmt.Errorf("ledger: rate segment %q: %w", seg, err)
+		}
+		rest := seg[eq+1:]
+		colon := strings.IndexByte(rest, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("ledger: rate segment %q: want start=usd:gco2", seg)
+		}
+		usd, err := strconv.ParseFloat(strings.TrimSpace(rest[:colon]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: rate segment %q: bad price: %w", seg, err)
+		}
+		gco2, err := strconv.ParseFloat(strings.TrimSpace(rest[colon+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: rate segment %q: bad carbon intensity: %w", seg, err)
+		}
+		rs = append(rs, Rate{Start: start, USDPerKWh: usd, GCO2PerKWh: gco2})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// parseRunTime parses a run-clock offset: bare (fractional) seconds or a
+// Go duration string. Negative and non-finite offsets are rejected.
+func parseRunTime(s string) (time.Duration, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty time")
+	}
+	if sec, err := strconv.ParseFloat(s, 64); err == nil {
+		// The comparison rejects NaN and infinities along with negatives
+		// and offsets past ~century scale (which would overflow Duration).
+		if !(sec >= 0 && sec <= 4e9) {
+			return 0, fmt.Errorf("time %q out of range", s)
+		}
+		return time.Duration(sec * float64(time.Second)), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative time %q", s)
+	}
+	return d, nil
+}

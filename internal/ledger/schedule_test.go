@@ -1,0 +1,136 @@
+package ledger
+
+import (
+	"net/url"
+	"testing"
+	"time"
+)
+
+func TestParseRateSchedule(t *testing.T) {
+	rs, err := ParseRateSchedule("0=0.12:420,8h=0.08:250,20h=0.12:420")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 || rs[1].Start != 8*time.Hour || rs[1].USDPerKWh != 0.08 || rs[1].GCO2PerKWh != 250 {
+		t.Fatalf("parsed %+v", rs)
+	}
+	// Out-of-order input is sorted before validation.
+	rs, err = ParseRateSchedule("8h=0.08:250,0=0.12:420")
+	if err != nil || rs[0].Start != 0 {
+		t.Fatalf("unsorted input: %+v, %v", rs, err)
+	}
+	// Bare seconds work as segment starts.
+	rs, err = ParseRateSchedule("0=0.1:400,90.5=0.2:500")
+	if err != nil || rs[1].Start != 90500*time.Millisecond {
+		t.Fatalf("bare seconds: %+v, %v", rs, err)
+	}
+
+	for _, bad := range []string{
+		"",                    // empty
+		"0.12:420",            // no start
+		"0=0.12",              // no carbon
+		"0=x:420",             // bad price
+		"0=0.12:y",            // bad carbon
+		"1h=0.12:420",         // first segment not at 0
+		"0=0.1:400,0=0.2:500", // duplicate start
+		"0=-0.1:400",          // negative price
+		"0=0.1:-400",          // negative carbon
+		"-5=0.1:400",          // negative start
+		"NaN=0.1:400",         // non-finite start
+	} {
+		if _, err := ParseRateSchedule(bad); err == nil {
+			t.Errorf("ParseRateSchedule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRateAt(t *testing.T) {
+	rs := RateSchedule{
+		{Start: 0, USDPerKWh: 0.12},
+		{Start: 8 * time.Hour, USDPerKWh: 0.08},
+		{Start: 20 * time.Hour, USDPerKWh: 0.15},
+	}
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 0.12},
+		{8*time.Hour - 1, 0.12},
+		{8 * time.Hour, 0.08},
+		{19 * time.Hour, 0.08},
+		{20 * time.Hour, 0.15},
+		{100 * time.Hour, 0.15},
+	}
+	for _, c := range cases {
+		if got := rs.At(c.t).USDPerKWh; got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestParseRunTime(t *testing.T) {
+	good := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"0", 0},
+		{"12.5", 12500 * time.Millisecond},
+		{"90s", 90 * time.Second},
+		{"1h30m", 90 * time.Minute},
+		{" 5 ", 5 * time.Second},
+	}
+	for _, c := range good {
+		got, err := parseRunTime(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseRunTime(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "-1", "-5s", "NaN", "Inf", "+Inf", "1e300", "abc", "5e9"} {
+		if _, err := parseRunTime(bad); err == nil {
+			t.Errorf("parseRunTime(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery(url.Values{})
+	if err != nil || q.Res != ResAuto || q.From != 0 || q.To != 0 || q.Step != 0 || q.Limit != 0 {
+		t.Fatalf("empty query: %+v, %v", q, err)
+	}
+
+	q, err = ParseQuery(url.Values{
+		"from": {"10"}, "to": {"1m"}, "res": {"1s"}, "step": {"5s"}, "limit": {"12"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From != 10*time.Second || q.To != time.Minute || q.Res != ResSecond ||
+		q.Step != 5*time.Second || q.Limit != 12 {
+		t.Fatalf("parsed %+v", q)
+	}
+
+	// An explicit to=0 means the closed range ending at the origin, not
+	// open-ended: it is nudged to the smallest positive bound.
+	q, err = ParseQuery(url.Values{"to": {"0"}})
+	if err != nil || q.To != 1 {
+		t.Fatalf("to=0: %+v, %v", q, err)
+	}
+
+	bad := []url.Values{
+		{"from": {"abc"}},
+		{"from": {"-5"}},
+		{"to": {"NaN"}},
+		{"from": {"10"}, "to": {"5"}}, // inverted range
+		{"res": {"2s"}},
+		{"res": {"RAW"}},
+		{"step": {"-1s"}},
+		{"limit": {"-1"}},
+		{"limit": {"many"}},
+		{"limit": {"1.5"}},
+	}
+	for _, v := range bad {
+		if _, err := ParseQuery(v); err == nil {
+			t.Errorf("ParseQuery(%v) accepted", v)
+		}
+	}
+}

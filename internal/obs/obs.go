@@ -4,6 +4,7 @@
 //	/debug/vars         expvar-style JSON dump of the same registry
 //	/debug/status       JSON: last snapshot plus the decision-journal tail
 //	/debug/rounds       JSON: round-trace ring (with WithRounds)
+//	/debug/energy       JSON: energy-ledger range query (with WithLedger)
 //	/debug/flight       JSON: flight-recorder occupancy (with WithFlight)
 //	/debug/flight/dump  POST: stream a flight-recorder dump (with WithFlight)
 //	/debug/pprof/...    CPU/heap/block profiles (with WithPprof)
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/daemon"
 	"repro/internal/flight"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/metrics/decisions"
 	"repro/internal/tracing"
@@ -115,6 +117,7 @@ type Server struct {
 	status  func() DaemonStatus
 	flight  *flight.Recorder
 	tracer  *tracing.Tracer
+	ledger  *ledger.Ledger
 	mux     *http.ServeMux
 
 	mu   sync.Mutex
@@ -142,6 +145,14 @@ func WithFlight(rec *flight.Recorder) Option {
 // dump per machine by round ID).
 func WithRounds(tr *tracing.Tracer) Option {
 	return func(s *Server) { s.tracer = tr }
+}
+
+// WithLedger exposes the energy ledger: GET /debug/energy answers range
+// queries (?from=, ?to=, ?res=raw|1s|1m|auto, ?step=, ?limit=) over the
+// per-app energy time series, plus the cumulative summary — attribution
+// totals, cost/carbon, and the anomaly feed.
+func WithLedger(l *ledger.Ledger) Option {
+	return func(s *Server) { s.ledger = l }
 }
 
 // WithPprof mounts net/http/pprof under /debug/pprof/, so CPU, heap, and
@@ -196,6 +207,9 @@ func New(reg *metrics.Registry, journal *decisions.Journal, status func() Daemon
 	}
 	if s.tracer != nil {
 		s.mux.HandleFunc("/debug/rounds", getOnly(s.handleRounds))
+	}
+	if s.ledger != nil {
+		s.mux.HandleFunc("/debug/energy", getOnly(s.handleEnergy))
 	}
 	return s
 }
@@ -267,6 +281,23 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRounds(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	_ = s.tracer.Log().Write(w)
+}
+
+func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) {
+	q, err := ledger.ParseQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.ledger.Range(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(res)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/daemon"
 	"repro/internal/flight"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/opconfig"
 	"repro/internal/tracing"
@@ -59,6 +60,11 @@ type AgentConfig struct {
 	// the flight-recorder interval), for the /debug/rounds endpoint and
 	// powerdump's merged cross-node timeline.
 	Tracer *tracing.Tracer
+
+	// Ledger, when set, piggybacks the node's energy-ledger summary on
+	// every status reply, so fleet coordinators get per-app joules,
+	// cost/carbon, and anomaly counts from the poll they already make.
+	Ledger *ledger.Ledger
 
 	// now is the agent's clock; tests may override it.
 	now func() time.Time
@@ -264,6 +270,9 @@ func (a *Agent) Status() *NodeStatus {
 		}
 		st.Apps = append(st.Apps, as)
 	}
+	if a.cfg.Ledger != nil {
+		st.Energy = energyStatus(a.cfg.Ledger)
+	}
 	a.mu.Lock()
 	st.FallbackWatts = float64(a.fallback)
 	st.Draining = a.draining
@@ -282,6 +291,36 @@ func (a *Agent) Status() *NodeStatus {
 	}
 	a.mu.Unlock()
 	return st
+}
+
+// energyStatus converts a ledger summary into its wire form.
+func energyStatus(l *ledger.Ledger) *EnergyStatus {
+	s := l.Summarize()
+	es := &EnergyStatus{
+		ElapsedSeconds:  s.ElapsedSeconds,
+		Intervals:       s.Intervals,
+		OverIntervals:   s.OverIntervals,
+		TotalUJ:         s.TotalUJ,
+		UnattributedUJ:  s.UnattributedUJ,
+		ExcludedUJ:      s.ExcludedUJ,
+		OvershootUJ:     s.OvershootUJ,
+		TotalJoules:     s.TotalJoules,
+		OvershootJoules: s.OvershootJoules,
+		CostUSD:         s.CostUSD,
+		CarbonGrams:     s.CarbonGrams,
+		Anomalies:       s.Anomalies,
+	}
+	for _, a := range s.Apps {
+		es.Apps = append(es.Apps, AppEnergy{
+			Name:       a.Name,
+			Core:       a.Core,
+			TotalUJ:    a.TotalUJ,
+			Joules:     a.Joules,
+			EnergyFrac: a.EnergyFrac,
+			ShareFrac:  a.ShareFrac,
+		})
+	}
+	return es
 }
 
 // metricsSnapshot builds the snapshot a ?metrics= status request asked

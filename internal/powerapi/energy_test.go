@@ -1,0 +1,111 @@
+package powerapi_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/ledger"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/powerapi"
+	"repro/internal/sim"
+	"repro/internal/workload"
+
+	"net/http/httptest"
+)
+
+// TestStatusCarriesEnergy proves the piggyback: when the agent is built
+// with a ledger, every status reply carries the node's energy summary —
+// the coordinator learns fleet energy without a second RPC — and the
+// wire numbers equal the ledger's own, microjoule for microjoule.
+func TestStatusCarriesEnergy(t *testing.T) {
+	chip := platform.Skylake()
+	m, err := sim.New(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []string{"gcc", "cam4"}
+	specs := make([]core.AppSpec, len(apps))
+	for i, a := range apps {
+		if err := m.Pin(workload.NewInstance(workload.MustByName(a)), i); err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = core.AppSpec{Name: a, Core: i, Shares: 50}
+	}
+	pol, err := core.NewFrequencyShares(chip, specs, core.ShareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := ledger.New(ledger.Config{Chip: chip, Apps: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := daemon.New(daemon.Config{
+		Chip: chip, Policy: pol, Apps: specs, Limit: 50, Ledger: led,
+	}, m.Device(), daemon.MachineActuator{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachVirtual(m); err != nil {
+		t.Fatal(err)
+	}
+	agent, err := powerapi.NewAgent(powerapi.AgentConfig{
+		Name: "n0", Daemon: d, PolicyName: "frequency", Ledger: led,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+	srv := httptest.NewServer(obs.New(nil, nil, obs.DaemonStatusFunc(d),
+		obs.WithHandler(powerapi.PathPrefix, agent.Handler())).Handler())
+	t.Cleanup(srv.Close)
+
+	m.Run(5 * time.Second)
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := powerapi.NewClient(srv.URL).Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Energy == nil {
+		t.Fatal("status carries no energy summary despite a configured ledger")
+	}
+	sum := led.Summarize()
+	e := st.Energy
+	if e.TotalUJ != sum.TotalUJ || e.UnattributedUJ != sum.UnattributedUJ ||
+		e.ExcludedUJ != sum.ExcludedUJ || e.OvershootUJ != sum.OvershootUJ {
+		t.Errorf("wire accounts diverge from ledger: %+v vs %+v", e, sum)
+	}
+	if e.Intervals != sum.Intervals || e.Intervals == 0 {
+		t.Errorf("intervals = %d, ledger %d", e.Intervals, sum.Intervals)
+	}
+	if len(e.Apps) != len(sum.Apps) {
+		t.Fatalf("wire apps = %d, ledger %d", len(e.Apps), len(sum.Apps))
+	}
+	for i := range e.Apps {
+		if e.Apps[i].Name != sum.Apps[i].Name || e.Apps[i].TotalUJ != sum.Apps[i].TotalUJ {
+			t.Errorf("app %d: wire %+v, ledger %+v", i, e.Apps[i], sum.Apps[i])
+		}
+	}
+	if e.CostUSD <= 0 || e.TotalJoules <= 0 {
+		t.Errorf("cost/joules not populated: %+v", e)
+	}
+}
+
+// Without a ledger the status reply omits the energy block entirely.
+func TestStatusOmitsEnergyWithoutLedger(t *testing.T) {
+	n := newNode(t, "n0", 50, 0, nil, 0)
+	n.m.Run(time.Second)
+	st, err := powerapi.NewClient(n.srv.URL).Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Energy != nil {
+		t.Errorf("unsolicited energy block: %+v", st.Energy)
+	}
+}

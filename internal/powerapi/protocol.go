@@ -90,6 +90,44 @@ type NodeStatus struct {
 	// increments per snapshot so a receiver can spot missed deltas.
 	MetricsRev uint64             `json:"metrics_rev,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+
+	// Energy carries the node's energy-ledger summary when the daemon
+	// runs one, so the coordinator can roll up fleet-wide joules, cost,
+	// and anomalies from the status poll it already makes.
+	Energy *EnergyStatus `json:"energy,omitempty"`
+}
+
+// EnergyStatus is a node's cumulative energy-ledger summary. The *UJ
+// fields are exact integer microjoules (the ledger's unit of account, so
+// cross-node sums and replay checks stay bit-identical); the float fields
+// are derived conveniences.
+type EnergyStatus struct {
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Intervals      uint64  `json:"intervals"`
+	OverIntervals  uint64  `json:"over_intervals"`
+
+	TotalUJ        uint64 `json:"total_uj"`
+	UnattributedUJ uint64 `json:"unattributed_uj"`
+	ExcludedUJ     uint64 `json:"excluded_uj"`
+	OvershootUJ    uint64 `json:"overshoot_uj"`
+
+	TotalJoules     float64 `json:"total_joules"`
+	OvershootJoules float64 `json:"overshoot_joules"`
+	CostUSD         float64 `json:"cost_usd"`
+	CarbonGrams     float64 `json:"carbon_grams"`
+
+	Apps      []AppEnergy       `json:"apps,omitempty"`
+	Anomalies map[string]uint64 `json:"anomalies,omitempty"`
+}
+
+// AppEnergy is one application's share of a node's attributed energy.
+type AppEnergy struct {
+	Name       string  `json:"name"`
+	Core       int     `json:"core"`
+	TotalUJ    uint64  `json:"total_uj"`
+	Joules     float64 `json:"joules"`
+	EnergyFrac float64 `json:"energy_frac"`
+	ShareFrac  float64 `json:"share_frac"`
 }
 
 // LeaseInfo describes the lease a node currently holds.
