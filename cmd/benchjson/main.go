@@ -59,6 +59,11 @@ func runGenerate(dir string, smoke bool) error {
 		return err
 	}
 	coord.Entries = entries
+	hier, err := bench.HierarchyTrajectory(smoke)
+	if err != nil {
+		return err
+	}
+	coord.Entries = append(coord.Entries, hier...)
 	path := filepath.Join(dir, "BENCH_coordinator.json")
 	if err := coord.WriteFile(path); err != nil {
 		return err

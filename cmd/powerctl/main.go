@@ -12,11 +12,16 @@
 //	powerctl -node host:9090 drain on|off
 //	powerctl -coord host:9190 register n3 host3:9090
 //	powerctl -coord host:9190 top
+//	powerctl -coord host:9190 tree
 //
 // top renders the coordinator's fleet rollup (/debug/fleet): total power
 // against the room budget, per-node rows with RPC latency percentiles,
 // the fleet-wide per-application watt ranking, lease churn, and any
 // nodes the round traces flag as stragglers.
+//
+// tree renders the coordination hierarchy rooted at -coord: each tier's
+// level, live budget, and subtree rollup, recursing into children that
+// are themselves powercoord tiers (probed through their node agents).
 //
 // set-policy, set-limit, set-shares, and set-priorities may be combined in
 // one invocation; the daemon applies them as a single validated change
@@ -55,7 +60,8 @@ func main() {
 				"  set-priorities a=hp,b=lp    change per-app priorities\n"+
 				"  drain on|off                toggle drain mode\n"+
 				"  register <name> <addr>      register a node with -coord\n"+
-				"  top                         fleet rollup from -coord (/debug/fleet)\n\nflags:\n")
+				"  top                         fleet rollup from -coord (/debug/fleet)\n"+
+				"  tree                        coordination hierarchy rooted at -coord\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -78,6 +84,12 @@ func dispatch(ctx context.Context, node, coord string, args []string) error {
 			return fmt.Errorf("top needs -coord")
 		}
 		return top(ctx, coord)
+	}
+	if cmd == "tree" {
+		if coord == "" {
+			return fmt.Errorf("tree needs -coord")
+		}
+		return tree(ctx, coord, 0)
 	}
 	if cmd == "register" {
 		if coord == "" {
@@ -303,6 +315,78 @@ func top(ctx context.Context, coord string) error {
 		for _, s := range fs.Stragglers {
 			fmt.Printf("  %-12s %d round(s), worst %.2fms\n", s.Node, s.Rounds, s.WorstMS)
 		}
+	}
+	return nil
+}
+
+// roomStatus mirrors powercoord's /v1/cluster/status payload, with
+// just the fields the tree walk needs.
+type roomStatus struct {
+	BudgetWatts     float64 `json:"budget_watts"`
+	TotalPowerWatts float64 `json:"total_power_watts"`
+	Tier            string  `json:"tier"`
+	Children        int     `json:"children"`
+	Leaves          int     `json:"leaves"`
+	Depth           int     `json:"depth"`
+	Nodes           []struct {
+		Name        string  `json:"name"`
+		Addr        string  `json:"addr"`
+		LimitWatts  float64 `json:"limit_watts"`
+		Quarantined bool    `json:"quarantined"`
+	} `json:"nodes"`
+}
+
+// tree walks the hierarchy rooted at a coordinator address: print this
+// tier, then probe each child's node agent — a child reporting a
+// TierStatus is itself a coordinator, so recurse into its cluster
+// status at the same address.
+func tree(ctx context.Context, coord string, depth int) error {
+	addr := coord
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/cluster/status", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator %s: %s", coord, resp.Status)
+	}
+	var rs roomStatus
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		return fmt.Errorf("decoding cluster status from %s: %w", coord, err)
+	}
+	indent := strings.Repeat("    ", depth)
+	level := rs.Tier
+	if level == "" {
+		level = "room"
+	}
+	fmt.Printf("%s[%s] %s  budget %.5g W  power %.5g W  (%d children, %d leaves, depth %d)\n",
+		indent, level, coord, rs.BudgetWatts, rs.TotalPowerWatts, rs.Children, rs.Leaves, rs.Depth)
+	for _, n := range rs.Nodes {
+		flags := ""
+		if n.Quarantined {
+			flags = "  QUARANTINED"
+		}
+		sub := false
+		if n.Addr != "" {
+			if st, err := powerapi.NewClient(n.Addr).Status(ctx); err == nil && st.Tier != nil {
+				sub = true
+			}
+		}
+		if sub {
+			fmt.Printf("%s├─ %s  lease %.5g W%s\n", indent, n.Name, n.LimitWatts, flags)
+			if err := tree(ctx, n.Addr, depth+1); err != nil {
+				fmt.Printf("%s    (walking %s: %v)\n", indent, n.Name, err)
+			}
+			continue
+		}
+		fmt.Printf("%s├─ %-12s  lease %.5g W%s\n", indent, n.Name, n.LimitWatts, flags)
 	}
 	return nil
 }

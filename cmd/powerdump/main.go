@@ -13,9 +13,10 @@
 // The merged view joins distributed round traces (GET /debug/rounds on
 // the coordinator and each node, or tracing logs written by tests) into
 // one cross-node timeline keyed by round ID, flagging stragglers and
-// partition gaps. The coordinator's log comes first:
+// partition gaps. The root coordinator's log comes first; logs from
+// stacked tiers (powercoord -parent) nest as per-tier sub-timelines:
 //
-//	powerdump -view merged coord.json n0.json n1.json ...
+//	powerdump -view merged root.json row0.json row1.json leaf0.json ...
 //
 // -json switches the anomalies, energy, and merged views to
 // machine-readable output for scripting and CI.
@@ -98,7 +99,11 @@ func main() {
 }
 
 // merged joins one coordinator round-trace log with any number of node
-// logs into a cross-node timeline.
+// logs into a cross-node timeline. Logs from stacked tiers compose: a
+// mid-tier coordinator's log joins the root timeline as a node (its
+// agent records carry the root's round IDs) and additionally surfaces
+// as a sub-timeline of its own rounds merged against the remaining
+// logs (tracing.MergeTree).
 func merged(paths []string, jsonOut bool) error {
 	coord, err := tracing.ReadLogFile(paths[0])
 	if err != nil {
@@ -112,7 +117,7 @@ func merged(paths []string, jsonOut bool) error {
 		}
 		nodes = append(nodes, nl)
 	}
-	tl := tracing.Merge(coord, nodes)
+	tl := tracing.MergeTree(coord, nodes)
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -169,6 +174,10 @@ func renderTimeline(tl tracing.Timeline) {
 		for _, s := range tl.Stragglers {
 			fmt.Printf("  %-12s %d round(s), worst %s\n", s.Node, s.Rounds, ms(s.Worst))
 		}
+	}
+	for _, sub := range tl.Tiers {
+		fmt.Printf("\n--- tier %q ---\n", sub.Coordinator)
+		renderTimeline(sub)
 	}
 }
 

@@ -103,3 +103,77 @@ func TestMergedViewJoinsLogs(t *testing.T) {
 		}
 	}
 }
+
+// TestMergedViewCrossTier feeds merged a stacked-tier set of logs: the
+// building root's rounds, a row tier whose log holds both its agent
+// records (under the root's round IDs) and its own coordination rounds,
+// and a leaf coordinated by the row. The row must appear twice — as a
+// node of the root round and as a sub-timeline owning the leaf.
+func TestMergedViewCrossTier(t *testing.T) {
+	const (
+		rootRound = 1<<32 | 7 // distinct round-ID namespaces per tier
+		rowRound  = 2<<32 | 3
+	)
+	root := tracing.Log{Origin: "building", Rounds: []tracing.Round{{
+		ID: rootRound, Origin: "building", Start: 0, End: 10 * time.Millisecond,
+		Spans: []tracing.Span{
+			{Name: "report", Node: "row0", Start: 0, End: 2 * time.Millisecond},
+			{Name: "plan", Start: 2 * time.Millisecond, End: 3 * time.Millisecond},
+		},
+	}}}
+	row := tracing.Log{Origin: "row0", Rounds: []tracing.Round{
+		{ // agent side: the root's round, seen from below
+			ID: rootRound, Origin: "row0", Start: 0, End: time.Millisecond,
+			Spans: []tracing.Span{{Name: "receive", Start: 0, End: time.Millisecond}},
+		},
+		{ // coordinator side: the row's own round over its leaves
+			ID: rowRound, Origin: "row0", Start: 3 * time.Millisecond, End: 8 * time.Millisecond,
+			Spans: []tracing.Span{
+				{Name: "report", Node: "leaf0", Start: 3 * time.Millisecond, End: 4 * time.Millisecond},
+				{Name: "plan", Start: 4 * time.Millisecond, End: 5 * time.Millisecond},
+			},
+		},
+	}}
+	leaf := tracing.Log{Origin: "leaf0", Rounds: []tracing.Round{{
+		ID: rowRound, Origin: "leaf0", Start: 3 * time.Millisecond, End: 4 * time.Millisecond,
+		Spans: []tracing.Span{{Name: "receive", Start: 3 * time.Millisecond, End: 4 * time.Millisecond}},
+	}}}
+
+	dir := t.TempDir()
+	paths := []string{
+		writeLog(t, dir, "root.json", root),
+		writeLog(t, dir, "row0.json", row),
+		writeLog(t, dir, "leaf0.json", leaf),
+	}
+
+	out := capture(t, func() error { return merged(paths, true) })
+	var tl tracing.Timeline
+	if err := json.Unmarshal([]byte(out), &tl); err != nil {
+		t.Fatalf("-json output is not a Timeline: %v\n%s", err, out)
+	}
+	if tl.Coordinator != "building" || len(tl.Rounds) != 1 {
+		t.Fatalf("root timeline = %+v", tl)
+	}
+	if r := tl.Rounds[0]; r.ID != rootRound || len(r.Nodes) != 1 ||
+		r.Nodes[0].Node != "row0" || r.Nodes[0].Record == nil {
+		t.Fatalf("root round should join row0's agent record: %+v", tl.Rounds[0])
+	}
+	if len(tl.Tiers) != 1 {
+		t.Fatalf("want one sub-tier timeline, got %+v", tl.Tiers)
+	}
+	sub := tl.Tiers[0]
+	if sub.Coordinator != "row0" || len(sub.Rounds) != 1 {
+		t.Fatalf("sub-tier = %+v", sub)
+	}
+	if r := sub.Rounds[0]; r.ID != rowRound || len(r.Nodes) != 1 ||
+		r.Nodes[0].Node != "leaf0" || r.Nodes[0].Record == nil {
+		t.Fatalf("row round should join leaf0's record: %+v", sub.Rounds[0])
+	}
+
+	txt := capture(t, func() error { return merged(paths, false) })
+	for _, want := range []string{`coordinator "building"`, `tier "row0"`, "leaf0"} {
+		if !bytes.Contains([]byte(txt), []byte(want)) {
+			t.Errorf("text output missing %q:\n%s", want, txt)
+		}
+	}
+}

@@ -181,6 +181,24 @@ func TestTrajectorySmoke(t *testing.T) {
 		t.Error("coordinator smoke never ran the ledgered variant")
 	}
 
+	hents, err := HierarchyTrajectory(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hents) != len(hierSmokeSizes) {
+		t.Fatalf("hierarchy smoke entries = %d, want %d", len(hents), len(hierSmokeSizes))
+	}
+	for i, e := range hents {
+		if e.NsPerOp <= 0 || e.Config["leaves"] != hierSmokeSizes[i][0] || e.Config["rows"] != hierSmokeSizes[i][1] {
+			t.Errorf("entry %+v", e)
+		}
+		for _, ph := range []string{"round_building", "round_row"} {
+			if e.Phases[ph] <= 0 {
+				t.Errorf("%s: phase %q missing (%v)", e.Name, ph, e.Phases)
+			}
+		}
+	}
+
 	lents, err := LoopTrajectory(true)
 	if err != nil {
 		t.Fatal(err)

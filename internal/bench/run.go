@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/hierarchy"
 	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/flight"
@@ -31,6 +32,12 @@ import (
 var (
 	coordinatorNodes      = []int{4, 16, 64}
 	coordinatorSmokeNodes = []int{4, 16}
+	// Hierarchy sizes are {leaves, rows}: 3-tier trees of in-process
+	// leaves under rows reached over loopback-HTTP uplinks. The 1024-leaf
+	// flagship (32 rows × 32 leaves) is the thousand-node configuration
+	// the flat coordinator could never poll in one round.
+	hierSizes      = [][2]int{{64, 8}, {256, 16}, {1024, 32}}
+	hierSmokeSizes = [][2]int{{64, 8}}
 	loopCores             = []int{4, 10, 32, 128, 256, 512}
 	loopSmokeCores        = []int{4, 10, 32, 128}
 	ledgerApps            = []int{2, 8, 32, 128}
@@ -177,10 +184,11 @@ func coordinatorEntry(n int, withLedger bool) (Entry, error) {
 	}()
 	tracer := tracing.New("bench-coord", 0)
 	ccfg := cluster.Config{
-		Budget:   budget,
-		LeaseTTL: time.Hour,
-		Retries:  -1,
-		Tracer:   tracer,
+		Budget:      budget,
+		FloorBudget: budget,
+		LeaseTTL:    time.Hour,
+		Retries:     -1,
+		Tracer:      tracer,
 	}
 	if withLedger {
 		ccfg.Fleet = cluster.NewFleet(budget, nil)
@@ -198,6 +206,24 @@ func coordinatorEntry(n int, withLedger bool) (Entry, error) {
 			}
 		}
 	})
+	phases := phaseWalls(tracer.Log())
+	if _, ok := phases["grant"]; !ok {
+		// Steady-state rounds skip no-op renewals, so a converged fleet
+		// never shows a grant wave. Shrink the budget once under a traced
+		// round to measure a real full-fleet wave.
+		wid := ccfg.RoundBase + 1<<31
+		if err := c.SetBudget(powerapi.WithRound(ctx, wid), budget*9/10); err != nil {
+			return Entry{}, err
+		}
+		for _, rd := range tracer.Log().Rounds {
+			if rd.ID != wid {
+				continue
+			}
+			if w := phaseWalls(tracing.Log{Rounds: []tracing.Round{rd}})["grant"]; w > 0 {
+				phases["grant"] = w
+			}
+		}
+	}
 	name := fmt.Sprintf("coordinator_tick/nodes=%d", n)
 	cfg := map[string]int{"nodes": n}
 	if withLedger {
@@ -210,8 +236,92 @@ func coordinatorEntry(n int, withLedger bool) (Entry, error) {
 		NsPerOp:     float64(r.NsPerOp()),
 		AllocsPerOp: float64(r.AllocsPerOp()),
 		BytesPerOp:  float64(r.AllocedBytesPerOp()),
-		Phases:      phaseWalls(tracer.Log()),
+		Phases:      phases,
 	}, nil
+}
+
+// meanRoundWall averages the wall-clock nanoseconds per recorded round
+// across the given trace logs.
+func meanRoundWall(logs ...tracing.Log) float64 {
+	var sum, cnt float64
+	for _, l := range logs {
+		for _, r := range l.Rounds {
+			sum += float64(r.End - r.Start)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / cnt
+}
+
+// hierarchyEntry benchmarks one full tree round — every row polls its
+// leaves, then the building polls the rows' fresh aggregates over
+// loopback-HTTP uplinks and re-cascades budget — on a 3-tier tree of
+// the given shape.
+func hierarchyEntry(leaves, rows int) (Entry, error) {
+	tree, err := hierarchy.NewSimTree(hierarchy.SimTreeConfig{
+		Leaves:      leaves,
+		Rows:        rows,
+		Budget:      units.Watts(30 * leaves),
+		LeaseTTL:    time.Hour,
+		Retries:     -1,
+		HTTPUplinks: true,
+		Trace:       true,
+	})
+	if err != nil {
+		return Entry{}, err
+	}
+	defer tree.Close()
+	ctx := context.Background()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := tree.Step(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	logs := tree.Logs()
+	phases := map[string]float64{}
+	if w := meanRoundWall(logs[0]); w > 0 {
+		phases["round_building"] = w
+	}
+	if w := meanRoundWall(logs[1:]...); w > 0 {
+		phases["round_row"] = w
+	}
+	return Entry{
+		Name:        fmt.Sprintf("coordinator_tick_hier/leaves=%d", leaves),
+		Config:      map[string]int{"leaves": leaves, "rows": rows},
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		Phases:      phases,
+	}, nil
+}
+
+// HierarchyTrajectory benchmarks the full-tree reallocation round of
+// room→row→building trees at increasing leaf counts. The leaves attach
+// in-process (the deployment cost of a leaf lives in the flat
+// coordinator_tick family); the row→building uplinks run the real
+// delta-status wire protocol over loopback HTTP, so the trajectory
+// prices exactly what the hierarchy adds: per-tier aggregation and the
+// cascading grant wave.
+func HierarchyTrajectory(smoke bool) ([]Entry, error) {
+	shapes := hierSizes
+	if smoke {
+		shapes = hierSmokeSizes
+	}
+	var entries []Entry
+	for _, s := range shapes {
+		e, err := hierarchyEntry(s[0], s[1])
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
 }
 
 // CoordinatorTrajectory benchmarks one coordinator reallocation round

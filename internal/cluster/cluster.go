@@ -50,6 +50,29 @@ type Config struct {
 	// stays within it.
 	FloorFraction float64
 
+	// FloorBudget, when set, derives the per-node floors (and lease
+	// fallback caps) from this fixed figure instead of the current
+	// Budget: floor = FloorBudget × FloorFraction / n. A tier whose own
+	// budget is a revocable lease sets this to its fallback cap, so the
+	// floors it promises downward stay safe under any budget the tier
+	// can be held to — which is what lets SetBudget move Budget without
+	// moving the floors beneath it. Required for SetBudget.
+	FloorBudget units.Watts
+
+	// RoundBase offsets this coordinator's round IDs (round = RoundBase
+	// + counter), so the coordinators of one tier tree mint disjoint ID
+	// ranges and their trace logs merge without collision. Use
+	// tracing.RoundIDBase(name).
+	RoundBase uint64
+
+	// PriorLedger seeds the acknowledged-grant ledger by node name when
+	// a coordinator is rebuilt over changed membership (Coordinator.
+	// LeaseLedger exports it). The initial grant wave then phases
+	// shrinks before grows against what surviving nodes actually hold,
+	// instead of assuming a fresh room and transiently over-committing
+	// the budget.
+	PriorLedger map[string]LedgerEntry
+
 	// BindMargin is how close (fractionally) measured power must sit to a
 	// node's limit for the node to count as constrained and bid for more
 	// (default 0.05).
@@ -113,6 +136,12 @@ func (c *Config) fill(n int) error {
 	if c.FloorFraction <= 0 || c.FloorFraction > 1 {
 		c.FloorFraction = 0.5
 	}
+	if c.FloorBudget < 0 {
+		return fmt.Errorf("cluster: negative floor budget %v", c.FloorBudget)
+	}
+	if c.FloorBudget > c.Budget {
+		return fmt.Errorf("cluster: floor budget %v exceeds budget %v", c.FloorBudget, c.Budget)
+	}
 	if c.BindMargin <= 0 {
 		c.BindMargin = 0.05
 	}
@@ -160,6 +189,13 @@ func (c Config) weight(i int) float64 {
 	return c.Weights[i]
 }
 
+// LedgerEntry is one node's acknowledged grant: the cap the
+// coordinator can prove the node enforces until the lease deadline.
+type LedgerEntry struct {
+	Granted units.Watts
+	Until   time.Time
+}
+
 // Coordinator redistributes a power budget across nodes reached through
 // Transports.
 type Coordinator struct {
@@ -169,14 +205,22 @@ type Coordinator struct {
 	strict bool    // in-process mode: any transport error aborts the step
 	round  atomic.Uint64
 
+	// stepMu serializes whole rounds against budget changes, so a
+	// parent's cascaded SetBudget never interleaves with this tier's
+	// own grant wave.
+	stepMu sync.Mutex
+
 	mu         sync.Mutex
 	limits     []units.Watts // current target limit per node
 	granted    []units.Watts // last acknowledged grant per node
+	fbGranted  []units.Watts // fallback cap carried by the last grant per node
 	leaseUntil []time.Time   // coordinator-side lease deadline per node
 	lastPower  []units.Watts // power from each node's last good report
-	fails      []int         // consecutive failed steps per node
-	quar       []bool        // quarantined nodes
+	lastMax    []units.Watts // max watts from each node's last good report
+	lastStatus []*powerapi.NodeStatus
 	moves      int
+	fails      []int  // consecutive failed steps per node
+	quar       []bool // quarantined nodes
 
 	// Optional instrumentation; nil handles no-op.
 	mRealloc    *metrics.Counter
@@ -238,9 +282,13 @@ func NewOverTransports(ts []Transport, cfg Config) (*Coordinator, error) {
 
 func newCoordinator(ts []Transport, cfg Config, strict bool) (*Coordinator, error) {
 	n := len(ts)
+	floorBase := cfg.Budget
+	if cfg.FloorBudget > 0 {
+		floorBase = cfg.FloorBudget
+	}
 	var floorSum units.Watts
 	for range ts {
-		floorSum += cfg.Budget * units.Watts(cfg.FloorFraction) / units.Watts(n)
+		floorSum += floorBase * units.Watts(cfg.FloorFraction) / units.Watts(n)
 	}
 	if floorSum > cfg.Budget {
 		return nil, fmt.Errorf("cluster: floors %v exceed budget %v", floorSum, cfg.Budget)
@@ -251,8 +299,11 @@ func newCoordinator(ts []Transport, cfg Config, strict bool) (*Coordinator, erro
 		strict:     strict,
 		limits:     make([]units.Watts, n),
 		granted:    make([]units.Watts, n),
+		fbGranted:  make([]units.Watts, n),
 		leaseUntil: make([]time.Time, n),
 		lastPower:  make([]units.Watts, n),
+		lastMax:    make([]units.Watts, n),
+		lastStatus: make([]*powerapi.NodeStatus, n),
 		fails:      make([]int, n),
 		quar:       make([]bool, n),
 	}
@@ -268,10 +319,50 @@ func newCoordinator(ts []Transport, cfg Config, strict bool) (*Coordinator, erro
 	for i := range c.ts {
 		c.limits[i] = equal
 	}
-	if err := c.grantAll(context.Background(), equal); err != nil {
+	if cfg.PriorLedger != nil {
+		now := cfg.now()
+		for i, t := range c.ts {
+			if e, ok := cfg.PriorLedger[t.Name()]; ok && e.Granted > 0 && now.Before(e.Until) {
+				c.granted[i] = e.Granted
+				c.leaseUntil[i] = e.Until
+			}
+		}
+	}
+	if strict {
+		if err := c.grantAll(context.Background(), equal); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	// Lenient construction phases the initial wave like any other round:
+	// survivors seeded from a prior ledger shrink to the new equal split
+	// before newcomers grow into it, so rebuilding a coordinator over
+	// changed membership never transiently over-commits the budget.
+	targets := make([]units.Watts, n)
+	healthy := make([]bool, n)
+	for i := range targets {
+		targets[i] = equal
+		healthy[i] = true
+	}
+	if err := c.issueGrants(context.Background(), targets, healthy, nil); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// LeaseLedger exports the acknowledged-grant ledger by node name, for
+// seeding a rebuilt coordinator's Config.PriorLedger across membership
+// changes.
+func (c *Coordinator) LeaseLedger() map[string]LedgerEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]LedgerEntry, len(c.ts))
+	for i, t := range c.ts {
+		if c.granted[i] > 0 {
+			out[t.Name()] = LedgerEntry{Granted: c.granted[i], Until: c.leaseUntil[i]}
+		}
+	}
+	return out
 }
 
 // grantAll extends the same grant to every node; strict mode propagates the
@@ -305,9 +396,14 @@ func (c *Coordinator) grantAll(ctx context.Context, limit units.Watts) error {
 }
 
 // floor is the per-node guaranteed share, which doubles as the lease
-// fallback cap.
+// fallback cap. With FloorBudget set it is a constant, independent of
+// whatever budget the coordinator currently holds.
 func (c *Coordinator) floor() units.Watts {
-	return c.cfg.Budget * units.Watts(c.cfg.FloorFraction) / units.Watts(len(c.ts))
+	base := c.cfg.Budget
+	if c.cfg.FloorBudget > 0 {
+		base = c.cfg.FloorBudget
+	}
+	return base * units.Watts(c.cfg.FloorFraction) / units.Watts(len(c.ts))
 }
 
 // Limits reports the current per-node limits.
@@ -325,8 +421,24 @@ func (c *Coordinator) Reallocations() int {
 }
 
 // Round reports the ID of the latest reallocation round (zero before
-// the first Step).
-func (c *Coordinator) Round() uint64 { return c.round.Load() }
+// the first Step), RoundBase offset included.
+func (c *Coordinator) Round() uint64 {
+	r := c.round.Load()
+	if r == 0 {
+		return 0
+	}
+	return c.cfg.RoundBase + r
+}
+
+// Rounds reports how many reallocation rounds have run.
+func (c *Coordinator) Rounds() uint64 { return c.round.Load() }
+
+// Budget reports the budget the coordinator currently cascades.
+func (c *Coordinator) Budget() units.Watts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Budget
+}
 
 // Quarantined reports whether node i is currently quarantined.
 func (c *Coordinator) Quarantined(i int) bool {
@@ -438,7 +550,9 @@ func (c *Coordinator) noteFailure(i int) {
 // Tracer is configured; a Fleet, when configured, observes every round's
 // reports and RPC latencies.
 func (c *Coordinator) Step(ctx context.Context) error {
-	rid := c.round.Add(1)
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	rid := c.cfg.RoundBase + c.round.Add(1)
 	rb := c.cfg.Tracer.Begin(rid)
 	defer rb.End()
 	ctx = powerapi.WithRound(ctx, rid)
@@ -478,6 +592,10 @@ func (c *Coordinator) Step(ctx context.Context) error {
 			c.mQuar.With(c.ts[i].Name()).Set(0)
 		}
 		c.lastPower[i] = reports[i].Power
+		c.lastMax[i] = reports[i].Max
+		if reports[i].Status != nil {
+			c.lastStatus[i] = reports[i].Status
+		}
 		c.mu.Unlock()
 		healthy[i] = true
 	}
@@ -617,11 +735,30 @@ func (c *Coordinator) issueGrants(ctx context.Context, targets []units.Watts, he
 		}
 		c.mu.Lock()
 		c.granted[i] = limit
+		c.fbGranted[i] = floor
 		c.limits[i] = limit // what the node actually enforces, headroom cap included
 		c.leaseUntil[i] = c.cfg.now().Add(c.cfg.LeaseTTL)
 		c.mu.Unlock()
 		c.mNodeLimit.With(c.ts[i].Name()).Set(float64(limit))
 		return nil
+	}
+
+	// stable reports whether a node's lease already says exactly what
+	// this wave would tell it — same cap, same fallback floor, and more
+	// than half its TTL still to run. Renewing it would be a no-op RPC;
+	// in steady state that is every node, so skipping here is what lets
+	// a round over a quiet fleet cost only its status poll. The
+	// half-TTL guard keeps renewals flowing well before expiry when
+	// rounds are slow relative to the TTL.
+	stable := func(i int, limit units.Watts) bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		d := limit - c.granted[i]
+		f := floor - c.fbGranted[i]
+		return c.granted[i] > 0 &&
+			d <= budgetSlack && d >= -budgetSlack &&
+			f <= budgetSlack && f >= -budgetSlack &&
+			c.cfg.now().Add(c.cfg.LeaseTTL/2).Before(c.leaseUntil[i])
 	}
 
 	// Phase 1: shrinks and renewals, concurrently.
@@ -634,6 +771,9 @@ func (c *Coordinator) issueGrants(ctx context.Context, targets []units.Watts, he
 		}
 		if targets[i] > effective(i) {
 			grows = append(grows, i)
+			continue
+		}
+		if stable(i, targets[i]) {
 			continue
 		}
 		wg.Add(1)
@@ -683,6 +823,174 @@ func (c *Coordinator) totalMachinePower() units.Watts {
 		t += n.M.PackagePower()
 	}
 	return t
+}
+
+// budgetSlack absorbs float rounding when comparing watt sums.
+const budgetSlack = 1e-6
+
+// SetBudget changes the budget the coordinator cascades — the tier's
+// end of a lease granted (or expired) one level up. A growth commits
+// immediately and the next Step water-fills the extra. A shrink must
+// prove itself first: a scaled-down shrink wave goes out synchronously,
+// and the new budget commits only if the acknowledged ledger fits under
+// it — otherwise the old budget stays committed and an error tells the
+// caller (the tier's agent) to refuse its own lease, which keeps the
+// parent's ledger equally honest. That handshake is what makes
+// Σ granted ≤ budget recursive across tiers.
+//
+// Requires Config.FloorBudget: floors must not move with the budget, or
+// the fallback caps promised to children would drift.
+func (c *Coordinator) SetBudget(ctx context.Context, b units.Watts) error {
+	return c.setBudget(ctx, b, false)
+}
+
+// ForceBudget clamps the budget unconditionally — the lease-expiry and
+// drain path, where the tier cannot refuse the change the way it can
+// refuse a lease: the power is already gone one level up. Reachable
+// children shrink in the same synchronous wave; unreachable ones hold
+// their old caps only until their own leases lapse into fallback, and
+// every wave the coordinator plans from here on distributes the clamped
+// figure. That lapse window is the "one extra TTL per tier" in the
+// fallback-cascade guarantee.
+func (c *Coordinator) ForceBudget(ctx context.Context, b units.Watts) error {
+	return c.setBudget(ctx, b, true)
+}
+
+func (c *Coordinator) setBudget(ctx context.Context, b units.Watts, force bool) error {
+	if c.cfg.FloorBudget <= 0 {
+		return fmt.Errorf("cluster: SetBudget requires Config.FloorBudget")
+	}
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+
+	n := len(c.ts)
+	floor := c.floor()
+	floorSum := floor * units.Watts(n)
+	if b < floorSum-budgetSlack {
+		return fmt.Errorf("cluster: budget %v below the floor sum %v of %d nodes", b, floorSum, n)
+	}
+
+	// Record the cascade under the parent's round ID when the context
+	// carries one, so the cross-tier timeline joins on it.
+	var rb *tracing.RoundBuilder
+	if rid := powerapi.RoundFrom(ctx); rid != 0 {
+		rb = c.cfg.Tracer.Begin(rid)
+		defer rb.End()
+	}
+
+	now := c.cfg.now()
+	c.mu.Lock()
+	old := c.cfg.Budget
+	eff := make([]units.Watts, n)
+	var held units.Watts
+	for i := 0; i < n; i++ {
+		eff[i] = floor
+		if c.granted[i] > 0 && now.Before(c.leaseUntil[i]) {
+			eff[i] = c.granted[i]
+		}
+		held += eff[i]
+	}
+	if b >= held-budgetSlack {
+		// Growth or no-op: nothing currently held can violate it.
+		c.cfg.Budget = b
+		c.mu.Unlock()
+		return nil
+	}
+	// Shrink: scale every above-floor allocation so the targets sum to
+	// the new budget, preserving the proportions the last plan chose.
+	scale := 0.0
+	if excess := held - floorSum; excess > 0 {
+		scale = float64(b-floorSum) / float64(excess)
+	}
+	targets := make([]units.Watts, n)
+	healthy := make([]bool, n)
+	for i := 0; i < n; i++ {
+		targets[i] = floor + units.Watts(float64(eff[i]-floor)*scale)
+		healthy[i] = true
+	}
+	c.mu.Unlock()
+
+	if err := c.issueGrants(ctx, targets, healthy, rb); err != nil {
+		return err // strict mode only
+	}
+
+	// Commit only what the ledger proves: children that refused or were
+	// unreachable still hold their old caps until TTL.
+	now = c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	held = 0
+	for i := 0; i < n; i++ {
+		e := floor
+		if c.granted[i] > 0 && now.Before(c.leaseUntil[i]) {
+			e = c.granted[i]
+		}
+		held += e
+	}
+	if held > b+budgetSlack && !force {
+		c.cfg.Budget = old
+		return fmt.Errorf("cluster: shrink to %v unacknowledged: children still hold %v", b, held)
+	}
+	c.cfg.Budget = b
+	return nil
+}
+
+// Aggregate is the subtree summary a mid-tier coordinator reports
+// upward as one synthetic node.
+type Aggregate struct {
+	Power       units.Watts // Σ power over last good reports
+	Max         units.Watts // Σ reported max watts
+	Children    int         // direct children
+	Reporting   int         // children with at least one good report
+	Quarantined int
+	Leaves      int // leaf nodes in the subtree (children count their own)
+	Depth       int // coordinator levels at or below this one
+	// Energy sums the children's piggybacked energy summaries; nil when
+	// none reported one.
+	Energy *powerapi.EnergyStatus
+}
+
+// Aggregate rolls the coordinator's last good reports into the summary
+// its tier presents upward.
+func (c *Coordinator) Aggregate() Aggregate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg := Aggregate{Children: len(c.ts), Depth: 1}
+	for i := range c.ts {
+		agg.Power += c.lastPower[i]
+		agg.Max += c.lastMax[i]
+		if c.quar[i] {
+			agg.Quarantined++
+		}
+		if c.lastMax[i] > 0 {
+			agg.Reporting++
+		}
+		leaves := 1
+		if st := c.lastStatus[i]; st != nil {
+			if st.Tier != nil {
+				leaves = st.Tier.Nodes
+				if d := st.Tier.Depth + 1; d > agg.Depth {
+					agg.Depth = d
+				}
+			}
+			if st.Energy != nil {
+				if agg.Energy == nil {
+					agg.Energy = &powerapi.EnergyStatus{}
+				}
+				agg.Energy.Accumulate(st.Energy)
+			}
+		}
+		agg.Leaves += leaves
+	}
+	return agg
+}
+
+// Statuses returns the last piggybacked status per node (nil entries
+// for nodes that never carried one), index-aligned with the transports.
+func (c *Coordinator) Statuses() []*powerapi.NodeStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*powerapi.NodeStatus(nil), c.lastStatus...)
 }
 
 // TotalPower reports the instantaneous power across all nodes: measured

@@ -1,0 +1,144 @@
+package hierarchy
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+const watt = units.Watts(1)
+
+// slack absorbs float rounding in watt-sum comparisons.
+const slack = 1e-6
+
+func newTestTree(t *testing.T, cfg SimTreeConfig) *SimTree {
+	t.Helper()
+	tree, err := NewSimTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tree.Close)
+	return tree
+}
+
+func TestTreeCascadesBudgetDown(t *testing.T) {
+	tree := newTestTree(t, SimTreeConfig{
+		Leaves:   16,
+		Rows:     4,
+		Budget:   1600 * watt,
+		Interval: 10 * time.Millisecond,
+		LeaseTTL: time.Minute, // no expiry during the test
+	})
+	ctx := context.Background()
+
+	// Construction alone grants each row an equal split of the building
+	// budget, which each row's coordinator re-cascades over its leaves.
+	for i, row := range tree.Rows {
+		b := row.Coordinator().Budget()
+		if math.Abs(float64(b-400*watt)) > slack {
+			t.Errorf("row %d budget %v after initial wave, want 400", i, b)
+		}
+	}
+
+	for round := 0; round < 3; round++ {
+		if err := tree.Step(ctx); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+
+	// Conservation: the caps the leaves actually enforce stay within the
+	// building budget.
+	if caps := tree.TotalLeafCaps(); float64(caps) > float64(tree.Root.Coordinator().Budget())+slack {
+		t.Errorf("leaf caps %v exceed building budget %v", caps, tree.Root.Coordinator().Budget())
+	}
+
+	// Demand flows: every leaf demanded 90 W and should hold close to
+	// its 100 W equal share after the waterfill rounds.
+	for i, l := range tree.Leaves {
+		if l.Limit() < 80*watt {
+			t.Errorf("leaf %d limit %v, want ≥ 80 W of its 100 W share", i, l.Limit())
+		}
+	}
+
+	// The root's aggregate sees the whole subtree.
+	agg := tree.Root.Coordinator().Aggregate()
+	if agg.Leaves != 16 {
+		t.Errorf("root aggregate sees %d leaves, want 16", agg.Leaves)
+	}
+	if agg.Depth != 2 {
+		t.Errorf("root aggregate depth %d, want 2", agg.Depth)
+	}
+	if agg.Children != 4 {
+		t.Errorf("root aggregate children %d, want 4", agg.Children)
+	}
+}
+
+func TestTreeOverHTTPUplinks(t *testing.T) {
+	tree := newTestTree(t, SimTreeConfig{
+		Leaves:      8,
+		Rows:        2,
+		Budget:      800 * watt,
+		Interval:    10 * time.Millisecond,
+		LeaseTTL:    time.Minute,
+		HTTPUplinks: true,
+		Trace:       true,
+	})
+	ctx := context.Background()
+	for round := 0; round < 3; round++ {
+		if err := tree.Step(ctx); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if caps := tree.TotalLeafCaps(); float64(caps) > float64(800)+slack {
+		t.Errorf("leaf caps %v exceed building budget 800", caps)
+	}
+	agg := tree.Root.Coordinator().Aggregate()
+	if agg.Leaves != 8 || agg.Depth != 2 {
+		t.Errorf("root aggregate %+v, want 8 leaves at depth 2", agg)
+	}
+	logs := tree.Logs()
+	if len(logs) != 3 {
+		t.Fatalf("%d trace logs, want 3 (building + 2 rows)", len(logs))
+	}
+	// Round-ID namespaces must be disjoint: every row round carries its
+	// coordinator's base in the top 32 bits.
+	for _, log := range logs {
+		for _, r := range log.Rounds {
+			if r.ID>>32 == 0 {
+				t.Fatalf("round %d in %s log lacks a namespace", r.ID, log.Origin)
+			}
+		}
+	}
+}
+
+// A shrink at the building must not report success until the leaves'
+// acknowledged caps fit under the new budget — and must hold the caps
+// the tree enforces under the shrunk figure afterwards.
+func TestTreeShrinkCascades(t *testing.T) {
+	tree := newTestTree(t, SimTreeConfig{
+		Leaves:   8,
+		Rows:     2,
+		Budget:   800 * watt,
+		Interval: 10 * time.Millisecond,
+		LeaseTTL: time.Minute,
+	})
+	ctx := context.Background()
+	for round := 0; round < 2; round++ {
+		if err := tree.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Root.SetBudget(ctx, 500*watt); err != nil {
+		t.Fatalf("shrink to 500 W: %v", err)
+	}
+	if caps := tree.TotalLeafCaps(); float64(caps) > 500+slack {
+		t.Errorf("leaf caps %v exceed shrunk budget 500", caps)
+	}
+	// Below the floor sum the shrink must refuse outright.
+	if err := tree.Root.SetBudget(ctx, 100*watt); err == nil {
+		t.Error("shrink below the floor sum accepted")
+	}
+}

@@ -25,6 +25,12 @@ type HTTPNode struct {
 	// snapshot, steady state requests deltas.
 	collect bool
 	synced  atomic.Bool
+
+	// follower, when non-nil, switches status RPCs to the delta-encoded
+	// stream: steady-state reports carry only changed fields, and any
+	// inapplicable delta or transport error forces a full resync. The
+	// coordinator serialises rounds, so the follower needs no lock here.
+	follower *powerapi.StatusFollower
 }
 
 // NewHTTPNode builds a transport for a remote node reachable at addr
@@ -48,6 +54,17 @@ func (h *HTTPNode) CollectMetrics() *HTTPNode {
 	return h
 }
 
+// DeltaStatus switches report RPCs to the delta-encoded status stream
+// (see powerapi.StatusFollower): after the first full snapshot the node
+// replies with only the fields that changed since the last report,
+// which is what keeps a thousand-leaf tier tree's uplink traffic flat.
+// Deltas are stateful on the server side, so enable this only when this
+// transport is the node's sole status poller.
+func (h *HTTPNode) DeltaStatus() *HTTPNode {
+	h.follower = &powerapi.StatusFollower{}
+	return h
+}
+
 func (h *HTTPNode) Name() string { return h.name }
 
 func (h *HTTPNode) Report(ctx context.Context) (Report, error) {
@@ -60,7 +77,13 @@ func (h *HTTPNode) Report(ctx context.Context) (Report, error) {
 			mode = powerapi.MetricsDelta
 		}
 	}
-	st, err := h.client.StatusWithMetrics(ctx, mode)
+	var st *powerapi.NodeStatus
+	var err error
+	if h.follower != nil {
+		st, err = h.client.FollowStatus(ctx, h.follower, mode)
+	} else {
+		st, err = h.client.StatusWithMetrics(ctx, mode)
+	}
 	if err != nil {
 		// The reply (and any delta it carried) is lost; resync with a
 		// full snapshot on the next report.

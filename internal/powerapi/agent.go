@@ -1,6 +1,7 @@
 package powerapi
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"mime"
@@ -21,6 +22,59 @@ import (
 // maxBody bounds request bodies; control-plane messages are tiny.
 const maxBody = 1 << 20
 
+// Backend is what an Agent fronts on the control plane: a leaf
+// power-delivery daemon, or — in the datacenter hierarchy — a mid-tier
+// coordinator presenting its whole subtree as one synthetic node.
+type Backend interface {
+	// FillStatus populates the backend-derived fields of a status frame:
+	// policy, limit, power, max, iterations, apps, energy, tier. The
+	// agent fills Node and the lease fields itself.
+	FillStatus(st *NodeStatus)
+
+	// SetLimit applies a power cap: a granted lease's limit, or the
+	// fallback cap on expiry/drain. A mid-tier backend cascades the
+	// budget to its children and, for a shrink, must not return success
+	// until the caps it still holds fit under the new limit — that is
+	// what makes Σ granted ≤ budget recursive. ctx carries the
+	// coordinator round ID for cascade tracing; lease expiry and drain
+	// pass a background context.
+	SetLimit(ctx context.Context, limit units.Watts) error
+}
+
+// FallbackEnforcer is implemented by backends that enforce an expiry
+// or drain fallback differently from a granted cap. A lease grant may
+// be refused; an expiry cannot — the budget is already gone one level
+// up. A mid-tier backend therefore clamps its cascaded budget
+// unconditionally: reachable children shrink in the same call, and
+// unreachable ones hold their old caps only until their own leases
+// lapse, which is what bounds the fallback cascade to one extra TTL
+// per tier. Leaf backends enforce a cap directly and don't need this.
+type FallbackEnforcer interface {
+	EnforceFallback(ctx context.Context, limit units.Watts)
+}
+
+// Reconfigurer is implemented by backends whose configuration can be
+// changed live through the control plane (leaf daemons). policyName is
+// the operator-facing policy name currently in force; the returned name
+// replaces it.
+type Reconfigurer interface {
+	Reconfigure(rc *Reconfigure, policyName string) (*ReconfigureAck, string, error)
+}
+
+// PhaseReporter is implemented by backends that expose the phase
+// breakdown of their last control interval for round tracing.
+type PhaseReporter interface {
+	LastPhases() daemon.PhaseLatencies
+}
+
+// GrantForwarder is implemented by backends that can route a lease
+// grant to a named descendant — mid-tier coordinators that know their
+// children. Batched grant waves use it to multiplex one wave through a
+// single endpoint.
+type GrantForwarder interface {
+	ForwardGrant(ctx context.Context, node string, g *LeaseGrant) (*LeaseAck, error)
+}
+
 // AgentConfig configures a node-side control-plane agent.
 type AgentConfig struct {
 	// Name identifies this node to coordinators and operators.
@@ -31,7 +85,13 @@ type AgentConfig struct {
 	NodeID int16
 
 	// Daemon is the running power-delivery daemon the agent fronts.
+	// Exactly one of Daemon and Backend must be set; a Daemon is wrapped
+	// in the standard leaf backend.
 	Daemon *daemon.Daemon
+
+	// Backend fronts something other than a local daemon — a mid-tier
+	// coordinator in the room→row→building hierarchy.
+	Backend Backend
 
 	// Fallback is the safe cap the node reverts to when its lease expires
 	// without renewal. Defaults to the daemon's limit at agent creation,
@@ -71,10 +131,20 @@ type AgentConfig struct {
 }
 
 // Agent serves the node side of the control plane: it holds the lease
-// state machine and translates wire messages into daemon calls. Mount
+// state machine and translates wire messages into backend calls. Mount
 // Handler() under PathPrefix on the node's observability server.
 type Agent struct {
-	cfg AgentConfig
+	cfg     AgentConfig
+	backend Backend
+
+	// applyMu serialises every operation that changes the enforced cap —
+	// grant, expiry, drain — across its decide-and-apply window, so a
+	// drain's fallback can never be overwritten by a grant that passed
+	// its drain check first, and an expiry's fallback can never land on
+	// top of a newer lease's cap. Always acquired before mu and held
+	// across the backend call; status paths never take it, so a slow
+	// cascaded SetLimit blocks other cap changes but not reads.
+	applyMu sync.Mutex
 
 	mu         sync.Mutex
 	policyName string
@@ -104,6 +174,16 @@ type Agent struct {
 	metricsMu  sync.Mutex
 	metricsRev uint64
 	lastSent   map[string]float64
+
+	// Delta-status encoder state: the last full frame served in delta
+	// mode, the revision counter, and this incarnation's epoch. Like the
+	// metrics piggyback, deltas are relative to the last frame served to
+	// anyone — with several delta pollers, all but one must resync every
+	// time, so point exactly one follower at each agent.
+	deltaMu    sync.Mutex
+	deltaEpoch uint64
+	deltaRev   uint64
+	deltaLast  *NodeStatus
 }
 
 // NewAgent validates the configuration and builds an agent.
@@ -111,19 +191,31 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("powerapi: agent needs a node name")
 	}
-	if cfg.Daemon == nil {
-		return nil, fmt.Errorf("powerapi: agent needs a daemon")
-	}
-	if cfg.PolicyName != "" {
-		if _, err := opconfig.PolicyFor(cfg.PolicyName, cfg.Daemon.Chip(), cfg.Daemon.Apps(), cfg.Daemon.Limit()); err != nil {
-			return nil, fmt.Errorf("powerapi: agent policy name: %w", err)
+	var be Backend
+	switch {
+	case cfg.Daemon != nil && cfg.Backend != nil:
+		return nil, fmt.Errorf("powerapi: agent wants a daemon or a backend, not both")
+	case cfg.Daemon != nil:
+		if cfg.PolicyName != "" {
+			if _, err := opconfig.PolicyFor(cfg.PolicyName, cfg.Daemon.Chip(), cfg.Daemon.Apps(), cfg.Daemon.Limit()); err != nil {
+				return nil, fmt.Errorf("powerapi: agent policy name: %w", err)
+			}
 		}
+		be = daemonBackend{d: cfg.Daemon, ledger: cfg.Ledger}
+	case cfg.Backend != nil:
+		be = cfg.Backend
+	default:
+		return nil, fmt.Errorf("powerapi: agent needs a daemon or a backend")
 	}
 	if cfg.Fallback < 0 {
 		return nil, fmt.Errorf("powerapi: negative fallback cap %v", cfg.Fallback)
 	}
 	if cfg.Fallback == 0 {
-		cfg.Fallback = cfg.Daemon.Limit()
+		// Default to whatever limit the backend is enforcing right now,
+		// so an agent that never hears from a coordinator keeps it.
+		var st NodeStatus
+		be.FillStatus(&st)
+		cfg.Fallback = units.Watts(st.LimitWatts)
 	}
 	if cfg.NodeID == 0 {
 		cfg.NodeID = -1
@@ -133,8 +225,13 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	a := &Agent{
 		cfg:        cfg,
+		backend:    be,
 		policyName: cfg.PolicyName,
 		fallback:   cfg.Fallback,
+		// The wall clock at construction distinguishes agent
+		// incarnations, so a follower that was tracking a restarted
+		// agent sees the epoch change and resyncs.
+		deltaEpoch: uint64(cfg.now().UnixNano()),
 	}
 	if reg := cfg.Metrics; reg != nil {
 		a.mRequests = reg.CounterVec("powerapi_requests_total", "Control-plane requests served, by endpoint.", "endpoint")
@@ -144,6 +241,9 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	return a, nil
 }
+
+// Name reports the node name the agent identifies itself with.
+func (a *Agent) Name() string { return a.cfg.Name }
 
 // record emits one lease/reconfigure flight event stamped with the node id.
 func (a *Agent) record(kind flight.Kind, arg uint32, value, aux uint64) {
@@ -165,6 +265,7 @@ func (a *Agent) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathPrefix+"status", a.serveStatus)
 	mux.HandleFunc(PathPrefix+"lease", a.serveLease)
+	mux.HandleFunc(PathPrefix+"lease_batch", a.serveLeaseBatch)
 	mux.HandleFunc(PathPrefix+"reconfigure", a.serveReconfigure)
 	mux.HandleFunc(PathPrefix+"drain", a.serveDrain)
 	return mux
@@ -242,21 +343,25 @@ func queryRound(r *http.Request) uint64 {
 	return round
 }
 
-// Status snapshots the node's control-plane state. The daemon fields
-// come from one StatusView — a single lock acquisition on the control
-// loop — so the reported policy, limit, apps, and snapshot always
-// belong to the same interval even while a reconfiguration is applied.
-func (a *Agent) Status() *NodeStatus {
-	d := a.cfg.Daemon
-	view := d.StatusView()
-	st := &NodeStatus{
-		Node:       a.cfg.Name,
-		Policy:     view.Policy,
-		LimitWatts: float64(view.Limit),
-		PowerWatts: float64(view.Snapshot.PackagePower),
-		MaxWatts:   float64(d.Chip().RAPLMax),
-		Iterations: view.Iterations,
-	}
+// daemonBackend is the standard leaf backend: a local power-delivery
+// daemon, optionally paired with its energy ledger.
+type daemonBackend struct {
+	d      *daemon.Daemon
+	ledger *ledger.Ledger
+}
+
+// FillStatus snapshots the daemon's control-plane state. The daemon
+// fields come from one StatusView — a single lock acquisition on the
+// control loop — so the reported policy, limit, apps, and snapshot
+// always belong to the same interval even while a reconfiguration is
+// applied.
+func (b daemonBackend) FillStatus(st *NodeStatus) {
+	view := b.d.StatusView()
+	st.Policy = view.Policy
+	st.LimitWatts = float64(view.Limit)
+	st.PowerWatts = float64(view.Snapshot.PackagePower)
+	st.MaxWatts = float64(b.d.Chip().RAPLMax)
+	st.Iterations = view.Iterations
 	coreWatts := make(map[int]float64, len(view.Snapshot.Apps))
 	for _, as := range view.Snapshot.Apps {
 		coreWatts[as.Spec.Core] = float64(as.Power)
@@ -270,9 +375,24 @@ func (a *Agent) Status() *NodeStatus {
 		}
 		st.Apps = append(st.Apps, as)
 	}
-	if a.cfg.Ledger != nil {
-		st.Energy = energyStatus(a.cfg.Ledger)
+	if b.ledger != nil {
+		st.Energy = energyStatus(b.ledger)
 	}
+}
+
+func (b daemonBackend) SetLimit(_ context.Context, limit units.Watts) error {
+	return b.d.SetLimit(limit)
+}
+
+func (b daemonBackend) LastPhases() daemon.PhaseLatencies {
+	return b.d.LastPhases()
+}
+
+// Status snapshots the node's control-plane state: the backend view
+// plus the agent's own lease state.
+func (a *Agent) Status() *NodeStatus {
+	st := &NodeStatus{Node: a.cfg.Name}
+	a.backend.FillStatus(st)
 	a.mu.Lock()
 	st.FallbackWatts = float64(a.fallback)
 	st.Draining = a.draining
@@ -363,17 +483,19 @@ func (a *Agent) traceRound(round uint64, name string, start time.Duration) {
 	b.SetStart(start)
 	end := tr.Now()
 	b.Span(name, "", start, end, nil)
-	if ph := a.cfg.Daemon.LastPhases(); ph.Interval != 0 {
-		b.SetInterval(ph.Interval)
-		// The phases ran asynchronously inside the control loop; they
-		// are laid out back-to-back after the handling span so the
-		// merged timeline shows the pipeline the round observed.
-		t := end
-		b.Span("sample", "", t, t+ph.Sample, nil)
-		t += ph.Sample
-		b.Span("decide", "", t, t+ph.Decide, nil)
-		t += ph.Decide
-		b.Span("actuate", "", t, t+ph.Actuate, nil)
+	if pr, ok := a.backend.(PhaseReporter); ok {
+		if ph := pr.LastPhases(); ph.Interval != 0 {
+			b.SetInterval(ph.Interval)
+			// The phases ran asynchronously inside the control loop; they
+			// are laid out back-to-back after the handling span so the
+			// merged timeline shows the pipeline the round observed.
+			t := end
+			b.Span("sample", "", t, t+ph.Sample, nil)
+			t += ph.Sample
+			b.Span("decide", "", t, t+ph.Decide, nil)
+			t += ph.Decide
+			b.Span("actuate", "", t, t+ph.Actuate, nil)
+		}
 	}
 	b.End()
 }
@@ -392,6 +514,13 @@ func (a *Agent) serveStatus(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "metrics mode %q, want full or delta", mode)
 		return
 	}
+	enc := r.URL.Query().Get("status")
+	switch enc {
+	case "", StatusEncDelta:
+	default:
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "status encoding %q, want delta or unset", enc)
+		return
+	}
 	round := queryRound(r)
 	start := a.cfg.Tracer.Now()
 	st := a.Status()
@@ -399,15 +528,110 @@ func (a *Agent) serveStatus(w http.ResponseWriter, r *http.Request) {
 		st.MetricsRev, st.Metrics = a.metricsSnapshot(mode)
 	}
 	a.traceRound(round, "receive", start)
+	if enc == StatusEncDelta {
+		resync := r.URL.Query().Get("resync") != ""
+		writeMsgRound(w, http.StatusOK, a.statusDelta(st, resync), round)
+		return
+	}
 	writeMsgRound(w, http.StatusOK, st, round)
+}
+
+// statusDelta encodes one delta-mode status frame: a full resync frame
+// when asked for (or when there is nothing to diff against), a
+// changed-fields delta otherwise.
+func (a *Agent) statusDelta(st *NodeStatus, resync bool) *StatusDelta {
+	a.deltaMu.Lock()
+	defer a.deltaMu.Unlock()
+	a.deltaRev++
+	var d *StatusDelta
+	if resync || a.deltaLast == nil {
+		d = &StatusDelta{V: DeltaVersion, Node: st.Node, Full: st}
+	} else {
+		d = DiffStatus(a.deltaLast, st)
+		d.Base = a.deltaRev - 1
+		d.MetricsRev, d.Metrics = st.MetricsRev, st.Metrics
+	}
+	d.Epoch = a.deltaEpoch
+	d.Rev = a.deltaRev
+	// The stored baseline never holds metrics: they are their own delta
+	// stream and must not be diffed again.
+	a.deltaLast = cloneStatus(st)
+	a.deltaLast.MetricsRev, a.deltaLast.Metrics = 0, nil
+	return d
+}
+
+// ApplyBatch applies one grant wave: entries addressed to this agent
+// apply locally; entries addressed to other nodes are routed through
+// the backend when it can forward (a mid-tier coordinator), and fail
+// with unknown_node otherwise. Entry failures ride inside the ack.
+func (a *Agent) ApplyBatch(ctx context.Context, b *GrantBatch) *GrantBatchAck {
+	fwd, _ := a.backend.(GrantForwarder)
+	ack := &GrantBatchAck{Acks: make([]NamedAck, 0, len(b.Grants))}
+	for i := range b.Grants {
+		ng := &b.Grants[i]
+		g := ng.Grant
+		if g.Coordinator == "" {
+			g.Coordinator = b.Coordinator
+		}
+		var (
+			la  *LeaseAck
+			err error
+		)
+		switch {
+		case ng.Node == "" || ng.Node == a.cfg.Name:
+			la, err = a.GrantCtx(ctx, &g)
+		case fwd != nil:
+			la, err = fwd.ForwardGrant(ctx, ng.Node, &g)
+		default:
+			err = &ErrorReply{Code: CodeUnknownNode,
+				Message: fmt.Sprintf("node %s cannot route grants to %q", a.cfg.Name, ng.Node)}
+		}
+		na := NamedAck{Node: ng.Node, Ack: la}
+		if err != nil {
+			na.Ack = nil
+			if er, ok := err.(*ErrorReply); ok {
+				na.Err = er
+			} else {
+				na.Err = &ErrorReply{Code: CodeInternal, Message: err.Error()}
+			}
+		}
+		ack.Acks = append(ack.Acks, na)
+	}
+	return ack
+}
+
+func (a *Agent) serveLeaseBatch(w http.ResponseWriter, r *http.Request) {
+	a.mRequests.With("lease_batch").Inc()
+	msg, round, ok := readMsg(w, r, KindGrantBatch)
+	if !ok {
+		return
+	}
+	start := a.cfg.Tracer.Now()
+	ctx := r.Context()
+	if round != 0 {
+		ctx = WithRound(ctx, round)
+	}
+	ack := a.ApplyBatch(ctx, msg.(*GrantBatch))
+	a.traceRound(round, "grant", start)
+	writeMsgRound(w, http.StatusOK, ack, round)
 }
 
 // Grant applies a budget lease: enforce the granted cap now, fall back to
 // the grant's fallback cap if no renewal arrives within the TTL.
 func (a *Agent) Grant(g *LeaseGrant) (*LeaseAck, error) {
+	return a.GrantCtx(context.Background(), g)
+}
+
+// GrantCtx is Grant with the caller's context threaded into the
+// backend's SetLimit. A round-stamped context lets a mid-tier backend
+// record its cascaded child grants under the parent's round ID, which
+// is what joins the cross-tier merged timeline.
+func (a *Agent) GrantCtx(ctx context.Context, g *LeaseGrant) (*LeaseAck, error) {
 	limit := units.Watts(g.LimitWatts)
 	ttl := time.Duration(g.TTLMS) * time.Millisecond
 
+	a.applyMu.Lock()
+	defer a.applyMu.Unlock()
 	a.mu.Lock()
 	if a.draining {
 		a.mu.Unlock()
@@ -449,7 +673,10 @@ func (a *Agent) Grant(g *LeaseGrant) (*LeaseAck, error) {
 	a.timer = time.AfterFunc(ttl, func() { a.expire(epoch) })
 	a.mu.Unlock()
 
-	if err := a.cfg.Daemon.SetLimit(limit); err != nil {
+	// The cap is applied outside the lease lock: a mid-tier backend's
+	// SetLimit cascades a shrink wave to its children, which may take a
+	// child round-trip.
+	if err := a.backend.SetLimit(ctx, limit); err != nil {
 		a.mu.Lock()
 		a.leaseActive = false
 		if a.timer != nil {
@@ -475,6 +702,8 @@ func (a *Agent) Grant(g *LeaseGrant) (*LeaseAck, error) {
 // reverts to its fallback cap on its own, so a partition cannot leave it
 // holding an oversized share of the room budget.
 func (a *Agent) expire(epoch uint64) {
+	a.applyMu.Lock()
+	defer a.applyMu.Unlock()
 	a.mu.Lock()
 	if epoch != a.epoch || !a.leaseActive {
 		a.mu.Unlock()
@@ -488,7 +717,9 @@ func (a *Agent) expire(epoch uint64) {
 	a.mLease.With("expire").Inc()
 	a.mLeaseW.Set(0)
 	a.record(flight.KindLease, flight.LeaseExpire, microwatts(old), microwatts(old))
-	if err := a.cfg.Daemon.SetLimit(fallback); err != nil {
+	if fe, ok := a.backend.(FallbackEnforcer); ok {
+		fe.EnforceFallback(context.Background(), fallback)
+	} else if err := a.backend.SetLimit(context.Background(), fallback); err != nil {
 		// The old cap stays enforced: safe, just not the fallback.
 		return
 	}
@@ -503,7 +734,11 @@ func (a *Agent) serveLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := a.cfg.Tracer.Now()
-	ack, err := a.Grant(msg.(*LeaseGrant))
+	ctx := r.Context()
+	if round != 0 {
+		ctx = WithRound(ctx, round)
+	}
+	ack, err := a.GrantCtx(ctx, msg.(*LeaseGrant))
 	a.traceRound(round, "grant", start)
 	if err != nil {
 		status := http.StatusConflict
@@ -516,28 +751,47 @@ func (a *Agent) serveLease(w http.ResponseWriter, r *http.Request) {
 	writeMsgRound(w, http.StatusOK, ack, round)
 }
 
-// ApplyReconfigure translates a wire reconfiguration into a daemon
-// Reconfigure: share/priority overrides are resolved against the current
-// app set by name, and the policy is rebuilt through the same factory the
-// config loader uses, so live changes face construction-grade validation.
+// ApplyReconfigure hands a wire reconfiguration to the backend when it
+// supports live reconfiguration (leaf daemons do; tiers don't).
 func (a *Agent) ApplyReconfigure(rc *Reconfigure) (*ReconfigureAck, error) {
-	d := a.cfg.Daemon
-
+	rb, ok := a.backend.(Reconfigurer)
+	if !ok {
+		return nil, &ErrorReply{Code: CodeInvalid,
+			Message: fmt.Sprintf("node %s does not support live reconfiguration", a.cfg.Name)}
+	}
 	a.mu.Lock()
 	polName := a.policyName
 	a.mu.Unlock()
+	ack, newName, err := rb.Reconfigure(rc, polName)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	a.policyName = newName
+	a.mu.Unlock()
+	a.mReconfig.Inc()
+	return ack, nil
+}
+
+// Reconfigure translates a wire reconfiguration into a daemon
+// Reconfigure: share/priority overrides are resolved against the current
+// app set by name, and the policy is rebuilt through the same factory the
+// config loader uses, so live changes face construction-grade validation.
+func (b daemonBackend) Reconfigure(rc *Reconfigure, polName string) (*ReconfigureAck, string, error) {
+	d := b.d
+
 	if rc.Policy != "" {
 		polName = rc.Policy
 	}
 	if polName == "" {
-		return nil, &ErrorReply{Code: CodeInvalid,
+		return nil, "", &ErrorReply{Code: CodeInvalid,
 			Message: "agent has no operator policy name; set one at startup to allow policy rebuilds"}
 	}
 
 	limit := d.Limit()
 	if rc.LimitWatts != 0 {
 		if rc.LimitWatts < 0 {
-			return nil, &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("limit %v W", rc.LimitWatts)}
+			return nil, "", &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("limit %v W", rc.LimitWatts)}
 		}
 		limit = units.Watts(rc.LimitWatts)
 	}
@@ -552,23 +806,23 @@ func (a *Agent) ApplyReconfigure(rc *Reconfigure) (*ReconfigureAck, error) {
 		for name, shares := range rc.Shares {
 			i, ok := byName[name]
 			if !ok {
-				return nil, &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("no app %q", name)}
+				return nil, "", &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("no app %q", name)}
 			}
 			if shares <= 0 {
-				return nil, &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("app %q shares %d", name, shares)}
+				return nil, "", &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("app %q shares %d", name, shares)}
 			}
 			specs[i].Shares = units.Shares(shares)
 		}
 		for name, prio := range rc.Priorities {
 			i, ok := byName[name]
 			if !ok {
-				return nil, &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("no app %q", name)}
+				return nil, "", &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("no app %q", name)}
 			}
 			switch prio {
 			case "hp", "lp":
 				specs[i].HighPriority = prio == "hp"
 			default:
-				return nil, &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("app %q priority %q, want hp or lp", name, prio)}
+				return nil, "", &ErrorReply{Code: CodeInvalid, Message: fmt.Sprintf("app %q priority %q, want hp or lp", name, prio)}
 			}
 		}
 	}
@@ -580,7 +834,7 @@ func (a *Agent) ApplyReconfigure(rc *Reconfigure) (*ReconfigureAck, error) {
 	if rc.Policy != "" || specsChanged {
 		pol, err := opconfig.PolicyFor(polName, d.Chip(), specs, limit)
 		if err != nil {
-			return nil, &ErrorReply{Code: CodeInvalid, Message: err.Error()}
+			return nil, "", &ErrorReply{Code: CodeInvalid, Message: err.Error()}
 		}
 		drc.Policy = pol
 		if specsChanged {
@@ -588,13 +842,9 @@ func (a *Agent) ApplyReconfigure(rc *Reconfigure) (*ReconfigureAck, error) {
 		}
 	}
 	if err := d.Reconfigure(drc); err != nil {
-		return nil, &ErrorReply{Code: CodeInvalid, Message: err.Error()}
+		return nil, "", &ErrorReply{Code: CodeInvalid, Message: err.Error()}
 	}
-	a.mu.Lock()
-	a.policyName = polName
-	a.mu.Unlock()
-	a.mReconfig.Inc()
-	return &ReconfigureAck{Policy: d.PolicyName(), LimitWatts: float64(d.Limit())}, nil
+	return &ReconfigureAck{Policy: d.PolicyName(), LimitWatts: float64(d.Limit())}, polName, nil
 }
 
 func (a *Agent) serveReconfigure(w http.ResponseWriter, r *http.Request) {
@@ -614,6 +864,8 @@ func (a *Agent) serveReconfigure(w http.ResponseWriter, r *http.Request) {
 // SetDrain toggles drain mode. Draining cancels any held lease, drops the
 // node to its fallback cap, and refuses new leases until undrained.
 func (a *Agent) SetDrain(on bool) (*DrainAck, error) {
+	a.applyMu.Lock()
+	defer a.applyMu.Unlock()
 	a.mu.Lock()
 	was := a.draining
 	a.draining = on
@@ -633,7 +885,9 @@ func (a *Agent) SetDrain(on bool) (*DrainAck, error) {
 		if hadLease {
 			a.mLeaseW.Set(0)
 		}
-		if err := a.cfg.Daemon.SetLimit(fallback); err != nil {
+		if fe, ok := a.backend.(FallbackEnforcer); ok {
+			fe.EnforceFallback(context.Background(), fallback)
+		} else if err := a.backend.SetLimit(context.Background(), fallback); err != nil {
 			return nil, &ErrorReply{Code: CodeInternal, Message: err.Error()}
 		}
 	}

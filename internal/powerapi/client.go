@@ -123,6 +123,65 @@ func (c *Client) StatusWithMetrics(ctx context.Context, mode string) (*NodeStatu
 	return reply.(*NodeStatus), nil
 }
 
+// StatusEncDelta asks the status endpoint for a delta-encoded frame.
+const StatusEncDelta = "delta"
+
+// StatusDelta fetches one delta-encoded status frame. resync forces a
+// full frame; use it on first contact and whenever the follower lost
+// sync. Most callers want FollowStatus instead.
+func (c *Client) StatusDelta(ctx context.Context, metricsMode string, resync bool) (*StatusDelta, error) {
+	path := PathPrefix + "status?status=" + StatusEncDelta
+	if metricsMode != MetricsNone {
+		path += "&metrics=" + metricsMode
+	}
+	if resync {
+		path += "&resync=1"
+	}
+	reply, err := c.roundTrip(ctx, http.MethodGet, path, nil, KindStatusDelta)
+	if err != nil {
+		return nil, err
+	}
+	return reply.(*StatusDelta), nil
+}
+
+// FollowStatus fetches the node's status through a delta follower: a
+// delta frame on the steady path, a full resync frame when the
+// follower is unsynchronized, and one automatic resync retry when a
+// delta frame turns out inapplicable (missed revision, restarted
+// agent, foreign delta version). Transport failures reset the follower
+// — the lost response also lost the delta it carried.
+func (c *Client) FollowStatus(ctx context.Context, f *StatusFollower, metricsMode string) (*NodeStatus, error) {
+	resync := !f.Synced()
+	d, err := c.StatusDelta(ctx, metricsMode, resync)
+	if err != nil {
+		f.Reset()
+		return nil, err
+	}
+	st, err := f.Apply(d)
+	if err == nil {
+		return st, nil
+	}
+	if resync {
+		return nil, err
+	}
+	// The delta chain broke; one full frame re-anchors it.
+	d, err = c.StatusDelta(ctx, metricsMode, true)
+	if err != nil {
+		f.Reset()
+		return nil, err
+	}
+	return f.Apply(d)
+}
+
+// LeaseBatch applies one grant wave through the node's batch endpoint.
+func (c *Client) LeaseBatch(ctx context.Context, b *GrantBatch) (*GrantBatchAck, error) {
+	reply, err := c.roundTrip(ctx, http.MethodPost, PathPrefix+"lease_batch", b, KindGrantBatchAck)
+	if err != nil {
+		return nil, err
+	}
+	return reply.(*GrantBatchAck), nil
+}
+
 // Lease extends a budget grant to the node.
 func (c *Client) Lease(ctx context.Context, g *LeaseGrant) (*LeaseAck, error) {
 	reply, err := c.roundTrip(ctx, http.MethodPost, PathPrefix+"lease", g, KindLeaseAck)

@@ -56,8 +56,11 @@ type Envelope struct {
 // Message kinds. The registry below maps each to its body type.
 const (
 	KindStatus         = "status"
+	KindStatusDelta    = "status_delta"
 	KindLeaseGrant     = "lease_grant"
 	KindLeaseAck       = "lease_ack"
+	KindGrantBatch     = "grant_batch"
+	KindGrantBatchAck  = "grant_batch_ack"
 	KindReconfigure    = "reconfigure"
 	KindReconfigureAck = "reconfigure_ack"
 	KindDrain          = "drain"
@@ -95,6 +98,10 @@ type NodeStatus struct {
 	// runs one, so the coordinator can roll up fleet-wide joules, cost,
 	// and anomalies from the status poll it already makes.
 	Energy *EnergyStatus `json:"energy,omitempty"`
+
+	// Tier is set when this "node" is a mid-tier coordinator (a row or
+	// building) reporting its whole subtree as one synthetic node.
+	Tier *TierStatus `json:"tier,omitempty"`
 }
 
 // EnergyStatus is a node's cumulative energy-ledger summary. The *UJ
@@ -241,8 +248,11 @@ func (e *ErrorReply) Error() string {
 // single registry Marshal, Unmarshal, and the fuzz target all share.
 var kinds = map[string]func() any{
 	KindStatus:         func() any { return &NodeStatus{} },
+	KindStatusDelta:    func() any { return &StatusDelta{} },
 	KindLeaseGrant:     func() any { return &LeaseGrant{} },
 	KindLeaseAck:       func() any { return &LeaseAck{} },
+	KindGrantBatch:     func() any { return &GrantBatch{} },
+	KindGrantBatchAck:  func() any { return &GrantBatchAck{} },
 	KindReconfigure:    func() any { return &Reconfigure{} },
 	KindReconfigureAck: func() any { return &ReconfigureAck{} },
 	KindDrain:          func() any { return &Drain{} },
@@ -260,10 +270,16 @@ func KindOf(msg any) string {
 	switch msg.(type) {
 	case *NodeStatus:
 		return KindStatus
+	case *StatusDelta:
+		return KindStatusDelta
 	case *LeaseGrant:
 		return KindLeaseGrant
 	case *LeaseAck:
 		return KindLeaseAck
+	case *GrantBatch:
+		return KindGrantBatch
+	case *GrantBatchAck:
+		return KindGrantBatchAck
 	case *Reconfigure:
 		return KindReconfigure
 	case *ReconfigureAck:

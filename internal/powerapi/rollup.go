@@ -1,0 +1,57 @@
+package powerapi
+
+// Accumulate folds another node's energy summary into this one — the
+// subtree rollup a mid-tier coordinator reports upward. Counters and
+// joule figures sum exactly (the *UJ fields are integers for this);
+// ElapsedSeconds takes the longest-running child, matching how the
+// fleet rollup bounds a budget over wall-clock. Apps merge by name, so
+// "gcc on 40 nodes" surfaces as one line with summed energy; anomaly
+// counts merge by detector.
+func (e *EnergyStatus) Accumulate(src *EnergyStatus) {
+	if src == nil {
+		return
+	}
+	if src.ElapsedSeconds > e.ElapsedSeconds {
+		e.ElapsedSeconds = src.ElapsedSeconds
+	}
+	e.Intervals += src.Intervals
+	e.OverIntervals += src.OverIntervals
+	e.TotalUJ += src.TotalUJ
+	e.UnattributedUJ += src.UnattributedUJ
+	e.ExcludedUJ += src.ExcludedUJ
+	e.OvershootUJ += src.OvershootUJ
+	e.TotalJoules += src.TotalJoules
+	e.OvershootJoules += src.OvershootJoules
+	e.CostUSD += src.CostUSD
+	e.CarbonGrams += src.CarbonGrams
+	for _, app := range src.Apps {
+		merged := false
+		for i := range e.Apps {
+			if e.Apps[i].Name == app.Name {
+				e.Apps[i].TotalUJ += app.TotalUJ
+				e.Apps[i].Joules += app.Joules
+				// Fractions are per-node figures; a subtree-wide
+				// fraction is recomputed from the summed energy.
+				e.Apps[i].EnergyFrac = 0
+				e.Apps[i].ShareFrac = 0
+				e.Apps[i].Core = -1
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			e.Apps = append(e.Apps, app)
+		}
+	}
+	if e.TotalUJ > 0 {
+		for i := range e.Apps {
+			e.Apps[i].EnergyFrac = float64(e.Apps[i].TotalUJ) / float64(e.TotalUJ)
+		}
+	}
+	if len(src.Anomalies) > 0 && e.Anomalies == nil {
+		e.Anomalies = make(map[string]uint64, len(src.Anomalies))
+	}
+	for k, v := range src.Anomalies {
+		e.Anomalies[k] += v
+	}
+}

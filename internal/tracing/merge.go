@@ -70,6 +70,9 @@ type Timeline struct {
 	Stragglers []StragglerStat `json:"stragglers,omitempty"`
 	// GapRounds counts rounds with at least one partition-induced gap.
 	GapRounds int `json:"gap_rounds,omitempty"`
+	// Tiers holds the merged timelines of mid-tier coordinators found
+	// among the node logs (see MergeTree) — absent for flat rooms.
+	Tiers []Timeline `json:"tiers,omitempty"`
 }
 
 // StragglerIn applies the straggler rule to one round's report
@@ -92,6 +95,66 @@ func StragglerIn(latencies []time.Duration) int {
 		return at
 	}
 	return -1
+}
+
+// IsCoordinator reports whether a log contains coordinator-side rounds
+// — rounds with per-node report spans. This is how MergeTree tells a
+// mid-tier coordinator's log from a leaf node's: a tier records both
+// its agent's node-side rounds (under its parent's round IDs) and its
+// own coordination rounds (under its own namespace) into one tracer.
+func (l Log) IsCoordinator() bool {
+	for _, r := range l.Rounds {
+		if roundCoordinates(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// roundCoordinates reports whether a round is coordinator-side: it
+// carries per-node report spans or a planning span, rather than the
+// receive/apply spans a node records about its own uplink traffic.
+func roundCoordinates(r Round) bool {
+	for _, s := range r.Spans {
+		if (s.Name == "report" && s.Node != "") || s.Name == "plan" {
+			return true
+		}
+	}
+	return false
+}
+
+// MergeTree joins the logs of a whole coordination tree into one
+// cross-tier timeline: the root's merged rounds at the top and, under
+// Tiers, one merged timeline per mid-tier coordinator log found among
+// the node logs, each joined against every remaining log. Round-ID
+// namespaces (cluster.Config.RoundBase) keep the tiers' rounds
+// disjoint, so a leaf's records join only the tier that actually
+// coordinated it. Tiers are listed flat — the logs alone do not record
+// parentage — and a flat room (no coordinator logs among the nodes)
+// yields a Timeline identical to Merge's.
+func MergeTree(coord Log, rest []Log) Timeline {
+	tl := Merge(coord, rest)
+	for i, l := range rest {
+		if !l.IsCoordinator() {
+			continue
+		}
+		// Only the log's coordinator-side rounds belong in its
+		// sub-timeline; its agent-side rounds (receive/grant under the
+		// parent's round IDs) already joined the parent's rounds above.
+		sub := Log{Origin: l.Origin}
+		for _, r := range l.Rounds {
+			if roundCoordinates(r) {
+				sub.Rounds = append(sub.Rounds, r)
+			}
+		}
+		others := make([]Log, 0, len(rest)-1)
+		others = append(others, rest[:i]...)
+		others = append(others, rest[i+1:]...)
+		if stl := Merge(sub, others); len(stl.Rounds) > 0 {
+			tl.Tiers = append(tl.Tiers, stl)
+		}
+	}
+	return tl
 }
 
 // Merge joins a coordinator log with node logs by round ID, flagging

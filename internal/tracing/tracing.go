@@ -17,11 +17,27 @@ package tracing
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"sync"
 	"time"
 )
+
+// RoundIDBase derives a disjoint round-ID namespace from a coordinator
+// name: the FNV-1a hash of the name shifted into the top 32 bits. Each
+// coordinator in a tier tree mints rounds as base + counter, so logs
+// from a whole building merge without ID collisions while the low bits
+// stay a readable per-coordinator counter. The empty name maps to 0 —
+// the flat single-coordinator namespace.
+func RoundIDBase(origin string) uint64 {
+	if origin == "" {
+		return 0
+	}
+	h := fnv.New32a()
+	io.WriteString(h, origin)
+	return uint64(h.Sum32()) << 32
+}
 
 // DefaultCapacity is the ring size used when New is given a
 // non-positive capacity: enough for a few minutes of one-second rounds
