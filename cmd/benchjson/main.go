@@ -79,6 +79,16 @@ func runGenerate(dir string, smoke bool) error {
 		return err
 	}
 	loop.Entries = append(loop.Entries, ledgerEntries...)
+	svcEntries, err := bench.SvcTrajectory(smoke)
+	if err != nil {
+		return err
+	}
+	loop.Entries = append(loop.Entries, svcEntries...)
+	sloEntries, err := bench.SLOLoopTrajectory(smoke)
+	if err != nil {
+		return err
+	}
+	loop.Entries = append(loop.Entries, sloEntries...)
 	path = filepath.Join(dir, "BENCH_loop.json")
 	if err := loop.WriteFile(path); err != nil {
 		return err

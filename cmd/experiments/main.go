@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, tables, 1-13, or one of stability, useful, gaming-perf, gaming-freq, clustering, interval, consolidation, chaos")
+	figure := flag.String("figure", "all", "which figure to regenerate: all, tables, 1-13, or one of stability, useful, gaming-perf, gaming-freq, clustering, interval, consolidation, chaos, slo")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	traceDir := flag.String("tracedir", "", "also write each run's per-iteration CSV time series into this directory")
 	flag.Parse()
@@ -69,6 +69,7 @@ func run(figure string, csv bool) error {
 		{"clustering", wrap(func() (tabler, error) { r, err := experiments.AblationClustering(); return r, err })},
 		{"interval", wrap(func() (tabler, error) { r, err := experiments.AblationInterval(); return r, err })},
 		{"consolidation", wrap(func() (tabler, error) { r, err := experiments.ConsolidationStudy(); return r, err })},
+		{"slo", wrap(func() (tabler, error) { r, err := experiments.SLOStudy(); return r, err })},
 		{"chaos", wrap(func() (tabler, error) { r, err := experiments.ChaosStudy(); return r, err })},
 	}
 

@@ -297,6 +297,20 @@ func top(ctx context.Context, coord string) error {
 		}
 	}
 
+	if fs.SLOTotal > 0 {
+		fmt.Printf("\nslo attainment: %d/%d service instances meeting p99 (%.0f%%)\n",
+			fs.SLOMet, fs.SLOTotal, 100*fs.SLOAttainment)
+		fmt.Printf("%-12s %6s %6s %12s %10s %10s\n", "SERVICE", "NODES", "MET", "WORST p99", "TARGET", "RATE")
+		for _, s := range fs.SLOServices {
+			target := "-"
+			if s.TargetMS > 0 {
+				target = fmt.Sprintf("%.2fms", s.TargetMS)
+			}
+			fmt.Printf("%-12s %6d %6d %10.2fms %10s %8.4g/s\n",
+				s.Name, s.Nodes, s.MetNodes, s.WorstP99MS, target, s.Rate)
+		}
+	}
+
 	if len(fs.LeaseEvents) > 0 {
 		events := make([]string, 0, len(fs.LeaseEvents))
 		for ev := range fs.LeaseEvents {
@@ -412,6 +426,22 @@ func status(ctx context.Context, c *powerapi.Client) error {
 	}
 	for _, a := range st.Apps {
 		fmt.Printf("app        %-10s core %-3d shares %-4d %s\n", a.Name, a.Core, a.Shares, a.Priority)
+	}
+	if s := st.SLO; s != nil {
+		for _, svc := range s.Services {
+			verdict := "met"
+			if !svc.Met {
+				verdict = "MISSED"
+			}
+			target := "no target"
+			if svc.TargetMS > 0 {
+				target = fmt.Sprintf("target %.2fms (%s)", svc.TargetMS, verdict)
+			}
+			fmt.Printf("slo        %-10s p50 %.2fms p90 %.2fms p99 %.2fms  %s\n",
+				svc.Name, svc.P50MS, svc.P90MS, svc.P99MS, target)
+			fmt.Printf("           rate %.4g/s queue %d dropped %d timeouts %d\n",
+				svc.Rate, svc.QueueLen, svc.Dropped, svc.Timeouts)
+		}
 	}
 	if e := st.Energy; e != nil {
 		fmt.Printf("energy     %.5g J over %.4gs (%d intervals, %d over limit)\n",

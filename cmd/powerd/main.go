@@ -44,6 +44,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/powerapi"
 	"repro/internal/sim"
+	"repro/internal/svc"
 	"repro/internal/trace"
 	"repro/internal/tracing"
 	"repro/internal/units"
@@ -65,6 +66,13 @@ type runOpts struct {
 	faults    fault.Schedule
 	faultSeed int64
 	rates     ledger.RateSchedule
+
+	// services are the latency services a -config file declared SLOs
+	// for; their cores are driven by the service model, not a pinned
+	// workload profile, and sloTargets are the live p99 objectives the
+	// daemon stamps onto their telemetry.
+	services   []svc.Config
+	sloTargets []core.SLOTarget
 }
 
 func main() {
@@ -160,6 +168,10 @@ func runConfig(path string, opts runOpts) error {
 	if err != nil {
 		return err
 	}
+	if opts.services, err = cfg.BuildServices(); err != nil {
+		return err
+	}
+	opts.sloTargets = cfg.SLOTargets()
 	return drive(chip, specs, pol, cfg.Policy, cfg.Limit(), cfg.Interval(), opts)
 }
 
@@ -241,9 +253,30 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 	if err != nil {
 		return err
 	}
+	// Latency-service cores are pinned by the service model below, not a
+	// workload profile — their "app" entries only exist to give the
+	// policy shares and core ownership.
+	svcCores := make(map[int]bool)
+	for _, sc := range opts.services {
+		for _, c := range sc.Cores {
+			svcCores[c] = true
+		}
+	}
 	for i := range specs {
+		if svcCores[specs[i].Core] {
+			continue
+		}
 		p := workload.MustByName(specs[i].Name)
 		if err := m.Pin(workload.NewInstance(p), specs[i].Core); err != nil {
+			return err
+		}
+	}
+	var svcModel *svc.Model
+	if len(opts.services) > 0 {
+		if svcModel, err = svc.NewModel(opts.services...); err != nil {
+			return err
+		}
+		if err := svcModel.Attach(m); err != nil {
 			return err
 		}
 	}
@@ -276,6 +309,10 @@ func drive(chip platform.Chip, specs []core.AppSpec, pol core.Policy, policy str
 		Chip: chip, Policy: pol, Apps: specs, Limit: limit, Interval: interval,
 		Metrics: reg, Journal: journal, Flight: rec, Triggers: opts.triggers,
 		Ledger: led,
+	}
+	if svcModel != nil {
+		dcfg.SLO = svcModel
+		dcfg.SLOTargets = opts.sloTargets
 	}
 	if inj != nil {
 		dcfg.Resilience = &daemon.Resilience{}
@@ -462,6 +499,27 @@ loop:
 		sum.TotalJoules, sum.OvershootJoules,
 		float64(sum.UnattributedUJ)/1e6, float64(sum.ExcludedUJ)/1e6,
 		sum.CostUSD, sum.CarbonGrams)
+	if svcModel != nil {
+		for _, s := range svcModel.Services() {
+			target := "no target"
+			for _, t := range opts.sloTargets {
+				if t.Service == s.Name() {
+					verdict := "met"
+					switch p99 := s.WindowPercentile(99); {
+					case p99 <= 0:
+						verdict = "no samples in window"
+					case p99 > t.P99.Seconds():
+						verdict = "MISSED"
+					}
+					target = fmt.Sprintf("target %v (%s)", t.P99, verdict)
+					break
+				}
+			}
+			fmt.Printf("powerd: service %s: p50 %.1fms p90 %.1fms p99 %.1fms, %d done, %d dropped, %d timed out, %s\n",
+				s.Name(), s.WindowPercentile(50)*1e3, s.WindowPercentile(90)*1e3, s.WindowPercentile(99)*1e3,
+				s.Completed(), s.Dropped(), s.TimedOut(), target)
+		}
+	}
 	if inj != nil {
 		var parts []string
 		for _, c := range []fault.Class{fault.ClassEIO, fault.ClassStuck, fault.ClassTorn,

@@ -40,6 +40,7 @@ import (
 	"repro/internal/flight/replay"
 	"repro/internal/ledger"
 	"repro/internal/msr"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/tracing"
 	"repro/internal/units"
@@ -318,16 +319,20 @@ func summary(d flight.Dump) {
 	}
 	var worst, total time.Duration
 	sp := flight.BuildSpans(d.Events)
+	totals := make([]float64, 0, len(sp))
 	for _, s := range sp {
 		t := s.Total()
 		total += t
+		totals = append(totals, float64(t))
 		if t > worst {
 			worst = t
 		}
 	}
 	if n := len(sp); n > 0 {
-		fmt.Printf("iteration latency (wall): mean %v, worst %v over %d intervals\n",
-			total/time.Duration(n), worst, n)
+		qs := stats.Quantiles(totals, 50, 90, 99)
+		fmt.Printf("iteration latency (wall): mean %v, p50 %v, p90 %v, p99 %v, worst %v over %d intervals\n",
+			total/time.Duration(n), time.Duration(qs[0]), time.Duration(qs[1]),
+			time.Duration(qs[2]), worst, n)
 	}
 }
 
@@ -383,6 +388,11 @@ type anomalyReport struct {
 	LeaseRefusals   int        `json:"lease_refusals"`
 	Reconfigures    int        `json:"reconfigures"`
 	SlowIterations  []slowIter `json:"slow_iterations,omitempty"`
+
+	// Iteration-latency distribution over all spans in the dump.
+	LatencyP50NS int64 `json:"latency_p50_ns,omitempty"`
+	LatencyP90NS int64 `json:"latency_p90_ns,omitempty"`
+	LatencyP99NS int64 `json:"latency_p99_ns,omitempty"`
 }
 
 // slowIter is one control interval more than 5x slower than the median.
@@ -453,6 +463,16 @@ func collectAnomalies(d flight.Dump) anomalyReport {
 			totals = append(totals, t)
 		}
 	}
+	if len(totals) > 0 {
+		fs := make([]float64, len(totals))
+		for i, t := range totals {
+			fs[i] = float64(t)
+		}
+		qs := stats.Quantiles(fs, 50, 90, 99)
+		a.LatencyP50NS = int64(qs[0])
+		a.LatencyP90NS = int64(qs[1])
+		a.LatencyP99NS = int64(qs[2])
+	}
 	if len(totals) >= 4 {
 		sorted := append([]time.Duration(nil), totals...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -501,6 +521,10 @@ func anomalies(d flight.Dump, jsonOut bool) {
 	for _, s := range a.SlowIterations {
 		fmt.Printf("slow iteration: interval %d took %v (median %v)\n",
 			s.Interval, time.Duration(s.TotalNS), time.Duration(s.MedianNS))
+	}
+	if a.LatencyP99NS > 0 {
+		fmt.Printf("iteration latency: p50 %v, p90 %v, p99 %v\n",
+			time.Duration(a.LatencyP50NS), time.Duration(a.LatencyP90NS), time.Duration(a.LatencyP99NS))
 	}
 	if !a.any() {
 		fmt.Println("no anomalies found")

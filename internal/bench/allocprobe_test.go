@@ -95,6 +95,34 @@ func TestAllocProbeDetectsInjection(t *testing.T) {
 	_ = sink
 }
 
+// The SLO loop — service model tick, telemetry double-buffer, and the
+// feedback policy's PI decide path — must stay allocation-free too.
+func TestAllocProbeSLO(t *testing.T) {
+	for _, cores := range []int{8, 32} {
+		t.Run(fmt.Sprintf("cores=%d", cores), func(t *testing.T) {
+			m, d, _, err := buildSLOBench(cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				m.Step()
+				if _, err := d.RunIteration(time.Millisecond); err != nil {
+					t.Fatal(err)
+				}
+			}
+			n := testing.AllocsPerRun(100, func() {
+				m.Step()
+				if _, err := d.RunIteration(time.Millisecond); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if n != 0 {
+				t.Errorf("allocs per SLO iteration = %v, want 0", n)
+			}
+		})
+	}
+}
+
 func TestAllocProbe(t *testing.T) {
 	chips := map[string]platform.Chip{
 		"sky10":  platform.Skylake(),

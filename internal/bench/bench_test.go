@@ -229,6 +229,44 @@ func TestTrajectorySmoke(t *testing.T) {
 		t.Error("loop smoke never reached a multi-socket machine")
 	}
 
+	sents, err := SvcTrajectory(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sents) != len(svcTickSmokeCores) {
+		t.Fatalf("svc smoke entries = %d, want %d", len(sents), len(svcTickSmokeCores))
+	}
+	for i, e := range sents {
+		if e.NsPerOp <= 0 || e.Config["cores"] != svcTickSmokeCores[i] || e.Config["services"] == 0 {
+			t.Errorf("entry %+v", e)
+		}
+		// The service tick shares the control loop's cadence: zero-alloc.
+		if e.AllocsPerOp != 0 {
+			t.Errorf("%s: allocs/op = %v, want 0", e.Name, e.AllocsPerOp)
+		}
+	}
+
+	slents, err := SLOLoopTrajectory(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slents) != len(svcTickSmokeCores) {
+		t.Fatalf("slo loop smoke entries = %d, want %d", len(slents), len(svcTickSmokeCores))
+	}
+	for i, e := range slents {
+		if e.NsPerOp <= 0 || e.Config["cores"] != svcTickSmokeCores[i] {
+			t.Errorf("entry %+v", e)
+		}
+		if e.AllocsPerOp != 0 {
+			t.Errorf("%s: allocs/op = %v, want 0", e.Name, e.AllocsPerOp)
+		}
+		for _, ph := range []string{"sample", "decide", "actuate"} {
+			if e.Phases[ph] <= 0 {
+				t.Errorf("%s: phase %q missing (%v)", e.Name, ph, e.Phases)
+			}
+		}
+	}
+
 	gents, err := LedgerTrajectory(true)
 	if err != nil {
 		t.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/powerapi"
 	"repro/internal/sim"
+	"repro/internal/svc"
 	"repro/internal/telemetry"
 	"repro/internal/tracing"
 	"repro/internal/units"
@@ -42,6 +43,8 @@ var (
 	loopSmokeCores        = []int{4, 10, 32, 128}
 	ledgerApps            = []int{2, 8, 32, 128}
 	ledgerSmokeApps       = []int{2, 8, 32}
+	svcTickCores          = []int{8, 32, 128}
+	svcTickSmokeCores     = []int{8, 32}
 )
 
 func sizes(all, smokeSubset []int, smoke bool) []int {
@@ -401,6 +404,185 @@ func LoopTrajectory(smoke bool) ([]Entry, error) {
 		}
 		entries = append(entries, Entry{
 			Name:        fmt.Sprintf("loop_iteration/cores=%d", cores),
+			Config:      map[string]int{"cores": cores},
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+			Phases:      phases,
+		})
+	}
+	return entries, nil
+}
+
+// coreRange returns the half-open core interval [lo, hi).
+func coreRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for c := lo; c < hi; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// SvcTrajectory benchmarks one 1 ms advance of the multi-tenant
+// latency-service model — arrival admission, per-core cycle drain, and
+// sliding-window bookkeeping for four co-located open-loop services —
+// at increasing machine sizes. The tick rides the control loop's
+// cadence, so the family is held to the hard zero-allocation gate.
+func SvcTrajectory(smoke bool) ([]Entry, error) {
+	var entries []Entry
+	for _, cores := range sizes(svcTickCores, svcTickSmokeCores, smoke) {
+		chip := benchChip(cores)
+		m, err := sim.New(chip)
+		if err != nil {
+			return nil, err
+		}
+		const tenants = 4
+		per := cores / tenants
+		cfgs := make([]svc.Config, tenants)
+		for i := range cfgs {
+			cfgs[i] = svc.Config{
+				Name:     fmt.Sprintf("svc%d", i),
+				Cores:    coreRange(i*per, (i+1)*per),
+				Seed:     int64(i + 1),
+				Arrivals: svc.OpenPoisson,
+				Rate:     svc.ConstantRate(40 * float64(per)),
+				SLO:      50 * time.Millisecond,
+			}
+		}
+		model, err := svc.NewModel(cfgs...)
+		if err != nil {
+			return nil, err
+		}
+		if err := model.Attach(m); err != nil {
+			return nil, err
+		}
+		for c := 0; c < cores; c++ {
+			if err := m.SetRequest(c, chip.Freq.Nom); err != nil {
+				return nil, err
+			}
+		}
+		// One simulated interval populates the effective frequencies and
+		// warms the queues; after it the tick is driven directly so the
+		// entry prices the service model alone, not the simulator.
+		m.Run(100 * time.Millisecond)
+		for i := 0; i < 2000; i++ {
+			model.Advance(time.Millisecond)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				model.Advance(time.Millisecond)
+			}
+		})
+		entries = append(entries, Entry{
+			Name:        fmt.Sprintf("svc_tick/cores=%d", cores),
+			Config:      map[string]int{"cores": cores, "services": tenants},
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		})
+	}
+	return entries, nil
+}
+
+// buildSLOBench assembles the SLO control-loop machine: half the cores
+// serve an open-loop websearch service, a quarter serve ads, the rest
+// run gcc batch, all daemonised under the SLO-feedback policy with the
+// service model feeding telemetry into every snapshot.
+func buildSLOBench(cores int) (*sim.Machine, *daemon.Daemon, *metrics.Registry, error) {
+	chip := benchChip(cores)
+	reg := metrics.NewRegistry()
+	m, err := sim.New(chip)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	web, ads := cores/2, cores/4
+	model, err := svc.NewModel(
+		svc.Config{
+			Name: "websearch", Cores: coreRange(0, web), Seed: 1,
+			Arrivals: svc.OpenPoisson, Rate: svc.ConstantRate(40 * float64(web)),
+			SLO: 50 * time.Millisecond,
+		},
+		svc.Config{
+			Name: "ads", Cores: coreRange(web, web+ads), Seed: 2,
+			Arrivals: svc.OpenPoisson, Rate: svc.ConstantRate(40 * float64(ads)),
+			SLO: 30 * time.Millisecond,
+		},
+	)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := model.Attach(m); err != nil {
+		return nil, nil, nil, err
+	}
+	specs := make([]core.AppSpec, cores)
+	for i := 0; i < cores; i++ {
+		switch {
+		case i < web:
+			specs[i] = core.AppSpec{Name: "websearch", Core: i, Shares: 50}
+		case i < web+ads:
+			specs[i] = core.AppSpec{Name: "ads", Core: i, Shares: 50}
+		default:
+			p := workload.MustByName("gcc")
+			if err := m.Pin(workload.NewInstance(p), i); err != nil {
+				return nil, nil, nil, err
+			}
+			specs[i] = core.AppSpec{Name: p.Name, Core: i, Shares: 30, AVX: p.AVX}
+		}
+	}
+	targets := []core.SLOTarget{
+		{Service: "websearch", P99: 50 * time.Millisecond},
+		{Service: "ads", P99: 30 * time.Millisecond},
+	}
+	pol, err := core.NewSLOFeedback(chip, specs, core.SLOConfig{Targets: targets})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	d, err := daemon.New(daemon.Config{
+		Chip: chip, Policy: pol, Apps: specs, Limit: chip.RAPLMax * 6 / 10,
+		Metrics: reg, SLO: model, SLOTargets: targets,
+	}, m.Device(), daemon.MachineActuator{M: m})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := d.Start(); err != nil {
+		return nil, nil, nil, err
+	}
+	return m, d, reg, nil
+}
+
+// SLOLoopTrajectory benchmarks the control-loop iteration with the SLO
+// machinery engaged: the service model ticks on the simulator step, the
+// daemon double-buffers per-service telemetry into the snapshot, and
+// the SLO-feedback policy runs its PI loops. The entries live under the
+// loop_iteration/ prefix, so the zero-alloc gate covers the whole SLO
+// decide path.
+func SLOLoopTrajectory(smoke bool) ([]Entry, error) {
+	var entries []Entry
+	for _, cores := range sizes(svcTickCores, svcTickSmokeCores, smoke) {
+		m, d, reg, err := buildSLOBench(cores)
+		if err != nil {
+			return nil, err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Step()
+				if _, err := d.RunIteration(time.Millisecond); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		phases := map[string]float64{}
+		vec := reg.HistogramVec("powerd_phase_seconds", "", nil, "phase")
+		for _, ph := range []string{"sample", "decide", "actuate"} {
+			h := vec.With(ph)
+			if c := h.Count(); c > 0 {
+				phases[ph] = h.Sum() / float64(c) * 1e9
+			}
+		}
+		entries = append(entries, Entry{
+			Name:        fmt.Sprintf("loop_iteration/slo/cores=%d", cores),
 			Config:      map[string]int{"cores": cores},
 			NsPerOp:     float64(r.NsPerOp()),
 			AllocsPerOp: float64(r.AllocsPerOp()),

@@ -79,6 +79,11 @@ type Fleet struct {
 	mEnergyCost   *metrics.Gauge
 	mEnergyCarbon *metrics.Gauge
 	mAnomalies    *metrics.GaugeVec
+
+	// SLO rollups, fed from the SLOStatus nodes piggyback on their
+	// status replies.
+	mSLOServices *metrics.Gauge
+	mSLOAttain   *metrics.Gauge
 }
 
 // NewFleet builds an aggregator for a room with the given budget,
@@ -102,6 +107,8 @@ func NewFleet(budget units.Watts, reg *metrics.Registry) *Fleet {
 		f.mEnergyCost = reg.Gauge("fleet_energy_cost_usd", "Fleet energy cost under the nodes' rate schedules.")
 		f.mEnergyCarbon = reg.Gauge("fleet_energy_carbon_grams", "Fleet carbon footprint under the nodes' rate schedules.")
 		f.mAnomalies = reg.GaugeVec("fleet_anomalies_total", "Ledger anomalies summed across nodes, by detector kind.", "kind")
+		f.mSLOServices = reg.Gauge("fleet_slo_services", "Latency-service instances reporting SLO telemetry across the fleet.")
+		f.mSLOAttain = reg.Gauge("fleet_slo_attainment", "Fraction of reporting service instances meeting their p99 objective (1 when none report).")
 		f.mBudget.Set(float64(budget))
 	}
 	return f
@@ -159,6 +166,7 @@ func (f *Fleet) ObserveRound(round uint64, total time.Duration, obs []NodeObserv
 	appWatts := map[string]float64{}
 	var energyJ, costUSD, carbonG, maxElapsed float64
 	anomalies := map[string]float64{}
+	sloTotal, sloMet := 0, 0
 	for _, n := range f.nodes {
 		totalPower += n.power
 		if n.status == nil {
@@ -166,6 +174,14 @@ func (f *Fleet) ObserveRound(round uint64, total time.Duration, obs []NodeObserv
 		}
 		for _, app := range n.status.Apps {
 			appWatts[app.Name] += app.Watts
+		}
+		if s := n.status.SLO; s != nil {
+			for _, svc := range s.Services {
+				sloTotal++
+				if svc.Met {
+					sloMet++
+				}
+			}
 		}
 		if e := n.status.Energy; e != nil {
 			energyJ += e.TotalJoules
@@ -199,6 +215,12 @@ func (f *Fleet) ObserveRound(round uint64, total time.Duration, obs []NodeObserv
 			f.mAnomalies.With(kind).Set(v)
 		}
 	}
+	f.mSLOServices.Set(float64(sloTotal))
+	attain := 1.0
+	if sloTotal > 0 {
+		attain = float64(sloMet) / float64(sloTotal)
+	}
+	f.mSLOAttain.Set(attain)
 }
 
 // mergeMetricsLocked folds a node's metrics snapshot into its merged
@@ -250,6 +272,8 @@ type FleetNode struct {
 	EnergyJoules float64             `json:"energy_joules,omitempty"`
 	CostUSD      float64             `json:"cost_usd,omitempty"`
 	Anomalies    uint64              `json:"anomalies,omitempty"`
+	SLOServices  int                 `json:"slo_services,omitempty"`
+	SLOMet       int                 `json:"slo_met,omitempty"`
 }
 
 // FleetApp is one application's room-wide power rollup.
@@ -266,6 +290,18 @@ type FleetAppEnergy struct {
 	CostUSD     float64 `json:"cost_usd"`
 	CarbonGrams float64 `json:"carbon_grams"`
 	Nodes       int     `json:"nodes"`
+}
+
+// FleetServiceSLO is one latency service's room-wide SLO rollup: how
+// many node instances report it, how many meet their p99 objective, and
+// the worst tail across them.
+type FleetServiceSLO struct {
+	Name       string  `json:"name"`
+	Nodes      int     `json:"nodes"`
+	MetNodes   int     `json:"met_nodes"`
+	WorstP99MS float64 `json:"worst_p99_ms"`
+	TargetMS   float64 `json:"target_ms,omitempty"`
+	Rate       float64 `json:"rate"`
 }
 
 // FleetStraggler ranks one node's straggler record.
@@ -301,6 +337,14 @@ type FleetSnapshot struct {
 	EnergyCarbonGrams  float64           `json:"energy_carbon_grams,omitempty"`
 	TopEnergyApps      []FleetAppEnergy  `json:"top_energy_apps,omitempty"`
 	AnomalyCounts      map[string]uint64 `json:"anomaly_counts,omitempty"`
+
+	// SLO rollups from the nodes' piggybacked service telemetry.
+	// SLOAttainment is SLOMet/SLOTotal, only meaningful when SLOTotal is
+	// non-zero.
+	SLOTotal      int               `json:"slo_total,omitempty"`
+	SLOMet        int               `json:"slo_met,omitempty"`
+	SLOAttainment float64           `json:"slo_attainment,omitempty"`
+	SLOServices   []FleetServiceSLO `json:"slo_services,omitempty"`
 }
 
 // Snapshot renders the current rollups. Nil-safe (returns zero value).
@@ -319,6 +363,7 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 	}
 	apps := map[string]*FleetApp{}
 	energyApps := map[string]*FleetAppEnergy{}
+	sloSvcs := map[string]*FleetServiceSLO{}
 	versions := map[string]bool{}
 	var maxElapsed float64
 	for _, name := range f.order {
@@ -345,6 +390,32 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 				}
 				a.Watts += app.Watts
 				a.Nodes++
+			}
+			if s := st.SLO; s != nil {
+				for _, svc := range s.Services {
+					row.SLOServices++
+					snap.SLOTotal++
+					if svc.Met {
+						row.SLOMet++
+						snap.SLOMet++
+					}
+					fs := sloSvcs[svc.Name]
+					if fs == nil {
+						fs = &FleetServiceSLO{Name: svc.Name}
+						sloSvcs[svc.Name] = fs
+					}
+					fs.Nodes++
+					if svc.Met {
+						fs.MetNodes++
+					}
+					if svc.P99MS > fs.WorstP99MS {
+						fs.WorstP99MS = svc.P99MS
+					}
+					if svc.TargetMS > 0 {
+						fs.TargetMS = svc.TargetMS
+					}
+					fs.Rate += svc.Rate
+				}
 			}
 			if e := st.Energy; e != nil {
 				row.EnergyJoules = e.TotalJoules
@@ -433,6 +504,21 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 	if len(snap.TopEnergyApps) > EnergyTopK {
 		snap.TopEnergyApps = snap.TopEnergyApps[:EnergyTopK]
 	}
+	if snap.SLOTotal > 0 {
+		snap.SLOAttainment = float64(snap.SLOMet) / float64(snap.SLOTotal)
+	}
+	for _, s := range sloSvcs {
+		snap.SLOServices = append(snap.SLOServices, *s)
+	}
+	sort.Slice(snap.SLOServices, func(i, j int) bool {
+		a, b := snap.SLOServices[i], snap.SLOServices[j]
+		// Worst-attaining services first, then by name for stability.
+		am, bm := float64(a.MetNodes)/float64(a.Nodes), float64(b.MetNodes)/float64(b.Nodes)
+		if am != bm {
+			return am < bm
+		}
+		return a.Name < b.Name
+	})
 	for v := range versions {
 		snap.Versions = append(snap.Versions, v)
 	}

@@ -75,6 +75,42 @@ type Snapshot struct {
 	Limit        units.Watts
 	PackagePower units.Watts
 	Apps         []AppState
+
+	// Services carries per-service tail-latency telemetry when a
+	// latency-service model is wired into the daemon (Config.SLO). It
+	// is empty on daemons without one; policies that consume it must
+	// fall back to share behaviour in that case.
+	Services []ServiceSLO
+}
+
+// ServiceSLO is one latency service's sliding-window telemetry within a
+// snapshot. Latencies are seconds; a zero P99 means the window holds no
+// completions yet.
+type ServiceSLO struct {
+	Name     string
+	P50      float64
+	P90      float64
+	P99      float64
+	Target   float64 // p99 objective in seconds; 0 = no SLO configured
+	Rate     float64 // completions per second over the window
+	QueueLen int     // requests waiting (not in service)
+	Dropped  uint64  // cumulative queue-full rejections
+	Timeouts uint64  // cumulative queueing-deadline expiries
+}
+
+// Met reports whether the window's p99 meets the target. Services with
+// no target or no completions yet are trivially met.
+func (s ServiceSLO) Met() bool {
+	return s.Target <= 0 || s.P99 <= 0 || s.P99 <= s.Target
+}
+
+// SLOTarget names one service's p99 objective. It configures both the
+// SLO-feedback policy (which services are interactive) and the daemon
+// (which stamps the live target into snapshot telemetry, so a
+// Reconfigure can move objectives mid-run).
+type SLOTarget struct {
+	Service string
+	P99     time.Duration
 }
 
 // Action is one per-core decision emitted by a policy.

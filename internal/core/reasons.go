@@ -51,6 +51,26 @@ const (
 	// limit) was changed mid-run through the Reconfigure path and the new
 	// policy's initial distribution was applied.
 	ReasonReconfigure Reason = "reconfigure"
+
+	// SLO-feedback reasons: how the policy read the per-service
+	// tail-latency telemetry this interval.
+	//
+	// ReasonSLOFallback: the snapshot carried no service telemetry, so
+	// the policy behaved as plain frequency shares.
+	ReasonSLOFallback Reason = "slo-fallback-shares"
+	// ReasonSLOBoost: at least one service ran over its p99 objective
+	// and its serving cores were sped up at batch apps' expense.
+	ReasonSLOBoost Reason = "slo-boost"
+	// ReasonSLORelax: services ran comfortably under their objectives
+	// and ceded frequency back to batch apps.
+	ReasonSLORelax Reason = "slo-relax"
+	// ReasonSLOMet: every service with telemetry met its objective.
+	ReasonSLOMet Reason = "slo-met"
+	// ReasonSLOSaturated: a service missed its objective but its cores
+	// were already at their ceiling (or batch apps at their floor), so
+	// the SLO cannot be bought under the current power limit. The
+	// integral term holds (anti-windup) while this is recorded.
+	ReasonSLOSaturated Reason = "slo-saturated"
 )
 
 // Explainer is optionally implemented by policies that can explain their

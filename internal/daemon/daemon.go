@@ -144,6 +144,26 @@ type Config struct {
 	// ledger has its own); Reconfigure rebinds it when the app set
 	// changes. Nil disables energy accounting.
 	Ledger *ledger.Ledger
+
+	// SLO, when set, feeds per-service latency telemetry (p50/p90/p99,
+	// arrival rate, queue depth, loss counters) into every snapshot the
+	// policy sees. svc.Model implements this; any latency service can.
+	// Like Apps, the slice handed to the policy lives in a double-buffered
+	// reuse pool — OnSnapshot hooks that retain it must copy.
+	SLO SLOSource
+
+	// SLOTargets are the live p99 objectives the daemon stamps onto the
+	// service telemetry by name each interval, overriding whatever target
+	// the source itself reported. Reconfigure can swap them at runtime,
+	// so operators retune objectives without restarting the service.
+	SLOTargets []core.SLOTarget
+}
+
+// SLOSource supplies per-service latency/SLO telemetry for snapshots.
+// FillServiceSLO appends one entry per service to dst and returns the
+// extended slice; implementations must not retain dst.
+type SLOSource interface {
+	FillServiceSLO(dst []core.ServiceSLO) []core.ServiceSLO
 }
 
 // FlightTriggers are the daemon-side conditions that snapshot the flight
@@ -268,6 +288,8 @@ type Daemon struct {
 	// is the action buffer overrideDegraded rewrites into.
 	appsBuf     [2][]core.AppState
 	appsFlip    int
+	svcBuf      [2][]core.ServiceSLO
+	svcFlip     int
 	degraded    []bool
 	scrHandled  []bool
 	scrOverride []core.Action
@@ -514,6 +536,13 @@ func (d *Daemon) RunIteration(dt time.Duration) (core.Snapshot, error) {
 		}
 		snap.Apps[i] = st
 	}
+	if d.cfg.SLO != nil {
+		d.svcFlip ^= 1
+		svcs := d.cfg.SLO.FillServiceSLO(d.svcBuf[d.svcFlip][:0])
+		d.svcBuf[d.svcFlip] = svcs
+		d.stampTargetsLocked(svcs)
+		snap.Services = svcs
+	}
 	sampleDone := time.Now()
 	actions := d.cfg.Policy.Update(snap)
 	polName := d.cfg.Policy.Name()
@@ -698,6 +727,16 @@ func (d *Daemon) Limit() units.Watts {
 	return d.cfg.Limit
 }
 
+// SLOTargets returns a copy of the live per-service p99 objectives.
+func (d *Daemon) SLOTargets() []core.SLOTarget {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(d.cfg.SLOTargets) == 0 {
+		return nil
+	}
+	return append([]core.SLOTarget(nil), d.cfg.SLOTargets...)
+}
+
 // Iterations reports completed control intervals.
 func (d *Daemon) Iterations() int {
 	d.mu.RLock()
@@ -713,11 +752,29 @@ func (d *Daemon) LastSnapshot() core.Snapshot {
 	return cloneSnapshot(d.last)
 }
 
-// cloneSnapshot deep-copies the Apps slice so readers escape the loop's
-// double-buffered reuse pool. Caller holds d.mu (read or write).
+// cloneSnapshot deep-copies the Apps and Services slices so readers escape
+// the loop's double-buffered reuse pools. Caller holds d.mu (read or write).
 func cloneSnapshot(s core.Snapshot) core.Snapshot {
 	s.Apps = append([]core.AppState(nil), s.Apps...)
+	if s.Services != nil {
+		s.Services = append([]core.ServiceSLO(nil), s.Services...)
+	}
 	return s
+}
+
+// stampTargetsLocked overwrites each service entry's Target with the
+// daemon's configured objective for that name, if one exists. The loop is
+// allocation-free; target lists are short (a handful of services per
+// node), so linear scan beats a map here. Caller holds d.mu.
+func (d *Daemon) stampTargetsLocked(svcs []core.ServiceSLO) {
+	for i := range svcs {
+		for _, t := range d.cfg.SLOTargets {
+			if t.Service == svcs[i].Name {
+				svcs[i].Target = t.P99.Seconds()
+				break
+			}
+		}
+	}
 }
 
 // Parked reports whether the daemon last left the core parked.
@@ -805,6 +862,8 @@ type JitterStats struct {
 	Samples int
 	Mean    float64
 	Max     float64
+	P50     float64
+	P90     float64
 	P99     float64
 }
 
@@ -819,12 +878,16 @@ func (d *Daemon) Jitter() JitterStats {
 }
 
 // jitterLocked builds JitterStats. Caller holds d.mu (read or write).
+// Quantiles sorts the reservoir once for all three percentiles.
 func (d *Daemon) jitterLocked() JitterStats {
+	qs := d.jitterRes.Quantiles(50, 90, 99)
 	js := JitterStats{
 		Samples: d.jitterAcc.Count(),
 		Mean:    d.jitterAcc.Mean(),
 		Max:     d.jitterAcc.Max(),
-		P99:     d.jitterRes.Percentile(99),
+		P50:     qs[0],
+		P90:     qs[1],
+		P99:     qs[2],
 	}
 	if js.Samples == 0 {
 		js.Mean, js.Max = 0, 0

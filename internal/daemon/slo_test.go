@@ -1,0 +1,178 @@
+package daemon
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flight"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/svc"
+	"repro/internal/workload"
+)
+
+// sloHarness is a machine running one open-loop latency service on two
+// cores plus one batch core, daemonised under the SLO-feedback policy.
+func sloHarness(t *testing.T, rec *flight.Recorder, targets []core.SLOTarget) (*sim.Machine, *Daemon) {
+	t.Helper()
+	chip := platform.Skylake()
+	m, err := sim.New(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := svc.NewModel(svc.Config{
+		Name:     "api",
+		Cores:    []int{0, 1},
+		Seed:     3,
+		Arrivals: svc.OpenPoisson,
+		Rate:     svc.ConstantRate(80),
+		SLO:      50 * time.Millisecond,
+		Window:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pin(workload.NewInstance(workload.MustByName("gcc")), 2); err != nil {
+		t.Fatal(err)
+	}
+	specs := []core.AppSpec{
+		{Name: "api", Core: 0, Shares: 50},
+		{Name: "api", Core: 1, Shares: 50},
+		{Name: "gcc", Core: 2, Shares: 50},
+	}
+	pol, err := core.NewSLOFeedback(chip, specs, core.SLOConfig{
+		Targets: []core.SLOTarget{{Service: "api", P99: 50 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Chip: chip, Policy: pol, Apps: specs, Limit: 40,
+		Interval:   50 * time.Millisecond,
+		SLO:        model,
+		SLOTargets: targets,
+	}
+	if rec != nil {
+		cfg.Flight = rec
+	}
+	d, err := New(cfg, m.Device(), MachineActuator{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachVirtual(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+// The daemon feeds service telemetry into snapshots and stamps its
+// configured objectives over the service-declared ones; Reconfigure
+// moves the objective live and an empty set falls back to the
+// service's own advisory target.
+func TestDaemonSLOFeedAndReconfigure(t *testing.T) {
+	rec := flight.New(0)
+	m, d := sloHarness(t, rec, []core.SLOTarget{{Service: "api", P99: 40 * time.Millisecond}})
+	m.Run(2 * time.Second)
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := d.LastSnapshot()
+	if len(snap.Services) != 1 || snap.Services[0].Name != "api" {
+		t.Fatalf("snapshot services = %+v", snap.Services)
+	}
+	s := snap.Services[0]
+	if s.Target != 0.040 {
+		t.Errorf("configured target not stamped: %v", s.Target)
+	}
+	if s.P99 <= 0 || s.Rate <= 0 {
+		t.Errorf("no live telemetry: %+v", s)
+	}
+
+	// Move the objective live.
+	if err := d.Reconfigure(Reconfig{SLOTargets: []core.SLOTarget{{Service: "api", P99: 70 * time.Millisecond}}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(500 * time.Millisecond)
+	if got := d.LastSnapshot().Services[0].Target; got != 0.070 {
+		t.Errorf("target after reconfigure = %v, want 0.07", got)
+	}
+
+	// Clearing every objective reverts to the service's advisory SLO.
+	if err := d.Reconfigure(Reconfig{SLOTargets: []core.SLOTarget{}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(500 * time.Millisecond)
+	if got := d.LastSnapshot().Services[0].Target; got != 0.050 {
+		t.Errorf("target after clearing = %v, want the service's 0.05", got)
+	}
+
+	// Both SLO reconfigurations left flight marks.
+	var sloMarks int
+	for _, e := range rec.Dump("test").Events {
+		if e.Kind == flight.KindReconfigure && e.Arg == flight.ReconfigSLO {
+			sloMarks++
+		}
+	}
+	if sloMarks != 2 {
+		t.Errorf("ReconfigSLO flight events = %d, want 2", sloMarks)
+	}
+
+	// Malformed target sets are rejected whole.
+	bad := []Reconfig{
+		{SLOTargets: []core.SLOTarget{{Service: "", P99: time.Second}}},
+		{SLOTargets: []core.SLOTarget{{Service: "api", P99: 0}}},
+		{SLOTargets: []core.SLOTarget{{Service: "api", P99: time.Second}, {Service: "api", P99: 2 * time.Second}}},
+	}
+	for i, rc := range bad {
+		if err := d.Reconfigure(rc); err == nil {
+			t.Errorf("bad reconfig %d accepted", i)
+		}
+	}
+}
+
+// Live objective swaps from a second goroutine must not race the
+// control loop's telemetry stamping (run under -race).
+func TestSLOReconfigureSoak(t *testing.T) {
+	m, d := sloHarness(t, nil, []core.SLOTarget{{Service: "api", P99: 40 * time.Millisecond}})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		targets := []time.Duration{30 * time.Millisecond, 60 * time.Millisecond, 90 * time.Millisecond}
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			rc := Reconfig{SLOTargets: []core.SLOTarget{{Service: "api", P99: targets[i%len(targets)]}}}
+			if i%5 == 4 {
+				rc.SLOTargets = []core.SLOTarget{} // periodically clear
+			}
+			if err := d.Reconfigure(rc); err != nil {
+				t.Errorf("soak reconfigure: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 40; i++ {
+		m.Run(100 * time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if snap := d.LastSnapshot(); len(snap.Services) != 1 {
+		t.Fatalf("snapshot services after soak = %+v", snap.Services)
+	}
+}

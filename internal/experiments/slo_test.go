@@ -1,0 +1,64 @@
+package experiments
+
+import "testing"
+
+// The subsystem's headline acceptance criterion: at the study budget
+// the SLO-feedback policy meets the service's p99 objective under the
+// diurnal open-loop trace while the static share policies leave the
+// tail over it.
+func TestSLOFeedbackMeetsWhereSharesMiss(t *testing.T) {
+	res, err := SLOStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(SLOPolicies) {
+		t.Fatalf("cells = %d, want one per policy (%d)", len(res.Cells), len(SLOPolicies))
+	}
+	byPolicy := make(map[string]SLOCell, len(res.Cells))
+	for _, c := range res.Cells {
+		byPolicy[c.Policy] = c
+	}
+	target := res.Target.Seconds()
+
+	fb := byPolicy["slo-feedback"]
+	if !fb.Met {
+		t.Errorf("slo-feedback p99 %.1f ms over the %.0f ms objective", fb.P99*1000, target*1000)
+	}
+	fs := byPolicy["frequency-shares"]
+	if fs.Met {
+		t.Errorf("frequency shares meet the objective (p99 %.1f ms); budget %v leaves no headroom gap to demonstrate", fs.P99*1000, res.Limit)
+	}
+	ps := byPolicy["performance-shares"]
+	if ps.Met {
+		t.Errorf("performance shares meet the objective (p99 %.1f ms)", ps.P99*1000)
+	}
+
+	// The feedback policy wins by draining the batch pool: its serving
+	// cores run faster, its batch cores slower, than the equal-share
+	// water level.
+	if fb.SvcFreq <= fs.SvcFreq {
+		t.Errorf("feedback serving freq %v not above equal-share level %v", fb.SvcFreq, fs.SvcFreq)
+	}
+	if fb.BatFreq >= fs.BatFreq {
+		t.Errorf("feedback batch freq %v not below equal-share level %v", fb.BatFreq, fs.BatFreq)
+	}
+	// Unlike priority, feedback keeps the batch class running.
+	if fb.BatIPS <= 0 {
+		t.Error("feedback starved the batch class entirely")
+	}
+
+	// Every policy honours the budget (8% tolerance, as elsewhere).
+	for _, c := range res.Cells {
+		if float64(c.Package) > float64(res.Limit)*1.08 {
+			t.Errorf("%s: package %v over the %v budget", c.Policy, c.Package, res.Limit)
+		}
+	}
+
+	// All runs replay the identical arrival trace, so completion rates
+	// agree across policies.
+	for _, c := range res.Cells {
+		if c.Rate < fb.Rate*0.98 || c.Rate > fb.Rate*1.02 {
+			t.Errorf("%s: completion rate %.1f/s diverges from %.1f/s on the shared trace", c.Policy, c.Rate, fb.Rate)
+		}
+	}
+}

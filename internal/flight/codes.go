@@ -22,6 +22,11 @@ const (
 	codeRaiseLP
 	codeSaturated
 	codeReconfigure
+	codeSLOFallback
+	codeSLOBoost
+	codeSLORelax
+	codeSLOMet
+	codeSLOSaturated
 )
 
 var reasonCodes = map[core.Reason]uint32{
@@ -40,6 +45,11 @@ var reasonCodes = map[core.Reason]uint32{
 	core.ReasonRaiseLP:         codeRaiseLP,
 	core.ReasonSaturated:       codeSaturated,
 	core.ReasonReconfigure:     codeReconfigure,
+	core.ReasonSLOFallback:     codeSLOFallback,
+	core.ReasonSLOBoost:        codeSLOBoost,
+	core.ReasonSLORelax:        codeSLORelax,
+	core.ReasonSLOMet:          codeSLOMet,
+	core.ReasonSLOSaturated:    codeSLOSaturated,
 }
 
 var reasonNames = func() map[uint32]core.Reason {
@@ -200,6 +210,9 @@ const (
 	ReconfigShares
 	ReconfigLimit
 	ReconfigDrain
+	// ReconfigSLO: the set of live p99 objectives stamped onto service
+	// telemetry was replaced.
+	ReconfigSLO
 )
 
 // ReconfigName names a reconfiguration code for reports.
@@ -213,6 +226,8 @@ func ReconfigName(c uint32) string {
 		return "limit"
 	case ReconfigDrain:
 		return "drain"
+	case ReconfigSLO:
+		return "slo"
 	}
 	return "unknown"
 }

@@ -130,7 +130,9 @@ func TestReasonCodesRoundTrip(t *testing.T) {
 		core.ReasonPowerUnderLimit, core.ReasonShareRebalance, core.ReasonTranslateOnly,
 		core.ReasonLimitChange, core.ReasonThrottleLP, core.ReasonParkStarvedLP,
 		core.ReasonThrottleHP, core.ReasonRestoreHP, core.ReasonWakeLP,
-		core.ReasonRaiseLP, core.ReasonSaturated,
+		core.ReasonRaiseLP, core.ReasonSaturated, core.ReasonReconfigure,
+		core.ReasonSLOFallback, core.ReasonSLOBoost, core.ReasonSLORelax,
+		core.ReasonSLOMet, core.ReasonSLOSaturated,
 	}
 	seen := make(map[uint32]bool)
 	for _, r := range reasons {

@@ -44,16 +44,35 @@ type AppStatus struct {
 	Parked bool    `json:"parked"`
 }
 
+// ServiceStatus is one latency service's tail-latency and SLO state in a
+// status report. Latencies are in seconds over the service's sliding
+// window; TargetSeconds is 0 when no objective is set.
+type ServiceStatus struct {
+	Name          string  `json:"name"`
+	P50Seconds    float64 `json:"p50_seconds"`
+	P90Seconds    float64 `json:"p90_seconds"`
+	P99Seconds    float64 `json:"p99_seconds"`
+	TargetSeconds float64 `json:"target_seconds,omitempty"`
+	Met           bool    `json:"met"`
+	Rate          float64 `json:"rate"`
+	QueueLen      int     `json:"queue_len"`
+	Dropped       uint64  `json:"dropped,omitempty"`
+	Timeouts      uint64  `json:"timeouts,omitempty"`
+}
+
 // DaemonStatus is the control loop's externally visible state.
 type DaemonStatus struct {
-	Policy            string      `json:"policy"`
-	Iterations        int         `json:"iterations"`
-	TimeSeconds       float64     `json:"time_seconds"`
-	LimitWatts        float64     `json:"limit_watts"`
-	PackagePowerWatts float64     `json:"package_power_watts"`
-	Apps              []AppStatus `json:"apps"`
-	JitterMeanSeconds float64     `json:"jitter_mean_seconds"`
-	JitterP99Seconds  float64     `json:"jitter_p99_seconds"`
+	Policy            string          `json:"policy"`
+	Iterations        int             `json:"iterations"`
+	TimeSeconds       float64         `json:"time_seconds"`
+	LimitWatts        float64         `json:"limit_watts"`
+	PackagePowerWatts float64         `json:"package_power_watts"`
+	Apps              []AppStatus     `json:"apps"`
+	Services          []ServiceStatus `json:"services,omitempty"`
+	JitterMeanSeconds float64         `json:"jitter_mean_seconds"`
+	JitterP50Seconds  float64         `json:"jitter_p50_seconds"`
+	JitterP90Seconds  float64         `json:"jitter_p90_seconds"`
+	JitterP99Seconds  float64         `json:"jitter_p99_seconds"`
 	// Phase breakdown of the latest control iteration (the paper's
 	// sample → decide → actuate pipeline), matching the span names a
 	// round trace records.
@@ -86,6 +105,8 @@ func DaemonStatusFunc(d *daemon.Daemon) func() DaemonStatus {
 			PackagePowerWatts:   float64(snap.PackagePower),
 			Apps:                make([]AppStatus, len(snap.Apps)),
 			JitterMeanSeconds:   view.Jitter.Mean,
+			JitterP50Seconds:    view.Jitter.P50,
+			JitterP90Seconds:    view.Jitter.P90,
 			JitterP99Seconds:    view.Jitter.P99,
 			PhaseSampleSeconds:  view.Phases.Sample.Seconds(),
 			PhaseDecideSeconds:  view.Phases.Decide.Seconds(),
@@ -100,6 +121,20 @@ func DaemonStatusFunc(d *daemon.Daemon) func() DaemonStatus {
 				Watts:  float64(a.Power),
 				Parked: a.Parked,
 			}
+		}
+		for _, svc := range snap.Services {
+			st.Services = append(st.Services, ServiceStatus{
+				Name:          svc.Name,
+				P50Seconds:    svc.P50,
+				P90Seconds:    svc.P90,
+				P99Seconds:    svc.P99,
+				TargetSeconds: svc.Target,
+				Met:           svc.Met(),
+				Rate:          svc.Rate,
+				QueueLen:      svc.QueueLen,
+				Dropped:       svc.Dropped,
+				Timeouts:      svc.Timeouts,
+			})
 		}
 		if view.Err != nil {
 			st.Error = view.Err.Error()

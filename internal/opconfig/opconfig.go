@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/platform"
+	"repro/internal/svc"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -33,13 +34,35 @@ type App struct {
 	MaxFreqMHz int `json:"max_freq_mhz,omitempty"`
 }
 
+// SLO is one per-service p99 latency objective. The service name must
+// match a latency service fed to the daemon (and, for the slo-feedback
+// policy, the app entries serving it).
+type SLO struct {
+	Service     string  `json:"service"`
+	TargetP99MS float64 `json:"target_p99_ms"`
+
+	// Load model for the materialised service, at most one of:
+	// RatePerSec draws open-loop Poisson arrivals at a constant mean
+	// rate, Trace replays a padtrace/1 arrival file open-loop, Users
+	// runs a closed-loop population. All zero defaults to a closed loop
+	// of 300 users (the paper's websearch population).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Trace      string  `json:"trace,omitempty"`
+	Users      int     `json:"users,omitempty"`
+}
+
 // Config is the operator's daemon configuration.
 type Config struct {
 	Platform   string  `json:"platform"`
-	Policy     string  `json:"policy"` // frequency, performance, power, priority
+	Policy     string  `json:"policy"` // frequency, performance, power, priority, slo-feedback
 	LimitWatts float64 `json:"limit_watts"`
 	IntervalMS int     `json:"interval_ms,omitempty"`
 	Apps       []App   `json:"apps"`
+
+	// SLOs are the p99 objectives the daemon stamps onto service
+	// telemetry. Required (non-empty) for the slo-feedback policy;
+	// optional otherwise (targets then only annotate status output).
+	SLOs []SLO `json:"slos,omitempty"`
 }
 
 // Load reads and validates a configuration file.
@@ -73,9 +96,44 @@ func (c Config) Validate() error {
 		return fmt.Errorf("opconfig: %w", err)
 	}
 	switch c.Policy {
-	case "frequency", "performance", "power", "priority", "priority-shares":
+	case "frequency", "performance", "power", "priority", "priority-shares", "slo-feedback":
 	default:
 		return fmt.Errorf("opconfig: unknown policy %q", c.Policy)
+	}
+	for i, s := range c.SLOs {
+		if s.Service == "" {
+			return fmt.Errorf("opconfig: slo %d has no service name", i)
+		}
+		if s.TargetP99MS <= 0 {
+			return fmt.Errorf("opconfig: slo for %q needs a positive target_p99_ms", s.Service)
+		}
+		for _, prev := range c.SLOs[:i] {
+			if prev.Service == s.Service {
+				return fmt.Errorf("opconfig: duplicate slo for service %q", s.Service)
+			}
+		}
+		if s.RatePerSec < 0 {
+			return fmt.Errorf("opconfig: slo for %q has negative rate_per_sec", s.Service)
+		}
+		if s.Users < 0 {
+			return fmt.Errorf("opconfig: slo for %q has negative users", s.Service)
+		}
+		load := 0
+		if s.RatePerSec > 0 {
+			load++
+		}
+		if s.Trace != "" {
+			load++
+		}
+		if s.Users > 0 {
+			load++
+		}
+		if load > 1 {
+			return fmt.Errorf("opconfig: slo for %q sets more than one of rate_per_sec, trace, users", s.Service)
+		}
+	}
+	if c.Policy == "slo-feedback" && len(c.SLOs) == 0 {
+		return fmt.Errorf("opconfig: the slo-feedback policy needs at least one slos entry")
 	}
 	if c.LimitWatts <= 0 {
 		return fmt.Errorf("opconfig: limit_watts must be positive")
@@ -87,8 +145,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("opconfig: no apps")
 	}
 	for i, a := range c.Apps {
-		if _, err := workload.ByName(a.Name); err != nil {
-			return fmt.Errorf("opconfig: app %d: %w", i, err)
+		// An app serving a declared SLO is a latency service, not a batch
+		// workload: its name identifies the service, so the workload
+		// registry does not need to know it.
+		if !c.hasSLO(a.Name) {
+			if _, err := workload.ByName(a.Name); err != nil {
+				return fmt.Errorf("opconfig: app %d: %w", i, err)
+			}
 		}
 		switch c.Policy {
 		case "priority":
@@ -126,6 +189,85 @@ func (c Config) Interval() time.Duration {
 // Limit returns the power limit.
 func (c Config) Limit() units.Watts { return units.Watts(c.LimitWatts) }
 
+// hasSLO reports whether a service name carries a declared objective.
+func (c Config) hasSLO(service string) bool {
+	for _, s := range c.SLOs {
+		if s.Service == service {
+			return true
+		}
+	}
+	return false
+}
+
+// SLOTargets converts the configured objectives to the daemon's typed
+// form.
+func (c Config) SLOTargets() []core.SLOTarget {
+	if len(c.SLOs) == 0 {
+		return nil
+	}
+	ts := make([]core.SLOTarget, len(c.SLOs))
+	for i, s := range c.SLOs {
+		ts[i] = core.SLOTarget{
+			Service: s.Service,
+			P99:     time.Duration(s.TargetP99MS * float64(time.Millisecond)),
+		}
+	}
+	return ts
+}
+
+// BuildServices materialises one latency service per declared SLO,
+// serving on the cores of the app entries that name it. Trace files are
+// read here so a bad path fails at load time, not mid-run; seeds are
+// positional so a run is reproducible from its config alone.
+func (c Config) BuildServices() ([]svc.Config, error) {
+	if len(c.SLOs) == 0 {
+		return nil, nil
+	}
+	out := make([]svc.Config, 0, len(c.SLOs))
+	for i, s := range c.SLOs {
+		var cores []int
+		for _, a := range c.Apps {
+			if a.Name == s.Service {
+				cores = append(cores, a.Core)
+			}
+		}
+		if len(cores) == 0 {
+			return nil, fmt.Errorf("opconfig: slo service %q has no app entries to serve on", s.Service)
+		}
+		sc := svc.Config{
+			Name:  s.Service,
+			Cores: cores,
+			Seed:  int64(i + 1),
+			SLO:   time.Duration(s.TargetP99MS * float64(time.Millisecond)),
+		}
+		switch {
+		case s.RatePerSec > 0:
+			sc.Arrivals = svc.OpenPoisson
+			sc.Rate = svc.ConstantRate(s.RatePerSec)
+		case s.Trace != "":
+			f, err := os.Open(s.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("opconfig: slo service %q: %w", s.Service, err)
+			}
+			arrivals, perr := svc.ParseTrace(f)
+			f.Close()
+			if perr != nil {
+				return nil, fmt.Errorf("opconfig: slo service %q trace %s: %w", s.Service, s.Trace, perr)
+			}
+			sc.Arrivals = svc.OpenTrace
+			sc.Trace = arrivals
+		case s.Users > 0:
+			sc.Arrivals = svc.Closed
+			sc.Users = s.Users
+		default:
+			sc.Arrivals = svc.Closed
+			sc.Users = 300
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
 // Build materialises the chip, app specs (with analytic standalone
 // baselines for the performance policy), and the policy itself.
 func (c Config) Build() (platform.Chip, []core.AppSpec, core.Policy, error) {
@@ -135,23 +277,30 @@ func (c Config) Build() (platform.Chip, []core.AppSpec, core.Policy, error) {
 	}
 	specs := make([]core.AppSpec, len(c.Apps))
 	for i, a := range c.Apps {
+		specs[i] = core.AppSpec{
+			Name:         a.Name,
+			Core:         a.Core,
+			Shares:       units.Shares(a.Shares),
+			HighPriority: a.Priority == "hp",
+			MaxFreq:      units.Hertz(a.MaxFreqMHz) * units.MHz,
+		}
+		if c.hasSLO(a.Name) {
+			// Latency-service entries have no workload profile; the SLO
+			// feedback loop drives them from measured latency instead of
+			// an analytic baseline.
+			continue
+		}
 		p, err := workload.ByName(a.Name)
 		if err != nil {
 			return platform.Chip{}, nil, nil, err
 		}
-		specs[i] = core.AppSpec{
-			Name:         p.Name,
-			Core:         a.Core,
-			Shares:       units.Shares(a.Shares),
-			HighPriority: a.Priority == "hp",
-			AVX:          p.AVX,
-			MaxFreq:      units.Hertz(a.MaxFreqMHz) * units.MHz,
-		}
+		specs[i].Name = p.Name
+		specs[i].AVX = p.AVX
 		if c.Policy == "performance" {
 			specs[i].BaselineIPS = p.IPS(chip.Freq.Ceiling(1, p.AVX))
 		}
 	}
-	pol, err := PolicyFor(c.Policy, chip, specs, c.Limit())
+	pol, err := PolicyFor(c.Policy, chip, specs, c.Limit(), c.SLOTargets()...)
 	if err != nil {
 		return platform.Chip{}, nil, nil, err
 	}
@@ -162,8 +311,10 @@ func (c Config) Build() (platform.Chip, []core.AppSpec, core.Policy, error) {
 // by-name constructor shared by config loading, cmd/powerd's flags, and the
 // control plane's live-reconfigure path. For the performance policy, specs
 // missing a standalone baseline get the analytic one when their workload
-// profile is known. The specs slice is not mutated.
-func PolicyFor(name string, chip platform.Chip, specs []core.AppSpec, limit units.Watts) (core.Policy, error) {
+// profile is known. The optional trailing SLO targets parameterise the
+// slo-feedback policy (which requires at least one) and are ignored by the
+// others. The specs slice is not mutated.
+func PolicyFor(name string, chip platform.Chip, specs []core.AppSpec, limit units.Watts, slos ...core.SLOTarget) (core.Policy, error) {
 	specs = append([]core.AppSpec(nil), specs...)
 	if name == "performance" {
 		for i := range specs {
@@ -186,6 +337,8 @@ func PolicyFor(name string, chip platform.Chip, specs []core.AppSpec, limit unit
 		return core.NewPriority(chip, specs, core.PriorityConfig{Limit: limit})
 	case "priority-shares":
 		return core.NewPriorityShares(chip, specs, core.PriorityConfig{Limit: limit})
+	case "slo-feedback":
+		return core.NewSLOFeedback(chip, specs, core.SLOConfig{Targets: slos})
 	}
 	return nil, fmt.Errorf("opconfig: unknown policy %q", name)
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/svc"
 	"repro/internal/units"
 )
 
@@ -152,6 +153,155 @@ func TestPowerPolicyRejectedOnSkylakeAtBuild(t *testing.T) {
 	}
 	if _, _, _, err := c.Build(); err == nil {
 		t.Error("power shares on Skylake accepted at build")
+	}
+}
+
+const sloDoc = `{
+	"platform": "skylake",
+	"policy": "slo-feedback",
+	"limit_watts": 45,
+	"apps": [
+		{"name": "websearch", "core": 0, "shares": 50},
+		{"name": "websearch", "core": 1, "shares": 50},
+		{"name": "gcc", "core": 2, "shares": 50}
+	],
+	"slos": [
+		{"service": "websearch", "target_p99_ms": 80}
+	]
+}`
+
+func TestSLOFeedbackPolicyBuild(t *testing.T) {
+	c, err := Parse(strings.NewReader(sloDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, specs, pol, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != "slo-feedback" {
+		t.Errorf("policy = %s", pol.Name())
+	}
+	// Service entries keep their service name; batch apps resolve
+	// through the workload registry as before.
+	if specs[0].Name != "websearch" || specs[2].Name != "gcc" {
+		t.Errorf("spec names = %s, %s", specs[0].Name, specs[2].Name)
+	}
+	ts := c.SLOTargets()
+	if len(ts) != 1 || ts[0].Service != "websearch" || ts[0].P99 != 80*time.Millisecond {
+		t.Errorf("SLOTargets = %+v", ts)
+	}
+}
+
+func TestSLOConfigRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"no slos for slo-feedback", strings.Replace(sloDoc, `"slos": [
+		{"service": "websearch", "target_p99_ms": 80}
+	]`, `"slos": []`, 1)},
+		{"zero target", strings.Replace(sloDoc, `"target_p99_ms": 80`, `"target_p99_ms": 0`, 1)},
+		{"empty service", strings.Replace(sloDoc, `"service": "websearch"`, `"service": ""`, 1)},
+		{"duplicate slo", strings.Replace(sloDoc, `{"service": "websearch", "target_p99_ms": 80}`,
+			`{"service": "websearch", "target_p99_ms": 80}, {"service": "websearch", "target_p99_ms": 90}`, 1)},
+		{"service app without slo", strings.Replace(sloDoc, `"service": "websearch"`, `"service": "frontend"`, 1)},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// SLOs on a non-SLO policy are allowed: they annotate status output.
+	doc := strings.Replace(goodDoc, `"apps"`, `"slos": [{"service": "gcc", "target_p99_ms": 10}], "apps"`, 1)
+	if _, err := Parse(strings.NewReader(doc)); err != nil {
+		t.Errorf("slos on frequency policy rejected: %v", err)
+	}
+}
+
+func TestBuildServices(t *testing.T) {
+	c, err := Parse(strings.NewReader(sloDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcs, err := c.BuildServices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svcs) != 1 {
+		t.Fatalf("services = %d, want 1", len(svcs))
+	}
+	s := svcs[0]
+	if s.Name != "websearch" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if len(s.Cores) != 2 || s.Cores[0] != 0 || s.Cores[1] != 1 {
+		t.Errorf("cores = %v, want [0 1]", s.Cores)
+	}
+	if s.SLO != 80*time.Millisecond {
+		t.Errorf("advisory SLO = %v", s.SLO)
+	}
+	// No load knob: defaults to the paper's closed-loop 300 users.
+	if s.Arrivals != svc.Closed || s.Users != 300 {
+		t.Errorf("default load = %v/%d users, want closed/300", s.Arrivals, s.Users)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("default service invalid: %v", err)
+	}
+}
+
+func TestBuildServicesLoadKnobs(t *testing.T) {
+	withKnob := func(knob string) Config {
+		doc := strings.Replace(sloDoc, `"target_p99_ms": 80`, `"target_p99_ms": 80, `+knob, 1)
+		c, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("%s: %v", knob, err)
+		}
+		return c
+	}
+
+	svcs, err := withKnob(`"rate_per_sec": 120`).BuildServices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svcs[0].Arrivals != svc.OpenPoisson || svcs[0].Rate.Base != 120 {
+		t.Errorf("rate knob: arrivals %v rate %v", svcs[0].Arrivals, svcs[0].Rate.Base)
+	}
+
+	svcs, err = withKnob(`"users": 40`).BuildServices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svcs[0].Arrivals != svc.Closed || svcs[0].Users != 40 {
+		t.Errorf("users knob: arrivals %v users %d", svcs[0].Arrivals, svcs[0].Users)
+	}
+
+	path := filepath.Join(t.TempDir(), "arrivals.pt")
+	if err := os.WriteFile(path, []byte("padtrace/1\n10ms x3\n50ms\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svcs, err = withKnob(`"trace": "` + path + `"`).BuildServices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svcs[0].Arrivals != svc.OpenTrace || len(svcs[0].Trace) != 4 {
+		t.Errorf("trace knob: arrivals %v len %d, want trace/4", svcs[0].Arrivals, len(svcs[0].Trace))
+	}
+
+	if _, err := withKnob(`"trace": "` + filepath.Join(t.TempDir(), "missing.pt") + `"`).BuildServices(); err == nil {
+		t.Error("missing trace file accepted")
+	}
+
+	// Conflicting and negative load knobs fail validation at parse time.
+	for _, knob := range []string{
+		`"rate_per_sec": 120, "users": 40`,
+		`"rate_per_sec": -1`,
+		`"users": -3`,
+	} {
+		doc := strings.Replace(sloDoc, `"target_p99_ms": 80`, `"target_p99_ms": 80, `+knob, 1)
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("knob %s accepted", knob)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/flight"
 	"repro/internal/ledger"
@@ -197,7 +198,8 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		return nil, fmt.Errorf("powerapi: agent wants a daemon or a backend, not both")
 	case cfg.Daemon != nil:
 		if cfg.PolicyName != "" {
-			if _, err := opconfig.PolicyFor(cfg.PolicyName, cfg.Daemon.Chip(), cfg.Daemon.Apps(), cfg.Daemon.Limit()); err != nil {
+			if _, err := opconfig.PolicyFor(cfg.PolicyName, cfg.Daemon.Chip(), cfg.Daemon.Apps(),
+				cfg.Daemon.Limit(), cfg.Daemon.SLOTargets()...); err != nil {
 				return nil, fmt.Errorf("powerapi: agent policy name: %w", err)
 			}
 		}
@@ -378,6 +380,29 @@ func (b daemonBackend) FillStatus(st *NodeStatus) {
 	if b.ledger != nil {
 		st.Energy = energyStatus(b.ledger)
 	}
+	if len(view.Snapshot.Services) > 0 {
+		st.SLO = sloStatus(view.Snapshot.Services)
+	}
+}
+
+// sloStatus converts a snapshot's service telemetry into its wire form.
+func sloStatus(svcs []core.ServiceSLO) *SLOStatus {
+	ss := &SLOStatus{Services: make([]ServiceSLOStatus, len(svcs))}
+	for i, s := range svcs {
+		ss.Services[i] = ServiceSLOStatus{
+			Name:     s.Name,
+			P50MS:    s.P50 * 1e3,
+			P90MS:    s.P90 * 1e3,
+			P99MS:    s.P99 * 1e3,
+			TargetMS: s.Target * 1e3,
+			Rate:     s.Rate,
+			QueueLen: s.QueueLen,
+			Dropped:  s.Dropped,
+			Timeouts: s.Timeouts,
+			Met:      s.Met(),
+		}
+	}
+	return ss
 }
 
 func (b daemonBackend) SetLimit(_ context.Context, limit units.Watts) error {
@@ -832,7 +857,7 @@ func (b daemonBackend) Reconfigure(rc *Reconfigure, polName string) (*Reconfigur
 		drc.Limit = limit
 	}
 	if rc.Policy != "" || specsChanged {
-		pol, err := opconfig.PolicyFor(polName, d.Chip(), specs, limit)
+		pol, err := opconfig.PolicyFor(polName, d.Chip(), specs, limit, d.SLOTargets()...)
 		if err != nil {
 			return nil, "", &ErrorReply{Code: CodeInvalid, Message: err.Error()}
 		}

@@ -99,9 +99,34 @@ type NodeStatus struct {
 	// and anomalies from the status poll it already makes.
 	Energy *EnergyStatus `json:"energy,omitempty"`
 
+	// SLO carries the node's per-service latency/SLO view when the
+	// daemon feeds service telemetry, so the coordinator can roll up
+	// fleet-wide SLO attainment from the status poll it already makes.
+	SLO *SLOStatus `json:"slo,omitempty"`
+
 	// Tier is set when this "node" is a mid-tier coordinator (a row or
 	// building) reporting its whole subtree as one synthetic node.
 	Tier *TierStatus `json:"tier,omitempty"`
+}
+
+// SLOStatus is a node's per-service latency and SLO-attainment view.
+type SLOStatus struct {
+	Services []ServiceSLOStatus `json:"services"`
+}
+
+// ServiceSLOStatus is one latency service's tail-latency telemetry over
+// its sliding window, plus the p99 objective it is held to (0 when none).
+type ServiceSLOStatus struct {
+	Name     string  `json:"name"`
+	P50MS    float64 `json:"p50_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	TargetMS float64 `json:"target_ms,omitempty"`
+	Rate     float64 `json:"rate"`
+	QueueLen int     `json:"queue_len"`
+	Dropped  uint64  `json:"dropped,omitempty"`
+	Timeouts uint64  `json:"timeouts,omitempty"`
+	Met      bool    `json:"met"`
 }
 
 // EnergyStatus is a node's cumulative energy-ledger summary. The *UJ

@@ -55,3 +55,10 @@ func (r *Reservoir) Values() []float64 {
 func (r *Reservoir) Percentile(p float64) float64 {
 	return Percentile(r.xs, p)
 }
+
+// Quantiles estimates several percentiles from the retained sample over
+// a single sort — the latency views ask for p50/p90/p99 together, and
+// three Percentile calls would sort the reservoir three times.
+func (r *Reservoir) Quantiles(ps ...float64) []float64 {
+	return Quantiles(r.xs, ps...)
+}

@@ -74,11 +74,14 @@ func Percentile(xs []float64, p float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
-	return percentileSorted(sorted, p)
+	return PercentileSorted(sorted, p)
 }
 
-// percentileSorted computes a percentile over an already-sorted slice.
-func percentileSorted(sorted []float64, p float64) float64 {
+// PercentileSorted computes a percentile over an already-sorted slice
+// without copying it — the allocation-free fast path for callers that
+// sort once and read several percentiles (e.g. a latency window's
+// p50/p90/p99 inside the control loop).
+func PercentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
@@ -105,7 +108,7 @@ func Quantiles(xs []float64, ps ...float64) []float64 {
 	sort.Float64s(sorted)
 	out := make([]float64, len(ps))
 	for i, p := range ps {
-		out[i] = percentileSorted(sorted, p)
+		out[i] = PercentileSorted(sorted, p)
 	}
 	return out
 }
@@ -123,11 +126,11 @@ func Summarize(xs []float64) BoxPlot {
 	copy(sorted, xs)
 	sort.Float64s(sorted)
 	return BoxPlot{
-		P1:     percentileSorted(sorted, 1),
-		Q1:     percentileSorted(sorted, 25),
-		Median: percentileSorted(sorted, 50),
-		Q3:     percentileSorted(sorted, 75),
-		P99:    percentileSorted(sorted, 99),
+		P1:     PercentileSorted(sorted, 1),
+		Q1:     PercentileSorted(sorted, 25),
+		Median: PercentileSorted(sorted, 50),
+		Q3:     PercentileSorted(sorted, 75),
+		P99:    PercentileSorted(sorted, 99),
 	}
 }
 

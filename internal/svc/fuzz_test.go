@@ -1,0 +1,53 @@
+package svc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseTrace hardens the arrival-trace parser: arbitrary input must
+// never panic or exhaust memory, and every accepted trace must satisfy
+// the replay invariants (non-negative, non-decreasing, bounded) and
+// survive a write/parse round trip unchanged.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("padtrace/1\n150ms\n0.2\n2.5s x3\n")
+	f.Add("# nothing but comments\n\n")
+	f.Add("0\n0\n1e3\n")
+	f.Add("1s x4096\n")
+	f.Add("banana\n")
+	f.Add("9999999999h\n")
+	f.Add("1s x-3\n-5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		arr, err := ParseTraceString(in)
+		if err != nil {
+			return
+		}
+		if len(arr) > MaxTraceArrivals {
+			t.Fatalf("accepted %d arrivals past the bound", len(arr))
+		}
+		for i, a := range arr {
+			if a < 0 {
+				t.Fatalf("accepted negative arrival %v at %d", a, i)
+			}
+			if i > 0 && a < arr[i-1] {
+				t.Fatalf("accepted decreasing arrivals at %d: %v after %v", i, a, arr[i-1])
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, arr); err != nil {
+			t.Fatalf("WriteTrace on accepted trace: %v", err)
+		}
+		back, err := ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("reparse of written trace: %v", err)
+		}
+		if len(back) != len(arr) {
+			t.Fatalf("round trip length %d, want %d", len(back), len(arr))
+		}
+		for i := range arr {
+			if back[i] != arr[i] {
+				t.Fatalf("round trip arrival %d = %v, want %v", i, back[i], arr[i])
+			}
+		}
+	})
+}

@@ -3,27 +3,21 @@
 // interactive service with N users who alternate between thinking and
 // submitting search requests to a pool of serving cores.
 //
-// Each request carries an exponentially distributed service demand in
-// *cycles*; the serving cores drain demand at their current effective
-// frequency, so throttling the cores (by RAPL or by a policy) directly
-// stretches service times and — through queueing — blows up tail latency.
-// This reproduces the paper's central latency result: a single colocated
-// power virus forces the limiter to throttle the serving cores and p90
-// latency more than doubles at low power limits.
-//
-// The model attaches to a sim.Machine: it pins a power profile on each
-// serving core (so the cores draw realistic power and appear busy to the
-// telemetry) and advances the queueing state from the machine's tick hook.
+// It is a thin adapter over the general latency-service subsystem in
+// internal/svc, pinned to svc's closed-loop arrival mode. The adapter
+// is bit-identical to the original standalone model: svc's closed loop
+// consumes randomness in the same order (N initial think draws at
+// construction, one service-demand draw per arrival, one think re-draw
+// per completion), uses the same heap ordering, and drains the same
+// FIFO queue per core slot by cycle budget — so every historical figure
+// reproduces exactly (see TestGoldenSeries).
 package websearch
 
 import (
-	"container/heap"
-	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/internal/svc"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -47,203 +41,78 @@ type Config struct {
 	Seed          int64         // RNG seed
 }
 
-func (c *Config) fill() {
-	if c.ThinkTime <= 0 {
-		c.ThinkTime = 600 * time.Millisecond
-	}
-	if c.ServiceCycles <= 0 {
-		c.ServiceCycles = 25e6
+// svcConfig maps the adapter's configuration onto the subsystem's.
+func (c Config) svcConfig() svc.Config {
+	return svc.Config{
+		Name:          "websearch",
+		Cores:         c.Cores,
+		Seed:          c.Seed,
+		Arrivals:      svc.Closed,
+		Users:         c.Users,
+		ThinkTime:     c.ThinkTime,
+		ServiceCycles: c.ServiceCycles,
+		RecordAll:     true, // percentiles over everything since ResetStats
+		Profile:       Profile,
 	}
 }
 
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
-	if c.Users <= 0 {
-		return fmt.Errorf("websearch: Users must be positive")
-	}
-	if len(c.Cores) == 0 {
-		return fmt.Errorf("websearch: no serving cores")
-	}
-	seen := make(map[int]bool)
-	for _, core := range c.Cores {
-		if seen[core] {
-			return fmt.Errorf("websearch: duplicate core %d", core)
-		}
-		seen[core] = true
-	}
-	return nil
-}
-
-// request is one in-flight search.
-type request struct {
-	submitted time.Duration
-	remaining float64 // cycles of demand left
-}
-
-// wakeEvent schedules a thinking user's next submission.
-type wakeEvent struct {
-	at time.Duration
-}
-
-type wakeHeap []wakeEvent
-
-func (h wakeHeap) Len() int            { return len(h) }
-func (h wakeHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h wakeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *wakeHeap) Push(x interface{}) { *h = append(*h, x.(wakeEvent)) }
-func (h *wakeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return c.svcConfig().Validate()
 }
 
 // App is the running websearch model.
 type App struct {
-	cfg Config
-	rng *rand.Rand
-	m   *sim.Machine
-
-	now       time.Duration
-	thinkers  wakeHeap
-	queue     []*request
-	inService []*request // one slot per serving core
-	latencies []float64  // completed request latencies in seconds
-	completed int
+	model *svc.Model
+	s     *svc.Service
 }
 
 // New builds the model; call Attach to wire it to a machine.
 func New(cfg Config) (*App, error) {
-	cfg.fill()
-	if err := cfg.Validate(); err != nil {
+	model, err := svc.NewModel(cfg.svcConfig())
+	if err != nil {
 		return nil, err
 	}
-	a := &App{
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		inService: make([]*request, len(cfg.Cores)),
-	}
-	// All users start thinking with staggered first submissions so the
-	// warm-up is smooth.
-	for i := 0; i < cfg.Users; i++ {
-		heap.Push(&a.thinkers, wakeEvent{at: a.expDuration(cfg.ThinkTime)})
-	}
-	return a, nil
+	return &App{model: model, s: model.Services()[0]}, nil
 }
 
 // Attach pins the websearch power profile to each serving core of m and
 // registers the queueing model on the machine's tick hook.
 func (a *App) Attach(m *sim.Machine) error {
-	if a.m != nil {
-		return fmt.Errorf("websearch: already attached")
-	}
-	for _, core := range a.cfg.Cores {
-		if err := m.Pin(workload.NewInstance(Profile), core); err != nil {
-			return fmt.Errorf("websearch: %w", err)
-		}
-	}
-	a.m = m
-	m.OnTick(a.tick)
-	return nil
+	return a.model.Attach(m)
 }
 
-func (a *App) expDuration(mean time.Duration) time.Duration {
-	return time.Duration(a.rng.ExpFloat64() * float64(mean))
-}
+// Service exposes the underlying latency service (for wiring the model
+// into the daemon's SLO telemetry).
+func (a *App) Service() *svc.Service { return a.s }
 
-// tick advances the queueing model by dt using the machine's current
-// effective core frequencies.
-func (a *App) tick(dt time.Duration) {
-	a.now += dt
-	// Users whose think time expired submit a request.
-	for len(a.thinkers) > 0 && a.thinkers[0].at <= a.now {
-		heap.Pop(&a.thinkers)
-		a.queue = append(a.queue, &request{
-			submitted: a.now,
-			remaining: a.rng.ExpFloat64() * a.cfg.ServiceCycles,
-		})
-	}
-	// Each serving core drains cycles from its request, picking up new
-	// work from the shared queue as requests complete.
-	for slot, core := range a.cfg.Cores {
-		budget := a.m.EffectiveFreq(core).Cycles(dt)
-		for budget > 0 {
-			req := a.inService[slot]
-			if req == nil {
-				if len(a.queue) == 0 {
-					break
-				}
-				req = a.queue[0]
-				a.queue = a.queue[1:]
-				a.inService[slot] = req
-			}
-			if req.remaining > budget {
-				req.remaining -= budget
-				budget = 0
-				break
-			}
-			budget -= req.remaining
-			a.complete(req)
-			a.inService[slot] = nil
-		}
-	}
-}
-
-func (a *App) complete(req *request) {
-	a.latencies = append(a.latencies, (a.now - req.submitted).Seconds())
-	a.completed++
-	heap.Push(&a.thinkers, wakeEvent{at: a.now + a.expDuration(a.cfg.ThinkTime)})
-}
+// Model exposes the underlying single-service model.
+func (a *App) Model() *svc.Model { return a.model }
 
 // Completed reports the number of requests finished so far.
-func (a *App) Completed() int { return a.completed }
+func (a *App) Completed() int { return int(a.s.Completed()) }
 
 // InFlight reports queued plus in-service requests.
-func (a *App) InFlight() int {
-	n := len(a.queue)
-	for _, r := range a.inService {
-		if r != nil {
-			n++
-		}
-	}
-	return n
-}
+func (a *App) InFlight() int { return a.s.InFlight() }
 
 // LatencyPercentile returns the p-th percentile of completed request
 // latencies in seconds since the last ResetStats.
-func (a *App) LatencyPercentile(p float64) float64 {
-	return stats.Percentile(a.latencies, p)
-}
+func (a *App) LatencyPercentile(p float64) float64 { return a.s.LatencyPercentile(p) }
 
 // MeanLatency returns the mean completed latency in seconds.
-func (a *App) MeanLatency() float64 { return stats.Mean(a.latencies) }
+func (a *App) MeanLatency() float64 { return a.s.MeanLatency() }
 
 // Throughput returns completed requests per second of virtual time since
 // the model started.
-func (a *App) Throughput() float64 {
-	s := a.now.Seconds()
-	if s <= 0 {
-		return 0
-	}
-	return float64(a.completed) / s
-}
+func (a *App) Throughput() float64 { return a.s.Throughput() }
 
 // ResetStats clears the latency record (for discarding warm-up) without
 // disturbing the queueing state.
-func (a *App) ResetStats() { a.latencies = a.latencies[:0] }
+func (a *App) ResetStats() { a.s.ResetStats() }
 
 // OfferedLoad estimates the utilisation of the serving pool at frequency f:
 // demand rate divided by service capacity. Values near or above 1 mean
 // saturation.
 func (c Config) OfferedLoad(f units.Hertz) float64 {
-	cfg := c
-	cfg.fill()
-	if f <= 0 || len(cfg.Cores) == 0 {
-		return 0
-	}
-	serviceTime := cfg.ServiceCycles / float64(f)
-	// Closed-loop arrival rate upper bound: Users / (think + service).
-	lambda := float64(cfg.Users) / (cfg.ThinkTime.Seconds() + serviceTime)
-	return lambda * serviceTime / float64(len(cfg.Cores))
+	return c.svcConfig().OfferedLoad(f)
 }

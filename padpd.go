@@ -315,6 +315,9 @@ var (
 	AblationClustering = experiments.AblationClustering
 	// AblationInterval measures control-interval vs settling time.
 	AblationInterval = experiments.AblationInterval
+	// SLOStudy compares SLO feedback against the static policies under
+	// a diurnal open-loop arrival trace.
+	SLOStudy = experiments.SLOStudy
 )
 
 // Experiment policy selectors for GamingStudy and friends.
